@@ -1,0 +1,372 @@
+// Repository-level benchmarks: one per experiment of DESIGN.md §4 (the
+// madbench command prints the same series as formatted tables). Workloads
+// are deterministic, so -benchmem comparisons are stable.
+package mad_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mad"
+	"mad/internal/bom"
+	"mad/internal/codec"
+	"mad/internal/core"
+	"mad/internal/er"
+	"mad/internal/experiments"
+	"mad/internal/expr"
+	"mad/internal/geo"
+	"mad/internal/mql"
+	"mad/internal/nf2"
+	"mad/internal/prima"
+	"mad/internal/recursive"
+	"mad/internal/rel"
+)
+
+// mtState defines the Fig. 2 mt_state structure on any geo database.
+func mtState(b *testing.B, db *mad.Database) *mad.MoleculeType {
+	b.Helper()
+	mt, err := mad.Define(db, "", []string{"state", "area", "edge", "point"},
+		[]mad.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mt
+}
+
+func synDB(b *testing.B, states, sharing int) *geo.Synth {
+	b.Helper()
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: states, EdgesPerArea: 3, Sharing: sharing, Rivers: 4, RiverEdges: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return syn
+}
+
+// BenchmarkF1SchemaMapping measures both directions of the Fig. 1 mapping.
+func BenchmarkF1SchemaMapping(b *testing.B) {
+	d := er.Fig1Diagram()
+	b.Run("er_to_mad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.ToMAD(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("er_to_relational", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.ToRelational(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF2MoleculeDerivation derives the two Fig. 2 molecule types over
+// the Brazil sample.
+func BenchmarkF2MoleculeDerivation(b *testing.B) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stateMT := mtState(b, s.DB)
+	pnMT, err := mad.Define(s.DB, "", []string{"point", "edge", "area", "state", "net", "river"},
+		[]mad.DirectedLink{
+			{Link: "edge-point", From: "point", To: "edge"},
+			{Link: "area-edge", From: "edge", To: "area"},
+			{Link: "state-area", From: "area", To: "state"},
+			{Link: "net-edge", From: "edge", To: "net"},
+			{Link: "river-net", From: "net", To: "river"},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mt_state", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stateMT.Derive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("point_neighborhood_pn", func(b *testing.B) {
+		dv, err := pnMT.Deriver()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dv.DeriveFor(s.PN); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQ1 runs the first Chapter-4 query through MQL and through the
+// algebra directly.
+func BenchmarkQ1(b *testing.B) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := mql.NewSession(s.DB)
+	if _, err := sess.Exec("SELECT ALL FROM mt_state(state-area-edge-point);"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mql", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("SELECT ALL FROM mt_state;"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mt := mtState(b, s.DB)
+	b.Run("algebra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mt.Derive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQ2 runs the restricted point-neighborhood query, with and
+// without the root index.
+func BenchmarkQ2(b *testing.B) {
+	const q = "SELECT ALL FROM point-edge-(area-state, net-river) WHERE point.name = 'pn';"
+	b.Run("scan", func(b *testing.B) {
+		s, err := geo.BuildSample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := mql.NewSession(s.DB)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		s, err := geo.BuildSample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.DB.CreateIndex("point", "name"); err != nil {
+			b.Fatal(err)
+		}
+		sess := mql.NewSession(s.DB)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP1MadVsRelational is the P1 series: molecule derivation against
+// the relational auxiliary-relation join pipeline.
+func BenchmarkP1MadVsRelational(b *testing.B) {
+	for _, states := range []int{64, 256, 1024} {
+		syn := synDB(b, states, 2)
+		rdb, err := rel.ImportMAD(syn.DB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := mtState(b, syn.DB)
+		b.Run(fmt.Sprintf("states=%d/mad_derive", states), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mt.Derive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("states=%d/relational_joins", states), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.MtStateRelationalJoin(rdb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP2SharingVsNF2 measures molecule materialization cost under
+// growing sharing, MAD-shared vs NF²-duplicated.
+func BenchmarkP2SharingVsNF2(b *testing.B) {
+	for _, sharing := range []int{1, 4, 8} {
+		syn, err := geo.BuildSynthetic(geo.Config{
+			States: 32, EdgesPerArea: 2, Sharing: sharing, Rivers: 2, RiverEdges: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := mtState(b, syn.DB)
+		set, err := mt.Derive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sharing=%d/mad_derive", sharing), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mt.Derive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sharing=%d/nf2_materialize", sharing), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nf2.FromMolecules(syn.DB, set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP3DynamicDefinition derives five different molecule types from
+// one database occurrence.
+func BenchmarkP3DynamicDefinition(b *testing.B) {
+	syn := synDB(b, 128, 2)
+	structures := map[string]struct {
+		types []string
+		edges []mad.DirectedLink
+	}{
+		"mt_state": {[]string{"state", "area", "edge", "point"}, []mad.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		}},
+		"mt_river": {[]string{"river", "net", "edge", "point"}, []mad.DirectedLink{
+			{Link: "river-net", From: "river", To: "net"},
+			{Link: "net-edge", From: "net", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		}},
+		"edge_neighborhood": {[]string{"edge", "point", "area", "net"}, []mad.DirectedLink{
+			{Link: "edge-point", From: "edge", To: "point"},
+			{Link: "area-edge", From: "edge", To: "area"},
+			{Link: "net-edge", From: "edge", To: "net"},
+		}},
+	}
+	for name, st := range structures {
+		mt, err := mad.Define(syn.DB, "", st.types, st.edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mt.Derive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP4PartsExplosion compares adjacency fixpoint vs relational
+// self-join closure on the BOM workload.
+func BenchmarkP4PartsExplosion(b *testing.B) {
+	for _, depth := range []int{6, 8, 10} {
+		bm, err := bom.Build(bom.Config{Depth: depth, Branch: 3, Share: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := recursive.Define(bm.DB, "", "parts", "composition", false, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("depth=%d/mad_fixpoint", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Closure(bm.Root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("depth=%d/self_join", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.NaiveClosure(bm.DB, "composition", bm.Root, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP5OperatorPipelines measures a Σ→Σ→Π pipeline with propagation
+// (each iteration rebuilds the sample since propagation enlarges it).
+func BenchmarkP5OperatorPipelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := geo.BuildSample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := mtState(b, s.DB)
+		b.StartTimer()
+		step1, err := core.Restrict(mt, expr.Cmp{Op: expr.GT,
+			L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(mad.Float(100))}, "", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root := step1.Desc().Root()
+		step2, err := core.Restrict(step1, expr.Cmp{Op: expr.LT,
+			L: expr.Attr{Type: root, Name: "hectare"}, R: expr.Lit(mad.Float(950))}, "", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Project(step2, core.Projection{Keep: step2.Desc().Types()[:2]}, "", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP6TwoLayer measures the instrumented two-layer engine.
+func BenchmarkP6TwoLayer(b *testing.B) {
+	syn := synDB(b, 256, 2)
+	e := prima.New(syn.DB)
+	if _, _, err := e.RunMQL("SELECT ALL FROM mt_state(state-area-edge-point);"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunMQL("SELECT ALL FROM mt_state;"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size
+// database.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	syn := synDB(b, 256, 2)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := codec.Encode(syn.DB, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP7ParallelDerivation measures derivation speedup over workers.
+func BenchmarkP7ParallelDerivation(b *testing.B) {
+	syn := synDB(b, 1024, 2)
+	mt := mtState(b, syn.DB)
+	dv, err := core.NewDeriver(syn.DB, mt.Desc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dv.DeriveParallel(workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+// Command molshell is an interactive MQL shell over a MAD database.
+//
+// Usage:
+//
+//	molshell                    # empty database
+//	molshell -geo               # preload the Fig. 1 geographic sample
+//	molshell -db path.mad       # load a snapshot (saved on \save)
+//	echo "SELECT ...;" | molshell -geo
+//
+// Statements end with ';'. Shell commands: \h help, \q quit,
+// \save [path] snapshot, \stats counters, \trace toggles operation traces.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mad/internal/codec"
+	"mad/internal/geo"
+	"mad/internal/mql"
+	"mad/internal/storage"
+)
+
+func main() {
+	var (
+		geoFlag = flag.Bool("geo", false, "preload the Fig. 1 geographic sample database")
+		dbFlag  = flag.String("db", "", "load a database snapshot from this path")
+	)
+	flag.Parse()
+
+	db, err := openDatabase(*geoFlag, *dbFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "molshell: %v\n", err)
+		os.Exit(1)
+	}
+	sess := mql.NewSession(db)
+
+	interactive := isTerminalLike()
+	if interactive {
+		fmt.Println("molshell — MQL over the molecule-atom data model (\\h for help)")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var buf strings.Builder
+	prompt(interactive, buf.Len() > 0)
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if quit := shellCommand(trimmed, db, *dbFlag); quit {
+				return
+			}
+			prompt(interactive, false)
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			src := buf.String()
+			buf.Reset()
+			results, err := sess.ExecScript(src)
+			for _, r := range results {
+				fmt.Print(r.Render(db))
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+		prompt(interactive, buf.Len() > 0)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "molshell: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func openDatabase(loadGeo bool, path string) (*storage.Database, error) {
+	switch {
+	case path != "":
+		return codec.Load(path)
+	case loadGeo:
+		s, err := geo.BuildSample()
+		if err != nil {
+			return nil, err
+		}
+		return s.DB, nil
+	default:
+		return storage.NewDatabase(), nil
+	}
+}
+
+func prompt(interactive, continuation bool) {
+	if !interactive {
+		return
+	}
+	if continuation {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("mql> ")
+	}
+}
+
+// isTerminalLike decides whether to print prompts without resorting to
+// syscalls: piped input usually arrives with MOLSHELL_BATCH set by tests,
+// and prompts are harmless otherwise.
+func isTerminalLike() bool {
+	return os.Getenv("MOLSHELL_BATCH") == ""
+}
+
+// shellCommand executes a backslash command; it reports whether to quit.
+func shellCommand(cmd string, db *storage.Database, defaultPath string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return true
+	case "\\h", "\\help":
+		fmt.Println(`statements end with ';'. Examples:
+  SELECT ALL FROM mt_state(state-area-edge-point);
+  SELECT ALL FROM point-edge-(area-state, net-river) WHERE point.name = 'pn';
+  DEFINE MOLECULE TYPE big AS SELECT ALL FROM state-area WHERE hectare > 300;
+  SELECT ALL FROM RECURSIVE parts VIA composition WHERE name = 'car';
+  CREATE ATOM TYPE t (a STRING NOT NULL, b INT); INSERT INTO t VALUES ('x', 1);
+  SHOW SCHEMA;  SHOW MOLECULE TYPES;  EXPLAIN SELECT ...;
+shell: \q quit, \save [path] snapshot, \stats counters`)
+	case "\\stats":
+		fmt.Println(db.Stats().Snapshot().String())
+	case "\\save":
+		path := defaultPath
+		if len(fields) > 1 {
+			path = fields[1]
+		}
+		if path == "" {
+			fmt.Fprintln(os.Stderr, "error: \\save needs a path (no -db given)")
+			return false
+		}
+		if err := codec.Save(db, path); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("saved to %s\n", path)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (\\h for help)\n", fields[0])
+	}
+	return false
+}

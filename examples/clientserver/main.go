@@ -1,0 +1,105 @@
+// Client/server: PRIMA as a server process — a MAD database served over
+// TCP with per-connection MQL sessions, exercised by two concurrent
+// clients whose dynamically defined molecule types stay session-private.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mad/internal/geo"
+	"mad/internal/server"
+)
+
+func main() {
+	sample, err := geo.BuildSample()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(sample.DB)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	fmt.Printf("primad serving the Fig. 1 database on %s\n\n", addr)
+
+	alice, err := server.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := server.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	// Alice defines a named molecule type — visible only in her session.
+	out, err := alice.Exec("SELECT ALL FROM mt_state(state-area-edge-point) WHERE state.hectare > 500;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice: states over 500k hectares:")
+	fmt.Println(firstLines(out, 6))
+
+	// Bob runs the symmetric point-neighborhood query concurrently.
+	out, err = bob.Exec("SELECT ALL FROM point-edge-(area-state, net-river) WHERE point.name = 'pn';")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob: neighborhood of point pn:")
+	fmt.Println(firstLines(out, 8))
+
+	// Bob cannot see Alice's named type (sessions are isolated).
+	if _, err := bob.Exec("SELECT ALL FROM mt_state;"); err != nil {
+		fmt.Printf("bob: SELECT ALL FROM mt_state → %v (sessions are isolated)\n", err)
+	}
+
+	// Alice's named type persists within her session.
+	out, err = alice.Exec("SELECT state.name FROM mt_state WHERE state.abbrev = 'BA';")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nalice again, reusing her named type:")
+	fmt.Println(firstLines(out, 3))
+
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server stopped cleanly")
+}
+
+// firstLines trims long renderings for display.
+func firstLines(s string, n int) string {
+	out := ""
+	count := 0
+	for _, line := range splitLines(s) {
+		out += line + "\n"
+		count++
+		if count == n {
+			out += "  ...\n"
+			break
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,67 @@
+// Quickstart: define a schema, load atoms and links, and query molecules
+// through MQL — the five-minute tour of the MAD model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mad"
+)
+
+func main() {
+	db := mad.NewDatabase()
+	sess := mad.NewSession(db)
+
+	// Schema: two application object types over one shared substructure.
+	// Links replace foreign keys; they are symmetric and typed.
+	if _, err := sess.ExecScript(`
+CREATE ATOM TYPE author (name STRING NOT NULL);
+CREATE ATOM TYPE paper  (title STRING NOT NULL, year INT);
+CREATE ATOM TYPE venue  (name STRING NOT NULL);
+CREATE LINK TYPE wrote       BETWEEN author AND paper;
+CREATE LINK TYPE appeared_in BETWEEN paper AND venue;
+
+INSERT INTO author VALUES ('Mitschang');
+INSERT INTO author VALUES ('Härder');
+INSERT INTO paper  VALUES ('Extending the Relational Algebra to Capture Complex Objects', 1989);
+INSERT INTO paper  VALUES ('PRIMA - A DBMS Prototype Supporting Engineering Applications', 1987);
+INSERT INTO venue  VALUES ('VLDB');
+
+CONNECT author WHERE name = 'Mitschang' TO paper WHERE year = 1989 VIA wrote;
+CONNECT author WHERE name = 'Mitschang' TO paper WHERE year = 1987 VIA wrote;
+CONNECT author WHERE name = 'Härder'    TO paper WHERE year = 1987 VIA wrote;
+CONNECT paper TO venue VIA appeared_in;
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A molecule type is defined in the query, not the schema: each
+	// author molecule contains the author, their papers and the venues —
+	// and the 1987 paper is SHARED between the two author molecules.
+	res, err := sess.Exec(`SELECT ALL FROM author-[wrote]-paper-[appeared_in]-venue;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render(db))
+
+	// Restriction works on any component of the molecule.
+	res, err = sess.Exec(`
+SELECT author, paper.title
+FROM author-[wrote]-paper-[appeared_in]-venue
+WHERE venue.name = 'VLDB' AND paper.year < 1989;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nauthors with a VLDB paper before 1989:")
+	fmt.Print(res.Render(db))
+
+	// The same database yields a completely different complex object —
+	// dynamic object definition (no schema change).
+	res, err = sess.Exec(`SELECT ALL FROM paper-(author, venue) WHERE paper.year = 1987;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe 1987 paper as a molecule rooted at paper:")
+	fmt.Print(res.Render(db))
+}

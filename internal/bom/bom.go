@@ -1,0 +1,119 @@
+// Package bom generates bill-of-material databases — the paper's running
+// example for reflexive link types and recursive queries: "when modeling
+// the bill-of-material application with its super-component and
+// sub-component view, we just have to define one reflexive link type
+// called 'composition' on the atom type 'parts'" (Section 3.1).
+//
+// The generator builds a deterministic component DAG: Depth levels of
+// parts where every part at level i is composed of Branch parts at level
+// i+1, with an optional sharing knob that makes consecutive parents reuse
+// sub-components (turning the tree into a DAG, as real BOMs are).
+package bom
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Depth is the number of composition levels below the root (≥ 1).
+	Depth int
+	// Branch is the number of sub-components per part (≥ 1).
+	Branch int
+	// Share makes each part reuse this many of its left neighbour's
+	// sub-components instead of minting fresh ones (0 = pure tree).
+	Share int
+}
+
+// DefaultConfig returns a small representative BOM.
+func DefaultConfig() Config { return Config{Depth: 4, Branch: 3, Share: 1} }
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Depth < 1 || c.Branch < 1 {
+		return fmt.Errorf("bom: Depth and Branch must be ≥ 1")
+	}
+	if c.Share < 0 || c.Share >= c.Branch {
+		return fmt.Errorf("bom: Share must be in [0, Branch)")
+	}
+	return nil
+}
+
+// BOM is a generated bill-of-material database.
+type BOM struct {
+	DB     *storage.Database
+	Cfg    Config
+	Root   model.AtomID
+	Levels [][]model.AtomID // parts per level, root first
+}
+
+// Schema declares the parts atom type and the reflexive composition link
+// type on a database.
+func Schema(db *storage.Database) error {
+	if _, err := db.DefineAtomType("parts", model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+		model.AttrDesc{Name: "weight", Kind: model.KFloat},
+	)); err != nil {
+		return err
+	}
+	// Side A = super-component, side B = sub-component; the symmetric link
+	// serves both the parts-explosion and the where-used view.
+	_, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "parts", SideB: "parts"})
+	return err
+}
+
+// Build generates the database.
+func Build(cfg Config) (*BOM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := storage.NewDatabase()
+	if err := Schema(db); err != nil {
+		return nil, err
+	}
+	b := &BOM{DB: db, Cfg: cfg}
+	root, err := db.InsertAtom("parts", model.Str("part_0_0"), model.Float(1))
+	if err != nil {
+		return nil, err
+	}
+	b.Root = root
+	b.Levels = append(b.Levels, []model.AtomID{root})
+	for depth := 1; depth <= cfg.Depth; depth++ {
+		parents := b.Levels[depth-1]
+		var level []model.AtomID
+		for pi, parent := range parents {
+			for k := 0; k < cfg.Branch; k++ {
+				var child model.AtomID
+				if k < cfg.Share && pi > 0 && len(level) >= cfg.Branch {
+					// Reuse the left neighbour's k-th fresh sub-component.
+					child = level[len(level)-cfg.Branch+k]
+				} else {
+					child, err = db.InsertAtom("parts",
+						model.Str(fmt.Sprintf("part_%d_%d", depth, len(level))),
+						model.Float(float64(depth)+float64(k)/10))
+					if err != nil {
+						return nil, err
+					}
+					level = append(level, child)
+				}
+				if err := db.Connect("composition", parent, child); err != nil {
+					return nil, err
+				}
+			}
+		}
+		b.Levels = append(b.Levels, level)
+	}
+	return b, nil
+}
+
+// NumParts returns the total part count.
+func (b *BOM) NumParts() int {
+	n := 0
+	for _, l := range b.Levels {
+		n += len(l)
+	}
+	return n
+}

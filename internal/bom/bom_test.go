@@ -1,0 +1,80 @@
+package bom_test
+
+import (
+	"testing"
+
+	"mad/internal/bom"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []bom.Config{
+		{Depth: 0, Branch: 1},
+		{Depth: 1, Branch: 0},
+		{Depth: 1, Branch: 2, Share: 2},
+		{Depth: 1, Branch: 2, Share: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := bom.Build(cfg); err == nil {
+			t.Errorf("config %+v must fail", cfg)
+		}
+	}
+}
+
+func TestPureTreeCounts(t *testing.T) {
+	b, err := bom.Build(bom.Config{Depth: 3, Branch: 2, Share: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 4 + 8 = 15 parts, 14 composition links.
+	if b.NumParts() != 15 {
+		t.Fatalf("parts = %d", b.NumParts())
+	}
+	if n, _ := b.DB.CountLinks("composition"); n != 14 {
+		t.Fatalf("links = %d", n)
+	}
+	if err := b.DB.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharingReducesParts(t *testing.T) {
+	tree, err := bom.Build(bom.Config{Depth: 4, Branch: 3, Share: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := bom.Build(bom.Config{Depth: 4, Branch: 3, Share: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.NumParts() >= tree.NumParts() {
+		t.Fatalf("sharing must reduce part count: %d vs %d", dag.NumParts(), tree.NumParts())
+	}
+	// Links stay at Branch per parent regardless of sharing.
+	lt, _ := tree.DB.CountLinks("composition")
+	ld, _ := dag.DB.CountLinks("composition")
+	if lt == 0 || ld == 0 {
+		t.Fatal("links missing")
+	}
+	if err := dag.DB.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := bom.Build(bom.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bom.Build(bom.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumParts() != b.NumParts() {
+		t.Fatal("generator not deterministic")
+	}
+	na, _ := a.DB.CountLinks("composition")
+	nb, _ := b.DB.CountLinks("composition")
+	if na != nb {
+		t.Fatal("link counts differ")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Deriver synthesizes molecules: it implements the function m_dom
+// (Definition 6) operationally, "using the molecule structure as a kind of
+// template, which is laid over the atom networks. Thus, for each atom of
+// the root atom type one molecule is derived following all links
+// determined by the link types of the molecule structure to the children,
+// grandchildren atoms etc. till the leaves are reached" (Section 2).
+//
+// The derivation realizes the recursive predicate contained: an atom
+// belongs to the molecule iff it is the root, or, for *every* directed
+// link type arriving at its atom type, some already-contained parent atom
+// links to it. Nodes with a single incoming edge therefore follow plain
+// hierarchical-join semantics; nodes with several incoming edges take the
+// intersection of their parents' partner sets.
+type Deriver struct {
+	db   *storage.Database
+	desc *Desc
+
+	stores []*storage.LinkStore // per edge
+	fromA  []bool               // per edge: true when edge.From is the link type's side A
+	roots  *storage.Container
+}
+
+// NewDeriver prepares a derivation plan for the description: it resolves
+// every edge's link store and traversal orientation once.
+func NewDeriver(db *storage.Database, desc *Desc) (*Deriver, error) {
+	dv := &Deriver{
+		db:     db,
+		desc:   desc,
+		stores: make([]*storage.LinkStore, desc.NumEdges()),
+		fromA:  make([]bool, desc.NumEdges()),
+	}
+	for i, e := range desc.Edges() {
+		ls, ok := db.LinkStore(e.Link)
+		if !ok {
+			return nil, fmt.Errorf("core: link type %q has no store", e.Link)
+		}
+		dv.stores[i] = ls
+		dv.fromA[i] = ls.Desc().SideA == e.From
+	}
+	c, ok := db.Container(desc.Root())
+	if !ok {
+		return nil, fmt.Errorf("core: root atom type %q has no container", desc.Root())
+	}
+	dv.roots = c
+	return dv, nil
+}
+
+// partners returns the children of atom a along edge ei, honouring the
+// edge's traversal orientation, and accounts the logical work.
+func (dv *Deriver) partners(ei int, a model.AtomID) []model.AtomID {
+	var out []model.AtomID
+	if dv.fromA[ei] {
+		out = dv.stores[ei].PartnersFromA(a)
+	} else {
+		out = dv.stores[ei].PartnersFromB(a)
+	}
+	dv.db.Stats().LinksTraversed.Add(int64(len(out)) + 1)
+	return out
+}
+
+// DeriveFor synthesizes the single molecule rooted at the given atom,
+// which must belong to the root type's occurrence.
+func (dv *Deriver) DeriveFor(root model.AtomID) (*Molecule, error) {
+	if !dv.roots.Has(root) {
+		return nil, fmt.Errorf("core: atom %v is not in root type %q", root, dv.desc.Root())
+	}
+	return dv.derive(root), nil
+}
+
+// derive runs the template over the atom network below one root atom.
+func (dv *Deriver) derive(root model.AtomID) *Molecule {
+	d := dv.desc
+	m := newMolecule(d, root)
+	rootPos, _ := d.Pos(d.Root())
+	m.addAtom(rootPos, root)
+	dv.db.Stats().AtomsFetched.Add(1)
+
+	for _, t := range d.Topo() {
+		if t == d.Root() {
+			continue
+		}
+		pos, _ := d.Pos(t)
+		inc := d.Incoming(t)
+
+		// Candidate component atoms: the intersection over all incoming
+		// directed link types of the parents' partner sets (contained).
+		var cand map[model.AtomID]bool
+		for k, ei := range inc {
+			e := d.Edge(ei)
+			fromPos, _ := d.Pos(e.From)
+			s := make(map[model.AtomID]bool)
+			for _, pa := range m.atoms[fromPos] {
+				for _, p := range dv.partners(ei, pa) {
+					s[p] = true
+				}
+			}
+			if k == 0 {
+				cand = s
+				continue
+			}
+			for id := range cand {
+				if !s[id] {
+					delete(cand, id)
+				}
+			}
+		}
+
+		// Record atoms in deterministic first-reached order and all
+		// component links between contained parents and contained children
+		// (g is maximal for the atoms selected).
+		for _, ei := range inc {
+			e := d.Edge(ei)
+			fromPos, _ := d.Pos(e.From)
+			for _, pa := range m.atoms[fromPos] {
+				for _, p := range dv.partners(ei, pa) {
+					if !cand[p] {
+						continue
+					}
+					m.addAtom(pos, p)
+					m.addLink(ei, model.Link{A: pa, B: p})
+				}
+			}
+		}
+		dv.db.Stats().AtomsFetched.Add(int64(len(m.atoms[pos])))
+	}
+	return m
+}
+
+// Derive materializes the full molecule-type occurrence: one molecule per
+// atom of the root type, in the root container's insertion order.
+func (dv *Deriver) Derive() MoleculeSet {
+	out := make(MoleculeSet, 0, dv.roots.Len())
+	dv.roots.Scan(func(a model.Atom) bool {
+		out = append(out, dv.derive(a.ID))
+		return true
+	})
+	return out
+}
+
+// DeriveRoots materializes the molecules for the given root atoms only —
+// the entry point for index-assisted restriction pushdown.
+func (dv *Deriver) DeriveRoots(roots []model.AtomID) (MoleculeSet, error) {
+	out := make(MoleculeSet, 0, len(roots))
+	for _, r := range roots {
+		m, err := dv.DeriveFor(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Walk streams molecules one root at a time without materializing the
+// whole occurrence; fn returning false stops the walk.
+func (dv *Deriver) Walk(fn func(*Molecule) bool) {
+	dv.roots.Scan(func(a model.Atom) bool {
+		return fn(dv.derive(a.ID))
+	})
+}

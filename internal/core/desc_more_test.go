@@ -1,0 +1,243 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/geo"
+	"mad/internal/model"
+)
+
+func TestDescAccessorsAndRendering(t *testing.T) {
+	s := sample(t)
+	d, err := core.NewDesc(s.DB,
+		[]string{"state", "area", "edge"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTypes() != 3 || d.NumEdges() != 2 {
+		t.Fatal("counts wrong")
+	}
+	topo := d.Topo()
+	if topo[0] != "state" {
+		t.Fatalf("topo = %v", topo)
+	}
+	if got := d.Types(); len(got) != 3 || got[0] != "state" {
+		t.Fatalf("types = %v", got)
+	}
+	if pos, ok := d.Pos("edge"); !ok || pos != 2 {
+		t.Fatalf("Pos(edge) = %d, %v", pos, ok)
+	}
+	if _, ok := d.Pos("river"); ok {
+		t.Fatal("Pos of stranger must fail")
+	}
+	if len(d.Incoming("area")) != 1 || len(d.Outgoing("area")) != 1 {
+		t.Fatal("adjacency wrong")
+	}
+	rendered := d.String()
+	if !strings.Contains(rendered, "state*") {
+		t.Fatalf("root not marked: %s", rendered)
+	}
+}
+
+func TestDescSameShapeAndEqual(t *testing.T) {
+	s := sample(t)
+	mk := func(types []string, edges []core.DirectedLink) *core.Desc {
+		t.Helper()
+		d, err := core.NewDesc(s.DB, types, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a := mk([]string{"state", "area"}, []core.DirectedLink{{Link: "state-area", From: "state", To: "area"}})
+	b := mk([]string{"river", "net"}, []core.DirectedLink{{Link: "river-net", From: "river", To: "net"}})
+	c := mk([]string{"state", "area", "edge"}, []core.DirectedLink{
+		{Link: "state-area", From: "state", To: "area"},
+		{Link: "area-edge", From: "area", To: "edge"},
+	})
+	if !a.SameShape(b) {
+		t.Fatal("a and b are positionally isomorphic")
+	}
+	if a.SameShape(c) {
+		t.Fatal("different sizes cannot share shape")
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal requires identical names")
+	}
+	a2 := mk([]string{"city", "point"}, []core.DirectedLink{{Link: "city-point", From: "city", To: "point"}})
+	if !a.SameShape(a2) {
+		t.Fatal("shape ignores naming")
+	}
+}
+
+func TestPruneToDirect(t *testing.T) {
+	s := sample(t)
+	mt := mtState(t, s.DB)
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := core.NewDesc(s.DB,
+		[]string{"state", "area"},
+		[]core.DirectedLink{{Link: "state-area", From: "state", To: "area"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range set {
+		p := m.PruneTo(sub)
+		if p.Root() != m.Root() {
+			t.Fatal("root changed")
+		}
+		if len(p.AtomsOf("area")) != len(m.AtomsOf("area")) {
+			t.Fatal("area set changed")
+		}
+		if len(p.AtomsOf("edge")) != 0 {
+			t.Fatal("pruned type leaked")
+		}
+		// Pruned molecules verify against the sub-description.
+		if err := core.VerifyMolecule(s.DB, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMoleculeHelpers(t *testing.T) {
+	s := sample(t)
+	mt := mtState(t, s.DB)
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := set[0]
+	if m.Size() != len(m.AtomSet()) {
+		// mt_state is a tree over distinct types; atom set equals size.
+		t.Fatalf("Size %d vs AtomSet %d", m.Size(), len(m.AtomSet()))
+	}
+	if !m.Contains("state", m.Root()) {
+		t.Fatal("root membership")
+	}
+	if m.Contains("state", model.MakeAtomID(99, 99)) {
+		t.Fatal("phantom membership")
+	}
+	if m.AtomsOf("nosuch") != nil {
+		t.Fatal("unknown type must yield nil")
+	}
+	if m.Key() == set[1].Key() {
+		t.Fatal("distinct molecules share a key")
+	}
+	if !m.Equal(m) {
+		t.Fatal("self equality")
+	}
+	if m.Equal(set[1]) {
+		t.Fatal("distinct molecules equal")
+	}
+	set.SortByRoot()
+	roots := set.Roots()
+	for i := 1; i < len(roots); i++ {
+		if roots[i-1] > roots[i] {
+			t.Fatal("SortByRoot broken")
+		}
+	}
+}
+
+func TestEquivalentOccurrenceNegative(t *testing.T) {
+	s := sample(t)
+	mt := mtState(t, s.DB)
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping a molecule breaks equivalence.
+	ok, err := core.EquivalentOccurrence(mt, set[:len(set)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing molecule must break equivalence")
+	}
+	ok, err = core.EquivalentOccurrence(mt, set)
+	if err != nil || !ok {
+		t.Fatalf("full set must be equivalent: %v %v", ok, err)
+	}
+}
+
+func TestProductTraceAnatomy(t *testing.T) {
+	s := sample(t)
+	sa, err := core.Define(s.DB, "sa", []string{"state", "area"},
+		[]core.DirectedLink{{Link: "state-area", From: "state", To: "area"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := core.Define(s.DB, "rn", []string{"river", "net"},
+		[]core.DirectedLink{{Link: "river-net", From: "river", To: "net"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &core.OpTrace{}
+	if _, err := core.Product(sa, rn, "", tr); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.String()
+	for _, want := range []string{"product (op-specific)", "propagation (prop)", "pair root", "definition (α)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("product trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeriverErrors(t *testing.T) {
+	s := sample(t)
+	mt := mtState(t, s.DB)
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-type root rejected.
+	if _, err := dv.DeriveFor(s.Areas["MG"]); err == nil {
+		t.Fatal("area atom is not a state root")
+	}
+	// Walk early stop.
+	count := 0
+	dv.Walk(func(*core.Molecule) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("walk stopped at %d", count)
+	}
+}
+
+func TestSyntheticDerivesValidMolecules(t *testing.T) {
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: 8, EdgesPerArea: 2, Sharing: 3, Rivers: 2, RiverEdges: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(syn.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySet(syn.DB, set); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.SharedAtoms()) == 0 {
+		t.Fatal("sharing=3 must produce shared subobjects")
+	}
+}

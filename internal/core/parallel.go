@@ -1,0 +1,91 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"mad/internal/model"
+)
+
+// DeriveParallel materializes the molecule-type occurrence using the given
+// number of worker goroutines (≤ 0 selects GOMAXPROCS). Molecules are
+// independent — one per root atom — so derivation parallelizes perfectly
+// as long as the database is not mutated concurrently; the result order is
+// identical to Derive (root container order).
+//
+// The paper closes by proposing the molecule algebra "as a focal point for
+// detailed investigations in query parallelism" (Chapter 5); this is the
+// obvious first such investigation, and the P7 experiment measures it.
+func (dv *Deriver) DeriveParallel(workers int) MoleculeSet {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	roots := dv.roots.IDs()
+	if workers == 1 || len(roots) < 2*workers {
+		return dv.Derive()
+	}
+	out := make(MoleculeSet, len(roots))
+	var wg sync.WaitGroup
+	chunk := (len(roots) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(roots) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = dv.derive(roots[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// DeriveRootsParallel is DeriveParallel restricted to the given roots.
+func (dv *Deriver) DeriveRootsParallel(roots []model.AtomID, workers int) (MoleculeSet, error) {
+	for _, r := range roots {
+		if !dv.roots.Has(r) {
+			return nil, errNotRoot(dv, r)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(roots) < 2*workers {
+		return dv.DeriveRoots(roots)
+	}
+	out := make(MoleculeSet, len(roots))
+	var wg sync.WaitGroup
+	chunk := (len(roots) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(roots) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = dv.derive(roots[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func errNotRoot(dv *Deriver, r model.AtomID) error {
+	_, err := dv.DeriveFor(r) // reuse its error message
+	return err
+}

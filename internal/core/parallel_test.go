@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/geo"
+	"mad/internal/model"
+)
+
+func TestDeriveParallelEqualsSequential(t *testing.T) {
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: 64, EdgesPerArea: 3, Sharing: 2, Rivers: 4, RiverEdges: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(syn.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := dv.Derive()
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		par := dv.DeriveParallel(workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d vs %d molecules", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if !seq[i].Equal(par[i]) {
+				t.Fatalf("workers=%d: molecule %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestDeriveRootsParallel(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(s.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []struct{ ab string }{{"MG"}, {"SP"}, {"RS"}}
+	ids := make([]model.AtomID, 0, len(roots))
+	for _, r := range roots {
+		ids = append(ids, s.States[r.ab])
+	}
+	want, err := dv.DeriveRoots(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dv.DeriveRootsParallel(ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("molecule %d differs", i)
+		}
+	}
+	// Unknown root errors in both paths.
+	if _, err := dv.DeriveRootsParallel([]model.AtomID{0}, 4); err == nil {
+		t.Fatal("invalid root must fail")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "mad/internal/model"
+
+// PruneTo builds the sub-molecule induced by a sub-description: sub must
+// use a subset of m's types and edges (same root), and the result contains
+// the component atoms reachable under sub's structure using only m's
+// recorded component links, with the same multi-parent containment
+// semantics as derivation. Query-mode projection uses it to avoid
+// enlarging the database; on tree-shaped structures it coincides with the
+// algebraic Π (re-derivation over the propagated result set), which
+// remains the normative semantics.
+func (m *Molecule) PruneTo(sub *Desc) *Molecule {
+	out := newMolecule(sub, m.root)
+	rootPos, _ := sub.Pos(sub.Root())
+	out.addAtom(rootPos, m.root)
+
+	// Map each sub edge to the original edge index in m's description.
+	edgeMap := make([]int, sub.NumEdges())
+	for i, e := range sub.Edges() {
+		edgeMap[i] = -1
+		for j, oe := range m.desc.Edges() {
+			if oe == e {
+				edgeMap[i] = j
+				break
+			}
+		}
+	}
+
+	for _, t := range sub.Topo() {
+		if t == sub.Root() {
+			continue
+		}
+		pos, _ := sub.Pos(t)
+		inc := sub.Incoming(t)
+
+		var cand map[model.AtomID]bool
+		for k, ei := range inc {
+			oe := edgeMap[ei]
+			if oe < 0 {
+				continue
+			}
+			e := sub.Edge(ei)
+			fromPos, _ := sub.Pos(e.From)
+			s := make(map[model.AtomID]bool)
+			for _, l := range m.links[oe] {
+				if out.member[fromPos][l.A] {
+					s[l.B] = true
+				}
+			}
+			if k == 0 {
+				cand = s
+				continue
+			}
+			for id := range cand {
+				if !s[id] {
+					delete(cand, id)
+				}
+			}
+		}
+		for _, ei := range inc {
+			oe := edgeMap[ei]
+			if oe < 0 {
+				continue
+			}
+			e := sub.Edge(ei)
+			fromPos, _ := sub.Pos(e.From)
+			for _, l := range m.links[oe] {
+				if out.member[fromPos][l.A] && cand[l.B] {
+					out.addAtom(pos, l.B)
+					out.addLink(ei, l)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package er models the (binary) entity-relationship diagrams of Fig. 1
+// and the two mappings the paper contrasts:
+//
+//   - ER → MAD: "there is a one-to-one mapping from the ER model to the
+//     MAD model associating each entity type with an atom type and each
+//     relationship type with a link type. Compared to the relational
+//     model, here we don't have to use any auxiliary structures."
+//   - ER → relational: every n:m relationship type requires an auxiliary
+//     relation; 1:n relationships embed a foreign key; 1:1 likewise.
+//
+// The F1 experiment counts the schema objects each mapping produces.
+package er
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+	"mad/internal/rel"
+	"mad/internal/storage"
+)
+
+// Card classifies a binary relationship type.
+type Card uint8
+
+// Relationship cardinality classes.
+const (
+	OneToOne Card = iota
+	OneToMany
+	ManyToMany
+)
+
+// String renders the class in ER notation.
+func (c Card) String() string {
+	switch c {
+	case OneToOne:
+		return "1:1"
+	case OneToMany:
+		return "1:n"
+	default:
+		return "n:m"
+	}
+}
+
+// EntityType is an ER entity type with attributes.
+type EntityType struct {
+	Name  string
+	Attrs []model.AttrDesc
+}
+
+// RelationshipType is a binary ER relationship type (no relationship
+// attributes, matching the paper's comparison target: "the well-known
+// (binary) ER model (without relationship attributes)").
+type RelationshipType struct {
+	Name  string
+	Left  string
+	Right string
+	Card  Card
+}
+
+// Diagram is an ER diagram.
+type Diagram struct {
+	Entities      []EntityType
+	Relationships []RelationshipType
+}
+
+// Validate checks name uniqueness and reference integrity.
+func (d *Diagram) Validate() error {
+	names := make(map[string]bool)
+	for _, e := range d.Entities {
+		if e.Name == "" {
+			return fmt.Errorf("er: empty entity name")
+		}
+		if names[e.Name] {
+			return fmt.Errorf("er: duplicate entity type %q", e.Name)
+		}
+		names[e.Name] = true
+	}
+	rnames := make(map[string]bool)
+	for _, r := range d.Relationships {
+		if rnames[r.Name] {
+			return fmt.Errorf("er: duplicate relationship type %q", r.Name)
+		}
+		rnames[r.Name] = true
+		if !names[r.Left] || !names[r.Right] {
+			return fmt.Errorf("er: relationship %q references unknown entity", r.Name)
+		}
+	}
+	return nil
+}
+
+// MappingStats summarizes how many schema objects a mapping produced —
+// the F1 comparison figures.
+type MappingStats struct {
+	// AtomTypes / Relations: primary object containers.
+	Containers int
+	// LinkTypes / AuxiliaryRelations: relationship carriers.
+	RelationshipCarriers int
+	// ForeignKeys: attributes added to embed 1:1 / 1:n relationships
+	// relationally (MAD never needs these).
+	ForeignKeys int
+}
+
+// ToMAD maps the diagram one-to-one onto a fresh MAD database schema:
+// entity type → atom type, relationship type → link type, with the ER
+// cardinality class carried into the extended link-type definition.
+func (d *Diagram) ToMAD() (*storage.Database, MappingStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, MappingStats{}, err
+	}
+	db := storage.NewDatabase()
+	var stats MappingStats
+	for _, e := range d.Entities {
+		desc, err := model.NewDesc(e.Attrs...)
+		if err != nil {
+			return nil, stats, err
+		}
+		if _, err := db.DefineAtomType(e.Name, desc); err != nil {
+			return nil, stats, err
+		}
+		stats.Containers++
+	}
+	for _, r := range d.Relationships {
+		ld := model.LinkDesc{SideA: r.Left, SideB: r.Right}
+		switch r.Card {
+		case OneToOne:
+			ld.CardA = model.Cardinality{Max: 1}
+			ld.CardB = model.Cardinality{Max: 1}
+		case OneToMany:
+			// One left partner per right atom; many right partners per left.
+			ld.CardB = model.Cardinality{Max: 1}
+		}
+		if _, err := db.DefineLinkType(r.Name, ld); err != nil {
+			return nil, stats, err
+		}
+		stats.RelationshipCarriers++
+	}
+	return db, stats, nil
+}
+
+// ToRelational maps the diagram onto a flat relational schema: one
+// relation per entity type (surrogate id column prepended); n:m
+// relationship types become auxiliary relations; 1:1 and 1:n embed a
+// foreign key column in the appropriate entity relation.
+func (d *Diagram) ToRelational() (*rel.Database, MappingStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, MappingStats{}, err
+	}
+	out := rel.NewDatabase()
+	var stats MappingStats
+	// Collect foreign keys to embed per entity.
+	fks := make(map[string][]rel.Col)
+	for _, r := range d.Relationships {
+		switch r.Card {
+		case ManyToMany:
+			// handled below as auxiliary relation
+		case OneToMany:
+			// each right row references its single left partner
+			fks[r.Right] = append(fks[r.Right], rel.Col{Name: r.Name + "_fk", Kind: model.KID})
+			stats.ForeignKeys++
+		case OneToOne:
+			fks[r.Right] = append(fks[r.Right], rel.Col{Name: r.Name + "_fk", Kind: model.KID})
+			stats.ForeignKeys++
+		}
+	}
+	for _, e := range d.Entities {
+		cols := []rel.Col{{Name: "id", Kind: model.KID}}
+		for _, a := range e.Attrs {
+			cols = append(cols, rel.Col{Name: a.Name, Kind: a.Kind})
+		}
+		cols = append(cols, fks[e.Name]...)
+		schema, err := rel.NewSchema(cols...)
+		if err != nil {
+			return nil, stats, err
+		}
+		if err := out.Add(rel.New(e.Name, schema)); err != nil {
+			return nil, stats, err
+		}
+		stats.Containers++
+	}
+	for _, r := range d.Relationships {
+		if r.Card != ManyToMany {
+			continue
+		}
+		schema := rel.MustSchema(
+			rel.Col{Name: r.Left + "_id", Kind: model.KID},
+			rel.Col{Name: r.Right + "_id", Kind: model.KID},
+		)
+		if err := out.Add(rel.New(r.Name+"__aux", schema)); err != nil {
+			return nil, stats, err
+		}
+		stats.RelationshipCarriers++
+	}
+	return out, stats, nil
+}
+
+// Fig1Diagram returns the geographic ER diagram of Fig. 1: the application
+// objects (state, river, city) over the shared geographical model (area,
+// net, edge, point), with the sharing-inducing relationship types n:m.
+func Fig1Diagram() *Diagram {
+	str := func(n string) model.AttrDesc { return model.AttrDesc{Name: n, Kind: model.KString, NotNull: true} }
+	flt := func(n string) model.AttrDesc { return model.AttrDesc{Name: n, Kind: model.KFloat} }
+	return &Diagram{
+		Entities: []EntityType{
+			{Name: "state", Attrs: []model.AttrDesc{str("name"), str("abbrev"), flt("hectare")}},
+			{Name: "river", Attrs: []model.AttrDesc{str("name"), flt("length")}},
+			{Name: "city", Attrs: []model.AttrDesc{str("name"), {Name: "population", Kind: model.KInt}}},
+			{Name: "area", Attrs: []model.AttrDesc{str("tag")}},
+			{Name: "net", Attrs: []model.AttrDesc{str("tag")}},
+			{Name: "edge", Attrs: []model.AttrDesc{str("tag")}},
+			{Name: "point", Attrs: []model.AttrDesc{str("name"), flt("x"), flt("y")}},
+		},
+		Relationships: []RelationshipType{
+			{Name: "state-area", Left: "state", Right: "area", Card: OneToOne},
+			{Name: "river-net", Left: "river", Right: "net", Card: OneToOne},
+			{Name: "city-point", Left: "city", Right: "point", Card: OneToOne},
+			{Name: "area-edge", Left: "area", Right: "edge", Card: ManyToMany},
+			{Name: "net-edge", Left: "net", Right: "edge", Card: ManyToMany},
+			{Name: "edge-point", Left: "edge", Right: "point", Card: ManyToMany},
+		},
+	}
+}

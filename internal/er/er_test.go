@@ -1,0 +1,115 @@
+package er_test
+
+import (
+	"testing"
+
+	"mad/internal/er"
+	"mad/internal/model"
+)
+
+func TestFig1MappingCounts(t *testing.T) {
+	d := er.Fig1Diagram()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	madDB, madStats, err := d.ToMAD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relDB, relStats, err := d.ToRelational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ER→MAD is one-to-one: 7 entity types → 7 atom types, 6 relationship
+	// types → 6 link types, no auxiliary structures, no foreign keys.
+	if madStats.Containers != 7 || madStats.RelationshipCarriers != 6 || madStats.ForeignKeys != 0 {
+		t.Fatalf("MAD stats = %+v", madStats)
+	}
+	if madDB.Schema().NumAtomTypes() != 7 || madDB.Schema().NumLinkTypes() != 6 {
+		t.Fatal("MAD schema object counts wrong")
+	}
+	// ER→relational: 7 relations + 3 auxiliary relations (the n:m types)
+	// + 3 foreign keys (the 1:1 types).
+	if relStats.Containers != 7 || relStats.RelationshipCarriers != 3 || relStats.ForeignKeys != 3 {
+		t.Fatalf("relational stats = %+v", relStats)
+	}
+	if relDB.NumRelations() != 10 {
+		t.Fatalf("relations = %d, want 10", relDB.NumRelations())
+	}
+	// The foreign keys appear as columns.
+	r, ok := relDB.Rel("area")
+	if !ok {
+		t.Fatal("area relation missing")
+	}
+	if _, ok := r.Schema.Lookup("state-area_fk"); !ok {
+		t.Fatalf("area columns = %v", r.Schema.Names())
+	}
+}
+
+func TestCardinalityCarriedIntoMAD(t *testing.T) {
+	d := er.Fig1Diagram()
+	db, _, err := d.ToMAD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, ok := db.Schema().LinkType("state-area")
+	if !ok {
+		t.Fatal("state-area missing")
+	}
+	if lt.Desc.CardA.Max != 1 || lt.Desc.CardB.Max != 1 {
+		t.Fatalf("1:1 cardinality lost: %+v", lt.Desc)
+	}
+	nm, _ := db.Schema().LinkType("area-edge")
+	if nm.Desc.CardA != model.Unbounded || nm.Desc.CardB != model.Unbounded {
+		t.Fatal("n:m must stay unbounded")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &er.Diagram{
+		Entities:      []er.EntityType{{Name: "a"}, {Name: "a"}},
+		Relationships: nil,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate entity must fail")
+	}
+	bad2 := &er.Diagram{
+		Entities:      []er.EntityType{{Name: "a", Attrs: []model.AttrDesc{{Name: "x", Kind: model.KInt}}}},
+		Relationships: []er.RelationshipType{{Name: "r", Left: "a", Right: "zz"}},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("dangling relationship must fail")
+	}
+}
+
+func TestOneToManyForeignKeySide(t *testing.T) {
+	d := &er.Diagram{
+		Entities: []er.EntityType{
+			{Name: "dept", Attrs: []model.AttrDesc{{Name: "name", Kind: model.KString}}},
+			{Name: "emp", Attrs: []model.AttrDesc{{Name: "name", Kind: model.KString}}},
+		},
+		Relationships: []er.RelationshipType{
+			{Name: "works_in", Left: "dept", Right: "emp", Card: er.OneToMany},
+		},
+	}
+	relDB, stats, err := d.ToRelational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelationshipCarriers != 0 || stats.ForeignKeys != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	emp, _ := relDB.Rel("emp")
+	if _, ok := emp.Schema.Lookup("works_in_fk"); !ok {
+		t.Fatal("1:n must embed the fk on the many side")
+	}
+	// MAD side: each emp has at most one dept.
+	madDB, _, err := d.ToMAD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, _ := madDB.Schema().LinkType("works_in")
+	if lt.Desc.CardB.Max != 1 {
+		t.Fatalf("1:n cardinality = %+v", lt.Desc)
+	}
+}

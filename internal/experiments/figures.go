@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mad/internal/core"
+	"mad/internal/er"
+	"mad/internal/expr"
+	"mad/internal/model"
+)
+
+// RunF1 reproduces Fig. 1's mapping comparison: the geographic ER diagram
+// maps one-to-one onto the MAD schema, while the relational mapping needs
+// auxiliary relations and foreign keys.
+func RunF1(w io.Writer, _ int) error {
+	d := er.Fig1Diagram()
+	madDB, madStats, err := d.ToMAD()
+	if err != nil {
+		return err
+	}
+	_, relStats, err := d.ToRelational()
+	if err != nil {
+		return err
+	}
+	header(w, "F1", "ER → MAD vs ER → relational")
+	fmt.Fprintf(w, "ER diagram: %d entity types, %d relationship types (%d of them n:m)\n\n",
+		len(d.Entities), len(d.Relationships), countNM(d))
+	tw := table(w)
+	fmt.Fprintln(tw, "mapping\tcontainers\trelationship carriers\tauxiliary objects\tforeign keys")
+	fmt.Fprintf(tw, "ER → MAD\t%d atom types\t%d link types\t0\t%d\n",
+		madStats.Containers, madStats.RelationshipCarriers, madStats.ForeignKeys)
+	fmt.Fprintf(tw, "ER → relational\t%d relations\t%d aux relations\t%d\t%d\n",
+		relStats.Containers, relStats.RelationshipCarriers, relStats.RelationshipCarriers, relStats.ForeignKeys)
+	tw.Flush()
+	fmt.Fprintf(w, "\nMAD diagram (one-to-one image of the ER diagram):\n%s", madDB.Schema().Render())
+	fmt.Fprintln(w, "paper: \"there is a one-to-one mapping from the ER model to the MAD model ...")
+	fmt.Fprintln(w, "        here we don't have to use any auxiliary structures.\"")
+	return nil
+}
+
+func countNM(d *er.Diagram) int {
+	n := 0
+	for _, r := range d.Relationships {
+		if r.Card == er.ManyToMany {
+			n++
+		}
+	}
+	return n
+}
+
+// RunF2 reproduces Fig. 2: the two molecule types derived from the same
+// atom networks, including the shared subobjects between them.
+func RunF2(w io.Writer, _ int) error {
+	s, err := sampleOrErr()
+	if err != nil {
+		return err
+	}
+	header(w, "F2", "molecule types over one database occurrence")
+
+	mtState, err := defineMtState(s.DB, "mt_state")
+	if err != nil {
+		return err
+	}
+	states, err := mtState.Derive()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "molecule type 'mt state' (structure %s)\n", mtState.Desc())
+	tw := table(w)
+	fmt.Fprintln(tw, "molecule\tareas\tedges\tpoints")
+	for _, m := range states {
+		a, _ := s.DB.GetAtom("state", m.Root())
+		ab, _ := a.Get(1).AsString()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", ab,
+			len(m.AtomsOf("area")), len(m.AtomsOf("edge")), len(m.AtomsOf("point")))
+	}
+	tw.Flush()
+	shared := states.SharedAtoms()
+	fmt.Fprintf(w, "shared subobjects across the %d state molecules: %d atoms appear in ≥2 molecules\n",
+		len(states), len(shared))
+	fmt.Fprintf(w, "total component atoms %d vs distinct atoms %d (overlap = non-disjoint atom sets)\n\n",
+		states.TotalAtoms(), states.DistinctAtoms())
+
+	types, edges := pointNeighborhoodDesc()
+	pn, err := core.Define(s.DB, "point-neighborhood", types, edges)
+	if err != nil {
+		return err
+	}
+	dv, err := pn.Deriver()
+	if err != nil {
+		return err
+	}
+	m, err := dv.DeriveFor(s.PN)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "molecule type 'point neighborhood' rooted at point \"pn\" (structure %s)\n", pn.Desc())
+	fmt.Fprintf(w, "  states reached: %s\n", strings.Join(stateAbbrevs(s.DB, m), " "))
+	var rivers []string
+	for _, id := range m.AtomsOf("river") {
+		a, _ := s.DB.GetAtom("river", id)
+		name, _ := a.Get(0).AsString()
+		rivers = append(rivers, name)
+	}
+	fmt.Fprintf(w, "  rivers reached: %s\n", strings.Join(rivers, " "))
+	fmt.Fprintf(w, "  (paper's Fig. 2 shows this molecule reaching SP MS MG GO and Parana)\n")
+	fmt.Fprintf(w, "\nrendered molecule:\n%s", m.Format(s.DB))
+	return nil
+}
+
+// RunF3 prints the Fig. 3 correspondence of relational and MAD concepts,
+// checking each MAD-side concept against the implementation.
+func RunF3(w io.Writer, _ int) error {
+	header(w, "F3", "corresponding concepts")
+	rows := [][2]string{
+		{"attribute", "attribute"},
+		{"attribute domain", "attribute domain"},
+		{"relation schema", "atom-type description"},
+		{"tuple set", "atom-type occurrence"},
+		{"tuple", "atom"},
+		{"relation", "atom type"},
+		{"database", "database"},
+		{"—", "link"},
+		{"—", "link-type description"},
+		{"—", "link-type occurrence"},
+		{"—", "link type"},
+		{"referential integrity (?)", "referential integrity (!)"},
+		{"'relation domain'", "database domain"},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "relational concepts\tMAD concepts")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r[0], r[1])
+	}
+	tw.Flush()
+	// Back the "(!)" claim: deleting a linked atom cascades, so no
+	// dangling links can exist.
+	s, err := sampleOrErr()
+	if err != nil {
+		return err
+	}
+	dropped, err := s.DB.DeleteAtom("state", s.States["SP"])
+	if err != nil {
+		return err
+	}
+	if err := s.DB.CheckIntegrity(); err != nil {
+		return fmt.Errorf("integrity after delete: %w", err)
+	}
+	fmt.Fprintf(w, "\nreferential integrity check: deleting state SP dropped %d incident link(s); integrity holds.\n", dropped)
+	return nil
+}
+
+// RunF4 renders the formal specification of the geographic database in
+// the paper's AT*/LT*/DB* notation.
+func RunF4(w io.Writer, _ int) error {
+	s, err := sampleOrErr()
+	if err != nil {
+		return err
+	}
+	header(w, "F4", "GEO_DB = <AT, LT> ∈ DB*")
+	schema := s.DB.Schema()
+	for _, at := range schema.AtomTypes() {
+		c, _ := s.DB.Container(at.Name)
+		fmt.Fprintf(w, "%s = <%s, %s, {%d atoms}> ∈ AT*\n", at.Name, at.Name, at.Desc, c.Len())
+	}
+	fmt.Fprintln(w)
+	for _, lt := range schema.LinkTypes() {
+		ls, _ := s.DB.LinkStore(lt.Name)
+		sampleLinks := ""
+		n := 0
+		ls.Scan(func(l model.Link) bool {
+			if n < 3 {
+				sampleLinks += l.String() + ", "
+			}
+			n++
+			return n <= 3
+		})
+		fmt.Fprintf(w, "%s = <%s, {%s, %s}, {%s…}> ∈ LT* (%d links)\n",
+			lt.Name, lt.Name, lt.Desc.SideA, lt.Desc.SideB, sampleLinks, ls.Len())
+	}
+	var atNames, ltNames []string
+	for _, at := range schema.AtomTypes() {
+		atNames = append(atNames, at.Name)
+	}
+	for _, lt := range schema.LinkTypes() {
+		ltNames = append(ltNames, lt.Name)
+	}
+	fmt.Fprintf(w, "\nGEO_DB = <{%s}, {%s}> ∈ DB*\n",
+		strings.Join(atNames, ", "), strings.Join(ltNames, ", "))
+	return nil
+}
+
+// RunF5 traces each molecule-type operation, exhibiting the Fig. 5
+// anatomy: operation-specific action → propagation (prop) → definition α.
+func RunF5(w io.Writer, _ int) error {
+	s, err := sampleOrErr()
+	if err != nil {
+		return err
+	}
+	header(w, "F5", "every operation factors through prop and α")
+	mt, err := defineMtState(s.DB, "mt_state")
+	if err != nil {
+		return err
+	}
+	pred := expr.Cmp{Op: expr.GT,
+		L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(model.Float(300))}
+
+	trace := &core.OpTrace{}
+	big, err := core.Restrict(mt, pred, "", trace)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, trace.String())
+
+	trace = &core.OpTrace{}
+	if _, err := core.Project(mt, core.Projection{Keep: []string{"state", "area"}}, "", trace); err != nil {
+		return err
+	}
+	fmt.Fprint(w, trace.String())
+
+	small, err := core.Restrict(mt, expr.Not{E: pred}, "", nil)
+	if err != nil {
+		return err
+	}
+	trace = &core.OpTrace{}
+	if _, err := core.Union(big, small, "", trace); err != nil {
+		return err
+	}
+	fmt.Fprint(w, trace.String())
+
+	trace = &core.OpTrace{}
+	if _, err := core.Difference(big, small, "", trace); err != nil {
+		return err
+	}
+	fmt.Fprint(w, trace.String())
+
+	sa, err := core.Define(s.DB, "", []string{"river", "net"},
+		[]core.DirectedLink{{Link: "river-net", From: "river", To: "net"}})
+	if err != nil {
+		return err
+	}
+	trace = &core.OpTrace{}
+	if _, err := core.Product(big, sa, "", trace); err != nil {
+		return err
+	}
+	fmt.Fprint(w, trace.String())
+	return nil
+}
+
+// sortedKeys is a tiny helper for deterministic map iteration in reports.
+func sortedKeys[M ~map[string]int](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

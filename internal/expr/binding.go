@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+)
+
+// AtomBinding binds one atom of a known type for the atom-level predicate
+// qual(restr(ad), a) of Definition 4. Attribute references may be
+// unqualified or qualified with the bound type's name.
+type AtomBinding struct {
+	TypeName string
+	Desc     *model.Desc
+	Atom     model.Atom
+}
+
+// Resolve returns the single value of the referenced attribute.
+func (b AtomBinding) Resolve(typeName, attr string) ([]model.Value, error) {
+	if typeName != "" && typeName != b.TypeName {
+		return nil, fmt.Errorf("expr: atom type %q not in scope (bound: %q)", typeName, b.TypeName)
+	}
+	i, ok := b.Desc.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("expr: atom type %q has no attribute %q", b.TypeName, attr)
+	}
+	return []model.Value{b.Atom.Get(i)}, nil
+}
+
+// Count reports 1 for the bound type, errors otherwise.
+func (b AtomBinding) Count(typeName string) (int, error) {
+	if typeName != b.TypeName {
+		return 0, fmt.Errorf("expr: atom type %q not in scope (bound: %q)", typeName, b.TypeName)
+	}
+	return 1, nil
+}
+
+// Scope describes what names an expression may reference, for static
+// validation before execution. Implementations: a single atom type, or a
+// molecule-type description spanning several atom types.
+type Scope interface {
+	// ResolveAttr returns the kind of the referenced attribute, resolving
+	// unqualified names when unambiguous.
+	ResolveAttr(typeName, attr string) (model.Kind, error)
+	// HasType reports whether the named atom type is in scope.
+	HasType(typeName string) bool
+}
+
+// Check statically validates e against the scope: attribute references
+// must resolve, EXISTS/ALL/COUNT must name in-scope types. It reports the
+// first violation, or nil.
+func Check(e Expr, s Scope) error {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case Const:
+		return nil
+	case Attr:
+		_, err := s.ResolveAttr(n.Type, n.Name)
+		return err
+	case Cmp:
+		if err := Check(n.L, s); err != nil {
+			return err
+		}
+		return Check(n.R, s)
+	case And:
+		if err := Check(n.L, s); err != nil {
+			return err
+		}
+		return Check(n.R, s)
+	case Or:
+		if err := Check(n.L, s); err != nil {
+			return err
+		}
+		return Check(n.R, s)
+	case Not:
+		return Check(n.E, s)
+	case Arith:
+		if err := Check(n.L, s); err != nil {
+			return err
+		}
+		return Check(n.R, s)
+	case Exists:
+		if !s.HasType(n.Type) {
+			return fmt.Errorf("expr: EXISTS(%s): type not in scope", n.Type)
+		}
+		return nil
+	case CountOf:
+		if !s.HasType(n.Type) {
+			return fmt.Errorf("expr: COUNT(%s): type not in scope", n.Type)
+		}
+		return nil
+	case All:
+		if err := Check(n.Attr, s); err != nil {
+			return err
+		}
+		return Check(n.R, s)
+	case Func:
+		for _, a := range n.Args {
+			if err := Check(a, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("expr: unknown node %T", e)
+}
+
+// AtomScope is the Scope of a single atom type.
+type AtomScope struct {
+	TypeName string
+	Desc     *model.Desc
+}
+
+// ResolveAttr resolves against the single type.
+func (s AtomScope) ResolveAttr(typeName, attr string) (model.Kind, error) {
+	if typeName != "" && typeName != s.TypeName {
+		return model.KNull, fmt.Errorf("expr: atom type %q not in scope (bound: %q)", typeName, s.TypeName)
+	}
+	i, ok := s.Desc.Lookup(attr)
+	if !ok {
+		return model.KNull, fmt.Errorf("expr: atom type %q has no attribute %q", s.TypeName, attr)
+	}
+	return s.Desc.Attr(i).Kind, nil
+}
+
+// HasType reports scope membership.
+func (s AtomScope) HasType(typeName string) bool { return typeName == s.TypeName }
+
+// References collects the attribute references of e, in syntactic order.
+// The optimizer uses it to decide whether a molecule qualification touches
+// only the root type (and may therefore be pushed below derivation).
+func References(e Expr) []Attr {
+	var out []Attr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Attr:
+			out = append(out, n)
+		case Cmp:
+			walk(n.L)
+			walk(n.R)
+		case And:
+			walk(n.L)
+			walk(n.R)
+		case Or:
+			walk(n.L)
+			walk(n.R)
+		case Not:
+			walk(n.E)
+		case Arith:
+			walk(n.L)
+			walk(n.R)
+		case All:
+			walk(n.Attr)
+			walk(n.R)
+		case Func:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// TypesReferenced collects the distinct atom-type names mentioned by e,
+// including quantifier and aggregate targets; unqualified references
+// contribute "".
+func TypesReferenced(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Attr:
+			out[n.Type] = true
+		case Cmp:
+			walk(n.L)
+			walk(n.R)
+		case And:
+			walk(n.L)
+			walk(n.R)
+		case Or:
+			walk(n.L)
+			walk(n.R)
+		case Not:
+			walk(n.E)
+		case Arith:
+			walk(n.L)
+			walk(n.R)
+		case Exists:
+			out[n.Type] = true
+		case CountOf:
+			out[n.Type] = true
+		case All:
+			walk(n.Attr)
+			walk(n.R)
+		case Func:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

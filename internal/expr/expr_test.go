@@ -1,0 +1,228 @@
+package expr_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/expr"
+	"mad/internal/model"
+)
+
+// binding over one atom of a small type.
+func binding() expr.AtomBinding {
+	desc := model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString},
+		model.AttrDesc{Name: "size", Kind: model.KInt},
+		model.AttrDesc{Name: "ratio", Kind: model.KFloat},
+		model.AttrDesc{Name: "ok", Kind: model.KBool},
+	)
+	return expr.AtomBinding{
+		TypeName: "t",
+		Desc:     desc,
+		Atom: model.NewAtom(model.MakeAtomID(1, 1),
+			model.Str("widget"), model.Int(7), model.Float(0.5), model.Bool(true)),
+	}
+}
+
+func evalBool(t *testing.T, e expr.Expr) bool {
+	t.Helper()
+	ok, err := expr.EvalPredicate(e, binding())
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return ok
+}
+
+func TestComparisons(t *testing.T) {
+	attr := func(n string) expr.Attr { return expr.Attr{Name: n} }
+	tests := []struct {
+		e    expr.Expr
+		want bool
+	}{
+		{expr.Cmp{Op: expr.EQ, L: attr("name"), R: expr.Lit(model.Str("widget"))}, true},
+		{expr.Cmp{Op: expr.NE, L: attr("name"), R: expr.Lit(model.Str("gadget"))}, true},
+		{expr.Cmp{Op: expr.GT, L: attr("size"), R: expr.Lit(model.Int(3))}, true},
+		{expr.Cmp{Op: expr.LE, L: attr("size"), R: expr.Lit(model.Int(7))}, true},
+		{expr.Cmp{Op: expr.LT, L: attr("ratio"), R: expr.Lit(model.Float(0.6))}, true},
+		{expr.Cmp{Op: expr.GE, L: attr("size"), R: expr.Lit(model.Float(7.5))}, false},
+		// int/float cross comparison
+		{expr.Cmp{Op: expr.EQ, L: attr("size"), R: expr.Lit(model.Float(7.0))}, true},
+	}
+	for _, tc := range tests {
+		if got := evalBool(t, tc.e); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestNullComparesToNothing(t *testing.T) {
+	desc := model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})
+	b := expr.AtomBinding{TypeName: "t", Desc: desc,
+		Atom: model.NewAtom(model.MakeAtomID(1, 1), model.Null())}
+	eq := expr.Cmp{Op: expr.EQ, L: expr.Attr{Name: "v"}, R: expr.Lit(model.Int(1))}
+	ne := expr.Cmp{Op: expr.NE, L: expr.Attr{Name: "v"}, R: expr.Lit(model.Int(1))}
+	for _, e := range []expr.Expr{eq, ne} {
+		ok, err := expr.EvalPredicate(e, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s over null must be false", e)
+		}
+	}
+}
+
+func TestLogic(t *testing.T) {
+	tr := expr.Lit(model.Bool(true))
+	fa := expr.Lit(model.Bool(false))
+	if !evalBool(t, expr.And{L: tr, R: tr}) || evalBool(t, expr.And{L: tr, R: fa}) {
+		t.Fatal("AND broken")
+	}
+	if !evalBool(t, expr.Or{L: fa, R: tr}) || evalBool(t, expr.Or{L: fa, R: fa}) {
+		t.Fatal("OR broken")
+	}
+	if evalBool(t, expr.Not{E: tr}) || !evalBool(t, expr.Not{E: fa}) {
+		t.Fatal("NOT broken")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	attr := expr.Attr{Name: "size"}
+	e := expr.Cmp{Op: expr.EQ,
+		L: expr.Arith{Op: expr.Add, L: attr, R: expr.Lit(model.Int(3))},
+		R: expr.Lit(model.Int(10))}
+	if !evalBool(t, e) {
+		t.Fatal("7+3 != 10 ?")
+	}
+	// Integer arithmetic stays integral.
+	div := expr.Arith{Op: expr.Div, L: expr.Lit(model.Int(7)), R: expr.Lit(model.Int(2))}
+	vs, err := div.Eval(binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := vs[0].AsInt(); !ok || i != 3 {
+		t.Fatalf("7/2 = %s", vs[0])
+	}
+	// Mixed promotes to float.
+	mix := expr.Arith{Op: expr.Mul, L: expr.Attr{Name: "ratio"}, R: expr.Lit(model.Int(4))}
+	vs, err = mix.Eval(binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := vs[0].AsFloat(); !ok || f != 2.0 {
+		t.Fatalf("0.5*4 = %s", vs[0])
+	}
+	// Division by zero errors.
+	if _, err := (expr.Arith{Op: expr.Div, L: expr.Lit(model.Int(1)), R: expr.Lit(model.Int(0))}).Eval(binding()); err == nil {
+		t.Fatal("division by zero must fail")
+	}
+	if _, err := (expr.Arith{Op: expr.Mod, L: expr.Lit(model.Int(1)), R: expr.Lit(model.Int(0))}).Eval(binding()); err == nil {
+		t.Fatal("modulo by zero must fail")
+	}
+	// Arithmetic over strings errors.
+	if _, err := (expr.Arith{Op: expr.Add, L: expr.Attr{Name: "name"}, R: expr.Lit(model.Int(1))}).Eval(binding()); err == nil {
+		t.Fatal("string arithmetic must fail")
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	cases := []struct {
+		e    expr.Expr
+		want model.Value
+	}{
+		{expr.Func{Name: "LEN", Args: []expr.Expr{expr.Attr{Name: "name"}}}, model.Int(6)},
+		{expr.Func{Name: "UPPER", Args: []expr.Expr{expr.Attr{Name: "name"}}}, model.Str("WIDGET")},
+		{expr.Func{Name: "lower", Args: []expr.Expr{expr.Lit(model.Str("ABC"))}}, model.Str("abc")},
+		{expr.Func{Name: "ABS", Args: []expr.Expr{expr.Lit(model.Int(-4))}}, model.Int(4)},
+		{expr.Func{Name: "ABS", Args: []expr.Expr{expr.Lit(model.Float(-2.5))}}, model.Float(2.5)},
+		{expr.Func{Name: "CONTAINS", Args: []expr.Expr{expr.Attr{Name: "name"}, expr.Lit(model.Str("dge"))}}, model.Bool(true)},
+		{expr.Func{Name: "PREFIX", Args: []expr.Expr{expr.Attr{Name: "name"}, expr.Lit(model.Str("wid"))}}, model.Bool(true)},
+		{expr.Func{Name: "SUFFIX", Args: []expr.Expr{expr.Attr{Name: "name"}, expr.Lit(model.Str("get"))}}, model.Bool(true)},
+	}
+	for _, tc := range cases {
+		vs, err := tc.e.Eval(binding())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.e, err)
+		}
+		if !vs[0].Equal(tc.want) {
+			t.Errorf("%s = %s, want %s", tc.e, vs[0], tc.want)
+		}
+	}
+	// Errors.
+	if _, err := (expr.Func{Name: "NOPE"}).Eval(binding()); err == nil {
+		t.Fatal("unknown function must fail")
+	}
+	if _, err := (expr.Func{Name: "LEN", Args: []expr.Expr{expr.Lit(model.Int(1))}}).Eval(binding()); err == nil {
+		t.Fatal("LEN of int must fail")
+	}
+	if _, err := (expr.Func{Name: "LEN"}).Eval(binding()); err == nil {
+		t.Fatal("arity error must fail")
+	}
+}
+
+func TestCheckScope(t *testing.T) {
+	scope := expr.AtomScope{TypeName: "t", Desc: model.MustDesc(
+		model.AttrDesc{Name: "a", Kind: model.KInt},
+	)}
+	good := expr.Cmp{Op: expr.EQ, L: expr.Attr{Name: "a"}, R: expr.Lit(model.Int(1))}
+	if err := expr.Check(good, scope); err != nil {
+		t.Fatal(err)
+	}
+	bad := expr.Cmp{Op: expr.EQ, L: expr.Attr{Name: "zz"}, R: expr.Lit(model.Int(1))}
+	if err := expr.Check(bad, scope); err == nil {
+		t.Fatal("unknown attr must fail Check")
+	}
+	if err := expr.Check(expr.Exists{Type: "other"}, scope); err == nil {
+		t.Fatal("EXISTS of out-of-scope type must fail")
+	}
+	if err := expr.Check(nil, scope); err != nil {
+		t.Fatal("nil predicate is valid")
+	}
+}
+
+func TestReferencesAndTypes(t *testing.T) {
+	e := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "a", Name: "x"}, R: expr.Lit(model.Int(1))},
+		R: expr.Or{
+			L: expr.Exists{Type: "b"},
+			R: expr.Cmp{Op: expr.GT, L: expr.CountOf{Type: "c"}, R: expr.Lit(model.Int(2))},
+		},
+	}
+	refs := expr.References(e)
+	if len(refs) != 1 || refs[0].Type != "a" {
+		t.Fatalf("refs = %v", refs)
+	}
+	types := expr.TypesReferenced(e)
+	for _, want := range []string{"a", "b", "c"} {
+		if !types[want] {
+			t.Errorf("type %q missing from %v", want, types)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "point", Name: "name"}, R: expr.Lit(model.Str("pn"))},
+		R: expr.Not{E: expr.Exists{Type: "net"}},
+	}
+	s := e.String()
+	for _, want := range []string{"point.name", `"pn"`, "NOT", "EXISTS(net)", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAllQuantifier(t *testing.T) {
+	// Multi-valued binding via a fake: reuse AtomBinding twice through a
+	// molecule-like binding is exercised in core tests; here check the
+	// vacuous and single-value paths.
+	a := expr.All{Attr: expr.Attr{Name: "size"}, Op: expr.GT, R: expr.Lit(model.Int(3))}
+	if !evalBool(t, a) {
+		t.Fatal("ALL over single satisfying value must hold")
+	}
+	b := expr.All{Attr: expr.Attr{Name: "size"}, Op: expr.GT, R: expr.Lit(model.Int(100))}
+	if evalBool(t, b) {
+		t.Fatal("ALL must fail when a value violates")
+	}
+}

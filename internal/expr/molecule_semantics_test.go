@@ -1,0 +1,157 @@
+package expr_test
+
+import (
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/geo"
+	"mad/internal/model"
+)
+
+// moleculeBinding derives one mt_state molecule from the Fig. 1 sample and
+// returns its binding — the multi-valued case of the qualification
+// semantics (one value per component atom).
+func moleculeBinding(t *testing.T) (core.Binding, *geo.Sample) {
+	t.Helper()
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(s.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dv.DeriveFor(s.States["MG"]) // MG touches the pn junction
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Binding{DB: s.DB, M: m}, s
+}
+
+func TestExistentialComparisonOverMolecule(t *testing.T) {
+	b, _ := moleculeBinding(t)
+	// SOME point of the MG molecule is named pn.
+	some := expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "point", Name: "name"},
+		R: expr.Lit(model.Str("pn"))}
+	ok, err := expr.EvalPredicate(some, b)
+	if err != nil || !ok {
+		t.Fatalf("existential failed: %v %v", ok, err)
+	}
+	// No point is named 'nope'.
+	none := expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "point", Name: "name"},
+		R: expr.Lit(model.Str("nope"))}
+	ok, err = expr.EvalPredicate(none, b)
+	if err != nil || ok {
+		t.Fatalf("existential leaked: %v %v", ok, err)
+	}
+	// NOT over existential: "no point is named nope" holds.
+	ok, err = expr.EvalPredicate(expr.Not{E: none}, b)
+	if err != nil || !ok {
+		t.Fatal("negated existential failed")
+	}
+}
+
+func TestAllQuantifierOverMolecule(t *testing.T) {
+	b, _ := moleculeBinding(t)
+	// Every point name starts with 'p' in the sample.
+	all := expr.All{
+		Attr: expr.Attr{Type: "point", Name: "name"},
+		Op:   expr.GE,
+		R:    expr.Lit(model.Str("p")),
+	}
+	ok, err := expr.EvalPredicate(all, b)
+	if err != nil || !ok {
+		t.Fatalf("ALL failed: %v %v", ok, err)
+	}
+	// Not every point is exactly 'pn'.
+	allPn := expr.All{
+		Attr: expr.Attr{Type: "point", Name: "name"},
+		Op:   expr.EQ,
+		R:    expr.Lit(model.Str("pn")),
+	}
+	ok, err = expr.EvalPredicate(allPn, b)
+	if err != nil || ok {
+		t.Fatal("ALL must fail when one component violates")
+	}
+	// Contrast with the existential default, which holds.
+	some := expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "point", Name: "name"},
+		R: expr.Lit(model.Str("pn"))}
+	ok, _ = expr.EvalPredicate(some, b)
+	if !ok {
+		t.Fatal("existential counterpart must hold")
+	}
+}
+
+func TestArithmeticRejectsMultiValue(t *testing.T) {
+	b, _ := moleculeBinding(t)
+	// point.x is multi-valued in the molecule: arithmetic must refuse it
+	// with a hint toward EXISTS/ALL.
+	bad := expr.Arith{Op: expr.Add,
+		L: expr.Attr{Type: "point", Name: "x"},
+		R: expr.Lit(model.Int(1))}
+	if _, err := bad.Eval(b); err == nil {
+		t.Fatal("multi-valued arithmetic must fail")
+	}
+	// Root attributes are single-valued: arithmetic works.
+	good := expr.Cmp{Op: expr.GT,
+		L: expr.Arith{Op: expr.Mul,
+			L: expr.Attr{Type: "state", Name: "hectare"},
+			R: expr.Lit(model.Int(2))},
+		R: expr.Lit(model.Float(1000))}
+	ok, err := expr.EvalPredicate(good, b)
+	if err != nil || !ok { // MG: 900*2 > 1000
+		t.Fatalf("single-valued arithmetic failed: %v %v", ok, err)
+	}
+}
+
+func TestCountAndExistsOverMolecule(t *testing.T) {
+	b, _ := moleculeBinding(t)
+	cnt := expr.Cmp{Op: expr.GE, L: expr.CountOf{Type: "edge"}, R: expr.Lit(model.Int(3))}
+	ok, err := expr.EvalPredicate(cnt, b)
+	if err != nil || !ok { // MG has 3 edges in the sample
+		t.Fatalf("COUNT failed: %v %v", ok, err)
+	}
+	ok, err = expr.EvalPredicate(expr.Exists{Type: "point"}, b)
+	if err != nil || !ok {
+		t.Fatal("EXISTS failed")
+	}
+	if _, err := (expr.Exists{Type: "river"}).Eval(b); err == nil {
+		t.Fatal("EXISTS of out-of-structure type must fail")
+	}
+}
+
+func TestCheckAgainstMoleculeScope(t *testing.T) {
+	b, s := moleculeBinding(t)
+	scope := core.Scope{DB: s.DB, Desc: b.M.Desc()}
+	good := expr.And{
+		L: expr.Cmp{Op: expr.GT, L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(model.Float(0))},
+		R: expr.Exists{Type: "edge"},
+	}
+	if err := expr.Check(good, scope); err != nil {
+		t.Fatal(err)
+	}
+	// Unqualified unique attribute resolves; ambiguous one fails.
+	if err := expr.Check(expr.Cmp{Op: expr.GT, L: expr.Attr{Name: "hectare"}, R: expr.Lit(model.Float(0))}, scope); err != nil {
+		t.Fatalf("unique unqualified: %v", err)
+	}
+	if err := expr.Check(expr.Cmp{Op: expr.EQ, L: expr.Attr{Name: "name"}, R: expr.Lit(model.Str("x"))}, scope); err == nil {
+		t.Fatal("ambiguous unqualified must fail Check")
+	}
+	if err := expr.Check(expr.Exists{Type: "river"}, scope); err == nil {
+		t.Fatal("out-of-structure EXISTS must fail Check")
+	}
+}

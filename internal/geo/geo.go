@@ -1,0 +1,294 @@
+// Package geo builds the paper's running example: the cartographic
+// database of Fig. 1 / Fig. 4 (Brazil, its states, rivers, areas, nets,
+// edges and points) in which different complex objects share a common
+// geographical model — "different complex objects are contained in one
+// schema sharing common subobjects" — plus a deterministic synthetic
+// generator that scales the same shape up for benchmarks, with a
+// controllable sharing degree.
+package geo
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Schema declares the geographic schema of Fig. 4 on the database:
+//
+//	atom types: state, river, city, area, net, edge, point
+//	link types: state-area, river-net, city-point,
+//	            area-edge, net-edge, edge-point
+func Schema(db *storage.Database) error {
+	atomTypes := []struct {
+		name string
+		desc *model.Desc
+	}{
+		{"state", model.MustDesc(
+			model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+			model.AttrDesc{Name: "abbrev", Kind: model.KString, NotNull: true},
+			model.AttrDesc{Name: "hectare", Kind: model.KFloat},
+		)},
+		{"river", model.MustDesc(
+			model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+			model.AttrDesc{Name: "length", Kind: model.KFloat},
+		)},
+		{"city", model.MustDesc(
+			model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+			model.AttrDesc{Name: "population", Kind: model.KInt},
+		)},
+		{"area", model.MustDesc(
+			model.AttrDesc{Name: "tag", Kind: model.KString, NotNull: true},
+		)},
+		{"net", model.MustDesc(
+			model.AttrDesc{Name: "tag", Kind: model.KString, NotNull: true},
+		)},
+		{"edge", model.MustDesc(
+			model.AttrDesc{Name: "tag", Kind: model.KString, NotNull: true},
+		)},
+		{"point", model.MustDesc(
+			model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+			model.AttrDesc{Name: "x", Kind: model.KFloat},
+			model.AttrDesc{Name: "y", Kind: model.KFloat},
+		)},
+	}
+	for _, at := range atomTypes {
+		if _, err := db.DefineAtomType(at.name, at.desc); err != nil {
+			return err
+		}
+	}
+	linkTypes := []struct {
+		name string
+		desc model.LinkDesc
+	}{
+		{"state-area", model.LinkDesc{SideA: "state", SideB: "area"}},
+		{"river-net", model.LinkDesc{SideA: "river", SideB: "net"}},
+		{"city-point", model.LinkDesc{SideA: "city", SideB: "point"}},
+		{"area-edge", model.LinkDesc{SideA: "area", SideB: "edge"}},
+		{"net-edge", model.LinkDesc{SideA: "net", SideB: "edge"}},
+		{"edge-point", model.LinkDesc{SideA: "edge", SideB: "point"}},
+	}
+	for _, lt := range linkTypes {
+		if _, err := db.DefineLinkType(lt.name, lt.desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample is the concrete Fig. 1 database with handles to the named atoms.
+type Sample struct {
+	DB     *storage.Database
+	States map[string]model.AtomID // by abbreviation
+	Areas  map[string]model.AtomID // by owning state abbreviation
+	Rivers map[string]model.AtomID // by name
+	Nets   map[string]model.AtomID // by owning river name
+	Cities map[string]model.AtomID // by name
+	PN     model.AtomID            // the point named "pn" of the Fig. 2 query
+}
+
+// stateData reproduces the states of Fig. 1 (hectare figures are the
+// states' approximate areas in thousands of km², scaled so that the
+// paper's example restriction hectare > 1000 selects a proper subset).
+var stateData = []struct {
+	name, abbrev string
+	hectare      float64
+}{
+	{"Minas Gerais", "MG", 900},
+	{"Bahia", "BA", 1000},
+	{"Goias", "GO", 340},
+	{"Mato Grosso do Sul", "MS", 357},
+	{"Espirito Santo", "ES", 46},
+	{"Rio de Janeiro", "RJ", 43},
+	{"Sao Paulo", "SP", 248},
+	{"Parana", "PR", 199},
+	{"Santa Catarina", "SC", 95},
+	{"Rio Grande do Sul", "RS", 281},
+}
+
+var riverData = []struct {
+	name   string
+	length float64
+}{
+	{"Parana", 4880},
+	{"Amazonas", 6992},
+	{"Uruguai", 1838},
+}
+
+// BuildSample constructs the Fig. 1 database occurrence: ten states with
+// their areas, three rivers with their nets, border edges shared between
+// neighbouring areas, river courses sharing edges with state borders (the
+// river Parana shares edge and point tuples with Minas Gerais, Sao Paulo
+// and Parana, exactly as the paper describes), and the point "pn" where
+// the states SP, MS, MG and GO meet and the Parana passes — the root of
+// the Fig. 2 "point neighborhood" molecule.
+func BuildSample() (*Sample, error) {
+	db := storage.NewDatabase()
+	if err := Schema(db); err != nil {
+		return nil, err
+	}
+	s := &Sample{
+		DB:     db,
+		States: make(map[string]model.AtomID),
+		Areas:  make(map[string]model.AtomID),
+		Rivers: make(map[string]model.AtomID),
+		Nets:   make(map[string]model.AtomID),
+		Cities: make(map[string]model.AtomID),
+	}
+	for _, sd := range stateData {
+		id, err := db.InsertAtom("state", model.Str(sd.name), model.Str(sd.abbrev), model.Float(sd.hectare))
+		if err != nil {
+			return nil, err
+		}
+		s.States[sd.abbrev] = id
+		aid, err := db.InsertAtom("area", model.Str("a_"+sd.abbrev))
+		if err != nil {
+			return nil, err
+		}
+		s.Areas[sd.abbrev] = aid
+		if err := db.Connect("state-area", id, aid); err != nil {
+			return nil, err
+		}
+	}
+	for _, rd := range riverData {
+		id, err := db.InsertAtom("river", model.Str(rd.name), model.Float(rd.length))
+		if err != nil {
+			return nil, err
+		}
+		s.Rivers[rd.name] = id
+		nid, err := db.InsertAtom("net", model.Str("n_"+rd.name))
+		if err != nil {
+			return nil, err
+		}
+		s.Nets[rd.name] = nid
+		if err := db.Connect("river-net", id, nid); err != nil {
+			return nil, err
+		}
+	}
+
+	// Helper constructors.
+	point := func(name string, x, y float64) (model.AtomID, error) {
+		return db.InsertAtom("point", model.Str(name), model.Float(x), model.Float(y))
+	}
+	edge := func(tag string, p1, p2 model.AtomID) (model.AtomID, error) {
+		id, err := db.InsertAtom("edge", model.Str(tag))
+		if err != nil {
+			return 0, err
+		}
+		if err := db.Connect("edge-point", id, p1); err != nil {
+			return 0, err
+		}
+		if err := db.Connect("edge-point", id, p2); err != nil {
+			return 0, err
+		}
+		return id, nil
+	}
+
+	// The pn junction: four edges radiate from pn into the areas of SP,
+	// MS, MG and GO; the Parana's net runs along two of them.
+	pn, err := point("pn", 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.PN = pn
+	junction := []struct {
+		abbrev  string
+		onRiver bool
+	}{
+		{"SP", true}, {"MS", false}, {"MG", true}, {"GO", false},
+	}
+	for i, j := range junction {
+		far, err := point(fmt.Sprintf("p_%s_far", j.abbrev), float64(i+1), 0)
+		if err != nil {
+			return nil, err
+		}
+		e, err := edge("e_pn_"+j.abbrev, pn, far)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Connect("area-edge", s.Areas[j.abbrev], e); err != nil {
+			return nil, err
+		}
+		if j.onRiver {
+			if err := db.Connect("net-edge", s.Nets["Parana"], e); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Shared border edges between neighbouring states (ring order of
+	// stateData): edge b_i belongs to area_i and area_{i+1}.
+	prevPts := make([]model.AtomID, len(stateData))
+	for i := range stateData {
+		p, err := point(fmt.Sprintf("p_border_%d", i), float64(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		prevPts[i] = p
+	}
+	for i := range stateData {
+		a1 := stateData[i].abbrev
+		a2 := stateData[(i+1)%len(stateData)].abbrev
+		e, err := edge(fmt.Sprintf("b_%s_%s", a1, a2), prevPts[i], prevPts[(i+1)%len(prevPts)])
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Connect("area-edge", s.Areas[a1], e); err != nil {
+			return nil, err
+		}
+		if err := db.Connect("area-edge", s.Areas[a2], e); err != nil {
+			return nil, err
+		}
+	}
+
+	// The Parana's course along the PR border (the third state the paper
+	// names as sharing with the river), plus private course edges; the
+	// Amazonas and Uruguai get private courses so every net is non-empty.
+	prE, err := edge("e_parana_PR", prevPts[7], prevPts[8])
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Connect("area-edge", s.Areas["PR"], prE); err != nil {
+		return nil, err
+	}
+	if err := db.Connect("net-edge", s.Nets["Parana"], prE); err != nil {
+		return nil, err
+	}
+	for _, rd := range riverData {
+		p1, err := point("p_"+rd.name+"_1", -1, -1)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := point("p_"+rd.name+"_2", -2, -2)
+		if err != nil {
+			return nil, err
+		}
+		e, err := edge("e_"+rd.name+"_course", p1, p2)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Connect("net-edge", s.Nets[rd.name], e); err != nil {
+			return nil, err
+		}
+	}
+
+	// A few cities as point-like objects.
+	for _, cd := range []struct {
+		name string
+		pop  int64
+	}{{"Sao Paulo City", 10000000}, {"Rio de Janeiro City", 6000000}, {"Curitiba", 1800000}} {
+		cid, err := db.InsertAtom("city", model.Str(cd.name), model.Int(cd.pop))
+		if err != nil {
+			return nil, err
+		}
+		s.Cities[cd.name] = cid
+		p, err := point("p_"+cd.name, 5, 5)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Connect("city-point", cid, p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,147 @@
+package geo_test
+
+import (
+	"testing"
+
+	"mad/internal/geo"
+	"mad/internal/model"
+)
+
+func TestSampleMatchesFig1(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DB.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 states, 3 rivers as in Fig. 1 / Fig. 4.
+	if n, _ := s.DB.CountAtoms("state"); n != 10 {
+		t.Fatalf("states = %d", n)
+	}
+	if n, _ := s.DB.CountAtoms("river"); n != 3 {
+		t.Fatalf("rivers = %d", n)
+	}
+	if n, _ := s.DB.CountAtoms("area"); n != 10 {
+		t.Fatalf("areas = %d", n)
+	}
+	if n, _ := s.DB.CountAtoms("net"); n != 3 {
+		t.Fatalf("nets = %d", n)
+	}
+	// Every state has exactly one area (1:1 in the sample).
+	for ab, st := range s.States {
+		partners, err := s.DB.Partners("state-area", st, true)
+		if err != nil || len(partners) != 1 {
+			t.Fatalf("state %s areas = %v, %v", ab, partners, err)
+		}
+	}
+	// The pn point exists and is named "pn".
+	a, ok := s.DB.GetAtom("point", s.PN)
+	if !ok {
+		t.Fatal("pn missing")
+	}
+	if name, _ := a.Get(0).AsString(); name != "pn" {
+		t.Fatalf("pn name = %q", name)
+	}
+	// The Parana's net shares edges with state areas: some edge has both
+	// an area partner and the Parana net as partner.
+	paranaNet := s.Nets["Parana"]
+	edges, err := s.DB.Partners("net-edge", paranaNet, true)
+	if err != nil || len(edges) == 0 {
+		t.Fatalf("Parana edges = %v, %v", edges, err)
+	}
+	shared := false
+	for _, e := range edges {
+		areas, _ := s.DB.Partners("area-edge", e, false)
+		if len(areas) > 0 {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		t.Fatal("the Parana must share edges with state borders (paper, Section 2)")
+	}
+}
+
+func TestSampleHectareRestriction(t *testing.T) {
+	// The paper's example σ[hectare>1000] must select a proper subset.
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := 0
+	if err := s.DB.ScanAtoms("state", func(a model.Atom) bool {
+		if h, _ := a.Get(2).AsFloat(); h > 500 {
+			over++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if over == 0 || over == 10 {
+		t.Fatalf("hectare distribution degenerate: %d over threshold", over)
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	bad := []geo.Config{
+		{States: 0, EdgesPerArea: 1, Sharing: 1},
+		{States: 1, EdgesPerArea: 0, Sharing: 1},
+		{States: 1, EdgesPerArea: 1, Sharing: 0},
+		{States: 1, EdgesPerArea: 1, Sharing: 1, Rivers: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := geo.BuildSynthetic(cfg); err == nil {
+			t.Errorf("config %+v must fail", cfg)
+		}
+	}
+}
+
+func TestSyntheticScalesAndShares(t *testing.T) {
+	cfg := geo.Config{States: 16, EdgesPerArea: 2, Sharing: 3, Rivers: 2, RiverEdges: 4}
+	syn, err := geo.BuildSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.DB.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if len(syn.States) != 16 || len(syn.Areas) != 16 {
+		t.Fatal("state/area counts wrong")
+	}
+	// Border edges have Sharing area partners.
+	be := syn.Edges[0] // first border edge
+	areas, err := syn.DB.Partners("area-edge", be, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != cfg.Sharing {
+		t.Fatalf("border edge area partners = %d, want %d", len(areas), cfg.Sharing)
+	}
+	// Deterministic: same config, same counts.
+	syn2, err := geo.BuildSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn2.DB.TotalAtoms() != syn.DB.TotalAtoms() || syn2.DB.TotalLinks() != syn.DB.TotalLinks() {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestSharingKnobMonotone(t *testing.T) {
+	base := geo.Config{States: 12, EdgesPerArea: 1, Sharing: 1, Rivers: 0}
+	links := make([]int, 0, 3)
+	for _, sh := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Sharing = sh
+		syn, err := geo.BuildSynthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := syn.DB.CountLinks("area-edge")
+		links = append(links, n)
+	}
+	if !(links[0] < links[1] && links[1] < links[2]) {
+		t.Fatalf("sharing knob not monotone: %v", links)
+	}
+}

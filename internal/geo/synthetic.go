@@ -1,0 +1,186 @@
+package geo
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Config parameterizes the synthetic cartography generator. The generator
+// is deterministic: the same configuration always produces the same
+// database, so benchmark series are reproducible.
+type Config struct {
+	// States is the number of state/area pairs (molecule roots for the
+	// mt_state structure).
+	States int
+	// EdgesPerArea is each area's private edge count.
+	EdgesPerArea int
+	// Sharing is the number of consecutive areas attached to each shared
+	// border edge; 1 disables sharing (purely hierarchical objects),
+	// larger values increase subobject overlap.
+	Sharing int
+	// Rivers is the number of river/net pairs.
+	Rivers int
+	// RiverEdges is how many existing border edges each river's net runs
+	// along (sharing between network-like and area-like objects).
+	RiverEdges int
+}
+
+// DefaultConfig returns a small but representative configuration.
+func DefaultConfig() Config {
+	return Config{States: 32, EdgesPerArea: 4, Sharing: 2, Rivers: 4, RiverEdges: 8}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.States < 1 {
+		return fmt.Errorf("geo: Config.States must be ≥ 1")
+	}
+	if c.EdgesPerArea < 1 {
+		return fmt.Errorf("geo: Config.EdgesPerArea must be ≥ 1")
+	}
+	if c.Sharing < 1 {
+		return fmt.Errorf("geo: Config.Sharing must be ≥ 1")
+	}
+	if c.Rivers < 0 || c.RiverEdges < 0 {
+		return fmt.Errorf("geo: river parameters must be ≥ 0")
+	}
+	return nil
+}
+
+// Synth is a synthetic cartographic database with its handles.
+type Synth struct {
+	DB     *storage.Database
+	Cfg    Config
+	States []model.AtomID
+	Areas  []model.AtomID
+	Rivers []model.AtomID
+	Nets   []model.AtomID
+	Edges  []model.AtomID
+	Points []model.AtomID
+}
+
+// BuildSynthetic generates a database of the Fig. 1 shape at the given
+// scale. Border edges are attached to Sharing consecutive areas (wrapping
+// around), so raising Sharing raises the number of molecules every edge
+// (and its points) participates in without changing the molecule count.
+func BuildSynthetic(cfg Config) (*Synth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := storage.NewDatabase()
+	if err := Schema(db); err != nil {
+		return nil, err
+	}
+	s := &Synth{DB: db, Cfg: cfg}
+
+	for i := 0; i < cfg.States; i++ {
+		st, err := db.InsertAtom("state",
+			model.Str(fmt.Sprintf("state%d", i)),
+			model.Str(fmt.Sprintf("S%d", i)),
+			model.Float(float64(100+i%1900)),
+		)
+		if err != nil {
+			return nil, err
+		}
+		s.States = append(s.States, st)
+		ar, err := db.InsertAtom("area", model.Str(fmt.Sprintf("a%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		s.Areas = append(s.Areas, ar)
+		if err := db.Connect("state-area", st, ar); err != nil {
+			return nil, err
+		}
+	}
+
+	// One shared border edge per area slot plus EdgesPerArea private
+	// edges; each edge has two points, shared edges reuse ring points.
+	ringPts := make([]model.AtomID, cfg.States)
+	for i := range ringPts {
+		p, err := db.InsertAtom("point",
+			model.Str(fmt.Sprintf("rp%d", i)), model.Float(float64(i)), model.Float(0))
+		if err != nil {
+			return nil, err
+		}
+		ringPts[i] = p
+		s.Points = append(s.Points, p)
+	}
+	var borderEdges []model.AtomID
+	for i := 0; i < cfg.States; i++ {
+		e, err := db.InsertAtom("edge", model.Str(fmt.Sprintf("be%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		borderEdges = append(borderEdges, e)
+		s.Edges = append(s.Edges, e)
+		if err := db.Connect("edge-point", e, ringPts[i]); err != nil {
+			return nil, err
+		}
+		if err := db.Connect("edge-point", e, ringPts[(i+1)%len(ringPts)]); err != nil {
+			return nil, err
+		}
+		for k := 0; k < cfg.Sharing; k++ {
+			if err := db.Connect("area-edge", s.Areas[(i+k)%cfg.States], e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < cfg.States; i++ {
+		for j := 0; j < cfg.EdgesPerArea; j++ {
+			p1, err := db.InsertAtom("point",
+				model.Str(fmt.Sprintf("pp%d_%d_1", i, j)), model.Float(float64(i)), model.Float(float64(j+1)))
+			if err != nil {
+				return nil, err
+			}
+			p2, err := db.InsertAtom("point",
+				model.Str(fmt.Sprintf("pp%d_%d_2", i, j)), model.Float(float64(i)), model.Float(float64(j+2)))
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, p1, p2)
+			e, err := db.InsertAtom("edge", model.Str(fmt.Sprintf("pe%d_%d", i, j)))
+			if err != nil {
+				return nil, err
+			}
+			s.Edges = append(s.Edges, e)
+			if err := db.Connect("edge-point", e, p1); err != nil {
+				return nil, err
+			}
+			if err := db.Connect("edge-point", e, p2); err != nil {
+				return nil, err
+			}
+			if err := db.Connect("area-edge", s.Areas[i], e); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Rivers run along existing border edges: net j takes RiverEdges
+	// border edges starting at offset j*RiverEdges (wrapping), so river
+	// courses and state borders share edge and point subobjects.
+	for j := 0; j < cfg.Rivers; j++ {
+		r, err := db.InsertAtom("river",
+			model.Str(fmt.Sprintf("river%d", j)), model.Float(float64(1000+j)))
+		if err != nil {
+			return nil, err
+		}
+		s.Rivers = append(s.Rivers, r)
+		n, err := db.InsertAtom("net", model.Str(fmt.Sprintf("n%d", j)))
+		if err != nil {
+			return nil, err
+		}
+		s.Nets = append(s.Nets, n)
+		if err := db.Connect("river-net", r, n); err != nil {
+			return nil, err
+		}
+		for k := 0; k < cfg.RiverEdges && len(borderEdges) > 0; k++ {
+			e := borderEdges[(j*cfg.RiverEdges+k)%len(borderEdges)]
+			if err := db.Connect("net-edge", n, e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

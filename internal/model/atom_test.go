@@ -1,0 +1,219 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomIDPacking(t *testing.T) {
+	tests := []struct {
+		tn  TypeNum
+		seq uint64
+	}{
+		{1, 1}, {7, 12345}, {65535, MaxSeq}, {0, 0},
+	}
+	for _, tc := range tests {
+		id := MakeAtomID(tc.tn, tc.seq)
+		if id.TypeNum() != tc.tn {
+			t.Errorf("TypeNum(%v) = %d, want %d", id, id.TypeNum(), tc.tn)
+		}
+		if id.Seq() != tc.seq {
+			t.Errorf("Seq(%v) = %d, want %d", id, id.Seq(), tc.seq)
+		}
+	}
+	if MakeAtomID(0, 0).Valid() {
+		t.Fatal("zero id must be invalid")
+	}
+	if !MakeAtomID(1, 1).Valid() {
+		t.Fatal("issued id must be valid")
+	}
+}
+
+func TestNewDescValidation(t *testing.T) {
+	if _, err := NewDesc(AttrDesc{Name: "", Kind: KInt}); err == nil {
+		t.Fatal("empty attribute name must fail")
+	}
+	if _, err := NewDesc(
+		AttrDesc{Name: "a", Kind: KInt},
+		AttrDesc{Name: "a", Kind: KString},
+	); err == nil {
+		t.Fatal("duplicate attribute name must fail")
+	}
+	if _, err := NewDesc(AttrDesc{Name: "a", Kind: KNull}); err == nil {
+		t.Fatal("null kind must fail")
+	}
+	d, err := NewDesc(
+		AttrDesc{Name: "name", Kind: KString, NotNull: true},
+		AttrDesc{Name: "size", Kind: KInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if i, ok := d.Lookup("size"); !ok || i != 1 {
+		t.Fatalf("Lookup(size) = %d, %v", i, ok)
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown attr must fail")
+	}
+}
+
+func TestDescProjectConcatPrefix(t *testing.T) {
+	d := MustDesc(
+		AttrDesc{Name: "a", Kind: KInt},
+		AttrDesc{Name: "b", Kind: KString},
+		AttrDesc{Name: "c", Kind: KFloat},
+	)
+	p, err := d.Project([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Attr(0).Name != "c" || p.Attr(1).Name != "a" {
+		t.Fatalf("Project order wrong: %s", p)
+	}
+	if _, err := d.Project([]string{"zz"}); err == nil {
+		t.Fatal("projecting unknown attr must fail")
+	}
+	other := MustDesc(AttrDesc{Name: "d", Kind: KBool})
+	cc, err := d.Concat(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Len() != 4 {
+		t.Fatalf("Concat len = %d", cc.Len())
+	}
+	if _, err := d.Concat(d); err == nil {
+		t.Fatal("Concat with name collision must fail")
+	}
+	pref := d.Prefixed("t", ".")
+	if pref.Attr(0).Name != "t.a" {
+		t.Fatalf("Prefixed = %s", pref.Attr(0).Name)
+	}
+	if !d.Disjoint(other) || d.Disjoint(d) {
+		t.Fatal("Disjoint misbehaves")
+	}
+}
+
+func TestDescEqual(t *testing.T) {
+	a := MustDesc(AttrDesc{Name: "x", Kind: KInt}, AttrDesc{Name: "y", Kind: KString})
+	b := MustDesc(AttrDesc{Name: "x", Kind: KInt}, AttrDesc{Name: "y", Kind: KString})
+	c := MustDesc(AttrDesc{Name: "y", Kind: KString}, AttrDesc{Name: "x", Kind: KInt})
+	if !a.Equal(b) {
+		t.Fatal("identical descs must be equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("order matters for Equal")
+	}
+}
+
+func TestAtomConforms(t *testing.T) {
+	d := MustDesc(
+		AttrDesc{Name: "name", Kind: KString, NotNull: true},
+		AttrDesc{Name: "size", Kind: KFloat},
+	)
+	id := MakeAtomID(1, 1)
+	if err := NewAtom(id, Str("x"), Float(1)).Conforms(d); err != nil {
+		t.Fatalf("valid atom rejected: %v", err)
+	}
+	if err := NewAtom(id, Str("x")).Conforms(d); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := NewAtom(id, Int(3), Float(1)).Conforms(d); err == nil {
+		t.Fatal("kind mismatch must fail")
+	}
+	if err := NewAtom(id, Null(), Float(1)).Conforms(d); err == nil {
+		t.Fatal("null in NOT NULL must fail")
+	}
+	if err := NewAtom(id, Str("x"), Null()).Conforms(d); err != nil {
+		t.Fatalf("null in nullable attr rejected: %v", err)
+	}
+	// Widened: int value in float attribute.
+	w := NewAtom(id, Str("x"), Int(3)).Widened(d)
+	if w.Get(1).Kind() != KFloat {
+		t.Fatal("Widened must convert int to float attr")
+	}
+}
+
+func TestAtomCloneIndependence(t *testing.T) {
+	a := NewAtom(MakeAtomID(1, 1), Int(1), Int(2))
+	b := a.Clone()
+	b.Vals[0] = Int(99)
+	if v, _ := a.Get(0).AsInt(); v != 1 {
+		t.Fatal("Clone must not alias values")
+	}
+}
+
+func TestAtomGetOutOfRange(t *testing.T) {
+	a := NewAtom(MakeAtomID(1, 1), Int(1))
+	if !a.Get(5).IsNull() || !a.Get(-1).IsNull() {
+		t.Fatal("out-of-range Get must return null")
+	}
+}
+
+func TestLinkCanonicalAndOther(t *testing.T) {
+	x, y := MakeAtomID(1, 2), MakeAtomID(1, 1)
+	l := Link{A: x, B: y}
+	c := l.Canonical(true)
+	if c.A != y || c.B != x {
+		t.Fatalf("Canonical reflexive = %v", c)
+	}
+	if nr := l.Canonical(false); nr != l {
+		t.Fatal("non-reflexive canonical must not reorder")
+	}
+	if o, ok := l.Other(x); !ok || o != y {
+		t.Fatal("Other(x) failed")
+	}
+	if _, ok := l.Other(MakeAtomID(9, 9)); ok {
+		t.Fatal("Other of non-endpoint must fail")
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	if !Unbounded.Allows(0) || !Unbounded.Allows(1000000) {
+		t.Fatal("unbounded must allow everything")
+	}
+	c := Cardinality{Min: 1, Max: 3}
+	if c.Allows(0) || !c.Allows(1) || !c.Allows(3) || c.Allows(4) {
+		t.Fatal("bounded cardinality misbehaves")
+	}
+	if c.String() != "1:3" || Unbounded.String() != "0:n" {
+		t.Fatal("cardinality rendering wrong")
+	}
+}
+
+func TestLinkDescHelpers(t *testing.T) {
+	d := LinkDesc{SideA: "state", SideB: "area"}
+	if d.Reflexive() {
+		t.Fatal("not reflexive")
+	}
+	if !d.Mentions("state") || !d.Mentions("area") || d.Mentions("net") {
+		t.Fatal("Mentions wrong")
+	}
+	if o, ok := d.OtherSide("state"); !ok || o != "area" {
+		t.Fatal("OtherSide wrong")
+	}
+	if _, ok := d.OtherSide("net"); ok {
+		t.Fatal("OtherSide of stranger must fail")
+	}
+	r := LinkDesc{SideA: "parts", SideB: "parts"}
+	if !r.Reflexive() {
+		t.Fatal("reflexive not detected")
+	}
+}
+
+func TestDescString(t *testing.T) {
+	d := MustDesc(AttrDesc{Name: "a", Kind: KInt, NotNull: true})
+	if !strings.Contains(d.String(), "a INT NOT NULL") {
+		t.Fatalf("Desc.String = %s", d)
+	}
+}
+
+func TestSortAtomIDs(t *testing.T) {
+	ids := []AtomID{MakeAtomID(2, 1), MakeAtomID(1, 2), MakeAtomID(1, 1)}
+	SortAtomIDs(ids)
+	if ids[0] != MakeAtomID(1, 1) || ids[2] != MakeAtomID(2, 1) {
+		t.Fatalf("sorted = %v", ids)
+	}
+}

@@ -1,0 +1,106 @@
+package model
+
+import "fmt"
+
+// Link is one element of a link-type occurrence: an *unsorted pair* of atom
+// identifiers l = <a1, a2> with a1 ∈ ext(at1) and a2 ∈ ext(at2)
+// (Definition 2). The representation keeps each identifier on its declared
+// side so that typed navigation is direct, but equality is symmetric for
+// reflexive link types, where both sides share an atom type.
+type Link struct {
+	// A is the atom on the link type's first declared side.
+	A AtomID
+	// B is the atom on the link type's second declared side.
+	B AtomID
+}
+
+// Canonical returns the link with endpoints ordered so that reflexive links
+// <x,y> and <y,x> — the same unsorted pair — compare equal. For links
+// between two different atom types the sides are fixed by typing and the
+// link is returned unchanged.
+func (l Link) Canonical(reflexive bool) Link {
+	if reflexive && l.B < l.A {
+		return Link{A: l.B, B: l.A}
+	}
+	return l
+}
+
+// Other returns the endpoint opposite to id, honouring the symmetric
+// reading of links. ok is false when id is not an endpoint.
+func (l Link) Other(id AtomID) (AtomID, bool) {
+	switch id {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	}
+	return 0, false
+}
+
+// String renders the link as "<a, b>".
+func (l Link) String() string { return fmt.Sprintf("<%s, %s>", l.A, l.B) }
+
+// Cardinality bounds one side of an extended link-type definition. The
+// paper notes "it is even possible to control cardinality restrictions
+// specified in an extended link-type definition" (Section 3.1); Max = 0
+// means unbounded.
+type Cardinality struct {
+	Min int
+	Max int // 0 = unbounded
+}
+
+// Unbounded is the default cardinality: any number of partners.
+var Unbounded = Cardinality{Min: 0, Max: 0}
+
+// Allows reports whether a partner count n satisfies the bound.
+func (c Cardinality) Allows(n int) bool {
+	if n < c.Min {
+		return false
+	}
+	return c.Max == 0 || n <= c.Max
+}
+
+// String renders the cardinality as "min:max" with "n" for unbounded.
+func (c Cardinality) String() string {
+	if c.Max == 0 {
+		return fmt.Sprintf("%d:n", c.Min)
+	}
+	return fmt.Sprintf("%d:%d", c.Min, c.Max)
+}
+
+// LinkDesc is a link-type description ld = {aname1, aname2}: the names of
+// the two connected atom types (Definition 2). A reflexive link type names
+// the same atom type twice ("it is allowed to define several link types
+// using the same two atom types as well as using only one atom type").
+// Cardinalities extend the basic definition; they default to unbounded.
+type LinkDesc struct {
+	// SideA and SideB are the connected atom-type names.
+	SideA, SideB string
+	// CardA bounds how many SideB-partners one SideA atom may have;
+	// CardB bounds the opposite direction.
+	CardA, CardB Cardinality
+}
+
+// Reflexive reports whether both sides name the same atom type.
+func (d LinkDesc) Reflexive() bool { return d.SideA == d.SideB }
+
+// Mentions reports whether the description involves the named atom type.
+func (d LinkDesc) Mentions(atomType string) bool {
+	return d.SideA == atomType || d.SideB == atomType
+}
+
+// OtherSide returns the atom type opposite to the given one; ok is false
+// when the type is not an endpoint. For reflexive descriptions the same
+// name comes back.
+func (d LinkDesc) OtherSide(atomType string) (string, bool) {
+	switch atomType {
+	case d.SideA:
+		return d.SideB, true
+	case d.SideB:
+		return d.SideA, true
+	}
+	return "", false
+}
+
+// String renders the description as "{a, b}".
+func (d LinkDesc) String() string { return "{" + d.SideA + ", " + d.SideB + "}" }

@@ -1,0 +1,201 @@
+package mql
+
+import (
+	"strings"
+
+	"mad/internal/expr"
+	"mad/internal/model"
+)
+
+// Stmt is any parsed MQL statement.
+type Stmt interface{ stmt() }
+
+// StructNode is one node of a parsed molecule structure: an atom type and
+// its outgoing branches.
+type StructNode struct {
+	Type     string
+	Children []StructEdge
+}
+
+// StructEdge is one outgoing branch: an optional explicit link-type name
+// (empty = resolve the unique link between the adjacent types) and the
+// child subtree.
+type StructEdge struct {
+	Link string
+	Node *StructNode
+}
+
+// String renders the structure in the paper's chain syntax.
+func (n *StructNode) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *StructNode) render(b *strings.Builder) {
+	b.WriteString(n.Type)
+	switch len(n.Children) {
+	case 0:
+	case 1:
+		e := n.Children[0]
+		b.WriteByte('-')
+		if e.Link != "" {
+			b.WriteString("[" + e.Link + "]-")
+		}
+		e.Node.render(b)
+	default:
+		b.WriteString("-(")
+		for i, e := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if e.Link != "" {
+				b.WriteString("[" + e.Link + "]-")
+			}
+			e.Node.render(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// ProjItem is one SELECT-list entry: an atom type, optionally narrowed to
+// specific attributes (state, state.name, state(name, hectare)).
+type ProjItem struct {
+	Type  string
+	Attrs []string // nil = all attributes
+}
+
+// FromClause is the FROM part of a SELECT: either a structure (optionally
+// named, defining a molecule type on the fly, as in
+// mt_state(state-area-edge-point)), a reference to a previously defined
+// named molecule type, or a recursive structure over a reflexive link.
+type FromClause struct {
+	// Name is the optional molecule-type name.
+	Name string
+	// Struct is the parsed structure; nil when referencing a named type
+	// or using RECURSIVE.
+	Struct *StructNode
+	// Recursive describes FROM RECURSIVE <type> VIA <link> [UP|DOWN]
+	// [DEPTH n].
+	Recursive *RecursiveClause
+}
+
+// RecursiveClause is the recursive molecule structure of Chapter 5 /
+// [Schö89]: a root atom type closed transitively over a reflexive link
+// type.
+type RecursiveClause struct {
+	Type  string
+	Link  string
+	Up    bool // super-component view instead of sub-component view
+	Depth int  // 0 = unbounded
+}
+
+// SelectStmt is SELECT <list|ALL> FROM <from> [WHERE <pred>].
+type SelectStmt struct {
+	All   bool
+	Items []ProjItem
+	From  FromClause
+	Where expr.Expr
+}
+
+func (*SelectStmt) stmt() {}
+
+// DefineStmt is DEFINE MOLECULE TYPE <name> AS <body> — the algebra mode:
+// operators run with propagation and the result registers under the name.
+// The body is either a SELECT (α, Σ, Π) or a set operation over two
+// previously defined molecule types (Ω, Δ, Ψ):
+//
+//	DEFINE MOLECULE TYPE u AS UNION OF a AND b;
+//	DEFINE MOLECULE TYPE d AS DIFFERENCE OF a AND b;
+//	DEFINE MOLECULE TYPE i AS INTERSECT OF a AND b;
+type DefineStmt struct {
+	Name   string
+	Select *SelectStmt
+	// SetOp is "UNION", "DIFFERENCE" or "INTERSECT" when the body is a
+	// set operation; Left and Right name the operand molecule types.
+	SetOp       string
+	Left, Right string
+}
+
+func (*DefineStmt) stmt() {}
+
+// CreateAtomTypeStmt is CREATE ATOM TYPE name (attr KIND [NOT NULL], ...).
+type CreateAtomTypeStmt struct {
+	Name  string
+	Attrs []model.AttrDesc
+}
+
+func (*CreateAtomTypeStmt) stmt() {}
+
+// CreateLinkTypeStmt is CREATE LINK TYPE name BETWEEN a AND b
+// [CARD x:y, x:y].
+type CreateLinkTypeStmt struct {
+	Name string
+	Desc model.LinkDesc
+}
+
+func (*CreateLinkTypeStmt) stmt() {}
+
+// CreateIndexStmt is CREATE INDEX ON type(attr).
+type CreateIndexStmt struct {
+	Type string
+	Attr string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// InsertStmt is INSERT INTO type [(attrs)] VALUES (lits) [, (lits)]*.
+type InsertStmt struct {
+	Type  string
+	Attrs []string // nil = declaration order
+	Rows  [][]model.Value
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE type SET attr = lit [, ...] [WHERE pred].
+type UpdateStmt struct {
+	Type  string
+	Set   map[string]model.Value
+	Order []string // SET clause order, for deterministic reporting
+	Where expr.Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM type [WHERE pred].
+type DeleteStmt struct {
+	Type  string
+	Where expr.Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ConnectStmt is CONNECT a [WHERE p] TO b [WHERE q] VIA link — it links
+// every selected a-atom with every selected b-atom. DisconnectStmt is the
+// inverse.
+type ConnectStmt struct {
+	FromType  string
+	FromWhere expr.Expr
+	ToType    string
+	ToWhere   expr.Expr
+	Link      string
+	Remove    bool // DISCONNECT
+}
+
+func (*ConnectStmt) stmt() {}
+
+// ShowStmt is SHOW SCHEMA | TYPES | MOLECULE TYPES | INDEXES | STATS.
+type ShowStmt struct {
+	What string // "SCHEMA", "TYPES", "MOLECULES", "INDEXES", "STATS"
+}
+
+func (*ShowStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN SELECT ... — it reports the plan instead of
+// executing it.
+type ExplainStmt struct {
+	Select *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}

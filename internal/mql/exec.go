@@ -1,0 +1,772 @@
+package mql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/recursive"
+	"mad/internal/storage"
+)
+
+// Session executes MQL statements against a database. It tracks the named
+// molecule types created by DEFINE MOLECULE TYPE and by named FROM
+// clauses. A Session is not safe for concurrent use; open one per client.
+type Session struct {
+	db    *storage.Database
+	named map[string]*core.MoleculeType
+	rec   map[string]*recursive.Type
+}
+
+// NewSession opens a session over the database.
+func NewSession(db *storage.Database) *Session {
+	return &Session{
+		db:    db,
+		named: make(map[string]*core.MoleculeType),
+		rec:   make(map[string]*recursive.Type),
+	}
+}
+
+// DB returns the session's database.
+func (s *Session) DB() *storage.Database { return s.db }
+
+// NamedType returns a molecule type registered by DEFINE or a named FROM.
+func (s *Session) NamedType(name string) (*core.MoleculeType, bool) {
+	mt, ok := s.named[name]
+	return mt, ok
+}
+
+// ResultKind discriminates Result payloads.
+type ResultKind uint8
+
+// Result kinds.
+const (
+	RMessage ResultKind = iota
+	RMolecules
+	RRecursive
+	RInserted
+	RAffected
+	RPlan
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Kind ResultKind
+	// Message carries DDL/SHOW/EXPLAIN output.
+	Message string
+	// Set and Desc carry SELECT results; Attrs optionally narrows the
+	// attributes rendered per type (projection).
+	Set   core.MoleculeSet
+	Desc  *core.Desc
+	Attrs map[string][]string
+	// RecSet and RecType carry recursive SELECT results.
+	RecSet  []*recursive.Molecule
+	RecType *recursive.Type
+	// Inserted lists identifiers created by INSERT.
+	Inserted []model.AtomID
+	// Affected counts atoms/links touched by UPDATE/DELETE/(DIS)CONNECT.
+	Affected int
+}
+
+// Exec parses and executes a single statement.
+func (s *Session) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(st)
+}
+
+// ExecScript parses and executes a ';'-separated script, stopping at the
+// first error.
+func (s *Session) ExecScript(src string) ([]*Result, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.Execute(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Execute runs one parsed statement.
+func (s *Session) Execute(st Stmt) (*Result, error) {
+	switch st := st.(type) {
+	case *SelectStmt:
+		return s.execSelect(st)
+	case *DefineStmt:
+		return s.execDefine(st)
+	case *CreateAtomTypeStmt:
+		desc, err := model.NewDesc(st.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.db.DefineAtomType(st.Name, desc); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("atom type %q defined", st.Name)}, nil
+	case *CreateLinkTypeStmt:
+		if _, err := s.db.DefineLinkType(st.Name, st.Desc); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("link type %q defined", st.Name)}, nil
+	case *CreateIndexStmt:
+		if err := s.db.CreateIndex(st.Type, st.Attr); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("index on %s.%s created", st.Type, st.Attr)}, nil
+	case *InsertStmt:
+		return s.execInsert(st)
+	case *UpdateStmt:
+		return s.execUpdate(st)
+	case *DeleteStmt:
+		return s.execDelete(st)
+	case *ConnectStmt:
+		return s.execConnect(st)
+	case *ShowStmt:
+		return s.execShow(st)
+	case *ExplainStmt:
+		return s.execExplain(st)
+	}
+	return nil, fmt.Errorf("mql: unsupported statement %T", st)
+}
+
+// BuildDesc translates a parsed structure into a validated molecule-type
+// description, resolving '-' shorthands to unique link types.
+func BuildDesc(db *storage.Database, node *StructNode) (*core.Desc, error) {
+	var types []string
+	var edges []core.DirectedLink
+	seen := make(map[string]bool)
+	var walk func(n *StructNode) error
+	walk = func(n *StructNode) error {
+		if seen[n.Type] {
+			return fmt.Errorf("mql: atom type %q appears twice in the structure (C is a set)", n.Type)
+		}
+		seen[n.Type] = true
+		types = append(types, n.Type)
+		for _, e := range n.Children {
+			link := e.Link
+			if link == "" {
+				lt, err := db.Schema().UniqueLinkBetween(n.Type, e.Node.Type)
+				if err != nil {
+					return err
+				}
+				link = lt.Name
+			}
+			edges = append(edges, core.DirectedLink{Link: link, From: n.Type, To: e.Node.Type})
+			if err := walk(e.Node); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(node); err != nil {
+		return nil, err
+	}
+	return core.NewDesc(db, types, edges)
+}
+
+// resolveFrom turns a FROM clause into a molecule type (registering named
+// on-the-fly definitions) or a recursive type.
+func (s *Session) resolveFrom(fc FromClause) (*core.MoleculeType, *recursive.Type, error) {
+	if fc.Recursive != nil {
+		rt, ok := s.rec[fc.Recursive.Type+"/"+fc.Recursive.Link]
+		if ok && rt.Up == fc.Recursive.Up && rt.Depth == fc.Recursive.Depth {
+			return nil, rt, nil
+		}
+		rt, err := recursive.Define(s.db, "", fc.Recursive.Type, fc.Recursive.Link, fc.Recursive.Up, fc.Recursive.Depth)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, rt, nil
+	}
+	if fc.Name != "" && fc.Struct != nil && fc.Struct.Children == nil {
+		// Bare identifier: named molecule type, or single-type structure.
+		if mt, ok := s.named[fc.Name]; ok {
+			return mt, nil, nil
+		}
+		if _, ok := s.db.Schema().AtomType(fc.Name); !ok {
+			return nil, nil, fmt.Errorf("mql: %q is neither a molecule type nor an atom type", fc.Name)
+		}
+		desc, err := BuildDesc(s.db, fc.Struct)
+		if err != nil {
+			return nil, nil, err
+		}
+		mt, err := core.DefineDesc(s.db, "", desc)
+		return mt, nil, err
+	}
+	if fc.Struct == nil {
+		mt, ok := s.named[fc.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("mql: unknown molecule type %q", fc.Name)
+		}
+		return mt, nil, nil
+	}
+	desc, err := BuildDesc(s.db, fc.Struct)
+	if err != nil {
+		return nil, nil, err
+	}
+	mt, err := core.DefineDesc(s.db, fc.Name, desc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fc.Name != "" {
+		if _, dup := s.named[fc.Name]; dup {
+			return nil, nil, fmt.Errorf("mql: molecule type %q already defined", fc.Name)
+		}
+		s.named[fc.Name] = mt
+	}
+	return mt, nil, nil
+}
+
+// rootIndexEq detects the pushdown pattern: a top-level conjunct of the
+// form root.attr = literal where root.attr carries an index. It returns
+// the attribute, value and the remaining predicate.
+func (s *Session) rootIndexEq(desc *core.Desc, pred expr.Expr) (attr string, val model.Value, rest expr.Expr, ok bool) {
+	root := desc.Root()
+	c, found := s.db.Container(root)
+	if !found {
+		return "", model.Null(), pred, false
+	}
+	resolvesToRoot := func(a expr.Attr) bool {
+		if a.Type == root {
+			return true
+		}
+		if a.Type != "" {
+			return false
+		}
+		// Unqualified: only safe when the root alone declares the attr.
+		count := 0
+		for _, t := range desc.Types() {
+			tc, ok := s.db.Container(t)
+			if !ok {
+				continue
+			}
+			if _, has := tc.Desc().Lookup(a.Name); has {
+				count++
+			}
+		}
+		_, onRoot := c.Desc().Lookup(a.Name)
+		return count == 1 && onRoot
+	}
+	tryCmp := func(e expr.Expr) (string, model.Value, bool) {
+		cmp, isCmp := e.(expr.Cmp)
+		if !isCmp || cmp.Op != expr.EQ {
+			return "", model.Null(), false
+		}
+		a, aok := cmp.L.(expr.Attr)
+		l, lok := cmp.R.(expr.Const)
+		if !aok || !lok {
+			a, aok = cmp.R.(expr.Attr)
+			l, lok = cmp.L.(expr.Const)
+		}
+		if !aok || !lok || !resolvesToRoot(a) {
+			return "", model.Null(), false
+		}
+		if _, hasIdx := s.db.IndexLookup(root, a.Name, l.V); !hasIdx {
+			return "", model.Null(), false
+		}
+		return a.Name, l.V, true
+	}
+	if a, v, hit := tryCmp(pred); hit {
+		return a, v, nil, true
+	}
+	if and, isAnd := pred.(expr.And); isAnd {
+		if a, v, hit := tryCmp(and.L); hit {
+			return a, v, and.R, true
+		}
+		if a, v, hit := tryCmp(and.R); hit {
+			return a, v, and.L, true
+		}
+	}
+	return "", model.Null(), pred, false
+}
+
+// execSelect runs a query-mode SELECT: derive, restrict, project — without
+// enlarging the database. The algebra-mode equivalent (with propagation)
+// is DEFINE MOLECULE TYPE ... AS SELECT ...
+func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
+	mt, rt, err := s.resolveFrom(st.From)
+	if err != nil {
+		return nil, err
+	}
+	if rt != nil {
+		return s.execRecursiveSelect(st, rt)
+	}
+	desc := mt.Desc()
+	if st.Where != nil {
+		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Derivation with optional index pushdown on the root.
+	var set core.MoleculeSet
+	dv, err := mt.Deriver()
+	if err != nil {
+		return nil, err
+	}
+	pred := st.Where
+	if pred != nil {
+		if attr, val, rest, hit := s.rootIndexEq(desc, pred); hit {
+			roots, _ := s.db.IndexLookup(desc.Root(), attr, val)
+			candidates, err := dv.DeriveRoots(roots)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range candidates {
+				keep, err := expr.EvalPredicate(rest, core.Binding{DB: s.db, M: m})
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					set = append(set, m)
+				}
+			}
+			return s.project(st, desc, set)
+		}
+	}
+	var evalErr error
+	dv.Walk(func(m *core.Molecule) bool {
+		keep, err := expr.EvalPredicate(pred, core.Binding{DB: s.db, M: m})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if keep {
+			set = append(set, m)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return s.project(st, desc, set)
+}
+
+// project applies the SELECT list in query mode via PruneTo.
+func (s *Session) project(st *SelectStmt, desc *core.Desc, set core.MoleculeSet) (*Result, error) {
+	if st.All {
+		return &Result{Kind: RMolecules, Set: set, Desc: desc}, nil
+	}
+	keep := make([]string, 0, len(st.Items))
+	attrs := make(map[string][]string)
+	for _, it := range st.Items {
+		if !desc.HasType(it.Type) {
+			return nil, fmt.Errorf("mql: SELECT item %q is not part of the structure %s", it.Type, desc)
+		}
+		keep = append(keep, it.Type)
+		if it.Attrs != nil {
+			c, ok := s.db.Container(it.Type)
+			if !ok {
+				return nil, fmt.Errorf("mql: atom type %q has no container", it.Type)
+			}
+			for _, a := range it.Attrs {
+				if _, ok := c.Desc().Lookup(a); !ok {
+					return nil, fmt.Errorf("mql: atom type %q has no attribute %q", it.Type, a)
+				}
+			}
+			attrs[it.Type] = it.Attrs
+		}
+	}
+	hasRoot := false
+	for _, t := range keep {
+		if t == desc.Root() {
+			hasRoot = true
+		}
+	}
+	if !hasRoot {
+		return nil, fmt.Errorf("mql: the SELECT list must include the root type %q (molecule projection keeps the root)", desc.Root())
+	}
+	// Induced sub-description over the original type names.
+	keepSet := make(map[string]bool, len(keep))
+	for _, t := range keep {
+		keepSet[t] = true
+	}
+	var subTypes []string
+	for _, t := range desc.Types() {
+		if keepSet[t] {
+			subTypes = append(subTypes, t)
+		}
+	}
+	var subEdges []core.DirectedLink
+	for _, e := range desc.Edges() {
+		if keepSet[e.From] && keepSet[e.To] {
+			subEdges = append(subEdges, e)
+		}
+	}
+	sub, err := core.NewDesc(s.db, subTypes, subEdges)
+	if err != nil {
+		return nil, fmt.Errorf("mql: projected structure invalid: %w", err)
+	}
+	pruned := make(core.MoleculeSet, len(set))
+	for i, m := range set {
+		pruned[i] = m.PruneTo(sub)
+	}
+	return &Result{Kind: RMolecules, Set: pruned, Desc: sub, Attrs: attrs}, nil
+}
+
+// execRecursiveSelect evaluates SELECT over a recursive structure.
+func (s *Session) execRecursiveSelect(st *SelectStmt, rt *recursive.Type) (*Result, error) {
+	if !st.All {
+		return nil, fmt.Errorf("mql: recursive SELECT supports ALL only")
+	}
+	set, err := rt.Derive()
+	if err != nil {
+		return nil, err
+	}
+	if st.Where != nil {
+		c, ok := s.db.Container(rt.AtomType)
+		if !ok {
+			return nil, fmt.Errorf("mql: atom type %q has no container", rt.AtomType)
+		}
+		var kept []*recursive.Molecule
+		for _, m := range set {
+			a, ok := c.Get(m.Root)
+			if !ok {
+				continue
+			}
+			keep, err := expr.EvalPredicate(st.Where, expr.AtomBinding{
+				TypeName: rt.AtomType, Desc: c.Desc(), Atom: a,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, m)
+			}
+		}
+		set = kept
+	}
+	return &Result{Kind: RRecursive, RecSet: set, RecType: rt}, nil
+}
+
+// execDefine runs the algebra mode: α, then Σ with propagation, then Π
+// with propagation, and registers the resulting molecule type.
+func (s *Session) execDefine(st *DefineStmt) (*Result, error) {
+	if _, dup := s.named[st.Name]; dup {
+		return nil, fmt.Errorf("mql: molecule type %q already defined", st.Name)
+	}
+	if st.SetOp != "" {
+		return s.execDefineSetOp(st)
+	}
+	sel := st.Select
+	mt, rt, err := s.resolveFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if rt != nil {
+		rt2, err := recursive.Define(s.db, st.Name, rt.AtomType, rt.Link, rt.Up, rt.Depth)
+		if err != nil {
+			return nil, err
+		}
+		s.rec[rt2.AtomType+"/"+rt2.Link] = rt2
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("recursive molecule type %q defined", st.Name)}, nil
+	}
+	cur := mt
+	if sel.Where != nil {
+		cur, err = core.Restrict(cur, sel.Where, "", nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !sel.All {
+		// Map projection items (original names) onto the current type's
+		// positionally renamed description.
+		origDesc := mt.Desc()
+		curDesc := cur.Desc()
+		keep := make([]string, 0, len(sel.Items))
+		attrs := make(map[string][]string)
+		for _, it := range sel.Items {
+			pos, ok := origDesc.Pos(it.Type)
+			if !ok {
+				return nil, fmt.Errorf("mql: SELECT item %q is not part of the structure %s", it.Type, origDesc)
+			}
+			renamed := curDesc.Types()[pos]
+			keep = append(keep, renamed)
+			if it.Attrs != nil {
+				attrs[renamed] = it.Attrs
+			}
+		}
+		cur, err = core.Project(cur, core.Projection{Keep: keep, Attrs: attrs}, "", nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	final, err := core.DefineDesc(s.db, st.Name, cur.Desc())
+	if err != nil {
+		return nil, err
+	}
+	s.named[st.Name] = final
+	n, _ := final.Cardinality()
+	return &Result{Kind: RMessage, Message: fmt.Sprintf("molecule type %q defined (%d molecules)", st.Name, n)}, nil
+}
+
+// execDefineSetOp runs Ω, Δ or Ψ over two named molecule types and
+// registers the propagated result.
+func (s *Session) execDefineSetOp(st *DefineStmt) (*Result, error) {
+	left, ok := s.named[st.Left]
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown molecule type %q", st.Left)
+	}
+	right, ok := s.named[st.Right]
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown molecule type %q", st.Right)
+	}
+	var (
+		res *core.MoleculeType
+		err error
+	)
+	switch st.SetOp {
+	case "UNION":
+		res, err = core.Union(left, right, "", nil)
+	case "DIFFERENCE":
+		res, err = core.Difference(left, right, "", nil)
+	case "INTERSECT":
+		res, err = core.Intersect(left, right, "", nil)
+	default:
+		return nil, fmt.Errorf("mql: unknown set operation %q", st.SetOp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	final, err := core.DefineDesc(s.db, st.Name, res.Desc())
+	if err != nil {
+		return nil, err
+	}
+	s.named[st.Name] = final
+	n, _ := final.Cardinality()
+	return &Result{Kind: RMessage, Message: fmt.Sprintf("molecule type %q defined (%d molecules)", st.Name, n)}, nil
+}
+
+func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
+	c, ok := s.db.Container(st.Type)
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown atom type %q", st.Type)
+	}
+	desc := c.Desc()
+	res := &Result{Kind: RInserted}
+	for _, row := range st.Rows {
+		vals := row
+		if st.Attrs != nil {
+			if len(row) != len(st.Attrs) {
+				return nil, fmt.Errorf("mql: %d values for %d attributes", len(row), len(st.Attrs))
+			}
+			vals = make([]model.Value, desc.Len())
+			for i := range vals {
+				vals[i] = model.Null()
+			}
+			for i, a := range st.Attrs {
+				pos, ok := desc.Lookup(a)
+				if !ok {
+					return nil, fmt.Errorf("mql: atom type %q has no attribute %q", st.Type, a)
+				}
+				vals[pos] = row[i]
+			}
+		}
+		id, err := s.db.InsertAtom(st.Type, vals...)
+		if err != nil {
+			return nil, err
+		}
+		res.Inserted = append(res.Inserted, id)
+	}
+	return res, nil
+}
+
+// matchAtoms collects the atoms of a type satisfying a predicate.
+func (s *Session) matchAtoms(typeName string, pred expr.Expr) ([]model.Atom, error) {
+	c, ok := s.db.Container(typeName)
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown atom type %q", typeName)
+	}
+	if pred != nil {
+		if err := expr.Check(pred, expr.AtomScope{TypeName: typeName, Desc: c.Desc()}); err != nil {
+			return nil, err
+		}
+	}
+	var out []model.Atom
+	var evalErr error
+	c.Scan(func(a model.Atom) bool {
+		keep, err := expr.EvalPredicate(pred, expr.AtomBinding{TypeName: typeName, Desc: c.Desc(), Atom: a})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if keep {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out, evalErr
+}
+
+func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
+	c, ok := s.db.Container(st.Type)
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown atom type %q", st.Type)
+	}
+	desc := c.Desc()
+	for a := range st.Set {
+		if _, ok := desc.Lookup(a); !ok {
+			return nil, fmt.Errorf("mql: atom type %q has no attribute %q", st.Type, a)
+		}
+	}
+	atoms, err := s.matchAtoms(st.Type, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range atoms {
+		vals := make([]model.Value, len(a.Vals))
+		copy(vals, a.Vals)
+		for name, v := range st.Set {
+			pos, _ := desc.Lookup(name)
+			vals[pos] = v
+		}
+		if err := s.db.UpdateAtom(st.Type, a.ID, vals); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Kind: RAffected, Affected: len(atoms)}, nil
+}
+
+func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
+	atoms, err := s.matchAtoms(st.Type, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range atoms {
+		if _, err := s.db.DeleteAtom(st.Type, a.ID); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Kind: RAffected, Affected: len(atoms)}, nil
+}
+
+func (s *Session) execConnect(st *ConnectStmt) (*Result, error) {
+	lt, ok := s.db.Schema().LinkType(st.Link)
+	if !ok {
+		return nil, fmt.Errorf("mql: unknown link type %q", st.Link)
+	}
+	if lt.Desc.SideA != st.FromType || lt.Desc.SideB != st.ToType {
+		return nil, fmt.Errorf("mql: link type %q connects %s, not %q→%q",
+			st.Link, lt.Desc, st.FromType, st.ToType)
+	}
+	froms, err := s.matchAtoms(st.FromType, st.FromWhere)
+	if err != nil {
+		return nil, err
+	}
+	tos, err := s.matchAtoms(st.ToType, st.ToWhere)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, fa := range froms {
+		for _, ta := range tos {
+			if st.Remove {
+				removed, err := s.db.Disconnect(st.Link, fa.ID, ta.ID)
+				if err != nil {
+					return nil, err
+				}
+				if removed {
+					n++
+				}
+			} else {
+				if err := s.db.Connect(st.Link, fa.ID, ta.ID); err != nil {
+					return nil, err
+				}
+				n++
+			}
+		}
+	}
+	return &Result{Kind: RAffected, Affected: n}, nil
+}
+
+func (s *Session) execShow(st *ShowStmt) (*Result, error) {
+	var b strings.Builder
+	switch st.What {
+	case "SCHEMA", "TYPES":
+		b.WriteString(s.db.Schema().Render())
+	case "MOLECULES":
+		names := make([]string, 0, len(s.named))
+		for n := range s.named {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "MOLECULE TYPE %s = %s;\n", n, s.named[n].Desc())
+		}
+		recNames := make([]string, 0, len(s.rec))
+		for n := range s.rec {
+			recNames = append(recNames, n)
+		}
+		sort.Strings(recNames)
+		for _, n := range recNames {
+			rt := s.rec[n]
+			fmt.Fprintf(&b, "RECURSIVE MOLECULE TYPE %s OVER %s VIA %s;\n", rt.Name, rt.AtomType, rt.Link)
+		}
+	case "INDEXES":
+		for _, ix := range s.db.Indexes() {
+			fmt.Fprintf(&b, "INDEX ON %s;\n", ix)
+		}
+	case "STATS":
+		b.WriteString(s.db.Stats().Snapshot().String())
+		b.WriteByte('\n')
+	}
+	return &Result{Kind: RMessage, Message: b.String()}, nil
+}
+
+func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
+	sel := st.Select
+	mt, rt, err := s.resolveFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if rt != nil {
+		fmt.Fprintf(&b, "recursive derivation over %s via %s", rt.AtomType, rt.Link)
+		if rt.Up {
+			b.WriteString(" (super-component view)")
+		} else {
+			b.WriteString(" (sub-component view)")
+		}
+		if rt.Depth > 0 {
+			fmt.Fprintf(&b, " depth ≤ %d", rt.Depth)
+		}
+		b.WriteByte('\n')
+		return &Result{Kind: RPlan, Message: b.String()}, nil
+	}
+	desc := mt.Desc()
+	fmt.Fprintf(&b, "structure: %s\n", desc)
+	fmt.Fprintf(&b, "root:      %s\n", desc.Root())
+	if sel.Where != nil {
+		if attr, val, _, hit := s.rootIndexEq(desc, sel.Where); hit {
+			fmt.Fprintf(&b, "access:    index lookup %s.%s = %s, then derive per root\n", desc.Root(), attr, val)
+		} else {
+			fmt.Fprintf(&b, "access:    full root scan with hierarchical join per molecule\n")
+		}
+		fmt.Fprintf(&b, "restrict:  Σ[%s]\n", sel.Where)
+	} else {
+		fmt.Fprintf(&b, "access:    full root scan with hierarchical join per molecule\n")
+	}
+	if !sel.All {
+		var items []string
+		for _, it := range sel.Items {
+			if it.Attrs == nil {
+				items = append(items, it.Type)
+			} else {
+				items = append(items, it.Type+"("+strings.Join(it.Attrs, ",")+")")
+			}
+		}
+		fmt.Fprintf(&b, "project:   Π[%s]\n", strings.Join(items, ", "))
+	}
+	return &Result{Kind: RPlan, Message: b.String()}, nil
+}

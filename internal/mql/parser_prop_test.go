@@ -1,0 +1,143 @@
+package mql_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/mql"
+)
+
+// randStructure builds a random structure AST with unique type names.
+func randStructure(rng *rand.Rand) *mql.StructNode {
+	counter := 0
+	newName := func() string {
+		counter++
+		return "t" + string(rune('a'+counter%26)) + itoa(counter)
+	}
+	var build func(depth int) *mql.StructNode
+	build = func(depth int) *mql.StructNode {
+		n := &mql.StructNode{Type: newName()}
+		if depth >= 3 {
+			return n
+		}
+		switch rng.Intn(4) {
+		case 0: // leaf
+		case 1: // chain
+			child := build(depth + 1)
+			n.Children = []mql.StructEdge{{Node: child}}
+		case 2: // chain with explicit link
+			child := build(depth + 1)
+			n.Children = []mql.StructEdge{{Link: "lnk-" + child.Type, Node: child}}
+		case 3: // branch
+			k := 2 + rng.Intn(2)
+			for i := 0; i < k; i++ {
+				n.Children = append(n.Children, mql.StructEdge{Node: build(depth + 1)})
+			}
+		}
+		return n
+	}
+	return build(0)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestStructureRenderReparseRoundTrip: rendering a random structure AST
+// and reparsing it yields the same tree (modulo the branch-group detail
+// that a single child renders as a chain).
+func TestStructureRenderReparseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randStructure(rng)
+		src := "SELECT ALL FROM " + orig.String()
+		stmt, err := mql.Parse(src)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", orig, err)
+			return false
+		}
+		sel, ok := stmt.(*mql.SelectStmt)
+		if !ok || sel.From.Struct == nil {
+			return false
+		}
+		got := sel.From.Struct.String()
+		want := orig.String()
+		if got != want {
+			t.Logf("round trip: %q vs %q", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredicateRenderReparse: the String() of a parsed WHERE predicate
+// reparses to a predicate with the same rendering (fixed point after one
+// round).
+func TestPredicateRenderReparse(t *testing.T) {
+	preds := []string{
+		"a.x = 1",
+		"a.x <> 'str'",
+		"a.x > 1 AND b.y < 2.5",
+		"NOT (a.x = 1 OR b.y = 2)",
+		"EXISTS(net) AND COUNT(edge) >= 3",
+		"LEN(name) + 1 = 5",
+		"a.x * 2 - 1 >= b.y % 3",
+		"CONTAINS(name, 'pn') OR PREFIX(name, 'p_')",
+	}
+	for _, p := range preds {
+		stmt, err := mql.Parse("SELECT ALL FROM t WHERE " + p)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		first := stmt.(*mql.SelectStmt).Where.String()
+		stmt2, err := mql.Parse("SELECT ALL FROM t WHERE " + first)
+		if err != nil {
+			t.Fatalf("reparse %q (rendered %q): %v", p, first, err)
+		}
+		second := stmt2.(*mql.SelectStmt).Where.String()
+		if first != second {
+			t.Errorf("not a fixed point: %q → %q", first, second)
+		}
+	}
+}
+
+// TestParserRejectsDeepGarbage throws random token soup at the parser and
+// requires it to fail cleanly (no panic) on junk.
+func TestParserRejectsDeepGarbage(t *testing.T) {
+	pieces := []string{
+		"SELECT", "FROM", "WHERE", "ALL", "(", ")", "-", ",", ";",
+		"ident", "'str'", "3.5", "=", "AND", "[", "]", ".",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		// Must not panic; errors are fine and expected.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = mql.Parse(src)
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package mql
+
+import (
+	"fmt"
+	"strings"
+
+	"mad/internal/core"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Render formats a result for display: molecule sets as indented component
+// trees (with shared atoms marked), recursive molecules level by level,
+// and messages verbatim.
+func (r *Result) Render(db *storage.Database) string {
+	switch r.Kind {
+	case RMessage, RPlan:
+		return r.Message
+	case RInserted:
+		ids := make([]string, len(r.Inserted))
+		for i, id := range r.Inserted {
+			ids[i] = id.String()
+		}
+		return fmt.Sprintf("inserted %d atom(s): %s\n", len(r.Inserted), strings.Join(ids, ", "))
+	case RAffected:
+		return fmt.Sprintf("%d affected\n", r.Affected)
+	case RRecursive:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d recursive molecule(s)\n", len(r.RecSet))
+		for i, m := range r.RecSet {
+			fmt.Fprintf(&b, "-- molecule %d (root %s, %d atoms, depth %d)\n",
+				i+1, m.Root, m.Size(), m.Depth())
+			b.WriteString(m.Format(db, r.RecType.AtomType))
+		}
+		return b.String()
+	case RMolecules:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d molecule(s) of %s\n", len(r.Set), r.Desc)
+		for i, m := range r.Set {
+			fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i+1, m.Size(), m.NumLinks())
+			b.WriteString(formatMolecule(db, m, r.Attrs))
+		}
+		return b.String()
+	}
+	return ""
+}
+
+// formatMolecule renders one molecule as an indented tree honouring the
+// projection's attribute narrowing.
+func formatMolecule(db *storage.Database, m *core.Molecule, attrs map[string][]string) string {
+	var b strings.Builder
+	d := m.Desc()
+	printed := make(map[model.AtomID]bool)
+	var rec func(typeName string, id model.AtomID, depth int)
+	rec = func(typeName string, id model.AtomID, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		label := renderAtom(db, typeName, id, attrs[typeName])
+		if printed[id] {
+			fmt.Fprintf(&b, "^%s: %s (shared)\n", typeName, label)
+			return
+		}
+		printed[id] = true
+		fmt.Fprintf(&b, "%s: %s\n", typeName, label)
+		for _, ei := range d.Outgoing(typeName) {
+			e := d.Edge(ei)
+			for _, l := range m.LinksAt(ei) {
+				if l.A == id {
+					rec(e.To, l.B, depth+1)
+				}
+			}
+		}
+	}
+	rec(d.Root(), m.Root(), 0)
+	return b.String()
+}
+
+// renderAtom renders one atom with (possibly narrowed) attributes.
+func renderAtom(db *storage.Database, typeName string, id model.AtomID, attrs []string) string {
+	c, ok := db.Container(typeName)
+	if !ok {
+		return id.String()
+	}
+	a, ok := c.Get(id)
+	if !ok {
+		return id.String()
+	}
+	d := c.Desc()
+	var parts []string
+	if attrs == nil {
+		for i := 0; i < d.Len(); i++ {
+			parts = append(parts, d.Attr(i).Name+"="+a.Get(i).String())
+		}
+	} else {
+		for _, name := range attrs {
+			if i, ok := d.Lookup(name); ok {
+				parts = append(parts, name+"="+a.Get(i).String())
+			}
+		}
+	}
+	return id.String() + "{" + strings.Join(parts, ", ") + "}"
+}

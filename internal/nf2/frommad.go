@@ -1,0 +1,102 @@
+package nf2
+
+import (
+	"fmt"
+
+	"mad/internal/core"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// FromMolecules materializes a MAD molecule set as one NF² relation: the
+// root type's attributes plus one relation-valued attribute per outgoing
+// branch, recursively. The molecule structure must be a *tree* (NF²
+// supports only hierarchies — a type with several parents cannot nest),
+// and shared subobjects are *copied* into every owner, because NF² has no
+// identity: this duplication is the storage overhead the P2 experiment
+// quantifies against MAD's shared representation.
+func FromMolecules(db *storage.Database, set core.MoleculeSet) (*Relation, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("nf2: empty molecule set")
+	}
+	d := set[0].Desc()
+	for _, t := range d.Types() {
+		if len(d.Incoming(t)) > 1 {
+			return nil, fmt.Errorf("nf2: type %q has several parents; NF² supports hierarchies only", t)
+		}
+	}
+	schema, err := schemaFor(db, d, d.Root())
+	if err != nil {
+		return nil, err
+	}
+	out := New("nf2_"+d.Root(), schema)
+	for _, m := range set {
+		t, err := tupleFor(db, d, m, d.Root(), m.Root())
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Insert(t...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// schemaFor builds the nested schema rooted at the given type.
+func schemaFor(db *storage.Database, d *core.Desc, typeName string) (*Schema, error) {
+	c, ok := db.Container(typeName)
+	if !ok {
+		return nil, fmt.Errorf("nf2: atom type %q has no container", typeName)
+	}
+	var attrs []Attr
+	for _, ad := range c.Desc().Attrs() {
+		attrs = append(attrs, Attr{Name: ad.Name, Kind: ad.Kind})
+	}
+	for _, ei := range d.Outgoing(typeName) {
+		child := d.Edge(ei).To
+		ns, err := schemaFor(db, d, child)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Name: child + "s", Nested: ns})
+	}
+	return NewSchema(attrs...)
+}
+
+// tupleFor builds the nested tuple for one atom of one molecule.
+func tupleFor(db *storage.Database, d *core.Desc, m *core.Molecule, typeName string, id model.AtomID) (Tuple, error) {
+	c, ok := db.Container(typeName)
+	if !ok {
+		return nil, fmt.Errorf("nf2: atom type %q has no container", typeName)
+	}
+	a, ok := c.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("nf2: atom %v missing from %q", id, typeName)
+	}
+	var t Tuple
+	for _, v := range a.Vals {
+		t = append(t, Atomic{V: v})
+	}
+	for _, ei := range d.Outgoing(typeName) {
+		child := d.Edge(ei).To
+		ns, err := schemaFor(db, d, child)
+		if err != nil {
+			return nil, err
+		}
+		inner := New(child+"s", ns)
+		for _, l := range m.LinksAt(ei) {
+			if l.A != id {
+				continue
+			}
+			it, err := tupleFor(db, d, m, child, l.B)
+			if err != nil {
+				return nil, err
+			}
+			if err := inner.Insert(it...); err != nil {
+				return nil, err
+			}
+		}
+		t = append(t, Nested{R: inner})
+	}
+	return t, nil
+}

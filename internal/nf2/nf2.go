@@ -1,0 +1,347 @@
+// Package nf2 is the non-first-normal-form baseline ([SS86], "The
+// Relational Model with Relation-Valued Attributes"): relations whose
+// attribute values may themselves be relations, with the nest (ν) and
+// unnest (μ) operators. NF² models *hierarchical* complex objects without
+// shared subobjects — "the non-first-normal-form models are just special
+// cases" of MAD (Chapter 5) — so materializing a MAD molecule set in NF²
+// duplicates every shared subobject once per owner, which is exactly what
+// the P2 experiment measures.
+package nf2
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mad/internal/model"
+)
+
+// Attr describes one NF² attribute: atomic (Kind) or relation-valued
+// (Nested non-nil).
+type Attr struct {
+	Name   string
+	Kind   model.Kind
+	Nested *Schema
+}
+
+// Atomic reports whether the attribute is flat.
+func (a Attr) Atomic() bool { return a.Nested == nil }
+
+// Schema is an ordered list of NF² attributes.
+type Schema struct {
+	attrs []Attr
+	index map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicates.
+func NewSchema(attrs ...Attr) (*Schema, error) {
+	s := &Schema{attrs: append([]Attr(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("nf2: empty attribute name")
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("nf2: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema panics on error (fixtures).
+func MustSchema(attrs ...Attr) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the attribute count.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Lookup finds an attribute by name.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Equal compares schemas structurally (recursively).
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		a, b := s.attrs[i], o.attrs[i]
+		if a.Name != b.Name || a.Atomic() != b.Atomic() {
+			return false
+		}
+		if a.Atomic() {
+			if a.Kind != b.Kind {
+				return false
+			}
+		} else if !a.Nested.Equal(b.Nested) {
+			return false
+		}
+	}
+	return true
+}
+
+// Value is one NF² attribute value: a model.Value for atomic attributes or
+// a *Relation for relation-valued ones.
+type Value interface{ nf2value() }
+
+// Atomic wraps a flat value.
+type Atomic struct{ V model.Value }
+
+func (Atomic) nf2value() {}
+
+// Nested wraps a relation value.
+type Nested struct{ R *Relation }
+
+func (Nested) nf2value() {}
+
+// Tuple is one NF² row.
+type Tuple []Value
+
+// Relation is an NF² relation.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// New creates an empty NF² relation.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Insert appends a tuple after arity and shape checking.
+func (r *Relation) Insert(vals ...Value) error {
+	if len(vals) != r.Schema.Len() {
+		return fmt.Errorf("nf2: %s: %d values for %d attributes", r.Name, len(vals), r.Schema.Len())
+	}
+	for i, v := range vals {
+		a := r.Schema.Attr(i)
+		switch v := v.(type) {
+		case Atomic:
+			if !a.Atomic() {
+				return fmt.Errorf("nf2: %s.%s expects a nested relation", r.Name, a.Name)
+			}
+		case Nested:
+			if a.Atomic() {
+				return fmt.Errorf("nf2: %s.%s expects an atomic value", r.Name, a.Name)
+			}
+			if v.R == nil || !v.R.Schema.Equal(a.Nested) {
+				return fmt.Errorf("nf2: %s.%s nested schema mismatch", r.Name, a.Name)
+			}
+		default:
+			return fmt.Errorf("nf2: %s.%s: unknown value", r.Name, a.Name)
+		}
+	}
+	r.Tuples = append(r.Tuples, Tuple(vals))
+	return nil
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// key canonicalizes a value for grouping and comparison.
+func key(v Value) string {
+	switch v := v.(type) {
+	case Atomic:
+		return "a:" + v.V.String()
+	case Nested:
+		keys := make([]string, 0, len(v.R.Tuples))
+		for _, t := range v.R.Tuples {
+			keys = append(keys, tupleKey(t))
+		}
+		sort.Strings(keys)
+		return "n:{" + strings.Join(keys, ";") + "}"
+	}
+	return "?"
+}
+
+func tupleKey(t Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = key(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal compares relations as sets of (deep) tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.Schema.Equal(o.Schema) || r.Len() != o.Len() {
+		return false
+	}
+	count := make(map[string]int, r.Len())
+	for _, t := range r.Tuples {
+		count[tupleKey(t)]++
+	}
+	for _, t := range o.Tuples {
+		count[tupleKey(t)]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Nest implements ν: it groups tuples by the non-nested attributes
+// (those NOT listed in cols) and collects the listed cols into a new
+// relation-valued attribute named as given. This is the key-grouped nest
+// of [SS86].
+func (r *Relation) Nest(cols []string, as string) (*Relation, error) {
+	nestPos := make(map[int]bool, len(cols))
+	var nestedAttrs []Attr
+	for _, c := range cols {
+		i, ok := r.Schema.Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("nf2: %s has no attribute %q", r.Name, c)
+		}
+		nestPos[i] = true
+		nestedAttrs = append(nestedAttrs, r.Schema.Attr(i))
+	}
+	nestedSchema, err := NewSchema(nestedAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	var outerAttrs []Attr
+	var outerPos []int
+	for i := 0; i < r.Schema.Len(); i++ {
+		if !nestPos[i] {
+			outerAttrs = append(outerAttrs, r.Schema.Attr(i))
+			outerPos = append(outerPos, i)
+		}
+	}
+	outerAttrs = append(outerAttrs, Attr{Name: as, Nested: nestedSchema})
+	schema, err := NewSchema(outerAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name+"_nest", schema)
+	groups := make(map[string]*Relation)
+	var order []string
+	heads := make(map[string]Tuple)
+	for _, t := range r.Tuples {
+		head := make(Tuple, 0, len(outerPos))
+		for _, p := range outerPos {
+			head = append(head, t[p])
+		}
+		hk := tupleKey(head)
+		g, ok := groups[hk]
+		if !ok {
+			g = New(as, nestedSchema)
+			groups[hk] = g
+			order = append(order, hk)
+			heads[hk] = head
+		}
+		inner := make(Tuple, 0, len(cols))
+		for i := 0; i < r.Schema.Len(); i++ {
+			if nestPos[i] {
+				inner = append(inner, t[i])
+			}
+		}
+		g.Tuples = append(g.Tuples, inner)
+	}
+	for _, hk := range order {
+		tuple := append(append(Tuple{}, heads[hk]...), Nested{R: groups[hk]})
+		out.Tuples = append(out.Tuples, tuple)
+	}
+	return out, nil
+}
+
+// Unnest implements μ: it flattens the named relation-valued attribute,
+// producing one output tuple per inner tuple.
+func (r *Relation) Unnest(col string) (*Relation, error) {
+	pos, ok := r.Schema.Lookup(col)
+	if !ok {
+		return nil, fmt.Errorf("nf2: %s has no attribute %q", r.Name, col)
+	}
+	a := r.Schema.Attr(pos)
+	if a.Atomic() {
+		return nil, fmt.Errorf("nf2: %s.%s is atomic", r.Name, col)
+	}
+	var attrs []Attr
+	for i := 0; i < r.Schema.Len(); i++ {
+		if i != pos {
+			attrs = append(attrs, r.Schema.Attr(i))
+		}
+	}
+	for i := 0; i < a.Nested.Len(); i++ {
+		attrs = append(attrs, a.Nested.Attr(i))
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name+"_unnest", schema)
+	for _, t := range r.Tuples {
+		nested := t[pos].(Nested).R
+		for _, inner := range nested.Tuples {
+			nt := make(Tuple, 0, schema.Len())
+			for i, v := range t {
+				if i != pos {
+					nt = append(nt, v)
+				}
+			}
+			nt = append(nt, inner...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// Select keeps tuples satisfying the predicate.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.Name+"_sel", r.Schema)
+	for _, t := range r.Tuples {
+		if pred(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// AtomicCells counts the atomic values stored in the relation, descending
+// into nested relations — the storage-footprint figure of the P2
+// experiment (shared subobjects count once per duplication).
+func (r *Relation) AtomicCells() int {
+	n := 0
+	for _, t := range r.Tuples {
+		for _, v := range t {
+			switch v := v.(type) {
+			case Atomic:
+				n++
+			case Nested:
+				n += v.R.AtomicCells()
+			}
+		}
+	}
+	return n
+}
+
+// String renders the relation with nested values in braces (diagnostics).
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", r.Name)
+	for i := 0; i < r.Schema.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a := r.Schema.Attr(i)
+		if a.Atomic() {
+			b.WriteString(a.Name)
+		} else {
+			fmt.Fprintf(&b, "%s{…}", a.Name)
+		}
+	}
+	fmt.Fprintf(&b, ") %d tuple(s)", r.Len())
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package nf2_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mad/internal/core"
+	"mad/internal/geo"
+	"mad/internal/model"
+	"mad/internal/nf2"
+)
+
+// flatOrders builds a flat relation of (customer, item) pairs.
+func flatOrders(t *testing.T, rows [][2]string) *nf2.Relation {
+	t.Helper()
+	r := nf2.New("orders", nf2.MustSchema(
+		nf2.Attr{Name: "customer", Kind: model.KString},
+		nf2.Attr{Name: "item", Kind: model.KString},
+	))
+	for _, row := range rows {
+		if err := r.Insert(nf2.Atomic{V: model.Str(row[0])}, nf2.Atomic{V: model.Str(row[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestNestUnnestRoundTrip(t *testing.T) {
+	r := flatOrders(t, [][2]string{
+		{"ann", "bolt"}, {"ann", "nut"}, {"bob", "bolt"}, {"cid", "gear"},
+	})
+	nested, err := r.Nest([]string{"item"}, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.Len() != 3 {
+		t.Fatalf("nest groups = %d", nested.Len())
+	}
+	flat, err := nested.Unnest("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Equal(r) {
+		t.Fatal("unnest(nest(r)) != r")
+	}
+}
+
+func TestNestUnnestPropertyRandom(t *testing.T) {
+	// Property 11 of DESIGN.md over random key-grouped relations.
+	f := func(pairs []uint8) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		rows := make([][2]string, 0, len(pairs))
+		seen := map[[2]string]bool{}
+		for i, p := range pairs {
+			row := [2]string{string(rune('a' + int(p)%5)), string(rune('k' + i%7))}
+			if seen[row] {
+				continue // keep set semantics so Equal is well-defined
+			}
+			seen[row] = true
+			rows = append(rows, row)
+		}
+		if len(rows) == 0 {
+			return true
+		}
+		r := nf2.New("r", nf2.MustSchema(
+			nf2.Attr{Name: "k", Kind: model.KString},
+			nf2.Attr{Name: "v", Kind: model.KString},
+		))
+		for _, row := range rows {
+			if err := r.Insert(nf2.Atomic{V: model.Str(row[0])}, nf2.Atomic{V: model.Str(row[1])}); err != nil {
+				return false
+			}
+		}
+		n, err := r.Nest([]string{"v"}, "vs")
+		if err != nil {
+			return false
+		}
+		u, err := n.Unnest("vs")
+		if err != nil {
+			return false
+		}
+		return u.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertShapeChecking(t *testing.T) {
+	inner := nf2.MustSchema(nf2.Attr{Name: "x", Kind: model.KInt})
+	s := nf2.MustSchema(
+		nf2.Attr{Name: "k", Kind: model.KString},
+		nf2.Attr{Name: "xs", Nested: inner},
+	)
+	r := nf2.New("r", s)
+	// Atomic where nested expected.
+	if err := r.Insert(nf2.Atomic{V: model.Str("a")}, nf2.Atomic{V: model.Int(1)}); err == nil {
+		t.Fatal("atomic into nested attr must fail")
+	}
+	// Nested with wrong schema.
+	wrong := nf2.New("w", nf2.MustSchema(nf2.Attr{Name: "y", Kind: model.KInt}))
+	if err := r.Insert(nf2.Atomic{V: model.Str("a")}, nf2.Nested{R: wrong}); err == nil {
+		t.Fatal("nested schema mismatch must fail")
+	}
+	ok := nf2.New("xs", inner)
+	_ = ok.Insert(nf2.Atomic{V: model.Int(1)})
+	if err := r.Insert(nf2.Atomic{V: model.Str("a")}, nf2.Nested{R: ok}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromMoleculesDuplicatesSharedSubobjects(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(s.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := nf2.FromMolecules(s.DB, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.Len() != 10 {
+		t.Fatalf("nested tuples = %d", nested.Len())
+	}
+	// NF² has no sharing: the materialization stores at least one atomic
+	// cell per (molecule, component) pair — strictly more than the number
+	// of distinct atoms when molecules overlap.
+	if set.DistinctAtoms() >= set.TotalAtoms() {
+		t.Fatal("test premise broken: no sharing in sample")
+	}
+	if nested.AtomicCells() <= set.DistinctAtoms() {
+		t.Fatalf("NF² cells (%d) should exceed distinct atoms (%d)",
+			nested.AtomicCells(), set.DistinctAtoms())
+	}
+}
+
+func TestFromMoleculesRejectsNonTree(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A multi-parent structure: point with two incoming edges cannot nest.
+	mt, err := core.Define(s.DB, "diamondish",
+		[]string{"state", "area", "edge", "point", "net"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+			{Link: "net-edge", From: "edge", To: "net"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := mt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf2.FromMolecules(s.DB, set); err != nil {
+		t.Fatalf("tree with branching should nest: %v", err)
+	}
+	// Now an actual multi-parent node.
+	mt2, err := core.Define(s.DB, "multi",
+		[]string{"state", "area", "net", "edge"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "net-edge", From: "net", To: "edge"},
+		})
+	if err == nil {
+		set2, err := mt2.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nf2.FromMolecules(s.DB, set2); err == nil {
+			t.Fatal("multi-parent structure must be rejected")
+		}
+	}
+	// (Define fails earlier for two roots; if so, the nf2 rejection path
+	// is covered by constructing molecules over a diamond in core tests.)
+}
+
+func TestSelectOnNested(t *testing.T) {
+	r := flatOrders(t, [][2]string{{"ann", "bolt"}, {"bob", "nut"}})
+	nested, err := r.Nest([]string{"item"}, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := nested.Select(func(tp nf2.Tuple) bool {
+		v := tp[0].(nf2.Atomic).V
+		s, _ := v.AsString()
+		return s == "ann"
+	})
+	if sel.Len() != 1 {
+		t.Fatalf("select = %d", sel.Len())
+	}
+}

@@ -1,0 +1,77 @@
+package prima_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/geo"
+	"mad/internal/model"
+	"mad/internal/prima"
+)
+
+func TestRunReportsBothLayers(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := prima.New(s.DB)
+	mt, err := core.Define(s.DB, "mt_state",
+		[]string{"state", "area", "edge", "point"},
+		[]core.DirectedLink{
+			{Link: "state-area", From: "state", To: "area"},
+			{Link: "area-edge", From: "area", To: "edge"},
+			{Link: "edge-point", From: "edge", To: "point"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, rep, err := e.Run(mt, expr.Cmp{Op: expr.GT,
+		L: expr.Attr{Type: "state", Name: "hectare"},
+		R: expr.Lit(model.Float(300))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("qualified = %d", len(set))
+	}
+	if rep.MoleculesAssembled != 10 || rep.MoleculesQualified != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.AtomLayer.AtomsFetched == 0 || rep.AtomLayer.LinksTraversed == 0 {
+		t.Fatal("atom layer work not accounted")
+	}
+	if rep.AtomsInMolecules == 0 || rep.LinksInMolecules == 0 {
+		t.Fatal("molecule layer work not accounted")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "molecule layer") || !strings.Contains(out, "atom layer") {
+		t.Fatalf("report rendering: %s", out)
+	}
+}
+
+func TestRunMQL(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := prima.New(s.DB)
+	res, rep, err := e.RunMQL("SELECT ALL FROM point-edge-(area-state, net-river) WHERE point.name = 'pn';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 1 {
+		t.Fatalf("molecules = %d", len(res.Set))
+	}
+	if rep.MoleculesAssembled != 1 || rep.AtomsInMolecules == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Session survives across calls.
+	if _, _, err := e.RunMQL("SELECT ALL FROM mt_state(state-area-edge-point);"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.RunMQL("SELECT ALL FROM mt_state;"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package recursive_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mad/internal/bom"
+	"mad/internal/model"
+	"mad/internal/recursive"
+	"mad/internal/storage"
+)
+
+func chainDB(t *testing.T, n int) (*storage.Database, []model.AtomID) {
+	t.Helper()
+	db := storage.NewDatabase()
+	if err := bom.Schema(db); err != nil {
+		t.Fatal(err)
+	}
+	var ids []model.AtomID
+	for i := 0; i < n; i++ {
+		id, err := db.InsertAtom("parts", model.Str("p"), model.Float(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if i > 0 {
+			if err := db.Connect("composition", ids[i-1], ids[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, ids
+}
+
+func TestDefineValidation(t *testing.T) {
+	db, _ := chainDB(t, 2)
+	if _, err := recursive.Define(db, "", "nosuch", "composition", false, 0); err == nil {
+		t.Fatal("unknown atom type must fail")
+	}
+	if _, err := recursive.Define(db, "", "parts", "nosuch", false, 0); err == nil {
+		t.Fatal("unknown link must fail")
+	}
+	if _, err := recursive.Define(db, "", "parts", "composition", false, -1); err == nil {
+		t.Fatal("negative depth must fail")
+	}
+	// Non-reflexive link rejected.
+	if _, err := db.DefineAtomType("other", model.MustDesc(model.AttrDesc{Name: "x", Kind: model.KInt})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("po", model.LinkDesc{SideA: "parts", SideB: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recursive.Define(db, "", "parts", "po", false, 0); err == nil {
+		t.Fatal("non-reflexive link must fail")
+	}
+}
+
+func TestChainExplosionAndWhereUsed(t *testing.T) {
+	db, ids := chainDB(t, 5)
+	down, err := recursive.Define(db, "explosion", "parts", "composition", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := down.DeriveFor(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 5 || m.Depth() != 4 {
+		t.Fatalf("explosion size=%d depth=%d", m.Size(), m.Depth())
+	}
+	up, err := recursive.Define(db, "whereused", "parts", "composition", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := up.DeriveFor(ids[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 5 {
+		t.Fatalf("where-used size = %d", w.Size())
+	}
+	// Depth bound truncates.
+	bounded, err := recursive.Define(db, "", "parts", "composition", false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bounded.DeriveFor(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 3 {
+		t.Fatalf("bounded size = %d", b.Size())
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	db, ids := chainDB(t, 3)
+	// Close the cycle: last part contains the first.
+	if err := db.Connect("composition", ids[2], ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := recursive.Define(db, "", "parts", "composition", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.DeriveFor(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("cyclic closure size = %d (must terminate, include once)", m.Size())
+	}
+	if !m.Contains(ids[0]) || !m.Contains(ids[2]) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestSharedSubcomponentsIncludedOnce(t *testing.T) {
+	b, err := bom.Build(bom.Config{Depth: 3, Branch: 3, Share: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := recursive.Define(b.DB, "", "parts", "composition", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.DeriveFor(b.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != b.NumParts() {
+		t.Fatalf("explosion from root = %d parts, generator made %d", m.Size(), b.NumParts())
+	}
+}
+
+func TestClosureEqualsNaiveClosure(t *testing.T) {
+	// Property 12 of DESIGN.md: adjacency-based fixpoint equals the
+	// relational self-join closure, over random DAGs.
+	f := func(seed uint8, edges []uint16) bool {
+		db := storage.NewDatabase()
+		if err := bom.Schema(db); err != nil {
+			return false
+		}
+		const n = 12
+		var ids []model.AtomID
+		for i := 0; i < n; i++ {
+			id, err := db.InsertAtom("parts", model.Str("p"), model.Float(1))
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for _, e := range edges {
+			a := int(e) % n
+			b := int(e/16) % n
+			if a >= b {
+				continue // keep it a DAG
+			}
+			if err := db.Connect("composition", ids[a], ids[b]); err != nil {
+				return false
+			}
+		}
+		rt, err := recursive.Define(db, "", "parts", "composition", false, 0)
+		if err != nil {
+			return false
+		}
+		root := ids[int(seed)%n]
+		fast, err := rt.Closure(root)
+		if err != nil {
+			return false
+		}
+		naive, err := recursive.NaiveClosure(db, "composition", root, false)
+		if err != nil {
+			return false
+		}
+		if len(fast) != len(naive) {
+			return false
+		}
+		for id := range fast {
+			if !naive[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveAll(t *testing.T) {
+	db, _ := chainDB(t, 4)
+	rt, err := recursive.Define(db, "", "parts", "composition", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("|mv| = %d (one per root atom)", len(all))
+	}
+	// Sizes decrease along the chain.
+	for i, m := range all {
+		if m.Size() != 4-i {
+			t.Fatalf("molecule %d size = %d", i, m.Size())
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package rel is the flat relational baseline the paper compares against
+// (Chapter 2): relations, tuples, selection, projection, cartesian
+// product, hash and nested-loop joins, union and difference. Its purpose
+// is the P1 experiment — "a transformation to the relational model becomes
+// quite cumbersome, since all n:m relationship types have to be modeled by
+// some auxiliary relations. With this, the queries and their processing
+// obviously become more complicated and perhaps less efficient" — so the
+// package also imports a MAD database into the flat schema that
+// transformation produces: one relation per atom type (with a surrogate id
+// column) and one auxiliary relation per link type.
+package rel
+
+import (
+	"fmt"
+	"strings"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Col describes one relation column.
+type Col struct {
+	Name string
+	Kind model.Kind
+}
+
+// Schema is an ordered list of uniquely named columns.
+type Schema struct {
+	cols  []Col
+	index map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate names.
+func NewSchema(cols ...Col) (*Schema, error) {
+	s := &Schema{cols: append([]Col(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("rel: empty column name")
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("rel: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema panicking on error (fixtures).
+func MustSchema(cols ...Col) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the column count.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Col { return s.cols[i] }
+
+// Lookup returns a column position by name.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Concat appends another schema (prefixing with p when names collide).
+func (s *Schema) Concat(o *Schema, prefix string) *Schema {
+	cols := append([]Col(nil), s.cols...)
+	for _, c := range o.cols {
+		name := c.Name
+		if _, clash := s.index[name]; clash {
+			name = prefix + "." + name
+		}
+		cols = append(cols, Col{Name: name, Kind: c.Kind})
+	}
+	ns, err := NewSchema(cols...)
+	if err != nil {
+		// A second collision can only happen when prefix already occurs;
+		// disambiguate deterministically.
+		for i := range cols {
+			cols[i].Name = fmt.Sprintf("c%d_%s", i, cols[i].Name)
+		}
+		ns = MustSchema(cols...)
+	}
+	return ns
+}
+
+// Tuple is one row; it has exactly schema.Len() values.
+type Tuple []model.Value
+
+// Relation is a named multiset of tuples over a schema. The baseline
+// follows SQL multiset semantics; Distinct removes duplicates when set
+// semantics are required.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// New creates an empty relation.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Insert appends a tuple after arity checking.
+func (r *Relation) Insert(vals ...model.Value) error {
+	if len(vals) != r.Schema.Len() {
+		return fmt.Errorf("rel: %s: %d values for %d columns", r.Name, len(vals), r.Schema.Len())
+	}
+	r.Tuples = append(r.Tuples, Tuple(vals))
+	return nil
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Select keeps the tuples satisfying the predicate.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.Name+"_sel", r.Schema)
+	for _, t := range r.Tuples {
+		if pred(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// SelectEq keeps tuples whose named column equals v.
+func (r *Relation) SelectEq(col string, v model.Value) (*Relation, error) {
+	i, ok := r.Schema.Lookup(col)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", r.Name, col)
+	}
+	return r.Select(func(t Tuple) bool { return t[i].Equal(v) }), nil
+}
+
+// Project keeps the named columns, in the given order (multiset result;
+// call Distinct for set semantics).
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	pos := make([]int, len(cols))
+	newCols := make([]Col, len(cols))
+	for i, c := range cols {
+		p, ok := r.Schema.Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("rel: %s has no column %q", r.Name, c)
+		}
+		pos[i] = p
+		newCols[i] = r.Schema.Col(p)
+	}
+	schema, err := NewSchema(newCols...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name+"_proj", schema)
+	for _, t := range r.Tuples {
+		nt := make(Tuple, len(pos))
+		for i, p := range pos {
+			nt[i] = t[p]
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// tupleKey canonicalizes a tuple for hashing.
+func tupleKey(t Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(v.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Distinct removes duplicate tuples, preserving first occurrence order.
+func (r *Relation) Distinct() *Relation {
+	out := New(r.Name, r.Schema)
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := tupleKey(t)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// Product is the cartesian product.
+func (r *Relation) Product(o *Relation) *Relation {
+	schema := r.Schema.Concat(o.Schema, o.Name)
+	out := New(r.Name+"_x_"+o.Name, schema)
+	for _, t := range r.Tuples {
+		for _, u := range o.Tuples {
+			nt := make(Tuple, 0, len(t)+len(u))
+			nt = append(nt, t...)
+			nt = append(nt, u...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out
+}
+
+// HashJoin equi-joins r and o on r.leftCol = o.rightCol, building a hash
+// table over the smaller input.
+func (r *Relation) HashJoin(o *Relation, leftCol, rightCol string) (*Relation, error) {
+	li, ok := r.Schema.Lookup(leftCol)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", r.Name, leftCol)
+	}
+	ri, ok := o.Schema.Lookup(rightCol)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", o.Name, rightCol)
+	}
+	schema := r.Schema.Concat(o.Schema, o.Name)
+	out := New(r.Name+"_join_"+o.Name, schema)
+	// Build on the right, probe with the left (right is usually the
+	// smaller auxiliary relation in the experiments; symmetry is fine).
+	build := make(map[model.Key][]Tuple, len(o.Tuples))
+	for _, u := range o.Tuples {
+		k := u[ri].Key()
+		build[k] = append(build[k], u)
+	}
+	for _, t := range r.Tuples {
+		for _, u := range build[t[li].Key()] {
+			nt := make(Tuple, 0, len(t)+len(u))
+			nt = append(nt, t...)
+			nt = append(nt, u...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin is the quadratic equi-join, kept as the naive comparator.
+func (r *Relation) NestedLoopJoin(o *Relation, leftCol, rightCol string) (*Relation, error) {
+	li, ok := r.Schema.Lookup(leftCol)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", r.Name, leftCol)
+	}
+	ri, ok := o.Schema.Lookup(rightCol)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", o.Name, rightCol)
+	}
+	schema := r.Schema.Concat(o.Schema, o.Name)
+	out := New(r.Name+"_nljoin_"+o.Name, schema)
+	for _, t := range r.Tuples {
+		for _, u := range o.Tuples {
+			if t[li].Equal(u[ri]) {
+				nt := make(Tuple, 0, len(t)+len(u))
+				nt = append(nt, t...)
+				nt = append(nt, u...)
+				out.Tuples = append(out.Tuples, nt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Union concatenates two union-compatible relations (multiset).
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	if err := compatible(r, o); err != nil {
+		return nil, err
+	}
+	out := New(r.Name+"_union", r.Schema)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	out.Tuples = append(out.Tuples, o.Tuples...)
+	return out, nil
+}
+
+// Diff returns the tuples of r not present in o (set difference).
+func (r *Relation) Diff(o *Relation) (*Relation, error) {
+	if err := compatible(r, o); err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(o.Tuples))
+	for _, t := range o.Tuples {
+		drop[tupleKey(t)] = true
+	}
+	out := New(r.Name+"_diff", r.Schema)
+	for _, t := range r.Tuples {
+		if !drop[tupleKey(t)] {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+func compatible(r, o *Relation) error {
+	if r.Schema.Len() != o.Schema.Len() {
+		return fmt.Errorf("rel: %s and %s are not union-compatible", r.Name, o.Name)
+	}
+	for i := 0; i < r.Schema.Len(); i++ {
+		if r.Schema.Col(i).Kind != o.Schema.Col(i).Kind {
+			return fmt.Errorf("rel: column %d kind mismatch", i)
+		}
+	}
+	return nil
+}
+
+// Database is a named set of relations.
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDatabase creates an empty relational database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation.
+func (d *Database) Add(r *Relation) error {
+	if _, dup := d.rels[r.Name]; dup {
+		return fmt.Errorf("rel: relation %q already exists", r.Name)
+	}
+	d.rels[r.Name] = r
+	d.order = append(d.order, r.Name)
+	return nil
+}
+
+// Rel resolves a relation by name.
+func (d *Database) Rel(name string) (*Relation, bool) {
+	r, ok := d.rels[name]
+	return r, ok
+}
+
+// Names lists the relations in registration order.
+func (d *Database) Names() []string { return append([]string(nil), d.order...) }
+
+// NumRelations returns the relation count — the schema-size figure of the
+// F1 comparison.
+func (d *Database) NumRelations() int { return len(d.rels) }
+
+// ImportMAD performs the flat transformation of a MAD database the paper
+// describes: one relation per atom type with a surrogate "id" column
+// prepended, and one auxiliary relation "<link>__aux"(a_id, b_id) per link
+// type — the general n:m encoding.
+func ImportMAD(db *storage.Database) (*Database, error) {
+	out := NewDatabase()
+	for _, at := range db.Schema().AtomTypes() {
+		cols := []Col{{Name: "id", Kind: model.KID}}
+		for _, ad := range at.Desc.Attrs() {
+			cols = append(cols, Col{Name: ad.Name, Kind: ad.Kind})
+		}
+		schema, err := NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		r := New(at.Name, schema)
+		if err := db.ScanAtoms(at.Name, func(a model.Atom) bool {
+			vals := make([]model.Value, 0, len(a.Vals)+1)
+			vals = append(vals, model.ID(a.ID))
+			vals = append(vals, a.Vals...)
+			r.Tuples = append(r.Tuples, vals)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if err := out.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, lt := range db.Schema().LinkTypes() {
+		schema := MustSchema(Col{Name: "a_id", Kind: model.KID}, Col{Name: "b_id", Kind: model.KID})
+		r := New(lt.Name+"__aux", schema)
+		ls, ok := db.LinkStore(lt.Name)
+		if !ok {
+			return nil, fmt.Errorf("rel: link type %q has no store", lt.Name)
+		}
+		ls.Scan(func(l model.Link) bool {
+			r.Tuples = append(r.Tuples, Tuple{model.ID(l.A), model.ID(l.B)})
+			return true
+		})
+		if err := out.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Renamed returns a view of the relation with one column renamed; tuples
+// are shared with the receiver.
+func (r *Relation) Renamed(old, new string) (*Relation, error) {
+	i, ok := r.Schema.Lookup(old)
+	if !ok {
+		return nil, fmt.Errorf("rel: %s has no column %q", r.Name, old)
+	}
+	cols := make([]Col, r.Schema.Len())
+	for j := 0; j < r.Schema.Len(); j++ {
+		cols[j] = r.Schema.Col(j)
+	}
+	cols[i].Name = new
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{Name: r.Name, Schema: schema, Tuples: r.Tuples}, nil
+}

@@ -1,0 +1,253 @@
+// Package server exposes a MAD database over TCP, completing the PRIMA
+// picture (Chapter 5): the molecule-processing layer with its MQL
+// interface serving application programs — here, remote clients. Each
+// connection gets its own MQL session (named molecule types are
+// per-session, as in the paper's dynamic object definition); the shared
+// database serializes data access internally.
+//
+// The wire protocol is deliberately simple and self-framing:
+//
+//	client → server:  "REQ <n>\n" followed by n bytes of MQL text
+//	server → client:  "OK <n>\n" or "ERR <n>\n" followed by n payload bytes
+//
+// One request may contain several ';'-separated statements; the payload of
+// an OK response is the concatenated rendering of their results.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mad/internal/mql"
+	"mad/internal/storage"
+)
+
+// maxRequest bounds a single request frame (16 MiB).
+const maxRequest = 16 << 20
+
+// Server serves MQL over TCP.
+type Server struct {
+	db *storage.Database
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server over the database.
+func New(db *storage.Database) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds the address (e.g. "127.0.0.1:7227"; port 0 picks a free
+// one) and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close. It returns nil after a graceful
+// Close and the accept error otherwise.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one connection's session loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	sess := mql.NewSession(s.db)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := readFrame(r, "REQ")
+		if err != nil {
+			return // disconnect or protocol error: drop the connection
+		}
+		payload, execErr := s.exec(sess, string(req))
+		if execErr != nil {
+			if writeFrame(w, "ERR", []byte(execErr.Error())) != nil {
+				return
+			}
+		} else {
+			if writeFrame(w, "OK", []byte(payload)) != nil {
+				return
+			}
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// exec runs one request's statements and renders the results.
+func (s *Server) exec(sess *mql.Session, src string) (string, error) {
+	results, err := sess.ExecScript(src)
+	var b strings.Builder
+	for _, res := range results {
+		b.WriteString(res.Render(s.db))
+	}
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// readFrame reads "<verb> <n>\n" + n bytes.
+func readFrame(r *bufio.Reader, wantVerb string) ([]byte, error) {
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	header = strings.TrimSuffix(header, "\n")
+	verb, sizeStr, ok := strings.Cut(header, " ")
+	if !ok || verb != wantVerb {
+		return nil, fmt.Errorf("server: bad frame header %q", header)
+	}
+	n, err := strconv.Atoi(sizeStr)
+	if err != nil || n < 0 || n > maxRequest {
+		return nil, fmt.Errorf("server: bad frame size %q", sizeStr)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes "<verb> <n>\n" + payload.
+func writeFrame(w *bufio.Writer, verb string, payload []byte) error {
+	if _, err := fmt.Fprintf(w, "%s %d\n", verb, len(payload)); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a blocking MQL client for the wire protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Exec sends MQL text and returns the rendered result. A server-side
+// statement error comes back as a *RemoteError*.
+func (c *Client) Exec(src string) (string, error) {
+	if err := writeFrame(c.w, "REQ", []byte(src)); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	header, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	header = strings.TrimSuffix(header, "\n")
+	verb, sizeStr, ok := strings.Cut(header, " ")
+	if !ok {
+		return "", fmt.Errorf("server: bad response header %q", header)
+	}
+	n, err := strconv.Atoi(sizeStr)
+	if err != nil || n < 0 || n > maxRequest {
+		return "", fmt.Errorf("server: bad response size %q", sizeStr)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	switch verb {
+	case "OK":
+		return string(buf), nil
+	case "ERR":
+		return "", &RemoteError{Msg: string(buf)}
+	}
+	return "", fmt.Errorf("server: unknown response verb %q", verb)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteError is a statement error reported by the server.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }

@@ -1,0 +1,247 @@
+package server_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mad/internal/geo"
+	"mad/internal/server"
+	"mad/internal/storage"
+)
+
+// startServer boots a server on a free port and returns a dialed client.
+func startServer(t *testing.T, db *storage.Database) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, addr.String()
+}
+
+func TestServerBasicSession(t *testing.T) {
+	_, addr := startServer(t, storage.NewDatabase())
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	out, err := c.Exec(`
+CREATE ATOM TYPE t (name STRING NOT NULL);
+INSERT INTO t VALUES ('x'), ('y');
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "inserted 2 atom(s)") {
+		t.Fatalf("out: %s", out)
+	}
+	out, err = c.Exec("SELECT ALL FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 molecule(s)") {
+		t.Fatalf("query out: %s", out)
+	}
+}
+
+func TestServerErrorsAreRemoteErrors(t *testing.T) {
+	_, addr := startServer(t, storage.NewDatabase())
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT ALL FROM nosuch;")
+	var re *server.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	// The connection survives statement errors.
+	if _, err := c.Exec("SHOW SCHEMA;"); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestServerGeoQueries(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, s.DB)
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Exec("SELECT ALL FROM point-edge-(area-state, net-river) WHERE point.name = 'pn';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Parana", "Sao Paulo", "Goias"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pn neighborhood missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServerSessionsAreIsolated(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, s.DB)
+	c1, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Named molecule types are per-session (dynamic object definition).
+	if _, err := c1.Exec("SELECT ALL FROM mt_state(state-area-edge-point);"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("SELECT ALL FROM mt_state;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("SELECT ALL FROM mt_state;"); err == nil {
+		t.Fatal("session 2 must not see session 1's named types")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, s.DB)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				out, err := c.Exec("SELECT ALL FROM state-area WHERE hectare > 300;")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !strings.Contains(out, "4 molecule(s)") {
+					errs <- errors.New("wrong result under concurrency: " + out[:50])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerLargeResult(t *testing.T) {
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: 512, EdgesPerArea: 3, Sharing: 2, Rivers: 2, RiverEdges: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, syn.DB)
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Exec("SELECT ALL FROM state-area-edge-point;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "512 molecule(s)") {
+		t.Fatal("large result truncated")
+	}
+	if len(out) < 100_000 {
+		t.Fatalf("result suspiciously small: %d bytes", len(out))
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t, storage.NewDatabase())
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close must be a no-op")
+	}
+}
+
+func TestServerDropsProtocolViolators(t *testing.T) {
+	_, addr := startServer(t, storage.NewDatabase())
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("GARBAGE FRAME\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server must drop protocol violators without responding")
+	}
+	// A well-behaved client still works afterwards.
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SHOW SCHEMA;"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerOversizedFrameRejected(t *testing.T) {
+	_, addr := startServer(t, storage.NewDatabase())
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("REQ 999999999999\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("oversized frame must drop the connection")
+	}
+}

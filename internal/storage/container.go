@@ -1,0 +1,161 @@
+// Package storage implements the occurrence half of a MAD database: atom
+// containers (atom-type occurrences), bidirectional link stores (link-type
+// occurrences), secondary indexes and the integrity rules the paper calls
+// out — symmetric links, no dangling references, cardinality restrictions
+// (Section 3.1). Together with a catalog.Schema it realizes the "atom
+// networks" that molecule derivation is laid over.
+package storage
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+)
+
+// Container holds the occurrence of one atom type: a set of atoms in
+// stable insertion order with O(1) lookup by identifier.
+//
+// A container may hold atoms whose identifiers were issued by *another*
+// atom type: the propagation operator (Definition 9) installs renamed
+// result types whose occurrences are restricted subsets of existing
+// occurrences — the very same atoms, so subobject sharing stays literal.
+// Only natively inserted atoms draw fresh identifiers from this
+// container's sequence.
+type Container struct {
+	typeName string
+	num      model.TypeNum
+	desc     *model.Desc
+
+	atoms []model.Atom         // dense, insertion-ordered
+	index map[model.AtomID]int // id → position in atoms
+	seq   uint64               // last issued native sequence number
+}
+
+// NewContainer creates an empty container for the given atom type.
+func NewContainer(typeName string, num model.TypeNum, desc *model.Desc) *Container {
+	return &Container{
+		typeName: typeName,
+		num:      num,
+		desc:     desc,
+		index:    make(map[model.AtomID]int),
+	}
+}
+
+// TypeName returns the owning atom type's name.
+func (c *Container) TypeName() string { return c.typeName }
+
+// Desc returns the owning atom type's description.
+func (c *Container) Desc() *model.Desc { return c.desc }
+
+// Len returns the number of atoms in the occurrence.
+func (c *Container) Len() int { return len(c.atoms) }
+
+// Insert validates the values against the description, issues a fresh
+// identifier and stores the atom. It returns the new identifier.
+func (c *Container) Insert(vals []model.Value) (model.AtomID, error) {
+	if c.seq >= model.MaxSeq {
+		return 0, fmt.Errorf("storage: atom type %q exhausted its identifier space", c.typeName)
+	}
+	id := model.MakeAtomID(c.num, c.seq+1)
+	a := model.NewAtom(id, vals...).Widened(c.desc)
+	if err := a.Conforms(c.desc); err != nil {
+		return 0, err
+	}
+	c.seq++
+	c.index[id] = len(c.atoms)
+	c.atoms = append(c.atoms, a)
+	return id, nil
+}
+
+// Adopt stores an atom under its existing identifier, as propagation and
+// snapshot loading require. Duplicate identifiers are errors.
+func (c *Container) Adopt(a model.Atom) error {
+	if !a.ID.Valid() {
+		return fmt.Errorf("storage: cannot adopt atom with invalid id into %q", c.typeName)
+	}
+	if _, dup := c.index[a.ID]; dup {
+		return fmt.Errorf("storage: atom %v already present in %q", a.ID, c.typeName)
+	}
+	a = a.Widened(c.desc)
+	if err := a.Conforms(c.desc); err != nil {
+		return err
+	}
+	if a.ID.TypeNum() == c.num && a.ID.Seq() > c.seq {
+		c.seq = a.ID.Seq() // keep native sequence ahead of loaded atoms
+	}
+	c.index[a.ID] = len(c.atoms)
+	c.atoms = append(c.atoms, a)
+	return nil
+}
+
+// Get returns the atom with the given identifier.
+func (c *Container) Get(id model.AtomID) (model.Atom, bool) {
+	i, ok := c.index[id]
+	if !ok {
+		return model.Atom{}, false
+	}
+	return c.atoms[i], true
+}
+
+// Has reports whether the identifier is present.
+func (c *Container) Has(id model.AtomID) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// Delete removes the atom, preserving the insertion order of the rest.
+func (c *Container) Delete(id model.AtomID) bool {
+	i, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	copy(c.atoms[i:], c.atoms[i+1:])
+	c.atoms = c.atoms[:len(c.atoms)-1]
+	delete(c.index, id)
+	for j := i; j < len(c.atoms); j++ {
+		c.index[c.atoms[j].ID] = j
+	}
+	return true
+}
+
+// Update replaces the values of an existing atom after validation.
+func (c *Container) Update(id model.AtomID, vals []model.Value) error {
+	i, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("storage: atom %v not in %q", id, c.typeName)
+	}
+	a := model.NewAtom(id, vals...).Widened(c.desc)
+	if err := a.Conforms(c.desc); err != nil {
+		return err
+	}
+	c.atoms[i] = a
+	return nil
+}
+
+// Scan calls fn for every atom in insertion order; fn returning false
+// stops the scan early.
+func (c *Container) Scan(fn func(model.Atom) bool) {
+	for _, a := range c.atoms {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// IDs returns the identifiers of all atoms in insertion order.
+func (c *Container) IDs() []model.AtomID {
+	ids := make([]model.AtomID, len(c.atoms))
+	for i, a := range c.atoms {
+		ids[i] = a.ID
+	}
+	return ids
+}
+
+// Atoms returns a copy of the occurrence in insertion order.
+func (c *Container) Atoms() []model.Atom {
+	out := make([]model.Atom, len(c.atoms))
+	for i, a := range c.atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}

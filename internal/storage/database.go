@@ -1,0 +1,404 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"mad/internal/catalog"
+	"mad/internal/model"
+)
+
+// Database is a MAD database DB = <AT, LT> (Definition 3): a schema plus
+// the occurrences of every atom type and link type, guarded by one
+// read-write mutex. All mutation goes through Database methods, which
+// maintain referential integrity ("there are no dangling references"),
+// link symmetry, cardinality restrictions and secondary indexes.
+type Database struct {
+	mu         sync.RWMutex
+	schema     *catalog.Schema
+	containers map[string]*Container
+	links      map[string]*LinkStore
+	indexes    map[string]*Index
+	stats      Stats
+}
+
+// NewDatabase returns an empty database with an empty schema.
+func NewDatabase() *Database {
+	return &Database{
+		schema:     catalog.NewSchema(),
+		containers: make(map[string]*Container),
+		links:      make(map[string]*LinkStore),
+		indexes:    make(map[string]*Index),
+	}
+}
+
+// Schema exposes the catalog. Callers must treat it as read-only; all
+// schema mutation goes through DefineAtomType / DefineLinkType so the
+// occurrence side stays in step.
+func (db *Database) Schema() *catalog.Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schema
+}
+
+// Stats returns the live statistics block.
+func (db *Database) Stats() *Stats { return &db.stats }
+
+// DefineAtomType declares an atom type and creates its (empty) container.
+func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.AtomType, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	at, err := db.schema.AddAtomType(name, desc)
+	if err != nil {
+		return nil, err
+	}
+	db.containers[name] = NewContainer(name, at.Num, desc)
+	return at, nil
+}
+
+// DefineLinkType declares a link type and creates its (empty) store.
+func (db *Database) DefineLinkType(name string, desc model.LinkDesc) (*catalog.LinkType, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	lt, err := db.schema.AddLinkType(name, desc)
+	if err != nil {
+		return nil, err
+	}
+	db.links[name] = NewLinkStore(name, desc)
+	return lt, nil
+}
+
+// containerByName resolves a container; callers hold db.mu.
+func (db *Database) containerByName(name string) (*Container, bool) {
+	c, ok := db.containers[name]
+	return c, ok
+}
+
+// Container exposes the container of an atom type for read-mostly callers
+// such as the algebra layers. The container is shared, not a copy.
+func (db *Database) Container(name string) (*Container, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.containerByName(name)
+}
+
+// LinkStore exposes the store of a link type.
+func (db *Database) LinkStore(name string) (*LinkStore, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ls, ok := db.links[name]
+	return ls, ok
+}
+
+// InsertAtom validates and stores a new atom of the named type, returning
+// its identifier.
+func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	id, err := c.Insert(vals)
+	if err != nil {
+		return 0, err
+	}
+	db.stats.AtomsInserted.Add(1)
+	a, _ := c.Get(id)
+	for _, ix := range db.indexesOf(typeName) {
+		ix.Add(a)
+	}
+	return id, nil
+}
+
+// AdoptAtom stores an atom under its existing identifier — used by
+// propagation (Definition 9) and snapshot loading.
+func (db *Database) AdoptAtom(typeName string, a model.Atom) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	if err := c.Adopt(a); err != nil {
+		return err
+	}
+	db.stats.AtomsInserted.Add(1)
+	stored, _ := c.Get(a.ID)
+	for _, ix := range db.indexesOf(typeName) {
+		ix.Add(stored)
+	}
+	return nil
+}
+
+// GetAtom fetches one atom of the named type.
+func (db *Database) GetAtom(typeName string, id model.AtomID) (model.Atom, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return model.Atom{}, false
+	}
+	a, ok := c.Get(id)
+	if ok {
+		db.stats.AtomsFetched.Add(1)
+	}
+	return a, ok
+}
+
+// HasAtom reports whether the named type's occurrence contains id.
+func (db *Database) HasAtom(typeName string, id model.AtomID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.containerByName(typeName)
+	return ok && c.Has(id)
+}
+
+// ResolveAtom finds the atom by identifier in its *native* type — the atom
+// type whose number the identifier embeds. It returns the atom and the
+// type name.
+func (db *Database) ResolveAtom(id model.AtomID) (model.Atom, string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	at, ok := db.schema.AtomTypeByNum(id.TypeNum())
+	if !ok {
+		return model.Atom{}, "", false
+	}
+	c, ok := db.containerByName(at.Name)
+	if !ok {
+		return model.Atom{}, "", false
+	}
+	a, ok := c.Get(id)
+	if ok {
+		db.stats.AtomsFetched.Add(1)
+	}
+	return a, at.Name, ok
+}
+
+// UpdateAtom replaces the attribute values of an existing atom, keeping
+// secondary indexes in step.
+func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	old, ok := c.Get(id)
+	if !ok {
+		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
+	}
+	if err := c.Update(id, vals); err != nil {
+		return err
+	}
+	updated, _ := c.Get(id)
+	for _, ix := range db.indexesOf(typeName) {
+		ix.remove(old)
+		ix.Add(updated)
+	}
+	return nil
+}
+
+// DeleteAtom removes an atom from the named type's occurrence and drops
+// every link incident to it in link types mentioning that type, so no
+// dangling links remain. It returns the number of links dropped.
+func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	a, ok := c.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("storage: atom %v not in %q", id, typeName)
+	}
+	for _, ix := range db.indexesOf(typeName) {
+		ix.remove(a)
+	}
+	dropped := 0
+	for _, lt := range db.schema.LinkTypesOf(typeName) {
+		if ls, ok := db.links[lt.Name]; ok {
+			dropped += ls.DropAtom(id)
+		}
+	}
+	c.Delete(id)
+	db.stats.AtomsDeleted.Add(1)
+	db.stats.LinksDropped.Add(int64(dropped))
+	return dropped, nil
+}
+
+// Connect inserts a link of the named type between atom a (side A) and
+// atom b (side B). Both endpoints must exist in their side's occurrence;
+// cardinality restrictions are enforced.
+func (db *Database) Connect(linkName string, a, b model.AtomID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ls, ok := db.links[linkName]
+	if !ok {
+		return fmt.Errorf("storage: unknown link type %q", linkName)
+	}
+	ca, ok := db.containerByName(ls.desc.SideA)
+	if !ok || !ca.Has(a) {
+		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
+	}
+	cb, ok := db.containerByName(ls.desc.SideB)
+	if !ok || !cb.Has(b) {
+		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, b, ls.desc.SideB)
+	}
+	if err := ls.Connect(a, b); err != nil {
+		return err
+	}
+	db.stats.LinksConnected.Add(1)
+	return nil
+}
+
+// Disconnect removes a link; it reports whether the link existed.
+func (db *Database) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ls, ok := db.links[linkName]
+	if !ok {
+		return false, fmt.Errorf("storage: unknown link type %q", linkName)
+	}
+	removed := ls.Disconnect(a, b)
+	if removed {
+		db.stats.LinksDropped.Add(1)
+	}
+	return removed, nil
+}
+
+// Partners returns the atoms linked to id through the named link type,
+// traversing from side A when fromSideA is true, from side B otherwise —
+// the symmetric navigation underlying molecule derivation. The returned
+// slice is shared; callers must not mutate it.
+func (db *Database) Partners(linkName string, id model.AtomID, fromSideA bool) ([]model.AtomID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ls, ok := db.links[linkName]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown link type %q", linkName)
+	}
+	var out []model.AtomID
+	if fromSideA {
+		out = ls.PartnersFromA(id)
+	} else {
+		out = ls.PartnersFromB(id)
+	}
+	db.stats.LinksTraversed.Add(int64(len(out)) + 1)
+	return out, nil
+}
+
+// ScanAtoms iterates the named type's occurrence in insertion order.
+func (db *Database) ScanAtoms(typeName string, fn func(model.Atom) bool) error {
+	db.mu.RLock()
+	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	n := int64(0)
+	c.Scan(func(a model.Atom) bool {
+		n++
+		return fn(a)
+	})
+	db.stats.AtomsFetched.Add(n)
+	return nil
+}
+
+// CountAtoms returns the occurrence size of the named atom type.
+func (db *Database) CountAtoms(typeName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	return c.Len(), nil
+}
+
+// CountLinks returns the occurrence size of the named link type.
+func (db *Database) CountLinks(linkName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ls, ok := db.links[linkName]
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown link type %q", linkName)
+	}
+	return ls.Len(), nil
+}
+
+// TotalAtoms returns the number of atoms across all atom types.
+func (db *Database) TotalAtoms() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, c := range db.containers {
+		n += c.Len()
+	}
+	return n
+}
+
+// TotalLinks returns the number of links across all link types.
+func (db *Database) TotalLinks() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, ls := range db.links {
+		n += ls.Len()
+	}
+	return n
+}
+
+// CheckIntegrity verifies the invariants the model guarantees: every link
+// endpoint exists in its side's occurrence, the two adjacency directions
+// mirror each other, and cardinality restrictions hold. It returns the
+// first violation found, or nil.
+func (db *Database) CheckIntegrity() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, lt := range db.schema.LinkTypes() {
+		ls := db.links[lt.Name]
+		if ls == nil {
+			return fmt.Errorf("storage: link type %q has no store", lt.Name)
+		}
+		ca, ok := db.containerByName(lt.Desc.SideA)
+		if !ok {
+			return fmt.Errorf("storage: link type %q: side %q has no container", lt.Name, lt.Desc.SideA)
+		}
+		cb, ok := db.containerByName(lt.Desc.SideB)
+		if !ok {
+			return fmt.Errorf("storage: link type %q: side %q has no container", lt.Name, lt.Desc.SideB)
+		}
+		var err error
+		ls.Scan(func(l model.Link) bool {
+			if !ca.Has(l.A) {
+				err = fmt.Errorf("storage: dangling link %v in %q: %v not in %q", l, lt.Name, l.A, lt.Desc.SideA)
+				return false
+			}
+			if !cb.Has(l.B) {
+				err = fmt.Errorf("storage: dangling link %v in %q: %v not in %q", l, lt.Name, l.B, lt.Desc.SideB)
+				return false
+			}
+			if !containsID(ls.PartnersFromB(l.B), l.A) {
+				err = fmt.Errorf("storage: asymmetric link %v in %q", l, lt.Name)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for a, partners := range ls.fromA {
+			if !lt.Desc.CardA.Allows(len(partners)) && len(partners) > 0 {
+				return fmt.Errorf("storage: %q: atom %v violates cardinality %s", lt.Name, a, lt.Desc.CardA)
+			}
+		}
+		for b, partners := range ls.fromB {
+			if !lt.Desc.CardB.Allows(len(partners)) && len(partners) > 0 {
+				return fmt.Errorf("storage: %q: atom %v violates cardinality %s", lt.Name, b, lt.Desc.CardB)
+			}
+		}
+	}
+	return nil
+}

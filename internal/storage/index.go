@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"mad/internal/model"
+)
+
+// Index is a secondary hash index over one attribute of one atom type,
+// mapping attribute value to the identifiers of atoms carrying it. The
+// query optimizer uses it for equality restrictions on molecule roots.
+type Index struct {
+	typeName string
+	attr     string
+	pos      int
+	entries  map[model.Key][]model.AtomID
+}
+
+// NewIndex creates an empty index over the attribute at position pos.
+func NewIndex(typeName, attr string, pos int) *Index {
+	return &Index{
+		typeName: typeName,
+		attr:     attr,
+		pos:      pos,
+		entries:  make(map[model.Key][]model.AtomID),
+	}
+}
+
+// Attr returns the indexed attribute name.
+func (ix *Index) Attr() string { return ix.attr }
+
+// Add registers an atom under its attribute value.
+func (ix *Index) Add(a model.Atom) {
+	k := a.Get(ix.pos).Key()
+	ix.entries[k] = append(ix.entries[k], a.ID)
+}
+
+// remove unregisters an atom.
+func (ix *Index) remove(a model.Atom) {
+	k := a.Get(ix.pos).Key()
+	ix.entries[k] = removeID(ix.entries[k], a.ID)
+	if len(ix.entries[k]) == 0 {
+		delete(ix.entries, k)
+	}
+}
+
+// Lookup returns the identifiers of atoms whose attribute equals v, sorted
+// ascending for determinism.
+func (ix *Index) Lookup(v model.Value) []model.AtomID {
+	ids := ix.entries[v.Key()]
+	out := make([]model.AtomID, len(ids))
+	copy(out, ids)
+	return model.SortAtomIDs(out)
+}
+
+// Len returns the number of distinct keys in the index.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// indexKey names an index within the database.
+func indexKey(typeName, attr string) string { return typeName + "." + attr }
+
+// CreateIndex builds a secondary index over typeName.attr, back-filling it
+// from the current occurrence. It errs on unknown types or attributes and
+// on duplicate index creation.
+func (db *Database) CreateIndex(typeName, attr string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	pos, ok := c.Desc().Lookup(attr)
+	if !ok {
+		return fmt.Errorf("storage: atom type %q has no attribute %q", typeName, attr)
+	}
+	key := indexKey(typeName, attr)
+	if _, dup := db.indexes[key]; dup {
+		return fmt.Errorf("storage: index on %s already exists", key)
+	}
+	ix := NewIndex(typeName, attr, pos)
+	c.Scan(func(a model.Atom) bool {
+		ix.Add(a)
+		return true
+	})
+	db.indexes[key] = ix
+	return nil
+}
+
+// DropIndex removes the index over typeName.attr.
+func (db *Database) DropIndex(typeName, attr string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := indexKey(typeName, attr)
+	if _, ok := db.indexes[key]; !ok {
+		return false
+	}
+	delete(db.indexes, key)
+	return true
+}
+
+// IndexLookup consults the index over typeName.attr, returning ok=false
+// when no such index exists.
+func (db *Database) IndexLookup(typeName, attr string, v model.Value) ([]model.AtomID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ix, ok := db.indexes[indexKey(typeName, attr)]
+	if !ok {
+		return nil, false
+	}
+	db.stats.IndexLookups.Add(1)
+	return ix.Lookup(v), true
+}
+
+// Indexes lists the existing indexes as "type.attr" strings, sorted.
+func (db *Database) Indexes() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.indexes))
+	for k := range db.indexes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexesOf returns the indexes covering the named atom type.
+func (db *Database) indexesOf(typeName string) []*Index {
+	var out []*Index
+	for k, ix := range db.indexes {
+		if ix.typeName == typeName {
+			_ = k
+			out = append(out, ix)
+		}
+	}
+	return out
+}

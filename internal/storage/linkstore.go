@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+)
+
+// LinkStore holds the occurrence of one link type as a pair of adjacency
+// maps, one per declared side, so that both traversal directions are O(1)
+// per step. The two maps always mirror each other: links are symmetric
+// ("the direct representation and the consideration of bidirectional, i.e.
+// symmetric links establish the basis of the model's flexibility",
+// Section 2).
+//
+// For reflexive link types the sides remain distinct roles — the paper's
+// bill-of-material example evaluates either the super-component or the
+// sub-component view by traversing the same link type in one direction or
+// the other.
+type LinkStore struct {
+	name string
+	desc model.LinkDesc
+
+	fromA map[model.AtomID][]model.AtomID // side-A atom → side-B partners
+	fromB map[model.AtomID][]model.AtomID // side-B atom → side-A partners
+	count int
+}
+
+// NewLinkStore creates an empty occurrence for the given link type.
+func NewLinkStore(name string, desc model.LinkDesc) *LinkStore {
+	return &LinkStore{
+		name:  name,
+		desc:  desc,
+		fromA: make(map[model.AtomID][]model.AtomID),
+		fromB: make(map[model.AtomID][]model.AtomID),
+	}
+}
+
+// Name returns the link type's name.
+func (ls *LinkStore) Name() string { return ls.name }
+
+// Desc returns the link type's description.
+func (ls *LinkStore) Desc() model.LinkDesc { return ls.desc }
+
+// Len returns the number of links in the occurrence.
+func (ls *LinkStore) Len() int { return ls.count }
+
+// Has reports whether the link <a, b> (a on side A) is present. For
+// reflexive link types the unsorted-pair reading applies: <a, b> and
+// <b, a> denote the same link.
+func (ls *LinkStore) Has(a, b model.AtomID) bool {
+	if containsID(ls.fromA[a], b) {
+		return true
+	}
+	if ls.desc.Reflexive() && containsID(ls.fromA[b], a) {
+		return true
+	}
+	return false
+}
+
+// hasExact reports presence of the directed representation only.
+func (ls *LinkStore) hasExact(a, b model.AtomID) bool {
+	return containsID(ls.fromA[a], b)
+}
+
+func containsID(ids []model.AtomID, id model.AtomID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Connect inserts the link <a, b> with a on side A and b on side B. It is
+// idempotent: inserting an existing link (including the mirrored form of a
+// reflexive link) is a no-op. Cardinality restrictions are enforced here.
+func (ls *LinkStore) Connect(a, b model.AtomID) error {
+	if ls.Has(a, b) {
+		return nil
+	}
+	if max := ls.desc.CardA.Max; max > 0 && len(ls.fromA[a])+1 > max {
+		return fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
+			ls.name, a, ls.desc.CardA, ls.desc.SideA)
+	}
+	if max := ls.desc.CardB.Max; max > 0 && len(ls.fromB[b])+1 > max {
+		return fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
+			ls.name, b, ls.desc.CardB, ls.desc.SideB)
+	}
+	ls.fromA[a] = append(ls.fromA[a], b)
+	ls.fromB[b] = append(ls.fromB[b], a)
+	ls.count++
+	return nil
+}
+
+// Disconnect removes the link <a, b>. It returns false when absent. For
+// reflexive link types it removes whichever orientation is stored.
+func (ls *LinkStore) Disconnect(a, b model.AtomID) bool {
+	if ls.hasExact(a, b) {
+		ls.fromA[a] = removeID(ls.fromA[a], b)
+		ls.fromB[b] = removeID(ls.fromB[b], a)
+		ls.count--
+		return true
+	}
+	if ls.desc.Reflexive() && ls.hasExact(b, a) {
+		ls.fromA[b] = removeID(ls.fromA[b], a)
+		ls.fromB[a] = removeID(ls.fromB[a], b)
+		ls.count--
+		return true
+	}
+	return false
+}
+
+func removeID(ids []model.AtomID, id model.AtomID) []model.AtomID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// PartnersFromA returns side-B partners of a side-A atom, in insertion
+// order. For reflexive link types this is the "forward" view (e.g.
+// sub-components). The returned slice is shared; callers must not mutate.
+func (ls *LinkStore) PartnersFromA(a model.AtomID) []model.AtomID { return ls.fromA[a] }
+
+// PartnersFromB returns side-A partners of a side-B atom — the symmetric
+// view. The returned slice is shared; callers must not mutate it.
+func (ls *LinkStore) PartnersFromB(b model.AtomID) []model.AtomID { return ls.fromB[b] }
+
+// Degree returns the number of partners of an atom on the given side.
+func (ls *LinkStore) Degree(id model.AtomID, sideA bool) int {
+	if sideA {
+		return len(ls.fromA[id])
+	}
+	return len(ls.fromB[id])
+}
+
+// DropAtom removes every link incident to the atom on either side and
+// returns how many links were removed. The database uses this to guarantee
+// there are "no dangling references (i.e. links)" after atom deletion.
+func (ls *LinkStore) DropAtom(id model.AtomID) int {
+	removed := 0
+	if partners := ls.fromA[id]; len(partners) > 0 {
+		for _, b := range append([]model.AtomID(nil), partners...) {
+			if ls.Disconnect(id, b) {
+				removed++
+			}
+		}
+	}
+	if partners := ls.fromB[id]; len(partners) > 0 {
+		for _, a := range append([]model.AtomID(nil), partners...) {
+			if ls.Disconnect(a, id) {
+				removed++
+			}
+		}
+	}
+	delete(ls.fromA, id)
+	delete(ls.fromB, id)
+	return removed
+}
+
+// Scan calls fn for every stored link, side-A endpoint first, in a
+// deterministic order (side-A atoms ascending, partners in insertion
+// order). fn returning false stops the scan.
+func (ls *LinkStore) Scan(fn func(model.Link) bool) {
+	ids := make([]model.AtomID, 0, len(ls.fromA))
+	for a := range ls.fromA {
+		ids = append(ids, a)
+	}
+	model.SortAtomIDs(ids)
+	for _, a := range ids {
+		for _, b := range ls.fromA[a] {
+			if !fn(model.Link{A: a, B: b}) {
+				return
+			}
+		}
+	}
+}
+
+// Links returns all links in the deterministic scan order.
+func (ls *LinkStore) Links() []model.Link {
+	out := make([]model.Link, 0, ls.count)
+	ls.Scan(func(l model.Link) bool {
+		out = append(out, l)
+		return true
+	})
+	return out
+}

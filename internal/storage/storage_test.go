@@ -1,0 +1,400 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/model"
+)
+
+// testDB builds a two-type database with one link type.
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if _, err := db.DefineAtomType("part", model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+		model.AttrDesc{Name: "weight", Kind: model.KFloat},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineAtomType("supplier", model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("supplies", model.LinkDesc{SideA: "supplier", SideB: "part"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	id, err := db.InsertAtom("part", model.Str("bolt"), model.Float(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := db.GetAtom("part", id)
+	if !ok {
+		t.Fatal("inserted atom not found")
+	}
+	if s, _ := a.Get(0).AsString(); s != "bolt" {
+		t.Fatalf("value = %s", a.Get(0))
+	}
+	if err := db.UpdateAtom("part", id, []model.Value{model.Str("nut"), model.Float(0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = db.GetAtom("part", id)
+	if s, _ := a.Get(0).AsString(); s != "nut" {
+		t.Fatal("update not visible")
+	}
+	if _, err := db.DeleteAtom("part", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GetAtom("part", id); ok {
+		t.Fatal("deleted atom still visible")
+	}
+	if _, err := db.DeleteAtom("part", id); err == nil {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.InsertAtom("part", model.Int(1), model.Float(0)); err == nil {
+		t.Fatal("kind mismatch must fail")
+	}
+	if _, err := db.InsertAtom("part", model.Null(), model.Float(0)); err == nil {
+		t.Fatal("NOT NULL violation must fail")
+	}
+	if _, err := db.InsertAtom("nosuch", model.Int(1)); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+	// int widens into float attribute
+	if _, err := db.InsertAtom("part", model.Str("x"), model.Int(3)); err != nil {
+		t.Fatalf("int→float widening rejected: %v", err)
+	}
+}
+
+func TestLinkSymmetryAndIdempotence(t *testing.T) {
+	db := testDB(t)
+	s, _ := db.InsertAtom("supplier", model.Str("acme"))
+	p, _ := db.InsertAtom("part", model.Str("bolt"), model.Float(1))
+	if err := db.Connect("supplies", s, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Connect("supplies", s, p); err != nil {
+		t.Fatal("idempotent connect must not fail")
+	}
+	if n, _ := db.CountLinks("supplies"); n != 1 {
+		t.Fatalf("links = %d, want 1", n)
+	}
+	fwd, err := db.Partners("supplies", s, true)
+	if err != nil || len(fwd) != 1 || fwd[0] != p {
+		t.Fatalf("forward partners = %v, %v", fwd, err)
+	}
+	back, err := db.Partners("supplies", p, false)
+	if err != nil || len(back) != 1 || back[0] != s {
+		t.Fatalf("backward partners = %v, %v", back, err)
+	}
+	removed, err := db.Disconnect("supplies", s, p)
+	if err != nil || !removed {
+		t.Fatal("disconnect failed")
+	}
+	if removed, _ := db.Disconnect("supplies", s, p); removed {
+		t.Fatal("double disconnect must report false")
+	}
+}
+
+func TestConnectValidatesEndpoints(t *testing.T) {
+	db := testDB(t)
+	s, _ := db.InsertAtom("supplier", model.Str("acme"))
+	if err := db.Connect("supplies", s, model.MakeAtomID(99, 99)); err == nil {
+		t.Fatal("dangling endpoint must fail")
+	}
+	if err := db.Connect("nosuch", s, s); err == nil {
+		t.Fatal("unknown link type must fail")
+	}
+}
+
+func TestDeleteCascadesLinks(t *testing.T) {
+	db := testDB(t)
+	s, _ := db.InsertAtom("supplier", model.Str("acme"))
+	var parts []model.AtomID
+	for i := 0; i < 5; i++ {
+		p, _ := db.InsertAtom("part", model.Str("p"), model.Float(1))
+		parts = append(parts, p)
+		if err := db.Connect("supplies", s, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := db.DeleteAtom("supplier", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", dropped)
+	}
+	if n, _ := db.CountLinks("supplies"); n != 0 {
+		t.Fatal("links must be gone after cascade")
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	_ = parts
+}
+
+func TestCardinalityEnforced(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.DefineAtomType("a", model.MustDesc(model.AttrDesc{Name: "x", Kind: model.KInt})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineAtomType("b", model.MustDesc(model.AttrDesc{Name: "y", Kind: model.KInt})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("ab", model.LinkDesc{
+		SideA: "a", SideB: "b",
+		CardA: model.Cardinality{Max: 2}, // an a-atom may have at most 2 b-partners
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := db.InsertAtom("a", model.Int(1))
+	var bs []model.AtomID
+	for i := 0; i < 3; i++ {
+		b, _ := db.InsertAtom("b", model.Int(int64(i)))
+		bs = append(bs, b)
+	}
+	if err := db.Connect("ab", a1, bs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Connect("ab", a1, bs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Connect("ab", a1, bs[2]); err == nil {
+		t.Fatal("cardinality 0:2 must reject a third partner")
+	}
+}
+
+func TestReflexiveLinkType(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.DefineAtomType("parts", model.MustDesc(model.AttrDesc{Name: "name", Kind: model.KString})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "parts", SideB: "parts"}); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := db.InsertAtom("parts", model.Str("engine"))
+	y, _ := db.InsertAtom("parts", model.Str("piston"))
+	if err := db.Connect("composition", x, y); err != nil {
+		t.Fatal(err)
+	}
+	// The unsorted-pair reading: <y, x> is the same link.
+	if err := db.Connect("composition", y, x); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountLinks("composition"); n != 1 {
+		t.Fatalf("reflexive duplicate not collapsed: %d links", n)
+	}
+	ls, _ := db.LinkStore("composition")
+	if !ls.Has(x, y) || !ls.Has(y, x) {
+		t.Fatal("symmetric Has failed")
+	}
+	// Sub-component view (fromA) vs super-component view (fromB).
+	sub, _ := db.Partners("composition", x, true)
+	if len(sub) != 1 || sub[0] != y {
+		t.Fatalf("sub view = %v", sub)
+	}
+	sup, _ := db.Partners("composition", y, false)
+	if len(sup) != 1 || sup[0] != x {
+		t.Fatalf("super view = %v", sup)
+	}
+	if removed := ls.Disconnect(y, x); !removed {
+		t.Fatal("mirrored disconnect must work")
+	}
+	if n, _ := db.CountLinks("composition"); n != 0 {
+		t.Fatal("link not removed")
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	db := testDB(t)
+	var ids []model.AtomID
+	for i := 0; i < 10; i++ {
+		name := "even"
+		if i%2 == 1 {
+			name = "odd"
+		}
+		id, _ := db.InsertAtom("part", model.Str(name), model.Float(float64(i)))
+		ids = append(ids, id)
+	}
+	if err := db.CreateIndex("part", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("part", "name"); err == nil {
+		t.Fatal("duplicate index must fail")
+	}
+	if err := db.CreateIndex("part", "nosuch"); err == nil {
+		t.Fatal("unknown attr must fail")
+	}
+	got, ok := db.IndexLookup("part", "name", model.Str("even"))
+	if !ok || len(got) != 5 {
+		t.Fatalf("index lookup = %v, %v", got, ok)
+	}
+	// Update moves the atom between keys.
+	if err := db.UpdateAtom("part", ids[0], []model.Value{model.Str("odd"), model.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.IndexLookup("part", "name", model.Str("odd"))
+	if len(got) != 6 {
+		t.Fatalf("after update: odd = %d, want 6", len(got))
+	}
+	// Delete removes the entry.
+	if _, err := db.DeleteAtom("part", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.IndexLookup("part", "name", model.Str("odd"))
+	if len(got) != 5 {
+		t.Fatalf("after delete: odd = %d, want 5", len(got))
+	}
+	if _, ok := db.IndexLookup("part", "weight", model.Float(1)); ok {
+		t.Fatal("lookup without index must report !ok")
+	}
+	if !db.DropIndex("part", "name") {
+		t.Fatal("drop index failed")
+	}
+}
+
+func TestAdoptAtomSharesIdentity(t *testing.T) {
+	db := testDB(t)
+	id, _ := db.InsertAtom("part", model.Str("bolt"), model.Float(1))
+	if _, err := db.DefineAtomType("part2", model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString, NotNull: true},
+		model.AttrDesc{Name: "weight", Kind: model.KFloat},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.GetAtom("part", id)
+	if err := db.AdoptAtom("part2", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AdoptAtom("part2", a); err == nil {
+		t.Fatal("duplicate adopt must fail")
+	}
+	b, ok := db.GetAtom("part2", id)
+	if !ok || b.ID != id {
+		t.Fatal("adopted atom must keep its identifier")
+	}
+	// ResolveAtom finds the native type.
+	_, typeName, ok := db.ResolveAtom(id)
+	if !ok || typeName != "part" {
+		t.Fatalf("ResolveAtom = %q, %v", typeName, ok)
+	}
+}
+
+func TestScanOrderDeterministic(t *testing.T) {
+	db := testDB(t)
+	var want []model.AtomID
+	for i := 0; i < 20; i++ {
+		id, _ := db.InsertAtom("part", model.Str("p"), model.Float(float64(i)))
+		want = append(want, id)
+	}
+	var got []model.AtomID
+	if err := db.ScanAtoms("part", func(a model.Atom) bool {
+		got = append(got, a.ID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan count = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("scan must preserve insertion order")
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := testDB(t)
+	before := db.Stats().Snapshot()
+	id, _ := db.InsertAtom("part", model.Str("p"), model.Float(1))
+	db.GetAtom("part", id)
+	diff := db.Stats().Snapshot().Sub(before)
+	if diff.AtomsInserted != 1 || diff.AtomsFetched != 1 {
+		t.Fatalf("stats diff = %+v", diff)
+	}
+	db.Stats().Reset()
+	if db.Stats().Snapshot().AtomsInserted != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// TestRandomMutationsPreserveIntegrity drives random mutation sequences
+// and checks the database invariants after each batch (property 3 of
+// DESIGN.md).
+func TestRandomMutationsPreserveIntegrity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDatabase()
+		if _, err := db.DefineAtomType("n", model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})); err != nil {
+			return false
+		}
+		if _, err := db.DefineLinkType("e", model.LinkDesc{SideA: "n", SideB: "n"}); err != nil {
+			return false
+		}
+		var live []model.AtomID
+		for op := 0; op < 200; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4 || len(live) < 2:
+				id, err := db.InsertAtom("n", model.Int(int64(op)))
+				if err != nil {
+					return false
+				}
+				live = append(live, id)
+			case r < 8:
+				a := live[rng.Intn(len(live))]
+				b := live[rng.Intn(len(live))]
+				if a == b {
+					continue
+				}
+				if err := db.Connect("e", a, b); err != nil {
+					return false
+				}
+			default:
+				i := rng.Intn(len(live))
+				if _, err := db.DeleteAtom("n", live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return db.CheckIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerSeqAfterAdopt(t *testing.T) {
+	// Adopting a native-numbered atom must keep the sequence ahead so
+	// fresh inserts do not collide (snapshot-load path).
+	db := NewDatabase()
+	if _, err := db.DefineAtomType("t", model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := db.Container("t")
+	at, _ := db.Schema().AtomType("t")
+	pre := model.NewAtom(model.MakeAtomID(at.Num, 10), model.Int(1))
+	if err := c.Adopt(pre); err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.InsertAtom("t", model.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Seq() <= 10 {
+		t.Fatalf("fresh id %v collides with adopted range", id)
+	}
+}

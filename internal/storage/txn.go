@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+
+	"mad/internal/model"
+)
+
+// Txn groups mutations so they can be rolled back as a unit — the
+// transactional side of the "powerful manipulation facilities" the paper
+// demands for complex-object processing. The implementation is an undo
+// log: every mutation records its inverse, and Rollback applies the
+// inverses in reverse order. A Txn is not safe for concurrent use; the
+// underlying database methods remain individually thread-safe.
+type Txn struct {
+	db   *Database
+	undo []func() error
+	done bool
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin() *Txn { return &Txn{db: db} }
+
+// record queues an inverse operation.
+func (t *Txn) record(inverse func() error) { t.undo = append(t.undo, inverse) }
+
+// active guards against use after Commit/Rollback.
+func (t *Txn) active() error {
+	if t.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	return nil
+}
+
+// InsertAtom inserts an atom; rollback deletes it again.
+func (t *Txn) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, error) {
+	if err := t.active(); err != nil {
+		return 0, err
+	}
+	id, err := t.db.InsertAtom(typeName, vals...)
+	if err != nil {
+		return 0, err
+	}
+	t.record(func() error {
+		_, err := t.db.DeleteAtom(typeName, id)
+		return err
+	})
+	return id, nil
+}
+
+// droppedLink remembers one link removed by a cascading delete.
+type droppedLink struct {
+	linkName string
+	a, b     model.AtomID
+}
+
+// DeleteAtom deletes an atom with cascade; rollback re-adopts the atom and
+// reconnects every dropped link.
+func (t *Txn) DeleteAtom(typeName string, id model.AtomID) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	db := t.db
+	db.mu.Lock()
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	atom, ok := c.Get(id)
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
+	}
+	// Capture the links the cascade will drop.
+	var dropped []droppedLink
+	for _, lt := range db.schema.LinkTypesOf(typeName) {
+		ls, ok := db.links[lt.Name]
+		if !ok {
+			continue
+		}
+		for _, b := range ls.PartnersFromA(id) {
+			dropped = append(dropped, droppedLink{lt.Name, id, b})
+		}
+		for _, a := range ls.PartnersFromB(id) {
+			if lt.Desc.Reflexive() && ls.hasExact(id, a) {
+				continue // already captured from side A
+			}
+			dropped = append(dropped, droppedLink{lt.Name, a, id})
+		}
+	}
+	db.mu.Unlock()
+
+	if _, err := db.DeleteAtom(typeName, id); err != nil {
+		return err
+	}
+	t.record(func() error {
+		if err := db.AdoptAtom(typeName, atom); err != nil {
+			return err
+		}
+		for _, dl := range dropped {
+			if err := db.Connect(dl.linkName, dl.a, dl.b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return nil
+}
+
+// UpdateAtom updates an atom; rollback restores the previous values.
+func (t *Txn) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	old, ok := t.db.GetAtom(typeName, id)
+	if !ok {
+		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
+	}
+	if err := t.db.UpdateAtom(typeName, id, vals); err != nil {
+		return err
+	}
+	prev := old.Clone()
+	t.record(func() error {
+		return t.db.UpdateAtom(typeName, id, prev.Vals)
+	})
+	return nil
+}
+
+// Connect inserts a link; rollback removes it — unless the link already
+// existed (idempotent connect), in which case rollback leaves it alone.
+func (t *Txn) Connect(linkName string, a, b model.AtomID) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	ls, ok := t.db.LinkStore(linkName)
+	if !ok {
+		return fmt.Errorf("storage: unknown link type %q", linkName)
+	}
+	existed := ls.Has(a, b)
+	if err := t.db.Connect(linkName, a, b); err != nil {
+		return err
+	}
+	if !existed {
+		t.record(func() error {
+			_, err := t.db.Disconnect(linkName, a, b)
+			return err
+		})
+	}
+	return nil
+}
+
+// Disconnect removes a link; rollback reinserts it when it was present.
+func (t *Txn) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
+	if err := t.active(); err != nil {
+		return false, err
+	}
+	removed, err := t.db.Disconnect(linkName, a, b)
+	if err != nil {
+		return false, err
+	}
+	if removed {
+		t.record(func() error {
+			return t.db.Connect(linkName, a, b)
+		})
+	}
+	return removed, nil
+}
+
+// Commit finalizes the transaction; the mutations stay.
+func (t *Txn) Commit() {
+	t.done = true
+	t.undo = nil
+}
+
+// Rollback undoes every mutation in reverse order. It returns the first
+// inverse-application error (which indicates external interference with
+// the touched atoms, e.g. a concurrent delete).
+func (t *Txn) Rollback() error {
+	if t.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	t.done = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil {
+			return fmt.Errorf("storage: rollback step %d failed: %w", i, err)
+		}
+	}
+	t.undo = nil
+	return nil
+}
+
+// Mutations reports how many mutations the transaction has recorded.
+func (t *Txn) Mutations() int { return len(t.undo) }

@@ -1,0 +1,267 @@
+package storage_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/codec"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// txnDB builds a small database with a reflexive link type.
+func txnDB(t testing.TB) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	if _, err := db.DefineAtomType("n", model.MustDesc(
+		model.AttrDesc{Name: "v", Kind: model.KInt},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("e", model.LinkDesc{SideA: "n", SideB: "n"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// snapshot produces a canonical fingerprint of the database's *logical*
+// state: per atom type the sorted set of (id, values), per link type the
+// sorted set of links. Rollback restores logical state, not physical
+// insertion order, so comparison must be order-insensitive. (The codec
+// round-trip below additionally confirms the state is serializable.)
+func snapshot(t testing.TB, db *storage.Database) []byte {
+	t.Helper()
+	var probe bytes.Buffer
+	if err := codec.Encode(db, &probe); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, at := range db.Schema().AtomTypes() {
+		c, _ := db.Container(at.Name)
+		c.Scan(func(a model.Atom) bool {
+			lines = append(lines, "a|"+at.Name+"|"+a.String())
+			return true
+		})
+	}
+	for _, lt := range db.Schema().LinkTypes() {
+		ls, _ := db.LinkStore(lt.Name)
+		ls.Scan(func(l model.Link) bool {
+			lines = append(lines, "l|"+lt.Name+"|"+l.Canonical(lt.Desc.Reflexive()).String())
+			return true
+		})
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}
+
+func TestTxnCommitKeepsMutations(t *testing.T) {
+	db := txnDB(t)
+	txn := db.Begin()
+	a, err := txn.InsertAtom("n", model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := txn.InsertAtom("n", model.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Connect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if txn.Mutations() != 3 {
+		t.Fatalf("mutations = %d", txn.Mutations())
+	}
+	txn.Commit()
+	if db.TotalAtoms() != 2 || db.TotalLinks() != 1 {
+		t.Fatal("commit lost mutations")
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("rollback after commit must fail")
+	}
+}
+
+func TestTxnRollbackRestoresExactState(t *testing.T) {
+	db := txnDB(t)
+	// Pre-transaction state: two linked atoms.
+	a, _ := db.InsertAtom("n", model.Int(1))
+	b, _ := db.InsertAtom("n", model.Int(2))
+	if err := db.Connect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, db)
+
+	txn := db.Begin()
+	c, err := txn.InsertAtom("n", model.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Connect("e", b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.UpdateAtom("n", a, []model.Value{model.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Disconnect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.DeleteAtom("n", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot(t, db)
+	if !bytes.Equal(before, after) {
+		t.Fatal("rollback did not restore the exact pre-transaction state")
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnDeleteCascadeRestoresLinks(t *testing.T) {
+	db := txnDB(t)
+	hub, _ := db.InsertAtom("n", model.Int(0))
+	var spokes []model.AtomID
+	for i := 0; i < 5; i++ {
+		s, _ := db.InsertAtom("n", model.Int(int64(i+1)))
+		spokes = append(spokes, s)
+		if err := db.Connect("e", hub, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One incoming link too (hub on side B).
+	if err := db.Connect("e", spokes[0], hub); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, db)
+	txn := db.Begin()
+	if err := txn.DeleteAtom("n", hub); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalLinks() != 0 {
+		t.Fatal("cascade incomplete")
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, snapshot(t, db)) {
+		t.Fatal("cascaded links not restored")
+	}
+}
+
+func TestTxnIdempotentConnectRollback(t *testing.T) {
+	db := txnDB(t)
+	a, _ := db.InsertAtom("n", model.Int(1))
+	b, _ := db.InsertAtom("n", model.Int(2))
+	if err := db.Connect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin()
+	// Connecting an existing link is a no-op; rollback must NOT remove it.
+	if err := txn.Connect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountLinks("e"); n != 1 {
+		t.Fatal("rollback removed a pre-existing link")
+	}
+}
+
+func TestTxnUseAfterFinish(t *testing.T) {
+	db := txnDB(t)
+	txn := db.Begin()
+	txn.Commit()
+	if _, err := txn.InsertAtom("n", model.Int(1)); err == nil {
+		t.Fatal("insert after commit must fail")
+	}
+	if err := txn.Connect("e", 1, 2); err == nil {
+		t.Fatal("connect after commit must fail")
+	}
+}
+
+// TestTxnRollbackPropertyRandomOps drives random transactional mutation
+// sequences and checks that rollback always restores the byte-exact
+// pre-transaction snapshot.
+func TestTxnRollbackPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := txnDB(t)
+		// Seed state outside the transaction.
+		var live []model.AtomID
+		for i := 0; i < 8; i++ {
+			id, err := db.InsertAtom("n", model.Int(int64(i)))
+			if err != nil {
+				return false
+			}
+			live = append(live, id)
+		}
+		for i := 0; i < 6; i++ {
+			a := live[rng.Intn(len(live))]
+			b := live[rng.Intn(len(live))]
+			if a != b {
+				if err := db.Connect("e", a, b); err != nil {
+					return false
+				}
+			}
+		}
+		before := snapshot(t, db)
+		txn := db.Begin()
+		inTxn := append([]model.AtomID(nil), live...)
+		for op := 0; op < 30; op++ {
+			switch r := rng.Intn(10); {
+			case r < 3:
+				id, err := txn.InsertAtom("n", model.Int(int64(100+op)))
+				if err != nil {
+					return false
+				}
+				inTxn = append(inTxn, id)
+			case r < 6 && len(inTxn) >= 2:
+				a := inTxn[rng.Intn(len(inTxn))]
+				b := inTxn[rng.Intn(len(inTxn))]
+				if a == b {
+					continue
+				}
+				if err := txn.Connect("e", a, b); err != nil {
+					return false
+				}
+			case r < 7 && len(inTxn) >= 2:
+				a := inTxn[rng.Intn(len(inTxn))]
+				b := inTxn[rng.Intn(len(inTxn))]
+				if _, err := txn.Disconnect("e", a, b); err != nil {
+					return false
+				}
+			case r < 8 && len(inTxn) > 0:
+				id := inTxn[rng.Intn(len(inTxn))]
+				if err := txn.UpdateAtom("n", id, []model.Value{model.Int(int64(rng.Intn(1000)))}); err != nil {
+					return false
+				}
+			default:
+				if len(inTxn) == 0 {
+					continue
+				}
+				i := rng.Intn(len(inTxn))
+				if err := txn.DeleteAtom("n", inTxn[i]); err != nil {
+					return false
+				}
+				inTxn = append(inTxn[:i], inTxn[i+1:]...)
+			}
+		}
+		if err := txn.Rollback(); err != nil {
+			return false
+		}
+		if db.CheckIntegrity() != nil {
+			return false
+		}
+		return bytes.Equal(before, snapshot(t, db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package viz renders MAD schemas and molecule structures as Graphviz DOT
+// documents: the MAD diagram of Fig. 1 (atom types as boxes, link types as
+// undirected edges — links are symmetric) and the molecule-structure type
+// graphs of Fig. 2 (directed, acyclic, rooted). It also renders a single
+// molecule instance, marking subobjects shared between paths.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mad/internal/core"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// quote escapes a string for DOT.
+func quote(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}
+
+// SchemaDOT renders the database schema as an undirected graph.
+func SchemaDOT(db *storage.Database) string {
+	var b strings.Builder
+	b.WriteString("graph mad_schema {\n  node [shape=box];\n")
+	for _, at := range db.Schema().AtomTypes() {
+		n, _ := db.CountAtoms(at.Name)
+		fmt.Fprintf(&b, "  %s [label=%s];\n",
+			quote(at.Name), quote(fmt.Sprintf("%s\n%d atoms", at.Name, n)))
+	}
+	for _, lt := range db.Schema().LinkTypes() {
+		fmt.Fprintf(&b, "  %s -- %s [label=%s];\n",
+			quote(lt.Desc.SideA), quote(lt.Desc.SideB), quote(lt.Name))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// StructureDOT renders a molecule-type description as a directed graph
+// with the root emphasized.
+func StructureDOT(desc *core.Desc) string {
+	var b strings.Builder
+	b.WriteString("digraph molecule_structure {\n  rankdir=TB;\n  node [shape=box];\n")
+	fmt.Fprintf(&b, "  %s [style=bold];\n", quote(desc.Root()))
+	for _, t := range desc.Types() {
+		if t != desc.Root() {
+			fmt.Fprintf(&b, "  %s;\n", quote(t))
+		}
+	}
+	for _, e := range desc.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(e.From), quote(e.To), quote(e.Link))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// MoleculeDOT renders one molecule instance: component atoms as nodes
+// (labelled with their first attribute), component links as edges; atoms
+// reached over several paths are highlighted — the shared subobjects.
+func MoleculeDOT(db *storage.Database, m *core.Molecule) string {
+	var b strings.Builder
+	b.WriteString("digraph molecule {\n  rankdir=TB;\n  node [shape=box];\n")
+	d := m.Desc()
+
+	// Count how many component links arrive at each atom; >1 means the
+	// atom is shared between paths inside this molecule.
+	indeg := make(map[model.AtomID]int)
+	for e := 0; e < d.NumEdges(); e++ {
+		for _, l := range m.LinksAt(e) {
+			indeg[l.B]++
+		}
+	}
+	var nodes []string
+	for i, t := range d.Types() {
+		for _, id := range m.AtomsAt(i) {
+			label := t + "\n" + id.String()
+			if a, ok := db.GetAtom(t, id); ok && len(a.Vals) > 0 {
+				label = t + "\n" + a.Get(0).String()
+			}
+			attrs := fmt.Sprintf("label=%s", quote(label))
+			if id == m.Root() {
+				attrs += ", style=bold"
+			}
+			if indeg[id] > 1 {
+				attrs += `, color=red, penwidth=2`
+			}
+			nodes = append(nodes, fmt.Sprintf("  %s [%s];\n", quote(id.String()), attrs))
+		}
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		b.WriteString(n)
+	}
+	for e := 0; e < d.NumEdges(); e++ {
+		edge := d.Edge(e)
+		for _, l := range m.LinksAt(e) {
+			fmt.Fprintf(&b, "  %s -> %s [label=%s];\n",
+				quote(l.A.String()), quote(l.B.String()), quote(edge.Link))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

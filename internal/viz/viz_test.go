@@ -1,0 +1,110 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/geo"
+	"mad/internal/viz"
+)
+
+func TestSchemaDOT(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := viz.SchemaDOT(s.DB)
+	for _, want := range []string{
+		"graph mad_schema",
+		`"state"`,
+		`"state" -- "area" [label="state-area"]`,
+		"10 atoms",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("schema DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("unterminated DOT")
+	}
+}
+
+func TestStructureDOT(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := core.NewDesc(s.DB,
+		[]string{"point", "edge", "area", "state", "net", "river"},
+		[]core.DirectedLink{
+			{Link: "edge-point", From: "point", To: "edge"},
+			{Link: "area-edge", From: "edge", To: "area"},
+			{Link: "state-area", From: "area", To: "state"},
+			{Link: "net-edge", From: "edge", To: "net"},
+			{Link: "river-net", From: "net", To: "river"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := viz.StructureDOT(desc)
+	for _, want := range []string{
+		"digraph molecule_structure",
+		`"point" [style=bold]`, // root emphasized
+		`"edge" -> "area"`,
+		`"edge" -> "net"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("structure DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestMoleculeDOTMarksSharing(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(s.DB, "pn",
+		[]string{"point", "edge", "area", "state", "net", "river"},
+		[]core.DirectedLink{
+			{Link: "edge-point", From: "point", To: "edge"},
+			{Link: "area-edge", From: "edge", To: "area"},
+			{Link: "state-area", From: "area", To: "state"},
+			{Link: "net-edge", From: "edge", To: "net"},
+			{Link: "river-net", From: "net", To: "river"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dv.DeriveFor(s.PN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := viz.MoleculeDOT(s.DB, m)
+	// The Parana net atom is reached from two edges → shared → red.
+	if !strings.Contains(dot, "color=red") {
+		t.Fatalf("shared subobject not highlighted:\n%s", dot)
+	}
+	if !strings.Contains(dot, "style=bold") {
+		t.Fatal("root not emphasized")
+	}
+	if !strings.Contains(dot, "Parana") {
+		t.Fatal("attribute labels missing")
+	}
+}
+
+func TestQuotingEscapes(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := viz.SchemaDOT(s.DB)
+	if strings.Contains(dot, "\"\"") {
+		t.Fatal("double-double quotes suggest broken escaping")
+	}
+}

@@ -1,0 +1,212 @@
+// Package mad is the public API of the molecule-atom data model (MAD)
+// library — a reproduction of "Extending the Relational Algebra to Capture
+// Complex Objects" (Mitschang, VLDB 1989).
+//
+// The MAD model extends the relational model with atoms (identifiable,
+// typed records) connected by bidirectional, symmetric links. Complex
+// objects — molecules — are defined *dynamically* per query as directed
+// acyclic structures laid over the atom networks, and may overlap: shared
+// subobjects are first class. The molecule algebra (Σ, Π, X, Ω, Δ, Ψ over
+// molecule types; π, σ, ×, ω, δ over atom types) is closed: every result
+// is a molecule type over a correspondingly enlarged database, and the
+// MQL query language is defined by translation into that algebra.
+//
+// Quick start:
+//
+//	db := mad.NewDatabase()
+//	sess := mad.NewSession(db)
+//	sess.ExecScript(`
+//	    CREATE ATOM TYPE state (name STRING NOT NULL, hectare FLOAT);
+//	    CREATE ATOM TYPE area  (tag STRING NOT NULL);
+//	    CREATE LINK TYPE state-area BETWEEN state AND area;
+//	    INSERT INTO state VALUES ('Minas Gerais', 900.0);
+//	    INSERT INTO area VALUES ('a_MG');
+//	    CONNECT state TO area VIA state-area;
+//	`)
+//	res, _ := sess.Exec(`SELECT ALL FROM state-area WHERE hectare > 500;`)
+//	fmt.Print(res.Render(db))
+//
+// The facade re-exports the stable types of the internal packages; the
+// full machinery (storage engine, atom-type algebra, molecule algebra,
+// NF² and relational baselines, ER mappings, recursive molecules, binary
+// snapshots, two-layer PRIMA-style engine) lives beneath it and is
+// documented per package.
+package mad
+
+import (
+	"mad/internal/atomalg"
+	"mad/internal/codec"
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/mql"
+	"mad/internal/prima"
+	"mad/internal/recursive"
+	"mad/internal/storage"
+)
+
+// Core data-model types.
+type (
+	// Database is a MAD database: schema plus atom and link occurrences.
+	Database = storage.Database
+	// Value is one attribute value (null/bool/int/float/string/atom-ID).
+	Value = model.Value
+	// Kind tags attribute values and attribute declarations.
+	Kind = model.Kind
+	// AttrDesc declares one attribute of an atom type.
+	AttrDesc = model.AttrDesc
+	// AtomDesc is an atom-type description (a set of attribute
+	// descriptions, Definition 1).
+	AtomDesc = model.Desc
+	// LinkDesc is a link-type description (the two connected atom types
+	// plus optional cardinality restrictions, Definition 2).
+	LinkDesc = model.LinkDesc
+	// Cardinality bounds one side of an extended link-type definition.
+	Cardinality = model.Cardinality
+	// AtomID is the unique identifier of an atom.
+	AtomID = model.AtomID
+	// Atom is one element of an atom-type occurrence.
+	Atom = model.Atom
+	// Link is one element of a link-type occurrence (an unsorted pair).
+	Link = model.Link
+)
+
+// Molecule algebra types (the paper's primary contribution).
+type (
+	// MoleculeType is mt = <mname, md, mv> (Definition 7).
+	MoleculeType = core.MoleculeType
+	// MoleculeDesc is a molecule-type description md = <C, G>
+	// (Definition 5).
+	MoleculeDesc = core.Desc
+	// DirectedLink is one edge of a molecule-type description.
+	DirectedLink = core.DirectedLink
+	// Molecule is one element of a molecule-type occurrence.
+	Molecule = core.Molecule
+	// MoleculeSet is a materialized molecule-type occurrence.
+	MoleculeSet = core.MoleculeSet
+	// Projection parameterizes the molecule-type projection Π.
+	Projection = core.Projection
+	// OpTrace records the op-specific/prop/α anatomy of an operation
+	// (Fig. 5).
+	OpTrace = core.OpTrace
+	// RecursiveType is a recursive molecule type over a reflexive link
+	// type (Chapter 5).
+	RecursiveType = recursive.Type
+)
+
+// Language and engine types.
+type (
+	// Session executes MQL statements.
+	Session = mql.Session
+	// Result is the outcome of one MQL statement.
+	Result = mql.Result
+	// Engine is the two-layer PRIMA-style engine with per-layer work
+	// accounting.
+	Engine = prima.Engine
+	// Expr is a qualification-formula node (restriction predicates).
+	Expr = expr.Expr
+)
+
+// Value kinds.
+const (
+	KNull   = model.KNull
+	KBool   = model.KBool
+	KInt    = model.KInt
+	KFloat  = model.KFloat
+	KString = model.KString
+	KID     = model.KID
+)
+
+// NewDatabase returns an empty MAD database.
+func NewDatabase() *Database { return storage.NewDatabase() }
+
+// NewSession opens an MQL session over a database.
+func NewSession(db *Database) *Session { return mql.NewSession(db) }
+
+// NewEngine opens a two-layer engine over a database.
+func NewEngine(db *Database) *Engine { return prima.New(db) }
+
+// NewAtomDesc builds an atom-type description.
+func NewAtomDesc(attrs ...AttrDesc) (*AtomDesc, error) { return model.NewDesc(attrs...) }
+
+// Values.
+var (
+	// Null is the null value.
+	Null = model.Null
+	// Bool wraps a boolean.
+	Bool = model.Bool
+	// Int wraps an integer.
+	Int = model.Int
+	// Float wraps a float.
+	Float = model.Float
+	// Str wraps a string.
+	Str = model.Str
+)
+
+// Define is the molecule-type definition α[mname, G](C) (Definition 8).
+func Define(db *Database, name string, types []string, edges []DirectedLink) (*MoleculeType, error) {
+	return core.Define(db, name, types, edges)
+}
+
+// Restrict is the molecule-type restriction Σ (Definition 10); it enlarges
+// the database with the propagated result (Definition 9) and returns the
+// result type. A nil trace disables tracing.
+func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Restrict(mt, pred, resultName, tr)
+}
+
+// Project is the molecule-type projection Π.
+func Project(mt *MoleculeType, p Projection, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Project(mt, p, resultName, tr)
+}
+
+// Product is the molecule-type cartesian product X.
+func Product(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Product(mt1, mt2, resultName, tr)
+}
+
+// Union is the molecule-type union Ω.
+func Union(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Union(mt1, mt2, resultName, tr)
+}
+
+// Difference is the molecule-type difference Δ.
+func Difference(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Difference(mt1, mt2, resultName, tr)
+}
+
+// Intersect is the derived intersection Ψ(a, b) = Δ(a, Δ(a, b)).
+func Intersect(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return core.Intersect(mt1, mt2, resultName, tr)
+}
+
+// DefineRecursive defines a recursive molecule type over a reflexive link
+// type (Chapter 5 / [Schö89]).
+func DefineRecursive(db *Database, name, atomType, link string, up bool, depth int) (*RecursiveType, error) {
+	return recursive.Define(db, name, atomType, link, up, depth)
+}
+
+// Atom-type algebra (Definition 4, Theorem 1). Each operation installs a
+// new atom type — with inherited link types — in the database and returns
+// its name and inheritance record.
+var (
+	// AtomProject is the atom-type projection π.
+	AtomProject = atomalg.Project
+	// AtomRestrict is the atom-type restriction σ.
+	AtomRestrict = atomalg.Restrict
+	// AtomProduct is the atom-type cartesian product ×.
+	AtomProduct = atomalg.Product
+	// AtomUnion is the atom-type union ω.
+	AtomUnion = atomalg.Union
+	// AtomDifference is the atom-type difference δ.
+	AtomDifference = atomalg.Difference
+)
+
+// Save writes a binary snapshot of the database to a file.
+func Save(db *Database, path string) error { return codec.Save(db, path) }
+
+// Load reads a binary snapshot from a file.
+func Load(path string) (*Database, error) { return codec.Load(path) }
+
+// Parse parses one MQL statement without executing it.
+func Parse(src string) (mql.Stmt, error) { return mql.Parse(src) }

@@ -1,0 +1,277 @@
+// Tests of the public facade: everything a downstream user touches first.
+package mad_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mad"
+	"mad/internal/expr"
+)
+
+// buildLibrary assembles a small publication database through the facade.
+func buildLibrary(t *testing.T) (*mad.Database, *mad.Session) {
+	t.Helper()
+	db := mad.NewDatabase()
+	sess := mad.NewSession(db)
+	_, err := sess.ExecScript(`
+CREATE ATOM TYPE author (name STRING NOT NULL);
+CREATE ATOM TYPE paper (title STRING NOT NULL, year INT);
+CREATE LINK TYPE wrote BETWEEN author AND paper;
+INSERT INTO author VALUES ('a1'), ('a2');
+INSERT INTO paper VALUES ('p1', 1989), ('p2', 1987);
+CONNECT author WHERE name = 'a1' TO paper VIA wrote;
+CONNECT author WHERE name = 'a2' TO paper WHERE year = 1987 VIA wrote;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, sess
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	db, sess := buildLibrary(t)
+	res, err := sess.Exec(`SELECT ALL FROM author-[wrote]-paper;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 2 {
+		t.Fatalf("molecules = %d", len(res.Set))
+	}
+	// p2 is a shared subobject: the same atom (by identity) belongs to
+	// both author molecules.
+	shared := res.Set.SharedAtoms()
+	if len(shared) != 1 {
+		t.Fatalf("shared atoms = %v, want exactly the 1987 paper", shared)
+	}
+	out := res.Render(db)
+	if !strings.Contains(out, "p2") || !strings.Contains(out, "a2") {
+		t.Fatalf("render incomplete: %s", out)
+	}
+}
+
+func TestFacadeAlgebraOps(t *testing.T) {
+	db, _ := buildLibrary(t)
+	mt, err := mad.Define(db, "aw", []string{"author", "paper"},
+		[]mad.DirectedLink{{Link: "wrote", From: "author", To: "paper"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &mad.OpTrace{}
+	oldOnly, err := mad.Restrict(mt, expr.Cmp{Op: expr.LT,
+		L: expr.Attr{Type: "paper", Name: "year"},
+		R: expr.Lit(mad.Int(1989))}, "", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := oldOnly.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // both authors wrote the 1987 paper
+		t.Fatalf("Σ result = %d molecules", n)
+	}
+	if len(tr.Phases) < 3 {
+		t.Fatal("trace incomplete")
+	}
+	// Ψ(mt, mt) = mt.
+	inter, err := mad.Intersect(mt, mt, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni, _ := inter.Cardinality(); ni != 2 {
+		t.Fatalf("Ψ(x,x) = %d", ni)
+	}
+	// Atom-level algebra through the facade.
+	res, err := mad.AtomRestrict(db, "paper", expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Name: "year"}, R: expr.Lit(mad.Int(1987))}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt, _ := db.CountAtoms(res.TypeName); cnt != 1 {
+		t.Fatalf("σ result = %d atoms", cnt)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	db, _ := buildLibrary(t)
+	path := filepath.Join(t.TempDir(), "lib.mad")
+	if err := mad.Save(db, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mad.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalAtoms() != db.TotalAtoms() || back.TotalLinks() != db.TotalLinks() {
+		t.Fatal("snapshot round trip lost data")
+	}
+	// The restored database answers queries.
+	sess := mad.NewSession(back)
+	res, err := sess.Exec(`SELECT ALL FROM author-[wrote]-paper WHERE paper.year = 1987;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 2 {
+		t.Fatalf("restored query = %d molecules", len(res.Set))
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	db, _ := buildLibrary(t)
+	e := mad.NewEngine(db)
+	res, rep, err := e.RunMQL(`SELECT ALL FROM author-[wrote]-paper;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 2 || rep.AtomLayer.AtomsFetched == 0 {
+		t.Fatalf("engine result = %d molecules, report %+v", len(res.Set), rep)
+	}
+}
+
+func TestFacadeRecursive(t *testing.T) {
+	db := mad.NewDatabase()
+	sess := mad.NewSession(db)
+	if _, err := sess.ExecScript(`
+CREATE ATOM TYPE parts (name STRING NOT NULL);
+CREATE LINK TYPE composition BETWEEN parts AND parts;
+INSERT INTO parts VALUES ('a'), ('b'), ('c');
+CONNECT parts WHERE name = 'a' TO parts WHERE name = 'b' VIA composition;
+CONNECT parts WHERE name = 'b' TO parts WHERE name = 'c' VIA composition;
+`); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mad.DefineRecursive(db, "", "parts", "composition", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := rt.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].Size() != 3 {
+		t.Fatalf("recursive derive: %d molecules, first size %d", len(ms), ms[0].Size())
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	if _, err := mad.Parse("SELECT ALL FROM a-b;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mad.Parse("SELEKT;"); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestFacadeAtomAlgebraFamily(t *testing.T) {
+	db, _ := buildLibrary(t)
+	// π: project paper titles (set semantics).
+	proj, err := mad.AtomProject(db, "paper", []string{"title"}, "titles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountAtoms(proj.TypeName); n != 2 {
+		t.Fatalf("π = %d atoms", n)
+	}
+	// ×: authors × papers with inherited link types.
+	prod, err := mad.AtomProduct(db, "author", "paper", "authorpaper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountAtoms(prod.TypeName); n != 4 {
+		t.Fatalf("× = %d atoms", n)
+	}
+	if len(prod.Inherited) == 0 {
+		t.Fatal("product must inherit link types")
+	}
+	// ω and δ over two σ results.
+	old, err := mad.AtomRestrict(db, "paper", expr.Cmp{Op: expr.LT,
+		L: expr.Attr{Name: "year"}, R: expr.Lit(mad.Int(1989))}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent, err := mad.AtomRestrict(db, "paper", expr.Cmp{Op: expr.GE,
+		L: expr.Attr{Name: "year"}, R: expr.Lit(mad.Int(1989))}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := mad.AtomUnion(db, old.TypeName, recent.TypeName, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountAtoms(u.TypeName); n != 2 {
+		t.Fatalf("ω = %d atoms", n)
+	}
+	d, err := mad.AtomDifference(db, u.TypeName, old.TypeName, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.CountAtoms(d.TypeName); n != 1 {
+		t.Fatalf("δ = %d atoms", n)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProductAndUnion(t *testing.T) {
+	db, _ := buildLibrary(t)
+	mt, err := mad.Define(db, "aw", []string{"author", "paper"},
+		[]mad.DirectedLink{{Link: "wrote", From: "author", To: "paper"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := mad.Product(mt, mt, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := prod.Cardinality(); n != 4 { // 2 × 2 pairs
+		t.Fatalf("X = %d molecules", n)
+	}
+	u, err := mad.Union(mt, mt, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := u.Cardinality(); n != 2 {
+		t.Fatalf("Ω(x,x) = %d molecules", n)
+	}
+	dd, err := mad.Difference(mt, mt, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dd.Cardinality(); n != 0 {
+		t.Fatalf("Δ(x,x) = %d molecules", n)
+	}
+	proj, err := mad.Project(mt, mad.Projection{Keep: []string{"author"}}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Desc().NumTypes() != 1 {
+		t.Fatal("Π structure wrong")
+	}
+}
+
+func TestFacadeAtomDescAndValues(t *testing.T) {
+	desc, err := mad.NewAtomDesc(
+		mad.AttrDesc{Name: "a", Kind: mad.KInt, NotNull: true},
+		mad.AttrDesc{Name: "b", Kind: mad.KString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := mad.NewDatabase()
+	if _, err := db.DefineAtomType("t", desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertAtom("t", mad.Int(1), mad.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertAtom("t", mad.Null(), mad.Str("x")); err == nil {
+		t.Fatal("NOT NULL must hold through the facade")
+	}
+	if _, err := db.InsertAtom("t", mad.Int(1), mad.Bool(true)); err == nil {
+		t.Fatal("kind checking must hold through the facade")
+	}
+	_ = mad.Float(1.5) // exercised elsewhere; keep the constructor visible
+}
