@@ -18,6 +18,7 @@ import (
 	"mad/internal/geo"
 	"mad/internal/mql"
 	"mad/internal/nf2"
+	"mad/internal/plan"
 	"mad/internal/prima"
 	"mad/internal/recursive"
 	"mad/internal/rel"
@@ -338,6 +339,64 @@ func BenchmarkP6TwoLayer(b *testing.B) {
 		if _, _, err := e.RunMQL("SELECT ALL FROM mt_state;"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkP8PlannerPushdown compares naive Σ (derive everything, then
+// qualify) with the compiled plan on the three planner access shapes:
+// indexed root equality, unindexed root predicate (filtered scan), and a
+// mid-structure conjunct exploitable only by pushdown.
+func BenchmarkP8PlannerPushdown(b *testing.B) {
+	syn := synDB(b, 256, 2)
+	if err := syn.DB.CreateIndex("state", "abbrev"); err != nil {
+		b.Fatal(err)
+	}
+	mt := mtState(b, syn.DB)
+	preds := map[string]mad.Expr{
+		"indexed_eq": expr.Cmp{Op: expr.EQ,
+			L: expr.Attr{Type: "state", Name: "abbrev"}, R: expr.Lit(mad.Str("S7"))},
+		"root_range": expr.Cmp{Op: expr.LT,
+			L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(mad.Float(120))},
+		"mid_structure": expr.Cmp{Op: expr.EQ,
+			L: expr.Attr{Type: "edge", Name: "tag"}, R: expr.Lit(mad.Str("be3"))},
+	}
+	for name, pred := range preds {
+		b.Run(name+"/naive", func(b *testing.B) {
+			dv, err := mt.Deriver()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				var evalErr error
+				dv.Walk(func(m *core.Molecule) bool {
+					keep, err := expr.EvalPredicate(pred, core.Binding{DB: syn.DB, M: m})
+					if err != nil {
+						evalErr = err
+						return false
+					}
+					if keep {
+						n++
+					}
+					return true
+				})
+				if evalErr != nil {
+					b.Fatal(evalErr)
+				}
+			}
+		})
+		b.Run(name+"/planned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := plan.Compile(syn.DB, mt.Desc(), pred)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

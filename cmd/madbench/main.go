@@ -1,6 +1,6 @@
 // Command madbench regenerates the paper's evaluation artifacts: every
 // figure (F1–F5), the Chapter-4 example queries (Q1, Q2) and the
-// performance experiments (P1–P6). See DESIGN.md for the experiment index
+// performance experiments (P1–P8). See DESIGN.md for the experiment index
 // and EXPERIMENTS.md for recorded outputs.
 //
 // Usage:

@@ -1,0 +1,3 @@
+module mad
+
+go 1.24

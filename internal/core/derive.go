@@ -67,6 +67,50 @@ func (dv *Deriver) partners(ei int, a model.AtomID) []model.AtomID {
 	return out
 }
 
+// PruneCheck is a derivation-time pushdown hook: once the component set
+// of the atom type at position Pos is complete (derivation fills types in
+// topological order, so completion is well defined), Qualifies decides
+// whether the molecule can still satisfy the query. When it returns false
+// the molecule is discarded on the spot and the subtree below that type
+// is never traversed — restriction conjuncts referencing a single atom
+// type cut work during m_dom instead of post-filtering whole molecules.
+// Surviving molecules are derived in full, so a pruned derivation returns
+// exactly the molecules of the unpruned one that pass every check.
+type PruneCheck struct {
+	Pos       int
+	Qualifies func(atoms []model.AtomID) bool
+}
+
+// PreparedChecks is the per-position layout of prune hooks, computed
+// once and reused across every root of a derivation.
+type PreparedChecks []func([]model.AtomID) bool
+
+// PrepareChecks lays the hooks out per type position for O(1) access
+// during derivation. Several checks on the same position conjoin: each
+// keeps its own aggregation over the completed component set (two
+// existential conjuncts on one type are NOT one existential conjunct
+// over their AND).
+func (dv *Deriver) PrepareChecks(checks []PruneCheck) PreparedChecks {
+	if len(checks) == 0 {
+		return nil
+	}
+	out := make(PreparedChecks, dv.desc.NumTypes())
+	for _, c := range checks {
+		if c.Pos < 0 || c.Pos >= len(out) {
+			continue
+		}
+		if prev := out[c.Pos]; prev != nil {
+			q := c.Qualifies
+			out[c.Pos] = func(atoms []model.AtomID) bool {
+				return prev(atoms) && q(atoms)
+			}
+		} else {
+			out[c.Pos] = c.Qualifies
+		}
+	}
+	return out
+}
+
 // DeriveFor synthesizes the single molecule rooted at the given atom,
 // which must belong to the root type's occurrence.
 func (dv *Deriver) DeriveFor(root model.AtomID) (*Molecule, error) {
@@ -76,13 +120,39 @@ func (dv *Deriver) DeriveFor(root model.AtomID) (*Molecule, error) {
 	return dv.derive(root), nil
 }
 
+// DeriveForPruned is DeriveFor with pushdown hooks; ok=false reports that
+// a hook cut the molecule. Callers deriving many roots should prepare the
+// hooks once and use DeriveForPrepared.
+func (dv *Deriver) DeriveForPruned(root model.AtomID, checks []PruneCheck) (*Molecule, bool, error) {
+	return dv.DeriveForPrepared(root, dv.PrepareChecks(checks))
+}
+
+// DeriveForPrepared is DeriveForPruned over an already-prepared hook
+// layout, avoiding the per-root preparation cost.
+func (dv *Deriver) DeriveForPrepared(root model.AtomID, pc PreparedChecks) (*Molecule, bool, error) {
+	if !dv.roots.Has(root) {
+		return nil, false, fmt.Errorf("core: atom %v is not in root type %q", root, dv.desc.Root())
+	}
+	m := dv.derivePruned(root, pc)
+	return m, m != nil, nil
+}
+
 // derive runs the template over the atom network below one root atom.
 func (dv *Deriver) derive(root model.AtomID) *Molecule {
+	return dv.derivePruned(root, nil)
+}
+
+// derivePruned runs the template below one root atom, aborting as soon as
+// a prune hook disqualifies the molecule. It returns nil when pruned.
+func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecule {
 	d := dv.desc
 	m := newMolecule(d, root)
 	rootPos, _ := d.Pos(d.Root())
 	m.addAtom(rootPos, root)
 	dv.db.Stats().AtomsFetched.Add(1)
+	if byPos != nil && byPos[rootPos] != nil && !byPos[rootPos](m.atoms[rootPos]) {
+		return nil
+	}
 
 	for _, t := range d.Topo() {
 		if t == d.Root() {
@@ -131,6 +201,9 @@ func (dv *Deriver) derive(root model.AtomID) *Molecule {
 			}
 		}
 		dv.db.Stats().AtomsFetched.Add(int64(len(m.atoms[pos])))
+		if byPos != nil && byPos[pos] != nil && !byPos[pos](m.atoms[pos]) {
+			return nil
+		}
 	}
 	return m
 }
@@ -165,5 +238,19 @@ func (dv *Deriver) DeriveRoots(roots []model.AtomID) (MoleculeSet, error) {
 func (dv *Deriver) Walk(fn func(*Molecule) bool) {
 	dv.roots.Scan(func(a model.Atom) bool {
 		return fn(dv.derive(a.ID))
+	})
+}
+
+// WalkPruned streams the molecules surviving the pushdown hooks; pruned
+// molecules never reach fn (their subtrees were never traversed). fn
+// returning false stops the walk.
+func (dv *Deriver) WalkPruned(checks []PruneCheck, fn func(*Molecule) bool) {
+	byPos := dv.PrepareChecks(checks)
+	dv.roots.Scan(func(a model.Atom) bool {
+		m := dv.derivePruned(a.ID, byPos)
+		if m == nil {
+			return true
+		}
+		return fn(m)
 	})
 }

@@ -13,11 +13,11 @@ import (
 // qualification formula, and propagates the result set into the enlarged
 // database, closing with α. A nil predicate keeps every molecule.
 func Restrict(mt *MoleculeType, pred expr.Expr, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("Σ[%s](%s)", exprString(pred), mt.Name()))
+	tr.SetOp(fmt.Sprintf("Σ[%s](%s)", exprString(pred), mt.Name()))
 	if err := expr.Check(pred, Scope{DB: mt.db, Desc: mt.desc}); err != nil {
 		return nil, err
 	}
-	done := tr.begin("restriction (op-specific)")
+	done := tr.Begin("restriction (op-specific)")
 	dv, err := mt.Deriver()
 	if err != nil {
 		return nil, err
@@ -52,10 +52,13 @@ func Restrict(mt *MoleculeType, pred expr.Expr, resultName string, tr *OpTrace) 
 // equality predicate on the root type's indexed attribute is supplied,
 // only the matching root atoms are derived. The result is identical to
 // Restrict; only the work differs (the optimization the paper anticipates
-// for query processing, Chapter 5).
+// for query processing, Chapter 5). The query planner (package plan)
+// generalizes this single access path into full plans — index selection
+// by cardinality, root filters, per-atom-type pushdown during
+// derivation; new callers should prefer plan.Restrict.
 func RestrictWithIndex(mt *MoleculeType, attr string, value model.Value, rest expr.Expr, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("Σ[%s.%s=%s ∧ …](%s) via index", mt.desc.Root(), attr, value, mt.Name()))
-	done := tr.begin("restriction (index-assisted)")
+	tr.SetOp(fmt.Sprintf("Σ[%s.%s=%s ∧ …](%s) via index", mt.desc.Root(), attr, value, mt.Name()))
+	done := tr.Begin("restriction (index-assisted)")
 	roots, ok := mt.db.IndexLookup(mt.desc.Root(), attr, value)
 	if !ok {
 		done("no index; falling back to full derivation")
@@ -122,8 +125,8 @@ type Projection struct {
 // narrows component descriptions, preserving atom identity — duplicate
 // elimination is an atom-type-level (π) concern, not a molecule-level one.
 func Project(mt *MoleculeType, p Projection, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("Π[%v](%s)", p.Keep, mt.Name()))
-	done := tr.begin("projection (op-specific)")
+	tr.SetOp(fmt.Sprintf("Π[%v](%s)", p.Keep, mt.Name()))
+	done := tr.Begin("projection (op-specific)")
 	keep := make(map[string]bool, len(p.Keep))
 	for _, t := range p.Keep {
 		if !mt.desc.HasType(t) {
@@ -176,12 +179,12 @@ func Project(mt *MoleculeType, p Projection, resultName string, tr *OpTrace) (*M
 // created, and each pair molecule connects one molecule of mv1 with one of
 // mv2 — |mv1| × |mv2| result molecules.
 func Product(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("X(%s, %s)", mt1.Name(), mt2.Name()))
+	tr.SetOp(fmt.Sprintf("X(%s, %s)", mt1.Name(), mt2.Name()))
 	if mt1.db != mt2.db {
 		return nil, fmt.Errorf("core: X: operands live in different databases")
 	}
 	db := mt1.db
-	done := tr.begin("product (op-specific)")
+	done := tr.Begin("product (op-specific)")
 	mv1, err := mt1.Derive()
 	if err != nil {
 		return nil, err
@@ -201,7 +204,7 @@ func Product(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeT
 		return nil, err
 	}
 
-	doneRoot := tr.begin("product (pair root)")
+	doneRoot := tr.Begin("product (pair root)")
 	pairDesc := model.MustDesc(
 		model.AttrDesc{Name: "left", Kind: model.KID, NotNull: true},
 		model.AttrDesc{Name: "right", Kind: model.KID, NotNull: true},
@@ -244,7 +247,7 @@ func Product(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeT
 	edges = append(edges, d2.Edges()...)
 	doneRoot(fmt.Sprintf("%d pair atoms", len(mv1)*len(mv2)))
 
-	doneAlpha := tr.begin("definition (α)")
+	doneAlpha := tr.Begin("definition (α)")
 	mtx, err := Define(db, resultName, types, edges)
 	if err != nil {
 		return nil, err
@@ -282,11 +285,11 @@ func compatible(mt1, mt2 *MoleculeType) error {
 // occurrences over compatible descriptions, molecules compared by
 // component identity, propagated and closed with α.
 func Union(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("Ω(%s, %s)", mt1.Name(), mt2.Name()))
+	tr.SetOp(fmt.Sprintf("Ω(%s, %s)", mt1.Name(), mt2.Name()))
 	if err := compatible(mt1, mt2); err != nil {
 		return nil, err
 	}
-	done := tr.begin("union (op-specific)")
+	done := tr.Begin("union (op-specific)")
 	mv1, err := mt1.Derive()
 	if err != nil {
 		return nil, err
@@ -322,11 +325,11 @@ func Union(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeTyp
 // Difference is the molecule-type difference Δ(mt1, mt2): the molecules of
 // mv1 with no equal molecule in mv2, compared by component identity.
 func Difference(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*MoleculeType, error) {
-	tr.setOp(fmt.Sprintf("Δ(%s, %s)", mt1.Name(), mt2.Name()))
+	tr.SetOp(fmt.Sprintf("Δ(%s, %s)", mt1.Name(), mt2.Name()))
 	if err := compatible(mt1, mt2); err != nil {
 		return nil, err
 	}
-	done := tr.begin("difference (op-specific)")
+	done := tr.Begin("difference (op-specific)")
 	mv1, err := mt1.Derive()
 	if err != nil {
 		return nil, err
@@ -365,7 +368,7 @@ func Intersect(mt1, mt2 *MoleculeType, resultName string, tr *OpTrace) (*Molecul
 	if err != nil {
 		return nil, err
 	}
-	tr.setOp(fmt.Sprintf("Ψ(%s, %s) = Δ(%s, Δ(%s, %s))",
+	tr.SetOp(fmt.Sprintf("Ψ(%s, %s) = Δ(%s, Δ(%s, %s))",
 		mt1.Name(), mt2.Name(), mt1.Name(), mt1.Name(), mt2.Name()))
 	return out, nil
 }

@@ -37,7 +37,7 @@ type PropResult struct {
 // original types to the named attributes (molecule projection Π reuses
 // propagation this way); a nil map or missing entry keeps all attributes.
 func Prop(db *storage.Database, mname string, rsd *Desc, rsv MoleculeSet, projections map[string][]string, tr *OpTrace) (*PropResult, error) {
-	done := tr.begin("propagation (prop)")
+	done := tr.Begin("propagation (prop)")
 	schema := db.Schema()
 
 	// Install C′: renamed atom types with restricted occurrences.
@@ -129,7 +129,7 @@ func Prop(db *storage.Database, mname string, rsd *Desc, rsv MoleculeSet, projec
 	done(fmt.Sprintf("C'=%d types, G'=%d links, |rsv|=%d", len(renamedTypes), len(newEdges), len(rsv)))
 
 	// Close with the molecule-type definition α over the enlarged DB.
-	doneAlpha := tr.begin("definition (α)")
+	doneAlpha := tr.Begin("definition (α)")
 	md, err := NewDesc(db, renamedTypes, newEdges)
 	if err != nil {
 		return nil, fmt.Errorf("core: prop: result description invalid: %w", err)

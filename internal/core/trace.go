@@ -23,8 +23,10 @@ type OpTrace struct {
 	Phases []Phase
 }
 
-// begin stamps the start of a phase; call the returned func to close it.
-func (t *OpTrace) begin(name string) func(note string) {
+// Begin stamps the start of a phase; call the returned func to close it.
+// It is exported so cooperating packages (the query planner) can record
+// their phases in the same Fig. 5 anatomy.
+func (t *OpTrace) Begin(name string) func(note string) {
 	if t == nil {
 		return func(string) {}
 	}
@@ -34,8 +36,8 @@ func (t *OpTrace) begin(name string) func(note string) {
 	}
 }
 
-// setOp records which operation the trace belongs to.
-func (t *OpTrace) setOp(op string) {
+// SetOp records which operation the trace belongs to.
+func (t *OpTrace) SetOp(op string) {
 	if t != nil {
 		t.Op = op
 	}

@@ -82,27 +82,40 @@ type Binding struct {
 	M  *Molecule
 }
 
+// ResolveUnqualified finds the unique component type of the structure
+// declaring the attribute — THE rule for unqualified references, shared
+// by molecule bindings, static scopes and the query planner so their
+// resolutions can never diverge. It errs when no type or several types
+// declare the attribute.
+func ResolveUnqualified(db *storage.Database, d *Desc, attr string) (string, error) {
+	var found string
+	for _, t := range d.Types() {
+		c, ok := db.Container(t)
+		if !ok {
+			continue
+		}
+		if _, has := c.Desc().Lookup(attr); has {
+			if found != "" {
+				return "", fmt.Errorf("expr: attribute %q is ambiguous (in %q and %q); qualify it", attr, found, t)
+			}
+			found = t
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("expr: no component type declares attribute %q", attr)
+	}
+	return found, nil
+}
+
 // Resolve returns the referenced values across the molecule's component
 // atoms. Unqualified names resolve when exactly one component type
 // declares the attribute.
 func (b Binding) Resolve(typeName, attr string) ([]model.Value, error) {
 	d := b.M.Desc()
 	if typeName == "" {
-		var found string
-		for _, t := range d.Types() {
-			c, ok := b.DB.Container(t)
-			if !ok {
-				continue
-			}
-			if _, has := c.Desc().Lookup(attr); has {
-				if found != "" {
-					return nil, fmt.Errorf("expr: attribute %q is ambiguous (in %q and %q); qualify it", attr, found, t)
-				}
-				found = t
-			}
-		}
-		if found == "" {
-			return nil, fmt.Errorf("expr: no component type declares attribute %q", attr)
+		found, err := ResolveUnqualified(b.DB, d, attr)
+		if err != nil {
+			return nil, err
 		}
 		typeName = found
 	}
@@ -150,25 +163,11 @@ type Scope struct {
 // ResolveAttr resolves a (possibly unqualified) reference to its kind.
 func (s Scope) ResolveAttr(typeName, attr string) (model.Kind, error) {
 	if typeName == "" {
-		var found string
-		var kind model.Kind
-		for _, t := range s.Desc.Types() {
-			c, ok := s.DB.Container(t)
-			if !ok {
-				continue
-			}
-			if i, has := c.Desc().Lookup(attr); has {
-				if found != "" {
-					return model.KNull, fmt.Errorf("expr: attribute %q is ambiguous (in %q and %q); qualify it", attr, found, t)
-				}
-				found = t
-				kind = c.Desc().Attr(i).Kind
-			}
+		found, err := ResolveUnqualified(s.DB, s.Desc, attr)
+		if err != nil {
+			return model.KNull, err
 		}
-		if found == "" {
-			return model.KNull, fmt.Errorf("expr: no component type declares attribute %q", attr)
-		}
-		return kind, nil
+		typeName = found
 	}
 	if !s.Desc.HasType(typeName) {
 		return model.KNull, fmt.Errorf("expr: atom type %q is not part of the molecule structure", typeName)

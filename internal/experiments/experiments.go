@@ -42,6 +42,7 @@ func All() []Experiment {
 		{ID: "P5", Title: "closure: operator pipelines (Theorems 1–3)", Run: RunP5},
 		{ID: "P6", Title: "PRIMA two-layer work split", Run: RunP6},
 		{ID: "P7", Title: "parallel molecule derivation (query parallelism outlook)", Run: RunP7},
+		{ID: "P8", Title: "predicate pushdown: naive Σ vs planned derivation", Run: RunP8},
 	}
 }
 

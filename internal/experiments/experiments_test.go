@@ -26,6 +26,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"P5": {"Σ[hectare>50]", "Π[state,area]", "Definition 9"},
 		"P6": {"molecule layer", "atom layer"},
 		"P7": {"workers", "speedup"},
+		"P8": {"naive Σ", "planned", "pushdown", "index lookup"},
 	}
 	for _, e := range experiments.All() {
 		e := e
@@ -54,7 +55,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := experiments.Lookup("ZZ"); ok {
 		t.Fatal("ZZ must not exist")
 	}
-	if len(experiments.All()) != 14 {
-		t.Fatalf("experiment count = %d, want 14", len(experiments.All()))
+	if len(experiments.All()) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(experiments.All()))
 	}
 }

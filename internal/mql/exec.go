@@ -8,6 +8,7 @@ import (
 	"mad/internal/core"
 	"mad/internal/expr"
 	"mad/internal/model"
+	"mad/internal/plan"
 	"mad/internal/recursive"
 	"mad/internal/storage"
 )
@@ -228,72 +229,21 @@ func (s *Session) resolveFrom(fc FromClause) (*core.MoleculeType, *recursive.Typ
 	return mt, nil, nil
 }
 
-// rootIndexEq detects the pushdown pattern: a top-level conjunct of the
-// form root.attr = literal where root.attr carries an index. It returns
-// the attribute, value and the remaining predicate.
-func (s *Session) rootIndexEq(desc *core.Desc, pred expr.Expr) (attr string, val model.Value, rest expr.Expr, ok bool) {
-	root := desc.Root()
-	c, found := s.db.Container(root)
-	if !found {
-		return "", model.Null(), pred, false
-	}
-	resolvesToRoot := func(a expr.Attr) bool {
-		if a.Type == root {
-			return true
-		}
-		if a.Type != "" {
-			return false
-		}
-		// Unqualified: only safe when the root alone declares the attr.
-		count := 0
-		for _, t := range desc.Types() {
-			tc, ok := s.db.Container(t)
-			if !ok {
-				continue
-			}
-			if _, has := tc.Desc().Lookup(a.Name); has {
-				count++
-			}
-		}
-		_, onRoot := c.Desc().Lookup(a.Name)
-		return count == 1 && onRoot
-	}
-	tryCmp := func(e expr.Expr) (string, model.Value, bool) {
-		cmp, isCmp := e.(expr.Cmp)
-		if !isCmp || cmp.Op != expr.EQ {
-			return "", model.Null(), false
-		}
-		a, aok := cmp.L.(expr.Attr)
-		l, lok := cmp.R.(expr.Const)
-		if !aok || !lok {
-			a, aok = cmp.R.(expr.Attr)
-			l, lok = cmp.L.(expr.Const)
-		}
-		if !aok || !lok || !resolvesToRoot(a) {
-			return "", model.Null(), false
-		}
-		if _, hasIdx := s.db.IndexLookup(root, a.Name, l.V); !hasIdx {
-			return "", model.Null(), false
-		}
-		return a.Name, l.V, true
-	}
-	if a, v, hit := tryCmp(pred); hit {
-		return a, v, nil, true
-	}
-	if and, isAnd := pred.(expr.And); isAnd {
-		if a, v, hit := tryCmp(and.L); hit {
-			return a, v, and.R, true
-		}
-		if a, v, hit := tryCmp(and.R); hit {
-			return a, v, and.L, true
+// planSelect compiles a non-recursive SELECT body into a query plan.
+func (s *Session) planSelect(st *SelectStmt, desc *core.Desc) (*plan.Plan, error) {
+	if st.Where != nil {
+		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
+			return nil, err
 		}
 	}
-	return "", model.Null(), pred, false
+	return plan.Compile(s.db, desc, st.Where)
 }
 
-// execSelect runs a query-mode SELECT: derive, restrict, project — without
-// enlarging the database. The algebra-mode equivalent (with propagation)
-// is DEFINE MOLECULE TYPE ... AS SELECT ...
+// execSelect runs a query-mode SELECT through the planner: access path
+// (index or filtered root scan), derivation with predicate pushdown,
+// residual restriction, projection — without enlarging the database. The
+// algebra-mode equivalent (with propagation) is DEFINE MOLECULE TYPE ...
+// AS SELECT ...
 func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 	mt, rt, err := s.resolveFrom(st.From)
 	if err != nil {
@@ -303,52 +253,13 @@ func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 		return s.execRecursiveSelect(st, rt)
 	}
 	desc := mt.Desc()
-	if st.Where != nil {
-		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Derivation with optional index pushdown on the root.
-	var set core.MoleculeSet
-	dv, err := mt.Deriver()
+	p, err := s.planSelect(st, desc)
 	if err != nil {
 		return nil, err
 	}
-	pred := st.Where
-	if pred != nil {
-		if attr, val, rest, hit := s.rootIndexEq(desc, pred); hit {
-			roots, _ := s.db.IndexLookup(desc.Root(), attr, val)
-			candidates, err := dv.DeriveRoots(roots)
-			if err != nil {
-				return nil, err
-			}
-			for _, m := range candidates {
-				keep, err := expr.EvalPredicate(rest, core.Binding{DB: s.db, M: m})
-				if err != nil {
-					return nil, err
-				}
-				if keep {
-					set = append(set, m)
-				}
-			}
-			return s.project(st, desc, set)
-		}
-	}
-	var evalErr error
-	dv.Walk(func(m *core.Molecule) bool {
-		keep, err := expr.EvalPredicate(pred, core.Binding{DB: s.db, M: m})
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		if keep {
-			set = append(set, m)
-		}
-		return true
-	})
-	if evalErr != nil {
-		return nil, evalErr
+	set, err := p.Execute()
+	if err != nil {
+		return nil, err
 	}
 	return s.project(st, desc, set)
 }
@@ -474,7 +385,9 @@ func (s *Session) execDefine(st *DefineStmt) (*Result, error) {
 	}
 	cur := mt
 	if sel.Where != nil {
-		cur, err = core.Restrict(cur, sel.Where, "", nil)
+		// Σ through the planner: derived molecule types get the same
+		// access paths and pushdown as query-mode SELECT.
+		cur, err = plan.Restrict(cur, sel.Where, "", nil)
 		if err != nil {
 			return nil, err
 		}
@@ -745,18 +658,16 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 		return &Result{Kind: RPlan, Message: b.String()}, nil
 	}
 	desc := mt.Desc()
-	fmt.Fprintf(&b, "structure: %s\n", desc)
-	fmt.Fprintf(&b, "root:      %s\n", desc.Root())
-	if sel.Where != nil {
-		if attr, val, _, hit := s.rootIndexEq(desc, sel.Where); hit {
-			fmt.Fprintf(&b, "access:    index lookup %s.%s = %s, then derive per root\n", desc.Root(), attr, val)
-		} else {
-			fmt.Fprintf(&b, "access:    full root scan with hierarchical join per molecule\n")
-		}
-		fmt.Fprintf(&b, "restrict:  Σ[%s]\n", sel.Where)
-	} else {
-		fmt.Fprintf(&b, "access:    full root scan with hierarchical join per molecule\n")
+	p, err := s.planSelect(sel, desc)
+	if err != nil {
+		return nil, err
 	}
+	// Run the plan (query mode never enlarges the database) so the
+	// rendering reports actual cardinalities next to the estimates.
+	if _, err := p.Execute(); err != nil {
+		return nil, err
+	}
+	b.WriteString(p.Render())
 	if !sel.All {
 		var items []string
 		for _, it := range sel.Items {

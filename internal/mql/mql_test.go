@@ -364,6 +364,58 @@ CONNECT supplier WHERE name = 'acme' TO parts WHERE name = 'engine' VIA supplies
 	}
 }
 
+func TestDefineUsesPlannedRestrict(t *testing.T) {
+	sess, s := session(t)
+	if err := s.DB.CreateIndex("state", "abbrev"); err != nil {
+		t.Fatal(err)
+	}
+	// The DEFINE runs Σ through the planner: the indexed root equality
+	// must use the index (visible as an index lookup in the stats) and
+	// the derived type's occurrence must match the query-mode SELECT.
+	before := s.DB.Stats().Snapshot()
+	if _, err := sess.Exec("DEFINE MOLECULE TYPE sp AS SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP';"); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.DB.Stats().Snapshot().Sub(before); d.IndexLookups == 0 {
+		t.Fatal("DEFINE ... WHERE on an indexed attribute must use the index")
+	}
+	res, err := sess.Exec("SELECT ALL FROM sp;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Exec("SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != len(want.Set) || len(want.Set) != 1 {
+		t.Fatalf("derived %d molecules, query mode %d, want 1", len(res.Set), len(want.Set))
+	}
+	if res.Set[0].Root() != want.Set[0].Root() || res.Set[0].Size() != want.Set[0].Size() {
+		t.Fatal("derived molecule differs from query-mode result")
+	}
+}
+
+func TestExplainShowsPushdownAndCardinalities(t *testing.T) {
+	sess, s := session(t)
+	if err := s.DB.CreateIndex("state", "abbrev"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sess.Exec("EXPLAIN SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP' AND edge.tag = 'e_SP_MG';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`index lookup state.abbrev = "SP"`,
+		"est ≈",
+		"actual",
+		`pushdown:  Σ↓[edge.tag = "e_SP_MG"] at edge`,
+	} {
+		if !strings.Contains(plan.Message, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, plan.Message)
+		}
+	}
+}
+
 func TestDefineMoleculeTypeAlgebraMode(t *testing.T) {
 	sess, s := session(t)
 	res, err := sess.Exec("DEFINE MOLECULE TYPE big_states AS SELECT ALL FROM state-area-edge-point WHERE state.hectare > 300;")

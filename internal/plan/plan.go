@@ -1,0 +1,491 @@
+// Package plan compiles molecule queries into explicit plan DAGs. A plan
+// fixes, before any atom is touched,
+//
+//   - the root access path: an equality lookup through a secondary index
+//     (chosen by estimated selectivity from storage cardinalities) or a
+//     full scan of the root type's container, optionally pre-filtered by
+//     the root-only conjuncts of the qualification formula;
+//   - the derivation node, annotated with per-atom-type pushdown
+//     conjuncts: conjuncts referencing a single non-root atom type are
+//     evaluated inside core.Deriver while the structure template is laid
+//     over the atom network, cutting non-qualifying subtrees as soon as
+//     the referenced type's component set is complete, instead of
+//     post-filtering whole molecules (the optimization the paper
+//     anticipates for query processing, Chapter 5); and
+//   - the residual filter: whatever part of the formula genuinely needs
+//     the whole molecule (multi-type conjuncts, quantifiers over non-root
+//     types) runs after derivation under molecule binding.
+//
+// The planner is sound with respect to the molecule algebra: a plan's
+// result is always set-equal to naive Σ (core.Restrict) over the same
+// predicate — pushdown decides early whether a molecule can qualify, it
+// never changes the content of qualifying molecules.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// AccessKind discriminates root access paths.
+type AccessKind uint8
+
+// Access paths.
+const (
+	// FullScan reads every atom of the root type's container.
+	FullScan AccessKind = iota
+	// IndexScan reads only the root atoms a secondary index maps an
+	// equality conjunct's value to.
+	IndexScan
+)
+
+// Access is the root access-path node of a plan.
+type Access struct {
+	Kind AccessKind
+	Root string
+	// Attr and Value parameterize an IndexScan (root.Attr = Value).
+	Attr  string
+	Value model.Value
+	// Filter holds the remaining root-only conjuncts; they are evaluated
+	// per root atom before derivation starts (every molecule has exactly
+	// one root atom, so per-atom evaluation equals molecule evaluation).
+	Filter expr.Expr
+	// EstRoots estimates how many roots enter derivation: the container
+	// size for a full scan, occurrence/distinct-keys for an index scan.
+	EstRoots int
+	// ActRoots counts the roots that actually entered derivation.
+	ActRoots int
+}
+
+// Pushdown is one conjunct pushed below derivation at one atom type.
+type Pushdown struct {
+	Type     string
+	Pos      int
+	Conjunct expr.Expr
+	// Cut counts the molecules this node disqualified mid-derivation.
+	Cut int
+}
+
+// Plan is a compiled query plan: access path → derivation with pushdown →
+// residual restriction. Projection stays with the caller (MQL applies it
+// via PruneTo in query mode, Π with propagation in algebra mode).
+type Plan struct {
+	db   *storage.Database
+	desc *core.Desc
+
+	Access    Access
+	Pushdowns []Pushdown
+	Residual  expr.Expr
+
+	// Execution actuals (valid after Execute).
+	Derived  int // molecules fully derived (survived every pushdown)
+	Out      int // molecules after the residual filter
+	Executed bool
+}
+
+// Desc returns the structure the plan derives.
+func (p *Plan) Desc() *core.Desc { return p.desc }
+
+// Compile builds the plan for deriving desc under pred (nil = no
+// restriction). pred must already be statically valid for the structure
+// (expr.Check against core.Scope).
+func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, error) {
+	p := &Plan{
+		db:   db,
+		desc: desc,
+		Access: Access{
+			Kind: FullScan,
+			Root: desc.Root(),
+		},
+	}
+	n, err := db.CountAtoms(desc.Root())
+	if err != nil {
+		return nil, err
+	}
+	p.Access.EstRoots = n
+
+	var rootConjs []expr.Expr
+	for _, c := range splitConjuncts(pred) {
+		t, single := conjunctType(db, desc, c)
+		switch {
+		case single && t == desc.Root():
+			rootConjs = append(rootConjs, c)
+		case single && pushableShape(c):
+			pos, _ := desc.Pos(t)
+			p.Pushdowns = append(p.Pushdowns, Pushdown{Type: t, Pos: pos, Conjunct: c})
+		default:
+			p.Residual = combine(p.Residual, c)
+		}
+	}
+
+	// Root access path: among the root conjuncts, pick the indexed
+	// equality with the lowest estimated cardinality; everything else
+	// becomes the pre-derivation root filter.
+	best := -1
+	bestEst := n + 1
+	for i, c := range rootConjs {
+		attr, val, ok := indexableEq(c, db, desc.Root())
+		if !ok {
+			continue
+		}
+		keys, _ := db.IndexCardinality(desc.Root(), attr)
+		est := estimateEq(n, keys)
+		if est < bestEst {
+			best, bestEst = i, est
+			p.Access.Attr, p.Access.Value = attr, val
+		}
+	}
+	if best >= 0 {
+		p.Access.Kind = IndexScan
+		p.Access.EstRoots = bestEst
+	}
+	for i, c := range rootConjs {
+		if i == best {
+			continue
+		}
+		p.Access.Filter = combine(p.Access.Filter, c)
+	}
+	// Pushdown order follows the topological order of the structure so
+	// the rendered plan reads in traversal order.
+	if len(p.Pushdowns) > 1 {
+		topoPos := make(map[string]int, desc.NumTypes())
+		for i, t := range desc.Topo() {
+			topoPos[t] = i
+		}
+		for i := 1; i < len(p.Pushdowns); i++ {
+			for j := i; j > 0 && topoPos[p.Pushdowns[j].Type] < topoPos[p.Pushdowns[j-1].Type]; j-- {
+				p.Pushdowns[j], p.Pushdowns[j-1] = p.Pushdowns[j-1], p.Pushdowns[j]
+			}
+		}
+	}
+	return p, nil
+}
+
+// splitConjuncts flattens the top-level AND tree of pred.
+func splitConjuncts(pred expr.Expr) []expr.Expr {
+	if pred == nil {
+		return nil
+	}
+	if and, ok := pred.(expr.And); ok {
+		return append(splitConjuncts(and.L), splitConjuncts(and.R)...)
+	}
+	return []expr.Expr{pred}
+}
+
+// combine conjoins two optional predicates.
+func combine(a, b expr.Expr) expr.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return expr.And{L: a, R: b}
+}
+
+// conjunctType resolves every reference of the conjunct (attributes,
+// quantifier and aggregate targets) to its atom type within the structure
+// — unqualified attributes resolve to the unique declaring component type,
+// mirroring molecule-binding semantics — and reports whether they all
+// name one single type.
+func conjunctType(db *storage.Database, desc *core.Desc, c expr.Expr) (string, bool) {
+	// Fast path for the dominant shape: qualified attribute vs constant.
+	if cmp, ok := c.(expr.Cmp); ok {
+		a, aok := cmp.L.(expr.Attr)
+		_, cok := cmp.R.(expr.Const)
+		if !aok || !cok {
+			a, aok = cmp.R.(expr.Attr)
+			_, cok = cmp.L.(expr.Const)
+		}
+		if aok && cok && a.Type != "" {
+			return a.Type, desc.HasType(a.Type)
+		}
+	}
+	types := make(map[string]bool)
+	for t := range expr.TypesReferenced(c) {
+		if t == "" {
+			continue
+		}
+		types[t] = true
+	}
+	for _, a := range expr.References(c) {
+		if a.Type != "" {
+			continue
+		}
+		t, err := core.ResolveUnqualified(db, desc, a.Name)
+		if err != nil {
+			return "", false
+		}
+		types[t] = true
+	}
+	if len(types) != 1 {
+		return "", false
+	}
+	for t := range types {
+		if !desc.HasType(t) {
+			return "", false
+		}
+		return t, true
+	}
+	return "", false
+}
+
+// pushableShape reports whether a single-type conjunct may be evaluated
+// per component atom with existential (OR) aggregation. That holds for
+// comparisons whose attribute side is the bare attribute reference and
+// whose other side is reference-free, and for disjunctions of such
+// comparisons: molecule-level evaluation of these forms is existential
+// over the component atoms, and ∃ distributes over OR. Negation,
+// universal/count quantifiers and arithmetic over the multi-valued side
+// do not commute with ∃ and stay in the residual filter.
+func pushableShape(e expr.Expr) bool {
+	switch n := e.(type) {
+	case expr.Or:
+		return pushableShape(n.L) && pushableShape(n.R)
+	case expr.Cmp:
+		if _, ok := n.L.(expr.Attr); ok && referenceFree(n.R) {
+			return true
+		}
+		if _, ok := n.R.(expr.Attr); ok && referenceFree(n.L) {
+			return true
+		}
+	}
+	return false
+}
+
+// referenceFree reports that e mentions no attribute, quantifier or
+// aggregate — it evaluates to the same constant under any binding.
+func referenceFree(e expr.Expr) bool {
+	return len(expr.TypesReferenced(e)) == 0
+}
+
+// indexableEq detects root.attr = constant (either orientation) where the
+// root type carries an index on attr, returning the attribute and value.
+func indexableEq(c expr.Expr, db *storage.Database, root string) (string, model.Value, bool) {
+	cmp, ok := c.(expr.Cmp)
+	if !ok || cmp.Op != expr.EQ {
+		return "", model.Null(), false
+	}
+	a, aok := cmp.L.(expr.Attr)
+	l, lok := cmp.R.(expr.Const)
+	if !aok || !lok {
+		a, aok = cmp.R.(expr.Attr)
+		l, lok = cmp.L.(expr.Const)
+	}
+	if !aok || !lok {
+		return "", model.Null(), false
+	}
+	if !db.HasIndex(root, a.Name) {
+		return "", model.Null(), false
+	}
+	return a.Name, l.V, true
+}
+
+// estimateEq is the planner's equality-selectivity estimate: occurrence
+// size divided by the index's distinct-key count, rounded up.
+func estimateEq(n, keys int) int {
+	if keys <= 0 {
+		return n
+	}
+	est := (n + keys - 1) / keys
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// atomPred compiles a conjunct into a per-atom predicate over the named
+// type. Evaluation errors surface through errp (first one wins).
+func (p *Plan) atomPred(typeName string, conjunct expr.Expr, errp *error) (func(model.AtomID) bool, error) {
+	c, ok := p.db.Container(typeName)
+	if !ok {
+		return nil, fmt.Errorf("plan: atom type %q has no container", typeName)
+	}
+	desc := c.Desc()
+	return func(id model.AtomID) bool {
+		a, ok := c.Get(id)
+		if !ok {
+			return false
+		}
+		// Account the read like molecule-binding evaluation does, so the
+		// naive-vs-planned logical-work comparisons stay fair.
+		p.db.Stats().AtomsFetched.Add(1)
+		keep, err := expr.EvalPredicate(conjunct, expr.AtomBinding{TypeName: typeName, Desc: desc, Atom: a})
+		if err != nil && *errp == nil {
+			*errp = err
+		}
+		return err == nil && keep
+	}, nil
+}
+
+// Execute runs the plan and returns the qualifying molecules, filling the
+// actual-cardinality fields. It never enlarges the database; algebra-mode
+// callers propagate the returned set themselves (see Restrict).
+func (p *Plan) Execute() (core.MoleculeSet, error) {
+	dv, err := core.NewDeriver(p.db, p.desc)
+	if err != nil {
+		return nil, err
+	}
+	p.Access.ActRoots, p.Derived, p.Out = 0, 0, 0
+	p.Executed = false
+	for i := range p.Pushdowns {
+		p.Pushdowns[i].Cut = 0
+	}
+
+	var evalErr error
+	var checks []core.PruneCheck
+	for i := range p.Pushdowns {
+		pd := &p.Pushdowns[i]
+		pred, err := p.atomPred(pd.Type, pd.Conjunct, &evalErr)
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, core.PruneCheck{Pos: pd.Pos, Qualifies: func(atoms []model.AtomID) bool {
+			for _, id := range atoms {
+				if pred(id) {
+					return true
+				}
+			}
+			pd.Cut++
+			return false
+		}})
+	}
+
+	var rootFilter func(model.AtomID) bool
+	if p.Access.Filter != nil {
+		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, &evalErr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var set core.MoleculeSet
+	keep := func(m *core.Molecule) bool {
+		p.Derived++
+		ok, err := expr.EvalPredicate(p.Residual, core.Binding{DB: p.db, M: m})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ok {
+			set = append(set, m)
+		}
+		return true
+	}
+
+	switch p.Access.Kind {
+	case IndexScan:
+		roots, ok := p.db.IndexLookup(p.Access.Root, p.Access.Attr, p.Access.Value)
+		if !ok {
+			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
+		}
+		prepared := dv.PrepareChecks(checks)
+		for _, r := range roots {
+			if rootFilter != nil && !rootFilter(r) {
+				if evalErr != nil {
+					return nil, evalErr
+				}
+				continue
+			}
+			p.Access.ActRoots++
+			m, ok, err := dv.DeriveForPrepared(r, prepared)
+			if err != nil {
+				return nil, err
+			}
+			if evalErr != nil {
+				return nil, evalErr
+			}
+			if ok && !keep(m) {
+				break
+			}
+		}
+	default:
+		// The root filter runs as a prune hook at the root position: it
+		// rejects the molecule before any link is traversed. ActRoots
+		// counts the roots that pass it and enter derivation proper.
+		// Once an evaluation error is pending, every remaining root is
+		// rejected here too, so the walk degrades to a cheap scan instead
+		// of deriving the rest of the occurrence.
+		rootPos, _ := p.desc.Pos(p.Access.Root)
+		rootChecks := append([]core.PruneCheck{{Pos: rootPos, Qualifies: func(atoms []model.AtomID) bool {
+			if evalErr != nil {
+				return false
+			}
+			if rootFilter != nil && !(len(atoms) == 1 && rootFilter(atoms[0])) {
+				return false
+			}
+			p.Access.ActRoots++
+			return true
+		}}}, checks...)
+		dv.WalkPruned(rootChecks, func(m *core.Molecule) bool {
+			return keep(m)
+		})
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	p.Out = len(set)
+	p.Executed = true
+	return set, nil
+}
+
+// Summary is the one-line account of an executed plan.
+func (p *Plan) Summary() string {
+	cut := 0
+	for _, pd := range p.Pushdowns {
+		cut += pd.Cut
+	}
+	return fmt.Sprintf("%d roots in, %d pruned mid-derivation, %d derived, %d qualified",
+		p.Access.ActRoots, cut, p.Derived, p.Out)
+}
+
+// Render prints the plan tree with estimated and (when executed) actual
+// cardinalities, leaves first — the EXPLAIN output.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "structure: %s\n", p.desc)
+	fmt.Fprintf(&b, "root:      %s\n", p.desc.Root())
+	switch p.Access.Kind {
+	case IndexScan:
+		fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots%s)\n",
+			p.Access.Root, p.Access.Attr, p.Access.Value,
+			approx(p.Access.EstRoots), p.actual(p.Access.ActRoots))
+	default:
+		fmt.Fprintf(&b, "access:    full scan of %s (est %d roots%s)\n",
+			p.Access.Root, p.Access.EstRoots, p.actual(p.Access.ActRoots))
+	}
+	if p.Access.Filter != nil {
+		fmt.Fprintf(&b, "           root filter %s before derivation\n", p.Access.Filter)
+	}
+	fmt.Fprintf(&b, "derive:    structure template over the atom network%s\n", p.actual(p.Derived))
+	for _, pd := range p.Pushdowns {
+		line := fmt.Sprintf("pushdown:  Σ↓[%s] at %s — cuts the subtree when no %s atom qualifies",
+			pd.Conjunct, pd.Type, pd.Type)
+		if p.Executed {
+			line += fmt.Sprintf(" (cut %d)", pd.Cut)
+		}
+		b.WriteString(line + "\n")
+	}
+	if p.Residual != nil {
+		fmt.Fprintf(&b, "residual:  Σ[%s] per derived molecule%s\n", p.Residual, p.actual(p.Out))
+	} else if p.Executed {
+		fmt.Fprintf(&b, "output:    %d molecule(s)\n", p.Out)
+	}
+	return b.String()
+}
+
+// actual renders ", actual n" when the plan ran.
+func (p *Plan) actual(n int) string {
+	if !p.Executed {
+		return ""
+	}
+	return fmt.Sprintf(", actual %d", n)
+}
+
+// approx renders an estimate as ≈n.
+func approx(n int) string { return fmt.Sprintf("≈%d", n) }

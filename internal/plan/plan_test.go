@@ -1,0 +1,427 @@
+package plan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// layeredDB generates a random database with a layered schema
+// t0 → t1 → … → t_{depth} (one link type per layer) plus a skip link
+// t0 → t2 when depth permits, random atoms (attribute v drawn from a
+// small domain so equality predicates hit and miss) and random links.
+func layeredDB(rng *rand.Rand, depth, atomsPerType int) (*storage.Database, []string, []core.DirectedLink, error) {
+	db := storage.NewDatabase()
+	types := make([]string, depth+1)
+	for i := range types {
+		types[i] = fmt.Sprintf("t%d", i)
+		desc := model.MustDesc(
+			model.AttrDesc{Name: "v", Kind: model.KInt},
+			model.AttrDesc{Name: "w", Kind: model.KFloat},
+		)
+		if _, err := db.DefineAtomType(types[i], desc); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var edges []core.DirectedLink
+	for i := 0; i < depth; i++ {
+		name := fmt.Sprintf("l%d", i)
+		if _, err := db.DefineLinkType(name, model.LinkDesc{SideA: types[i], SideB: types[i+1]}); err != nil {
+			return nil, nil, nil, err
+		}
+		edges = append(edges, core.DirectedLink{Link: name, From: types[i], To: types[i+1]})
+	}
+	if depth >= 2 {
+		if _, err := db.DefineLinkType("skip", model.LinkDesc{SideA: types[0], SideB: types[2]}); err != nil {
+			return nil, nil, nil, err
+		}
+		edges = append(edges, core.DirectedLink{Link: "skip", From: types[0], To: types[2]})
+	}
+	ids := make([][]model.AtomID, len(types))
+	for i, t := range types {
+		for j := 0; j < atomsPerType; j++ {
+			id, err := db.InsertAtom(t, model.Int(int64(rng.Intn(4))), model.Float(rng.Float64()*100))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ids[i] = append(ids[i], id)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		name := fmt.Sprintf("l%d", i)
+		for _, a := range ids[i] {
+			for k := 0; k < 2; k++ {
+				b := ids[i+1][rng.Intn(len(ids[i+1]))]
+				if err := db.Connect(name, a, b); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	if depth >= 2 {
+		for _, a := range ids[0] {
+			if rng.Intn(2) == 0 {
+				b := ids[2][rng.Intn(len(ids[2]))]
+				if err := db.Connect("skip", a, b); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return db, types, edges, nil
+}
+
+// randomPredicate builds a random conjunction exercising every planner
+// path: root equality (index hit or miss depending on the caller),
+// single-type pushdown conjuncts (plain and OR-shaped) on deeper types,
+// and residual-only conjuncts (NOT, COUNT, multi-type comparison).
+func randomPredicate(rng *rand.Rand, types []string) expr.Expr {
+	eq := func(t string, k int64) expr.Expr {
+		return expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: t, Name: "v"}, R: expr.Lit(model.Int(k))}
+	}
+	choices := []func() expr.Expr{
+		func() expr.Expr { return eq(types[0], int64(rng.Intn(5))) },
+		func() expr.Expr { return eq(types[len(types)-1], int64(rng.Intn(5))) },
+		func() expr.Expr {
+			t := types[1+rng.Intn(len(types)-1)]
+			return expr.Or{L: eq(t, int64(rng.Intn(4))), R: eq(t, int64(rng.Intn(4)))}
+		},
+		func() expr.Expr {
+			return expr.Cmp{Op: expr.GE, L: expr.Attr{Type: types[1], Name: "w"}, R: expr.Lit(model.Float(rng.Float64() * 100))}
+		},
+		func() expr.Expr { return expr.Not{E: eq(types[len(types)-1], int64(rng.Intn(4)))} },
+		func() expr.Expr {
+			return expr.Cmp{Op: expr.GE, L: expr.CountOf{Type: types[1]}, R: expr.Lit(model.Int(int64(rng.Intn(3))))}
+		},
+		func() expr.Expr {
+			return expr.Cmp{Op: expr.LE, L: expr.Attr{Type: types[0], Name: "w"}, R: expr.Attr{Type: types[1], Name: "w"}}
+		},
+	}
+	pred := choices[rng.Intn(len(choices))]()
+	for n := rng.Intn(2); n > 0; n-- {
+		pred = expr.And{L: pred, R: choices[rng.Intn(len(choices))]()}
+	}
+	return pred
+}
+
+// naiveRestrict is the specification the planner must match: derive the
+// full occurrence, keep the molecules fulfilling the predicate.
+func naiveRestrict(t *testing.T, mt *core.MoleculeType, pred expr.Expr) core.MoleculeSet {
+	t.Helper()
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out core.MoleculeSet
+	var evalErr error
+	dv.Walk(func(m *core.Molecule) bool {
+		keep, err := expr.EvalPredicate(pred, core.Binding{DB: mt.DB(), M: m})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if keep {
+			out = append(out, m)
+		}
+		return true
+	})
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	return out
+}
+
+func sameSets(a, b core.MoleculeSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make(map[string]bool, len(a))
+	for _, m := range a {
+		keys[m.Key()] = true
+	}
+	for _, m := range b {
+		if !keys[m.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannerEquivalenceRandom is the planner-vs-naive property: over
+// randomized schemas and predicates — with and without a root index, so
+// the plan exercises index-hit, index-miss and pushdown-pruned paths —
+// the planner's result is set-equal to naive Σ, and the propagated
+// restriction (plan.Restrict) re-derives to exactly that set
+// (core.EquivalentOccurrence).
+func TestPlannerEquivalenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(2)
+		db, types, edges, err := layeredDB(rng, depth, 4+rng.Intn(5))
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			// Half the runs index the root's equality attribute, so the
+			// compiled plan alternates between index and scan access.
+			if err := db.CreateIndex(types[0], "v"); err != nil {
+				t.Logf("index: %v", err)
+				return false
+			}
+		}
+		mt, err := core.Define(db, "random", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		pred := randomPredicate(rng, types)
+		if err := expr.Check(pred, core.Scope{DB: db, Desc: mt.Desc()}); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+
+		want := naiveRestrict(t, mt, pred)
+
+		p, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		got, err := p.Execute()
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if !sameSets(got, want) {
+			t.Logf("seed %d: plan %d molecules, naive %d (pred %s)\nplan:\n%s",
+				seed, len(got), len(want), pred, p.Render())
+			return false
+		}
+
+		// Algebra mode: the propagated planned restriction must be
+		// occurrence-equivalent to the planner's qualifying set.
+		sigma, err := plan.Restrict(mt, pred, "", nil)
+		if err != nil {
+			t.Logf("plan.Restrict: %v", err)
+			return false
+		}
+		ok, err := core.EquivalentOccurrence(sigma, got)
+		if err != nil {
+			t.Logf("equivalent: %v", err)
+			return false
+		}
+		if !ok {
+			t.Logf("seed %d: propagated occurrence differs (pred %s)", seed, pred)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixture builds a deterministic three-layer database for the targeted
+// planner tests: 8 roots, each root's subtree reaching layer-2 atoms
+// whose v-attribute makes pushdown selective.
+func fixture(t *testing.T) (*storage.Database, *core.MoleculeType) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	db, types, edges, err := layeredDB(rng, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "fix", types, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mt
+}
+
+func TestCompileChoosesIndexScan(t *testing.T) {
+	db, mt := fixture(t)
+	if err := db.CreateIndex("t0", "v"); err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "t0", Name: "v"}, R: expr.Lit(model.Int(1))},
+		R: expr.Cmp{Op: expr.GT, L: expr.Attr{Type: "t0", Name: "w"}, R: expr.Lit(model.Float(-1))},
+	}
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access.Kind != plan.IndexScan || p.Access.Attr != "v" {
+		t.Fatalf("access = %+v, want index scan on v", p.Access)
+	}
+	if p.Access.Filter == nil {
+		t.Fatal("the non-indexed root conjunct must become the root filter")
+	}
+	n, _ := db.CountAtoms("t0")
+	if p.Access.EstRoots <= 0 || p.Access.EstRoots > n {
+		t.Fatalf("EstRoots = %d, want within (0, %d]", p.Access.EstRoots, n)
+	}
+}
+
+func TestCompileClassifiesPushdownAndResidual(t *testing.T) {
+	db, mt := fixture(t)
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "t2", Name: "v"}, R: expr.Lit(model.Int(2))},
+		R: expr.Cmp{Op: expr.LE, L: expr.Attr{Type: "t0", Name: "w"}, R: expr.Attr{Type: "t1", Name: "w"}},
+	}
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pushdowns) != 1 || p.Pushdowns[0].Type != "t2" {
+		t.Fatalf("pushdowns = %+v, want one at t2", p.Pushdowns)
+	}
+	if p.Residual == nil {
+		t.Fatal("the multi-type conjunct must stay residual")
+	}
+	if p.Access.Kind != plan.FullScan {
+		t.Fatalf("access = %+v, want full scan", p.Access)
+	}
+}
+
+func TestPushdownCutsTraversal(t *testing.T) {
+	db, mt := fixture(t)
+	// A t1-level equality that disqualifies most molecules: pruned
+	// derivations must traverse strictly fewer links than naive Σ.
+	pred := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "t1", Name: "v"}, R: expr.Lit(model.Int(3))}
+
+	db.Stats().Reset()
+	want := naiveRestrict(t, mt, pred)
+	naiveWork := db.Stats().Snapshot()
+
+	db.Stats().Reset()
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planWork := db.Stats().Snapshot()
+
+	if !sameSets(got, want) {
+		t.Fatalf("plan %d molecules, naive %d", len(got), len(want))
+	}
+	cut := 0
+	for _, pd := range p.Pushdowns {
+		cut += pd.Cut
+	}
+	if cut == 0 {
+		t.Skip("predicate did not prune on this fixture")
+	}
+	if planWork.LinksTraversed >= naiveWork.LinksTraversed {
+		t.Fatalf("pushdown traversed %d links, naive %d — no cut",
+			planWork.LinksTraversed, naiveWork.LinksTraversed)
+	}
+}
+
+// TestSameTypeConjunctsBothApply guards the prune-hook composition: two
+// pushable conjuncts on the same non-root type must each aggregate
+// existentially over the full component set (∃v=0 AND ∃v=1 is not
+// ∃(v=0 AND v=1)), and neither may be dropped.
+func TestSameTypeConjunctsBothApply(t *testing.T) {
+	db := storage.NewDatabase()
+	desc := model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})
+	for _, tn := range []string{"r", "c"} {
+		if _, err := db.DefineAtomType(tn, desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.DefineLinkType("rc", model.LinkDesc{SideA: "r", SideB: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	// Root 1 reaches c-atoms {0, 1}: satisfies both conjuncts.
+	// Root 2 reaches only {1}: satisfies one conjunct, must be cut.
+	r1, err := db.InsertAtom("r", model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.InsertAtom("r", model.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := db.InsertAtom("c", model.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := db.InsertAtom("c", model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []struct{ a, b model.AtomID }{{r1, c0}, {r1, c1}, {r2, c1}} {
+		if err := db.Connect("rc", l.a, l.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mt, err := core.Define(db, "rc", []string{"r", "c"},
+		[]core.DirectedLink{{Link: "rc", From: "r", To: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := func(k int64) expr.Expr {
+		return expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "c", Name: "v"}, R: expr.Lit(model.Int(k))}
+	}
+	pred := expr.And{L: eq(0), R: eq(1)}
+
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pushdowns) != 2 {
+		t.Fatalf("pushdowns = %+v, want both conjuncts at c", p.Pushdowns)
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveRestrict(t, mt, pred)
+	if !sameSets(got, want) {
+		t.Fatalf("plan %d molecules, naive %d — a same-type conjunct was dropped", len(got), len(want))
+	}
+	if len(got) != 1 || got[0].Root() != r1 {
+		t.Fatalf("result = %v, want exactly the molecule at r1", got.Roots())
+	}
+}
+
+func TestRenderShowsCardinalities(t *testing.T) {
+	db, mt := fixture(t)
+	if err := db.CreateIndex("t0", "v"); err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "t0", Name: "v"}, R: expr.Lit(model.Int(1))},
+		R: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "t2", Name: "v"}, R: expr.Lit(model.Int(0))},
+	}
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	for _, want := range []string{
+		"index lookup t0.v",
+		"est ≈",
+		"actual",
+		"pushdown:  Σ↓[t2.v = 0] at t2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -112,6 +112,27 @@ func (db *Database) IndexLookup(typeName, attr string, v model.Value) ([]model.A
 	return ix.Lookup(v), true
 }
 
+// HasIndex reports whether an index over typeName.attr exists.
+func (db *Database) HasIndex(typeName, attr string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.indexes[indexKey(typeName, attr)]
+	return ok
+}
+
+// IndexCardinality returns the number of distinct keys in the index over
+// typeName.attr — the statistic the query planner divides the occurrence
+// size by to estimate equality selectivity. ok=false without an index.
+func (db *Database) IndexCardinality(typeName, attr string) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ix, ok := db.indexes[indexKey(typeName, attr)]
+	if !ok {
+		return 0, false
+	}
+	return ix.Len(), true
+}
+
 // Indexes lists the existing indexes as "type.attr" strings, sorted.
 func (db *Database) Indexes() []string {
 	db.mu.RLock()

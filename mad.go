@@ -40,6 +40,7 @@ import (
 	"mad/internal/expr"
 	"mad/internal/model"
 	"mad/internal/mql"
+	"mad/internal/plan"
 	"mad/internal/prima"
 	"mad/internal/recursive"
 	"mad/internal/storage"
@@ -105,6 +106,9 @@ type (
 	Engine = prima.Engine
 	// Expr is a qualification-formula node (restriction predicates).
 	Expr = expr.Expr
+	// Plan is a compiled query plan: root access path, derivation with
+	// per-atom-type predicate pushdown, residual restriction.
+	Plan = plan.Plan
 )
 
 // Value kinds.
@@ -153,6 +157,20 @@ func Define(db *Database, name string, types []string, edges []DirectedLink) (*M
 // result type. A nil trace disables tracing.
 func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*MoleculeType, error) {
 	return core.Restrict(mt, pred, resultName, tr)
+}
+
+// CompilePlan compiles a plan for deriving desc under pred (nil = no
+// restriction): access path chosen from index cardinalities, pushdown
+// conjuncts cut subtrees during derivation, the residual runs per
+// molecule. Execute it for the qualifying set; Render it for EXPLAIN.
+func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
+	return plan.Compile(db, desc, pred)
+}
+
+// PlannedRestrict is Restrict evaluated through the query planner: same
+// result, less work when an index or a pushdown applies.
+func PlannedRestrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*MoleculeType, error) {
+	return plan.Restrict(mt, pred, resultName, tr)
 }
 
 // Project is the molecule-type projection Π.
