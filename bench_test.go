@@ -429,3 +429,63 @@ func BenchmarkP7ParallelDerivation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkP9SkewedAccessPath measures the histogram win end to end: the
+// same skewed-data predicate executed through the plan the uniform
+// estimate picks (heavy-hitter index) and through the plan the
+// histograms pick (selective index), plus the cost of compiling fresh
+// versus through the plan cache.
+func BenchmarkP9SkewedAccessPath(b *testing.B) {
+	db, mt, err := experiments.BuildSkewed(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "batch"}, R: expr.Lit(mad.Int(0))},
+		R: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "grade"}, R: expr.Lit(mad.Str("g3"))},
+	}
+	uniform, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mad.Analyze(db, "part"); err != nil {
+		b.Fatal(err)
+	}
+	histo, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("execute/uniform_plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := uniform.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute/histogram_plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := histo.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile/fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Compile(db, mt.Desc(), pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile/cached", func(b *testing.B) {
+		cache := mad.PlanCacheFor(db)
+		if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

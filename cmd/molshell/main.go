@@ -123,7 +123,9 @@ func shellCommand(cmd string, db *storage.Database, defaultPath string) bool {
   DEFINE MOLECULE TYPE big AS SELECT ALL FROM state-area WHERE hectare > 300;
   SELECT ALL FROM RECURSIVE parts VIA composition WHERE name = 'car';
   CREATE ATOM TYPE t (a STRING NOT NULL, b INT); INSERT INTO t VALUES ('x', 1);
-  SHOW SCHEMA;  SHOW MOLECULE TYPES;  EXPLAIN SELECT ...;
+  SHOW SCHEMA;  SHOW MOLECULE TYPES;  SHOW HISTOGRAMS;
+  ANALYZE;  ANALYZE state;          -- build planner histograms
+  EXPLAIN SELECT ...;  EXPLAIN (ESTIMATE) SELECT ...;
 shell: \q quit, \save [path] snapshot, \stats counters`)
 	case "\\stats":
 		fmt.Println(db.Stats().Snapshot().String())

@@ -37,6 +37,7 @@ func (d DirectedLink) String() string {
 type Desc struct {
 	types []string // C, in declaration order; types[0] need not be the root
 	edges []DirectedLink
+	str   string // rendering, memoized at construction (Desc is immutable)
 
 	root     string
 	topo     []string         // types in a topological order, root first
@@ -94,6 +95,7 @@ func NewDesc(db *storage.Database, types []string, edges []DirectedLink) (*Desc,
 	if err := d.computeGraph(); err != nil {
 		return nil, err
 	}
+	d.str = d.render()
 	return d, nil
 }
 
@@ -236,9 +238,13 @@ func (d *Desc) Equal(o *Desc) bool {
 	return true
 }
 
-// String renders the description in the paper's notation:
-// "<{C}, {G}>" with the root marked.
-func (d *Desc) String() string {
+// String returns the description in the paper's notation: "<{C}, {G}>"
+// with the root marked. The rendering is memoized at construction — the
+// plan cache keys on it per statement, so it must not allocate.
+func (d *Desc) String() string { return d.str }
+
+// render builds the String rendering once, at construction.
+func (d *Desc) render() string {
 	var b strings.Builder
 	b.WriteString("<{")
 	for i, t := range d.types {

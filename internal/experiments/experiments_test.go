@@ -55,7 +55,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := experiments.Lookup("ZZ"); ok {
 		t.Fatal("ZZ must not exist")
 	}
-	if len(experiments.All()) != 15 {
-		t.Fatalf("experiment count = %d, want 15", len(experiments.All()))
+	if len(experiments.All()) != 16 {
+		t.Fatalf("experiment count = %d, want 16", len(experiments.All()))
 	}
 }

@@ -1,0 +1,139 @@
+package mql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/mql"
+	"mad/internal/plan"
+)
+
+func TestAnalyzeStatement(t *testing.T) {
+	sess, s := session(t)
+	res, err := sess.Exec("ANALYZE state;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "histogram") {
+		t.Fatalf("ANALYZE message: %s", res.Message)
+	}
+	if _, ok := s.DB.Histogram("state", "hectare"); !ok {
+		t.Fatal("ANALYZE state must build a histogram on state.hectare")
+	}
+	if _, ok := s.DB.Histogram("area", "tag"); ok {
+		t.Fatal("ANALYZE state must not touch other types")
+	}
+	if _, err := sess.Exec("ANALYZE;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.DB.Histogram("area", "tag"); !ok {
+		t.Fatal("bare ANALYZE must cover every atom type")
+	}
+	if _, err := sess.Exec("ANALYZE nosuch;"); err == nil {
+		t.Fatal("ANALYZE of an unknown type must fail")
+	}
+
+	show, err := sess.Exec("SHOW HISTOGRAMS;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(show.Message, "HISTOGRAM ON state.hectare") {
+		t.Fatalf("SHOW HISTOGRAMS: %s", show.Message)
+	}
+}
+
+func TestExplainEstimateDoesNotExecute(t *testing.T) {
+	sess, s := session(t)
+	if err := s.DB.CreateIndex("state", "abbrev"); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP';"
+
+	s.DB.Stats().Reset()
+	res, err := sess.Exec("EXPLAIN (ESTIMATE) " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != mql.RPlan {
+		t.Fatalf("kind = %v", res.Kind)
+	}
+	if !strings.Contains(res.Message, "est ≈") {
+		t.Fatalf("estimate missing:\n%s", res.Message)
+	}
+	if strings.Contains(res.Message, "actual") {
+		t.Fatalf("EXPLAIN (ESTIMATE) must not report actuals:\n%s", res.Message)
+	}
+	if w := s.DB.Stats().Snapshot(); w.AtomsFetched != 0 || w.LinksTraversed != 0 {
+		t.Fatalf("EXPLAIN (ESTIMATE) touched the database: %s", w)
+	}
+
+	// The plain form still executes and reports actuals.
+	res, err = sess.Exec("EXPLAIN " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "actual") {
+		t.Fatalf("plain EXPLAIN must report actuals:\n%s", res.Message)
+	}
+}
+
+// TestSessionPlanCacheProbe is the compile-count probe of the acceptance
+// criteria: repeated execution of a named-molecule SELECT skips
+// recompilation, and both DDL and ANALYZE bust the cache.
+func TestSessionPlanCacheProbe(t *testing.T) {
+	sess, s := session(t)
+	cache := plan.CacheFor(s.DB)
+	if _, err := sess.Exec("DEFINE MOLECULE TYPE mt_st AS SELECT ALL FROM state-area;"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, base := cache.Counters()
+
+	q := "SELECT ALL FROM mt_st WHERE hectare > 100;"
+	for i := 0; i < 4; i++ {
+		if _, err := sess.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+1 {
+		t.Fatalf("4 executions compiled %d plans, want 1", compiles-base)
+	}
+
+	// A second session over the same database shares the cache: named
+	// types are session-local, but the cache keys on the structure, so
+	// the same query phrased structurally reuses the compilation.
+	if _, err := mql.NewSession(s.DB).Exec("SELECT ALL FROM state-area WHERE hectare > 100;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+1 {
+		t.Fatal("sessions over one database must share compiled plans")
+	}
+
+	// DDL busts it.
+	if _, err := sess.Exec("CREATE INDEX ON state(abbrev);"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+2 {
+		t.Fatalf("CREATE INDEX must invalidate cached plans (compiles %d, want %d)", compiles, base+2)
+	}
+
+	// ANALYZE busts it again.
+	if _, err := sess.Exec("ANALYZE state;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+3 {
+		t.Fatalf("ANALYZE must invalidate cached plans (compiles %d, want %d)", compiles, base+3)
+	}
+	// And once rebuilt, it stays warm.
+	if _, err := sess.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+3 {
+		t.Fatal("cache must warm again after invalidation")
+	}
+}

@@ -185,17 +185,31 @@ type ConnectStmt struct {
 
 func (*ConnectStmt) stmt() {}
 
-// ShowStmt is SHOW SCHEMA | TYPES | MOLECULE TYPES | INDEXES | STATS.
+// ShowStmt is SHOW SCHEMA | TYPES | MOLECULE TYPES | INDEXES | STATS |
+// HISTOGRAMS.
 type ShowStmt struct {
-	What string // "SCHEMA", "TYPES", "MOLECULES", "INDEXES", "STATS"
+	What string // "SCHEMA", "TYPES", "MOLECULES", "INDEXES", "STATS", "HISTOGRAMS"
 }
 
 func (*ShowStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN SELECT ... — it reports the plan instead of
-// executing it.
+// ExplainStmt is EXPLAIN [(ESTIMATE)] SELECT ... — it reports the plan
+// instead of returning molecules. The plain form executes the plan so
+// the rendering carries actual cardinalities next to the estimates; the
+// ESTIMATE form only compiles, for planning against expensive queries.
 type ExplainStmt struct {
 	Select *SelectStmt
+	// EstimateOnly suppresses execution (EXPLAIN (ESTIMATE)).
+	EstimateOnly bool
 }
 
 func (*ExplainStmt) stmt() {}
+
+// AnalyzeStmt is ANALYZE [type] — it (re)builds the equi-depth
+// histograms the planner estimates selectivities from, over one atom
+// type or all of them, and invalidates cached plans.
+type AnalyzeStmt struct {
+	Type string // "" = every atom type
+}
+
+func (*AnalyzeStmt) stmt() {}

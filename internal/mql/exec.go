@@ -137,8 +137,30 @@ func (s *Session) Execute(st Stmt) (*Result, error) {
 		return s.execShow(st)
 	case *ExplainStmt:
 		return s.execExplain(st)
+	case *AnalyzeStmt:
+		return s.execAnalyze(st)
 	}
 	return nil, fmt.Errorf("mql: unsupported statement %T", st)
+}
+
+// execAnalyze rebuilds the per-attribute histograms of one atom type (or
+// all of them). The storage layer bumps the plan epoch, so every cached
+// plan recompiles against the fresh statistics.
+func (s *Session) execAnalyze(st *AnalyzeStmt) (*Result, error) {
+	var (
+		built int
+		err   error
+	)
+	if st.Type == "" {
+		built, err = s.db.Analyze()
+	} else {
+		built, err = s.db.Analyze(st.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: RMessage, Message: fmt.Sprintf(
+		"analyzed %d attribute histogram(s); cached plans invalidated", built)}, nil
 }
 
 // BuildDesc translates a parsed structure into a validated molecule-type
@@ -229,14 +251,18 @@ func (s *Session) resolveFrom(fc FromClause) (*core.MoleculeType, *recursive.Typ
 	return mt, nil, nil
 }
 
-// planSelect compiles a non-recursive SELECT body into a query plan.
+// planSelect compiles a non-recursive SELECT body into a query plan,
+// going through the database's plan cache: repeated statements over the
+// same structure (named molecule types above all) reuse the compiled
+// plan until DDL or ANALYZE bumps the plan epoch.
 func (s *Session) planSelect(st *SelectStmt, desc *core.Desc) (*plan.Plan, error) {
 	if st.Where != nil {
 		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
 			return nil, err
 		}
 	}
-	return plan.Compile(s.db, desc, st.Where)
+	p, _, err := plan.CacheFor(s.db).Compile(desc, st.Where)
+	return p, err
 }
 
 // execSelect runs a query-mode SELECT through the planner: access path
@@ -630,6 +656,15 @@ func (s *Session) execShow(st *ShowStmt) (*Result, error) {
 		for _, ix := range s.db.Indexes() {
 			fmt.Fprintf(&b, "INDEX ON %s;\n", ix)
 		}
+	case "HISTOGRAMS":
+		for _, key := range s.db.Histograms() {
+			dot := strings.LastIndex(key, ".")
+			h, ok := s.db.Histogram(key[:dot], key[dot+1:])
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "HISTOGRAM ON %s: %s\n", key, h)
+		}
 	case "STATS":
 		b.WriteString(s.db.Stats().Snapshot().String())
 		b.WriteByte('\n')
@@ -663,9 +698,12 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 		return nil, err
 	}
 	// Run the plan (query mode never enlarges the database) so the
-	// rendering reports actual cardinalities next to the estimates.
-	if _, err := p.Execute(); err != nil {
-		return nil, err
+	// rendering reports actual cardinalities next to the estimates —
+	// unless the statement asked for the compile-only ESTIMATE form.
+	if !st.EstimateOnly {
+		if _, err := p.Execute(); err != nil {
+			return nil, err
+		}
 	}
 	b.WriteString(p.Render())
 	if !sel.All {

@@ -145,13 +145,42 @@ func (p *Parser) Statement() (Stmt, error) {
 		return p.showStmt()
 	case "EXPLAIN":
 		p.pos++
+		st := &ExplainStmt{}
+		if p.accept(TSymbol, "(") {
+			if err := p.expect(TKeyword, "ESTIMATE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(TSymbol, ")"); err != nil {
+				return nil, err
+			}
+			st.EstimateOnly = true
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Select: sel.(*SelectStmt)}, nil
+		st.Select = sel.(*SelectStmt)
+		return st, nil
+	case "ANALYZE":
+		return p.analyzeStmt()
 	}
 	return nil, fmt.Errorf("mql: unknown statement %s at offset %d", t, t.Pos)
+}
+
+// analyzeStmt parses ANALYZE [type].
+func (p *Parser) analyzeStmt() (Stmt, error) {
+	if err := p.expect(TKeyword, "ANALYZE"); err != nil {
+		return nil, err
+	}
+	st := &AnalyzeStmt{}
+	if p.peek().Kind == TIdent {
+		name, err := p.hyphenName()
+		if err != nil {
+			return nil, err
+		}
+		st.Type = name
+	}
+	return st, nil
 }
 
 // selectStmt parses SELECT <ALL|list> FROM <from> [WHERE pred].
@@ -766,7 +795,7 @@ func (p *Parser) showStmt() (Stmt, error) {
 	}
 	p.pos++
 	switch t.Text {
-	case "SCHEMA", "TYPES", "INDEXES", "STATS":
+	case "SCHEMA", "TYPES", "INDEXES", "STATS", "HISTOGRAMS":
 		return &ShowStmt{What: t.Text}, nil
 	case "MOLECULE", "MOLECULES":
 		p.accept(TKeyword, "TYPES")

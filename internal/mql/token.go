@@ -72,6 +72,7 @@ var keywords = map[string]bool{
 	"STATS": true, "MOLECULES": true,
 	"EXPLAIN": true, "RECURSIVE": true, "DEPTH": true, "DOWN": true, "UP": true,
 	"UNION": true, "DIFFERENCE": true, "INTERSECT": true, "OF": true,
+	"ANALYZE": true, "ESTIMATE": true, "HISTOGRAMS": true,
 }
 
 // Lexer turns MQL source into tokens.

@@ -30,10 +30,28 @@ func BenchmarkCompileOnly(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pred := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "point", Name: "name"}, R: expr.Lit(model.Str("pn"))}
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "point", Name: "name"}, R: expr.Lit(model.Str("pn"))},
+		R: expr.And{
+			L: expr.Cmp{Op: expr.GT, L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(model.Float(10))},
+			R: expr.Cmp{Op: expr.LE, L: expr.Attr{Type: "area", Name: "tag"}, R: expr.Attr{Type: "river", Name: "name"}},
+		},
+	}
 	b.Run("compile", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := plan.Compile(s.DB, mt.Desc(), pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile_cached", func(b *testing.B) {
+		cache := plan.CacheFor(s.DB)
+		if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
 				b.Fatal(err)
 			}
 		}

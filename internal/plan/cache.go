@@ -1,0 +1,217 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/storage"
+)
+
+// cacheLimit bounds a cache's entry count; the oldest entries are evicted
+// first. Named molecule types are few, so the bound exists only to keep
+// ad-hoc structure churn from growing the cache without end.
+const cacheLimit = 256
+
+// Cache memoizes compiled plans per database, keyed by the structure
+// description and the predicate rendering. Entries carry the database's
+// plan epoch at compile time; a lookup whose epoch no longer matches
+// (index DDL, schema DDL or ANALYZE happened since) recompiles, so a
+// cached plan never outlives the statistics and access paths it was
+// costed against. Get hands out clones: concurrent sessions each execute
+// their own copy while sharing the compile work.
+type Cache struct {
+	mu      sync.Mutex
+	db      *storage.Database
+	entries map[string]*cacheEntry
+	order   []string // insertion order, for FIFO eviction
+
+	hits, misses, compiles uint64
+}
+
+type cacheEntry struct {
+	epoch uint64
+	plan  *Plan
+}
+
+// caches is the per-database cache registry behind CacheFor.
+var (
+	cachesMu sync.Mutex
+	caches   = make(map[*storage.Database]*Cache)
+)
+
+// CacheFor returns the plan cache shared by every session over db,
+// creating it on first use.
+func CacheFor(db *storage.Database) *Cache {
+	cachesMu.Lock()
+	defer cachesMu.Unlock()
+	c, ok := caches[db]
+	if !ok {
+		c = &Cache{db: db, entries: make(map[string]*cacheEntry)}
+		caches[db] = c
+	}
+	return c
+}
+
+// cacheKey identifies a plan: the structure rendering (memoized by Desc)
+// plus a canonical predicate encoding. Both are canonical for plan
+// purposes — two descs rendering alike derive identically, and the
+// planner only inspects predicate structure. The predicate encoding is
+// hand-rolled because it runs on every statement: expr.String's
+// fmt-based rendering would cost more than the compile it saves.
+func cacheKey(desc *core.Desc, pred expr.Expr) string {
+	if pred == nil {
+		return desc.String()
+	}
+	var b strings.Builder
+	b.Grow(len(desc.String()) + 64)
+	b.WriteString(desc.String())
+	b.WriteByte(0)
+	appendExprKey(&b, pred)
+	return b.String()
+}
+
+// appendExprKey writes a canonical, collision-free encoding of e: every
+// node is tagged, fields are separated by unprintable bytes that cannot
+// occur inside identifiers.
+func appendExprKey(b *strings.Builder, e expr.Expr) {
+	switch n := e.(type) {
+	case expr.Const:
+		b.WriteByte('c')
+		b.WriteString(n.V.String())
+	case expr.Attr:
+		b.WriteByte('a')
+		b.WriteString(n.Type)
+		b.WriteByte(1)
+		b.WriteString(n.Name)
+	case expr.Cmp:
+		b.WriteByte('=')
+		b.WriteByte(byte(n.Op))
+		appendExprKey(b, n.L)
+		b.WriteByte(2)
+		appendExprKey(b, n.R)
+	case expr.And:
+		b.WriteByte('&')
+		appendExprKey(b, n.L)
+		b.WriteByte(2)
+		appendExprKey(b, n.R)
+	case expr.Or:
+		b.WriteByte('|')
+		appendExprKey(b, n.L)
+		b.WriteByte(2)
+		appendExprKey(b, n.R)
+	case expr.Not:
+		b.WriteByte('!')
+		appendExprKey(b, n.E)
+	case expr.Arith:
+		b.WriteByte('+')
+		b.WriteByte(byte(n.Op))
+		appendExprKey(b, n.L)
+		b.WriteByte(2)
+		appendExprKey(b, n.R)
+	case expr.Exists:
+		b.WriteByte('e')
+		b.WriteString(n.Type)
+	case expr.CountOf:
+		b.WriteByte('#')
+		b.WriteString(n.Type)
+	case expr.All:
+		b.WriteByte('A')
+		b.WriteByte(byte(n.Op))
+		appendExprKey(b, n.Attr)
+		b.WriteByte(2)
+		appendExprKey(b, n.R)
+	case expr.Func:
+		b.WriteByte('f')
+		b.WriteString(n.Name)
+		b.WriteByte(1)
+		b.WriteString(strconv.Itoa(len(n.Args)))
+		for _, a := range n.Args {
+			b.WriteByte(2)
+			appendExprKey(b, a)
+		}
+	default:
+		// Unknown node kinds fall back to the rendered form.
+		b.WriteByte('?')
+		b.WriteString(e.String())
+	}
+	b.WriteByte(3)
+}
+
+// Compile returns a plan for deriving desc under pred, reusing the cached
+// compilation when the database's plan epoch still matches; cached
+// reports whether recompilation was skipped. The returned plan is always
+// a private clone with fresh actuals — callers Execute it freely.
+func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, err error) {
+	key := cacheKey(desc, pred)
+	epoch := c.db.PlanEpoch()
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.epoch == epoch {
+		c.hits++
+		p := e.plan.clone()
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the cache lock: compilation reads the database and
+	// may be slow; worst case two sessions race and both store equivalent
+	// plans.
+	fresh, err := Compile(c.db, desc, pred)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	c.compiles++
+	if _, exists := c.entries[key]; !exists {
+		if len(c.order) >= cacheLimit {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = &cacheEntry{epoch: epoch, plan: fresh}
+	p = fresh.clone()
+	c.mu.Unlock()
+	return p, false, nil
+}
+
+// Counters reports cache traffic: lookups served from cache, lookups
+// that missed (cold or invalidated), and plans actually compiled — the
+// compile-count probe tests and experiments assert against.
+func (c *Cache) Counters() (hits, misses, compiles uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.compiles
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// clone copies the plan with private pushdown and residual slices and
+// zeroed actuals, so executions of the same cached compilation never
+// share mutable state.
+func (p *Plan) clone() *Plan {
+	q := *p
+	q.Pushdowns = append([]Pushdown(nil), p.Pushdowns...)
+	q.Residuals = append([]ResidualConjunct(nil), p.Residuals...)
+	q.Access.ActRoots = 0
+	q.Derived, q.Out = 0, 0
+	q.Executed = false
+	for i := range q.Pushdowns {
+		q.Pushdowns[i].Cut = 0
+	}
+	for i := range q.Residuals {
+		q.Residuals[i].Evals, q.Residuals[i].Passed = 0, 0
+	}
+	return &q
+}

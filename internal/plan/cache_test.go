@@ -1,0 +1,115 @@
+package plan_test
+
+import (
+	"testing"
+
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+)
+
+func TestCacheReusesCompilation(t *testing.T) {
+	db, mt := skewedDB(t, 100)
+	cache := plan.CacheFor(db)
+	if again := plan.CacheFor(db); again != cache {
+		t.Fatal("CacheFor must return one cache per database")
+	}
+	pred := skewedPred()
+
+	p1, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first compile cannot be cached")
+	}
+	p2, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second compile must hit the cache")
+	}
+	if p1 == p2 {
+		t.Fatal("cache must hand out private clones")
+	}
+	if _, _, compiles := cache.Counters(); compiles != 1 {
+		t.Fatalf("compiles = %d, want 1", compiles)
+	}
+
+	// Executing one clone must not leak actuals into the other.
+	if _, err := p1.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Executed || p2.Access.ActRoots != 0 {
+		t.Fatal("clones share execution state")
+	}
+	p3, _, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Executed || p3.Derived != 0 {
+		t.Fatal("cached plan retained actuals from a prior execution")
+	}
+
+	// A different predicate is a different entry.
+	other := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "batch"}, R: expr.Lit(model.Int(1))}
+	if _, cached, err := cache.Compile(mt.Desc(), other); err != nil || cached {
+		t.Fatalf("distinct predicate must compile fresh (cached=%v, err=%v)", cached, err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+// TestCacheInvalidation is the satellite requirement: DDL and ANALYZE
+// both bust cached plans, and the recompiled plan reflects the new state.
+func TestCacheInvalidation(t *testing.T) {
+	db, mt := skewedDB(t, 300)
+	cache := plan.CacheFor(db)
+	pred := skewedPred()
+
+	if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, _ := cache.Compile(mt.Desc(), pred); !cached {
+		t.Fatal("warm cache expected")
+	}
+
+	// ANALYZE busts the cache, and the recompile uses the histograms.
+	if _, err := db.Analyze("part"); err != nil {
+		t.Fatal(err)
+	}
+	p, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("ANALYZE must invalidate the cached plan")
+	}
+	if p.Access.Attr != "grade" || p.Access.EstSource != plan.SrcHistogram {
+		t.Fatalf("recompiled plan ignores new statistics: %+v", p.Access)
+	}
+
+	// Index DDL busts it again: dropping the grade index forces the plan
+	// back onto the batch index.
+	if !db.DropIndex("part", "grade") {
+		t.Fatal("DropIndex")
+	}
+	p, cached, err = cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("index DDL must invalidate the cached plan")
+	}
+	if p.Access.Attr != "batch" {
+		t.Fatalf("recompiled plan still uses the dropped index: %+v", p.Access)
+	}
+	if _, cached, _ = cache.Compile(mt.Desc(), pred); !cached {
+		t.Fatal("cache must warm again after recompilation")
+	}
+	if _, _, compiles := cache.Counters(); compiles != 3 {
+		t.Fatalf("compiles = %d, want 3 (cold, post-ANALYZE, post-DDL)", compiles)
+	}
+}

@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"math"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// Estimate provenance: which statistic produced a cardinality or
+// selectivity estimate. EXPLAIN renders the source next to the number so
+// a reader can tell a histogram-backed estimate from a uniform guess.
+const (
+	// SrcHistogram marks estimates read from equi-depth histogram buckets
+	// (built by ANALYZE, maintained incrementally).
+	SrcHistogram = "histogram"
+	// SrcUniform marks the PR-1 estimate occurrence/distinct-keys — used
+	// when no histogram covers the attribute but an index does.
+	SrcUniform = "uniform"
+	// SrcDefault marks fixed magic-constant selectivities for shapes no
+	// statistic covers (attribute-vs-attribute, quantifiers, …).
+	SrcDefault = "default"
+	// SrcContainer marks the container size itself (full scans without a
+	// root filter).
+	SrcContainer = "container"
+)
+
+// Default selectivities for predicate shapes no statistic covers. The
+// constants follow the classic System-R conventions.
+const (
+	defSelEq    = 0.10
+	defSelRange = 1.0 / 3.0
+	defSelOther = 0.50
+)
+
+// worseSource returns the weaker of two provenance labels, so a composite
+// estimate is only advertised as histogram-backed when every leaf was.
+func worseSource(a, b string) string {
+	rank := func(s string) int {
+		switch s {
+		case SrcHistogram:
+			return 0
+		case SrcUniform:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if rank(a) >= rank(b) {
+		return a
+	}
+	return b
+}
+
+// attrConstCmp recognizes "attr op const" (either orientation, flipping
+// the operator when the constant is on the left), the shape histograms
+// can estimate directly.
+func attrConstCmp(c expr.Expr) (expr.Attr, expr.CmpOp, model.Value, bool) {
+	cmp, ok := c.(expr.Cmp)
+	if !ok {
+		return expr.Attr{}, 0, model.Null(), false
+	}
+	if a, aok := cmp.L.(expr.Attr); aok {
+		if l, lok := cmp.R.(expr.Const); lok {
+			return a, cmp.Op, l.V, true
+		}
+	}
+	if a, aok := cmp.R.(expr.Attr); aok {
+		if l, lok := cmp.L.(expr.Const); lok {
+			return a, flipCmp(cmp.Op), l.V, true
+		}
+	}
+	return expr.Attr{}, 0, model.Null(), false
+}
+
+// flipCmp mirrors an operator across the comparison ("5 < x" ≡ "x > 5").
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	}
+	return op
+}
+
+// attrType resolves the atom type an attribute reference binds to within
+// the structure (qualified directly, unqualified via the unique declaring
+// component type).
+func attrType(db *storage.Database, desc *core.Desc, a expr.Attr) (string, bool) {
+	if a.Type != "" {
+		return a.Type, desc.HasType(a.Type)
+	}
+	t, err := core.ResolveUnqualified(db, desc, a.Name)
+	return t, err == nil
+}
+
+// cmpSelectivity estimates the fraction of typeName atoms satisfying
+// "attr op v": histogram buckets when ANALYZE has run, the uniform
+// index estimate for equality otherwise, a shape default as last resort.
+func cmpSelectivity(db *storage.Database, typeName, attr string, op expr.CmpOp, v model.Value) (float64, string) {
+	if h, ok := db.Histogram(typeName, attr); ok {
+		total := h.Total() + h.Nulls()
+		if total > 0 {
+			est := h.EstimateCmp(op.String(), v)
+			return clampSel(float64(est) / float64(total)), SrcHistogram
+		}
+	}
+	if op == expr.EQ {
+		if keys, ok := db.IndexCardinality(typeName, attr); ok && keys > 0 {
+			return clampSel(1 / float64(keys)), SrcUniform
+		}
+		return defSelEq, SrcDefault
+	}
+	if op == expr.NE {
+		return 1 - defSelEq, SrcDefault
+	}
+	return defSelRange, SrcDefault
+}
+
+// conjSelectivity estimates the fraction of candidates a conjunct keeps,
+// recursing over the boolean structure with independence assumptions.
+// The returned source is histogram only when every leaf estimate was
+// histogram-backed.
+func conjSelectivity(db *storage.Database, desc *core.Desc, c expr.Expr) (float64, string) {
+	switch n := c.(type) {
+	case expr.And:
+		ls, lsrc := conjSelectivity(db, desc, n.L)
+		rs, rsrc := conjSelectivity(db, desc, n.R)
+		return clampSel(ls * rs), worseSource(lsrc, rsrc)
+	case expr.Or:
+		ls, lsrc := conjSelectivity(db, desc, n.L)
+		rs, rsrc := conjSelectivity(db, desc, n.R)
+		return clampSel(ls + rs - ls*rs), worseSource(lsrc, rsrc)
+	case expr.Not:
+		s, src := conjSelectivity(db, desc, n.E)
+		return clampSel(1 - s), src
+	case expr.Cmp:
+		if a, op, v, ok := attrConstCmp(c); ok {
+			if t, tok := attrType(db, desc, a); tok {
+				return cmpSelectivity(db, t, a.Name, op, v)
+			}
+		}
+		return defSelOther, SrcDefault
+	case expr.All:
+		return defSelOther, SrcDefault
+	case expr.Exists:
+		return 0.9, SrcDefault
+	}
+	return defSelOther, SrcDefault
+}
+
+// conjCost scores the relative per-molecule cost of evaluating a conjunct
+// under molecule binding: attribute references dominate (each resolves to
+// the values of every component atom of its type), quantifiers and
+// aggregates add a full component sweep, scalar nodes are noise.
+func conjCost(c expr.Expr) float64 {
+	switch n := c.(type) {
+	case nil:
+		return 0
+	case expr.Const:
+		return 0.1
+	case expr.Attr:
+		return 2
+	case expr.Cmp:
+		return 0.5 + conjCost(n.L) + conjCost(n.R)
+	case expr.And:
+		return 0.25 + conjCost(n.L) + conjCost(n.R)
+	case expr.Or:
+		return 0.25 + conjCost(n.L) + conjCost(n.R)
+	case expr.Not:
+		return 0.25 + conjCost(n.E)
+	case expr.Arith:
+		return 0.5 + conjCost(n.L) + conjCost(n.R)
+	case expr.Exists:
+		return 1
+	case expr.CountOf:
+		return 1.5
+	case expr.All:
+		return 2 + conjCost(n.Attr) + conjCost(n.R)
+	case expr.Func:
+		cost := 1.0
+		for _, a := range n.Args {
+			cost += conjCost(a)
+		}
+		return cost
+	}
+	return 1
+}
+
+// residualRank orders residual conjuncts for short-circuit evaluation:
+// the classic (selectivity − 1)/cost criterion, most negative first, puts
+// cheap, highly selective conjuncts ahead so expected work per molecule
+// is minimized.
+func residualRank(r ResidualConjunct) float64 {
+	cost := r.Cost
+	if cost <= 0 {
+		cost = 0.1
+	}
+	return (r.Sel - 1) / cost
+}
+
+// clampSel bounds a selectivity estimate away from the degenerate 0 and
+// above 1 (estimates are rankings, not proofs — an estimated-zero
+// conjunct must still be evaluated).
+func clampSel(s float64) float64 {
+	if math.IsNaN(s) {
+		return defSelOther
+	}
+	if s < 0.0005 {
+		return 0.0005
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

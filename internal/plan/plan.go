@@ -14,16 +14,27 @@
 //     anticipates for query processing, Chapter 5); and
 //   - the residual filter: whatever part of the formula genuinely needs
 //     the whole molecule (multi-type conjuncts, quantifiers over non-root
-//     types) runs after derivation under molecule binding.
+//     types) runs after derivation under molecule binding, its conjuncts
+//     ordered by estimated selectivity × evaluation cost so cheap,
+//     selective conjuncts short-circuit the expensive ones.
+//
+// Cardinality and selectivity estimates come from the equi-depth
+// histograms of storage/stats when ANALYZE has built them, falling back
+// to the uniform occurrence/distinct-keys assumption (and finally to
+// fixed shape defaults); EXPLAIN labels every estimate with its source.
+// Compiled plans are memoized per database in a Cache invalidated by the
+// storage layer's plan epoch (DDL, index changes, ANALYZE).
 //
 // The planner is sound with respect to the molecule algebra: a plan's
 // result is always set-equal to naive Σ (core.Restrict) over the same
 // predicate — pushdown decides early whether a molecule can qualify, it
-// never changes the content of qualifying molecules.
+// never changes the content of qualifying molecules, and residual
+// ordering only permutes a commutative conjunction.
 package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"mad/internal/core"
@@ -55,9 +66,14 @@ type Access struct {
 	// per root atom before derivation starts (every molecule has exactly
 	// one root atom, so per-atom evaluation equals molecule evaluation).
 	Filter expr.Expr
-	// EstRoots estimates how many roots enter derivation: the container
-	// size for a full scan, occurrence/distinct-keys for an index scan.
+	// EstRoots estimates how many roots enter derivation: histogram
+	// buckets when available, otherwise the container size for a full
+	// scan and occurrence/distinct-keys for an index scan, scaled by the
+	// estimated selectivity of the root filter.
 	EstRoots int
+	// EstSource records which statistic produced EstRoots (SrcHistogram,
+	// SrcUniform, SrcContainer or SrcDefault) for EXPLAIN.
+	EstSource string
 	// ActRoots counts the roots that actually entered derivation.
 	ActRoots int
 }
@@ -67,8 +83,30 @@ type Pushdown struct {
 	Type     string
 	Pos      int
 	Conjunct expr.Expr
+	// Sel estimates the fraction of the type's atoms satisfying the
+	// conjunct (a per-atom, not per-molecule, selectivity); Source
+	// records the statistic behind it.
+	Sel    float64
+	Source string
 	// Cut counts the molecules this node disqualified mid-derivation.
 	Cut int
+}
+
+// ResidualConjunct is one molecule-level conjunct of the residual filter,
+// annotated with the cost-model estimates that ordered it and, after
+// execution, with evaluation actuals.
+type ResidualConjunct struct {
+	Conjunct expr.Expr
+	// Sel estimates the fraction of molecules the conjunct keeps; Source
+	// records which statistic produced it.
+	Sel    float64
+	Source string
+	// Cost scores the relative per-molecule evaluation cost.
+	Cost float64
+	// Evals and Passed count molecules evaluated and kept (short-circuit
+	// means later conjuncts see fewer molecules than earlier ones).
+	Evals  int
+	Passed int
 }
 
 // Plan is a compiled query plan: access path → derivation with pushdown →
@@ -80,7 +118,11 @@ type Plan struct {
 
 	Access    Access
 	Pushdowns []Pushdown
+	// Residual is the whole residual conjunction in source order (nil
+	// when everything pushed down); Residuals holds the same conjuncts
+	// split and cost-ordered for short-circuit evaluation.
 	Residual  expr.Expr
+	Residuals []ResidualConjunct
 
 	// Execution actuals (valid after Execute).
 	Derived  int // molecules fully derived (survived every pushdown)
@@ -99,8 +141,9 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 		db:   db,
 		desc: desc,
 		Access: Access{
-			Kind: FullScan,
-			Root: desc.Root(),
+			Kind:      FullScan,
+			Root:      desc.Root(),
+			EstSource: SrcContainer,
 		},
 	}
 	n, err := db.CountAtoms(desc.Root())
@@ -117,39 +160,73 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 			rootConjs = append(rootConjs, c)
 		case single && pushableShape(c):
 			pos, _ := desc.Pos(t)
-			p.Pushdowns = append(p.Pushdowns, Pushdown{Type: t, Pos: pos, Conjunct: c})
+			sel, src := conjSelectivity(db, desc, c)
+			p.Pushdowns = append(p.Pushdowns, Pushdown{
+				Type: t, Pos: pos, Conjunct: c, Sel: sel, Source: src,
+			})
 		default:
 			p.Residual = combine(p.Residual, c)
+			sel, src := conjSelectivity(db, desc, c)
+			p.Residuals = append(p.Residuals, ResidualConjunct{
+				Conjunct: c, Sel: sel, Source: src, Cost: conjCost(c),
+			})
 		}
 	}
 
 	// Root access path: among the root conjuncts, pick the indexed
-	// equality with the lowest estimated cardinality; everything else
-	// becomes the pre-derivation root filter.
+	// equality with the lowest estimated cardinality — histogram buckets
+	// when ANALYZE has run, occurrence/distinct-keys otherwise — and turn
+	// everything else into the pre-derivation root filter.
 	best := -1
 	bestEst := n + 1
+	bestSrc := SrcUniform
 	for i, c := range rootConjs {
 		attr, val, ok := indexableEq(c, db, desc.Root())
 		if !ok {
 			continue
 		}
-		keys, _ := db.IndexCardinality(desc.Root(), attr)
-		est := estimateEq(n, keys)
+		est, src := estimateEqCount(db, desc.Root(), attr, val, n)
 		if est < bestEst {
-			best, bestEst = i, est
+			best, bestEst, bestSrc = i, est, src
 			p.Access.Attr, p.Access.Value = attr, val
 		}
 	}
 	if best >= 0 {
 		p.Access.Kind = IndexScan
 		p.Access.EstRoots = bestEst
+		p.Access.EstSource = bestSrc
 	}
+	filterSel := 1.0
+	filterSrc := ""
 	for i, c := range rootConjs {
 		if i == best {
 			continue
 		}
 		p.Access.Filter = combine(p.Access.Filter, c)
+		sel, src := conjSelectivity(db, desc, c)
+		filterSel *= sel
+		if filterSrc == "" {
+			filterSrc = src
+		} else {
+			filterSrc = worseSource(filterSrc, src)
+		}
 	}
+	if p.Access.Filter != nil {
+		// Scale the root estimate by the filter's selectivity: EstRoots
+		// approximates the roots that *enter derivation*, after the
+		// pre-derivation filter.
+		p.Access.EstRoots = scaleEst(p.Access.EstRoots, filterSel)
+		if p.Access.Kind == IndexScan {
+			p.Access.EstSource = worseSource(bestSrc, filterSrc)
+		} else {
+			p.Access.EstSource = filterSrc
+		}
+	}
+	// Order the residual conjuncts by the (selectivity − 1)/cost rank so
+	// short-circuit evaluation does the least expected work per molecule.
+	sort.SliceStable(p.Residuals, func(i, j int) bool {
+		return residualRank(p.Residuals[i]) < residualRank(p.Residuals[j])
+	})
 	// Pushdown order follows the topological order of the structure so
 	// the rendered plan reads in traversal order.
 	if len(p.Pushdowns) > 1 {
@@ -286,15 +363,48 @@ func indexableEq(c expr.Expr, db *storage.Database, root string) (string, model.
 	return a.Name, l.V, true
 }
 
-// estimateEq is the planner's equality-selectivity estimate: occurrence
-// size divided by the index's distinct-key count, rounded up.
-func estimateEq(n, keys int) int {
+// estimateEqCount estimates how many atoms of typeName carry attr = v:
+// histogram buckets when ANALYZE has built them (the estimate that stays
+// honest under skew), the uniform occurrence/distinct-keys assumption
+// otherwise.
+func estimateEqCount(db *storage.Database, typeName, attr string, v model.Value, n int) (int, string) {
+	if h, ok := db.Histogram(typeName, attr); ok && h.Total() > 0 {
+		est := int(h.EstimateEq(v))
+		if est > n {
+			est = n
+		}
+		return est, SrcHistogram
+	}
+	keys, _ := db.IndexCardinality(typeName, attr)
+	return estimateEqUniform(n, keys), SrcUniform
+}
+
+// estimateEqUniform is the PR-1 equality estimate: occurrence size
+// divided by the index's distinct-key count, rounded up.
+func estimateEqUniform(n, keys int) int {
 	if keys <= 0 {
 		return n
 	}
 	est := (n + keys - 1) / keys
 	if est < 1 {
 		est = 1
+	}
+	return est
+}
+
+// scaleEst scales a cardinality estimate by a selectivity, keeping a
+// nonzero floor when the base was nonzero (an estimated-empty filter must
+// not advertise an impossible zero).
+func scaleEst(n int, sel float64) int {
+	if n <= 0 {
+		return 0
+	}
+	est := int(float64(n)*sel + 0.5)
+	if est < 1 {
+		est = 1
+	}
+	if est > n {
+		est = n
 	}
 	return est
 }
@@ -336,6 +446,9 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 	for i := range p.Pushdowns {
 		p.Pushdowns[i].Cut = 0
 	}
+	for i := range p.Residuals {
+		p.Residuals[i].Evals, p.Residuals[i].Passed = 0, 0
+	}
 
 	var evalErr error
 	var checks []core.PruneCheck
@@ -364,17 +477,27 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 		}
 	}
 
+	// The residual runs as a short-circuit chain over the cost-ordered
+	// conjuncts: the first failing conjunct rejects the molecule and the
+	// later (costlier or less selective) ones never run for it.
 	var set core.MoleculeSet
 	keep := func(m *core.Molecule) bool {
 		p.Derived++
-		ok, err := expr.EvalPredicate(p.Residual, core.Binding{DB: p.db, M: m})
-		if err != nil {
-			evalErr = err
-			return false
+		b := core.Binding{DB: p.db, M: m}
+		for i := range p.Residuals {
+			r := &p.Residuals[i]
+			r.Evals++
+			ok, err := expr.EvalPredicate(r.Conjunct, b)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true // molecule rejected; keep walking
+			}
+			r.Passed++
 		}
-		if ok {
-			set = append(set, m)
-		}
+		set = append(set, m)
 		return true
 	}
 
@@ -452,28 +575,34 @@ func (p *Plan) Render() string {
 	fmt.Fprintf(&b, "root:      %s\n", p.desc.Root())
 	switch p.Access.Kind {
 	case IndexScan:
-		fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots%s)\n",
+		fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots [%s]%s)\n",
 			p.Access.Root, p.Access.Attr, p.Access.Value,
-			approx(p.Access.EstRoots), p.actual(p.Access.ActRoots))
+			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	default:
-		fmt.Fprintf(&b, "access:    full scan of %s (est %d roots%s)\n",
-			p.Access.Root, p.Access.EstRoots, p.actual(p.Access.ActRoots))
+		fmt.Fprintf(&b, "access:    full scan of %s (est %s roots [%s]%s)\n",
+			p.Access.Root, approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	}
 	if p.Access.Filter != nil {
 		fmt.Fprintf(&b, "           root filter %s before derivation\n", p.Access.Filter)
 	}
 	fmt.Fprintf(&b, "derive:    structure template over the atom network%s\n", p.actual(p.Derived))
 	for _, pd := range p.Pushdowns {
-		line := fmt.Sprintf("pushdown:  Σ↓[%s] at %s — cuts the subtree when no %s atom qualifies",
-			pd.Conjunct, pd.Type, pd.Type)
+		line := fmt.Sprintf("pushdown:  Σ↓[%s] at %s (est atom sel %.2f [%s]) — cuts the subtree when no %s atom qualifies",
+			pd.Conjunct, pd.Type, pd.Sel, pd.Source, pd.Type)
 		if p.Executed {
 			line += fmt.Sprintf(" (cut %d)", pd.Cut)
 		}
 		b.WriteString(line + "\n")
 	}
-	if p.Residual != nil {
-		fmt.Fprintf(&b, "residual:  Σ[%s] per derived molecule%s\n", p.Residual, p.actual(p.Out))
-	} else if p.Executed {
+	for i, r := range p.Residuals {
+		line := fmt.Sprintf("residual:  %d. Σ[%s] (est sel %.2f [%s], cost %.1f)",
+			i+1, r.Conjunct, r.Sel, r.Source, r.Cost)
+		if p.Executed {
+			line += fmt.Sprintf(" — passed %d/%d", r.Passed, r.Evals)
+		}
+		b.WriteString(line + "\n")
+	}
+	if p.Executed {
 		fmt.Fprintf(&b, "output:    %d molecule(s)\n", p.Out)
 	}
 	return b.String()

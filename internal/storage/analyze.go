@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"mad/internal/model"
+	"mad/internal/storage/stats"
+)
+
+// attrHist binds a histogram to the attribute position it summarizes so
+// the mutation paths can route values without a description lookup.
+type attrHist struct {
+	typeName string
+	attr     string
+	pos      int
+	h        *stats.Histogram
+}
+
+// PlanEpoch returns the database's plan epoch: a counter bumped by every
+// change that can invalidate a compiled plan — schema DDL, index creation
+// or removal, and ANALYZE (new statistics mean new estimates). The plan
+// cache compares a cached plan's epoch against this value and recompiles
+// on mismatch.
+func (db *Database) PlanEpoch() uint64 { return db.planEpoch.Load() }
+
+// bumpPlanEpoch invalidates all cached plans for this database.
+func (db *Database) bumpPlanEpoch() { db.planEpoch.Add(1) }
+
+// Analyze builds equi-depth histograms over every attribute of the named
+// atom types (all types when none are given), replacing any previous
+// histograms, and bumps the plan epoch so cached plans recompile against
+// the fresh statistics. It returns the number of histograms built.
+func (db *Database) Analyze(typeNames ...string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(typeNames) == 0 {
+		for name := range db.containers {
+			typeNames = append(typeNames, name)
+		}
+		sort.Strings(typeNames)
+	}
+	// Resolve every name before installing anything: a failed Analyze
+	// must not leave new histograms behind without the epoch bump that
+	// invalidates the plans costed against the old ones.
+	containers := make([]*Container, len(typeNames))
+	for i, name := range typeNames {
+		c, ok := db.containerByName(name)
+		if !ok {
+			return 0, fmt.Errorf("storage: unknown atom type %q", name)
+		}
+		containers[i] = c
+	}
+	built := 0
+	for i, name := range typeNames {
+		c := containers[i]
+		desc := c.Desc()
+		// One pass over the occurrence gathers every attribute column.
+		cols := make([][]model.Value, desc.Len())
+		for pos := range cols {
+			cols[pos] = make([]model.Value, 0, c.Len())
+		}
+		c.Scan(func(a model.Atom) bool {
+			for pos := range cols {
+				cols[pos] = append(cols[pos], a.Get(pos))
+			}
+			return true
+		})
+		for pos, vals := range cols {
+			attr := desc.Attr(pos).Name
+			db.hists[indexKey(name, attr)] = &attrHist{
+				typeName: name,
+				attr:     attr,
+				pos:      pos,
+				h:        stats.Build(vals, stats.DefaultBuckets),
+			}
+			built++
+		}
+	}
+	db.bumpPlanEpoch()
+	return built, nil
+}
+
+// Histogram returns the histogram over typeName.attr built by the most
+// recent Analyze, maintained incrementally since. ok=false when the
+// attribute has never been analyzed.
+func (db *Database) Histogram(typeName, attr string) (*stats.Histogram, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ah, ok := db.hists[indexKey(typeName, attr)]
+	if !ok {
+		return nil, false
+	}
+	return ah.h, true
+}
+
+// Histograms lists the analyzed attributes as "type.attr" strings, sorted.
+func (db *Database) Histograms() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.hists))
+	for k := range db.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// histsOf returns the histograms covering the named atom type; callers
+// hold db.mu.
+func (db *Database) histsOf(typeName string) []*attrHist {
+	var out []*attrHist
+	for _, ah := range db.hists {
+		if ah.typeName == typeName {
+			out = append(out, ah)
+		}
+	}
+	return out
+}
+
+// histInsert routes a stored atom's values into the type's histograms.
+func (db *Database) histInsert(typeName string, a model.Atom) {
+	for _, ah := range db.histsOf(typeName) {
+		ah.h.Insert(a.Get(ah.pos))
+	}
+}
+
+// histDelete removes a dropped atom's values from the type's histograms.
+func (db *Database) histDelete(typeName string, a model.Atom) {
+	for _, ah := range db.histsOf(typeName) {
+		ah.h.Delete(a.Get(ah.pos))
+	}
+}

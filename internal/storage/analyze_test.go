@@ -1,0 +1,132 @@
+package storage_test
+
+import (
+	"testing"
+
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+func analyzeFixture(t *testing.T) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	desc := model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString},
+		model.AttrDesc{Name: "size", Kind: model.KInt},
+	)
+	if _, err := db.DefineAtomType("part", desc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ {
+		if _, err := db.InsertAtom("part", model.Str("common"), model.Int(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.InsertAtom("part", model.Str("rare"), model.Int(int64(1+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAnalyzeBuildsHistograms(t *testing.T) {
+	db := analyzeFixture(t)
+	n, err := db.Analyze("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Analyze built %d histograms, want 2 (one per attribute)", n)
+	}
+	h, ok := db.Histogram("part", "size")
+	if !ok {
+		t.Fatal("no histogram on part.size")
+	}
+	if est := h.EstimateEq(model.Int(0)); est < 80 {
+		t.Fatalf("EstimateEq(size=0) = %d, want ≈90 (skew must be visible)", est)
+	}
+	if got := db.Histograms(); len(got) != 2 || got[0] != "part.name" || got[1] != "part.size" {
+		t.Fatalf("Histograms() = %v", got)
+	}
+	if _, err := db.Analyze("nosuch"); err == nil {
+		t.Fatal("Analyze of an unknown type must fail")
+	}
+	// A partially valid request fails atomically: nothing is installed,
+	// so cached plans stay consistent with the statistics they saw.
+	epoch := db.PlanEpoch()
+	if _, err := db.Analyze("part", "nosuch"); err == nil {
+		t.Fatal("Analyze with an unknown type in the list must fail")
+	}
+	if db.PlanEpoch() != epoch {
+		t.Fatal("failed Analyze must not bump the plan epoch")
+	}
+	if len(db.Histograms()) != 2 {
+		t.Fatalf("failed Analyze must not install histograms: %v", db.Histograms())
+	}
+}
+
+func TestAnalyzeIncrementalMaintenance(t *testing.T) {
+	db := analyzeFixture(t)
+	if _, err := db.Analyze(); err != nil { // all types
+		t.Fatal(err)
+	}
+	h, _ := db.Histogram("part", "size")
+	before := h.Total()
+
+	id, err := db.InsertAtom("part", model.Str("new"), model.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != before+1 {
+		t.Fatalf("insert not routed into histogram: total %d, want %d", h.Total(), before+1)
+	}
+	if err := db.UpdateAtom("part", id, []model.Value{model.Str("new"), model.Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != before+1 {
+		t.Fatalf("update changed total: %d", h.Total())
+	}
+	if _, err := db.DeleteAtom("part", id); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != before {
+		t.Fatalf("delete not routed into histogram: total %d, want %d", h.Total(), before)
+	}
+	if h.Drift() == 0 {
+		t.Fatal("incremental maintenance must record drift")
+	}
+}
+
+func TestPlanEpochBumps(t *testing.T) {
+	db := analyzeFixture(t)
+	e0 := db.PlanEpoch()
+	if err := db.CreateIndex("part", "name"); err != nil {
+		t.Fatal(err)
+	}
+	e1 := db.PlanEpoch()
+	if e1 <= e0 {
+		t.Fatalf("CREATE INDEX must bump the plan epoch (%d → %d)", e0, e1)
+	}
+	if _, err := db.Analyze("part"); err != nil {
+		t.Fatal(err)
+	}
+	e2 := db.PlanEpoch()
+	if e2 <= e1 {
+		t.Fatalf("ANALYZE must bump the plan epoch (%d → %d)", e1, e2)
+	}
+	if !db.DropIndex("part", "name") {
+		t.Fatal("DropIndex")
+	}
+	if db.PlanEpoch() <= e2 {
+		t.Fatal("DROP INDEX must bump the plan epoch")
+	}
+	// Plain DML does not invalidate plans.
+	e3 := db.PlanEpoch()
+	if _, err := db.InsertAtom("part", model.Str("x"), model.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if db.PlanEpoch() != e3 {
+		t.Fatal("INSERT must not bump the plan epoch")
+	}
+}

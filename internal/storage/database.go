@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mad/internal/catalog"
 	"mad/internal/model"
@@ -12,14 +13,17 @@ import (
 // the occurrences of every atom type and link type, guarded by one
 // read-write mutex. All mutation goes through Database methods, which
 // maintain referential integrity ("there are no dangling references"),
-// link symmetry, cardinality restrictions and secondary indexes.
+// link symmetry, cardinality restrictions, secondary indexes and the
+// per-attribute histograms built by Analyze.
 type Database struct {
 	mu         sync.RWMutex
 	schema     *catalog.Schema
 	containers map[string]*Container
 	links      map[string]*LinkStore
 	indexes    map[string]*Index
+	hists      map[string]*attrHist
 	stats      Stats
+	planEpoch  atomic.Uint64
 }
 
 // NewDatabase returns an empty database with an empty schema.
@@ -29,6 +33,7 @@ func NewDatabase() *Database {
 		containers: make(map[string]*Container),
 		links:      make(map[string]*LinkStore),
 		indexes:    make(map[string]*Index),
+		hists:      make(map[string]*attrHist),
 	}
 }
 
@@ -53,6 +58,7 @@ func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.Atom
 		return nil, err
 	}
 	db.containers[name] = NewContainer(name, at.Num, desc)
+	db.bumpPlanEpoch()
 	return at, nil
 }
 
@@ -65,6 +71,7 @@ func (db *Database) DefineLinkType(name string, desc model.LinkDesc) (*catalog.L
 		return nil, err
 	}
 	db.links[name] = NewLinkStore(name, desc)
+	db.bumpPlanEpoch()
 	return lt, nil
 }
 
@@ -108,6 +115,7 @@ func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.Atom
 	for _, ix := range db.indexesOf(typeName) {
 		ix.Add(a)
 	}
+	db.histInsert(typeName, a)
 	return id, nil
 }
 
@@ -128,6 +136,7 @@ func (db *Database) AdoptAtom(typeName string, a model.Atom) error {
 	for _, ix := range db.indexesOf(typeName) {
 		ix.Add(stored)
 	}
+	db.histInsert(typeName, stored)
 	return nil
 }
 
@@ -196,6 +205,8 @@ func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Va
 		ix.remove(old)
 		ix.Add(updated)
 	}
+	db.histDelete(typeName, old)
+	db.histInsert(typeName, updated)
 	return nil
 }
 
@@ -216,6 +227,7 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	for _, ix := range db.indexesOf(typeName) {
 		ix.remove(a)
 	}
+	db.histDelete(typeName, a)
 	dropped := 0
 	for _, lt := range db.schema.LinkTypesOf(typeName) {
 		if ls, ok := db.links[lt.Name]; ok {

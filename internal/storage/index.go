@@ -84,6 +84,7 @@ func (db *Database) CreateIndex(typeName, attr string) error {
 		return true
 	})
 	db.indexes[key] = ix
+	db.bumpPlanEpoch()
 	return nil
 }
 
@@ -96,6 +97,7 @@ func (db *Database) DropIndex(typeName, attr string) bool {
 		return false
 	}
 	delete(db.indexes, key)
+	db.bumpPlanEpoch()
 	return true
 }
 

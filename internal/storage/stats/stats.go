@@ -1,0 +1,349 @@
+// Package stats implements per-attribute equi-depth histograms over atom
+// containers — the distribution statistics the query planner consumes in
+// place of the uniform occurrence/distinct-keys assumption. A histogram
+// is built by ANALYZE (a full pass over one attribute of one atom-type
+// occurrence) and then maintained incrementally as atoms are inserted,
+// updated and deleted, so estimates degrade gracefully between rebuilds
+// instead of going silently stale.
+//
+// The histogram is equi-depth with heavy-hitter isolation: the sorted
+// non-null values are split into buckets of (approximately) equal depth,
+// but a run of equal values is never split across buckets. A value that
+// dominates a skewed distribution therefore occupies a bucket of its own
+// with Distinct == 1, and equality estimates for it return the true run
+// length rather than depth/distinct — exactly the case where the uniform
+// assumption picks the wrong access path.
+//
+// The package depends only on internal/model; internal/storage owns the
+// histogram registry and internal/plan turns estimates into plan choices.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mad/internal/model"
+)
+
+// DefaultBuckets is the bucket budget used by ANALYZE when the caller
+// does not choose one. Equi-depth histograms are robust at small sizes;
+// 16 buckets bound the estimation error at ~1/16 of the occurrence for
+// range predicates while keeping the per-attribute footprint tiny.
+const DefaultBuckets = 16
+
+// Bucket is one equi-depth bucket: the values v with Lower < v ≤ Upper
+// (the first bucket includes its lower bound). Count is maintained
+// incrementally after the build; Distinct is fixed at build time.
+type Bucket struct {
+	Upper    model.Value
+	Count    int64
+	Distinct int64
+}
+
+// Histogram is an equi-depth histogram over one attribute of one atom
+// type. It is safe for concurrent use: the planner reads estimates while
+// the storage layer routes inserts and deletes into buckets.
+type Histogram struct {
+	mu      sync.RWMutex
+	lower   model.Value // minimum non-null value at build time (inclusive)
+	buckets []Bucket
+	total   int64 // non-null values currently accounted
+	nulls   int64
+	drift   int64 // incremental mutations since the build
+}
+
+// Build constructs an equi-depth histogram from the attribute values of
+// one occurrence (nulls are counted separately and excluded from the
+// buckets). maxBuckets ≤ 0 selects DefaultBuckets. An occurrence with no
+// non-null values yields an empty histogram whose estimates are all zero.
+func Build(values []model.Value, maxBuckets int) *Histogram {
+	if maxBuckets <= 0 {
+		maxBuckets = DefaultBuckets
+	}
+	h := &Histogram{}
+	var vs []model.Value
+	for _, v := range values {
+		if v.IsNull() {
+			h.nulls++
+			continue
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 {
+		return h
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+	h.lower = vs[0]
+	h.total = int64(len(vs))
+
+	depth := (len(vs) + maxBuckets - 1) / maxBuckets
+	if depth < 1 {
+		depth = 1
+	}
+	i := 0
+	for i < len(vs) {
+		start := i
+		var distinct int64
+		for i < len(vs) {
+			// Measure the run of equal values starting at i. A run is never
+			// split across buckets, and a run at least one depth long gets a
+			// bucket of its own (Distinct == 1), so heavy hitters of skewed
+			// distributions stay isolated from their neighbours.
+			j := i + 1
+			for j < len(vs) && vs[j].Compare(vs[i]) == 0 {
+				j++
+			}
+			if i > start && j-i >= depth {
+				break // close before the heavy hitter
+			}
+			i = j
+			distinct++
+			if i-start >= depth {
+				break
+			}
+		}
+		h.buckets = append(h.buckets, Bucket{
+			Upper:    vs[i-1],
+			Count:    int64(i - start),
+			Distinct: distinct,
+		})
+	}
+	return h
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.buckets)
+}
+
+// Total returns the number of non-null values the histogram accounts for,
+// including incremental maintenance since the build.
+func (h *Histogram) Total() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.total
+}
+
+// Nulls returns the number of null values observed.
+func (h *Histogram) Nulls() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nulls
+}
+
+// Drift returns how many incremental mutations (inserts, deletes, update
+// halves) the histogram has absorbed since it was built — a staleness
+// signal for deciding when to re-ANALYZE.
+func (h *Histogram) Drift() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.drift
+}
+
+// locate returns the index of the bucket whose range contains v, assuming
+// v lies within [lower, last.Upper]. Callers hold h.mu.
+func (h *Histogram) locate(v model.Value) int {
+	return sort.Search(len(h.buckets), func(i int) bool {
+		return h.buckets[i].Upper.Compare(v) >= 0
+	})
+}
+
+// Insert routes a freshly stored value into its bucket, extending the
+// boundary buckets when the value falls outside the built range.
+func (h *Histogram) Insert(v model.Value) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drift++
+	if v.IsNull() {
+		h.nulls++
+		return
+	}
+	if len(h.buckets) == 0 {
+		h.lower = v
+		h.buckets = append(h.buckets, Bucket{Upper: v, Count: 1, Distinct: 1})
+		h.total++
+		return
+	}
+	if v.Compare(h.lower) < 0 {
+		h.lower = v
+	}
+	i := h.locate(v)
+	if i == len(h.buckets) {
+		// Beyond the last upper bound: stretch the last bucket.
+		i--
+		h.buckets[i].Upper = v
+	}
+	h.buckets[i].Count++
+	h.total++
+}
+
+// Delete removes a value from its bucket (the inverse of Insert). Counts
+// never go below zero; deleting a value outside the built range is
+// charged to the nearest boundary bucket.
+func (h *Histogram) Delete(v model.Value) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drift++
+	if v.IsNull() {
+		if h.nulls > 0 {
+			h.nulls--
+		}
+		return
+	}
+	if len(h.buckets) == 0 {
+		return
+	}
+	i := h.locate(v)
+	if i == len(h.buckets) {
+		i--
+	}
+	if h.buckets[i].Count > 0 {
+		h.buckets[i].Count--
+	}
+	if h.total > 0 {
+		h.total--
+	}
+}
+
+// EstimateEq estimates how many atoms carry attribute value v: the
+// containing bucket's depth divided by its distinct-value count. Null
+// matches nothing (comparison semantics), and values outside the built
+// range estimate to zero.
+func (h *Histogram) EstimateEq(v model.Value) int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if v.IsNull() || len(h.buckets) == 0 {
+		return 0
+	}
+	if v.Compare(h.lower) < 0 {
+		return 0
+	}
+	i := h.locate(v)
+	if i == len(h.buckets) {
+		return 0
+	}
+	b := h.buckets[i]
+	if b.Distinct <= 0 {
+		return b.Count
+	}
+	est := b.Count / b.Distinct
+	if est < 1 && b.Count > 0 {
+		est = 1
+	}
+	return est
+}
+
+// EstimateLess estimates how many atoms carry a value < v (orEq includes
+// v itself): full buckets strictly below v, plus an interpolated share of
+// the bucket containing v. Numeric buckets interpolate linearly between
+// the adjacent bounds; other kinds assume the midpoint.
+func (h *Histogram) EstimateLess(v model.Value, orEq bool) int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if v.IsNull() || len(h.buckets) == 0 {
+		return 0
+	}
+	if v.Compare(h.lower) < 0 {
+		return 0
+	}
+	var n int64
+	i := h.locate(v)
+	if i == len(h.buckets) {
+		return h.total
+	}
+	for j := 0; j < i; j++ {
+		n += h.buckets[j].Count
+	}
+	b := h.buckets[i]
+	if v.Compare(b.Upper) == 0 {
+		if orEq {
+			n += b.Count
+		} else {
+			// Everything in the bucket except the equality mass of v.
+			eq := b.Count
+			if b.Distinct > 0 {
+				eq = b.Count / b.Distinct
+			}
+			n += b.Count - eq
+		}
+		return n
+	}
+	lo := h.lower
+	if i > 0 {
+		lo = h.buckets[i-1].Upper
+	}
+	n += int64(fraction(lo, v, b.Upper) * float64(b.Count))
+	return n
+}
+
+// EstimateCmp estimates the number of atoms whose value satisfies
+// "value op v" for the six comparison operators, as the planner needs for
+// range and equality conjuncts.
+func (h *Histogram) EstimateCmp(op string, v model.Value) int64 {
+	switch op {
+	case "=":
+		return h.EstimateEq(v)
+	case "<>", "!=":
+		t := h.Total()
+		if e := t - h.EstimateEq(v); e > 0 {
+			return e
+		}
+		return 0
+	case "<":
+		return h.EstimateLess(v, false)
+	case "<=":
+		return h.EstimateLess(v, true)
+	case ">":
+		t := h.Total()
+		if e := t - h.EstimateLess(v, true); e > 0 {
+			return e
+		}
+		return 0
+	case ">=":
+		t := h.Total()
+		if e := t - h.EstimateLess(v, false); e > 0 {
+			return e
+		}
+		return 0
+	}
+	return h.Total() / 2
+}
+
+// fraction linearly interpolates v's position within (lo, hi]; non-numeric
+// bounds fall back to the midpoint.
+func fraction(lo, v, hi model.Value) float64 {
+	lf, ok1 := lo.AsFloat()
+	vf, ok2 := v.AsFloat()
+	hf, ok3 := hi.AsFloat()
+	if !ok1 || !ok2 || !ok3 || hf <= lf {
+		return 0.5
+	}
+	f := (vf - lf) / (hf - lf)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// String renders the histogram compactly for SHOW/ANALYZE output:
+// bucket count, accounted values, nulls and drift.
+func (h *Histogram) String() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d bucket(s), %d value(s)", len(h.buckets), h.total)
+	if h.nulls > 0 {
+		fmt.Fprintf(&b, ", %d null(s)", h.nulls)
+	}
+	if h.drift > 0 {
+		fmt.Fprintf(&b, ", drift %d", h.drift)
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package stats_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/model"
+	"mad/internal/storage/stats"
+)
+
+// exactCmp is the specification EstimateCmp approximates: count the
+// values satisfying the operator.
+func exactCmp(vals []model.Value, op string, v model.Value) int64 {
+	var n int64
+	for _, x := range vals {
+		if x.IsNull() || v.IsNull() {
+			continue
+		}
+		c := x.Compare(v)
+		ok := false
+		switch op {
+		case "=":
+			ok = c == 0
+		case "<>":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBuildEquiDepthInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vals []model.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, model.Int(int64(rng.Intn(100))))
+	}
+	vals = append(vals, model.Null(), model.Null())
+	h := stats.Build(vals, 16)
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d, want 1000", h.Total())
+	}
+	if h.Nulls() != 2 {
+		t.Fatalf("Nulls = %d, want 2", h.Nulls())
+	}
+	if h.Buckets() < 2 || h.Buckets() > 17 {
+		t.Fatalf("Buckets = %d, want a near-equi-depth split", h.Buckets())
+	}
+}
+
+// TestHeavyHitterIsolated is the core skew property: a value carrying 90%
+// of the mass must estimate near its true frequency, not occurrence/
+// distinct-keys.
+func TestHeavyHitterIsolated(t *testing.T) {
+	var vals []model.Value
+	for i := 0; i < 900; i++ {
+		vals = append(vals, model.Int(0))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, model.Int(int64(1+i%50)))
+	}
+	h := stats.Build(vals, 16)
+	eq0 := h.EstimateEq(model.Int(0))
+	if eq0 < 800 {
+		t.Fatalf("EstimateEq(0) = %d, want ≈900 (uniform would say %d)", eq0, 1000/51)
+	}
+	eq7 := h.EstimateEq(model.Int(7))
+	if eq7 > 50 {
+		t.Fatalf("EstimateEq(7) = %d, want a small rare-value estimate", eq7)
+	}
+}
+
+// TestEstimateCmpBounded checks the property that every range estimate is
+// within one bucket's depth of the exact answer (for in-range operands),
+// over random integer distributions.
+func TestEstimateCmpBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(800)
+		vals := make([]model.Value, n)
+		for i := range vals {
+			// Mildly skewed: half the draws collapse onto 3 values.
+			if rng.Intn(2) == 0 {
+				vals[i] = model.Int(int64(rng.Intn(3)))
+			} else {
+				vals[i] = model.Int(int64(rng.Intn(200)))
+			}
+		}
+		h := stats.Build(vals, 16)
+		slack := int64(n)/16 + int64(n)/8 + 2 // one bucket + heavy-hitter rounding
+		for _, op := range []string{"<", "<=", ">", ">=", "<>"} {
+			v := model.Int(int64(rng.Intn(200)))
+			got := h.EstimateCmp(op, v)
+			want := exactCmp(vals, op, v)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > slack {
+				t.Logf("seed %d: %s %s: est %d, exact %d, slack %d", seed, op, v, got, want, slack)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMaintenance checks Insert/Delete keep totals and
+// equality estimates coherent, including out-of-range growth.
+func TestIncrementalMaintenance(t *testing.T) {
+	var vals []model.Value
+	for i := 0; i < 100; i++ {
+		vals = append(vals, model.Int(int64(i)))
+	}
+	h := stats.Build(vals, 8)
+	for i := 0; i < 50; i++ {
+		h.Insert(model.Int(1000)) // beyond the built range
+	}
+	if h.Total() != 150 {
+		t.Fatalf("Total after inserts = %d, want 150", h.Total())
+	}
+	if h.Drift() != 50 {
+		t.Fatalf("Drift = %d, want 50", h.Drift())
+	}
+	if est := h.EstimateCmp(">", model.Int(500)); est == 0 {
+		t.Fatal("out-of-range inserts must be visible to range estimates")
+	}
+	for i := 0; i < 150; i++ {
+		h.Delete(model.Int(int64(i % 100)))
+	}
+	if h.Total() != 0 {
+		t.Fatalf("Total after deletes = %d, want 0", h.Total())
+	}
+	// Counts clamp at zero even when deletes mis-target buckets.
+	h.Delete(model.Int(3))
+	if h.Total() != 0 {
+		t.Fatalf("Total went negative: %d", h.Total())
+	}
+}
+
+func TestEmptyAndNullOnly(t *testing.T) {
+	h := stats.Build(nil, 16)
+	if h.EstimateEq(model.Int(1)) != 0 || h.EstimateCmp("<", model.Int(1)) != 0 {
+		t.Fatal("empty histogram must estimate zero")
+	}
+	h = stats.Build([]model.Value{model.Null(), model.Null()}, 16)
+	if h.Total() != 0 || h.Nulls() != 2 {
+		t.Fatalf("null-only: total %d nulls %d", h.Total(), h.Nulls())
+	}
+	if h.EstimateEq(model.Null()) != 0 {
+		t.Fatal("null equals nothing under comparison semantics")
+	}
+	// First insert into an empty histogram seeds a bucket.
+	h.Insert(model.Str("x"))
+	if h.EstimateEq(model.Str("x")) != 1 {
+		t.Fatalf("EstimateEq after seeding insert = %d, want 1", h.EstimateEq(model.Str("x")))
+	}
+}
+
+func TestStringValues(t *testing.T) {
+	var vals []model.Value
+	for i := 0; i < 300; i++ {
+		vals = append(vals, model.Str("common"))
+	}
+	for _, s := range []string{"a", "b", "zebra"} {
+		vals = append(vals, model.Str(s))
+	}
+	h := stats.Build(vals, 8)
+	if est := h.EstimateEq(model.Str("common")); est < 200 {
+		t.Fatalf("EstimateEq(common) = %d, want ≈300", est)
+	}
+	if est := h.EstimateEq(model.Str("zebra")); est > 100 {
+		t.Fatalf("EstimateEq(zebra) = %d, want small", est)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"mad/internal/prima"
 	"mad/internal/recursive"
 	"mad/internal/storage"
+	"mad/internal/storage/stats"
 )
 
 // Core data-model types.
@@ -107,8 +108,15 @@ type (
 	// Expr is a qualification-formula node (restriction predicates).
 	Expr = expr.Expr
 	// Plan is a compiled query plan: root access path, derivation with
-	// per-atom-type predicate pushdown, residual restriction.
+	// per-atom-type predicate pushdown, cost-ordered residual
+	// restriction.
 	Plan = plan.Plan
+	// PlanCache memoizes compiled plans per database, invalidated by DDL
+	// and ANALYZE through the plan epoch.
+	PlanCache = plan.Cache
+	// Histogram is a per-attribute equi-depth histogram — the statistics
+	// ANALYZE builds and the planner estimates selectivities from.
+	Histogram = stats.Histogram
 )
 
 // Value kinds.
@@ -160,11 +168,25 @@ func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*Mol
 }
 
 // CompilePlan compiles a plan for deriving desc under pred (nil = no
-// restriction): access path chosen from index cardinalities, pushdown
-// conjuncts cut subtrees during derivation, the residual runs per
-// molecule. Execute it for the qualifying set; Render it for EXPLAIN.
+// restriction): access path chosen from histogram statistics (falling
+// back to index cardinalities), pushdown conjuncts cut subtrees during
+// derivation, the residual conjuncts run per molecule in selectivity ×
+// cost order. Execute it for the qualifying set; Render it for EXPLAIN.
 func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 	return plan.Compile(db, desc, pred)
+}
+
+// PlanCacheFor returns the plan cache shared by every session over db.
+// Cache.Compile memoizes compilations until DDL, index changes or
+// Analyze invalidate them (the MQL session layer goes through it
+// automatically).
+func PlanCacheFor(db *Database) *PlanCache { return plan.CacheFor(db) }
+
+// Analyze builds equi-depth histograms over every attribute of the named
+// atom types (all types when none are given) — the MQL ANALYZE
+// statement. It returns the number of histograms built.
+func Analyze(db *Database, typeNames ...string) (int, error) {
+	return db.Analyze(typeNames...)
 }
 
 // PlannedRestrict is Restrict evaluated through the query planner: same

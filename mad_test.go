@@ -275,3 +275,42 @@ func TestFacadeAtomDescAndValues(t *testing.T) {
 	}
 	_ = mad.Float(1.5) // exercised elsewhere; keep the constructor visible
 }
+
+func TestFacadeStatsAndPlanCache(t *testing.T) {
+	db, sess := buildLibrary(t)
+	n, err := mad.Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("Analyze built no histograms")
+	}
+	var h *mad.Histogram
+	h, ok := db.Histogram("paper", "year")
+	if !ok || h.Total() != 2 {
+		t.Fatalf("histogram on paper.year: ok=%v", ok)
+	}
+
+	cache := mad.PlanCacheFor(db)
+	_, _, base := cache.Counters()
+	q := `SELECT ALL FROM author-[wrote]-paper WHERE year = 1987;`
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, compiles := cache.Counters(); compiles != base+1 {
+		t.Fatalf("3 executions compiled %d plans, want 1", compiles-base)
+	}
+
+	res, err := sess.Exec(`EXPLAIN (ESTIMATE) ` + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "[histogram]") && !strings.Contains(res.Message, "[default]") {
+		t.Fatalf("EXPLAIN must label estimate sources:\n%s", res.Message)
+	}
+	if strings.Contains(res.Message, "actual") {
+		t.Fatalf("EXPLAIN (ESTIMATE) executed:\n%s", res.Message)
+	}
+}

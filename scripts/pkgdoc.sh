@@ -1,0 +1,27 @@
+#!/bin/sh
+# pkgdoc.sh — CI docs gate: every internal package (and the root package)
+# must carry a godoc package comment ("// Package <name> ..." above the
+# package clause in some non-test file), so `go doc` output stays useful.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for pkg in $(go list . ./internal/...); do
+	dir=$(go list -f '{{.Dir}}' "$pkg")
+	name=$(go list -f '{{.Name}}' "$pkg")
+	found=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		if grep -q "^// Package $name " "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "missing package comment: $pkg" >&2
+		fail=1
+	fi
+done
+exit $fail
