@@ -489,3 +489,44 @@ func BenchmarkP9SkewedAccessPath(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkP10InteriorEntry measures the symmetric access path end to
+// end: the same selective mid-structure predicate executed through the
+// filtered root scan (compiled before the interior index existed) and
+// through the interior-index entry that climbs the links upward from the
+// matching parts. Fewer atom fetches must show up as lower ns/op.
+func BenchmarkP10InteriorEntry(b *testing.B) {
+	db, mt, err := experiments.BuildAssembly(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := experiments.FlaggedPartPred()
+	rootScan, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("part", "serial"); err != nil {
+		b.Fatal(err)
+	}
+	interior, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if interior.Access.Kind != plan.InteriorIndex {
+		b.Fatalf("expected the interior-index entry to win, got %+v", interior.Access)
+	}
+	b.Run("execute/root_scan_plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rootScan.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute/interior_index_plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := interior.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

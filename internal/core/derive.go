@@ -208,6 +208,10 @@ func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecu
 	return m
 }
 
+// RootIDs returns the root-type occurrence's identifiers in insertion
+// order — the full root batch of a scan-based derivation.
+func (dv *Deriver) RootIDs() []model.AtomID { return dv.roots.IDs() }
+
 // Derive materializes the full molecule-type occurrence: one molecule per
 // atom of the root type, in the root container's insertion order.
 func (dv *Deriver) Derive() MoleculeSet {

@@ -85,6 +85,53 @@ func (dv *Deriver) DeriveRootsParallel(roots []model.AtomID, workers int) (Molec
 	return out, nil
 }
 
+// DeriveRootsPrunedParallel derives the molecules for the given roots
+// under already-prepared prune hooks, fanning the roots out over the
+// worker pool. The result is aligned with roots: entry i is nil when a
+// hook cut the molecule at roots[i], so callers can both compact the set
+// and count prunes while preserving root order. The hooks run
+// concurrently — callers must make their Qualifies closures and any
+// state they capture safe for concurrent use (the planner aggregates its
+// EXPLAIN actuals atomically for exactly this reason).
+func (dv *Deriver) DeriveRootsPrunedParallel(roots []model.AtomID, pc PreparedChecks, workers int) (MoleculeSet, error) {
+	for _, r := range roots {
+		if !dv.roots.Has(r) {
+			return nil, errNotRoot(dv, r)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(MoleculeSet, len(roots))
+	if workers == 1 || len(roots) < 2*workers {
+		for i, r := range roots {
+			out[i] = dv.derivePruned(r, pc)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(roots) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(roots) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = dv.derivePruned(roots[i], pc)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
 func errNotRoot(dv *Deriver, r model.AtomID) error {
 	_, err := dv.DeriveFor(r) // reuse its error message
 	return err

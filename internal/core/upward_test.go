@@ -1,0 +1,243 @@
+package core_test
+
+import (
+	"testing"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/storage"
+)
+
+// diamondDB builds a database whose molecule structure is a diamond
+// r → (x, y) → z: z has two incoming edges, so downward derivation takes
+// the intersection of its parents' partner sets while upward recovery
+// unions them — the shape where root recovery genuinely over-approximates.
+func diamondDB(t *testing.T) (*storage.Database, *core.Desc) {
+	t.Helper()
+	db := storage.NewDatabase()
+	desc := model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})
+	for _, tn := range []string{"r", "x", "y", "z"} {
+		if _, err := db.DefineAtomType(tn, desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []struct{ name, a, b string }{
+		{"rx", "r", "x"}, {"ry", "r", "y"}, {"xz", "x", "z"}, {"yz", "y", "z"},
+	} {
+		if _, err := db.DefineLinkType(l.name, model.LinkDesc{SideA: l.a, SideB: l.b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := core.NewDesc(db, []string{"r", "x", "y", "z"}, []core.DirectedLink{
+		{Link: "rx", From: "r", To: "x"},
+		{Link: "ry", From: "r", To: "y"},
+		{Link: "xz", From: "x", To: "z"},
+		{Link: "yz", From: "y", To: "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, d
+}
+
+func mustInsert(t *testing.T, db *storage.Database, tn string, v int64) model.AtomID {
+	t.Helper()
+	id, err := db.InsertAtom(tn, model.Int(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func mustConnect(t *testing.T, db *storage.Database, link string, a, b model.AtomID) {
+	t.Helper()
+	if err := db.Connect(link, a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRootsChain checks root recovery on a linear chain: every
+// root reachable downward from a seed is recovered, shared interiors
+// recover multiple roots, and duplicates collapse.
+func TestRecoverRootsChain(t *testing.T) {
+	s := sample(t)
+	mt := mtState(t, s.DB)
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := mt.Desc()
+	edgePos, _ := desc.Pos("edge")
+
+	// Every molecule's full edge set must recover exactly that
+	// molecule's root (and possibly more that share the edges).
+	set := dv.Derive()
+	for _, m := range set {
+		seeds := m.AtomsOf("edge")
+		roots, err := dv.RecoverRoots(edgePos, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range roots {
+			if r == m.Root() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("root %v not recovered from its own edges %v (got %v)", m.Root(), seeds, roots)
+		}
+		for i := 1; i < len(roots); i++ {
+			if roots[i-1] >= roots[i] {
+				t.Fatalf("recovered roots not strictly sorted: %v", roots)
+			}
+		}
+	}
+
+	// Entering at the root is the identity (after dedup + sort).
+	rootPos, _ := desc.Pos("state")
+	rs := set.Roots()
+	rs = append(rs, rs[0]) // duplicate seed
+	roots, err := dv.RecoverRoots(rootPos, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != len(set) {
+		t.Fatalf("root-position recovery returned %d roots, want %d", len(roots), len(set))
+	}
+}
+
+// TestRecoverRootsDiamondSuperset pins down the over-approximation: on a
+// diamond, a z-atom reachable from a root along only one branch is not
+// contained in the derived molecule (intersection semantics), yet upward
+// recovery still returns that root — recovery is a superset, and pruned
+// downward derivation is what restores exactness.
+func TestRecoverRootsDiamondSuperset(t *testing.T) {
+	db, d := diamondDB(t)
+	r1 := mustInsert(t, db, "r", 1)
+	x1 := mustInsert(t, db, "x", 1)
+	y1 := mustInsert(t, db, "y", 1)
+	z1 := mustInsert(t, db, "z", 1)
+	// r1's molecule contains z1 through both branches.
+	mustConnect(t, db, "rx", r1, x1)
+	mustConnect(t, db, "ry", r1, y1)
+	mustConnect(t, db, "xz", x1, z1)
+	mustConnect(t, db, "yz", y1, z1)
+	// r2 reaches z2 only through x: z2 is NOT contained in r2's molecule.
+	r2 := mustInsert(t, db, "r", 2)
+	x2 := mustInsert(t, db, "x", 2)
+	z2 := mustInsert(t, db, "z", 2)
+	mustConnect(t, db, "rx", r2, x2)
+	mustConnect(t, db, "xz", x2, z2)
+
+	dv, err := core.NewDeriver(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zPos, _ := d.Pos("z")
+
+	roots, err := dv.RecoverRoots(zPos, []model.AtomID{z1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0] != r1 {
+		t.Fatalf("RecoverRoots(z1) = %v, want [%v]", roots, r1)
+	}
+
+	// z2 recovers r2 even though r2's molecule excludes z2 — the superset.
+	roots, err = dv.RecoverRoots(zPos, []model.AtomID{z2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0] != r2 {
+		t.Fatalf("RecoverRoots(z2) = %v, want [%v]", roots, r2)
+	}
+	m, err := dv.DeriveFor(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains("z", z2) {
+		t.Fatal("fixture broken: r2's molecule must exclude z2 (single-branch reach)")
+	}
+	// Pruned derivation from the recovered candidate with the seeding
+	// check as hook discards r2 — exactness restored.
+	pc := dv.PrepareChecks([]core.PruneCheck{{Pos: zPos, Qualifies: func(atoms []model.AtomID) bool {
+		for _, id := range atoms {
+			if id == z2 {
+				return true
+			}
+		}
+		return false
+	}}})
+	if _, ok, err := dv.DeriveForPrepared(r2, pc); err != nil || ok {
+		t.Fatalf("pruned derivation from over-approximated root: ok=%v err=%v, want pruned", ok, err)
+	}
+
+	// Out-of-range position errors.
+	if _, err := dv.RecoverRoots(99, nil); err == nil {
+		t.Fatal("out-of-range position must fail")
+	}
+}
+
+// TestDeriveRootsPrunedParallel checks the parallel pruned batch against
+// the sequential hooks path: same alignment, same prunes, any worker
+// count.
+func TestDeriveRootsPrunedParallel(t *testing.T) {
+	s := sample(t)
+	mt := pointNeighborhood(t, s.DB)
+	dv, err := mt.Deriver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := mt.Desc()
+	statePos, _ := desc.Pos("state")
+	c, _ := s.DB.Container("state")
+	pred := expr.Cmp{Op: expr.GT, L: expr.Attr{Type: "state", Name: "hectare"}, R: expr.Lit(model.Float(500))}
+	pc := dv.PrepareChecks([]core.PruneCheck{{Pos: statePos, Qualifies: func(atoms []model.AtomID) bool {
+		for _, id := range atoms {
+			a, ok := c.Get(id)
+			if !ok {
+				continue
+			}
+			keep, err := expr.EvalPredicate(pred, expr.AtomBinding{TypeName: "state", Desc: c.Desc(), Atom: a})
+			if err == nil && keep {
+				return true
+			}
+		}
+		return false
+	}}})
+
+	pc2, _ := s.DB.Container("point")
+	roots := pc2.IDs()
+	var want core.MoleculeSet
+	for _, r := range roots {
+		m, _, err := dv.DeriveForPrepared(r, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, m) // nil entries included: alignment matters
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := dv.DeriveRootsPrunedParallel(roots, pc, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if (got[i] == nil) != (want[i] == nil) {
+				t.Fatalf("workers=%d: prune mismatch at %d", workers, i)
+			}
+			if got[i] != nil && !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: molecule %d differs", workers, i)
+			}
+		}
+	}
+	// A non-root atom in the batch fails.
+	e, _ := s.DB.Container("edge")
+	if _, err := dv.DeriveRootsPrunedParallel(e.IDs()[:1], pc, 2); err == nil {
+		t.Fatal("non-root atoms must be rejected")
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// BuildAssembly constructs the P10 workload (exported for the
+// repository-level benchmarks): a three-level assembly → unit → part
+// structure where every assembly holds 4 units of 4 parts each, and a
+// selective mid-structure attribute — part.serial is a unique serial
+// number everywhere except for a handful of recalled parts flagged
+// "S-42". With an index on part.serial, the only way to exploit the
+// selectivity from the root is a filtered full scan; entering at the
+// part level and climbing the symmetric links upward touches a tiny
+// fraction of the database.
+func BuildAssembly(assemblies int) (*storage.Database, *core.MoleculeType, error) {
+	db := storage.NewDatabase()
+	asmDesc := model.MustDesc(model.AttrDesc{Name: "code", Kind: model.KString})
+	unitDesc := model.MustDesc(model.AttrDesc{Name: "slot", Kind: model.KInt})
+	partDesc := model.MustDesc(
+		model.AttrDesc{Name: "serial", Kind: model.KString},
+		model.AttrDesc{Name: "weight", Kind: model.KFloat},
+	)
+	for _, at := range []struct {
+		name string
+		desc *model.Desc
+	}{{"asm", asmDesc}, {"unit", unitDesc}, {"part", partDesc}} {
+		if _, err := db.DefineAtomType(at.name, at.desc); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, lt := range []struct{ name, a, b string }{
+		{"asm-unit", "asm", "unit"}, {"unit-part", "unit", "part"},
+	} {
+		if _, err := db.DefineLinkType(lt.name, model.LinkDesc{SideA: lt.a, SideB: lt.b}); err != nil {
+			return nil, nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < assemblies; i++ {
+		aid, err := db.InsertAtom("asm", model.Str(fmt.Sprintf("A%d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		for u := 0; u < 4; u++ {
+			uid, err := db.InsertAtom("unit", model.Int(int64(u)))
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := db.Connect("asm-unit", aid, uid); err != nil {
+				return nil, nil, err
+			}
+			for k := 0; k < 4; k++ {
+				serial := fmt.Sprintf("SN-%d-%d-%d", i, u, k)
+				// One flagged part per 64 assemblies, in the first slot.
+				if u == 0 && k == 0 && i%64 == 0 {
+					serial = "S-42"
+				}
+				pid, err := db.InsertAtom("part", model.Str(serial), model.Float(rng.Float64()))
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := db.Connect("unit-part", uid, pid); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	mt, err := core.Define(db, "assembly_p10", []string{"asm", "unit", "part"},
+		[]core.DirectedLink{
+			{Link: "asm-unit", From: "asm", To: "unit"},
+			{Link: "unit-part", From: "unit", To: "part"},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, mt, nil
+}
+
+// FlaggedPartPred is the P10 predicate: the selective mid-structure
+// equality part.serial = 'S-42'.
+func FlaggedPartPred() expr.Expr {
+	return expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "part", Name: "serial"}, R: expr.Lit(model.Str("S-42"))}
+}
+
+// RunP10 measures the symmetric access path: the same selective
+// mid-structure predicate executed through the filtered root scan (the
+// only plan available without an interior index — every assembly is
+// derived far enough for the pushdown hook to reject it) and through the
+// interior-index entry (index lookup on part.serial, upward climb to the
+// candidate assemblies, downward derivation of just those). The plans
+// are compiled before and after CREATE INDEX on part.serial, so the
+// contest the planner resolves is shown by EXPLAIN's `considered` line.
+func RunP10(w io.Writer, scale int) error {
+	header(w, "P10", "symmetric access paths: interior-index entry vs filtered root scan")
+	db, mt, err := BuildAssembly(512 * scale)
+	if err != nil {
+		return err
+	}
+	pred := FlaggedPartPred()
+
+	// Without the interior index the planner can only scan the roots.
+	rootScan, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+	if err := db.CreateIndex("part", "serial"); err != nil {
+		return err
+	}
+	interior, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+
+	tw := table(w)
+	fmt.Fprintf(tw, "plan\taccess\troots in\tmolecules\tatoms fetched\tlinks traversed\tindex lookups\n")
+	for _, c := range []struct {
+		label string
+		p     *plan.Plan
+	}{{"root scan + pushdown", rootScan}, {"interior-index entry", interior}} {
+		db.Stats().Reset()
+		set, err := c.p.Execute()
+		if err != nil {
+			return err
+		}
+		work := db.Stats().Snapshot()
+		access := "full scan"
+		if c.p.Access.Kind == plan.InteriorIndex {
+			access = fmt.Sprintf("interior %s.%s", c.p.Access.EntryType, c.p.Access.Attr)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n", c.label, access,
+			c.p.Access.ActRoots, len(set), work.AtomsFetched, work.LinksTraversed, work.IndexLookups)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nplan with the interior index (EXPLAIN form):\n%s", interior.Render())
+	return nil
+}

@@ -266,10 +266,11 @@ func (s *Session) planSelect(st *SelectStmt, desc *core.Desc) (*plan.Plan, error
 }
 
 // execSelect runs a query-mode SELECT through the planner: access path
-// (index or filtered root scan), derivation with predicate pushdown,
-// residual restriction, projection — without enlarging the database. The
-// algebra-mode equivalent (with propagation) is DEFINE MOLECULE TYPE ...
-// AS SELECT ...
+// (root index, filtered root scan, or an interior-index entry climbed
+// upward through the symmetric links), derivation with predicate
+// pushdown over the worker pool, residual restriction, projection —
+// without enlarging the database. The algebra-mode equivalent (with
+// propagation) is DEFINE MOLECULE TYPE ... AS SELECT ...
 func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 	mt, rt, err := s.resolveFrom(st.From)
 	if err != nil {
@@ -699,7 +700,9 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 	}
 	// Run the plan (query mode never enlarges the database) so the
 	// rendering reports actual cardinalities next to the estimates —
-	// unless the statement asked for the compile-only ESTIMATE form.
+	// including the chosen entry point and the access-path contest on
+	// the `considered:` line — unless the statement asked for the
+	// compile-only ESTIMATE form.
 	if !st.EstimateOnly {
 		if _, err := p.Execute(); err != nil {
 			return nil, err

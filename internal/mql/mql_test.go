@@ -400,7 +400,7 @@ func TestExplainShowsPushdownAndCardinalities(t *testing.T) {
 	if err := s.DB.CreateIndex("state", "abbrev"); err != nil {
 		t.Fatal(err)
 	}
-	plan, err := sess.Exec("EXPLAIN SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP' AND edge.tag = 'e_SP_MG';")
+	plan, err := sess.Exec("EXPLAIN SELECT ALL FROM state-area-edge-point WHERE state.abbrev = 'SP' AND edge.tag = 'e_pn_SP';")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,11 +408,47 @@ func TestExplainShowsPushdownAndCardinalities(t *testing.T) {
 		`index lookup state.abbrev = "SP"`,
 		"est ≈",
 		"actual",
-		`pushdown:  Σ↓[edge.tag = "e_SP_MG"] at edge`,
+		`pushdown:  Σ↓[edge.tag = "e_pn_SP"] at edge`,
 	} {
 		if !strings.Contains(plan.Message, want) {
 			t.Fatalf("EXPLAIN missing %q:\n%s", want, plan.Message)
 		}
+	}
+}
+
+// TestExplainShowsInteriorIndexEntry checks the symmetric access path
+// surfaces in EXPLAIN: with an index on a selective mid-structure
+// attribute, the plan enters the structure at the interior type, climbs
+// to the roots, and the transcript names the entry point, the climb and
+// the access-path contest.
+func TestExplainShowsInteriorIndexEntry(t *testing.T) {
+	sess, s := session(t)
+	if err := s.DB.CreateIndex("edge", "tag"); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT ALL FROM state-area-edge-point WHERE edge.tag = 'e_pn_SP';"
+	plan, err := sess.Exec("EXPLAIN " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`[interior-index] entry at edge.tag = "e_pn_SP"`,
+		"recover roots upward edge ⇡ area ⇡ state",
+		"considered:",
+		"← chosen",
+		"full scan of state (cost",
+	} {
+		if !strings.Contains(plan.Message, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, plan.Message)
+		}
+	}
+	// The interior plan must return exactly what the query returns.
+	res, err := sess.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != mql.RMolecules || len(res.Set) == 0 {
+		t.Fatalf("query through the interior plan returned %d molecules", len(res.Set))
 	}
 }
 

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"container/list"
 	"strconv"
 	"strings"
 	"sync"
@@ -10,9 +11,10 @@ import (
 	"mad/internal/storage"
 )
 
-// cacheLimit bounds a cache's entry count; the oldest entries are evicted
-// first. Named molecule types are few, so the bound exists only to keep
-// ad-hoc structure churn from growing the cache without end.
+// cacheLimit bounds a cache's entry count; the least recently used entry
+// is evicted first, so hot named-molecule plans survive ad-hoc structure
+// churn. Named molecule types are few — the bound exists only to keep
+// the churn from growing the cache without end.
 const cacheLimit = 256
 
 // Cache memoizes compiled plans per database, keyed by the structure
@@ -25,13 +27,14 @@ const cacheLimit = 256
 type Cache struct {
 	mu      sync.Mutex
 	db      *storage.Database
-	entries map[string]*cacheEntry
-	order   []string // insertion order, for FIFO eviction
+	entries map[string]*list.Element
+	lru     *list.List // cacheEntry values, most recently used at front
 
 	hits, misses, compiles uint64
 }
 
 type cacheEntry struct {
+	key   string
 	epoch uint64
 	plan  *Plan
 }
@@ -49,10 +52,20 @@ func CacheFor(db *storage.Database) *Cache {
 	defer cachesMu.Unlock()
 	c, ok := caches[db]
 	if !ok {
-		c = &Cache{db: db, entries: make(map[string]*cacheEntry)}
+		c = &Cache{db: db, entries: make(map[string]*list.Element), lru: list.New()}
 		caches[db] = c
 	}
 	return c
+}
+
+// Release drops the database's cache from the registry. Call it when a
+// database goes out of use — the registry otherwise pins both the cache
+// and the database for the life of the process. A later CacheFor on the
+// same database simply starts a cold cache.
+func Release(db *storage.Database) {
+	cachesMu.Lock()
+	defer cachesMu.Unlock()
+	delete(caches, db)
 }
 
 // cacheKey identifies a plan: the structure rendering (memoized by Desc)
@@ -149,9 +162,10 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 	epoch := c.db.PlanEpoch()
 
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && e.epoch == epoch {
+	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry).epoch == epoch {
 		c.hits++
-		p := e.plan.clone()
+		c.lru.MoveToFront(el) // LRU: a hit renews the entry
+		p := el.Value.(*cacheEntry).plan.clone()
 		c.mu.Unlock()
 		return p, true, nil
 	}
@@ -168,14 +182,19 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 
 	c.mu.Lock()
 	c.compiles++
-	if _, exists := c.entries[key]; !exists {
-		if len(c.order) >= cacheLimit {
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
+	if el, exists := c.entries[key]; exists {
+		e := el.Value.(*cacheEntry)
+		e.epoch, e.plan = epoch, fresh
+		c.lru.MoveToFront(el)
+	} else {
+		if c.lru.Len() >= cacheLimit {
+			// Evict the least recently used entry.
+			back := c.lru.Back()
+			delete(c.entries, back.Value.(*cacheEntry).key)
+			c.lru.Remove(back)
 		}
-		c.order = append(c.order, key)
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, plan: fresh})
 	}
-	c.entries[key] = &cacheEntry{epoch: epoch, plan: fresh}
 	p = fresh.clone()
 	c.mu.Unlock()
 	return p, false, nil
@@ -199,12 +218,13 @@ func (c *Cache) Len() int {
 
 // clone copies the plan with private pushdown and residual slices and
 // zeroed actuals, so executions of the same cached compilation never
-// share mutable state.
+// share mutable state. The Alternatives and UpPath slices stay shared —
+// they are compile-time provenance and never mutated after compilation.
 func (p *Plan) clone() *Plan {
 	q := *p
 	q.Pushdowns = append([]Pushdown(nil), p.Pushdowns...)
 	q.Residuals = append([]ResidualConjunct(nil), p.Residuals...)
-	q.Access.ActRoots = 0
+	q.Access.ActRoots, q.Access.ActEntries = 0, 0
 	q.Derived, q.Out = 0, 0
 	q.Executed = false
 	for i := range q.Pushdowns {

@@ -62,6 +62,68 @@ func TestCacheReusesCompilation(t *testing.T) {
 	}
 }
 
+// TestCacheLRUEviction checks the eviction policy: filling the cache past
+// its cap evicts the *least recently used* entry, so an old-but-hot plan
+// survives churn that would have rotated it out under FIFO.
+func TestCacheLRUEviction(t *testing.T) {
+	db, mt := skewedDB(t, 50)
+	plan.Release(db) // cold cache even if another test used this db
+	cache := plan.CacheFor(db)
+	predFor := func(i int) expr.Expr {
+		return expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "batch"}, R: expr.Lit(model.Int(int64(i)))}
+	}
+
+	// Fill to the cap (256). Entry 0 is the oldest.
+	const limit = 256
+	for i := 0; i < limit; i++ {
+		if _, _, err := cache.Compile(mt.Desc(), predFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != limit {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), limit)
+	}
+	// Touch the oldest entry: under LRU it becomes the most recent.
+	if _, cached, err := cache.Compile(mt.Desc(), predFor(0)); err != nil || !cached {
+		t.Fatalf("touching entry 0: cached=%v err=%v", cached, err)
+	}
+	// One more distinct plan evicts the LRU entry — now entry 1, not 0.
+	if _, _, err := cache.Compile(mt.Desc(), predFor(limit)); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != limit {
+		t.Fatalf("cache holds %d entries after eviction, want %d", cache.Len(), limit)
+	}
+	if _, cached, err := cache.Compile(mt.Desc(), predFor(0)); err != nil || !cached {
+		t.Fatalf("entry 0 was evicted despite being recently used (cached=%v err=%v)", cached, err)
+	}
+	if _, cached, err := cache.Compile(mt.Desc(), predFor(1)); err != nil || cached {
+		t.Fatalf("entry 1 must have been the LRU eviction victim (cached=%v err=%v)", cached, err)
+	}
+}
+
+// TestCacheRelease checks the registry leak fix: releasing a database
+// drops its cache entry, and a later CacheFor starts cold.
+func TestCacheRelease(t *testing.T) {
+	db, mt := skewedDB(t, 50)
+	cache := plan.CacheFor(db)
+	if _, _, err := cache.Compile(mt.Desc(), skewedPred()); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("expected a cached entry before release")
+	}
+	plan.Release(db)
+	fresh := plan.CacheFor(db)
+	if fresh == cache {
+		t.Fatal("Release must drop the registry entry; CacheFor returned the released cache")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("post-release cache holds %d entries, want 0", fresh.Len())
+	}
+	plan.Release(db) // releasing twice is a no-op
+}
+
 // TestCacheInvalidation is the satellite requirement: DDL and ANALYZE
 // both bust cached plans, and the recompiled plan reflects the new state.
 func TestCacheInvalidation(t *testing.T) {

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"math"
+	"strings"
 
 	"mad/internal/core"
 	"mad/internal/expr"
@@ -25,6 +26,10 @@ const (
 	// SrcContainer marks the container size itself (full scans without a
 	// root filter).
 	SrcContainer = "container"
+	// SrcLinkFan marks estimates computed from link-occurrence fan
+	// statistics (average partners per linked atom) — the upward-climb
+	// estimates of interior-index access paths.
+	SrcLinkFan = "link-fan"
 )
 
 // Default selectivities for predicate shapes no statistic covers. The
@@ -42,7 +47,7 @@ func worseSource(a, b string) string {
 		switch s {
 		case SrcHistogram:
 			return 0
-		case SrcUniform:
+		case SrcUniform, SrcLinkFan:
 			return 1
 		default:
 			return 2
@@ -192,6 +197,115 @@ func conjCost(c expr.Expr) float64 {
 		return cost
 	}
 	return 1
+}
+
+// derivCostPerRoot estimates the atoms fetched deriving one molecule of
+// the structure: expected component-set sizes accumulated along the
+// forward fan of every edge, read from the link stores' average-partner
+// statistics. Types with several incoming edges take their smallest
+// incoming estimate (downward derivation intersects the parents' partner
+// sets). The figure weights the access-path contest — a root batch is
+// only as cheap as the derivations it triggers.
+func derivCostPerRoot(db *storage.Database, desc *core.Desc) float64 {
+	est := make([]float64, desc.NumTypes())
+	rootPos, _ := desc.Pos(desc.Root())
+	est[rootPos] = 1
+	total := 1.0
+	for _, t := range desc.Topo() {
+		if t == desc.Root() {
+			continue
+		}
+		pos, _ := desc.Pos(t)
+		best := math.MaxFloat64
+		for _, ei := range desc.Incoming(t) {
+			e := desc.Edge(ei)
+			fromPos, _ := desc.Pos(e.From)
+			ls, ok := db.LinkStore(e.Link)
+			if !ok {
+				continue
+			}
+			fan := ls.AvgFan(ls.Desc().SideA == e.From)
+			if v := est[fromPos] * fan; v < best {
+				best = v
+			}
+		}
+		if best == math.MaxFloat64 {
+			best = 0
+		}
+		est[pos] = best
+		total += best
+	}
+	return total
+}
+
+// climbEstimate predicts the upward walk of an interior-index access
+// path: starting from `entries` matching atoms of entryType, the expected
+// frontier size at every type of the reverse-reachable slice up to the
+// root, grown by the child side's average link fan and capped by the
+// container sizes. It returns the estimated recovered roots, the
+// link-traversal cost of the climb, and the climb path for EXPLAIN: one
+// label per climb level (entry first, root last), with sibling parents
+// reached at the same level grouped as "{a, b}" so a diamond does not
+// read as a chain.
+func climbEstimate(db *storage.Database, desc *core.Desc, entryType string, entries int) (estRoots int, climbCost float64, path []string) {
+	est := make([]float64, desc.NumTypes())
+	level := make([]int, desc.NumTypes()) // climb distance from the entry
+	seen := make([]bool, desc.NumTypes())
+	entryPos, _ := desc.Pos(entryType)
+	est[entryPos] = float64(entries)
+	seen[entryPos] = true
+	topo := desc.Topo()
+	levels := [][]string{{entryType}}
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		pos, _ := desc.Pos(t)
+		if !seen[pos] {
+			continue
+		}
+		for _, ei := range desc.Incoming(t) {
+			e := desc.Edge(ei)
+			fromPos, _ := desc.Pos(e.From)
+			ls, ok := db.LinkStore(e.Link)
+			if !ok {
+				continue
+			}
+			upFan := ls.AvgFan(ls.Desc().SideA == e.To)
+			climbCost += est[pos]
+			grown := est[fromPos] + est[pos]*upFan
+			if n, err := db.CountAtoms(e.From); err == nil && grown > float64(n) {
+				grown = float64(n)
+			}
+			est[fromPos] = grown
+			if !seen[fromPos] {
+				// A type is labelled with the level it is first reached
+				// at; later, longer paths into it do not move the label.
+				seen[fromPos] = true
+				level[fromPos] = level[pos] + 1
+				for len(levels) <= level[fromPos] {
+					levels = append(levels, nil)
+				}
+				levels[level[fromPos]] = append(levels[level[fromPos]], e.From)
+			}
+		}
+	}
+	for _, lv := range levels {
+		switch len(lv) {
+		case 0:
+		case 1:
+			path = append(path, lv[0])
+		default:
+			path = append(path, "{"+strings.Join(lv, ", ")+"}")
+		}
+	}
+	rootPos, _ := desc.Pos(desc.Root())
+	r := int(est[rootPos] + 0.5)
+	if n, err := db.CountAtoms(desc.Root()); err == nil && r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r, climbCost, path
 }
 
 // residualRank orders residual conjuncts for short-circuit evaluation:

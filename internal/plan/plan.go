@@ -1,17 +1,26 @@
 // Package plan compiles molecule queries into explicit plan DAGs. A plan
 // fixes, before any atom is touched,
 //
-//   - the root access path: an equality lookup through a secondary index
-//     (chosen by estimated selectivity from storage cardinalities) or a
-//     full scan of the root type's container, optionally pre-filtered by
-//     the root-only conjuncts of the qualification formula;
+//   - the access path: the entry point into the structure. The planner
+//     enumerates every alternative — a full scan of the root type's
+//     container (optionally pre-filtered by the root-only conjuncts), an
+//     equality lookup through a secondary index on the *root* type, or an
+//     equality lookup through an index on any *interior* atom type of the
+//     structure. The links of the model are symmetric, so an interior
+//     entry is legal: the matching interior atoms are climbed upward
+//     against the declared edge directions (core.Deriver.RecoverRoots) to
+//     the candidate roots, which are then derived downward as usual. Each
+//     alternative is costed against histogram estimates and link fan-out
+//     statistics, and EXPLAIN records the contest;
 //   - the derivation node, annotated with per-atom-type pushdown
 //     conjuncts: conjuncts referencing a single non-root atom type are
 //     evaluated inside core.Deriver while the structure template is laid
 //     over the atom network, cutting non-qualifying subtrees as soon as
 //     the referenced type's component set is complete, instead of
 //     post-filtering whole molecules (the optimization the paper
-//     anticipates for query processing, Chapter 5); and
+//     anticipates for query processing, Chapter 5). Root batches fan out
+//     over the worker pool (core.DeriveRootsPrunedParallel), with the
+//     EXPLAIN actuals aggregated atomically; and
 //   - the residual filter: whatever part of the formula genuinely needs
 //     the whole molecule (multi-type conjuncts, quantifiers over non-root
 //     types) runs after derivation under molecule binding, its conjuncts
@@ -28,14 +37,18 @@
 // The planner is sound with respect to the molecule algebra: a plan's
 // result is always set-equal to naive Σ (core.Restrict) over the same
 // predicate — pushdown decides early whether a molecule can qualify, it
-// never changes the content of qualifying molecules, and residual
-// ordering only permutes a commutative conjunction.
+// never changes the content of qualifying molecules, residual ordering
+// only permutes a commutative conjunction, and an interior entry only
+// narrows the root batch (root recovery is a superset of the qualifying
+// roots, and the entry conjunct stays on as a prune hook).
 package plan
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mad/internal/core"
 	"mad/internal/expr"
@@ -43,7 +56,7 @@ import (
 	"mad/internal/storage"
 )
 
-// AccessKind discriminates root access paths.
+// AccessKind discriminates access paths.
 type AccessKind uint8
 
 // Access paths.
@@ -53,29 +66,63 @@ const (
 	// IndexScan reads only the root atoms a secondary index maps an
 	// equality conjunct's value to.
 	IndexScan
+	// InteriorIndex enters the structure at a non-root atom type: an
+	// index maps an equality conjunct's value to interior atoms, and the
+	// candidate roots are recovered by climbing the structure's links
+	// upward (the symmetric-use property makes the reverse traversal
+	// legal). The entry conjunct additionally stays on as a pushdown
+	// prune hook, which restores exactness — recovery over-approximates
+	// at multi-parent types.
+	InteriorIndex
 )
 
-// Access is the root access-path node of a plan.
+// Access is the access-path node of a plan: how the root batch entering
+// derivation is produced.
 type Access struct {
 	Kind AccessKind
 	Root string
-	// Attr and Value parameterize an IndexScan (root.Attr = Value).
+	// Attr and Value parameterize the entry equality: root.Attr = Value
+	// for an IndexScan, EntryType.Attr = Value for an InteriorIndex.
 	Attr  string
 	Value model.Value
+	// EntryType and EntryPos name the interior entry type of an
+	// InteriorIndex access and its position in the description.
+	EntryType string
+	EntryPos  int
+	// UpPath lists the atom types the upward climb of an InteriorIndex
+	// access passes through, entry first, root last — for EXPLAIN.
+	UpPath []string
 	// Filter holds the remaining root-only conjuncts; they are evaluated
 	// per root atom before derivation starts (every molecule has exactly
 	// one root atom, so per-atom evaluation equals molecule evaluation).
 	Filter expr.Expr
+	// EstEntries estimates the interior atoms matching an InteriorIndex
+	// entry equality (EntrySource records the statistic behind it);
+	// ActEntries counts the atoms the index returned.
+	EstEntries  int
+	EntrySource string
+	ActEntries  int
 	// EstRoots estimates how many roots enter derivation: histogram
 	// buckets when available, otherwise the container size for a full
 	// scan and occurrence/distinct-keys for an index scan, scaled by the
-	// estimated selectivity of the root filter.
+	// estimated selectivity of the root filter. For an InteriorIndex it
+	// is the climb estimate scaled the same way.
 	EstRoots int
 	// EstSource records which statistic produced EstRoots (SrcHistogram,
-	// SrcUniform, SrcContainer or SrcDefault) for EXPLAIN.
+	// SrcUniform, SrcContainer, SrcLinkFan or SrcDefault) for EXPLAIN.
 	EstSource string
 	// ActRoots counts the roots that actually entered derivation.
 	ActRoots int
+}
+
+// Alternative is one access path the planner considered, with its total
+// estimated cost (atom fetches + link traversals to produce the root
+// batch, plus expected derivation work) — the EXPLAIN provenance for why
+// the chosen entry point won.
+type Alternative struct {
+	Label  string
+	Cost   float64
+	Chosen bool
 }
 
 // Pushdown is one conjunct pushed below derivation at one atom type.
@@ -116,13 +163,20 @@ type Plan struct {
 	db   *storage.Database
 	desc *core.Desc
 
-	Access    Access
-	Pushdowns []Pushdown
+	Access Access
+	// Alternatives records every access path considered at compile time,
+	// most attractive first, with the chosen one marked.
+	Alternatives []Alternative
+	Pushdowns    []Pushdown
 	// Residual is the whole residual conjunction in source order (nil
 	// when everything pushed down); Residuals holds the same conjuncts
 	// split and cost-ordered for short-circuit evaluation.
 	Residual  expr.Expr
 	Residuals []ResidualConjunct
+
+	// Workers bounds the worker pool derivation fans the root batch out
+	// over: 0 selects GOMAXPROCS, 1 forces sequential derivation.
+	Workers int
 
 	// Execution actuals (valid after Execute).
 	Derived  int // molecules fully derived (survived every pushdown)
@@ -132,6 +186,21 @@ type Plan struct {
 
 // Desc returns the structure the plan derives.
 func (p *Plan) Desc() *core.Desc { return p.desc }
+
+// rootConjInfo carries the per-root-conjunct analysis access-path
+// enumeration works from.
+type rootConjInfo struct {
+	conj expr.Expr
+	sel  float64
+	src  string
+	// Equality-index candidacy (indexable reports whether the conjunct
+	// is root.attr = const with an index on attr).
+	indexable bool
+	attr      string
+	val       model.Value
+	est       int
+	estSrc    string
+}
 
 // Compile builds the plan for deriving desc under pred (nil = no
 // restriction). pred must already be statically valid for the structure
@@ -152,12 +221,18 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 	}
 	p.Access.EstRoots = n
 
-	var rootConjs []expr.Expr
+	var rootConjs []rootConjInfo
 	for _, c := range splitConjuncts(pred) {
 		t, single := conjunctType(db, desc, c)
 		switch {
 		case single && t == desc.Root():
-			rootConjs = append(rootConjs, c)
+			info := rootConjInfo{conj: c}
+			info.sel, info.src = conjSelectivity(db, desc, c)
+			if attr, val, ok := indexableEq(c, db, t); ok {
+				info.indexable, info.attr, info.val = true, attr, val
+				info.est, info.estSrc = estimateEqCount(db, t, attr, val, n)
+			}
+			rootConjs = append(rootConjs, info)
 		case single && pushableShape(c):
 			pos, _ := desc.Pos(t)
 			sel, src := conjSelectivity(db, desc, c)
@@ -173,55 +248,8 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 		}
 	}
 
-	// Root access path: among the root conjuncts, pick the indexed
-	// equality with the lowest estimated cardinality — histogram buckets
-	// when ANALYZE has run, occurrence/distinct-keys otherwise — and turn
-	// everything else into the pre-derivation root filter.
-	best := -1
-	bestEst := n + 1
-	bestSrc := SrcUniform
-	for i, c := range rootConjs {
-		attr, val, ok := indexableEq(c, db, desc.Root())
-		if !ok {
-			continue
-		}
-		est, src := estimateEqCount(db, desc.Root(), attr, val, n)
-		if est < bestEst {
-			best, bestEst, bestSrc = i, est, src
-			p.Access.Attr, p.Access.Value = attr, val
-		}
-	}
-	if best >= 0 {
-		p.Access.Kind = IndexScan
-		p.Access.EstRoots = bestEst
-		p.Access.EstSource = bestSrc
-	}
-	filterSel := 1.0
-	filterSrc := ""
-	for i, c := range rootConjs {
-		if i == best {
-			continue
-		}
-		p.Access.Filter = combine(p.Access.Filter, c)
-		sel, src := conjSelectivity(db, desc, c)
-		filterSel *= sel
-		if filterSrc == "" {
-			filterSrc = src
-		} else {
-			filterSrc = worseSource(filterSrc, src)
-		}
-	}
-	if p.Access.Filter != nil {
-		// Scale the root estimate by the filter's selectivity: EstRoots
-		// approximates the roots that *enter derivation*, after the
-		// pre-derivation filter.
-		p.Access.EstRoots = scaleEst(p.Access.EstRoots, filterSel)
-		if p.Access.Kind == IndexScan {
-			p.Access.EstSource = worseSource(bestSrc, filterSrc)
-		} else {
-			p.Access.EstSource = filterSrc
-		}
-	}
+	p.chooseAccess(n, rootConjs)
+
 	// Order the residual conjuncts by the (selectivity − 1)/cost rank so
 	// short-circuit evaluation does the least expected work per molecule.
 	sort.SliceStable(p.Residuals, func(i, j int) bool {
@@ -241,6 +269,167 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 		}
 	}
 	return p, nil
+}
+
+// chooseAccess enumerates the access-path alternatives — root full scan,
+// the best root-index equality, and an interior-index entry per indexed
+// pushdown equality — costs each as
+//
+//	(atoms fetched + links climbed to produce the root batch)
+//	+ roots entering derivation × expected per-molecule derivation work
+//
+// and installs the cheapest. The losing alternatives are recorded for
+// EXPLAIN.
+func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo) {
+	desc := p.desc
+	derivCost := derivCostPerRoot(p.db, desc)
+
+	// Selectivity of the whole root filter, and with one conjunct (the
+	// chosen root index) taken out.
+	allSel, allSrc := 1.0, ""
+	for _, rc := range rootConjs {
+		allSel *= rc.sel
+		allSrc = combineSource(allSrc, rc.src)
+	}
+	selWithout := func(skip int) (float64, string) {
+		sel, src := 1.0, ""
+		for i, rc := range rootConjs {
+			if i == skip {
+				continue
+			}
+			sel *= rc.sel
+			src = combineSource(src, rc.src)
+		}
+		return sel, src
+	}
+
+	// Full scan: every root atom fetched, the filter thins the batch.
+	fullEntering := scaleEst(n, allSel)
+	alts := []Alternative{{
+		Label: fmt.Sprintf("full scan of %s", desc.Root()),
+		Cost:  float64(n) + float64(fullEntering)*derivCost,
+	}}
+	type candidate struct {
+		alt   int // index into alts
+		apply func()
+	}
+	cands := []candidate{{alt: 0, apply: func() {
+		p.Access.Kind = FullScan
+		p.Access.EstRoots = n
+		p.Access.EstSource = SrcContainer
+		p.installRootFilter(rootConjs, -1, n)
+	}}}
+
+	// Best root-index equality.
+	bestRoot := -1
+	for i, rc := range rootConjs {
+		if rc.indexable && (bestRoot < 0 || rc.est < rootConjs[bestRoot].est) {
+			bestRoot = i
+		}
+	}
+	if bestRoot >= 0 {
+		rc := rootConjs[bestRoot]
+		restSel, _ := selWithout(bestRoot)
+		entering := scaleEst(rc.est, restSel)
+		alts = append(alts, Alternative{
+			Label: fmt.Sprintf("index %s.%s", desc.Root(), rc.attr),
+			Cost:  float64(rc.est) + float64(entering)*derivCost,
+		})
+		cands = append(cands, candidate{alt: len(alts) - 1, apply: func() {
+			rc := rootConjs[bestRoot]
+			p.Access.Kind = IndexScan
+			p.Access.Attr, p.Access.Value = rc.attr, rc.val
+			p.Access.EstRoots = rc.est
+			p.Access.EstSource = rc.estSrc
+			p.installRootFilter(rootConjs, bestRoot, rc.est)
+		}})
+	}
+
+	// Interior-index entries: one candidate per pushdown conjunct that is
+	// an indexed equality on its (non-root) type.
+	for pi := range p.Pushdowns {
+		pd := &p.Pushdowns[pi]
+		attr, val, ok := indexableEq(pd.Conjunct, p.db, pd.Type)
+		if !ok {
+			continue
+		}
+		nT, err := p.db.CountAtoms(pd.Type)
+		if err != nil {
+			continue
+		}
+		entries, entriesSrc := estimateEqCount(p.db, pd.Type, attr, val, nT)
+		recovered, climbCost, upPath := climbEstimate(p.db, desc, pd.Type, entries)
+		entering := scaleEst(recovered, allSel)
+		alts = append(alts, Alternative{
+			Label: fmt.Sprintf("interior-index %s.%s", pd.Type, attr),
+			Cost:  float64(entries) + climbCost + float64(recovered) + float64(entering)*derivCost,
+		})
+		cands = append(cands, candidate{alt: len(alts) - 1, apply: func() {
+			pd := &p.Pushdowns[pi]
+			p.Access.Kind = InteriorIndex
+			p.Access.Attr, p.Access.Value = attr, val
+			p.Access.EntryType = pd.Type
+			p.Access.EntryPos = pd.Pos
+			p.Access.UpPath = upPath
+			p.Access.EstEntries = entries
+			p.Access.EntrySource = entriesSrc
+			p.Access.EstRoots = recovered
+			p.Access.EstSource = combineSource(SrcLinkFan, entriesSrc)
+			p.installRootFilter(rootConjs, -1, recovered)
+		}})
+	}
+
+	// Pick the cheapest; earlier candidates win ties (scan before root
+	// index before interior — the simpler machinery when costs agree).
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if alts[cands[i].alt].Cost < alts[cands[best].alt].Cost {
+			best = i
+		}
+	}
+	alts[cands[best].alt].Chosen = true
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Cost < alts[j].Cost })
+	p.Alternatives = alts
+	cands[best].apply()
+}
+
+// installRootFilter conjoins every root conjunct except the one at skip
+// into the pre-derivation root filter and scales EstRoots (currently
+// `produced` roots) by the filter's selectivity.
+func (p *Plan) installRootFilter(rootConjs []rootConjInfo, skip, produced int) {
+	filterSel := 1.0
+	filterSrc := ""
+	for i, rc := range rootConjs {
+		if i == skip {
+			continue
+		}
+		p.Access.Filter = combine(p.Access.Filter, rc.conj)
+		filterSel *= rc.sel
+		filterSrc = combineSource(filterSrc, rc.src)
+	}
+	if p.Access.Filter != nil {
+		// Scale the root estimate by the filter's selectivity: EstRoots
+		// approximates the roots that *enter derivation*, after the
+		// pre-derivation filter.
+		p.Access.EstRoots = scaleEst(produced, filterSel)
+		if p.Access.Kind == FullScan {
+			// The filter's statistic supersedes the bare container size.
+			p.Access.EstSource = filterSrc
+		} else {
+			p.Access.EstSource = combineSource(p.Access.EstSource, filterSrc)
+		}
+	}
+}
+
+// combineSource merges provenance labels, treating "" as absent.
+func combineSource(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return worseSource(a, b)
 }
 
 // splitConjuncts flattens the top-level AND tree of pred.
@@ -341,9 +530,9 @@ func referenceFree(e expr.Expr) bool {
 	return len(expr.TypesReferenced(e)) == 0
 }
 
-// indexableEq detects root.attr = constant (either orientation) where the
-// root type carries an index on attr, returning the attribute and value.
-func indexableEq(c expr.Expr, db *storage.Database, root string) (string, model.Value, bool) {
+// indexableEq detects typeName.attr = constant (either orientation) where
+// the type carries an index on attr, returning the attribute and value.
+func indexableEq(c expr.Expr, db *storage.Database, typeName string) (string, model.Value, bool) {
 	cmp, ok := c.(expr.Cmp)
 	if !ok || cmp.Op != expr.EQ {
 		return "", model.Null(), false
@@ -357,7 +546,7 @@ func indexableEq(c expr.Expr, db *storage.Database, root string) (string, model.
 	if !aok || !lok {
 		return "", model.Null(), false
 	}
-	if !db.HasIndex(root, a.Name) {
+	if !db.HasIndex(typeName, a.Name) {
 		return "", model.Null(), false
 	}
 	return a.Name, l.V, true
@@ -409,9 +598,35 @@ func scaleEst(n int, sel float64) int {
 	return est
 }
 
+// evalErrBox captures the first evaluation error raised by a per-atom
+// predicate; derivation fans out over the worker pool, so the capture
+// must be safe for concurrent use. The failed flag gives hooks a cheap
+// lock-free "is an error pending" probe on the hot path.
+type evalErrBox struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+func (b *evalErrBox) set(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.failed.Store(true)
+}
+
+func (b *evalErrBox) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
 // atomPred compiles a conjunct into a per-atom predicate over the named
-// type. Evaluation errors surface through errp (first one wins).
-func (p *Plan) atomPred(typeName string, conjunct expr.Expr, errp *error) (func(model.AtomID) bool, error) {
+// type. Evaluation errors surface through eb (first one wins); the
+// returned predicate is safe for concurrent use.
+func (p *Plan) atomPred(typeName string, conjunct expr.Expr, eb *evalErrBox) (func(model.AtomID) bool, error) {
 	c, ok := p.db.Container(typeName)
 	if !ok {
 		return nil, fmt.Errorf("plan: atom type %q has no container", typeName)
@@ -426,22 +641,47 @@ func (p *Plan) atomPred(typeName string, conjunct expr.Expr, errp *error) (func(
 		// naive-vs-planned logical-work comparisons stay fair.
 		p.db.Stats().AtomsFetched.Add(1)
 		keep, err := expr.EvalPredicate(conjunct, expr.AtomBinding{TypeName: typeName, Desc: desc, Atom: a})
-		if err != nil && *errp == nil {
-			*errp = err
+		if err != nil {
+			eb.set(err)
 		}
 		return err == nil && keep
 	}, nil
 }
 
+// rootBatch produces the root atoms the access path feeds into
+// derivation, before the root filter: an index lookup's posting list, the
+// roots recovered upward from an interior entry, or the whole container.
+func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
+	switch p.Access.Kind {
+	case IndexScan:
+		roots, ok := p.db.IndexLookup(p.Access.Root, p.Access.Attr, p.Access.Value)
+		if !ok {
+			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
+		}
+		return roots, nil
+	case InteriorIndex:
+		entries, ok := p.db.IndexLookup(p.Access.EntryType, p.Access.Attr, p.Access.Value)
+		if !ok {
+			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.EntryType, p.Access.Attr)
+		}
+		p.Access.ActEntries = len(entries)
+		return dv.RecoverRoots(p.Access.EntryPos, entries)
+	default:
+		return dv.RootIDs(), nil
+	}
+}
+
 // Execute runs the plan and returns the qualifying molecules, filling the
-// actual-cardinality fields. It never enlarges the database; algebra-mode
-// callers propagate the returned set themselves (see Restrict).
+// actual-cardinality fields: access path → root filter → pruned
+// derivation fanned out over the worker pool → cost-ordered residual
+// chain. It never enlarges the database; algebra-mode callers propagate
+// the returned set themselves (see Restrict).
 func (p *Plan) Execute() (core.MoleculeSet, error) {
 	dv, err := core.NewDeriver(p.db, p.desc)
 	if err != nil {
 		return nil, err
 	}
-	p.Access.ActRoots, p.Derived, p.Out = 0, 0, 0
+	p.Access.ActRoots, p.Access.ActEntries, p.Derived, p.Out = 0, 0, 0, 0
 	p.Executed = false
 	for i := range p.Pushdowns {
 		p.Pushdowns[i].Cut = 0
@@ -450,11 +690,20 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 		p.Residuals[i].Evals, p.Residuals[i].Passed = 0, 0
 	}
 
-	var evalErr error
-	var checks []core.PruneCheck
+	// Pushdown hooks run concurrently during parallel derivation: the cut
+	// actuals aggregate atomically and evaluation errors land in a box.
+	// The root-position guard rejects every molecule once an error is
+	// pending, so the remaining batch degrades to a cheap root sweep
+	// instead of deriving an occurrence that will be discarded.
+	var eb evalErrBox
+	rootPos, _ := p.desc.Pos(p.Access.Root)
+	checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
+		return !eb.failed.Load()
+	}}}
+	cuts := make([]int64, len(p.Pushdowns))
 	for i := range p.Pushdowns {
 		pd := &p.Pushdowns[i]
-		pred, err := p.atomPred(pd.Type, pd.Conjunct, &evalErr)
+		pred, err := p.atomPred(pd.Type, pd.Conjunct, &eb)
 		if err != nil {
 			return nil, err
 		}
@@ -464,93 +713,79 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 					return true
 				}
 			}
-			pd.Cut++
+			atomic.AddInt64(&cuts[i], 1)
 			return false
 		}})
 	}
 
 	var rootFilter func(model.AtomID) bool
 	if p.Access.Filter != nil {
-		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, &evalErr)
+		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, &eb)
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	roots, err := p.rootBatch(dv)
+	if err != nil {
+		return nil, err
+	}
+	if rootFilter != nil {
+		kept := make([]model.AtomID, 0, len(roots))
+		for _, r := range roots {
+			if eb.get() != nil {
+				break
+			}
+			if rootFilter(r) {
+				kept = append(kept, r)
+			}
+		}
+		roots = kept
+	}
+	if err := eb.get(); err != nil {
+		return nil, err
+	}
+	p.Access.ActRoots = len(roots)
+
+	derived, err := dv.DeriveRootsPrunedParallel(roots, dv.PrepareChecks(checks), p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := eb.get(); err != nil {
+		return nil, err
+	}
+	for i := range p.Pushdowns {
+		p.Pushdowns[i].Cut = int(atomic.LoadInt64(&cuts[i]))
+	}
+
 	// The residual runs as a short-circuit chain over the cost-ordered
 	// conjuncts: the first failing conjunct rejects the molecule and the
-	// later (costlier or less selective) ones never run for it.
+	// later (costlier or less selective) ones never run for it. Molecules
+	// are visited in root-batch order, so results stay deterministic.
 	var set core.MoleculeSet
-	keep := func(m *core.Molecule) bool {
+	for _, m := range derived {
+		if m == nil {
+			continue // cut by a pushdown hook
+		}
 		p.Derived++
 		b := core.Binding{DB: p.db, M: m}
+		keep := true
 		for i := range p.Residuals {
 			r := &p.Residuals[i]
 			r.Evals++
 			ok, err := expr.EvalPredicate(r.Conjunct, b)
 			if err != nil {
-				evalErr = err
-				return false
+				return nil, err
 			}
 			if !ok {
-				return true // molecule rejected; keep walking
+				keep = false
+				break
 			}
 			r.Passed++
 		}
-		set = append(set, m)
-		return true
-	}
-
-	switch p.Access.Kind {
-	case IndexScan:
-		roots, ok := p.db.IndexLookup(p.Access.Root, p.Access.Attr, p.Access.Value)
-		if !ok {
-			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
+		if keep {
+			set = append(set, m)
 		}
-		prepared := dv.PrepareChecks(checks)
-		for _, r := range roots {
-			if rootFilter != nil && !rootFilter(r) {
-				if evalErr != nil {
-					return nil, evalErr
-				}
-				continue
-			}
-			p.Access.ActRoots++
-			m, ok, err := dv.DeriveForPrepared(r, prepared)
-			if err != nil {
-				return nil, err
-			}
-			if evalErr != nil {
-				return nil, evalErr
-			}
-			if ok && !keep(m) {
-				break
-			}
-		}
-	default:
-		// The root filter runs as a prune hook at the root position: it
-		// rejects the molecule before any link is traversed. ActRoots
-		// counts the roots that pass it and enter derivation proper.
-		// Once an evaluation error is pending, every remaining root is
-		// rejected here too, so the walk degrades to a cheap scan instead
-		// of deriving the rest of the occurrence.
-		rootPos, _ := p.desc.Pos(p.Access.Root)
-		rootChecks := append([]core.PruneCheck{{Pos: rootPos, Qualifies: func(atoms []model.AtomID) bool {
-			if evalErr != nil {
-				return false
-			}
-			if rootFilter != nil && !(len(atoms) == 1 && rootFilter(atoms[0])) {
-				return false
-			}
-			p.Access.ActRoots++
-			return true
-		}}}, checks...)
-		dv.WalkPruned(rootChecks, func(m *core.Molecule) bool {
-			return keep(m)
-		})
-	}
-	if evalErr != nil {
-		return nil, evalErr
 	}
 	p.Out = len(set)
 	p.Executed = true
@@ -578,12 +813,30 @@ func (p *Plan) Render() string {
 		fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots [%s]%s)\n",
 			p.Access.Root, p.Access.Attr, p.Access.Value,
 			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+	case InteriorIndex:
+		fmt.Fprintf(&b, "access:    [interior-index] entry at %s.%s = %s (est %s atoms [%s]%s)\n",
+			p.Access.EntryType, p.Access.Attr, p.Access.Value,
+			approx(p.Access.EstEntries), p.Access.EntrySource, p.actual(p.Access.ActEntries))
+		fmt.Fprintf(&b, "           recover roots upward %s (est %s roots [%s]%s)\n",
+			strings.Join(p.Access.UpPath, " ⇡ "),
+			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	default:
 		fmt.Fprintf(&b, "access:    full scan of %s (est %s roots [%s]%s)\n",
 			p.Access.Root, approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	}
 	if p.Access.Filter != nil {
 		fmt.Fprintf(&b, "           root filter %s before derivation\n", p.Access.Filter)
+	}
+	if len(p.Alternatives) > 1 {
+		parts := make([]string, 0, len(p.Alternatives))
+		for _, a := range p.Alternatives {
+			s := fmt.Sprintf("%s (cost %s)", a.Label, approx(int(a.Cost+0.5)))
+			if a.Chosen {
+				s += " ← chosen"
+			}
+			parts = append(parts, s)
+		}
+		fmt.Fprintf(&b, "considered: %s\n", strings.Join(parts, "; "))
 	}
 	fmt.Fprintf(&b, "derive:    structure template over the atom network%s\n", p.actual(p.Derived))
 	for _, pd := range p.Pushdowns {

@@ -397,6 +397,358 @@ func TestSameTypeConjunctsBothApply(t *testing.T) {
 	}
 }
 
+// assemblyDB builds the symmetric-access-path fixture: a three-level
+// asm → unit → part chain where part.serial is unique except for a few
+// flagged parts, so an index on it is genuinely selective while the root
+// type offers nothing to index.
+func assemblyDB(t *testing.T, assemblies int) (*storage.Database, *core.MoleculeType) {
+	t.Helper()
+	db := storage.NewDatabase()
+	for _, at := range []struct {
+		name  string
+		attrs []model.AttrDesc
+	}{
+		{"asm", []model.AttrDesc{{Name: "code", Kind: model.KString}}},
+		{"unit", []model.AttrDesc{{Name: "slot", Kind: model.KInt}}},
+		{"part", []model.AttrDesc{{Name: "serial", Kind: model.KString}}},
+	} {
+		if _, err := db.DefineAtomType(at.name, model.MustDesc(at.attrs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lt := range []struct{ name, a, b string }{
+		{"asm-unit", "asm", "unit"}, {"unit-part", "unit", "part"},
+	} {
+		if _, err := db.DefineLinkType(lt.name, model.LinkDesc{SideA: lt.a, SideB: lt.b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < assemblies; i++ {
+		aid, err := db.InsertAtom("asm", model.Str(fmt.Sprintf("A%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 3; u++ {
+			uid, err := db.InsertAtom("unit", model.Int(int64(u)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Connect("asm-unit", aid, uid); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 3; k++ {
+				serial := fmt.Sprintf("SN-%d-%d-%d", i, u, k)
+				if u == 0 && k == 0 && i%16 == 0 {
+					serial = "S-42"
+				}
+				pid, err := db.InsertAtom("part", model.Str(serial))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := db.Connect("unit-part", uid, pid); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	mt, err := core.Define(db, "assembly", []string{"asm", "unit", "part"},
+		[]core.DirectedLink{
+			{Link: "asm-unit", From: "asm", To: "unit"},
+			{Link: "unit-part", From: "unit", To: "part"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mt
+}
+
+// TestCompileChoosesInteriorIndex pins the tentpole behavior: with a
+// selective index on a mid-structure attribute and nothing to index at
+// the root, the planner enters the structure at the interior type, keeps
+// the entry conjunct as a pushdown hook, records the losing
+// alternatives, and the executed plan equals naive Σ on far less work.
+func TestCompileChoosesInteriorIndex(t *testing.T) {
+	db, mt := assemblyDB(t, 64)
+	if err := db.CreateIndex("part", "serial"); err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "serial"}, R: expr.Lit(model.Str("S-42"))}
+
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access.Kind != plan.InteriorIndex {
+		t.Fatalf("access = %+v, want interior-index entry\n%s", p.Access, p.Render())
+	}
+	if p.Access.EntryType != "part" || p.Access.Attr != "serial" {
+		t.Fatalf("entry = %s.%s, want part.serial", p.Access.EntryType, p.Access.Attr)
+	}
+	if len(p.Pushdowns) != 1 || p.Pushdowns[0].Type != "part" {
+		t.Fatalf("the entry conjunct must stay on as a pushdown hook: %+v", p.Pushdowns)
+	}
+	if len(p.Alternatives) < 2 {
+		t.Fatalf("alternatives = %+v, want at least full scan and interior-index", p.Alternatives)
+	}
+	chosen := 0
+	for _, a := range p.Alternatives {
+		if a.Chosen {
+			chosen++
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("exactly one alternative must be chosen: %+v", p.Alternatives)
+	}
+
+	db.Stats().Reset()
+	want := naiveRestrict(t, mt, pred)
+	naiveWork := db.Stats().Snapshot()
+	db.Stats().Reset()
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planWork := db.Stats().Snapshot()
+	if !sameSets(got, want) {
+		t.Fatalf("interior plan %d molecules, naive %d\n%s", len(got), len(want), p.Render())
+	}
+	if planWork.AtomsFetched >= naiveWork.AtomsFetched {
+		t.Fatalf("interior entry fetched %d atoms, root scan %d — no win",
+			planWork.AtomsFetched, naiveWork.AtomsFetched)
+	}
+	if p.Access.ActEntries == 0 || p.Access.ActRoots == 0 {
+		t.Fatalf("actuals not filled: %+v", p.Access)
+	}
+
+	out := p.Render()
+	for _, wantLine := range []string{"[interior-index]", "recover roots upward part ⇡ unit ⇡ asm", "considered:", "← chosen"} {
+		if !strings.Contains(out, wantLine) {
+			t.Fatalf("render missing %q:\n%s", wantLine, out)
+		}
+	}
+}
+
+// TestInteriorRootScanEquivalenceRandom is the satellite property: over
+// randomized structures and predicates that include an equality on an
+// indexed non-root type, the compiled plan — whichever entry point the
+// cost contest picks — returns exactly the molecule set of the root-scan
+// plan compiled before the index existed, and of naive Σ.
+func TestInteriorRootScanEquivalenceRandom(t *testing.T) {
+	kinds := make(map[plan.AccessKind]int)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(2)
+		db, types, edges, err := layeredDB(rng, depth, 4+rng.Intn(5))
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		mt, err := core.Define(db, "random", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		// The predicate always includes an equality on a non-root type
+		// (the interior entry candidate) plus random extra conjuncts.
+		interiorType := types[1+rng.Intn(len(types)-1)]
+		pred := expr.Expr(expr.Cmp{Op: expr.EQ,
+			L: expr.Attr{Type: interiorType, Name: "v"}, R: expr.Lit(model.Int(int64(rng.Intn(4))))})
+		if rng.Intn(2) == 0 {
+			pred = expr.And{L: pred, R: randomPredicate(rng, types)}
+		}
+		if err := expr.Check(pred, core.Scope{DB: db, Desc: mt.Desc()}); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+
+		// Root-scan plan: compiled while no index exists.
+		rootScan, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile root scan: %v", err)
+			return false
+		}
+		if rootScan.Access.Kind != plan.FullScan {
+			t.Logf("seed %d: pre-index plan is not a root scan", seed)
+			return false
+		}
+		if err := db.CreateIndex(interiorType, "v"); err != nil {
+			t.Logf("index: %v", err)
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			// Half the runs get histogram estimates for the contest.
+			if _, err := db.Analyze(interiorType); err != nil {
+				t.Logf("analyze: %v", err)
+				return false
+			}
+		}
+		contested, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile contested: %v", err)
+			return false
+		}
+		kinds[contested.Access.Kind]++
+
+		want := naiveRestrict(t, mt, pred)
+		gotScan, err := rootScan.Execute()
+		if err != nil {
+			t.Logf("execute root scan: %v", err)
+			return false
+		}
+		gotContested, err := contested.Execute()
+		if err != nil {
+			t.Logf("execute contested: %v", err)
+			return false
+		}
+		if !sameSets(gotScan, want) {
+			t.Logf("seed %d: root-scan plan %d molecules, naive %d", seed, len(gotScan), len(want))
+			return false
+		}
+		if !sameSets(gotContested, want) {
+			t.Logf("seed %d: contested plan (%v) %d molecules, naive %d (pred %s)\nplan:\n%s",
+				seed, contested.Access.Kind, len(gotContested), len(want), pred, contested.Render())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("access kinds exercised: %v", kinds)
+}
+
+// TestInteriorDiamondEquivalence drives the interior entry through a
+// multi-parent (diamond) structure, where upward recovery genuinely
+// over-approximates: the pushdown hook must discard the recovered roots
+// whose molecules exclude every matching seed.
+func TestInteriorDiamondEquivalence(t *testing.T) {
+	db := storage.NewDatabase()
+	vdesc := model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})
+	for _, tn := range []string{"r", "x", "y", "z"} {
+		if _, err := db.DefineAtomType(tn, vdesc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []struct{ name, a, b string }{
+		{"rx", "r", "x"}, {"ry", "r", "y"}, {"xz", "x", "z"}, {"yz", "y", "z"},
+	} {
+		if _, err := db.DefineLinkType(l.name, model.LinkDesc{SideA: l.a, SideB: l.b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	var rs, xs, ys, zs []model.AtomID
+	insert := func(tn string, out *[]model.AtomID) {
+		id, err := db.InsertAtom(tn, model.Int(int64(rng.Intn(6))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		*out = append(*out, id)
+	}
+	for i := 0; i < 24; i++ {
+		insert("r", &rs)
+		insert("x", &xs)
+		insert("y", &ys)
+		insert("z", &zs)
+	}
+	connect := func(link string, as, bs []model.AtomID, n int) {
+		for _, a := range as {
+			for k := 0; k < n; k++ {
+				if err := db.Connect(link, a, bs[rng.Intn(len(bs))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	connect("rx", rs, xs, 2)
+	connect("ry", rs, ys, 2)
+	connect("xz", xs, zs, 2)
+	connect("yz", ys, zs, 2)
+	if err := db.CreateIndex("z", "v"); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "diamond", []string{"r", "x", "y", "z"},
+		[]core.DirectedLink{
+			{Link: "rx", From: "r", To: "x"},
+			{Link: "ry", From: "r", To: "y"},
+			{Link: "xz", From: "x", To: "z"},
+			{Link: "yz", From: "y", To: "z"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 6; v++ {
+		pred := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "z", Name: "v"}, R: expr.Lit(model.Int(v))}
+		p, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveRestrict(t, mt, pred)
+		if !sameSets(got, want) {
+			t.Fatalf("v=%d: plan (%v access) %d molecules, naive %d\n%s",
+				v, p.Access.Kind, len(got), len(want), p.Render())
+		}
+	}
+}
+
+// TestExecuteParallelMatchesSequential drives plan.Execute through the
+// worker pool (Workers > 1 over a root batch large enough to fan out)
+// and checks result set, order and every EXPLAIN actual against the
+// forced-sequential execution of the same plan.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	db, mt := assemblyDB(t, 200)
+	// A pushdown conjunct that cuts most molecules plus a residual that
+	// thins the rest, so all actuals are exercised.
+	pred := expr.And{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "serial"}, R: expr.Lit(model.Str("S-42"))},
+		R: expr.Cmp{Op: expr.GE, L: expr.CountOf{Type: "unit"}, R: expr.Lit(model.Int(1))},
+	}
+	seq, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Workers = 1
+	wantSet, err := seq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Workers = 4
+	gotSet, err := par.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSet) != len(wantSet) {
+		t.Fatalf("parallel %d molecules, sequential %d", len(gotSet), len(wantSet))
+	}
+	for i := range gotSet {
+		if !gotSet[i].Equal(wantSet[i]) {
+			t.Fatalf("molecule %d differs between parallel and sequential execution (order must match)", i)
+		}
+	}
+	if par.Access.ActRoots != seq.Access.ActRoots || par.Derived != seq.Derived || par.Out != seq.Out {
+		t.Fatalf("actuals differ: parallel roots/derived/out %d/%d/%d, sequential %d/%d/%d",
+			par.Access.ActRoots, par.Derived, par.Out, seq.Access.ActRoots, seq.Derived, seq.Out)
+	}
+	for i := range par.Pushdowns {
+		if par.Pushdowns[i].Cut != seq.Pushdowns[i].Cut {
+			t.Fatalf("pushdown %d cut %d parallel vs %d sequential", i, par.Pushdowns[i].Cut, seq.Pushdowns[i].Cut)
+		}
+	}
+	for i := range par.Residuals {
+		if par.Residuals[i].Evals != seq.Residuals[i].Evals || par.Residuals[i].Passed != seq.Residuals[i].Passed {
+			t.Fatalf("residual %d actuals differ", i)
+		}
+	}
+}
+
 func TestRenderShowsCardinalities(t *testing.T) {
 	db, mt := fixture(t)
 	if err := db.CreateIndex("t0", "v"); err != nil {

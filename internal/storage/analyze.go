@@ -53,32 +53,115 @@ func (db *Database) Analyze(typeNames ...string) (int, error) {
 	}
 	built := 0
 	for i, name := range typeNames {
-		c := containers[i]
-		desc := c.Desc()
-		// One pass over the occurrence gathers every attribute column.
-		cols := make([][]model.Value, desc.Len())
-		for pos := range cols {
-			cols[pos] = make([]model.Value, 0, c.Len())
-		}
-		c.Scan(func(a model.Atom) bool {
-			for pos := range cols {
-				cols[pos] = append(cols[pos], a.Get(pos))
-			}
-			return true
-		})
-		for pos, vals := range cols {
-			attr := desc.Attr(pos).Name
-			db.hists[indexKey(name, attr)] = &attrHist{
-				typeName: name,
-				attr:     attr,
-				pos:      pos,
-				h:        stats.Build(vals, stats.DefaultBuckets),
-			}
-			built++
-		}
+		built += db.analyzeLocked(name, containers[i])
 	}
 	db.bumpPlanEpoch()
 	return built, nil
+}
+
+// analyzeLocked rebuilds the histograms of one atom type; callers hold
+// db.mu and bump the plan epoch themselves.
+func (db *Database) analyzeLocked(name string, c *Container) int {
+	desc := c.Desc()
+	// One pass over the occurrence gathers every attribute column.
+	cols := make([][]model.Value, desc.Len())
+	for pos := range cols {
+		cols[pos] = make([]model.Value, 0, c.Len())
+	}
+	c.Scan(func(a model.Atom) bool {
+		for pos := range cols {
+			cols[pos] = append(cols[pos], a.Get(pos))
+		}
+		return true
+	})
+	built := 0
+	for pos, vals := range cols {
+		attr := desc.Attr(pos).Name
+		db.hists[indexKey(name, attr)] = &attrHist{
+			typeName: name,
+			attr:     attr,
+			pos:      pos,
+			h:        stats.Build(vals, stats.DefaultBuckets),
+		}
+		built++
+	}
+	return built
+}
+
+// DefaultAutoAnalyzeFraction is the drift threshold installed on new
+// databases: a type's histograms rebuild once any of them has absorbed
+// incremental mutations exceeding this fraction of the values it
+// accounts for.
+const DefaultAutoAnalyzeFraction = 0.2
+
+// autoAnalyzeMinDrift keeps tiny occurrences from rebuilding on every
+// mutation: auto-ANALYZE never fires below this absolute drift.
+const autoAnalyzeMinDrift = 8
+
+// SetAutoAnalyze configures the drift fraction that triggers an automatic
+// histogram rebuild after a mutation; frac <= 0 disables auto-ANALYZE
+// entirely (statistics then only change under a manual Analyze).
+func (db *Database) SetAutoAnalyze(frac float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.autoAnalyzeFrac = frac
+}
+
+// maybeAutoAnalyze rebuilds the named type's histograms when any of them
+// has drifted past the configured fraction of its occurrence, bumping the
+// plan epoch so stale plans recompile against the fresh statistics —
+// ANALYZE-on-drift instead of ANALYZE-on-request. Callers hold db.mu and
+// have already routed the triggering mutation into the histograms.
+func (db *Database) maybeAutoAnalyze(typeName string) {
+	if db.autoAnalyzeFrac <= 0 {
+		return
+	}
+	trigger := false
+	for _, ah := range db.histsOf(typeName) {
+		drift := ah.h.Drift()
+		if drift < autoAnalyzeMinDrift {
+			continue
+		}
+		occ := ah.h.Total() + ah.h.Nulls()
+		if float64(drift) > db.autoAnalyzeFrac*float64(occ) {
+			trigger = true
+			break
+		}
+	}
+	if !trigger {
+		return
+	}
+	c, ok := db.containerByName(typeName)
+	if !ok {
+		return
+	}
+	db.analyzeLocked(typeName, c)
+	db.bumpPlanEpoch()
+	db.stats.AutoAnalyzes.Add(1)
+}
+
+// maybeLinkEpochBump bumps the plan epoch once a link occurrence has
+// drifted past the auto-analyze fraction since the last bump it caused:
+// the planner costs traversals (derivation work, interior-index climbs)
+// from the store's fan statistics, so link churn goes stale the same way
+// value drift does for histograms. Sharing the auto-analyze fraction
+// keeps one staleness policy; frac <= 0 disables this too. Callers hold
+// db.mu.
+func (db *Database) maybeLinkEpochBump(ls *LinkStore) {
+	if db.autoAnalyzeFrac <= 0 {
+		return
+	}
+	drift := ls.count - ls.epochBase
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift < autoAnalyzeMinDrift {
+		return
+	}
+	if float64(drift) > db.autoAnalyzeFrac*float64(ls.epochBase) {
+		ls.epochBase = ls.count
+		db.bumpPlanEpoch()
+	}
 }
 
 // Histogram returns the histogram over typeName.attr built by the most

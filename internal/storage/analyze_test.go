@@ -98,6 +98,131 @@ func TestAnalyzeIncrementalMaintenance(t *testing.T) {
 	}
 }
 
+// TestAutoAnalyzeOnDrift checks ANALYZE-on-drift: once incremental
+// mutations exceed the configured fraction of an occurrence, the type's
+// histograms rebuild on their own and the plan epoch bumps; below the
+// threshold (or with the feature disabled) nothing happens.
+func TestAutoAnalyzeOnDrift(t *testing.T) {
+	db := analyzeFixture(t) // 100 atoms
+	if _, err := db.Analyze("part"); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := db.Histogram("part", "size")
+	epoch := db.PlanEpoch()
+
+	// A few mutations stay under the default 20% threshold: the drift
+	// accumulates, the epoch holds, cached plans stay valid.
+	for i := 0; i < 10; i++ {
+		if _, err := db.InsertAtom("part", model.Str("new"), model.Int(99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.PlanEpoch() != epoch {
+		t.Fatal("sub-threshold drift must not bump the plan epoch")
+	}
+	if h.Drift() != 10 {
+		t.Fatalf("drift = %d, want 10", h.Drift())
+	}
+
+	// Crossing the threshold rebuilds: fresh histograms (drift resets),
+	// a bumped epoch, and the rebuild shows up in the stats block.
+	before := db.Stats().Snapshot()
+	for i := 0; i < 30; i++ {
+		if _, err := db.InsertAtom("part", model.Str("new"), model.Int(99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, _ := db.Histogram("part", "size")
+	if h2.Drift() >= 30 {
+		t.Fatalf("drift = %d after crossing the threshold, want a rebuilt histogram", h2.Drift())
+	}
+	if db.PlanEpoch() == epoch {
+		t.Fatal("auto-ANALYZE must bump the plan epoch")
+	}
+	if db.Stats().Snapshot().AutoAnalyzes <= before.AutoAnalyzes {
+		t.Fatal("auto-ANALYZE must be counted in the stats block")
+	}
+	// The rebuilt histogram sees the inserted skew directly.
+	if est := h2.EstimateEq(model.Int(99)); est < 20 {
+		t.Fatalf("rebuilt histogram estimates %d atoms at size=99, want ≈40", est)
+	}
+
+	// Disabled: drift accumulates without bound and the epoch holds.
+	db.SetAutoAnalyze(0)
+	epoch = db.PlanEpoch()
+	h3, _ := db.Histogram("part", "size")
+	d0 := h3.Drift()
+	for i := 0; i < 200; i++ {
+		if _, err := db.InsertAtom("part", model.Str("more"), model.Int(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.PlanEpoch() != epoch {
+		t.Fatal("disabled auto-ANALYZE must never bump the plan epoch")
+	}
+	if h3.Drift() != d0+200 {
+		t.Fatalf("disabled auto-ANALYZE must leave drift accumulating (drift = %d, want %d)", h3.Drift(), d0+200)
+	}
+}
+
+// TestLinkDriftBumpsPlanEpoch checks the staleness policy for link fan
+// statistics: plans cost traversals from the link stores, so enough link
+// churn must invalidate cached plans even though no histogram moved.
+func TestLinkDriftBumpsPlanEpoch(t *testing.T) {
+	db := storage.NewDatabase()
+	desc := model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})
+	for _, tn := range []string{"a", "b"} {
+		if _, err := db.DefineAtomType(tn, desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.DefineLinkType("ab", model.LinkDesc{SideA: "a", SideB: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	var as, bs []model.AtomID
+	for i := 0; i < 40; i++ {
+		ai, err := db.InsertAtom("a", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := db.InsertAtom("b", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, bs = append(as, ai), append(bs, bi)
+	}
+	epoch := db.PlanEpoch()
+	// A handful of links stay under the drift floor.
+	for i := 0; i < 4; i++ {
+		if err := db.Connect("ab", as[i], bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.PlanEpoch() != epoch {
+		t.Fatal("sub-threshold link churn must not bump the plan epoch")
+	}
+	// Sustained churn crosses it.
+	for i := 4; i < 40; i++ {
+		if err := db.Connect("ab", as[i], bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.PlanEpoch() == epoch {
+		t.Fatal("link drift must bump the plan epoch (fan statistics went stale)")
+	}
+	// Disabled along with auto-ANALYZE: no further bumps.
+	db.SetAutoAnalyze(0)
+	epoch = db.PlanEpoch()
+	for i := 0; i < 40; i++ {
+		if err := db.Connect("ab", as[i], bs[(i+1)%40]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.PlanEpoch() != epoch {
+		t.Fatal("disabled drift policy must never bump the plan epoch")
+	}
+}
+
 func TestPlanEpochBumps(t *testing.T) {
 	db := analyzeFixture(t)
 	e0 := db.PlanEpoch()

@@ -24,16 +24,20 @@ type Database struct {
 	hists      map[string]*attrHist
 	stats      Stats
 	planEpoch  atomic.Uint64
+	// autoAnalyzeFrac triggers a histogram rebuild once incremental drift
+	// exceeds this fraction of an occurrence; <= 0 disables it.
+	autoAnalyzeFrac float64
 }
 
 // NewDatabase returns an empty database with an empty schema.
 func NewDatabase() *Database {
 	return &Database{
-		schema:     catalog.NewSchema(),
-		containers: make(map[string]*Container),
-		links:      make(map[string]*LinkStore),
-		indexes:    make(map[string]*Index),
-		hists:      make(map[string]*attrHist),
+		schema:          catalog.NewSchema(),
+		containers:      make(map[string]*Container),
+		links:           make(map[string]*LinkStore),
+		indexes:         make(map[string]*Index),
+		hists:           make(map[string]*attrHist),
+		autoAnalyzeFrac: DefaultAutoAnalyzeFraction,
 	}
 }
 
@@ -116,6 +120,7 @@ func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.Atom
 		ix.Add(a)
 	}
 	db.histInsert(typeName, a)
+	db.maybeAutoAnalyze(typeName)
 	return id, nil
 }
 
@@ -137,6 +142,7 @@ func (db *Database) AdoptAtom(typeName string, a model.Atom) error {
 		ix.Add(stored)
 	}
 	db.histInsert(typeName, stored)
+	db.maybeAutoAnalyze(typeName)
 	return nil
 }
 
@@ -207,6 +213,7 @@ func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Va
 	}
 	db.histDelete(typeName, old)
 	db.histInsert(typeName, updated)
+	db.maybeAutoAnalyze(typeName)
 	return nil
 }
 
@@ -231,12 +238,16 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	dropped := 0
 	for _, lt := range db.schema.LinkTypesOf(typeName) {
 		if ls, ok := db.links[lt.Name]; ok {
-			dropped += ls.DropAtom(id)
+			if n := ls.DropAtom(id); n > 0 {
+				dropped += n
+				db.maybeLinkEpochBump(ls)
+			}
 		}
 	}
 	c.Delete(id)
 	db.stats.AtomsDeleted.Add(1)
 	db.stats.LinksDropped.Add(int64(dropped))
+	db.maybeAutoAnalyze(typeName)
 	return dropped, nil
 }
 
@@ -262,6 +273,7 @@ func (db *Database) Connect(linkName string, a, b model.AtomID) error {
 		return err
 	}
 	db.stats.LinksConnected.Add(1)
+	db.maybeLinkEpochBump(ls)
 	return nil
 }
 
@@ -276,6 +288,7 @@ func (db *Database) Disconnect(linkName string, a, b model.AtomID) (bool, error)
 	removed := ls.Disconnect(a, b)
 	if removed {
 		db.stats.LinksDropped.Add(1)
+		db.maybeLinkEpochBump(ls)
 	}
 	return removed, nil
 }

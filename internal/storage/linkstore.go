@@ -24,6 +24,11 @@ type LinkStore struct {
 	fromA map[model.AtomID][]model.AtomID // side-A atom → side-B partners
 	fromB map[model.AtomID][]model.AtomID // side-B atom → side-A partners
 	count int
+	// epochBase is the occurrence size at the last plan-epoch bump this
+	// store caused; the database compares count against it to decide when
+	// link churn has drifted far enough to invalidate cached plans (plans
+	// cost traversals from the store's fan statistics).
+	epochBase int
 }
 
 // NewLinkStore creates an empty occurrence for the given link type.
@@ -135,6 +140,30 @@ func (ls *LinkStore) Degree(id model.AtomID, sideA bool) int {
 		return len(ls.fromA[id])
 	}
 	return len(ls.fromB[id])
+}
+
+// SideAtoms returns the number of distinct atoms with at least one
+// partner on the given side — the denominator of the per-step fan-out
+// statistic the planner uses to cost traversals in either direction.
+func (ls *LinkStore) SideAtoms(sideA bool) int {
+	if sideA {
+		return len(ls.fromA)
+	}
+	return len(ls.fromB)
+}
+
+// AvgFan returns the average number of partners an atom on the given side
+// reaches in one traversal step (occurrence size over distinct linked
+// atoms on that side). Links are symmetric, so the statistic exists for
+// both directions; the planner reads the child side's fan to cost the
+// upward climb of an interior-index access path. Zero when the side has
+// no linked atoms.
+func (ls *LinkStore) AvgFan(fromSideA bool) float64 {
+	n := ls.SideAtoms(fromSideA)
+	if n == 0 {
+		return 0
+	}
+	return float64(ls.count) / float64(n)
 }
 
 // DropAtom removes every link incident to the atom on either side and

@@ -25,6 +25,7 @@ type Stats struct {
 	LinksConnected counter
 	LinksDropped   counter
 	IndexLookups   counter
+	AutoAnalyzes   counter // histogram rebuilds triggered by drift
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -36,6 +37,7 @@ type StatsSnapshot struct {
 	LinksConnected int64
 	LinksDropped   int64
 	IndexLookups   int64
+	AutoAnalyzes   int64
 }
 
 // Snapshot copies the current counter values.
@@ -48,6 +50,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		LinksConnected: s.LinksConnected.Load(),
 		LinksDropped:   s.LinksDropped.Load(),
 		IndexLookups:   s.IndexLookups.Load(),
+		AutoAnalyzes:   s.AutoAnalyzes.Load(),
 	}
 }
 
@@ -60,6 +63,7 @@ func (s *Stats) Reset() {
 	s.LinksConnected.Store(0)
 	s.LinksDropped.Store(0)
 	s.IndexLookups.Store(0)
+	s.AutoAnalyzes.Store(0)
 }
 
 // Sub returns the per-field difference s - o, for before/after accounting.
@@ -72,12 +76,13 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 		LinksConnected: s.LinksConnected - o.LinksConnected,
 		LinksDropped:   s.LinksDropped - o.LinksDropped,
 		IndexLookups:   s.IndexLookups - o.IndexLookups,
+		AutoAnalyzes:   s.AutoAnalyzes - o.AutoAnalyzes,
 	}
 }
 
 // String renders the snapshot compactly.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("fetched=%d traversed=%d inserted=%d deleted=%d connected=%d dropped=%d indexed=%d",
+	return fmt.Sprintf("fetched=%d traversed=%d inserted=%d deleted=%d connected=%d dropped=%d indexed=%d autoanalyzed=%d",
 		s.AtomsFetched, s.LinksTraversed, s.AtomsInserted, s.AtomsDeleted,
-		s.LinksConnected, s.LinksDropped, s.IndexLookups)
+		s.LinksConnected, s.LinksDropped, s.IndexLookups, s.AutoAnalyzes)
 }

@@ -107,10 +107,14 @@ type (
 	Engine = prima.Engine
 	// Expr is a qualification-formula node (restriction predicates).
 	Expr = expr.Expr
-	// Plan is a compiled query plan: root access path, derivation with
-	// per-atom-type predicate pushdown, cost-ordered residual
-	// restriction.
+	// Plan is a compiled query plan: access path (root scan, root index
+	// or interior-index entry climbed upward through the symmetric
+	// links), derivation with per-atom-type predicate pushdown fanned
+	// over the worker pool, cost-ordered residual restriction.
 	Plan = plan.Plan
+	// PlanAlternative is one access path the planner considered, with
+	// its estimated cost — the EXPLAIN "considered" provenance.
+	PlanAlternative = plan.Alternative
 	// PlanCache memoizes compiled plans per database, invalidated by DDL
 	// and ANALYZE through the plan epoch.
 	PlanCache = plan.Cache
@@ -168,10 +172,13 @@ func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*Mol
 }
 
 // CompilePlan compiles a plan for deriving desc under pred (nil = no
-// restriction): access path chosen from histogram statistics (falling
-// back to index cardinalities), pushdown conjuncts cut subtrees during
-// derivation, the residual conjuncts run per molecule in selectivity ×
-// cost order. Execute it for the qualifying set; Render it for EXPLAIN.
+// restriction): the access path is chosen by costing every entry point —
+// root scan, root index, or an interior-index entry that climbs the
+// symmetric links upward from a selective mid-structure match — against
+// histogram statistics (falling back to index cardinalities and link
+// fan-outs); pushdown conjuncts cut subtrees during derivation, and the
+// residual conjuncts run per molecule in selectivity × cost order.
+// Execute it for the qualifying set; Render it for EXPLAIN.
 func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 	return plan.Compile(db, desc, pred)
 }
@@ -179,8 +186,14 @@ func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 // PlanCacheFor returns the plan cache shared by every session over db.
 // Cache.Compile memoizes compilations until DDL, index changes or
 // Analyze invalidate them (the MQL session layer goes through it
-// automatically).
+// automatically). Entries evict least-recently-used first.
 func PlanCacheFor(db *Database) *PlanCache { return plan.CacheFor(db) }
+
+// ReleasePlanCache drops the database's plan cache from the process-wide
+// registry. Call it when a database goes out of use — the registry
+// otherwise pins the cache (and through it the database) for the life of
+// the process.
+func ReleasePlanCache(db *Database) { plan.Release(db) }
 
 // Analyze builds equi-depth histograms over every attribute of the named
 // atom types (all types when none are given) — the MQL ANALYZE
