@@ -400,6 +400,53 @@ func BenchmarkP8PlannerPushdown(b *testing.B) {
 	}
 }
 
+// BenchmarkP11FusedPipeline measures the fused derive+residual pipeline
+// against PR 3's derive-then-filter execution on a residual-heavy
+// workload: five molecule-level conjuncts that cannot push below
+// derivation, so the residual chain dominates. The barrier variant
+// parallelizes derivation but runs the whole chain on one goroutine; the
+// fused variant runs the chain on the worker that derived the molecule.
+// The gap widens with worker count (the barrier serializes the dominant
+// stage) and the fused variant also allocates less per molecule
+// (recycled rejects, reused scratch) — compare with -benchmem.
+func BenchmarkP11FusedPipeline(b *testing.B) {
+	db, mt, err := experiments.BuildAssembly(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Release(db)
+	pred := experiments.ResidualHeavyPred()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("barrier/workers=%d", workers), func(b *testing.B) {
+			p, err := plan.Compile(db, mt.Desc(), pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ExecuteBarrier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fused/workers=%d", workers), func(b *testing.B) {
+			plan.FeedbackFor(db).Reset()
+			p, err := plan.Compile(db, mt.Desc(), pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size
 // database.
 func BenchmarkCodecRoundTrip(b *testing.B) {

@@ -55,17 +55,61 @@ func NewDeriver(db *storage.Database, desc *Desc) (*Deriver, error) {
 }
 
 // partners returns the children of atom a along edge ei, honouring the
-// edge's traversal orientation, and accounts the logical work.
-func (dv *Deriver) partners(ei int, a model.AtomID) []model.AtomID {
+// edge's traversal orientation, and accounts the logical work: into the
+// scratch tally when sc is non-nil (flushed to the shared stats once per
+// batch), directly into the shared atomic counters otherwise.
+func (dv *Deriver) partners(ei int, a model.AtomID, sc *deriveScratch) []model.AtomID {
 	var out []model.AtomID
 	if dv.fromA[ei] {
 		out = dv.stores[ei].PartnersFromA(a)
 	} else {
 		out = dv.stores[ei].PartnersFromB(a)
 	}
-	dv.db.Stats().LinksTraversed.Add(int64(len(out)) + 1)
+	if sc != nil {
+		sc.work.LinksTraversed += int64(len(out)) + 1
+	} else {
+		dv.db.Stats().LinksTraversed.Add(int64(len(out)) + 1)
+	}
 	return out
 }
+
+// deriveScratch is per-worker scratch for derivation-heavy loops: a free
+// list of recycled molecules (pruned or rejected ones never escape the
+// worker, so their slices and maps are reusable), reusable candidate
+// sets for the per-type intersection, and a local work tally flushed to
+// the shared stats once per batch — the derive hot path then performs no
+// atomic operation per atom or link.
+type deriveScratch struct {
+	free []*Molecule
+	cand map[model.AtomID]bool
+	tmp  map[model.AtomID]bool
+	work storage.WorkTally
+}
+
+func newDeriveScratch() *deriveScratch {
+	return &deriveScratch{
+		cand: make(map[model.AtomID]bool),
+		tmp:  make(map[model.AtomID]bool),
+	}
+}
+
+// take returns a molecule for the root, recycling a retired one when
+// available.
+func (sc *deriveScratch) take(d *Desc, root model.AtomID) *Molecule {
+	if n := len(sc.free); n > 0 {
+		m := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		m.reset(d, root)
+		return m
+	}
+	return newMolecule(d, root)
+}
+
+// recycle retires a molecule that never left the worker.
+func (sc *deriveScratch) recycle(m *Molecule) { sc.free = append(sc.free, m) }
+
+// flush folds the scratch tally into the shared statistics.
+func (sc *deriveScratch) flush(db *storage.Database) { sc.work.FlushTo(db.Stats()) }
 
 // PruneCheck is a derivation-time pushdown hook: once the component set
 // of the atom type at position Pos is complete (derivation fills types in
@@ -145,12 +189,33 @@ func (dv *Deriver) derive(root model.AtomID) *Molecule {
 // derivePruned runs the template below one root atom, aborting as soon as
 // a prune hook disqualifies the molecule. It returns nil when pruned.
 func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecule {
+	return dv.deriveScratched(root, byPos, nil)
+}
+
+// deriveScratched is derivePruned with optional per-worker scratch: with
+// sc non-nil, pruned molecules are recycled, the candidate sets are
+// reused across types and roots, and the logical-work accounting stays in
+// the scratch tally instead of hitting the shared atomic counters per
+// atom. A nil sc reproduces the plain allocation behaviour.
+func (dv *Deriver) deriveScratched(root model.AtomID, byPos PreparedChecks, sc *deriveScratch) *Molecule {
 	d := dv.desc
-	m := newMolecule(d, root)
+	var m *Molecule
+	if sc != nil {
+		m = sc.take(d, root)
+	} else {
+		m = newMolecule(d, root)
+	}
 	rootPos, _ := d.Pos(d.Root())
 	m.addAtom(rootPos, root)
-	dv.db.Stats().AtomsFetched.Add(1)
+	if sc != nil {
+		sc.work.AtomsFetched++
+	} else {
+		dv.db.Stats().AtomsFetched.Add(1)
+	}
 	if byPos != nil && byPos[rootPos] != nil && !byPos[rootPos](m.atoms[rootPos]) {
+		if sc != nil {
+			sc.recycle(m)
+		}
 		return nil
 	}
 
@@ -167,9 +232,19 @@ func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecu
 		for k, ei := range inc {
 			e := d.Edge(ei)
 			fromPos, _ := d.Pos(e.From)
-			s := make(map[model.AtomID]bool)
+			var s map[model.AtomID]bool
+			switch {
+			case sc != nil && k == 0:
+				clear(sc.cand)
+				s = sc.cand
+			case sc != nil:
+				clear(sc.tmp)
+				s = sc.tmp
+			default:
+				s = make(map[model.AtomID]bool)
+			}
 			for _, pa := range m.atoms[fromPos] {
-				for _, p := range dv.partners(ei, pa) {
+				for _, p := range dv.partners(ei, pa, sc) {
 					s[p] = true
 				}
 			}
@@ -191,7 +266,7 @@ func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecu
 			e := d.Edge(ei)
 			fromPos, _ := d.Pos(e.From)
 			for _, pa := range m.atoms[fromPos] {
-				for _, p := range dv.partners(ei, pa) {
+				for _, p := range dv.partners(ei, pa, sc) {
 					if !cand[p] {
 						continue
 					}
@@ -200,8 +275,15 @@ func (dv *Deriver) derivePruned(root model.AtomID, byPos PreparedChecks) *Molecu
 				}
 			}
 		}
-		dv.db.Stats().AtomsFetched.Add(int64(len(m.atoms[pos])))
+		if sc != nil {
+			sc.work.AtomsFetched += int64(len(m.atoms[pos]))
+		} else {
+			dv.db.Stats().AtomsFetched.Add(int64(len(m.atoms[pos])))
+		}
 		if byPos != nil && byPos[pos] != nil && !byPos[pos](m.atoms[pos]) {
+			if sc != nil {
+				sc.recycle(m)
+			}
 			return nil
 		}
 	}

@@ -43,6 +43,23 @@ func newMolecule(d *Desc, root model.AtomID) *Molecule {
 	return m
 }
 
+// reset re-initializes a recycled molecule for a new root of the same
+// description, keeping the allocated atom/link slices and member maps.
+// Only molecules that never left the deriver (pruned mid-derivation, or
+// rejected by a fused filter sink) may be recycled — a molecule handed to
+// a caller is referenced by the result set and must stay immutable.
+func (m *Molecule) reset(d *Desc, root model.AtomID) {
+	m.desc = d
+	m.root = root
+	for i := range m.atoms {
+		m.atoms[i] = m.atoms[i][:0]
+		clear(m.member[i])
+	}
+	for e := range m.links {
+		m.links[e] = m.links[e][:0]
+	}
+}
+
 // addAtom records a component atom under the type at position pos.
 func (m *Molecule) addAtom(pos int, id model.AtomID) {
 	if m.member[pos][id] {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mad/internal/model"
+	"mad/internal/storage"
 )
 
 // DeriveParallel materializes the molecule-type occurrence using the given
@@ -130,6 +131,94 @@ func (dv *Deriver) DeriveRootsPrunedParallel(roots []model.AtomID, pc PreparedCh
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// FusedWorker is one worker's harness for a fused derive+filter batch.
+// Checks are the worker-private prune hooks — their Qualifies closures
+// may keep worker-local accumulators (cut counts) without any
+// synchronization, because exactly one worker runs them. Keep is the
+// filter sink, run on the worker goroutine immediately after a molecule
+// survives every hook: returning false drops the molecule from the
+// result (it is recycled into the worker's scratch, so rejected
+// molecules never cross a goroutine boundary and cost no allocation on
+// the next derivation).
+type FusedWorker struct {
+	Checks PreparedChecks
+	Keep   func(m *Molecule) bool
+}
+
+// DeriveRootsFusedParallel fuses derivation and filtering: each worker
+// derives a molecule and immediately runs its filter sink on it in one
+// pass, with no barrier between the two stages. newWorker is called on
+// the coordinating goroutine, once per worker actually spawned (ids
+// 0..n-1), so callers can set up per-worker accumulators lock-free and
+// merge them after the call returns — the planner keeps its EXPLAIN
+// actuals exact and race-free exactly this way.
+//
+// The result is aligned with roots: entry i is nil when a hook cut the
+// molecule at roots[i] or the sink rejected it, so callers can compact
+// while preserving root order (the output stays deterministic for any
+// worker count). The returned tally is the batch's derivation work —
+// atoms fetched and links traversed — also already folded into the
+// database's shared statistics.
+func (dv *Deriver) DeriveRootsFusedParallel(roots []model.AtomID, workers int, newWorker func(w int) FusedWorker) (MoleculeSet, storage.WorkTally, error) {
+	var work storage.WorkTally
+	for _, r := range roots {
+		if !dv.roots.Has(r) {
+			return nil, work, errNotRoot(dv, r)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(MoleculeSet, len(roots))
+	runWorker := func(fw FusedWorker, sc *deriveScratch, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := dv.deriveScratched(roots[i], fw.Checks, sc)
+			if m == nil {
+				continue
+			}
+			if fw.Keep != nil && !fw.Keep(m) {
+				sc.recycle(m)
+				continue
+			}
+			out[i] = m
+		}
+	}
+	if workers == 1 || len(roots) < 2*workers {
+		sc := newDeriveScratch()
+		runWorker(newWorker(0), sc, 0, len(roots))
+		work = sc.work
+		sc.flush(dv.db)
+		return out, work, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(roots) + workers - 1) / workers
+	tallies := make([]storage.WorkTally, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(roots) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		fw := newWorker(w)
+		wg.Add(1)
+		go func(w int, fw FusedWorker, lo, hi int) {
+			defer wg.Done()
+			sc := newDeriveScratch()
+			runWorker(fw, sc, lo, hi)
+			tallies[w] = sc.work
+			sc.flush(dv.db)
+		}(w, fw, lo, hi)
+	}
+	wg.Wait()
+	for _, t := range tallies {
+		work.Add(t)
+	}
+	return out, work, nil
 }
 
 func errNotRoot(dv *Deriver, r model.AtomID) error {

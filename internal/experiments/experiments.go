@@ -45,6 +45,7 @@ func All() []Experiment {
 		{ID: "P8", Title: "predicate pushdown: naive Σ vs planned derivation", Run: RunP8},
 		{ID: "P9", Title: "histogram statistics: skew-proof access paths, plan caching", Run: RunP9},
 		{ID: "P10", Title: "symmetric access paths: interior-index entry vs root scan", Run: RunP10},
+		{ID: "P11", Title: "fused derive+residual pipeline, feedback-calibrated costs", Run: RunP11},
 	}
 }
 

@@ -29,6 +29,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"P8":  {"naive Σ", "planned", "pushdown", "index lookup"},
 		"P9":  {"uniform", "histogram", "plan cache", "ANALYZE"},
 		"P10": {"root scan + pushdown", "interior-index entry", "[interior-index]", "recover roots upward"},
+		"P11": {"barrier (derive→filter)", "fused (derive+filter)", "feedback loop", "[observed]", "conjunct evaluations"},
 	}
 	for _, e := range experiments.All() {
 		e := e
@@ -57,7 +58,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := experiments.Lookup("ZZ"); ok {
 		t.Fatal("ZZ must not exist")
 	}
-	if len(experiments.All()) != 17 {
-		t.Fatalf("experiment count = %d, want 17", len(experiments.All()))
+	if len(experiments.All()) != 18 {
+		t.Fatalf("experiment count = %d, want 18", len(experiments.All()))
 	}
 }

@@ -669,6 +669,8 @@ func (s *Session) execShow(st *ShowStmt) (*Result, error) {
 	case "STATS":
 		b.WriteString(s.db.Stats().Snapshot().String())
 		b.WriteByte('\n')
+	case "FEEDBACK":
+		b.WriteString(plan.FeedbackFor(s.db).Render())
 	}
 	return &Result{Kind: RMessage, Message: b.String()}, nil
 }

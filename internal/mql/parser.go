@@ -784,7 +784,8 @@ func (p *Parser) connectStmt() (Stmt, error) {
 	return st, nil
 }
 
-// showStmt parses SHOW SCHEMA|TYPES|MOLECULE TYPES|INDEXES|STATS.
+// showStmt parses SHOW SCHEMA|TYPES|MOLECULE TYPES|INDEXES|STATS|
+// HISTOGRAMS|FEEDBACK.
 func (p *Parser) showStmt() (Stmt, error) {
 	if err := p.expect(TKeyword, "SHOW"); err != nil {
 		return nil, err
@@ -795,7 +796,7 @@ func (p *Parser) showStmt() (Stmt, error) {
 	}
 	p.pos++
 	switch t.Text {
-	case "SCHEMA", "TYPES", "INDEXES", "STATS", "HISTOGRAMS":
+	case "SCHEMA", "TYPES", "INDEXES", "STATS", "HISTOGRAMS", "FEEDBACK":
 		return &ShowStmt{What: t.Text}, nil
 	case "MOLECULE", "MOLECULES":
 		p.accept(TKeyword, "TYPES")

@@ -1,0 +1,29 @@
+package mql_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestPrintFeedbackTranscript prints the README feedback transcript when
+// MAD_TRANSCRIPT=1 — a doc-generation hook, not an assertion.
+func TestPrintFeedbackTranscript(t *testing.T) {
+	if os.Getenv("MAD_TRANSCRIPT") == "" {
+		t.Skip("set MAD_TRANSCRIPT=1 to print")
+	}
+	sess, _ := session(t)
+	q := "EXPLAIN SELECT ALL FROM state-area-edge-point WHERE COUNT(point) >= COUNT(edge) AND (point.name = 'pn' OR COUNT(point) < 0);"
+	for i := 1; i <= 2; i++ {
+		r, err := sess.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("=== EXPLAIN #%d ===\n%s\n", i, r.Message)
+	}
+	r, err := sess.Exec("SHOW FEEDBACK;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("=== SHOW FEEDBACK ===\n%s", r.Message)
+}

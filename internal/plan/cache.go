@@ -46,7 +46,9 @@ var (
 )
 
 // CacheFor returns the plan cache shared by every session over db,
-// creating it on first use.
+// creating it on first use. Creating the cache also registers the
+// database's execution-feedback store, so every session that plans
+// through the cache learns from its executions automatically.
 func CacheFor(db *storage.Database) *Cache {
 	cachesMu.Lock()
 	defer cachesMu.Unlock()
@@ -54,18 +56,26 @@ func CacheFor(db *storage.Database) *Cache {
 	if !ok {
 		c = &Cache{db: db, entries: make(map[string]*list.Element), lru: list.New()}
 		caches[db] = c
+		// Register the feedback store while still holding cachesMu: a
+		// concurrent Release must never run between the two insertions,
+		// or it would miss the feedback entry and leave it pinning the
+		// database forever. (feedbacksMu nests under cachesMu here and
+		// is never taken the other way around.)
+		FeedbackFor(db)
 	}
 	return c
 }
 
-// Release drops the database's cache from the registry. Call it when a
-// database goes out of use — the registry otherwise pins both the cache
-// and the database for the life of the process. A later CacheFor on the
-// same database simply starts a cold cache.
+// Release drops the database's cache and execution-feedback store from
+// their registries. Call it when a database goes out of use — the
+// registries otherwise pin both structures and the database for the life
+// of the process. A later CacheFor/FeedbackFor on the same database
+// simply starts cold.
 func Release(db *storage.Database) {
 	cachesMu.Lock()
-	defer cachesMu.Unlock()
 	delete(caches, db)
+	cachesMu.Unlock()
+	releaseFeedback(db)
 }
 
 // cacheKey identifies a plan: the structure rendering (memoized by Desc)
@@ -167,6 +177,10 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 		c.lru.MoveToFront(el) // LRU: a hit renews the entry
 		p := el.Value.(*cacheEntry).plan.clone()
 		c.mu.Unlock()
+		// The cached compilation may predate executions that recorded
+		// observed pass rates; re-rank the clone so a compile-only
+		// EXPLAIN shows the chain Execute will actually run.
+		p.applyFeedback(feedbackLookup(c.db))
 		return p, true, nil
 	}
 	c.misses++
@@ -175,7 +189,7 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 	// Compile outside the cache lock: compilation reads the database and
 	// may be slow; worst case two sessions race and both store equivalent
 	// plans.
-	fresh, err := Compile(c.db, desc, pred)
+	fresh, err := compileKeyed(c.db, desc, pred, key)
 	if err != nil {
 		return nil, false, err
 	}
@@ -224,14 +238,6 @@ func (p *Plan) clone() *Plan {
 	q := *p
 	q.Pushdowns = append([]Pushdown(nil), p.Pushdowns...)
 	q.Residuals = append([]ResidualConjunct(nil), p.Residuals...)
-	q.Access.ActRoots, q.Access.ActEntries = 0, 0
-	q.Derived, q.Out = 0, 0
-	q.Executed = false
-	for i := range q.Pushdowns {
-		q.Pushdowns[i].Cut = 0
-	}
-	for i := range q.Residuals {
-		q.Residuals[i].Evals, q.Residuals[i].Passed = 0, 0
-	}
+	q.resetActuals()
 	return &q
 }

@@ -30,6 +30,11 @@ const (
 	// statistics (average partners per linked atom) — the upward-climb
 	// estimates of interior-index access paths.
 	SrcLinkFan = "link-fan"
+	// SrcObserved marks figures taken from the execution-feedback store:
+	// molecule-level residual pass rates and per-root/per-entry work
+	// actually measured on earlier executions of the same plan epoch —
+	// the strongest provenance of all, since it is not an estimate.
+	SrcObserved = "observed"
 )
 
 // Default selectivities for predicate shapes no statistic covers. The
@@ -45,7 +50,7 @@ const (
 func worseSource(a, b string) string {
 	rank := func(s string) int {
 		switch s {
-		case SrcHistogram:
+		case SrcObserved, SrcHistogram:
 			return 0
 		case SrcUniform, SrcLinkFan:
 			return 1

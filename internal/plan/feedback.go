@@ -1,0 +1,364 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mad/internal/expr"
+	"mad/internal/storage"
+)
+
+// Feedback is the per-database execution-feedback store: it closes the
+// loop between the cost model's estimates and what executions actually
+// observed. Three kinds of actuals are recorded:
+//
+//   - per cached plan, the observed *molecule-level* pass rate of every
+//     residual conjunct (ResidualConjunct.Passed/Evals). Histograms only
+//     know atom-level selectivities, and a molecule holds many atoms of a
+//     type, so the per-molecule pass rate of an existential comparison is
+//     systematically higher than the atom fraction — the observed rate
+//     replaces the guess on subsequent compiles and executions, and the
+//     residual chain re-ranks around it (EXPLAIN provenance [observed]);
+//   - per structure, the atoms actually fetched per root entering
+//     derivation — calibrating derivCostPerRoot, the constant that
+//     weights every access-path contest;
+//   - per structure and interior entry type, the links actually climbed
+//     per entry atom — calibrating the climb weight of interior-index
+//     alternatives, which the model otherwise derives from fan statistics
+//     by fiat.
+//
+// The store is epoch-aware: every read and write first compares the
+// database's plan epoch against the epoch the observations were recorded
+// at, and discards them all on mismatch. ANALYZE, schema or index DDL and
+// auto-ANALYZE-on-drift therefore reset stale feedback exactly as they
+// invalidate cached plans — observations never outlive the statistics
+// regime they were made under.
+type Feedback struct {
+	mu    sync.Mutex
+	db    *storage.Database
+	epoch uint64
+	// residuals: plan key → conjunct key → accumulated evals/passed.
+	residuals map[string]map[string]*passObs
+	// deriv: desc key → observed atoms fetched per root derived.
+	deriv map[string]*ratioObs
+	// climb: desc key + entry type → observed links climbed per entry.
+	climb map[string]*ratioObs
+
+	records, resets uint64
+}
+
+// feedbackLimit bounds the number of plans with residual observations,
+// mirroring the plan cache's entry bound for the same ad-hoc churn.
+const feedbackLimit = cacheLimit
+
+// passObs accumulates molecule-level evaluations of one residual conjunct.
+type passObs struct{ evals, passed int64 }
+
+// ratioObs accumulates a work-per-unit observation (atoms per root, links
+// per entry) over executions.
+type ratioObs struct {
+	sum float64
+	n   int64
+}
+
+func (r *ratioObs) avg() float64 { return r.sum / float64(r.n) }
+
+// feedbacks is the per-database registry behind FeedbackFor, released
+// together with the plan cache by Release.
+var (
+	feedbacksMu sync.Mutex
+	feedbacks   = make(map[*storage.Database]*Feedback)
+)
+
+// FeedbackFor returns the execution-feedback store shared by every
+// session over db, creating it on first use. Registration is opt-in:
+// CacheFor creates the store alongside the plan cache (so every MQL
+// session learns automatically), while direct plan.Compile/Execute
+// callers stay unregistered until they ask — compiling a plan against a
+// short-lived database must not pin it in a process-wide registry (the
+// leak class PR 3's Release fixed for the cache). Release(db) drops the
+// store with the cache.
+func FeedbackFor(db *storage.Database) *Feedback {
+	feedbacksMu.Lock()
+	defer feedbacksMu.Unlock()
+	fb, ok := feedbacks[db]
+	if !ok {
+		fb = newFeedback(db)
+		feedbacks[db] = fb
+	}
+	return fb
+}
+
+// feedbackLookup returns the database's feedback store without creating
+// or registering one — the compile/execute side goes through this, so
+// the loop only runs for databases that opted in (CacheFor or an
+// explicit FeedbackFor). Every Feedback method tolerates a nil receiver
+// as "no observations".
+func feedbackLookup(db *storage.Database) *Feedback {
+	feedbacksMu.Lock()
+	defer feedbacksMu.Unlock()
+	return feedbacks[db]
+}
+
+func newFeedback(db *storage.Database) *Feedback {
+	return &Feedback{
+		db:        db,
+		epoch:     db.PlanEpoch(),
+		residuals: make(map[string]map[string]*passObs),
+		deriv:     make(map[string]*ratioObs),
+		climb:     make(map[string]*ratioObs),
+	}
+}
+
+// syncEpochLocked drops every observation recorded under an older plan
+// epoch; callers hold fb.mu.
+func (fb *Feedback) syncEpochLocked() {
+	epoch := fb.db.PlanEpoch()
+	if epoch == fb.epoch {
+		return
+	}
+	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 {
+		fb.resets++
+	}
+	fb.epoch = epoch
+	fb.residuals = make(map[string]map[string]*passObs)
+	fb.deriv = make(map[string]*ratioObs)
+	fb.climb = make(map[string]*ratioObs)
+}
+
+// Reset unconditionally discards every observation — test and experiment
+// hook for re-running a workload from a cold feedback state.
+func (fb *Feedback) Reset() {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.residuals = make(map[string]map[string]*passObs)
+	fb.deriv = make(map[string]*ratioObs)
+	fb.climb = make(map[string]*ratioObs)
+	fb.epoch = fb.db.PlanEpoch()
+}
+
+// Counters reports feedback traffic: executions recorded and epoch-driven
+// resets (ANALYZE/DDL invalidating the observations).
+func (fb *Feedback) Counters() (records, resets uint64) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.records, fb.resets
+}
+
+// Len returns the number of plans with recorded residual observations.
+func (fb *Feedback) Len() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	return len(fb.residuals)
+}
+
+// conjKey canonically encodes one residual conjunct for the observation
+// map — the same encoding the plan cache keys predicates with.
+func conjKey(c expr.Expr) string {
+	var b strings.Builder
+	appendExprKey(&b, c)
+	return b.String()
+}
+
+// record folds an executed plan's actuals into the store: residual pass
+// rates under the plan's key, derivation work under the structure's key,
+// climb work under the structure + entry type. Called by Execute after a
+// successful run; executions of plans compiled under an older epoch are
+// discarded rather than recorded — their pass rates and work figures
+// belong to the statistics regime ANALYZE/DDL just replaced.
+func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
+	if fb == nil {
+		return
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	if p.epoch != fb.epoch {
+		return
+	}
+	fb.records++
+	if len(p.Residuals) > 0 && p.Derived > 0 {
+		obs := fb.residuals[p.key]
+		if obs == nil {
+			// Bound the store like the plan cache bounds compilations: a
+			// long-running process executing endless distinct ad-hoc
+			// predicates must not grow fb.residuals without limit between
+			// epoch bumps. Eviction is random-replacement (Go's map
+			// iteration order) — observations are cheap to relearn, so
+			// LRU machinery is not worth carrying here.
+			if len(fb.residuals) >= feedbackLimit {
+				for k := range fb.residuals {
+					delete(fb.residuals, k)
+					break
+				}
+			}
+			obs = make(map[string]*passObs)
+			fb.residuals[p.key] = obs
+		}
+		for i := range p.Residuals {
+			r := &p.Residuals[i]
+			// Only unconditional samples are stored: a conjunct behind a
+			// short-circuit cut saw just the earlier conjuncts' survivors,
+			// and folding that conditional rate into the store would let
+			// correlated conjuncts lock in or oscillate a wrong order
+			// (two mutually exclusive 50% conjuncts would drive each
+			// other's "selectivity" to zero). Evals == Derived means the
+			// conjunct was evaluated on every derived molecule, so the
+			// measured rate is its true molecule-level selectivity.
+			if r.Evals != p.Derived {
+				continue
+			}
+			o := obs[r.key]
+			if o == nil {
+				o = &passObs{}
+				obs[r.key] = o
+			}
+			o.evals += int64(r.Evals)
+			o.passed += int64(r.Passed)
+		}
+	}
+	// The per-root derivation figure is keyed by structure so every
+	// predicate over it benefits — but that is only sound when every
+	// root derived in full. A pushdown hook that cut molecules makes
+	// the measured atoms/root predicate-specific (a selective prune
+	// would teach the contest that derivation is near-free), so such
+	// executions do not contribute.
+	cut := 0
+	for i := range p.Pushdowns {
+		cut += p.Pushdowns[i].Cut
+	}
+	if p.Access.ActRoots > 0 && work.AtomsFetched > 0 && cut == 0 {
+		dk := p.desc.String()
+		o := fb.deriv[dk]
+		if o == nil {
+			o = &ratioObs{}
+			fb.deriv[dk] = o
+		}
+		o.sum += float64(work.AtomsFetched) / float64(p.Access.ActRoots)
+		o.n++
+	}
+	if p.Access.Kind == InteriorIndex && p.Access.ActEntries > 0 && p.Access.ActClimb > 0 {
+		ck := p.desc.String() + "\x00" + p.Access.EntryType
+		o := fb.climb[ck]
+		if o == nil {
+			o = &ratioObs{}
+			fb.climb[ck] = o
+		}
+		o.sum += float64(p.Access.ActClimb) / float64(p.Access.ActEntries)
+		o.n++
+	}
+}
+
+// observeResiduals overwrites the estimated selectivity of every residual
+// conjunct that has recorded observations with its observed molecule-
+// level pass rate (provenance SrcObserved) and reports whether anything
+// changed. Callers re-rank the chain afterwards; both Compile (fresh
+// plans) and Execute (cached clones, which may predate the observations)
+// go through here, so a mis-ranked chain is corrected by the second
+// execution at the latest.
+func (fb *Feedback) observeResiduals(p *Plan) bool {
+	if fb == nil || len(p.Residuals) == 0 {
+		return false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	if p.epoch != fb.epoch {
+		// A plan compiled under an older statistics regime keeps its
+		// compile-time order; the cache has already stopped handing it
+		// out, so this only affects callers holding stale plans.
+		return false
+	}
+	obs := fb.residuals[p.key]
+	if obs == nil {
+		return false
+	}
+	changed := false
+	for i := range p.Residuals {
+		r := &p.Residuals[i]
+		o := obs[r.key]
+		if o == nil || o.evals == 0 {
+			continue
+		}
+		r.Sel = clampSel(float64(o.passed) / float64(o.evals))
+		r.Source = SrcObserved
+		changed = true
+	}
+	return changed
+}
+
+// derivCostObserved returns the observed atoms-per-root derivation cost
+// for the structure, ok=false before any execution recorded one.
+func (fb *Feedback) derivCostObserved(descKey string) (float64, bool) {
+	if fb == nil {
+		return 0, false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	o := fb.deriv[descKey]
+	if o == nil || o.n == 0 {
+		return 0, false
+	}
+	return o.avg(), true
+}
+
+// climbObserved returns the observed links-per-entry climb cost for the
+// structure's interior entry at entryType, ok=false before any execution
+// recorded one.
+func (fb *Feedback) climbObserved(descKey, entryType string) (float64, bool) {
+	if fb == nil {
+		return 0, false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	o := fb.climb[descKey+"\x00"+entryType]
+	if o == nil || o.n == 0 {
+		return 0, false
+	}
+	return o.avg(), true
+}
+
+// Render lists the store's observations — the SHOW FEEDBACK output.
+func (fb *Feedback) Render() string {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	var b strings.Builder
+	fmt.Fprintf(&b, "feedback epoch %d: %d plan(s) observed, %d execution(s) recorded, %d reset(s)\n",
+		fb.epoch, len(fb.residuals), fb.records, fb.resets)
+	for _, dk := range sortedKeys(fb.deriv) {
+		o := fb.deriv[dk]
+		fmt.Fprintf(&b, "derive %s: ≈%.1f atoms/root over %d run(s) [observed]\n", dk, o.avg(), o.n)
+	}
+	for _, ck := range sortedKeys(fb.climb) {
+		o := fb.climb[ck]
+		parts := strings.SplitN(ck, "\x00", 2)
+		fmt.Fprintf(&b, "climb %s entry %s: ≈%.1f links/entry over %d run(s) [observed]\n",
+			parts[0], parts[1], o.avg(), o.n)
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order for deterministic
+// rendering.
+func sortedKeys(m map[string]*ratioObs) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// releaseFeedback drops the database's feedback store from the registry;
+// called by Release together with the plan cache.
+func releaseFeedback(db *storage.Database) {
+	feedbacksMu.Lock()
+	defer feedbacksMu.Unlock()
+	delete(feedbacks, db)
+}

@@ -1,0 +1,205 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+)
+
+// misRankedPred builds a two-conjunct residual chain the cost model ranks
+// wrong on the assemblyDB workload: the count comparison (always true —
+// every assembly holds more parts than units) ranks first on estimates,
+// while the genuinely selective serial equality (flagged on 1 of 16
+// assemblies, kept out of pushdown by the OR with an always-false count
+// comparison) ranks second.
+func misRankedPred() expr.Expr {
+	alwaysPass := expr.Cmp{Op: expr.GE, L: expr.CountOf{Type: "part"}, R: expr.CountOf{Type: "unit"}}
+	selective := expr.Or{
+		L: expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "part", Name: "serial"}, R: expr.Lit(model.Str("S-42"))},
+		R: expr.Cmp{Op: expr.LT, L: expr.CountOf{Type: "part"}, R: expr.Lit(model.Int(0))},
+	}
+	return expr.And{L: alwaysPass, R: selective}
+}
+
+func totalEvals(p *plan.Plan) int {
+	n := 0
+	for i := range p.Residuals {
+		n += p.Residuals[i].Evals
+	}
+	return n
+}
+
+// TestFeedbackReranksBySecondExecution drives the loop end to end through
+// the plan cache: the first execution runs the mis-ranked estimate order
+// and records the observed molecule-level pass rates; the second
+// compile's cache hit re-ranks against them, runs the selective conjunct
+// first, and evaluates strictly fewer conjuncts.
+func TestFeedbackReranksBySecondExecution(t *testing.T) {
+	db, mt := assemblyDB(t, 160)
+	defer plan.Release(db)
+	cache := plan.CacheFor(db)
+	pred := misRankedPred()
+
+	p1, _, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Residuals) != 2 {
+		t.Fatalf("expected 2 residual conjuncts, got %d:\n%s", len(p1.Residuals), p1.Render())
+	}
+	if !strings.Contains(p1.Residuals[0].Conjunct.String(), "COUNT(part) >= COUNT(unit)") {
+		t.Fatalf("estimates must mis-rank the always-true conjunct first:\n%s", p1.Render())
+	}
+	if _, err := p1.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	first := totalEvals(p1)
+
+	p2, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second compile must hit the cache")
+	}
+	// The cache-hit clone re-ranks *at compile time*, so a compile-only
+	// EXPLAIN (ESTIMATE) already shows the order Execute will run.
+	if !strings.Contains(p2.Residuals[0].Conjunct.String(), "S-42") {
+		t.Fatalf("cache hit must hand out the re-ranked chain before execution:\n%s", p2.Render())
+	}
+	if _, err := p2.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	second := totalEvals(p2)
+	if !strings.Contains(p2.Residuals[0].Conjunct.String(), "S-42") {
+		t.Fatalf("observed pass rates must move the selective conjunct first:\n%s", p2.Render())
+	}
+	if p2.Residuals[0].Source != plan.SrcObserved {
+		t.Fatalf("re-ranked conjunct source = %q, want %q", p2.Residuals[0].Source, plan.SrcObserved)
+	}
+	if second >= first {
+		t.Fatalf("feedback must reduce conjunct evaluations: first %d, second %d", first, second)
+	}
+	if out := p2.Render(); !strings.Contains(out, "[observed]") {
+		t.Fatalf("render must carry the observed provenance:\n%s", out)
+	}
+
+	// Fresh compiles see the observations too.
+	p3, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Residuals[0].Source != plan.SrcObserved {
+		t.Fatalf("fresh compile must rank from observations, got source %q", p3.Residuals[0].Source)
+	}
+}
+
+// TestFeedbackEpochReset checks the interplay with the storage plan
+// epoch: ANALYZE (like any DDL) bumps the epoch, and the next feedback
+// access discards every observation recorded under the old statistics
+// regime.
+func TestFeedbackEpochReset(t *testing.T) {
+	db, mt := assemblyDB(t, 64)
+	defer plan.Release(db)
+	fb := plan.FeedbackFor(db)
+	pred := misRankedPred()
+
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Len() == 0 {
+		t.Fatal("execution must record residual observations")
+	}
+	records, resets := fb.Counters()
+	if records == 0 {
+		t.Fatal("execution must count as a record")
+	}
+	if resets != 0 {
+		t.Fatalf("no reset expected yet, got %d", resets)
+	}
+
+	if _, err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Len() != 0 {
+		t.Fatal("ANALYZE must reset the feedback store through the plan epoch")
+	}
+	if _, resets := fb.Counters(); resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+	p2, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p2.Residuals {
+		if p2.Residuals[i].Source == plan.SrcObserved {
+			t.Fatalf("post-ANALYZE compile must not use stale observations:\n%s", p2.Render())
+		}
+	}
+
+	// Executing the plan compiled *before* ANALYZE must not seed the
+	// fresh store: its pass rates belong to the replaced regime.
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Len() != 0 {
+		t.Fatal("a stale plan's execution must not be recorded into the fresh store")
+	}
+}
+
+// TestFeedbackCalibratesCosts checks the contest-constant half of the
+// loop: after an execution, a fresh compile weighs the access-path
+// alternatives with the observed per-root derivation work, and — once an
+// interior entry ran — the observed per-entry climb work (provenance
+// SrcObserved on the plan's Calibration).
+func TestFeedbackCalibratesCosts(t *testing.T) {
+	db, mt := assemblyDB(t, 200)
+	defer plan.Release(db)
+	// Direct plan.Compile/Execute callers opt into the loop explicitly.
+	plan.FeedbackFor(db)
+	pred := expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "part", Name: "serial"}, R: expr.Lit(model.Str("S-42"))}
+	if err := db.CreateIndex("part", "serial"); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Calibration.DerivSrc != plan.SrcLinkFan {
+		t.Fatalf("cold compile DerivSrc = %q, want %q", p1.Calibration.DerivSrc, plan.SrcLinkFan)
+	}
+	if p1.Access.Kind != plan.InteriorIndex {
+		t.Fatalf("expected the interior entry to win:\n%s", p1.Render())
+	}
+	if _, err := p1.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Access.ActClimb <= 0 {
+		t.Fatalf("interior execution must count climb traversals, got %d", p1.Access.ActClimb)
+	}
+
+	p2, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Calibration.DerivSrc != plan.SrcObserved || p2.Calibration.DerivPerRoot <= 0 {
+		t.Fatalf("second compile must calibrate deriv cost from actuals, got %q %.2f",
+			p2.Calibration.DerivSrc, p2.Calibration.DerivPerRoot)
+	}
+	if p2.Calibration.ClimbSrc != plan.SrcObserved || p2.Calibration.ClimbPerEntry <= 0 {
+		t.Fatalf("second compile must calibrate climb cost from actuals, got %q %.2f",
+			p2.Calibration.ClimbSrc, p2.Calibration.ClimbPerEntry)
+	}
+	if out := p2.Render(); !strings.Contains(out, "costs:") || !strings.Contains(out, "links/entry [observed]") {
+		t.Fatalf("render must show the calibrated costs line:\n%s", out)
+	}
+}

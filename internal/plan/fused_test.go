@@ -1,0 +1,132 @@
+package plan_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/plan"
+)
+
+// checkParity compares one fused execution against the barrier reference:
+// identical molecule sets in identical (root-batch) order, and identical
+// EXPLAIN actuals — ActRoots, Derived, Out, every pushdown Cut, every
+// residual Evals/Passed. Both plans must already be executed.
+func checkParity(t *testing.T, seed int64, workers int, ref, fused *plan.Plan, refSet, fusedSet core.MoleculeSet) bool {
+	t.Helper()
+	if len(fusedSet) != len(refSet) {
+		t.Logf("seed %d workers %d: fused %d molecules, barrier %d", seed, workers, len(fusedSet), len(refSet))
+		return false
+	}
+	for i := range fusedSet {
+		if !fusedSet[i].Equal(refSet[i]) {
+			t.Logf("seed %d workers %d: molecule %d differs (order must match)", seed, workers, i)
+			return false
+		}
+	}
+	if fused.Access.ActRoots != ref.Access.ActRoots || fused.Derived != ref.Derived || fused.Out != ref.Out {
+		t.Logf("seed %d workers %d: roots/derived/out %d/%d/%d fused vs %d/%d/%d barrier",
+			seed, workers, fused.Access.ActRoots, fused.Derived, fused.Out,
+			ref.Access.ActRoots, ref.Derived, ref.Out)
+		return false
+	}
+	for i := range fused.Pushdowns {
+		if fused.Pushdowns[i].Cut != ref.Pushdowns[i].Cut {
+			t.Logf("seed %d workers %d: pushdown %d cut %d fused vs %d barrier",
+				seed, workers, i, fused.Pushdowns[i].Cut, ref.Pushdowns[i].Cut)
+			return false
+		}
+	}
+	for i := range fused.Residuals {
+		if fused.Residuals[i].Evals != ref.Residuals[i].Evals ||
+			fused.Residuals[i].Passed != ref.Residuals[i].Passed {
+			t.Logf("seed %d workers %d: residual %d evals/passed %d/%d fused vs %d/%d barrier",
+				seed, workers, i,
+				fused.Residuals[i].Evals, fused.Residuals[i].Passed,
+				ref.Residuals[i].Evals, ref.Residuals[i].Passed)
+			return false
+		}
+	}
+	return true
+}
+
+// TestFusedParityRandom is the fused-pipeline property: across randomized
+// layered structures, predicates (pushdown, residual and root conjuncts
+// in every mix), statistics regimes (half the runs analyzed) and worker
+// counts — including the workers=1 sequential fallback — the fused
+// execution produces exactly the molecule set, order and actuals of the
+// barrier reference (PR 3's derive-then-filter pipeline). The feedback
+// store is reset before every fused run so each one executes the
+// compile-time residual order the reference uses.
+func TestFusedParityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(2)
+		db, types, edges, err := layeredDB(rng, depth, 4+rng.Intn(5))
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			if err := db.CreateIndex(types[0], "v"); err != nil {
+				t.Logf("index: %v", err)
+				return false
+			}
+		}
+		if rng.Intn(2) == 0 {
+			// Half the runs analyzed: histogram-backed selectivities order
+			// the pushdowns and residuals differently from the defaults.
+			if _, err := db.Analyze(); err != nil {
+				t.Logf("analyze: %v", err)
+				return false
+			}
+		}
+		mt, err := core.Define(db, "random", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		defer plan.Release(db)
+		pred := randomPredicate(rng, types)
+		if err := expr.Check(pred, core.Scope{DB: db, Desc: mt.Desc()}); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+
+		ref, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		ref.Workers = 1
+		refSet, err := ref.ExecuteBarrier()
+		if err != nil {
+			t.Logf("barrier execute: %v", err)
+			return false
+		}
+
+		for _, workers := range []int{1, 2, 3, 8} {
+			plan.FeedbackFor(db).Reset()
+			fused, err := plan.Compile(db, mt.Desc(), pred)
+			if err != nil {
+				t.Logf("compile: %v", err)
+				return false
+			}
+			fused.Workers = workers
+			fusedSet, err := fused.Execute()
+			if err != nil {
+				t.Logf("fused execute (workers=%d): %v", workers, err)
+				return false
+			}
+			if !checkParity(t, seed, workers, ref, fused, refSet, fusedSet) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

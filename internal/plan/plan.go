@@ -18,21 +18,33 @@
 //     over the atom network, cutting non-qualifying subtrees as soon as
 //     the referenced type's component set is complete, instead of
 //     post-filtering whole molecules (the optimization the paper
-//     anticipates for query processing, Chapter 5). Root batches fan out
-//     over the worker pool (core.DeriveRootsPrunedParallel), with the
-//     EXPLAIN actuals aggregated atomically; and
+//     anticipates for query processing, Chapter 5); hooks at the same
+//     type fire most-selective-first; and
 //   - the residual filter: whatever part of the formula genuinely needs
 //     the whole molecule (multi-type conjuncts, quantifiers over non-root
-//     types) runs after derivation under molecule binding, its conjuncts
-//     ordered by estimated selectivity × evaluation cost so cheap,
-//     selective conjuncts short-circuit the expensive ones.
+//     types) runs under molecule binding, its conjuncts ordered by
+//     estimated selectivity × evaluation cost so cheap, selective
+//     conjuncts short-circuit the expensive ones.
+//
+// Execution is fused: root batches fan out over the worker pool
+// (core.DeriveRootsFusedParallel), and each worker runs the residual
+// chain on a molecule the moment it finishes deriving it — no barrier
+// separates derivation from filtering, rejected molecules never cross a
+// goroutine, and every worker keeps private Evals/Passed/Cut
+// accumulators merged at batch end so the EXPLAIN actuals stay exact.
 //
 // Cardinality and selectivity estimates come from the equi-depth
 // histograms of storage/stats when ANALYZE has built them, falling back
 // to the uniform occurrence/distinct-keys assumption (and finally to
 // fixed shape defaults); EXPLAIN labels every estimate with its source.
-// Compiled plans are memoized per database in a Cache invalidated by the
-// storage layer's plan epoch (DDL, index changes, ANALYZE).
+// Executions feed a per-database Feedback store with what they actually
+// observed — molecule-level residual pass rates, per-root derivation
+// work, per-entry climb work — and later compiles and executions prefer
+// those observations (provenance [observed]) over the guesses, so a
+// mis-ranked residual chain or a mis-weighted access-path contest is
+// corrected by the second execution. Compiled plans are memoized per
+// database in a Cache invalidated by the storage layer's plan epoch
+// (DDL, index changes, ANALYZE), which resets the feedback store too.
 //
 // The planner is sound with respect to the molecule algebra: a plan's
 // result is always set-equal to naive Σ (core.Restrict) over the same
@@ -113,6 +125,24 @@ type Access struct {
 	EstSource string
 	// ActRoots counts the roots that actually entered derivation.
 	ActRoots int
+	// ActClimb counts the link traversals the upward climb of an
+	// InteriorIndex access actually performed — the actual the feedback
+	// store calibrates future climb weights from.
+	ActClimb int
+}
+
+// Calibration records the contest constants a compile weighed the
+// access-path alternatives with, and where they came from: the model's
+// fan-statistic estimate (SrcLinkFan) until executions have been
+// recorded, the feedback store's observed actuals (SrcObserved) after.
+type Calibration struct {
+	// DerivPerRoot is the expected atoms fetched deriving one molecule.
+	DerivPerRoot float64
+	DerivSrc     string
+	// ClimbPerEntry is the expected link traversals per interior entry
+	// atom, filled only when the chosen access path is an interior entry.
+	ClimbPerEntry float64
+	ClimbSrc      string
 }
 
 // Alternative is one access path the planner considered, with its total
@@ -144,6 +174,12 @@ type Pushdown struct {
 // execution, with evaluation actuals.
 type ResidualConjunct struct {
 	Conjunct expr.Expr
+	// key is the conjunct's canonical encoding, computed once at compile
+	// time — the feedback store files and looks up observations under it
+	// on every execution, so re-encoding the tree per run (under the
+	// store's lock) would repeat the cost cacheKey was engineered to
+	// avoid.
+	key string
 	// Sel estimates the fraction of molecules the conjunct keeps; Source
 	// records which statistic produced it.
 	Sel    float64
@@ -162,8 +198,17 @@ type ResidualConjunct struct {
 type Plan struct {
 	db   *storage.Database
 	desc *core.Desc
+	// key is the plan's cache identity (structure + canonical predicate
+	// encoding); the feedback store files residual observations under it.
+	key string
+	// epoch is the database's plan epoch at compile time; the feedback
+	// store discards observations from plans compiled under an older
+	// statistics regime.
+	epoch uint64
 
 	Access Access
+	// Calibration is the contest-constant provenance of this compile.
+	Calibration Calibration
 	// Alternatives records every access path considered at compile time,
 	// most attractive first, with the chosen one marked.
 	Alternatives []Alternative
@@ -206,9 +251,18 @@ type rootConjInfo struct {
 // restriction). pred must already be statically valid for the structure
 // (expr.Check against core.Scope).
 func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, error) {
+	return compileKeyed(db, desc, pred, cacheKey(desc, pred))
+}
+
+// compileKeyed is Compile with the cache key already computed — the plan
+// cache passes the key it looked up with, so a miss does not encode the
+// predicate tree a second time.
+func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, key string) (*Plan, error) {
 	p := &Plan{
-		db:   db,
-		desc: desc,
+		db:    db,
+		desc:  desc,
+		key:   key,
+		epoch: db.PlanEpoch(),
 		Access: Access{
 			Kind:      FullScan,
 			Root:      desc.Root(),
@@ -243,27 +297,44 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 			p.Residual = combine(p.Residual, c)
 			sel, src := conjSelectivity(db, desc, c)
 			p.Residuals = append(p.Residuals, ResidualConjunct{
-				Conjunct: c, Sel: sel, Source: src, Cost: conjCost(c),
+				Conjunct: c, key: conjKey(c), Sel: sel, Source: src, Cost: conjCost(c),
 			})
 		}
 	}
 
-	p.chooseAccess(n, rootConjs)
+	// Lookup only: compiling against a database that never opted into
+	// feedback (CacheFor or FeedbackFor) must not register it — all
+	// Feedback methods treat a nil receiver as "no observations".
+	fb := feedbackLookup(db)
+	p.chooseAccess(n, rootConjs, fb)
 
+	// Residual selectivities: the feedback store's observed molecule-
+	// level pass rates supersede the histogram/default guesses wherever
+	// executions of this plan (same epoch) have been recorded.
+	fb.observeResiduals(p)
 	// Order the residual conjuncts by the (selectivity − 1)/cost rank so
 	// short-circuit evaluation does the least expected work per molecule.
 	sort.SliceStable(p.Residuals, func(i, j int) bool {
 		return residualRank(p.Residuals[i]) < residualRank(p.Residuals[j])
 	})
-	// Pushdown order follows the topological order of the structure so
-	// the rendered plan reads in traversal order.
+	// Pushdown order follows the topological order of the structure (a
+	// hook can only fire once its type's component set is complete);
+	// among hooks at the same type, the most selective fires first so
+	// the cheapest cut decides before the weaker conjuncts run.
 	if len(p.Pushdowns) > 1 {
 		topoPos := make(map[string]int, desc.NumTypes())
 		for i, t := range desc.Topo() {
 			topoPos[t] = i
 		}
+		before := func(a, b Pushdown) bool {
+			pa, pb := topoPos[a.Type], topoPos[b.Type]
+			if pa != pb {
+				return pa < pb
+			}
+			return a.Sel < b.Sel
+		}
 		for i := 1; i < len(p.Pushdowns); i++ {
-			for j := i; j > 0 && topoPos[p.Pushdowns[j].Type] < topoPos[p.Pushdowns[j-1].Type]; j-- {
+			for j := i; j > 0 && before(p.Pushdowns[j], p.Pushdowns[j-1]); j-- {
 				p.Pushdowns[j], p.Pushdowns[j-1] = p.Pushdowns[j-1], p.Pushdowns[j]
 			}
 		}
@@ -279,10 +350,18 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 //	+ roots entering derivation × expected per-molecule derivation work
 //
 // and installs the cheapest. The losing alternatives are recorded for
-// EXPLAIN.
-func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo) {
+// EXPLAIN. The contest constants come from the model's fan statistics
+// until the feedback store has recorded executions of this structure —
+// then the observed per-root derivation work and per-entry climb work
+// replace the fiat weights (Calibration records the provenance).
+func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 	desc := p.desc
 	derivCost := derivCostPerRoot(p.db, desc)
+	p.Calibration.DerivPerRoot, p.Calibration.DerivSrc = derivCost, SrcLinkFan
+	if obs, ok := fb.derivCostObserved(desc.String()); ok {
+		derivCost = obs
+		p.Calibration.DerivPerRoot, p.Calibration.DerivSrc = obs, SrcObserved
+	}
 
 	// Selectivity of the whole root filter, and with one conjunct (the
 	// chosen root index) taken out.
@@ -359,6 +438,16 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo) {
 		}
 		entries, entriesSrc := estimateEqCount(p.db, pd.Type, attr, val, nT)
 		recovered, climbCost, upPath := climbEstimate(p.db, desc, pd.Type, entries)
+		climbPerEntry, climbSrc := 0.0, SrcLinkFan
+		if entries > 0 {
+			climbPerEntry = climbCost / float64(entries)
+		}
+		if obs, ok := fb.climbObserved(desc.String(), pd.Type); ok {
+			// Observed links-per-entry from recorded executions replaces
+			// the fan-statistic climb weight.
+			climbPerEntry, climbSrc = obs, SrcObserved
+			climbCost = obs * float64(entries)
+		}
 		entering := scaleEst(recovered, allSel)
 		alts = append(alts, Alternative{
 			Label: fmt.Sprintf("interior-index %s.%s", pd.Type, attr),
@@ -375,6 +464,7 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo) {
 			p.Access.EntrySource = entriesSrc
 			p.Access.EstRoots = recovered
 			p.Access.EstSource = combineSource(SrcLinkFan, entriesSrc)
+			p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc = climbPerEntry, climbSrc
 			p.installRootFilter(rootConjs, -1, recovered)
 		}})
 	}
@@ -665,23 +755,31 @@ func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
 			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.EntryType, p.Access.Attr)
 		}
 		p.Access.ActEntries = len(entries)
-		return dv.RecoverRoots(p.Access.EntryPos, entries)
+		roots, climbed, err := dv.RecoverRootsCounted(p.Access.EntryPos, entries)
+		p.Access.ActClimb = int(climbed)
+		return roots, err
 	default:
 		return dv.RootIDs(), nil
 	}
 }
 
-// Execute runs the plan and returns the qualifying molecules, filling the
-// actual-cardinality fields: access path → root filter → pruned
-// derivation fanned out over the worker pool → cost-ordered residual
-// chain. It never enlarges the database; algebra-mode callers propagate
-// the returned set themselves (see Restrict).
-func (p *Plan) Execute() (core.MoleculeSet, error) {
-	dv, err := core.NewDeriver(p.db, p.desc)
-	if err != nil {
-		return nil, err
+// applyFeedback re-ranks the residual chain around the feedback store's
+// observed molecule-level pass rates (no-op when fb is nil or has no
+// observations for this plan). Fresh compiles, cache hits and Execute
+// all go through it, so every surface — EXPLAIN (ESTIMATE) included —
+// shows the chain the engine will actually run.
+func (p *Plan) applyFeedback(fb *Feedback) {
+	if fb.observeResiduals(p) {
+		sort.SliceStable(p.Residuals, func(i, j int) bool {
+			return residualRank(p.Residuals[i]) < residualRank(p.Residuals[j])
+		})
 	}
-	p.Access.ActRoots, p.Access.ActEntries, p.Derived, p.Out = 0, 0, 0, 0
+}
+
+// resetActuals zeroes every execution actual before a run.
+func (p *Plan) resetActuals() {
+	p.Access.ActRoots, p.Access.ActEntries, p.Access.ActClimb = 0, 0, 0
+	p.Derived, p.Out = 0, 0
 	p.Executed = false
 	for i := range p.Pushdowns {
 		p.Pushdowns[i].Cut = 0
@@ -689,12 +787,187 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 	for i := range p.Residuals {
 		p.Residuals[i].Evals, p.Residuals[i].Passed = 0, 0
 	}
+}
 
-	// Pushdown hooks run concurrently during parallel derivation: the cut
-	// actuals aggregate atomically and evaluation errors land in a box.
-	// The root-position guard rejects every molecule once an error is
-	// pending, so the remaining batch degrades to a cheap root sweep
-	// instead of deriving an occurrence that will be discarded.
+// prepareRoots runs the access path and the pre-derivation root filter,
+// returning the root batch entering derivation. Shared by the fused and
+// the barrier execution.
+func (p *Plan) prepareRoots(dv *core.Deriver, eb *evalErrBox) ([]model.AtomID, error) {
+	var rootFilter func(model.AtomID) bool
+	var err error
+	if p.Access.Filter != nil {
+		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, eb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	roots, err := p.rootBatch(dv)
+	if err != nil {
+		return nil, err
+	}
+	if rootFilter != nil {
+		kept := make([]model.AtomID, 0, len(roots))
+		for _, r := range roots {
+			if eb.get() != nil {
+				break
+			}
+			if rootFilter(r) {
+				kept = append(kept, r)
+			}
+		}
+		roots = kept
+	}
+	if err := eb.get(); err != nil {
+		return nil, err
+	}
+	p.Access.ActRoots = len(roots)
+	return roots, nil
+}
+
+// Execute runs the plan and returns the qualifying molecules, filling the
+// actual-cardinality fields: access path → root filter → fused pruned
+// derivation + cost-ordered residual chain on the worker pool. Each
+// worker derives a molecule and immediately runs the residual conjuncts
+// on it in one pass — there is no barrier between derivation and
+// filtering, and pruned or rejected molecules never cross a goroutine
+// (they are recycled into the worker's scratch). Every worker keeps its
+// own Evals/Passed/Cut accumulators, merged once the batch ends, so the
+// EXPLAIN actuals stay exact without atomic traffic on the hot path.
+//
+// Before running, the residual chain re-ranks against the feedback
+// store's observed molecule-level pass rates (cached plan clones may
+// predate the observations); after a successful run the execution's own
+// actuals are recorded back, closing the loop — a mis-ranked chain is
+// corrected by the second execution at the latest. Execute never
+// enlarges the database; algebra-mode callers propagate the returned set
+// themselves (see Restrict).
+func (p *Plan) Execute() (core.MoleculeSet, error) {
+	fb := feedbackLookup(p.db)
+	p.applyFeedback(fb)
+	dv, err := core.NewDeriver(p.db, p.desc)
+	if err != nil {
+		return nil, err
+	}
+	p.resetActuals()
+
+	// Per-atom predicates are safe for concurrent use and shared by all
+	// workers; evaluation errors land in the box, and the root-position
+	// guard rejects every molecule once an error is pending, so the
+	// remaining batch degrades to a cheap root sweep instead of deriving
+	// occurrences that will be discarded.
+	var eb evalErrBox
+	rootPos, _ := p.desc.Pos(p.Access.Root)
+	preds := make([]func(model.AtomID) bool, len(p.Pushdowns))
+	for i := range p.Pushdowns {
+		preds[i], err = p.atomPred(p.Pushdowns[i].Type, p.Pushdowns[i].Conjunct, &eb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	roots, err := p.prepareRoots(dv, &eb)
+	if err != nil {
+		return nil, err
+	}
+
+	// workerState carries one worker's private actuals; newWorker runs on
+	// the coordinating goroutine, so collecting the states needs no lock.
+	type workerState struct {
+		cuts    []int64
+		evals   []int64
+		passed  []int64
+		derived int64
+	}
+	var states []*workerState
+	newWorker := func(int) core.FusedWorker {
+		ws := &workerState{
+			cuts:   make([]int64, len(p.Pushdowns)),
+			evals:  make([]int64, len(p.Residuals)),
+			passed: make([]int64, len(p.Residuals)),
+		}
+		states = append(states, ws)
+		checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
+			return !eb.failed.Load()
+		}}}
+		for i := range p.Pushdowns {
+			i, pred := i, preds[i]
+			checks = append(checks, core.PruneCheck{Pos: p.Pushdowns[i].Pos, Qualifies: func(atoms []model.AtomID) bool {
+				for _, id := range atoms {
+					if pred(id) {
+						return true
+					}
+				}
+				ws.cuts[i]++
+				return false
+			}})
+		}
+		keep := func(m *core.Molecule) bool {
+			if eb.failed.Load() {
+				return false
+			}
+			ws.derived++
+			b := core.Binding{DB: p.db, M: m}
+			for i := range p.Residuals {
+				ws.evals[i]++
+				ok, err := expr.EvalPredicate(p.Residuals[i].Conjunct, b)
+				if err != nil {
+					eb.set(err)
+					return false
+				}
+				if !ok {
+					return false
+				}
+				ws.passed[i]++
+			}
+			return true
+		}
+		return core.FusedWorker{Checks: dv.PrepareChecks(checks), Keep: keep}
+	}
+
+	out, work, err := dv.DeriveRootsFusedParallel(roots, p.Workers, newWorker)
+	if err != nil {
+		return nil, err
+	}
+	if err := eb.get(); err != nil {
+		return nil, err
+	}
+	for _, ws := range states {
+		p.Derived += int(ws.derived)
+		for i := range p.Pushdowns {
+			p.Pushdowns[i].Cut += int(ws.cuts[i])
+		}
+		for i := range p.Residuals {
+			p.Residuals[i].Evals += int(ws.evals[i])
+			p.Residuals[i].Passed += int(ws.passed[i])
+		}
+	}
+
+	// Compact, preserving root-batch order: the result is deterministic
+	// for any worker count.
+	set := make(core.MoleculeSet, 0, p.Derived)
+	for _, m := range out {
+		if m != nil {
+			set = append(set, m)
+		}
+	}
+	p.Out = len(set)
+	p.Executed = true
+	fb.record(p, work)
+	return set, nil
+}
+
+// ExecuteBarrier is the pre-fusion execution pipeline — parallel pruned
+// derivation, then a barrier, then the residual chain on a single
+// goroutine — retained as the reference implementation: the parity
+// property tests check the fused pipeline's molecule sets and actuals
+// against it, and the P11 benchmark measures the fusion win over it. It
+// neither consults nor feeds the feedback store.
+func (p *Plan) ExecuteBarrier() (core.MoleculeSet, error) {
+	dv, err := core.NewDeriver(p.db, p.desc)
+	if err != nil {
+		return nil, err
+	}
+	p.resetActuals()
+
 	var eb evalErrBox
 	rootPos, _ := p.desc.Pos(p.Access.Root)
 	checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
@@ -718,34 +991,10 @@ func (p *Plan) Execute() (core.MoleculeSet, error) {
 		}})
 	}
 
-	var rootFilter func(model.AtomID) bool
-	if p.Access.Filter != nil {
-		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, &eb)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	roots, err := p.rootBatch(dv)
+	roots, err := p.prepareRoots(dv, &eb)
 	if err != nil {
 		return nil, err
 	}
-	if rootFilter != nil {
-		kept := make([]model.AtomID, 0, len(roots))
-		for _, r := range roots {
-			if eb.get() != nil {
-				break
-			}
-			if rootFilter(r) {
-				kept = append(kept, r)
-			}
-		}
-		roots = kept
-	}
-	if err := eb.get(); err != nil {
-		return nil, err
-	}
-	p.Access.ActRoots = len(roots)
 
 	derived, err := dv.DeriveRootsPrunedParallel(roots, dv.PrepareChecks(checks), p.Workers)
 	if err != nil {
@@ -837,6 +1086,15 @@ func (p *Plan) Render() string {
 			parts = append(parts, s)
 		}
 		fmt.Fprintf(&b, "considered: %s\n", strings.Join(parts, "; "))
+	}
+	// The contest-constant provenance is only worth a line once the
+	// feedback loop has replaced a fiat weight with a recorded actual.
+	if p.Calibration.DerivSrc == SrcObserved || p.Calibration.ClimbSrc == SrcObserved {
+		line := fmt.Sprintf("costs:     derive ≈%.1f atoms/root [%s]", p.Calibration.DerivPerRoot, p.Calibration.DerivSrc)
+		if p.Access.Kind == InteriorIndex && p.Calibration.ClimbSrc != "" {
+			line += fmt.Sprintf("; climb ≈%.1f links/entry [%s]", p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc)
+		}
+		b.WriteString(line + "\n")
 	}
 	fmt.Fprintf(&b, "derive:    structure template over the atom network%s\n", p.actual(p.Derived))
 	for _, pd := range p.Pushdowns {

@@ -28,6 +28,33 @@ type Stats struct {
 	AutoAnalyzes   counter // histogram rebuilds triggered by drift
 }
 
+// WorkTally accumulates logical-work counts locally — one goroutine, no
+// atomics — so hot loops (parallel derivation above all) avoid per-step
+// atomic traffic on the shared Stats block. FlushTo folds the tally into
+// Stats in two atomic operations and zeroes it; Add merges another tally
+// (a worker's) into this one.
+type WorkTally struct {
+	AtomsFetched   int64
+	LinksTraversed int64
+}
+
+// Add merges o into t.
+func (t *WorkTally) Add(o WorkTally) {
+	t.AtomsFetched += o.AtomsFetched
+	t.LinksTraversed += o.LinksTraversed
+}
+
+// FlushTo adds the tally into the shared counters and resets it.
+func (t *WorkTally) FlushTo(s *Stats) {
+	if t.AtomsFetched != 0 {
+		s.AtomsFetched.Add(t.AtomsFetched)
+	}
+	if t.LinksTraversed != 0 {
+		s.LinksTraversed.Add(t.LinksTraversed)
+	}
+	*t = WorkTally{}
+}
+
 // StatsSnapshot is an immutable copy of the counters.
 type StatsSnapshot struct {
 	AtomsFetched   int64

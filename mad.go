@@ -118,6 +118,11 @@ type (
 	// PlanCache memoizes compiled plans per database, invalidated by DDL
 	// and ANALYZE through the plan epoch.
 	PlanCache = plan.Cache
+	// PlanFeedback records what executions actually observed — molecule-
+	// level residual pass rates, per-root derivation work, per-entry
+	// climb work — and feeds them back into later compiles and
+	// executions (EXPLAIN provenance [observed]).
+	PlanFeedback = plan.Feedback
 	// Histogram is a per-attribute equi-depth histogram — the statistics
 	// ANALYZE builds and the planner estimates selectivities from.
 	Histogram = stats.Histogram
@@ -179,6 +184,10 @@ func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*Mol
 // fan-outs); pushdown conjuncts cut subtrees during derivation, and the
 // residual conjuncts run per molecule in selectivity × cost order.
 // Execute it for the qualifying set; Render it for EXPLAIN.
+//
+// Compiling and executing consults the database's execution-feedback
+// store only if one exists (PlanCacheFor and PlanFeedbackFor create it);
+// a database that never opted in is not pinned by any registry.
 func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 	return plan.Compile(db, desc, pred)
 }
@@ -189,10 +198,19 @@ func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 // automatically). Entries evict least-recently-used first.
 func PlanCacheFor(db *Database) *PlanCache { return plan.CacheFor(db) }
 
-// ReleasePlanCache drops the database's plan cache from the process-wide
-// registry. Call it when a database goes out of use — the registry
-// otherwise pins the cache (and through it the database) for the life of
-// the process.
+// PlanFeedbackFor returns the execution-feedback store shared by every
+// session over db, creating it on first use (PlanCacheFor creates it
+// too, so MQL sessions always learn). Executions record their observed
+// residual pass rates and access-path work into it; subsequent compiles
+// and executions rank residual chains and weigh access-path contests
+// from those observations instead of the histogram guesses. ANALYZE and
+// DDL reset it through the plan epoch; ReleasePlanCache drops it.
+func PlanFeedbackFor(db *Database) *PlanFeedback { return plan.FeedbackFor(db) }
+
+// ReleasePlanCache drops the database's plan cache and execution-
+// feedback store from the process-wide registries. Call it when a
+// database goes out of use — the registries otherwise pin both (and
+// through them the database) for the life of the process.
 func ReleasePlanCache(db *Database) { plan.Release(db) }
 
 // Analyze builds equi-depth histograms over every attribute of the named

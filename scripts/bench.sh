@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench.sh — perf-trajectory tooling: runs every repository benchmark with
+# -benchmem and emits a machine-readable BENCH_P11.json (one record per
+# benchmark: ns/op, B/op, allocs/op) so CI can archive the trajectory per
+# commit. Non-gating: numbers are for trend lines, not pass/fail.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME  go test -benchtime value (default 1x: smoke-level noise,
+#              raise to e.g. 100x or 1s for trend-quality numbers)
+#   BENCH      -bench pattern (default ".")
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_P11.json}"
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH:-.}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... >"$raw"
+
+awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v goversion="$(go env GOVERSION)" '
+BEGIN {
+	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", commit, date, goversion
+	n = 0
+}
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo "bench.sh: wrote $count benchmark record(s) to $out"
