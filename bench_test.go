@@ -4,8 +4,10 @@
 package mad_test
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"mad"
@@ -445,6 +447,88 @@ func BenchmarkP11FusedPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// liveHeap forces a collection and returns the live heap — the figure
+// the streaming benchmark tracks as "peak-B/op" (B/op from -benchmem
+// counts total allocation, which streaming cannot reduce: every
+// molecule is built either way; what streaming caps is how many of them
+// are alive at once).
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// BenchmarkP12StreamingMemory compares the peak live heap of consuming a
+// large result incrementally (Plan.Stream, molecules dropped as they are
+// read) against materializing it (Plan.Execute holds the whole set):
+// the streamed run's peak stays bounded by the executor's in-flight
+// batches while the materialized peak grows with the result. The
+// "peak-B/op" metric lands in BENCH_P11.json via scripts/bench.sh, so
+// the trajectory tracks the memory cap alongside ns/op.
+func BenchmarkP12StreamingMemory(b *testing.B) {
+	db, mt, err := experiments.BuildAssembly(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Release(db)
+	b.Run("materialized", func(b *testing.B) {
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			p, err := plan.Compile(db, mt.Desc(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := liveHeap()
+			set, err := p.Execute()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g := liveHeap() - base; g > peak {
+				peak = g
+			}
+			runtime.KeepAlive(set)
+		}
+		b.ReportMetric(float64(peak), "peak-B/op")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			p, err := plan.Compile(db, mt.Desc(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := liveHeap()
+			st, err := p.Stream(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				m, err := st.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m == nil {
+					break
+				}
+				n++
+				// Sample the live heap a few times mid-stream; consumed
+				// molecules are garbage and must not accumulate.
+				if n%1024 == 0 {
+					if g := liveHeap() - base; g > peak {
+						peak = g
+					}
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(peak), "peak-B/op")
+	})
 }
 
 // BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size

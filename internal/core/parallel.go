@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mad/internal/model"
 	"mad/internal/storage"
@@ -147,6 +149,13 @@ type FusedWorker struct {
 	Keep   func(m *Molecule) bool
 }
 
+// DefaultStreamBatch is the root-batch granularity of the streaming
+// fused executor when the caller passes batchSize <= 0: large enough
+// that the per-batch channel traffic disappears against the derivation
+// work, small enough that the first molecules reach the consumer long
+// before the root batch is exhausted.
+const DefaultStreamBatch = 64
+
 // DeriveRootsFusedParallel fuses derivation and filtering: each worker
 // derives a molecule and immediately runs its filter sink on it in one
 // pass, with no barrier between the two stages. newWorker is called on
@@ -155,25 +164,73 @@ type FusedWorker struct {
 // merge them after the call returns — the planner keeps its EXPLAIN
 // actuals exact and race-free exactly this way.
 //
-// The result is aligned with roots: entry i is nil when a hook cut the
-// molecule at roots[i] or the sink rejected it, so callers can compact
-// while preserving root order (the output stays deterministic for any
-// worker count). The returned tally is the batch's derivation work —
-// atoms fetched and links traversed — also already folded into the
-// database's shared statistics.
-func (dv *Deriver) DeriveRootsFusedParallel(roots []model.AtomID, workers int, newWorker func(w int) FusedWorker) (MoleculeSet, storage.WorkTally, error) {
+// The result preserves root-batch order (molecules cut by a hook or
+// rejected by the sink are compacted away), so the output stays
+// deterministic for any worker count. Cancelling ctx stops every worker
+// loop mid-derivation and returns ctx.Err(); ctx may be nil for
+// uncancellable batches. The returned tally is the batch's derivation
+// work — atoms fetched and links traversed — also already folded into
+// the database's shared statistics.
+func (dv *Deriver) DeriveRootsFusedParallel(ctx context.Context, roots []model.AtomID, workers int, newWorker func(w int) FusedWorker) (MoleculeSet, storage.WorkTally, error) {
+	out := make(MoleculeSet, 0, len(roots))
+	work, err := dv.DeriveRootsFusedStream(ctx, roots, workers, 0, newWorker, func(batch MoleculeSet) error {
+		out = append(out, batch...)
+		return nil
+	})
+	if err != nil {
+		return nil, work, err
+	}
+	return out, work, nil
+}
+
+// DeriveRootsFusedStream is the incremental form of the fused executor:
+// the root batch is cut into batches of batchSize (<= 0 selects
+// DefaultStreamBatch), each batch is derived and filtered by one worker
+// of the pool, and emit receives the surviving molecules of every batch
+// — already compacted, in exact root-batch order — as soon as that batch
+// is done. At most workers+1 batches are in flight at any moment, so the
+// executor's footprint is bounded by O(workers × batchSize) molecules no
+// matter how large the root batch is; batches are pipelined, not
+// barriered — worker w derives batch k+1 while emit still drains batch k.
+//
+// emit runs on the calling goroutine; returning an error from it stops
+// the workers and surfaces that error. Cancelling ctx stops every worker
+// loop mid-derivation (checked per root) and returns ctx.Err(); no
+// goroutine outlives the call either way. Empty batches are not emitted.
+// newWorker follows the DeriveRootsFusedParallel contract: called on the
+// calling goroutine, once per worker actually spawned.
+func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.AtomID, workers, batchSize int, newWorker func(w int) FusedWorker, emit func(MoleculeSet) error) (storage.WorkTally, error) {
 	var work storage.WorkTally
 	for _, r := range roots {
 		if !dv.roots.Has(r) {
-			return nil, work, errNotRoot(dv, r)
+			return work, errNotRoot(dv, r)
 		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	out := make(MoleculeSet, len(roots))
-	runWorker := func(fw FusedWorker, sc *deriveScratch, lo, hi int) {
+	if batchSize <= 0 {
+		batchSize = DefaultStreamBatch
+	}
+
+	// stop flags cancellation to the per-root worker loops without the
+	// mutex a ctx.Err() probe would take on every root.
+	var stop atomic.Bool
+	unregister := context.AfterFunc(ctx, func() { stop.Store(true) })
+	defer unregister()
+
+	// deriveBatch derives roots[lo:hi) under one worker's hooks and sink,
+	// compacting in root order. A cancelled batch returns what it had —
+	// the emitter discards it, so a partial batch is never delivered.
+	deriveBatch := func(fw FusedWorker, sc *deriveScratch, lo, hi int) MoleculeSet {
+		batch := make(MoleculeSet, 0, hi-lo)
 		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				break
+			}
 			m := dv.deriveScratched(roots[i], fw.Checks, sc)
 			if m == nil {
 				continue
@@ -182,43 +239,118 @@ func (dv *Deriver) DeriveRootsFusedParallel(roots []model.AtomID, workers int, n
 				sc.recycle(m)
 				continue
 			}
-			out[i] = m
+			batch = append(batch, m)
 		}
+		return batch
 	}
-	if workers == 1 || len(roots) < 2*workers {
+
+	numBatches := (len(roots) + batchSize - 1) / batchSize
+	if workers > numBatches {
+		workers = numBatches
+	}
+	if workers <= 1 {
+		// Sequential fast path: one worker, batches emitted in place.
 		sc := newDeriveScratch()
-		runWorker(newWorker(0), sc, 0, len(roots))
+		fw := newWorker(0)
+		var err error
+		for bi := 0; bi < numBatches && err == nil; bi++ {
+			lo := bi * batchSize
+			hi := min(lo+batchSize, len(roots))
+			batch := deriveBatch(fw, sc, lo, hi)
+			// ctx.Err() — not the stop flag — decides: Err is set
+			// synchronously with cancellation while the AfterFunc above
+			// runs asynchronously, and stop implies Err non-nil, so a
+			// batch cut short mid-derivation is never delivered.
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			if len(batch) > 0 {
+				err = emit(batch)
+			}
+		}
 		work = sc.work
 		sc.flush(dv.db)
-		return out, work, nil
+		return work, err
 	}
+
+	// Pipelined path. Workers pull batch indexes from batchCh and publish
+	// each finished batch into its dedicated one-slot channel, so a send
+	// never blocks and the emitter below replays the batches in order.
+	// The sem token bound keeps at most workers+1 batches in flight:
+	// the dispatcher acquires before handing out an index, the emitter
+	// releases after draining the batch.
+	results := make([]chan MoleculeSet, numBatches)
+	for i := range results {
+		results[i] = make(chan MoleculeSet, 1)
+	}
+	batchCh := make(chan int)
+	sem := make(chan struct{}, workers+1)
+	abort := make(chan struct{}) // closed when the emitter bails early
 	var wg sync.WaitGroup
-	chunk := (len(roots) + workers - 1) / workers
 	tallies := make([]storage.WorkTally, workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(roots) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(roots) {
-			hi = len(roots)
-		}
 		fw := newWorker(w)
 		wg.Add(1)
-		go func(w int, fw FusedWorker, lo, hi int) {
+		go func(w int, fw FusedWorker) {
 			defer wg.Done()
 			sc := newDeriveScratch()
-			runWorker(fw, sc, lo, hi)
+			for bi := range batchCh {
+				lo := bi * batchSize
+				hi := min(lo+batchSize, len(roots))
+				results[bi] <- deriveBatch(fw, sc, lo, hi)
+			}
 			tallies[w] = sc.work
 			sc.flush(dv.db)
-		}(w, fw, lo, hi)
+		}(w, fw)
 	}
+	go func() { // dispatcher
+		defer close(batchCh)
+		for bi := 0; bi < numBatches; bi++ {
+			select {
+			case sem <- struct{}{}:
+			case <-abort:
+				return
+			}
+			select {
+			case batchCh <- bi:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	err := func() error {
+		defer close(abort)
+		for bi := 0; bi < numBatches; bi++ {
+			var batch MoleculeSet
+			select {
+			case batch = <-results[bi]:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			// ctx.Err() — not the stop flag — decides: Err is set
+			// synchronously with cancellation while the AfterFunc above
+			// runs asynchronously, and a worker only cuts a batch short
+			// after stop (which implies Err non-nil), so a partial batch
+			// is never delivered.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if len(batch) > 0 {
+				if err := emit(batch); err != nil {
+					stop.Store(true)
+					return err
+				}
+			}
+			<-sem
+		}
+		return nil
+	}()
 	wg.Wait()
 	for _, t := range tallies {
 		work.Add(t)
 	}
-	return out, work, nil
+	return work, err
 }
 
 func errNotRoot(dv *Deriver, r model.AtomID) error {

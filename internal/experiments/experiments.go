@@ -46,6 +46,7 @@ func All() []Experiment {
 		{ID: "P9", Title: "histogram statistics: skew-proof access paths, plan caching", Run: RunP9},
 		{ID: "P10", Title: "symmetric access paths: interior-index entry vs root scan", Run: RunP10},
 		{ID: "P11", Title: "fused derive+residual pipeline, feedback-calibrated costs", Run: RunP11},
+		{ID: "P12", Title: "streaming execution: first-molecule latency, LIMIT work caps", Run: RunP12},
 	}
 }
 

@@ -30,6 +30,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"P9":  {"uniform", "histogram", "plan cache", "ANALYZE"},
 		"P10": {"root scan + pushdown", "interior-index entry", "[interior-index]", "recover roots upward"},
 		"P11": {"barrier (derive→filter)", "fused (derive+filter)", "feedback loop", "[observed]", "conjunct evaluations"},
+		"P12": {"Execute (materialize)", "Stream (incremental)", "first molecule", "LIMIT 8", "atom fetches"},
 	}
 	for _, e := range experiments.All() {
 		e := e
@@ -58,7 +59,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := experiments.Lookup("ZZ"); ok {
 		t.Fatal("ZZ must not exist")
 	}
-	if len(experiments.All()) != 18 {
-		t.Fatalf("experiment count = %d, want 18", len(experiments.All()))
+	if len(experiments.All()) != 19 {
+		t.Fatalf("experiment count = %d, want 19", len(experiments.All()))
 	}
 }

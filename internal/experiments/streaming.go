@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mad/internal/plan"
+)
+
+// RunP12 measures the streaming execution surface against the
+// materialized one on the assembly workload.
+//
+// Part one is latency: Plan.Stream hands the first molecule to the
+// consumer while the bulk of the root batch is still deriving, so the
+// time to first result is a small fraction of the full materialization
+// time (which is what Execute makes every caller wait for).
+//
+// Part two is work under LIMIT: the stream cancels the in-flight
+// derivation once the cap is reached, so a LIMIT-k query fetches a
+// bounded number of atoms no matter how large the occurrence is,
+// where the materialized path derives everything and then throws the
+// tail away.
+func RunP12(w io.Writer, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	header(w, "P12", "streaming execution: time to first molecule, LIMIT work caps")
+
+	const perScale = 2048
+	db, mt, err := BuildAssembly(perScale * scale)
+	if err != nil {
+		return err
+	}
+	defer plan.Release(db)
+	pred := ResidualHeavyPred()
+	fmt.Fprintf(w, "workload: %d assemblies, residual-heavy predicate\n\n", perScale*scale)
+
+	// Part one: time to first molecule vs full materialization.
+	pm, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	set, err := pm.Execute()
+	if err != nil {
+		return err
+	}
+	materialize := time.Since(start)
+
+	ps, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	st, err := ps.Stream(context.Background())
+	if err != nil {
+		return err
+	}
+	m, err := st.Next()
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("P12: stream delivered no molecules")
+	}
+	first := time.Since(start)
+	streamed := 1
+	for {
+		m, err := st.Next()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			break
+		}
+		streamed++
+	}
+	drain := time.Since(start)
+	if err := st.Close(); err != nil {
+		return err
+	}
+	if streamed != len(set) {
+		return fmt.Errorf("P12: stream delivered %d molecules, Execute %d", streamed, len(set))
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "surface\tfirst molecule\tall molecules\tmolecules")
+	fmt.Fprintf(tw, "Execute (materialize)\t%v\t%v\t%d\n",
+		materialize.Round(10*time.Microsecond), materialize.Round(10*time.Microsecond), len(set))
+	fmt.Fprintf(tw, "Stream (incremental)\t%v\t%v\t%d\n",
+		first.Round(10*time.Microsecond), drain.Round(10*time.Microsecond), streamed)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "first molecule after %.1f%% of the materialized wait\n\n",
+		100*float64(first)/float64(materialize))
+
+	// Part two: LIMIT caps the derivation work.
+	const limit = 8
+	full, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+	before := db.Stats().Snapshot()
+	if _, err := full.Execute(); err != nil {
+		return err
+	}
+	fullFetches := db.Stats().Snapshot().AtomsFetched - before.AtomsFetched
+
+	capped, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		return err
+	}
+	capped.Limit = limit
+	before = db.Stats().Snapshot()
+	got, err := capped.Execute()
+	if err != nil {
+		return err
+	}
+	cappedFetches := db.Stats().Snapshot().AtomsFetched - before.AtomsFetched
+	if len(got) != limit {
+		return fmt.Errorf("P12: LIMIT %d delivered %d molecules", limit, len(got))
+	}
+	fmt.Fprintf(w, "LIMIT %d: %d atom fetches vs %d for the full run (%.1f%%) — cancellation stops the workers mid-batch\n",
+		limit, cappedFetches, fullFetches, 100*float64(cappedFetches)/float64(fullFetches))
+	if cappedFetches*4 > fullFetches {
+		return fmt.Errorf("P12: LIMIT failed to cap the derivation work (%d of %d fetches)",
+			cappedFetches, fullFetches)
+	}
+	return nil
+}

@@ -90,12 +90,15 @@ type RecursiveClause struct {
 	Depth int  // 0 = unbounded
 }
 
-// SelectStmt is SELECT <list|ALL> FROM <from> [WHERE <pred>].
+// SelectStmt is SELECT <list|ALL> FROM <from> [WHERE <pred>] [LIMIT n].
 type SelectStmt struct {
 	All   bool
 	Items []ProjItem
 	From  FromClause
 	Where expr.Expr
+	// Limit caps the molecules delivered (0 = no limit); execution
+	// cancels the in-flight derivation once the cap is reached.
+	Limit int
 }
 
 func (*SelectStmt) stmt() {}
@@ -204,6 +207,16 @@ type ExplainStmt struct {
 }
 
 func (*ExplainStmt) stmt() {}
+
+// SetStmt is SET <option> [=] <literal> — per-session execution options
+// threaded into subsequent query plans: SET WORKERS n bounds the worker
+// pool (0 = all cores), SET NOCACHE TRUE bypasses the plan cache.
+type SetStmt struct {
+	Name  string
+	Value model.Value
+}
+
+func (*SetStmt) stmt() {}
 
 // AnalyzeStmt is ANALYZE [type] — it (re)builds the equi-depth
 // histograms the planner estimates selectivities from, over one atom

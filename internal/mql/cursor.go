@@ -1,0 +1,230 @@
+package mql
+
+import (
+	"context"
+	"iter"
+
+	"mad/internal/core"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// queryOpts carries the per-query execution options of one QueryContext
+// call; unset fields fall back to the session's SET defaults and the
+// statement's own LIMIT clause.
+type queryOpts struct {
+	workers    int
+	workersSet bool
+	limit      int
+	limitSet   bool
+	noCache    bool
+}
+
+// QueryOption tunes one QueryContext call. Options override the
+// session-level SET defaults and the statement's LIMIT clause for this
+// query only.
+type QueryOption func(*queryOpts)
+
+// WithWorkers bounds the worker pool the query's derivation fans out
+// over: 0 selects all cores, 1 forces sequential execution.
+func WithWorkers(n int) QueryOption {
+	return func(o *queryOpts) { o.workers, o.workersSet = n, true }
+}
+
+// WithLimit caps the molecules the cursor delivers; the in-flight
+// derivation is cancelled once the cap is reached. 0 removes a LIMIT
+// the statement itself carries.
+func WithLimit(n int) QueryOption {
+	return func(o *queryOpts) { o.limit, o.limitSet = n, true }
+}
+
+// WithNoCache bypasses the plan cache for this query: the plan is
+// compiled fresh and not memoized — useful for one-off ad-hoc
+// statements that should not evict hot cached plans.
+func WithNoCache() QueryOption {
+	return func(o *queryOpts) { o.noCache = true }
+}
+
+// Cursor is the streaming result of one statement. For a non-recursive
+// SELECT it wraps a plan.Stream: molecules arrive incrementally, in the
+// deterministic root-aligned execution order, with the projection of the
+// SELECT list applied molecule by molecule — the first result is
+// available while the bulk of the root batch is still deriving, and
+// cancelling the query's context stops the worker pool mid-derivation.
+// Every other statement (DDL, DML, SHOW, EXPLAIN, recursive SELECT)
+// executes eagerly and carries its Result immediately; Next then reports
+// exhaustion straight away.
+//
+// A Cursor must be drained (Next returning nil, nil) or Closed; like its
+// Session it is not safe for concurrent use.
+type Cursor struct {
+	db     *storage.Database
+	stream *plan.Stream
+	// desc is the delivered structure (the projected sub-description
+	// when the SELECT list narrows); sub is non-nil when each molecule
+	// must be pruned to it before delivery.
+	desc  *core.Desc
+	sub   *core.Desc
+	attrs map[string][]string
+	res   *Result // immediate result of a non-streaming statement
+	n     int
+}
+
+// QueryContext parses and executes a single statement under ctx,
+// returning a streaming Cursor. Cancelling ctx (or reaching its
+// deadline) stops an in-flight SELECT mid-derivation; per-query options
+// override the session's SET defaults.
+func (s *Session) QueryContext(ctx context.Context, src string, opts ...QueryOption) (*Cursor, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStream(ctx, st, opts...)
+}
+
+// ExecuteStream is QueryContext over an already-parsed statement — the
+// entry point for callers that manage their own parsing (the TCP server
+// runs each statement of a request script through it).
+func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOption) (*Cursor, error) {
+	var o queryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		r, err := s.Execute(st)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{db: s.db, res: r}, nil
+	}
+	mt, rt, err := s.resolveFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if rt != nil {
+		// Recursive derivation runs eagerly (no plan, no worker pool),
+		// but a per-query limit still caps the result.
+		if o.limitSet {
+			capped := *sel
+			capped.Limit = o.limit
+			sel = &capped
+		}
+		r, err := s.execRecursiveSelect(sel, rt)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{db: s.db, res: r}, nil
+	}
+	desc := mt.Desc()
+	p, err := s.planSelect(sel, desc, o)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the SELECT list before execution starts, exactly like the
+	// materialized path does.
+	sub, attrs, err := s.projectionSpec(sel, desc)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := p.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{db: s.db, stream: stream, desc: desc, sub: sub, attrs: attrs}
+	if sub != nil {
+		c.desc = sub
+	}
+	return c, nil
+}
+
+// Streaming reports whether the cursor delivers molecules incrementally
+// (a planned SELECT) or carries an immediate Result.
+func (c *Cursor) Streaming() bool { return c.stream != nil }
+
+// Desc returns the description of the delivered molecules (after
+// projection); nil for non-streaming statements.
+func (c *Cursor) Desc() *core.Desc { return c.desc }
+
+// Attrs returns the SELECT list's per-type attribute narrowing (nil
+// when every attribute is delivered).
+func (c *Cursor) Attrs() map[string][]string { return c.attrs }
+
+// Next returns the next molecule of a streaming SELECT, with the
+// statement's projection applied. A nil molecule with a nil error means
+// the cursor is exhausted (immediately so for non-streaming
+// statements); errors are terminal.
+func (c *Cursor) Next() (*core.Molecule, error) {
+	if c.stream == nil {
+		return nil, nil
+	}
+	m, err := c.stream.Next()
+	if m == nil || err != nil {
+		return nil, err
+	}
+	if c.sub != nil {
+		m = m.PruneTo(c.sub)
+	}
+	c.n++
+	return m, nil
+}
+
+// Seq adapts the cursor to a Go 1.23 range-over-func iterator; after
+// the loop, Err reports whether iteration ended by exhaustion or error,
+// and breaking out early leaves the cursor open (Close it).
+func (c *Cursor) Seq() iter.Seq[*core.Molecule] {
+	return func(yield func(*core.Molecule) bool) {
+		for {
+			m, err := c.Next()
+			if m == nil || err != nil {
+				return
+			}
+			if !yield(m) {
+				return
+			}
+		}
+	}
+}
+
+// Err returns the cursor's terminal error, nil while molecules are
+// still flowing and after clean exhaustion.
+func (c *Cursor) Err() error {
+	if c.stream == nil {
+		return nil
+	}
+	return c.stream.Err()
+}
+
+// Delivered counts the molecules handed out so far.
+func (c *Cursor) Delivered() int { return c.n }
+
+// Result drains the cursor and materializes the remaining molecules
+// into a classic Result — the collect-all bridge Exec is built on. For
+// non-streaming statements it returns the immediate result.
+func (c *Cursor) Result() (*Result, error) {
+	if c.stream == nil {
+		return c.res, nil
+	}
+	set := core.MoleculeSet{}
+	for {
+		m, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			break
+		}
+		set = append(set, m)
+	}
+	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs}, nil
+}
+
+// Close cancels an in-flight SELECT, waits for its workers to wind down
+// and releases the cursor; it is idempotent and a no-op for
+// non-streaming statements.
+func (c *Cursor) Close() error {
+	if c.stream == nil {
+		return nil
+	}
+	return c.stream.Close()
+}

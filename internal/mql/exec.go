@@ -1,6 +1,7 @@
 package mql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,11 +16,19 @@ import (
 
 // Session executes MQL statements against a database. It tracks the named
 // molecule types created by DEFINE MOLECULE TYPE and by named FROM
-// clauses. A Session is not safe for concurrent use; open one per client.
+// clauses, plus the per-session execution options installed by SET
+// (workers, cache bypass). A Session is not safe for concurrent use;
+// open one per client, and finish (drain or Close) a streaming Cursor
+// before issuing the next statement.
 type Session struct {
 	db    *storage.Database
 	named map[string]*core.MoleculeType
 	rec   map[string]*recursive.Type
+
+	// workers is the SET WORKERS session default threaded into every
+	// plan (0 = GOMAXPROCS); noCache bypasses the plan cache when set.
+	workers int
+	noCache bool
 }
 
 // NewSession opens a session over the database.
@@ -72,13 +81,17 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes a single statement.
+// Exec parses and executes a single statement, materializing the whole
+// result. It delegates to QueryContext with a background context — new
+// code that wants incremental delivery, cancellation or a deadline
+// should call QueryContext directly and iterate the returned Cursor.
 func (s *Session) Exec(src string) (*Result, error) {
-	st, err := Parse(src)
+	cur, err := s.QueryContext(context.Background(), src)
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(st)
+	defer cur.Close()
+	return cur.Result()
 }
 
 // ExecScript parses and executes a ';'-separated script, stopping at the
@@ -139,8 +152,33 @@ func (s *Session) Execute(st Stmt) (*Result, error) {
 		return s.execExplain(st)
 	case *AnalyzeStmt:
 		return s.execAnalyze(st)
+	case *SetStmt:
+		return s.execSet(st)
 	}
 	return nil, fmt.Errorf("mql: unsupported statement %T", st)
+}
+
+// execSet installs a per-session execution option. The options thread
+// into every subsequent plan — both the materialized Execute path and
+// streaming cursors.
+func (s *Session) execSet(st *SetStmt) (*Result, error) {
+	switch strings.ToUpper(st.Name) {
+	case "WORKERS":
+		n, ok := st.Value.AsInt()
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("mql: SET WORKERS needs a non-negative integer, got %s", st.Value)
+		}
+		s.workers = int(n)
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("workers set to %d (0 = all cores)", n)}, nil
+	case "NOCACHE":
+		b, ok := st.Value.AsBool()
+		if !ok {
+			return nil, fmt.Errorf("mql: SET NOCACHE needs TRUE or FALSE, got %s", st.Value)
+		}
+		s.noCache = b
+		return &Result{Kind: RMessage, Message: fmt.Sprintf("plan-cache bypass set to %v", b)}, nil
+	}
+	return nil, fmt.Errorf("mql: unknown session option %q (supported: WORKERS, NOCACHE)", st.Name)
 }
 
 // execAnalyze rebuilds the per-attribute histograms of one atom type (or
@@ -254,63 +292,79 @@ func (s *Session) resolveFrom(fc FromClause) (*core.MoleculeType, *recursive.Typ
 // planSelect compiles a non-recursive SELECT body into a query plan,
 // going through the database's plan cache: repeated statements over the
 // same structure (named molecule types above all) reuse the compiled
-// plan until DDL or ANALYZE bumps the plan epoch.
-func (s *Session) planSelect(st *SelectStmt, desc *core.Desc) (*plan.Plan, error) {
+// plan until DDL or ANALYZE bumps the plan epoch. The session's SET
+// options, the statement's LIMIT and any per-query options (strongest
+// last) parameterize the returned plan.
+func (s *Session) planSelect(st *SelectStmt, desc *core.Desc, o queryOpts) (*plan.Plan, error) {
 	if st.Where != nil {
 		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
 			return nil, err
 		}
 	}
-	p, _, err := plan.CacheFor(s.db).Compile(desc, st.Where)
-	return p, err
+	var (
+		p   *plan.Plan
+		err error
+	)
+	if s.noCache || o.noCache {
+		p, err = plan.Compile(s.db, desc, st.Where)
+	} else {
+		p, _, err = plan.CacheFor(s.db).Compile(desc, st.Where)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.Workers = s.workers
+	if o.workersSet {
+		p.Workers = o.workers
+	}
+	p.Limit = st.Limit
+	if o.limitSet {
+		p.Limit = o.limit
+	}
+	return p, nil
 }
 
 // execSelect runs a query-mode SELECT through the planner: access path
 // (root index, filtered root scan, or an interior-index entry climbed
 // upward through the symmetric links), derivation with predicate
 // pushdown over the worker pool, residual restriction, projection —
-// without enlarging the database. The algebra-mode equivalent (with
-// propagation) is DEFINE MOLECULE TYPE ... AS SELECT ...
+// without enlarging the database. It is the collect-all form of
+// ExecuteStream, so the materialized surfaces (Execute, ExecScript)
+// and the streaming Cursor run exactly one pipeline. The algebra-mode
+// equivalent (with propagation) is DEFINE MOLECULE TYPE ... AS SELECT.
 func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
-	mt, rt, err := s.resolveFrom(st.From)
+	cur, err := s.ExecuteStream(context.Background(), st)
 	if err != nil {
 		return nil, err
 	}
-	if rt != nil {
-		return s.execRecursiveSelect(st, rt)
-	}
-	desc := mt.Desc()
-	p, err := s.planSelect(st, desc)
-	if err != nil {
-		return nil, err
-	}
-	set, err := p.Execute()
-	if err != nil {
-		return nil, err
-	}
-	return s.project(st, desc, set)
+	defer cur.Close()
+	return cur.Result()
 }
 
-// project applies the SELECT list in query mode via PruneTo.
-func (s *Session) project(st *SelectStmt, desc *core.Desc, set core.MoleculeSet) (*Result, error) {
+// projectionSpec validates the SELECT list against the structure and
+// returns the induced sub-description plus the per-type attribute
+// narrowing. A nil sub-description means SELECT ALL (no projection).
+// Shared by the materialized path (project) and the streaming Cursor,
+// which prunes molecule by molecule.
+func (s *Session) projectionSpec(st *SelectStmt, desc *core.Desc) (*core.Desc, map[string][]string, error) {
 	if st.All {
-		return &Result{Kind: RMolecules, Set: set, Desc: desc}, nil
+		return nil, nil, nil
 	}
 	keep := make([]string, 0, len(st.Items))
 	attrs := make(map[string][]string)
 	for _, it := range st.Items {
 		if !desc.HasType(it.Type) {
-			return nil, fmt.Errorf("mql: SELECT item %q is not part of the structure %s", it.Type, desc)
+			return nil, nil, fmt.Errorf("mql: SELECT item %q is not part of the structure %s", it.Type, desc)
 		}
 		keep = append(keep, it.Type)
 		if it.Attrs != nil {
 			c, ok := s.db.Container(it.Type)
 			if !ok {
-				return nil, fmt.Errorf("mql: atom type %q has no container", it.Type)
+				return nil, nil, fmt.Errorf("mql: atom type %q has no container", it.Type)
 			}
 			for _, a := range it.Attrs {
 				if _, ok := c.Desc().Lookup(a); !ok {
-					return nil, fmt.Errorf("mql: atom type %q has no attribute %q", it.Type, a)
+					return nil, nil, fmt.Errorf("mql: atom type %q has no attribute %q", it.Type, a)
 				}
 			}
 			attrs[it.Type] = it.Attrs
@@ -323,7 +377,7 @@ func (s *Session) project(st *SelectStmt, desc *core.Desc, set core.MoleculeSet)
 		}
 	}
 	if !hasRoot {
-		return nil, fmt.Errorf("mql: the SELECT list must include the root type %q (molecule projection keeps the root)", desc.Root())
+		return nil, nil, fmt.Errorf("mql: the SELECT list must include the root type %q (molecule projection keeps the root)", desc.Root())
 	}
 	// Induced sub-description over the original type names.
 	keepSet := make(map[string]bool, len(keep))
@@ -344,13 +398,9 @@ func (s *Session) project(st *SelectStmt, desc *core.Desc, set core.MoleculeSet)
 	}
 	sub, err := core.NewDesc(s.db, subTypes, subEdges)
 	if err != nil {
-		return nil, fmt.Errorf("mql: projected structure invalid: %w", err)
+		return nil, nil, fmt.Errorf("mql: projected structure invalid: %w", err)
 	}
-	pruned := make(core.MoleculeSet, len(set))
-	for i, m := range set {
-		pruned[i] = m.PruneTo(sub)
-	}
-	return &Result{Kind: RMolecules, Set: pruned, Desc: sub, Attrs: attrs}, nil
+	return sub, attrs, nil
 }
 
 // execRecursiveSelect evaluates SELECT over a recursive structure.
@@ -385,6 +435,11 @@ func (s *Session) execRecursiveSelect(st *SelectStmt, rt *recursive.Type) (*Resu
 		}
 		set = kept
 	}
+	// Recursive derivation has no streaming executor to cancel, so LIMIT
+	// caps the (deterministically ordered) result after the filter.
+	if st.Limit > 0 && len(set) > st.Limit {
+		set = set[:st.Limit]
+	}
 	return &Result{Kind: RRecursive, RecSet: set, RecType: rt}, nil
 }
 
@@ -398,6 +453,13 @@ func (s *Session) execDefine(st *DefineStmt) (*Result, error) {
 		return s.execDefineSetOp(st)
 	}
 	sel := st.Select
+	if sel.Limit > 0 {
+		// A capped definition would register a molecule type whose
+		// occurrence depends on delivery order — algebra mode defines
+		// whole occurrences (Definition 9), so reject rather than
+		// silently ignore the clause.
+		return nil, fmt.Errorf("mql: LIMIT is not supported in DEFINE ... AS SELECT")
+	}
 	mt, rt, err := s.resolveFrom(sel.From)
 	if err != nil {
 		return nil, err
@@ -696,7 +758,7 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 		return &Result{Kind: RPlan, Message: b.String()}, nil
 	}
 	desc := mt.Desc()
-	p, err := s.planSelect(sel, desc)
+	p, err := s.planSelect(sel, desc, queryOpts{})
 	if err != nil {
 		return nil, err
 	}

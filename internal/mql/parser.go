@@ -163,6 +163,8 @@ func (p *Parser) Statement() (Stmt, error) {
 		return st, nil
 	case "ANALYZE":
 		return p.analyzeStmt()
+	case "SET":
+		return p.setStmt()
 	}
 	return nil, fmt.Errorf("mql: unknown statement %s at offset %d", t, t.Pos)
 }
@@ -183,7 +185,24 @@ func (p *Parser) analyzeStmt() (Stmt, error) {
 	return st, nil
 }
 
-// selectStmt parses SELECT <ALL|list> FROM <from> [WHERE pred].
+// setStmt parses SET <option> [=] <literal>.
+func (p *Parser) setStmt() (Stmt, error) {
+	if err := p.expect(TKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TSymbol, "=")
+	v, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &SetStmt{Name: name, Value: v}, nil
+}
+
+// selectStmt parses SELECT <ALL|list> FROM <from> [WHERE pred] [LIMIT n].
 func (p *Parser) selectStmt() (Stmt, error) {
 	if err := p.expect(TKeyword, "SELECT"); err != nil {
 		return nil, err
@@ -217,6 +236,16 @@ func (p *Parser) selectStmt() (Stmt, error) {
 			return nil, err
 		}
 		s.Where = pred
+	}
+	if p.accept(TKeyword, "LIMIT") {
+		n, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("mql: LIMIT must be at least 1")
+		}
+		s.Limit = int(n)
 	}
 	return s, nil
 }

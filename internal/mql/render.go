@@ -45,6 +45,17 @@ func (r *Result) Render(db *storage.Database) string {
 	return ""
 }
 
+// RenderMolecule formats one streamed molecule exactly as Result.Render
+// formats the i-th molecule (1-based) of a materialized set — the
+// building block of incremental result delivery (the TCP server renders
+// a cursor's molecules into CHUNK frames with it).
+func RenderMolecule(db *storage.Database, i int, m *core.Molecule, attrs map[string][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i, m.Size(), m.NumLinks())
+	b.WriteString(formatMolecule(db, m, attrs))
+	return b.String()
+}
+
 // formatMolecule renders one molecule as an indented tree honouring the
 // projection's attribute narrowing.
 func formatMolecule(db *storage.Database, m *core.Molecule, attrs map[string][]string) string {

@@ -73,7 +73,7 @@ var keywords = map[string]bool{
 	"EXPLAIN": true, "RECURSIVE": true, "DEPTH": true, "DOWN": true, "UP": true,
 	"UNION": true, "DIFFERENCE": true, "INTERSECT": true, "OF": true,
 	"ANALYZE": true, "ESTIMATE": true, "HISTOGRAMS": true,
-	"FEEDBACK": true,
+	"FEEDBACK": true, "LIMIT": true,
 }
 
 // Lexer turns MQL source into tokens.

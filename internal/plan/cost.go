@@ -316,13 +316,13 @@ func climbEstimate(db *storage.Database, desc *core.Desc, entryType string, entr
 // residualRank orders residual conjuncts for short-circuit evaluation:
 // the classic (selectivity − 1)/cost criterion, most negative first, puts
 // cheap, highly selective conjuncts ahead so expected work per molecule
-// is minimized.
-func residualRank(r ResidualConjunct) float64 {
-	cost := r.Cost
+// is minimized. cost is either the static conjCost score or the observed
+// ns/eval figure — rankResiduals guarantees a chain never mixes the two.
+func residualRank(sel, cost float64) float64 {
 	if cost <= 0 {
 		cost = 0.1
 	}
-	return (r.Sel - 1) / cost
+	return (sel - 1) / cost
 }
 
 // clampSel bounds a selectivity estimate away from the degenerate 0 and

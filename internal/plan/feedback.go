@@ -12,7 +12,7 @@ import (
 
 // Feedback is the per-database execution-feedback store: it closes the
 // loop between the cost model's estimates and what executions actually
-// observed. Three kinds of actuals are recorded:
+// observed. Four kinds of actuals are recorded:
 //
 //   - per cached plan, the observed *molecule-level* pass rate of every
 //     residual conjunct (ResidualConjunct.Passed/Evals). Histograms only
@@ -21,6 +21,11 @@ import (
 //     systematically higher than the atom fraction — the observed rate
 //     replaces the guess on subsequent compiles and executions, and the
 //     residual chain re-ranks around it (EXPLAIN provenance [observed]);
+//   - per cached plan, the observed *wall-clock evaluation cost* of
+//     every residual conjunct (ns/eval, from ResidualConjunct.Nanos).
+//     Once every conjunct of a chain carries one, ranking switches from
+//     the static conjCost shape score to the measured cost (EXPLAIN
+//     provenance [observed-cost]);
 //   - per structure, the atoms actually fetched per root entering
 //     derivation — calibrating derivCostPerRoot, the constant that
 //     weights every access-path contest;
@@ -53,8 +58,16 @@ type Feedback struct {
 // mirroring the plan cache's entry bound for the same ad-hoc churn.
 const feedbackLimit = cacheLimit
 
-// passObs accumulates molecule-level evaluations of one residual conjunct.
-type passObs struct{ evals, passed int64 }
+// passObs accumulates molecule-level evaluations of one residual
+// conjunct: the pass-rate sample (evals/passed, only from executions
+// where the conjunct saw every derived molecule) and the wall-clock
+// cost sample (costEvals/nanos, from every execution that evaluated the
+// conjunct at all — cost per evaluation is not biased by short-circuit
+// position the way the pass rate is).
+type passObs struct {
+	evals, passed    int64
+	costEvals, nanos int64
+}
 
 // ratioObs accumulates a work-per-unit observation (atoms per root, links
 // per entry) over executions.
@@ -200,21 +213,32 @@ func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 		}
 		for i := range p.Residuals {
 			r := &p.Residuals[i]
-			// Only unconditional samples are stored: a conjunct behind a
-			// short-circuit cut saw just the earlier conjuncts' survivors,
-			// and folding that conditional rate into the store would let
-			// correlated conjuncts lock in or oscillate a wrong order
-			// (two mutually exclusive 50% conjuncts would drive each
-			// other's "selectivity" to zero). Evals == Derived means the
-			// conjunct was evaluated on every derived molecule, so the
-			// measured rate is its true molecule-level selectivity.
-			if r.Evals != p.Derived {
+			if r.Evals <= 0 {
 				continue
 			}
 			o := obs[r.key]
 			if o == nil {
 				o = &passObs{}
 				obs[r.key] = o
+			}
+			// The wall-clock cost sample folds in from every execution
+			// that evaluated the conjunct: cost per evaluation is a
+			// property of the conjunct's shape and the molecule sizes,
+			// not of which molecules survived the earlier conjuncts.
+			if r.Nanos > 0 {
+				o.costEvals += int64(r.Evals)
+				o.nanos += r.Nanos
+			}
+			// The pass rate stores only unconditional samples: a conjunct
+			// behind a short-circuit cut saw just the earlier conjuncts'
+			// survivors, and folding that conditional rate into the store
+			// would let correlated conjuncts lock in or oscillate a wrong
+			// order (two mutually exclusive 50% conjuncts would drive
+			// each other's "selectivity" to zero). Evals == Derived means
+			// the conjunct was evaluated on every derived molecule, so
+			// the measured rate is its true molecule-level selectivity.
+			if r.Evals != p.Derived {
+				continue
 			}
 			o.evals += int64(r.Evals)
 			o.passed += int64(r.Passed)
@@ -252,13 +276,14 @@ func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 	}
 }
 
-// observeResiduals overwrites the estimated selectivity of every residual
-// conjunct that has recorded observations with its observed molecule-
-// level pass rate (provenance SrcObserved) and reports whether anything
-// changed. Callers re-rank the chain afterwards; both Compile (fresh
-// plans) and Execute (cached clones, which may predate the observations)
-// go through here, so a mis-ranked chain is corrected by the second
-// execution at the latest.
+// observeResiduals overwrites the estimated selectivity of every
+// residual conjunct that has recorded observations with its observed
+// molecule-level pass rate (provenance SrcObserved), fills in the
+// observed per-eval cost where one was measured, and reports whether
+// anything changed. Callers re-rank the chain afterwards; both Compile
+// (fresh plans) and Stream/Execute (cached clones, which may predate
+// the observations) go through here, so a mis-ranked chain is corrected
+// by the second execution at the latest.
 func (fb *Feedback) observeResiduals(p *Plan) bool {
 	if fb == nil || len(p.Residuals) == 0 {
 		return false
@@ -280,12 +305,24 @@ func (fb *Feedback) observeResiduals(p *Plan) bool {
 	for i := range p.Residuals {
 		r := &p.Residuals[i]
 		o := obs[r.key]
-		if o == nil || o.evals == 0 {
+		if o == nil {
 			continue
 		}
-		r.Sel = clampSel(float64(o.passed) / float64(o.evals))
-		r.Source = SrcObserved
-		changed = true
+		if o.evals > 0 {
+			r.Sel = clampSel(float64(o.passed) / float64(o.evals))
+			r.Source = SrcObserved
+			changed = true
+		}
+		if o.costEvals > 0 {
+			r.ObsCost = float64(o.nanos) / float64(o.costEvals)
+			if r.ObsCost < 1 {
+				// Clock-resolution floor: an observed cost must stay
+				// positive, or rankResiduals would fall back to the
+				// static score for the whole chain.
+				r.ObsCost = 1
+			}
+			changed = true
+		}
 	}
 	return changed
 }

@@ -97,6 +97,51 @@ func TestFeedbackReranksBySecondExecution(t *testing.T) {
 	}
 }
 
+// TestFeedbackObservesResidualCost checks the evaluation-cost half of
+// the residual loop: executions accumulate per-conjunct wall-clock work
+// (ResidualConjunct.Nanos), the feedback store turns it into an observed
+// ns/eval cost, and once every conjunct of the chain carries one, the
+// chain ranks on measured costs — rendered as [observed-cost] by
+// EXPLAIN — instead of the static shape score.
+func TestFeedbackObservesResidualCost(t *testing.T) {
+	db, mt := assemblyDB(t, 96)
+	defer plan.Release(db)
+	plan.FeedbackFor(db)
+	pred := misRankedPred()
+
+	p1, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Residuals {
+		if p1.Residuals[i].CostSrc == plan.SrcObserved {
+			t.Fatalf("cold compile must rank on the static cost score:\n%s", p1.Render())
+		}
+	}
+	if _, err := p1.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Residuals {
+		if p1.Residuals[i].Evals > 0 && p1.Residuals[i].Nanos <= 0 {
+			t.Fatalf("execution must accumulate wall-clock work per evaluated conjunct:\n%s", p1.Render())
+		}
+	}
+
+	p2, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p2.Residuals {
+		if p2.Residuals[i].ObsCost <= 0 || p2.Residuals[i].CostSrc != plan.SrcObserved {
+			t.Fatalf("second compile must rank on observed costs (conjunct %d: obs %.1f src %q):\n%s",
+				i, p2.Residuals[i].ObsCost, p2.Residuals[i].CostSrc, p2.Render())
+		}
+	}
+	if out := p2.Render(); !strings.Contains(out, "[observed-cost]") {
+		t.Fatalf("render must carry the observed-cost provenance:\n%s", out)
+	}
+}
+
 // TestFeedbackEpochReset checks the interplay with the storage plan
 // epoch: ANALYZE (like any DDL) bumps the epoch, and the next feedback
 // access discards every observation recorded under the old statistics

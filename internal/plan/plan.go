@@ -26,12 +26,18 @@
 //     estimated selectivity × evaluation cost so cheap, selective
 //     conjuncts short-circuit the expensive ones.
 //
-// Execution is fused: root batches fan out over the worker pool
-// (core.DeriveRootsFusedParallel), and each worker runs the residual
-// chain on a molecule the moment it finishes deriving it — no barrier
-// separates derivation from filtering, rejected molecules never cross a
-// goroutine, and every worker keeps private Evals/Passed/Cut
-// accumulators merged at batch end so the EXPLAIN actuals stay exact.
+// Execution is fused and streaming: the root batch is cut into batches
+// that fan out over the worker pool (core.DeriveRootsFusedStream), each
+// worker runs the residual chain on a molecule the moment it finishes
+// deriving it — no barrier separates derivation from filtering,
+// rejected molecules never cross a goroutine, and every worker keeps
+// private Evals/Passed/Cut accumulators merged at batch end so the
+// EXPLAIN actuals stay exact — and every finished batch is emitted in
+// root order through Stream's bounded channel, so consumers see the
+// first molecules while the bulk of the batch is still deriving, with a
+// live set bounded by O(workers × batch). Execute collects a Stream;
+// cancelling the stream's context (or reaching Plan.Limit) stops the
+// workers mid-derivation.
 //
 // Cardinality and selectivity estimates come from the equi-depth
 // histograms of storage/stats when ANALYZE has built them, falling back
@@ -56,7 +62,9 @@
 package plan
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -184,12 +192,23 @@ type ResidualConjunct struct {
 	// records which statistic produced it.
 	Sel    float64
 	Source string
-	// Cost scores the relative per-molecule evaluation cost.
+	// Cost scores the relative per-molecule evaluation cost (the static
+	// shape-based conjCost score).
 	Cost float64
+	// ObsCost is the observed wall-clock evaluation cost in ns/eval, 0
+	// until the feedback store has recorded executions; CostSrc is
+	// SrcObserved when the chain was ranked on the observed costs
+	// (rendered as [observed-cost] by EXPLAIN), "" when the static score
+	// decided.
+	ObsCost float64
+	CostSrc string
 	// Evals and Passed count molecules evaluated and kept (short-circuit
-	// means later conjuncts see fewer molecules than earlier ones).
+	// means later conjuncts see fewer molecules than earlier ones);
+	// Nanos accumulates the wall-clock nanoseconds spent evaluating the
+	// conjunct — the actual the feedback store learns ObsCost from.
 	Evals  int
 	Passed int
+	Nanos  int64
 }
 
 // Plan is a compiled query plan: access path → derivation with pushdown →
@@ -222,6 +241,12 @@ type Plan struct {
 	// Workers bounds the worker pool derivation fans the root batch out
 	// over: 0 selects GOMAXPROCS, 1 forces sequential derivation.
 	Workers int
+	// Limit caps the molecules a Stream delivers (and therefore what
+	// Execute returns): 0 means unlimited. When the cap is reached the
+	// in-flight derivation is cancelled, so a LIMIT query never derives
+	// far past its answer. A truncated run's actuals cover only the work
+	// actually done and are not recorded into the feedback store.
+	Limit int
 
 	// Execution actuals (valid after Execute).
 	Derived  int // molecules fully derived (survived every pushdown)
@@ -308,15 +333,13 @@ func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, key str
 	fb := feedbackLookup(db)
 	p.chooseAccess(n, rootConjs, fb)
 
-	// Residual selectivities: the feedback store's observed molecule-
-	// level pass rates supersede the histogram/default guesses wherever
-	// executions of this plan (same epoch) have been recorded.
+	// Residual selectivities and evaluation costs: the feedback store's
+	// observed molecule-level pass rates and wall-clock per-eval costs
+	// supersede the histogram/default guesses wherever executions of
+	// this plan (same epoch) have been recorded; rankResiduals orders
+	// the chain around whatever figures are in force.
 	fb.observeResiduals(p)
-	// Order the residual conjuncts by the (selectivity − 1)/cost rank so
-	// short-circuit evaluation does the least expected work per molecule.
-	sort.SliceStable(p.Residuals, func(i, j int) bool {
-		return residualRank(p.Residuals[i]) < residualRank(p.Residuals[j])
-	})
+	p.rankResiduals()
 	// Pushdown order follows the topological order of the structure (a
 	// hook can only fire once its type's component set is complete);
 	// among hooks at the same type, the most selective fires first so
@@ -764,16 +787,48 @@ func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
 }
 
 // applyFeedback re-ranks the residual chain around the feedback store's
-// observed molecule-level pass rates (no-op when fb is nil or has no
-// observations for this plan). Fresh compiles, cache hits and Execute
-// all go through it, so every surface — EXPLAIN (ESTIMATE) included —
-// shows the chain the engine will actually run.
+// observed molecule-level pass rates and per-eval costs (no-op when fb
+// is nil or has no observations for this plan). Fresh compiles, cache
+// hits and Stream/Execute all go through it, so every surface — EXPLAIN
+// (ESTIMATE) included — shows the chain the engine will actually run.
 func (p *Plan) applyFeedback(fb *Feedback) {
 	if fb.observeResiduals(p) {
-		sort.SliceStable(p.Residuals, func(i, j int) bool {
-			return residualRank(p.Residuals[i]) < residualRank(p.Residuals[j])
-		})
+		p.rankResiduals()
 	}
+}
+
+// rankResiduals orders the residual chain by the (selectivity − 1)/cost
+// criterion so short-circuit evaluation does the least expected work per
+// molecule. The per-eval cost is the static conjCost shape score until
+// the feedback store has observed a wall-clock cost for every conjunct
+// of the chain; the two scales are incommensurable, so a chain never
+// mixes them — all-observed chains rank on measured ns/eval (provenance
+// [observed-cost] in EXPLAIN), everything else on the static score.
+func (p *Plan) rankResiduals() {
+	useObs := len(p.Residuals) > 0
+	for i := range p.Residuals {
+		if p.Residuals[i].ObsCost <= 0 {
+			useObs = false
+			break
+		}
+	}
+	cost := func(r *ResidualConjunct) float64 {
+		if useObs {
+			return r.ObsCost
+		}
+		return r.Cost
+	}
+	for i := range p.Residuals {
+		if useObs {
+			p.Residuals[i].CostSrc = SrcObserved
+		} else {
+			p.Residuals[i].CostSrc = ""
+		}
+	}
+	sort.SliceStable(p.Residuals, func(i, j int) bool {
+		ri, rj := &p.Residuals[i], &p.Residuals[j]
+		return residualRank(ri.Sel, cost(ri)) < residualRank(rj.Sel, cost(rj))
+	})
 }
 
 // resetActuals zeroes every execution actual before a run.
@@ -785,14 +840,14 @@ func (p *Plan) resetActuals() {
 		p.Pushdowns[i].Cut = 0
 	}
 	for i := range p.Residuals {
-		p.Residuals[i].Evals, p.Residuals[i].Passed = 0, 0
+		p.Residuals[i].Evals, p.Residuals[i].Passed, p.Residuals[i].Nanos = 0, 0, 0
 	}
 }
 
 // prepareRoots runs the access path and the pre-derivation root filter,
-// returning the root batch entering derivation. Shared by the fused and
-// the barrier execution.
-func (p *Plan) prepareRoots(dv *core.Deriver, eb *evalErrBox) ([]model.AtomID, error) {
+// returning the root batch entering derivation. Shared by the streaming
+// and the barrier execution; cancelling ctx abandons the filter.
+func (p *Plan) prepareRoots(ctx context.Context, dv *core.Deriver, eb *evalErrBox) ([]model.AtomID, error) {
 	var rootFilter func(model.AtomID) bool
 	var err error
 	if p.Access.Filter != nil {
@@ -806,16 +861,10 @@ func (p *Plan) prepareRoots(dv *core.Deriver, eb *evalErrBox) ([]model.AtomID, e
 		return nil, err
 	}
 	if rootFilter != nil {
-		kept := make([]model.AtomID, 0, len(roots))
-		for _, r := range roots {
-			if eb.get() != nil {
-				break
-			}
-			if rootFilter(r) {
-				kept = append(kept, r)
-			}
+		roots, err = p.filterRoots(ctx, roots, rootFilter, eb)
+		if err != nil {
+			return nil, err
 		}
-		roots = kept
 	}
 	if err := eb.get(); err != nil {
 		return nil, err
@@ -824,135 +873,106 @@ func (p *Plan) prepareRoots(dv *core.Deriver, eb *evalErrBox) ([]model.AtomID, e
 	return roots, nil
 }
 
-// Execute runs the plan and returns the qualifying molecules, filling the
-// actual-cardinality fields: access path → root filter → fused pruned
-// derivation + cost-ordered residual chain on the worker pool. Each
-// worker derives a molecule and immediately runs the residual conjuncts
-// on it in one pass — there is no barrier between derivation and
-// filtering, and pruned or rejected molecules never cross a goroutine
-// (they are recycled into the worker's scratch). Every worker keeps its
-// own Evals/Passed/Cut accumulators, merged once the batch ends, so the
-// EXPLAIN actuals stay exact without atomic traffic on the hot path.
-//
-// Before running, the residual chain re-ranks against the feedback
-// store's observed molecule-level pass rates (cached plan clones may
-// predate the observations); after a successful run the execution's own
-// actuals are recorded back, closing the loop — a mis-ranked chain is
-// corrected by the second execution at the latest. Execute never
-// enlarges the database; algebra-mode callers propagate the returned set
-// themselves (see Restrict).
-func (p *Plan) Execute() (core.MoleculeSet, error) {
-	fb := feedbackLookup(p.db)
-	p.applyFeedback(fb)
-	dv, err := core.NewDeriver(p.db, p.desc)
-	if err != nil {
-		return nil, err
-	}
-	p.resetActuals()
+// parallelFilterMin is the root-batch size below which the pre-derivation
+// root filter stays sequential: a per-atom comparison is so cheap that
+// spawning goroutines for a small batch costs more than it saves.
+const parallelFilterMin = 128
 
-	// Per-atom predicates are safe for concurrent use and shared by all
-	// workers; evaluation errors land in the box, and the root-position
-	// guard rejects every molecule once an error is pending, so the
-	// remaining batch degrades to a cheap root sweep instead of deriving
-	// occurrences that will be discarded.
-	var eb evalErrBox
-	rootPos, _ := p.desc.Pos(p.Access.Root)
-	preds := make([]func(model.AtomID) bool, len(p.Pushdowns))
-	for i := range p.Pushdowns {
-		preds[i], err = p.atomPred(p.Pushdowns[i].Type, p.Pushdowns[i].Conjunct, &eb)
-		if err != nil {
+// filterRoots evaluates the pre-derivation root filter over the batch,
+// fanning it over the worker pool when the batch is big enough to pay.
+// Every worker fills a private range of keep flags and the compaction
+// runs sequentially afterwards, so the output order (and therefore every
+// downstream result order) is exactly the sequential one.
+func (p *Plan) filterRoots(ctx context.Context, roots []model.AtomID, rootFilter func(model.AtomID) bool, eb *evalErrBox) ([]model.AtomID, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(roots) < parallelFilterMin || len(roots) < 2*workers {
+		kept := make([]model.AtomID, 0, len(roots))
+		for _, r := range roots {
+			if eb.failed.Load() {
+				break
+			}
+			if rootFilter(r) {
+				kept = append(kept, r)
+			}
+		}
+		return kept, nil
+	}
+
+	var stop atomic.Bool
+	if ctx != nil {
+		unregister := context.AfterFunc(ctx, func() { stop.Store(true) })
+		defer unregister()
+	}
+	keep := make([]bool, len(roots))
+	chunk := (len(roots) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(roots) {
+			break
+		}
+		hi := min(lo+chunk, len(roots))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if stop.Load() || eb.failed.Load() {
+					return
+				}
+				keep[i] = rootFilter(roots[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	roots, err := p.prepareRoots(dv, &eb)
+	kept := make([]model.AtomID, 0, len(roots))
+	for i, ok := range keep {
+		if ok {
+			kept = append(kept, roots[i])
+		}
+	}
+	return kept, nil
+}
+
+// Execute runs the plan and returns the qualifying molecules, filling
+// the actual-cardinality fields. It is a collect-all wrapper over
+// Stream: the same fused pipeline (access path → parallel root filter →
+// fused pruned derivation + cost-ordered residual chain on the worker
+// pool) runs underneath, Execute merely drains the stream into a set —
+// so the feedback machinery (actuals merge, [observed] re-ranking,
+// execution recording) behaves identically on both surfaces. Execute
+// never enlarges the database; algebra-mode callers propagate the
+// returned set themselves (see Restrict).
+func (p *Plan) Execute() (core.MoleculeSet, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute honoring a context: cancelling ctx stops the
+// worker pool mid-derivation and returns ctx.Err().
+func (p *Plan) ExecuteContext(ctx context.Context) (core.MoleculeSet, error) {
+	st, err := p.Stream(ctx)
 	if err != nil {
 		return nil, err
 	}
-
-	// workerState carries one worker's private actuals; newWorker runs on
-	// the coordinating goroutine, so collecting the states needs no lock.
-	type workerState struct {
-		cuts    []int64
-		evals   []int64
-		passed  []int64
-		derived int64
-	}
-	var states []*workerState
-	newWorker := func(int) core.FusedWorker {
-		ws := &workerState{
-			cuts:   make([]int64, len(p.Pushdowns)),
-			evals:  make([]int64, len(p.Residuals)),
-			passed: make([]int64, len(p.Residuals)),
+	var set core.MoleculeSet
+	for {
+		m, err := st.Next()
+		if err != nil {
+			st.Close()
+			return nil, err
 		}
-		states = append(states, ws)
-		checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
-			return !eb.failed.Load()
-		}}}
-		for i := range p.Pushdowns {
-			i, pred := i, preds[i]
-			checks = append(checks, core.PruneCheck{Pos: p.Pushdowns[i].Pos, Qualifies: func(atoms []model.AtomID) bool {
-				for _, id := range atoms {
-					if pred(id) {
-						return true
-					}
-				}
-				ws.cuts[i]++
-				return false
-			}})
+		if m == nil {
+			return set, nil
 		}
-		keep := func(m *core.Molecule) bool {
-			if eb.failed.Load() {
-				return false
-			}
-			ws.derived++
-			b := core.Binding{DB: p.db, M: m}
-			for i := range p.Residuals {
-				ws.evals[i]++
-				ok, err := expr.EvalPredicate(p.Residuals[i].Conjunct, b)
-				if err != nil {
-					eb.set(err)
-					return false
-				}
-				if !ok {
-					return false
-				}
-				ws.passed[i]++
-			}
-			return true
-		}
-		return core.FusedWorker{Checks: dv.PrepareChecks(checks), Keep: keep}
+		set = append(set, m)
 	}
-
-	out, work, err := dv.DeriveRootsFusedParallel(roots, p.Workers, newWorker)
-	if err != nil {
-		return nil, err
-	}
-	if err := eb.get(); err != nil {
-		return nil, err
-	}
-	for _, ws := range states {
-		p.Derived += int(ws.derived)
-		for i := range p.Pushdowns {
-			p.Pushdowns[i].Cut += int(ws.cuts[i])
-		}
-		for i := range p.Residuals {
-			p.Residuals[i].Evals += int(ws.evals[i])
-			p.Residuals[i].Passed += int(ws.passed[i])
-		}
-	}
-
-	// Compact, preserving root-batch order: the result is deterministic
-	// for any worker count.
-	set := make(core.MoleculeSet, 0, p.Derived)
-	for _, m := range out {
-		if m != nil {
-			set = append(set, m)
-		}
-	}
-	p.Out = len(set)
-	p.Executed = true
-	fb.record(p, work)
-	return set, nil
 }
 
 // ExecuteBarrier is the pre-fusion execution pipeline — parallel pruned
@@ -991,7 +1011,7 @@ func (p *Plan) ExecuteBarrier() (core.MoleculeSet, error) {
 		}})
 	}
 
-	roots, err := p.prepareRoots(dv, &eb)
+	roots, err := p.prepareRoots(context.Background(), dv, &eb)
 	if err != nil {
 		return nil, err
 	}
@@ -1106,8 +1126,12 @@ func (p *Plan) Render() string {
 		b.WriteString(line + "\n")
 	}
 	for i, r := range p.Residuals {
-		line := fmt.Sprintf("residual:  %d. Σ[%s] (est sel %.2f [%s], cost %.1f)",
-			i+1, r.Conjunct, r.Sel, r.Source, r.Cost)
+		cost := fmt.Sprintf("cost %.1f", r.Cost)
+		if r.CostSrc == SrcObserved {
+			cost = fmt.Sprintf("cost ≈%.0fns [observed-cost]", r.ObsCost)
+		}
+		line := fmt.Sprintf("residual:  %d. Σ[%s] (est sel %.2f [%s], %s)",
+			i+1, r.Conjunct, r.Sel, r.Source, cost)
 		if p.Executed {
 			line += fmt.Sprintf(" — passed %d/%d", r.Passed, r.Evals)
 		}

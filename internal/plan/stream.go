@@ -1,0 +1,315 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"time"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+)
+
+// errStreamLimit is the internal sentinel the stream producer returns
+// from its emit hook once Plan.Limit molecules have been delivered; the
+// executor treats it like any other emit error (stop the workers), and
+// the producer strips it before it reaches the consumer.
+var errStreamLimit = errors.New("plan: stream limit reached")
+
+// streamBufBatches is the capacity of the stream's hand-off channel, in
+// batches: enough that a briefly slow consumer does not stall the worker
+// pool, small enough that the molecules buffered between executor and
+// consumer stay bounded (the executor itself bounds its in-flight
+// batches at workers+1 — see core.DeriveRootsFusedStream).
+const streamBufBatches = 2
+
+// Stream is an incremental cursor over a plan's qualifying molecules:
+// the fused parallel executor feeds it batch by batch through a bounded
+// channel, so the first molecules reach the consumer while the bulk of
+// the root batch is still deriving, and the memory footprint stays
+// O(workers × batch) instead of O(result). Molecules arrive in exactly
+// Execute's deterministic root-aligned order for any worker count — a
+// consumed prefix of a Stream is always a prefix of the materialized
+// result.
+//
+// A Stream is not safe for concurrent use. Callers must either drain it
+// (Next returning nil, nil) or Close it; an abandoned open stream pins
+// its producer goroutine until the surrounding context is cancelled.
+type Stream struct {
+	p      *Plan
+	cancel context.CancelFunc
+
+	batches chan core.MoleculeSet
+	errc    chan error
+
+	cur  core.MoleculeSet
+	idx  int
+	done bool
+	err  error
+}
+
+// Stream starts executing the plan and returns the result cursor. The
+// pipeline underneath is Execute's fused one — access path, parallel
+// pre-derivation root filter, pruned derivation with the residual chain
+// fused onto the deriving worker — but completed batches are handed to
+// the consumer the moment they exist instead of being materialized
+// root-aligned first. Cancelling ctx (or Close) stops the worker pool
+// mid-derivation without leaking goroutines.
+//
+// The plan's execution actuals (EXPLAIN's "actual" figures, Derived,
+// Out) are valid once the stream has ended — drained, errored or closed
+// — not while it is live. Feedback is recorded only for complete runs:
+// a cancelled or LIMIT-truncated execution observed a biased sample and
+// teaches the store nothing.
+func (p *Plan) Stream(ctx context.Context) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fb := feedbackLookup(p.db)
+	p.applyFeedback(fb)
+	dv, err := core.NewDeriver(p.db, p.desc)
+	if err != nil {
+		return nil, err
+	}
+	p.resetActuals()
+
+	// Per-atom predicates are safe for concurrent use and shared by all
+	// workers; evaluation errors land in the box, and the root-position
+	// guard rejects every molecule once an error is pending, so the
+	// remaining batch degrades to a cheap root sweep instead of deriving
+	// occurrences that will be discarded.
+	eb := &evalErrBox{}
+	preds := make([]func(model.AtomID) bool, len(p.Pushdowns))
+	for i := range p.Pushdowns {
+		preds[i], err = p.atomPred(p.Pushdowns[i].Type, p.Pushdowns[i].Conjunct, eb)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	st := &Stream{
+		p:       p,
+		cancel:  cancel,
+		batches: make(chan core.MoleculeSet, streamBufBatches),
+		errc:    make(chan error, 1),
+	}
+	go st.run(ctx, dv, eb, preds, fb)
+	return st, nil
+}
+
+// workerState carries one worker's private execution actuals; the
+// producer collects the states on its own goroutine (newWorker contract)
+// and merges them after the executor has joined its workers, so the
+// hot path performs no atomic operation per molecule.
+type workerState struct {
+	cuts    []int64
+	evals   []int64
+	passed  []int64
+	nanos   []int64
+	derived int64
+}
+
+// run is the stream's producer: it prepares the root batch, drives the
+// streaming fused executor, forwards every emitted batch through the
+// bounded channel, and — once the executor has joined its workers —
+// merges the per-worker actuals into the plan and closes the stream.
+func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, preds []func(model.AtomID) bool, fb *Feedback) {
+	defer close(st.batches)
+	p := st.p
+
+	roots, err := p.prepareRoots(ctx, dv, eb)
+	if err != nil {
+		st.errc <- err
+		return
+	}
+
+	rootPos, _ := p.desc.Pos(p.Access.Root)
+	// Timing each residual evaluation costs two clock reads per conjunct
+	// per molecule; without a feedback store to learn from them the
+	// samples would be thrown away, so the hot path only pays when the
+	// database opted into the loop.
+	timed := fb != nil
+	var states []*workerState
+	newWorker := func(int) core.FusedWorker {
+		ws := &workerState{
+			cuts:   make([]int64, len(p.Pushdowns)),
+			evals:  make([]int64, len(p.Residuals)),
+			passed: make([]int64, len(p.Residuals)),
+			nanos:  make([]int64, len(p.Residuals)),
+		}
+		states = append(states, ws)
+		checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
+			return !eb.failed.Load()
+		}}}
+		for i := range p.Pushdowns {
+			i, pred := i, preds[i]
+			checks = append(checks, core.PruneCheck{Pos: p.Pushdowns[i].Pos, Qualifies: func(atoms []model.AtomID) bool {
+				for _, id := range atoms {
+					if pred(id) {
+						return true
+					}
+				}
+				ws.cuts[i]++
+				return false
+			}})
+		}
+		keep := func(m *core.Molecule) bool {
+			if eb.failed.Load() {
+				return false
+			}
+			ws.derived++
+			b := core.Binding{DB: p.db, M: m}
+			for i := range p.Residuals {
+				ws.evals[i]++
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				ok, err := expr.EvalPredicate(p.Residuals[i].Conjunct, b)
+				if timed {
+					ws.nanos[i] += int64(time.Since(t0))
+				}
+				if err != nil {
+					eb.set(err)
+					return false
+				}
+				if !ok {
+					return false
+				}
+				ws.passed[i]++
+			}
+			return true
+		}
+		return core.FusedWorker{Checks: dv.PrepareChecks(checks), Keep: keep}
+	}
+
+	delivered := 0
+	emit := func(ms core.MoleculeSet) error {
+		limited := false
+		if p.Limit > 0 {
+			if rest := p.Limit - delivered; len(ms) >= rest {
+				ms, limited = ms[:rest], true
+			}
+		}
+		if len(ms) > 0 {
+			select {
+			case st.batches <- ms:
+				delivered += len(ms)
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if limited {
+			return errStreamLimit
+		}
+		return nil
+	}
+
+	work, err := dv.DeriveRootsFusedStream(ctx, roots, p.Workers, 0, newWorker, emit)
+	complete := err == nil
+	if errors.Is(err, errStreamLimit) {
+		err = nil
+	}
+	if err == nil {
+		err = eb.get()
+		complete = complete && err == nil
+	}
+
+	// Merge the per-worker actuals even for truncated runs — partial
+	// actuals still describe the work actually done.
+	for _, ws := range states {
+		p.Derived += int(ws.derived)
+		for i := range p.Pushdowns {
+			p.Pushdowns[i].Cut += int(ws.cuts[i])
+		}
+		for i := range p.Residuals {
+			p.Residuals[i].Evals += int(ws.evals[i])
+			p.Residuals[i].Passed += int(ws.passed[i])
+			p.Residuals[i].Nanos += ws.nanos[i]
+		}
+	}
+	if err != nil {
+		st.errc <- err
+		return
+	}
+	p.Out = delivered
+	p.Executed = true
+	if complete {
+		fb.record(p, work)
+	}
+	st.errc <- nil
+}
+
+// Next returns the next qualifying molecule. A nil molecule with a nil
+// error means the stream is exhausted; a non-nil error (cancellation,
+// deadline, evaluation error) is terminal and repeated by every further
+// call.
+func (st *Stream) Next() (*core.Molecule, error) {
+	if st.done {
+		return nil, st.err
+	}
+	for st.idx >= len(st.cur) {
+		batch, ok := <-st.batches
+		if !ok {
+			st.err = <-st.errc
+			st.done = true
+			st.cur, st.idx = nil, 0
+			return nil, st.err
+		}
+		st.cur, st.idx = batch, 0
+	}
+	m := st.cur[st.idx]
+	st.idx++
+	return m, nil
+}
+
+// Seq adapts the stream to a Go 1.23 range-over-func iterator:
+//
+//	for m := range st.Seq() { ... }
+//
+// Breaking out of the loop leaves the stream open — call Close (or
+// cancel the stream's context) to release the workers; after the loop,
+// Err reports whether iteration ended by exhaustion or by error.
+func (st *Stream) Seq() iter.Seq[*core.Molecule] {
+	return func(yield func(*core.Molecule) bool) {
+		for {
+			m, err := st.Next()
+			if m == nil || err != nil {
+				return
+			}
+			if !yield(m) {
+				return
+			}
+		}
+	}
+}
+
+// Err returns the stream's terminal error: nil while molecules are still
+// flowing and after clean exhaustion, the cause once Next has reported a
+// failure.
+func (st *Stream) Err() error { return st.err }
+
+// Close cancels the in-flight execution, waits for the worker pool to
+// wind down and releases the stream. It is idempotent and safe after
+// exhaustion. Closing an unfinished stream is not an error: Close
+// returns the stream's terminal error only when execution had already
+// failed for a reason other than the cancellation Close itself caused.
+func (st *Stream) Close() error {
+	st.cancel()
+	if !st.done {
+		for range st.batches {
+			// Drain abandoned batches so the producer can finish.
+		}
+		if e := <-st.errc; e != nil && !errors.Is(e, context.Canceled) && st.err == nil {
+			st.err = e
+		}
+		st.done = true
+		st.cur, st.idx = nil, 0
+	}
+	if errors.Is(st.err, context.Canceled) {
+		return nil
+	}
+	return st.err
+}

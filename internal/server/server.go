@@ -8,14 +8,31 @@
 // The wire protocol is deliberately simple and self-framing:
 //
 //	client → server:  "REQ <n>\n" followed by n bytes of MQL text
-//	server → client:  "OK <n>\n" or "ERR <n>\n" followed by n payload bytes
+//	server → client:  zero or more "CHUNK <n>\n" + n-byte payload frames,
+//	                  then exactly one "OK <n>\n" or "ERR <n>\n" frame
 //
-// One request may contain several ';'-separated statements; the payload of
-// an OK response is the concatenated rendering of their results.
+// One request may contain several ';'-separated statements; the
+// concatenation of the CHUNK payloads and the final OK payload is the
+// rendering of their results. SELECT results are not buffered: the
+// session streams molecules off the planner's bounded-channel executor
+// and the handler flushes a CHUNK frame whenever chunkSize bytes have
+// rendered, so the first rows reach a client while the bulk of the root
+// batch is still deriving, and the server's memory per connection stays
+// bounded no matter how large the result is. Because a streamed result's
+// cardinality is unknown until the stream ends, its "N molecule(s) of
+// ..." summary line trails the molecules instead of leading them.
+//
+// Each request runs under a context: SetRequestTimeout installs a
+// per-request deadline (exceeding it aborts the statement with an ERR
+// frame), and a failed CHUNK write — the client hung up mid-result —
+// cancels the in-flight derivation, so a disconnected client's workers
+// stop instead of materializing a result nobody reads.
 package server
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mad/internal/mql"
 	"mad/internal/storage"
@@ -31,20 +49,46 @@ import (
 // maxRequest bounds a single request frame (16 MiB).
 const maxRequest = 16 << 20
 
+// defaultChunkSize is the rendered-byte threshold at which a response
+// CHUNK frame flushes.
+const defaultChunkSize = 8 << 10
+
 // Server serves MQL over TCP.
 type Server struct {
 	db *storage.Database
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]bool
+	closed    bool
+	timeout   time.Duration
+	chunkSize int
+	wg        sync.WaitGroup
 }
 
 // New creates a server over the database.
 func New(db *storage.Database) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]bool)}
+	return &Server{db: db, conns: make(map[net.Conn]bool), chunkSize: defaultChunkSize}
+}
+
+// SetRequestTimeout installs a per-request deadline (0 disables, the
+// default): a request still executing when it expires is aborted and
+// answered with an ERR frame, and its in-flight derivation is cancelled.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.timeout = d
+	s.mu.Unlock()
+}
+
+// SetChunkSize overrides the rendered-byte threshold at which response
+// CHUNK frames flush (tests use tiny thresholds to force multi-chunk
+// responses).
+func (s *Server) SetChunkSize(n int) {
+	s.mu.Lock()
+	if n > 0 {
+		s.chunkSize = n
+	}
+	s.mu.Unlock()
 }
 
 // Listen binds the address (e.g. "127.0.0.1:7227"; port 0 picks a free
@@ -132,33 +176,127 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // disconnect or protocol error: drop the connection
 		}
-		payload, execErr := s.exec(sess, string(req))
-		if execErr != nil {
-			if writeFrame(w, "ERR", []byte(execErr.Error())) != nil {
-				return
-			}
-		} else {
-			if writeFrame(w, "OK", []byte(payload)) != nil {
-				return
-			}
-		}
-		if w.Flush() != nil {
-			return
+		if s.handleRequest(sess, w, string(req)) != nil {
+			return // the response could not be delivered: drop the connection
 		}
 	}
 }
 
-// exec runs one request's statements and renders the results.
-func (s *Server) exec(sess *mql.Session, src string) (string, error) {
-	results, err := sess.ExecScript(src)
-	var b strings.Builder
-	for _, res := range results {
-		b.WriteString(res.Render(s.db))
+// handleRequest executes one request under its context and writes the
+// response frames. The returned error reports a broken connection;
+// statement errors travel to the client in an ERR frame instead.
+func (s *Server) handleRequest(sess *mql.Session, w *bufio.Writer, req string) error {
+	s.mu.Lock()
+	timeout, chunkSize := s.timeout, s.chunkSize
+	s.mu.Unlock()
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
+	defer cancel()
+
+	// A failed chunk write means the client hung up mid-result: cancel
+	// the request context so the in-flight derivation's workers stop.
+	ck := &chunker{w: w, limit: chunkSize, cancel: cancel}
+	execErr := s.execStream(ctx, sess, req, ck)
+	if ck.err != nil {
+		return ck.err
+	}
+	if execErr != nil {
+		if err := writeFrame(w, "ERR", []byte(execErr.Error())); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	// The final OK frame carries whatever rendering is still buffered.
+	if err := writeFrame(w, "OK", ck.buf.Bytes()); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// execStream runs one request's statements, streaming SELECT results
+// molecule by molecule into the chunker.
+func (s *Server) execStream(ctx context.Context, sess *mql.Session, src string, ck *chunker) error {
+	stmts, err := mql.ParseScript(src)
 	if err != nil {
-		return "", err
+		return err
 	}
-	return b.String(), nil
+	for _, st := range stmts {
+		cur, err := sess.ExecuteStream(ctx, st)
+		if err != nil {
+			return err
+		}
+		if !cur.Streaming() {
+			r, err := cur.Result()
+			if err != nil {
+				return err
+			}
+			ck.add(r.Render(s.db))
+			continue
+		}
+		n := 0
+		for {
+			m, err := cur.Next()
+			if err != nil {
+				cur.Close()
+				return err
+			}
+			if m == nil {
+				break
+			}
+			n++
+			ck.add(mql.RenderMolecule(s.db, n, m, cur.Attrs()))
+			if ck.err != nil {
+				cur.Close()
+				return ck.err
+			}
+		}
+		ck.add(fmt.Sprintf("%d molecule(s) of %s\n", n, cur.Desc()))
+		if err := cur.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunker accumulates rendered response text and flushes it as CHUNK
+// frames once the threshold is reached; whatever remains at the end of
+// the request travels in the final OK frame. The first write error is
+// sticky and cancels the request context — the client is gone, so the
+// in-flight work should stop too.
+type chunker struct {
+	w      *bufio.Writer
+	buf    bytes.Buffer
+	limit  int
+	cancel context.CancelFunc
+	err    error
+}
+
+func (c *chunker) add(s string) {
+	if c.err != nil {
+		return
+	}
+	c.buf.WriteString(s)
+	if c.buf.Len() >= c.limit {
+		c.flushChunk()
+	}
+}
+
+func (c *chunker) flushChunk() {
+	if c.err != nil || c.buf.Len() == 0 {
+		return
+	}
+	if c.err = writeFrame(c.w, "CHUNK", c.buf.Bytes()); c.err == nil {
+		c.err = c.w.Flush()
+	}
+	if c.err != nil && c.cancel != nil {
+		c.cancel()
+	}
+	c.buf.Reset()
 }
 
 // readFrame reads "<verb> <n>\n" + n bytes.
@@ -208,8 +346,10 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Exec sends MQL text and returns the rendered result. A server-side
-// statement error comes back as a *RemoteError*.
+// Exec sends MQL text and returns the rendered result, concatenated
+// across however many CHUNK frames the server streamed before the
+// closing OK. A server-side statement error comes back as a
+// *RemoteError* (any chunks received before it are discarded).
 func (c *Client) Exec(src string) (string, error) {
 	if err := writeFrame(c.w, "REQ", []byte(src)); err != nil {
 		return "", err
@@ -217,30 +357,46 @@ func (c *Client) Exec(src string) (string, error) {
 	if err := c.w.Flush(); err != nil {
 		return "", err
 	}
+	var out strings.Builder
+	for {
+		verb, payload, err := c.readResponseFrame()
+		if err != nil {
+			return "", err
+		}
+		switch verb {
+		case "CHUNK":
+			out.Write(payload)
+		case "OK":
+			out.Write(payload)
+			return out.String(), nil
+		case "ERR":
+			return "", &RemoteError{Msg: string(payload)}
+		default:
+			return "", fmt.Errorf("server: unknown response verb %q", verb)
+		}
+	}
+}
+
+// readResponseFrame reads one response frame of any verb.
+func (c *Client) readResponseFrame() (string, []byte, error) {
 	header, err := c.r.ReadString('\n')
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	header = strings.TrimSuffix(header, "\n")
 	verb, sizeStr, ok := strings.Cut(header, " ")
 	if !ok {
-		return "", fmt.Errorf("server: bad response header %q", header)
+		return "", nil, fmt.Errorf("server: bad response header %q", header)
 	}
 	n, err := strconv.Atoi(sizeStr)
 	if err != nil || n < 0 || n > maxRequest {
-		return "", fmt.Errorf("server: bad response size %q", sizeStr)
+		return "", nil, fmt.Errorf("server: bad response size %q", sizeStr)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return "", err
+		return "", nil, err
 	}
-	switch verb {
-	case "OK":
-		return string(buf), nil
-	case "ERR":
-		return "", &RemoteError{Msg: string(buf)}
-	}
-	return "", fmt.Errorf("server: unknown response verb %q", verb)
+	return verb, buf, nil
 }
 
 // Close closes the connection.

@@ -1,8 +1,12 @@
 package server_test
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -243,5 +247,138 @@ func TestServerOversizedFrameRejected(t *testing.T) {
 	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if _, err := raw.Read(buf); err == nil {
 		t.Fatal("oversized frame must drop the connection")
+	}
+}
+
+// TestServerStreamsChunks speaks the raw protocol against a server with
+// a tiny chunk threshold: a large SELECT must arrive as several CHUNK
+// frames followed by the closing OK, and their concatenation must carry
+// every molecule plus the trailing summary line.
+func TestServerStreamsChunks(t *testing.T) {
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: 64, EdgesPerArea: 3, Sharing: 2, Rivers: 2, RiverEdges: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, syn.DB)
+	srv.SetChunkSize(256)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	req := "SELECT ALL FROM state-area-edge-point;"
+	if _, err := fmt.Fprintf(raw, "REQ %d\n%s", len(req), req); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(raw)
+	chunks := 0
+	var out strings.Builder
+	for {
+		header, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		verb, sizeStr, _ := strings.Cut(strings.TrimSuffix(header, "\n"), " ")
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			t.Fatalf("bad frame header %q", header)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			t.Fatal(err)
+		}
+		out.Write(payload)
+		if verb == "CHUNK" {
+			chunks++
+			continue
+		}
+		if verb != "OK" {
+			t.Fatalf("unexpected verb %q with payload %q", verb, payload)
+		}
+		break
+	}
+	if chunks < 2 {
+		t.Fatalf("large result must stream in several chunks, got %d", chunks)
+	}
+	if got := out.String(); !strings.Contains(got, "-- molecule 64") || !strings.Contains(got, "64 molecule(s)") {
+		t.Fatalf("reassembled result incomplete:\n%.300s", got)
+	}
+}
+
+// TestServerRequestDeadline: a request outliving the per-request
+// deadline is aborted and answered with an ERR frame carrying the
+// context error; the connection stays usable.
+func TestServerRequestDeadline(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, s.DB)
+	srv.SetRequestTimeout(time.Nanosecond)
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT ALL FROM state-area-edge-point;")
+	var re *server.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "deadline") {
+		t.Fatalf("want deadline RemoteError, got %v", err)
+	}
+	srv.SetRequestTimeout(0)
+	if _, err := c.Exec("SHOW SCHEMA;"); err != nil {
+		t.Fatalf("connection dead after deadline: %v", err)
+	}
+}
+
+// TestServerClientDisconnectCancels: a client that hangs up mid-stream
+// must not wedge its handler — the failed chunk write cancels the
+// in-flight derivation and the handler exits, so Close (which waits for
+// every handler) completes promptly.
+func TestServerClientDisconnectCancels(t *testing.T) {
+	syn, err := geo.BuildSynthetic(geo.Config{
+		States: 2048, EdgesPerArea: 4, Sharing: 2, Rivers: 2, RiverEdges: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(syn.DB)
+	srv.SetChunkSize(64)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := "SELECT ALL FROM state-area-edge-point;"
+	if _, err := fmt.Fprintf(raw, "REQ %d\n%s", len(req), req); err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk header to be sure the stream started, then hang up.
+	r := bufio.NewReader(raw)
+	if _, err := r.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return: disconnected client's handler is wedged")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

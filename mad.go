@@ -97,11 +97,44 @@ type (
 )
 
 // Language and engine types.
+//
+// # Migration: Exec → QueryContext
+//
+// Since the streaming redesign, Session.Exec is a thin collect-all
+// wrapper: it parses, plans and executes exactly as before, but the
+// engine underneath now streams molecules off a bounded channel and
+// Exec merely drains it. Existing code keeps working unchanged. New
+// code — and any code that wants cancellation, deadlines, result caps
+// or bounded memory — should move to the streaming surface:
+//
+//	cur, err := sess.QueryContext(ctx, `SELECT ALL FROM mt_state;`,
+//	    mad.WithWorkers(4), mad.WithLimit(100))
+//	defer cur.Close()
+//	for m := range cur.Seq() { ... }   // or cur.Next() in a loop
+//	if err := cur.Err(); err != nil { ... }
+//
+// The same options are available inside MQL itself: `SET WORKERS n;`
+// and `SET NOCACHE TRUE;` install session defaults, and a SELECT may
+// carry a trailing `LIMIT n`. Plan-level callers migrate from
+// Plan.Execute to Plan.Stream(ctx) the same way; Execute remains as the
+// collect-all form.
 type (
 	// Session executes MQL statements.
 	Session = mql.Session
 	// Result is the outcome of one MQL statement.
 	Result = mql.Result
+	// Cursor is the streaming result of one MQL statement: molecules
+	// arrive incrementally in deterministic order, with the SELECT
+	// list's projection applied per molecule (see Session.QueryContext).
+	Cursor = mql.Cursor
+	// QueryOption tunes one QueryContext call (WithWorkers, WithLimit,
+	// WithNoCache).
+	QueryOption = mql.QueryOption
+	// Stream is a plan's incremental result cursor: the fused parallel
+	// executor feeds it through a bounded channel, so first results
+	// arrive before the batch materializes and cancelling its context
+	// stops the workers mid-derivation (see Plan.Stream).
+	Stream = plan.Stream
 	// Engine is the two-layer PRIMA-style engine with per-layer work
 	// accounting.
 	Engine = prima.Engine
@@ -136,6 +169,19 @@ const (
 	KFloat  = model.KFloat
 	KString = model.KString
 	KID     = model.KID
+)
+
+// Per-query execution options for Session.QueryContext.
+var (
+	// WithWorkers bounds the worker pool of one query (0 = all cores,
+	// 1 = sequential).
+	WithWorkers = mql.WithWorkers
+	// WithLimit caps the molecules delivered; the in-flight derivation
+	// is cancelled once the cap is reached.
+	WithLimit = mql.WithLimit
+	// WithNoCache compiles the query's plan fresh, bypassing the plan
+	// cache.
+	WithNoCache = mql.WithNoCache
 )
 
 // NewDatabase returns an empty MAD database.

@@ -2,6 +2,7 @@
 package mad_test
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -312,5 +313,82 @@ func TestFacadeStatsAndPlanCache(t *testing.T) {
 	}
 	if strings.Contains(res.Message, "actual") {
 		t.Fatalf("EXPLAIN (ESTIMATE) executed:\n%s", res.Message)
+	}
+}
+
+// TestFacadeStreamingQuery drives the streaming surface end to end
+// through the facade: QueryContext with per-query options, the Cursor's
+// incremental delivery, the Seq adapter, MQL's SET/LIMIT syntax, and
+// Plan.Stream with a context.
+func TestFacadeStreamingQuery(t *testing.T) {
+	db, sess := buildLibrary(t)
+	defer mad.ReleasePlanCache(db)
+
+	full, err := sess.Exec(`SELECT ALL FROM author-paper;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sess.QueryContext(context.Background(), `SELECT ALL FROM author-paper;`,
+		mad.WithWorkers(2), mad.WithLimit(1), mad.WithNoCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for m := range cur.Seq() {
+		if !m.Equal(full.Set[n]) {
+			t.Fatalf("streamed molecule %d differs from the materialized order", n)
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("WithLimit(1) delivered %d molecules", n)
+	}
+
+	if _, err := sess.Exec(`SET WORKERS = 2;`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exec(`SELECT ALL FROM author-paper LIMIT 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 1 {
+		t.Fatalf("LIMIT 1 returned %d molecules", len(res.Set))
+	}
+
+	// Plan-level streaming: the facade's Stream type is plan.Stream.
+	mt, err := mad.Define(db, "", []string{"author", "paper"},
+		[]mad.DirectedLink{{Link: "wrote", From: "author", To: "paper"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mad.CompilePlan(db, mt.Desc(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *mad.Stream
+	st, err = p.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		m, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		got++
+	}
+	if got != len(full.Set) {
+		t.Fatalf("plan stream delivered %d, want %d", got, len(full.Set))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

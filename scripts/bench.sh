@@ -29,17 +29,19 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1; iters = $2
-	ns = ""; bytes = ""; allocs = ""
+	ns = ""; bytes = ""; allocs = ""; peak = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "B/op") bytes = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "peak-B/op") peak = $i
 	}
 	if (ns == "") next
 	if (n++) printf ","
 	printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
 	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	if (peak != "") printf ", \"peak_bytes_per_op\": %s", peak
 	printf "}"
 }
 END { printf "\n  ]\n}\n" }
