@@ -27,6 +27,13 @@ type Deriver struct {
 	stores []*storage.LinkStore // per edge
 	fromA  []bool               // per edge: true when edge.From is the link type's side A
 	roots  *storage.Container
+
+	// ts pins every read — root occurrence and link traversals — to one
+	// commit timestamp; zero reads the latest published view. Pinned
+	// derivers come from AtSnapshot and make a whole derivation run
+	// consistent with exactly one commit, no matter how many writers
+	// commit while it streams.
+	ts uint64
 }
 
 // NewDeriver prepares a derivation plan for the description: it resolves
@@ -54,15 +61,78 @@ func NewDeriver(db *storage.Database, desc *Desc) (*Deriver, error) {
 	return dv, nil
 }
 
+// AtSnapshot returns a copy of the deriver pinned to the snapshot's
+// commit timestamp: every root lookup and link traversal resolves
+// against that timestamp, so the derivation can never observe a torn
+// molecule while writers commit concurrently. The copy shares the
+// resolved stores and containers — pinning is free. The snapshot must
+// stay open (un-Closed) for the lifetime of the pinned deriver, since
+// it is what holds vacuum back from the pinned versions.
+func (dv *Deriver) AtSnapshot(s *storage.Snapshot) *Deriver { return dv.AtTS(s.TS()) }
+
+// AtTS is AtSnapshot for an already-pinned timestamp; ts zero returns a
+// deriver reading the latest published view. Callers are responsible for
+// keeping a snapshot registered at ts while the deriver is in use.
+func (dv *Deriver) AtTS(ts uint64) *Deriver {
+	if ts == dv.ts {
+		return dv
+	}
+	cp := *dv
+	cp.ts = ts
+	return &cp
+}
+
+// TS reports the commit timestamp the deriver is pinned to (zero =
+// latest view).
+func (dv *Deriver) TS() uint64 { return dv.ts }
+
+// rootHas, rootLen, rootIDs and rootScan dispatch the root-occurrence
+// reads on the pin: the latest head view when unpinned, the snapshot
+// view at dv.ts otherwise.
+func (dv *Deriver) rootHas(id model.AtomID) bool {
+	if dv.ts != 0 {
+		return dv.roots.HasAt(id, dv.ts)
+	}
+	return dv.roots.Has(id)
+}
+
+func (dv *Deriver) rootLen() int {
+	if dv.ts != 0 {
+		return dv.roots.LenAt(dv.ts)
+	}
+	return dv.roots.Len()
+}
+
+func (dv *Deriver) rootIDs() []model.AtomID {
+	if dv.ts != 0 {
+		return dv.roots.IDsAt(dv.ts)
+	}
+	return dv.roots.IDs()
+}
+
+func (dv *Deriver) rootScan(fn func(model.Atom) bool) {
+	if dv.ts != 0 {
+		dv.roots.ScanAt(dv.ts, fn)
+		return
+	}
+	dv.roots.Scan(fn)
+}
+
 // partners returns the children of atom a along edge ei, honouring the
-// edge's traversal orientation, and accounts the logical work: into the
-// scratch tally when sc is non-nil (flushed to the shared stats once per
-// batch), directly into the shared atomic counters otherwise.
+// edge's traversal orientation and the deriver's pin, and accounts the
+// logical work: into the scratch tally when sc is non-nil (flushed to
+// the shared stats once per batch), directly into the shared atomic
+// counters otherwise.
 func (dv *Deriver) partners(ei int, a model.AtomID, sc *deriveScratch) []model.AtomID {
 	var out []model.AtomID
-	if dv.fromA[ei] {
+	switch {
+	case dv.ts != 0 && dv.fromA[ei]:
+		out = dv.stores[ei].PartnersFromAAt(a, dv.ts)
+	case dv.ts != 0:
+		out = dv.stores[ei].PartnersFromBAt(a, dv.ts)
+	case dv.fromA[ei]:
 		out = dv.stores[ei].PartnersFromA(a)
-	} else {
+	default:
 		out = dv.stores[ei].PartnersFromB(a)
 	}
 	if sc != nil {
@@ -158,7 +228,7 @@ func (dv *Deriver) PrepareChecks(checks []PruneCheck) PreparedChecks {
 // DeriveFor synthesizes the single molecule rooted at the given atom,
 // which must belong to the root type's occurrence.
 func (dv *Deriver) DeriveFor(root model.AtomID) (*Molecule, error) {
-	if !dv.roots.Has(root) {
+	if !dv.rootHas(root) {
 		return nil, fmt.Errorf("core: atom %v is not in root type %q", root, dv.desc.Root())
 	}
 	return dv.derive(root), nil
@@ -174,7 +244,7 @@ func (dv *Deriver) DeriveForPruned(root model.AtomID, checks []PruneCheck) (*Mol
 // DeriveForPrepared is DeriveForPruned over an already-prepared hook
 // layout, avoiding the per-root preparation cost.
 func (dv *Deriver) DeriveForPrepared(root model.AtomID, pc PreparedChecks) (*Molecule, bool, error) {
-	if !dv.roots.Has(root) {
+	if !dv.rootHas(root) {
 		return nil, false, fmt.Errorf("core: atom %v is not in root type %q", root, dv.desc.Root())
 	}
 	m := dv.derivePruned(root, pc)
@@ -292,13 +362,13 @@ func (dv *Deriver) deriveScratched(root model.AtomID, byPos PreparedChecks, sc *
 
 // RootIDs returns the root-type occurrence's identifiers in insertion
 // order — the full root batch of a scan-based derivation.
-func (dv *Deriver) RootIDs() []model.AtomID { return dv.roots.IDs() }
+func (dv *Deriver) RootIDs() []model.AtomID { return dv.rootIDs() }
 
 // Derive materializes the full molecule-type occurrence: one molecule per
 // atom of the root type, in the root container's insertion order.
 func (dv *Deriver) Derive() MoleculeSet {
-	out := make(MoleculeSet, 0, dv.roots.Len())
-	dv.roots.Scan(func(a model.Atom) bool {
+	out := make(MoleculeSet, 0, dv.rootLen())
+	dv.rootScan(func(a model.Atom) bool {
 		out = append(out, dv.derive(a.ID))
 		return true
 	})
@@ -322,7 +392,7 @@ func (dv *Deriver) DeriveRoots(roots []model.AtomID) (MoleculeSet, error) {
 // Walk streams molecules one root at a time without materializing the
 // whole occurrence; fn returning false stops the walk.
 func (dv *Deriver) Walk(fn func(*Molecule) bool) {
-	dv.roots.Scan(func(a model.Atom) bool {
+	dv.rootScan(func(a model.Atom) bool {
 		return fn(dv.derive(a.ID))
 	})
 }
@@ -332,7 +402,7 @@ func (dv *Deriver) Walk(fn func(*Molecule) bool) {
 // returning false stops the walk.
 func (dv *Deriver) WalkPruned(checks []PruneCheck, fn func(*Molecule) bool) {
 	byPos := dv.PrepareChecks(checks)
-	dv.roots.Scan(func(a model.Atom) bool {
+	dv.rootScan(func(a model.Atom) bool {
 		m := dv.derivePruned(a.ID, byPos)
 		if m == nil {
 			return true

@@ -23,7 +23,7 @@ func (dv *Deriver) DeriveParallel(workers int) MoleculeSet {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	roots := dv.roots.IDs()
+	roots := dv.rootIDs()
 	if workers == 1 || len(roots) < 2*workers {
 		return dv.Derive()
 	}
@@ -54,7 +54,7 @@ func (dv *Deriver) DeriveParallel(workers int) MoleculeSet {
 // DeriveRootsParallel is DeriveParallel restricted to the given roots.
 func (dv *Deriver) DeriveRootsParallel(roots []model.AtomID, workers int) (MoleculeSet, error) {
 	for _, r := range roots {
-		if !dv.roots.Has(r) {
+		if !dv.rootHas(r) {
 			return nil, errNotRoot(dv, r)
 		}
 	}
@@ -98,7 +98,7 @@ func (dv *Deriver) DeriveRootsParallel(roots []model.AtomID, workers int) (Molec
 // EXPLAIN actuals atomically for exactly this reason).
 func (dv *Deriver) DeriveRootsPrunedParallel(roots []model.AtomID, pc PreparedChecks, workers int) (MoleculeSet, error) {
 	for _, r := range roots {
-		if !dv.roots.Has(r) {
+		if !dv.rootHas(r) {
 			return nil, errNotRoot(dv, r)
 		}
 	}
@@ -156,6 +156,89 @@ type FusedWorker struct {
 // before the root batch is exhausted.
 const DefaultStreamBatch = 64
 
+// MinStreamBatch and MaxStreamBatch bound the adaptive batch sizer:
+// under sustained backpressure batches shrink toward MinStreamBatch so
+// the consumer keeps receiving fresh, small deliveries instead of
+// waiting on big ones; with a fast consumer they grow toward
+// MaxStreamBatch to amortize the per-batch hand-off.
+const (
+	MinStreamBatch = 16
+	MaxStreamBatch = 1024
+)
+
+// BatchSizer adapts the streaming executor's root-batch granularity to
+// consumer backpressure. The producer calls Observe after every emit —
+// blocked=true when the bounded hand-off channel was full — and the
+// dispatcher reads Size when cutting the next batch: a blocked emit
+// halves the size immediately (backpressure is urgent), while growth
+// waits for a streak of unblocked emits and then doubles (growth is
+// speculative). Size and Observe may run on different goroutines.
+type BatchSizer struct {
+	size atomic.Int64
+	fast atomic.Int64
+	min  int64
+	max  int64
+}
+
+// growStreak is how many consecutive unblocked emits the sizer wants to
+// see before doubling the batch size.
+const growStreak = 4
+
+// NewBatchSizer returns a sizer starting at start (DefaultStreamBatch
+// when <= 0), clamped to [min, max] (MinStreamBatch / MaxStreamBatch
+// when <= 0). min == max pins the size, turning Observe into a no-op —
+// how the fixed-batch entry point reuses the adaptive machinery.
+func NewBatchSizer(start, min, max int) *BatchSizer {
+	if start <= 0 {
+		start = DefaultStreamBatch
+	}
+	if min <= 0 {
+		min = MinStreamBatch
+	}
+	if max <= 0 {
+		max = MaxStreamBatch
+	}
+	if max < min {
+		max = min
+	}
+	if start < min {
+		start = min
+	}
+	if start > max {
+		start = max
+	}
+	b := &BatchSizer{min: int64(min), max: int64(max)}
+	b.size.Store(int64(start))
+	return b
+}
+
+// Size returns the current batch size.
+func (b *BatchSizer) Size() int { return int(b.size.Load()) }
+
+// Observe feeds one emit outcome back into the sizer.
+func (b *BatchSizer) Observe(blocked bool) {
+	if b.min == b.max {
+		return
+	}
+	if blocked {
+		b.fast.Store(0)
+		if s := b.size.Load() / 2; s >= b.min {
+			b.size.Store(s)
+		} else {
+			b.size.Store(b.min)
+		}
+		return
+	}
+	if b.fast.Add(1) >= growStreak {
+		b.fast.Store(0)
+		if s := b.size.Load() * 2; s <= b.max {
+			b.size.Store(s)
+		} else {
+			b.size.Store(b.max)
+		}
+	}
+}
+
 // DeriveRootsFusedParallel fuses derivation and filtering: each worker
 // derives a molecule and immediately runs its filter sink on it in one
 // pass, with no barrier between the two stages. newWorker is called on
@@ -200,9 +283,32 @@ func (dv *Deriver) DeriveRootsFusedParallel(ctx context.Context, roots []model.A
 // newWorker follows the DeriveRootsFusedParallel contract: called on the
 // calling goroutine, once per worker actually spawned.
 func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.AtomID, workers, batchSize int, newWorker func(w int) FusedWorker, emit func(MoleculeSet) error) (storage.WorkTally, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultStreamBatch
+	}
+	// A pinned sizer (min == max) reproduces the fixed-batch behaviour.
+	return dv.DeriveRootsFusedStreamSized(ctx, roots, workers, NewBatchSizer(batchSize, batchSize, batchSize), newWorker, emit)
+}
+
+// fusedSlot is one dispatched root range of the streaming executor,
+// with a one-slot channel its worker publishes the finished batch into
+// so a worker send never blocks.
+type fusedSlot struct {
+	lo, hi int
+	out    chan MoleculeSet
+}
+
+// DeriveRootsFusedStreamSized is DeriveRootsFusedStream with an adaptive
+// batch sizer: the dispatcher consults sizer.Size when cutting each root
+// range, so an emit callback that feeds outcomes back via sizer.Observe
+// makes the batch granularity track consumer backpressure — batches
+// shrink while the consumer's hand-off channel stays full and grow again
+// once it drains faster than the workers derive. A nil sizer selects an
+// adaptive one with the default bounds.
+func (dv *Deriver) DeriveRootsFusedStreamSized(ctx context.Context, roots []model.AtomID, workers int, sizer *BatchSizer, newWorker func(w int) FusedWorker, emit func(MoleculeSet) error) (storage.WorkTally, error) {
 	var work storage.WorkTally
 	for _, r := range roots {
-		if !dv.roots.Has(r) {
+		if !dv.rootHas(r) {
 			return work, errNotRoot(dv, r)
 		}
 	}
@@ -212,8 +318,8 @@ func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.Ato
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if batchSize <= 0 {
-		batchSize = DefaultStreamBatch
+	if sizer == nil {
+		sizer = NewBatchSizer(0, 0, 0)
 	}
 
 	// stop flags cancellation to the per-root worker loops without the
@@ -244,19 +350,21 @@ func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.Ato
 		return batch
 	}
 
-	numBatches := (len(roots) + batchSize - 1) / batchSize
-	if workers > numBatches {
-		workers = numBatches
+	// Clamp the pool by the batch count the current size implies: more
+	// workers than batches would idle from the start (the size can only
+	// shrink the count further mid-run, which just idles stragglers).
+	if est := (len(roots) + sizer.Size() - 1) / sizer.Size(); workers > est {
+		workers = est
 	}
 	if workers <= 1 {
 		// Sequential fast path: one worker, batches emitted in place.
 		sc := newDeriveScratch()
 		fw := newWorker(0)
 		var err error
-		for bi := 0; bi < numBatches && err == nil; bi++ {
-			lo := bi * batchSize
-			hi := min(lo+batchSize, len(roots))
+		for lo := 0; lo < len(roots) && err == nil; {
+			hi := min(lo+sizer.Size(), len(roots))
 			batch := deriveBatch(fw, sc, lo, hi)
+			lo = hi
 			// ctx.Err() — not the stop flag — decides: Err is set
 			// synchronously with cancellation while the AfterFunc above
 			// runs asynchronously, and stop implies Err non-nil, so a
@@ -273,17 +381,15 @@ func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.Ato
 		return work, err
 	}
 
-	// Pipelined path. Workers pull batch indexes from batchCh and publish
-	// each finished batch into its dedicated one-slot channel, so a send
-	// never blocks and the emitter below replays the batches in order.
-	// The sem token bound keeps at most workers+1 batches in flight:
-	// the dispatcher acquires before handing out an index, the emitter
-	// releases after draining the batch.
-	results := make([]chan MoleculeSet, numBatches)
-	for i := range results {
-		results[i] = make(chan MoleculeSet, 1)
-	}
-	batchCh := make(chan int)
+	// Pipelined path. The dispatcher cuts root ranges at the sizer's
+	// current granularity, workers pull the slots from workCh and publish
+	// each finished batch into the slot's one-slot channel, and the
+	// emitter below replays the slots in dispatch order. The sem token
+	// bound keeps at most workers+1 slots in flight — the dispatcher
+	// acquires before cutting a slot, the emitter releases after draining
+	// it — which also bounds slotCh's occupancy, so its sends never block.
+	slotCh := make(chan *fusedSlot, workers+1)
+	workCh := make(chan *fusedSlot)
 	sem := make(chan struct{}, workers+1)
 	abort := make(chan struct{}) // closed when the emitter bails early
 	var wg sync.WaitGroup
@@ -294,25 +400,28 @@ func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.Ato
 		go func(w int, fw FusedWorker) {
 			defer wg.Done()
 			sc := newDeriveScratch()
-			for bi := range batchCh {
-				lo := bi * batchSize
-				hi := min(lo+batchSize, len(roots))
-				results[bi] <- deriveBatch(fw, sc, lo, hi)
+			for s := range workCh {
+				s.out <- deriveBatch(fw, sc, s.lo, s.hi)
 			}
 			tallies[w] = sc.work
 			sc.flush(dv.db)
 		}(w, fw)
 	}
 	go func() { // dispatcher
-		defer close(batchCh)
-		for bi := 0; bi < numBatches; bi++ {
+		defer close(workCh)
+		defer close(slotCh)
+		for lo := 0; lo < len(roots); {
+			hi := min(lo+sizer.Size(), len(roots))
+			s := &fusedSlot{lo: lo, hi: hi, out: make(chan MoleculeSet, 1)}
+			lo = hi
 			select {
 			case sem <- struct{}{}:
 			case <-abort:
 				return
 			}
+			slotCh <- s // never blocks: occupancy ≤ sem tokens ≤ cap
 			select {
-			case batchCh <- bi:
+			case workCh <- s:
 			case <-abort:
 				return
 			}
@@ -321,10 +430,10 @@ func (dv *Deriver) DeriveRootsFusedStream(ctx context.Context, roots []model.Ato
 
 	err := func() error {
 		defer close(abort)
-		for bi := 0; bi < numBatches; bi++ {
+		for s := range slotCh {
 			var batch MoleculeSet
 			select {
-			case batch = <-results[bi]:
+			case batch = <-s.out:
 			case <-ctx.Done():
 				return ctx.Err()
 			}

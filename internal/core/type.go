@@ -80,6 +80,13 @@ func (mt *MoleculeType) String() string {
 type Binding struct {
 	DB *storage.Database
 	M  *Molecule
+
+	// TS pins attribute fetches to one commit timestamp (zero = latest
+	// view). Streamed executions set it to their cursor's snapshot so a
+	// molecule derived at that snapshot is also *evaluated* against it —
+	// a concurrent UPDATE can never make a residual predicate judge a
+	// molecule against values from a different commit than its structure.
+	TS uint64
 }
 
 // ResolveUnqualified finds the unique component type of the structure
@@ -134,7 +141,13 @@ func (b Binding) Resolve(typeName, attr string) ([]model.Value, error) {
 	ids := b.M.AtomsAt(pos)
 	out := make([]model.Value, 0, len(ids))
 	for _, id := range ids {
-		a, ok := c.Get(id)
+		var a model.Atom
+		var ok bool
+		if b.TS != 0 {
+			a, ok = c.GetAt(id, b.TS)
+		} else {
+			a, ok = c.Get(id)
+		}
 		if !ok {
 			return nil, fmt.Errorf("expr: component atom %v missing from %q", id, typeName)
 		}

@@ -31,9 +31,14 @@ import (
 // statistics and in the caller's climb counter.
 func (dv *Deriver) parents(ei int, a model.AtomID, climbed *int64) []model.AtomID {
 	var out []model.AtomID
-	if dv.fromA[ei] {
+	switch {
+	case dv.ts != 0 && dv.fromA[ei]:
+		out = dv.stores[ei].PartnersFromBAt(a, dv.ts)
+	case dv.ts != 0:
+		out = dv.stores[ei].PartnersFromAAt(a, dv.ts)
+	case dv.fromA[ei]:
 		out = dv.stores[ei].PartnersFromB(a)
-	} else {
+	default:
 		out = dv.stores[ei].PartnersFromA(a)
 	}
 	steps := int64(len(out)) + 1

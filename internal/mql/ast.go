@@ -226,3 +226,23 @@ type AnalyzeStmt struct {
 }
 
 func (*AnalyzeStmt) stmt() {}
+
+// BeginStmt is BEGIN [TRANSACTION] — it opens a buffered-write
+// transaction on the session, pinned to a snapshot of the latest commit:
+// subsequent DML buffers into it and SELECTs read the begin snapshot
+// until COMMIT or ROLLBACK ends it.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt is COMMIT [TRANSACTION] — it installs every mutation
+// buffered since BEGIN atomically, under one commit timestamp.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt is ROLLBACK [TRANSACTION] — it discards the buffered
+// mutations; nothing ever becomes visible.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}

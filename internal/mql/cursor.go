@@ -127,7 +127,16 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	stream, err := p.Stream(ctx)
+	// Inside a BEGIN transaction the cursor reads the begin snapshot —
+	// the caller's transaction keeps the snapshot open; outside one, the
+	// stream pins (and later releases) its own snapshot of the latest
+	// commit.
+	var stream *plan.Stream
+	if s.txn != nil {
+		stream, err = p.StreamAt(ctx, s.txn.Snapshot())
+	} else {
+		stream, err = p.Stream(ctx)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +207,17 @@ func (c *Cursor) Err() error {
 // Delivered counts the molecules handed out so far.
 func (c *Cursor) Delivered() int { return c.n }
 
+// SnapshotTS returns the commit timestamp a streaming SELECT's cursor is
+// pinned to (0 for non-streaming statements). Rendering molecules with
+// RenderMoleculeAt at this timestamp keeps attribute values consistent
+// with the structure the cursor derived.
+func (c *Cursor) SnapshotTS() uint64 {
+	if c.stream == nil {
+		return 0
+	}
+	return c.stream.SnapshotTS()
+}
+
 // Result drains the cursor and materializes the remaining molecules
 // into a classic Result — the collect-all bridge Exec is built on. For
 // non-streaming statements it returns the immediate result.
@@ -216,7 +236,7 @@ func (c *Cursor) Result() (*Result, error) {
 		}
 		set = append(set, m)
 	}
-	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs}, nil
+	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs, TS: c.SnapshotTS()}, nil
 }
 
 // Close cancels an in-flight SELECT, waits for its workers to wind down

@@ -29,6 +29,12 @@ type Session struct {
 	// plan (0 = GOMAXPROCS); noCache bypasses the plan cache when set.
 	workers int
 	noCache bool
+
+	// txn is the open BEGIN transaction, nil in auto-commit mode. While
+	// set, DML buffers into it and SELECTs read its begin snapshot
+	// (read-committed-snapshot: the session does NOT see its own
+	// uncommitted writes).
+	txn *storage.Txn
 }
 
 // NewSession opens a session over the database.
@@ -42,6 +48,22 @@ func NewSession(db *storage.Database) *Session {
 
 // DB returns the session's database.
 func (s *Session) DB() *storage.Database { return s.db }
+
+// InTxn reports whether a BEGIN transaction is open on the session.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+// Close releases the session's resources: an open transaction is rolled
+// back (its buffered writes are discarded and its snapshot pin on the
+// vacuum horizon released). Servers call it on connection teardown so an
+// abandoned BEGIN cannot hold old versions alive forever.
+func (s *Session) Close() error {
+	if s.txn == nil {
+		return nil
+	}
+	err := s.txn.Rollback()
+	s.txn = nil
+	return err
+}
 
 // NamedType returns a molecule type registered by DEFINE or a named FROM.
 func (s *Session) NamedType(name string) (*core.MoleculeType, bool) {
@@ -79,6 +101,11 @@ type Result struct {
 	Inserted []model.AtomID
 	// Affected counts atoms/links touched by UPDATE/DELETE/(DIS)CONNECT.
 	Affected int
+	// TS is the commit timestamp a streamed SELECT was pinned to; Render
+	// resolves attribute values at it so output matches the molecules'
+	// structure even if writers committed since. Zero renders the latest
+	// view (eager statements).
+	TS uint64
 }
 
 // Exec parses and executes a single statement, materializing the whole
@@ -154,8 +181,54 @@ func (s *Session) Execute(st Stmt) (*Result, error) {
 		return s.execAnalyze(st)
 	case *SetStmt:
 		return s.execSet(st)
+	case *BeginStmt:
+		return s.execBegin()
+	case *CommitStmt:
+		return s.execCommit()
+	case *RollbackStmt:
+		return s.execRollback()
 	}
 	return nil, fmt.Errorf("mql: unsupported statement %T", st)
+}
+
+// execBegin opens a buffered-write transaction on the session.
+func (s *Session) execBegin() (*Result, error) {
+	if s.txn != nil {
+		return nil, fmt.Errorf("mql: a transaction is already open (COMMIT or ROLLBACK it first)")
+	}
+	s.txn = s.db.Begin()
+	return &Result{Kind: RMessage, Message: fmt.Sprintf(
+		"transaction started (snapshot at commit %d)", s.txn.SnapshotTS())}, nil
+}
+
+// execCommit installs the open transaction's buffered mutations
+// atomically. The transaction ends either way: a failed commit leaves
+// nothing visible and the session back in auto-commit mode.
+func (s *Session) execCommit() (*Result, error) {
+	if s.txn == nil {
+		return nil, fmt.Errorf("mql: no transaction is open")
+	}
+	n := s.txn.Mutations()
+	err := s.txn.Commit()
+	s.txn = nil
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: RMessage, Message: fmt.Sprintf("committed %d mutation(s)", n)}, nil
+}
+
+// execRollback discards the open transaction's buffered mutations.
+func (s *Session) execRollback() (*Result, error) {
+	if s.txn == nil {
+		return nil, fmt.Errorf("mql: no transaction is open")
+	}
+	n := s.txn.Mutations()
+	err := s.txn.Rollback()
+	s.txn = nil
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: RMessage, Message: fmt.Sprintf("rolled back %d mutation(s)", n)}, nil
 }
 
 // execSet installs a per-session execution option. The options thread
@@ -575,7 +648,15 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 				vals[pos] = row[i]
 			}
 		}
-		id, err := s.db.InsertAtom(st.Type, vals...)
+		var (
+			id  model.AtomID
+			err error
+		)
+		if s.txn != nil {
+			id, err = s.txn.InsertAtom(st.Type, vals...)
+		} else {
+			id, err = s.db.InsertAtom(st.Type, vals...)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -584,7 +665,9 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 	return res, nil
 }
 
-// matchAtoms collects the atoms of a type satisfying a predicate.
+// matchAtoms collects the atoms of a type satisfying a predicate. Inside
+// a transaction the scan reads the begin snapshot, so the selected set is
+// consistent with every other read the transaction performs.
 func (s *Session) matchAtoms(typeName string, pred expr.Expr) ([]model.Atom, error) {
 	c, ok := s.db.Container(typeName)
 	if !ok {
@@ -597,7 +680,16 @@ func (s *Session) matchAtoms(typeName string, pred expr.Expr) ([]model.Atom, err
 	}
 	var out []model.Atom
 	var evalErr error
-	c.Scan(func(a model.Atom) bool {
+	// Inside a transaction DML predicates match the effective view —
+	// begin snapshot plus this transaction's own buffered writes — so a
+	// statement can target atoms the transaction just inserted (SELECTs
+	// stay on the begin snapshot; see ExecuteStream).
+	scan := c.Scan
+	if s.txn != nil {
+		txn := s.txn
+		scan = func(fn func(model.Atom) bool) { txn.ScanEff(typeName, fn) }
+	}
+	scan(func(a model.Atom) bool {
 		keep, err := expr.EvalPredicate(pred, expr.AtomBinding{TypeName: typeName, Desc: c.Desc(), Atom: a})
 		if err != nil {
 			evalErr = err
@@ -633,7 +725,12 @@ func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
 			pos, _ := desc.Lookup(name)
 			vals[pos] = v
 		}
-		if err := s.db.UpdateAtom(st.Type, a.ID, vals); err != nil {
+		if s.txn != nil {
+			err = s.txn.UpdateAtom(st.Type, a.ID, vals)
+		} else {
+			err = s.db.UpdateAtom(st.Type, a.ID, vals)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -646,7 +743,12 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 		return nil, err
 	}
 	for _, a := range atoms {
-		if _, err := s.db.DeleteAtom(st.Type, a.ID); err != nil {
+		if s.txn != nil {
+			err = s.txn.DeleteAtom(st.Type, a.ID)
+		} else {
+			_, err = s.db.DeleteAtom(st.Type, a.ID)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -674,7 +776,12 @@ func (s *Session) execConnect(st *ConnectStmt) (*Result, error) {
 	for _, fa := range froms {
 		for _, ta := range tos {
 			if st.Remove {
-				removed, err := s.db.Disconnect(st.Link, fa.ID, ta.ID)
+				var removed bool
+				if s.txn != nil {
+					removed, err = s.txn.Disconnect(st.Link, fa.ID, ta.ID)
+				} else {
+					removed, err = s.db.Disconnect(st.Link, fa.ID, ta.ID)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -682,7 +789,12 @@ func (s *Session) execConnect(st *ConnectStmt) (*Result, error) {
 					n++
 				}
 			} else {
-				if err := s.db.Connect(st.Link, fa.ID, ta.ID); err != nil {
+				if s.txn != nil {
+					err = s.txn.Connect(st.Link, fa.ID, ta.ID)
+				} else {
+					err = s.db.Connect(st.Link, fa.ID, ta.ID)
+				}
+				if err != nil {
 					return nil, err
 				}
 				n++

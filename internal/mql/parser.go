@@ -165,6 +165,18 @@ func (p *Parser) Statement() (Stmt, error) {
 		return p.analyzeStmt()
 	case "SET":
 		return p.setStmt()
+	case "BEGIN":
+		p.pos++
+		p.accept(TKeyword, "TRANSACTION")
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.pos++
+		p.accept(TKeyword, "TRANSACTION")
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.pos++
+		p.accept(TKeyword, "TRANSACTION")
+		return &RollbackStmt{}, nil
 	}
 	return nil, fmt.Errorf("mql: unknown statement %s at offset %d", t, t.Pos)
 }

@@ -38,7 +38,7 @@ func (r *Result) Render(db *storage.Database) string {
 		fmt.Fprintf(&b, "%d molecule(s) of %s\n", len(r.Set), r.Desc)
 		for i, m := range r.Set {
 			fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i+1, m.Size(), m.NumLinks())
-			b.WriteString(formatMolecule(db, m, r.Attrs))
+			b.WriteString(formatMolecule(db, r.TS, m, r.Attrs))
 		}
 		return b.String()
 	}
@@ -48,24 +48,33 @@ func (r *Result) Render(db *storage.Database) string {
 // RenderMolecule formats one streamed molecule exactly as Result.Render
 // formats the i-th molecule (1-based) of a materialized set — the
 // building block of incremental result delivery (the TCP server renders
-// a cursor's molecules into CHUNK frames with it).
+// a cursor's molecules into CHUNK frames with it). Attribute values read
+// the latest view; use RenderMoleculeAt to render a snapshot cursor's
+// molecules consistently with its structure.
 func RenderMolecule(db *storage.Database, i int, m *core.Molecule, attrs map[string][]string) string {
+	return RenderMoleculeAt(db, 0, i, m, attrs)
+}
+
+// RenderMoleculeAt is RenderMolecule with attribute values resolved at
+// commit timestamp ts (zero = latest view), so a molecule derived at a
+// snapshot renders the values of that same commit.
+func RenderMoleculeAt(db *storage.Database, ts uint64, i int, m *core.Molecule, attrs map[string][]string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i, m.Size(), m.NumLinks())
-	b.WriteString(formatMolecule(db, m, attrs))
+	b.WriteString(formatMolecule(db, ts, m, attrs))
 	return b.String()
 }
 
 // formatMolecule renders one molecule as an indented tree honouring the
-// projection's attribute narrowing.
-func formatMolecule(db *storage.Database, m *core.Molecule, attrs map[string][]string) string {
+// projection's attribute narrowing, reading values at ts (zero = latest).
+func formatMolecule(db *storage.Database, ts uint64, m *core.Molecule, attrs map[string][]string) string {
 	var b strings.Builder
 	d := m.Desc()
 	printed := make(map[model.AtomID]bool)
 	var rec func(typeName string, id model.AtomID, depth int)
 	rec = func(typeName string, id model.AtomID, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
-		label := renderAtom(db, typeName, id, attrs[typeName])
+		label := renderAtom(db, ts, typeName, id, attrs[typeName])
 		if printed[id] {
 			fmt.Fprintf(&b, "^%s: %s (shared)\n", typeName, label)
 			return
@@ -86,12 +95,17 @@ func formatMolecule(db *storage.Database, m *core.Molecule, attrs map[string][]s
 }
 
 // renderAtom renders one atom with (possibly narrowed) attributes.
-func renderAtom(db *storage.Database, typeName string, id model.AtomID, attrs []string) string {
+func renderAtom(db *storage.Database, ts uint64, typeName string, id model.AtomID, attrs []string) string {
 	c, ok := db.Container(typeName)
 	if !ok {
 		return id.String()
 	}
-	a, ok := c.Get(id)
+	var a model.Atom
+	if ts != 0 {
+		a, ok = c.GetAt(id, ts)
+	} else {
+		a, ok = c.Get(id)
+	}
 	if !ok {
 		return id.String()
 	}

@@ -737,16 +737,23 @@ func (b *evalErrBox) get() error {
 }
 
 // atomPred compiles a conjunct into a per-atom predicate over the named
-// type. Evaluation errors surface through eb (first one wins); the
-// returned predicate is safe for concurrent use.
-func (p *Plan) atomPred(typeName string, conjunct expr.Expr, eb *evalErrBox) (func(model.AtomID) bool, error) {
+// type, reading atom values at commit timestamp ts (zero = latest view).
+// Evaluation errors surface through eb (first one wins); the returned
+// predicate is safe for concurrent use.
+func (p *Plan) atomPred(typeName string, conjunct expr.Expr, eb *evalErrBox, ts uint64) (func(model.AtomID) bool, error) {
 	c, ok := p.db.Container(typeName)
 	if !ok {
 		return nil, fmt.Errorf("plan: atom type %q has no container", typeName)
 	}
 	desc := c.Desc()
 	return func(id model.AtomID) bool {
-		a, ok := c.Get(id)
+		var a model.Atom
+		var ok bool
+		if ts != 0 {
+			a, ok = c.GetAt(id, ts)
+		} else {
+			a, ok = c.Get(id)
+		}
 		if !ok {
 			return false
 		}
@@ -764,16 +771,24 @@ func (p *Plan) atomPred(typeName string, conjunct expr.Expr, eb *evalErrBox) (fu
 // rootBatch produces the root atoms the access path feeds into
 // derivation, before the root filter: an index lookup's posting list, the
 // roots recovered upward from an interior entry, or the whole container.
+// Index postings resolve at the deriver's pinned timestamp, so the batch
+// agrees with the occurrence view derivation will traverse.
 func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
+	lookup := func(typeName, attr string, v model.Value) ([]model.AtomID, bool) {
+		if ts := dv.TS(); ts != 0 {
+			return p.db.IndexLookupAt(typeName, attr, v, ts)
+		}
+		return p.db.IndexLookup(typeName, attr, v)
+	}
 	switch p.Access.Kind {
 	case IndexScan:
-		roots, ok := p.db.IndexLookup(p.Access.Root, p.Access.Attr, p.Access.Value)
+		roots, ok := lookup(p.Access.Root, p.Access.Attr, p.Access.Value)
 		if !ok {
 			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
 		}
 		return roots, nil
 	case InteriorIndex:
-		entries, ok := p.db.IndexLookup(p.Access.EntryType, p.Access.Attr, p.Access.Value)
+		entries, ok := lookup(p.Access.EntryType, p.Access.Attr, p.Access.Value)
 		if !ok {
 			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.EntryType, p.Access.Attr)
 		}
@@ -851,7 +866,7 @@ func (p *Plan) prepareRoots(ctx context.Context, dv *core.Deriver, eb *evalErrBo
 	var rootFilter func(model.AtomID) bool
 	var err error
 	if p.Access.Filter != nil {
-		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, eb)
+		rootFilter, err = p.atomPred(p.Access.Root, p.Access.Filter, eb, dv.TS())
 		if err != nil {
 			return nil, err
 		}
@@ -986,6 +1001,12 @@ func (p *Plan) ExecuteBarrier() (core.MoleculeSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The barrier pipeline pins a snapshot exactly like Stream does, so
+	// the fused-vs-barrier parity properties keep holding under
+	// concurrent writers.
+	snap := p.db.Snapshot()
+	defer snap.Close()
+	dv = dv.AtSnapshot(snap)
 	p.resetActuals()
 
 	var eb evalErrBox
@@ -996,7 +1017,7 @@ func (p *Plan) ExecuteBarrier() (core.MoleculeSet, error) {
 	cuts := make([]int64, len(p.Pushdowns))
 	for i := range p.Pushdowns {
 		pd := &p.Pushdowns[i]
-		pred, err := p.atomPred(pd.Type, pd.Conjunct, &eb)
+		pred, err := p.atomPred(pd.Type, pd.Conjunct, &eb, snap.TS())
 		if err != nil {
 			return nil, err
 		}
@@ -1037,7 +1058,7 @@ func (p *Plan) ExecuteBarrier() (core.MoleculeSet, error) {
 			continue // cut by a pushdown hook
 		}
 		p.Derived++
-		b := core.Binding{DB: p.db, M: m}
+		b := core.Binding{DB: p.db, M: m, TS: snap.TS()}
 		keep := true
 		for i := range p.Residuals {
 			r := &p.Residuals[i]

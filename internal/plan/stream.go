@@ -9,6 +9,7 @@ import (
 	"mad/internal/core"
 	"mad/internal/expr"
 	"mad/internal/model"
+	"mad/internal/storage"
 )
 
 // errStreamLimit is the internal sentinel the stream producer returns
@@ -40,6 +41,16 @@ type Stream struct {
 	p      *Plan
 	cancel context.CancelFunc
 
+	// snap is the consistent view the whole run reads through: pinned at
+	// cursor open (or supplied by the caller's transaction), it makes
+	// every access-path lookup, derivation step and residual evaluation
+	// resolve against exactly one commit timestamp, however many writers
+	// commit while the stream drains. ownSnap marks a stream-pinned
+	// snapshot, released when the stream ends; a caller-supplied one
+	// stays the caller's to close.
+	snap    *storage.Snapshot
+	ownSnap bool
+
 	batches chan core.MoleculeSet
 	errc    chan error
 
@@ -48,6 +59,11 @@ type Stream struct {
 	done bool
 	err  error
 }
+
+// SnapshotTS reports the commit timestamp the stream's results are
+// consistent with: every molecule the cursor delivers was derived and
+// filtered against this one committed state.
+func (st *Stream) SnapshotTS() uint64 { return st.snap.TS() }
 
 // Stream starts executing the plan and returns the result cursor. The
 // pipeline underneath is Execute's fused one — access path, parallel
@@ -63,6 +79,16 @@ type Stream struct {
 // a cancelled or LIMIT-truncated execution observed a biased sample and
 // teaches the store nothing.
 func (p *Plan) Stream(ctx context.Context) (*Stream, error) {
+	return p.StreamAt(ctx, nil)
+}
+
+// StreamAt is Stream reading through a caller-supplied snapshot — the
+// entry point for transactional SELECTs, which must see their
+// transaction's begin snapshot rather than the latest commit. The caller
+// keeps ownership: the snapshot must stay open until the stream ends and
+// is not closed by it. A nil snapshot pins the latest commit for the
+// duration of the stream (Stream's behaviour).
+func (p *Plan) StreamAt(ctx context.Context, snap *storage.Snapshot) (*Stream, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -72,6 +98,11 @@ func (p *Plan) Stream(ctx context.Context) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	ownSnap := snap == nil
+	if ownSnap {
+		snap = p.db.Snapshot()
+	}
+	dv = dv.AtSnapshot(snap)
 	p.resetActuals()
 
 	// Per-atom predicates are safe for concurrent use and shared by all
@@ -82,8 +113,11 @@ func (p *Plan) Stream(ctx context.Context) (*Stream, error) {
 	eb := &evalErrBox{}
 	preds := make([]func(model.AtomID) bool, len(p.Pushdowns))
 	for i := range p.Pushdowns {
-		preds[i], err = p.atomPred(p.Pushdowns[i].Type, p.Pushdowns[i].Conjunct, eb)
+		preds[i], err = p.atomPred(p.Pushdowns[i].Type, p.Pushdowns[i].Conjunct, eb, snap.TS())
 		if err != nil {
+			if ownSnap {
+				snap.Close()
+			}
 			return nil, err
 		}
 	}
@@ -92,11 +126,21 @@ func (p *Plan) Stream(ctx context.Context) (*Stream, error) {
 	st := &Stream{
 		p:       p,
 		cancel:  cancel,
+		snap:    snap,
+		ownSnap: ownSnap,
 		batches: make(chan core.MoleculeSet, streamBufBatches),
 		errc:    make(chan error, 1),
 	}
 	go st.run(ctx, dv, eb, preds, fb)
 	return st, nil
+}
+
+// release drops the stream's pin on its snapshot versions (no-op for a
+// caller-supplied snapshot); safe to call more than once.
+func (st *Stream) release() {
+	if st.ownSnap {
+		st.snap.Close()
+	}
 }
 
 // workerState carries one worker's private execution actuals; the
@@ -160,7 +204,7 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 				return false
 			}
 			ws.derived++
-			b := core.Binding{DB: p.db, M: m}
+			b := core.Binding{DB: p.db, M: m, TS: st.snap.TS()}
 			for i := range p.Residuals {
 				ws.evals[i]++
 				var t0 time.Time
@@ -185,6 +229,12 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		return core.FusedWorker{Checks: dv.PrepareChecks(checks), Keep: keep}
 	}
 
+	// The emit hook feeds consumer backpressure into the batch sizer: a
+	// hand-off that would block (bounded channel full) shrinks the next
+	// batches so the consumer keeps getting fresh small deliveries; a
+	// streak of instant hand-offs grows them back to amortize the channel
+	// traffic.
+	sizer := core.NewBatchSizer(0, 0, 0)
 	delivered := 0
 	emit := func(ms core.MoleculeSet) error {
 		limited := false
@@ -196,9 +246,16 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		if len(ms) > 0 {
 			select {
 			case st.batches <- ms:
+				sizer.Observe(false)
 				delivered += len(ms)
-			case <-ctx.Done():
-				return ctx.Err()
+			default:
+				sizer.Observe(true)
+				select {
+				case st.batches <- ms:
+					delivered += len(ms)
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			}
 		}
 		if limited {
@@ -207,7 +264,7 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		return nil
 	}
 
-	work, err := dv.DeriveRootsFusedStream(ctx, roots, p.Workers, 0, newWorker, emit)
+	work, err := dv.DeriveRootsFusedStreamSized(ctx, roots, p.Workers, sizer, newWorker, emit)
 	complete := err == nil
 	if errors.Is(err, errStreamLimit) {
 		err = nil
@@ -256,6 +313,7 @@ func (st *Stream) Next() (*core.Molecule, error) {
 			st.err = <-st.errc
 			st.done = true
 			st.cur, st.idx = nil, 0
+			st.release()
 			return nil, st.err
 		}
 		st.cur, st.idx = batch, 0
@@ -308,6 +366,7 @@ func (st *Stream) Close() error {
 		st.done = true
 		st.cur, st.idx = nil, 0
 	}
+	st.release()
 	if errors.Is(st.err, context.Canceled) {
 		return nil
 	}

@@ -169,6 +169,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 	sess := mql.NewSession(s.db)
+	// A dropped connection rolls back any transaction left open, so an
+	// abandoned BEGIN cannot pin the vacuum horizon forever.
+	defer sess.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -249,7 +252,7 @@ func (s *Server) execStream(ctx context.Context, sess *mql.Session, src string, 
 				break
 			}
 			n++
-			ck.add(mql.RenderMolecule(s.db, n, m, cur.Attrs()))
+			ck.add(mql.RenderMoleculeAt(s.db, cur.SnapshotTS(), n, m, cur.Attrs()))
 			if ck.err != nil {
 				cur.Close()
 				return ck.err

@@ -60,7 +60,9 @@ func (db *Database) Analyze(typeNames ...string) (int, error) {
 }
 
 // analyzeLocked rebuilds the histograms of one atom type; callers hold
-// db.mu and bump the plan epoch themselves.
+// db.mu (the container scan resolves the latest published commit, so a
+// concurrent writer at most leaves the histogram one commit stale — it is
+// advisory, not versioned) and bump the plan epoch themselves.
 func (db *Database) analyzeLocked(name string, c *Container) int {
 	desc := c.Desc()
 	// One pass over the occurrence gathers every attribute column.
@@ -110,20 +112,26 @@ func (db *Database) SetAutoAnalyze(frac float64) {
 // maybeAutoAnalyze rebuilds the named type's histograms when any of them
 // has drifted past the configured fraction of its occurrence, bumping the
 // plan epoch so stale plans recompile against the fresh statistics —
-// ANALYZE-on-drift instead of ANALYZE-on-request. Callers hold db.mu and
-// have already routed the triggering mutation into the histograms.
+// ANALYZE-on-drift instead of ANALYZE-on-request. Callers hold commitMu
+// (the epoch therefore keys off committed state, never an in-flight
+// buffer) and have already routed the triggering mutation into the
+// histograms; db.mu is taken here for the registry reads and the rebuild.
 func (db *Database) maybeAutoAnalyze(typeName string) {
-	if db.autoAnalyzeFrac <= 0 {
+	db.mu.RLock()
+	frac := db.autoAnalyzeFrac
+	hists := db.histsOf(typeName)
+	db.mu.RUnlock()
+	if frac <= 0 {
 		return
 	}
 	trigger := false
-	for _, ah := range db.histsOf(typeName) {
+	for _, ah := range hists {
 		drift := ah.h.Drift()
 		if drift < autoAnalyzeMinDrift {
 			continue
 		}
 		occ := ah.h.Total() + ah.h.Nulls()
-		if float64(drift) > db.autoAnalyzeFrac*float64(occ) {
+		if float64(drift) > frac*float64(occ) {
 			trigger = true
 			break
 		}
@@ -131,6 +139,8 @@ func (db *Database) maybeAutoAnalyze(typeName string) {
 	if !trigger {
 		return
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	c, ok := db.containerByName(typeName)
 	if !ok {
 		return
@@ -146,20 +156,24 @@ func (db *Database) maybeAutoAnalyze(typeName string) {
 // from the store's fan statistics, so link churn goes stale the same way
 // value drift does for histograms. Sharing the auto-analyze fraction
 // keeps one staleness policy; frac <= 0 disables this too. Callers hold
-// db.mu.
+// commitMu, which is what makes epochBase safe to read-modify-write.
 func (db *Database) maybeLinkEpochBump(ls *LinkStore) {
-	if db.autoAnalyzeFrac <= 0 {
+	db.mu.RLock()
+	frac := db.autoAnalyzeFrac
+	db.mu.RUnlock()
+	if frac <= 0 {
 		return
 	}
-	drift := ls.count - ls.epochBase
+	count := ls.Len()
+	drift := count - ls.epochBase
 	if drift < 0 {
 		drift = -drift
 	}
 	if drift < autoAnalyzeMinDrift {
 		return
 	}
-	if float64(drift) > db.autoAnalyzeFrac*float64(ls.epochBase) {
-		ls.epochBase = ls.count
+	if float64(drift) > frac*float64(ls.epochBase) {
+		ls.epochBase = count
 		db.bumpPlanEpoch()
 	}
 }
@@ -202,15 +216,23 @@ func (db *Database) histsOf(typeName string) []*attrHist {
 }
 
 // histInsert routes a stored atom's values into the type's histograms.
+// Histograms are internally synchronized; only the registry read needs
+// db.mu.
 func (db *Database) histInsert(typeName string, a model.Atom) {
-	for _, ah := range db.histsOf(typeName) {
+	db.mu.RLock()
+	hists := db.histsOf(typeName)
+	db.mu.RUnlock()
+	for _, ah := range hists {
 		ah.h.Insert(a.Get(ah.pos))
 	}
 }
 
 // histDelete removes a dropped atom's values from the type's histograms.
 func (db *Database) histDelete(typeName string, a model.Atom) {
-	for _, ah := range db.histsOf(typeName) {
+	db.mu.RLock()
+	hists := db.histsOf(typeName)
+	db.mu.RUnlock()
+	for _, ah := range hists {
 		ah.h.Delete(a.Get(ah.pos))
 	}
 }

@@ -4,16 +4,54 @@
 // out — symmetric links, no dangling references, cardinality restrictions
 // (Section 3.1). Together with a catalog.Schema it realizes the "atom
 // networks" that molecule derivation is laid over.
+//
+// Since the MVCC refactor every occurrence is versioned: each atom, link
+// partner list and index posting is the head of an immutable version chain
+// stamped with the commit timestamp that installed it. Readers resolve a
+// chain against a timestamp — either the database's published commit
+// timestamp (the "latest" view every legacy method serves) or a pinned
+// Snapshot — and therefore never block behind writers; writers serialize
+// on the database's commit mutex and publish atomically by advancing the
+// shared clock.
 package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mad/internal/model"
 )
 
+// verAtom is one version of an atom: the value it had from commit ts
+// until the next version's commit, or a tombstone when deleted is set.
+// Nodes are immutable once linked into a chain — mutation pushes a new
+// head — except for prev, which vacuum severs under the write latch.
+type verAtom struct {
+	atom    model.Atom
+	ts      uint64
+	deleted bool
+	prev    *verAtom
+}
+
+// visibleAtom resolves a chain against a read timestamp: the newest
+// version whose commit timestamp is ≤ ts. ok=false when the atom did not
+// exist (or was deleted) at that time.
+func visibleAtom(v *verAtom, ts uint64) (model.Atom, bool) {
+	for ; v != nil; v = v.prev {
+		if v.ts <= ts {
+			if v.deleted {
+				return model.Atom{}, false
+			}
+			return v.atom, true
+		}
+	}
+	return model.Atom{}, false
+}
+
 // Container holds the occurrence of one atom type: a set of atoms in
-// stable insertion order with O(1) lookup by identifier.
+// stable insertion order with O(1) lookup by identifier, versioned so
+// concurrent snapshots each see a consistent membership.
 //
 // A container may hold atoms whose identifiers were issued by *another*
 // atom type: the propagation operator (Definition 9) installs renamed
@@ -25,21 +63,33 @@ type Container struct {
 	typeName string
 	num      model.TypeNum
 	desc     *model.Desc
+	clock    *atomic.Uint64 // published commit timestamp (shared with the database)
 
-	atoms []model.Atom         // dense, insertion-ordered
-	index map[model.AtomID]int // id → position in atoms
-	seq   uint64               // last issued native sequence number
+	latch sync.RWMutex
+	order []model.AtomID            // append-only insertion order; may hold vacuumed ids
+	index map[model.AtomID]*verAtom // id → newest version
+	seq   uint64                    // last issued native sequence number
+	live  int                       // atoms visible at the newest version heads
 }
 
-// NewContainer creates an empty container for the given atom type.
+// NewContainer creates an empty container for the given atom type. A
+// standalone container owns a private clock; the database rebinds it to
+// the shared commit clock on registration.
 func NewContainer(typeName string, num model.TypeNum, desc *model.Desc) *Container {
+	clock := new(atomic.Uint64)
+	clock.Store(1)
 	return &Container{
 		typeName: typeName,
 		num:      num,
 		desc:     desc,
-		index:    make(map[model.AtomID]int),
+		clock:    clock,
+		index:    make(map[model.AtomID]*verAtom),
 	}
 }
+
+// bindClock attaches the container to the database's published commit
+// timestamp so its latest-view methods track commits.
+func (c *Container) bindClock(clock *atomic.Uint64) { c.clock = clock }
 
 // TypeName returns the owning atom type's name.
 func (c *Container) TypeName() string { return c.typeName }
@@ -47,115 +97,255 @@ func (c *Container) TypeName() string { return c.typeName }
 // Desc returns the owning atom type's description.
 func (c *Container) Desc() *model.Desc { return c.desc }
 
-// Len returns the number of atoms in the occurrence.
-func (c *Container) Len() int { return len(c.atoms) }
+// Len returns the number of atoms in the occurrence at the newest
+// versions. Use LenAt for an exact count under a pinned snapshot.
+func (c *Container) Len() int {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	return c.live
+}
 
-// Insert validates the values against the description, issues a fresh
-// identifier and stores the atom. It returns the new identifier.
-func (c *Container) Insert(vals []model.Value) (model.AtomID, error) {
+// LenAt counts the atoms visible at the given commit timestamp.
+func (c *Container) LenAt(ts uint64) int {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	n := 0
+	for _, id := range c.order {
+		if _, ok := visibleAtom(c.index[id], ts); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// allocID reserves a fresh native identifier. Buffered transactions call
+// this at buffer time so the caller learns the identifier before commit;
+// an aborted transaction burns the reserved sequence number, which is
+// harmless (identifiers need only be unique, not dense).
+func (c *Container) allocID() (model.AtomID, error) {
+	c.latch.Lock()
+	defer c.latch.Unlock()
 	if c.seq >= model.MaxSeq {
 		return 0, fmt.Errorf("storage: atom type %q exhausted its identifier space", c.typeName)
 	}
-	id := model.MakeAtomID(c.num, c.seq+1)
-	a := model.NewAtom(id, vals...).Widened(c.desc)
-	if err := a.Conforms(c.desc); err != nil {
-		return 0, err
-	}
 	c.seq++
-	c.index[id] = len(c.atoms)
-	c.atoms = append(c.atoms, a)
-	return id, nil
+	return model.MakeAtomID(c.num, c.seq), nil
 }
 
-// Adopt stores an atom under its existing identifier, as propagation and
-// snapshot loading require. Duplicate identifiers are errors.
-func (c *Container) Adopt(a model.Atom) error {
-	if !a.ID.Valid() {
-		return fmt.Errorf("storage: cannot adopt atom with invalid id into %q", c.typeName)
-	}
-	if _, dup := c.index[a.ID]; dup {
-		return fmt.Errorf("storage: atom %v already present in %q", a.ID, c.typeName)
-	}
-	a = a.Widened(c.desc)
+// validate widens and checks vals against the description, returning the
+// stored form of the atom.
+func (c *Container) validate(id model.AtomID, vals []model.Value) (model.Atom, error) {
+	a := model.NewAtom(id, vals...).Widened(c.desc)
 	if err := a.Conforms(c.desc); err != nil {
-		return err
+		return model.Atom{}, err
 	}
+	return a, nil
+}
+
+// applyPut installs a version of the atom at commit timestamp ts: a fresh
+// insertion when the identifier has no live head, an update otherwise.
+// The returned undo pops the pushed version; callers hold the database's
+// commit mutex so at most one commit mutates the chain at a time.
+func (c *Container) applyPut(a model.Atom, ts uint64) (undo func()) {
+	c.latch.Lock()
+	defer c.latch.Unlock()
+	old := c.index[a.ID]
+	c.index[a.ID] = &verAtom{atom: a, ts: ts, prev: old}
+	wasLive := old != nil && !old.deleted
+	if !wasLive {
+		c.live++
+	}
+	if old == nil {
+		c.order = append(c.order, a.ID)
+	}
+	return func() {
+		c.latch.Lock()
+		defer c.latch.Unlock()
+		if old == nil {
+			delete(c.index, a.ID)
+			// Undos run in reverse op order under the commit mutex, so the
+			// order slot this put appended is the newest one holding a.ID.
+			for i := len(c.order) - 1; i >= 0; i-- {
+				if c.order[i] == a.ID {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		} else {
+			c.index[a.ID] = old
+		}
+		if !wasLive {
+			c.live--
+		}
+	}
+}
+
+// applyAdopt installs an atom under its existing identifier at ts — the
+// propagation / snapshot-loading path. Duplicate identifiers are errors.
+func (c *Container) applyAdopt(a model.Atom, ts uint64) (undo func(), err error) {
+	c.latch.RLock()
+	head, dup := c.index[a.ID]
+	c.latch.RUnlock()
+	if dup && !head.deleted {
+		return nil, fmt.Errorf("storage: atom %v already present in %q", a.ID, c.typeName)
+	}
+	c.latch.Lock()
 	if a.ID.TypeNum() == c.num && a.ID.Seq() > c.seq {
 		c.seq = a.ID.Seq() // keep native sequence ahead of loaded atoms
 	}
-	c.index[a.ID] = len(c.atoms)
-	c.atoms = append(c.atoms, a)
-	return nil
+	c.latch.Unlock()
+	return c.applyPut(a, ts), nil
 }
 
-// Get returns the atom with the given identifier.
-func (c *Container) Get(id model.AtomID) (model.Atom, bool) {
-	i, ok := c.index[id]
-	if !ok {
-		return model.Atom{}, false
+// applyDelete installs a tombstone at ts. It errs when the atom has no
+// live newest version.
+func (c *Container) applyDelete(id model.AtomID, ts uint64) (undo func(), err error) {
+	c.latch.Lock()
+	defer c.latch.Unlock()
+	old := c.index[id]
+	if old == nil || old.deleted {
+		return nil, fmt.Errorf("storage: atom %v not in %q", id, c.typeName)
 	}
-	return c.atoms[i], true
+	c.index[id] = &verAtom{ts: ts, deleted: true, prev: old}
+	c.live--
+	return func() {
+		c.latch.Lock()
+		defer c.latch.Unlock()
+		c.index[id] = old
+		c.live++
+	}, nil
 }
 
-// Has reports whether the identifier is present.
+// Get returns the atom with the given identifier at the latest published
+// commit.
+func (c *Container) Get(id model.AtomID) (model.Atom, bool) {
+	return c.GetAt(id, c.clock.Load())
+}
+
+// GetAt returns the atom visible at the given commit timestamp.
+func (c *Container) GetAt(id model.AtomID, ts uint64) (model.Atom, bool) {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	return visibleAtom(c.index[id], ts)
+}
+
+// Has reports whether the identifier is present at the latest commit.
 func (c *Container) Has(id model.AtomID) bool {
-	_, ok := c.index[id]
+	return c.HasAt(id, c.clock.Load())
+}
+
+// HasAt reports whether the identifier is visible at ts.
+func (c *Container) HasAt(id model.AtomID, ts uint64) bool {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	_, ok := visibleAtom(c.index[id], ts)
 	return ok
 }
 
-// Delete removes the atom, preserving the insertion order of the rest.
-func (c *Container) Delete(id model.AtomID) bool {
-	i, ok := c.index[id]
-	if !ok {
-		return false
-	}
-	copy(c.atoms[i:], c.atoms[i+1:])
-	c.atoms = c.atoms[:len(c.atoms)-1]
-	delete(c.index, id)
-	for j := i; j < len(c.atoms); j++ {
-		c.index[c.atoms[j].ID] = j
-	}
-	return true
-}
-
-// Update replaces the values of an existing atom after validation.
-func (c *Container) Update(id model.AtomID, vals []model.Value) error {
-	i, ok := c.index[id]
-	if !ok {
-		return fmt.Errorf("storage: atom %v not in %q", id, c.typeName)
-	}
-	a := model.NewAtom(id, vals...).Widened(c.desc)
-	if err := a.Conforms(c.desc); err != nil {
-		return err
-	}
-	c.atoms[i] = a
-	return nil
-}
-
-// Scan calls fn for every atom in insertion order; fn returning false
-// stops the scan early.
+// Scan calls fn for every atom in insertion order at the latest commit;
+// fn returning false stops the scan early.
 func (c *Container) Scan(fn func(model.Atom) bool) {
-	for _, a := range c.atoms {
+	c.ScanAt(c.clock.Load(), fn)
+}
+
+// ScanAt iterates the atoms visible at ts in insertion order. The visible
+// set is captured under the read latch and fn runs outside it, so fn may
+// freely re-enter the storage layer.
+func (c *Container) ScanAt(ts uint64, fn func(model.Atom) bool) {
+	for _, a := range c.AtomsAt(ts) {
 		if !fn(a) {
 			return
 		}
 	}
 }
 
-// IDs returns the identifiers of all atoms in insertion order.
+// IDs returns the identifiers of all atoms in insertion order at the
+// latest commit.
 func (c *Container) IDs() []model.AtomID {
-	ids := make([]model.AtomID, len(c.atoms))
-	for i, a := range c.atoms {
-		ids[i] = a.ID
+	return c.IDsAt(c.clock.Load())
+}
+
+// IDsAt returns the identifiers visible at ts in insertion order.
+func (c *Container) IDsAt(ts uint64) []model.AtomID {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	ids := make([]model.AtomID, 0, c.live)
+	for _, id := range c.order {
+		if _, ok := visibleAtom(c.index[id], ts); ok {
+			ids = append(ids, id)
+		}
 	}
 	return ids
 }
 
-// Atoms returns a copy of the occurrence in insertion order.
+// Atoms returns a copy of the occurrence in insertion order at the latest
+// commit.
 func (c *Container) Atoms() []model.Atom {
-	out := make([]model.Atom, len(c.atoms))
-	for i, a := range c.atoms {
-		out[i] = a.Clone()
+	return c.AtomsAt(c.clock.Load())
+}
+
+// AtomsAt returns the atoms visible at ts in insertion order.
+func (c *Container) AtomsAt(ts uint64) []model.Atom {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	out := make([]model.Atom, 0, c.live)
+	for _, id := range c.order {
+		if a, ok := visibleAtom(c.index[id], ts); ok {
+			out = append(out, a)
+		}
 	}
 	return out
+}
+
+// versionCount reports the total number of version nodes in all chains —
+// the leak-check metric vacuum tests compare before and after.
+func (c *Container) versionCount() int {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	n := 0
+	for _, head := range c.index {
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+	}
+	return n
+}
+
+// vacuum truncates every chain below the horizon: the newest version at
+// or below horizon becomes the chain's tail, and identifiers whose entire
+// visible history at the horizon is a tombstone are removed outright. It
+// returns the number of version nodes reclaimed.
+func (c *Container) vacuum(horizon uint64) int {
+	c.latch.Lock()
+	defer c.latch.Unlock()
+	reclaimed := 0
+	newOrder := c.order[:0:0]
+	for _, id := range c.order {
+		head := c.index[id]
+		if head == nil {
+			continue // popped by an aborted commit; drop the order slot
+		}
+		// Find the newest version at or below the horizon.
+		var anchor *verAtom
+		for v := head; v != nil; v = v.prev {
+			if v.ts <= horizon {
+				anchor = v
+				break
+			}
+		}
+		if anchor != nil {
+			for v := anchor.prev; v != nil; v = v.prev {
+				reclaimed++
+			}
+			anchor.prev = nil
+			if anchor == head && anchor.deleted {
+				delete(c.index, id)
+				reclaimed++
+				continue
+			}
+		}
+		newOrder = append(newOrder, id)
+	}
+	c.order = newOrder
+	return reclaimed
 }

@@ -10,20 +10,45 @@ import (
 )
 
 // Database is a MAD database DB = <AT, LT> (Definition 3): a schema plus
-// the occurrences of every atom type and link type, guarded by one
-// read-write mutex. All mutation goes through Database methods, which
-// maintain referential integrity ("there are no dangling references"),
-// link symmetry, cardinality restrictions, secondary indexes and the
+// the occurrences of every atom type and link type. Since the MVCC
+// refactor the single stop-the-world mutex is gone: every occurrence is a
+// set of version chains stamped with commit timestamps, readers resolve
+// chains against either the published clock (latest view) or a pinned
+// Snapshot and never block behind writers, and writers serialize on a
+// dedicated commit mutex whose critical section is just "apply the
+// buffered operations, advance the clock". All mutation goes through
+// Database methods (auto-commits) or a buffered Txn, which maintain
+// referential integrity ("there are no dangling references"), link
+// symmetry, cardinality restrictions, secondary indexes and the
 // per-attribute histograms built by Analyze.
+//
+// Lock order, outermost first: commitMu → mu → per-occurrence latches.
+// snapMu is a leaf lock guarding only the live-snapshot registry.
 type Database struct {
+	// mu guards the registries (schema, containers, links, indexes,
+	// hists) — not the occurrence contents, which carry their own latch.
 	mu         sync.RWMutex
 	schema     *catalog.Schema
 	containers map[string]*Container
 	links      map[string]*LinkStore
 	indexes    map[string]*Index
 	hists      map[string]*attrHist
-	stats      Stats
-	planEpoch  atomic.Uint64
+
+	// commitMu serializes writers: one commit installs and publishes at a
+	// time. Readers never take it.
+	commitMu sync.Mutex
+	// latestTS is the published commit timestamp — the version every
+	// legacy (timestamp-less) read method serves. It starts at 1 so 0 can
+	// mean "unpinned" elsewhere; the first commit publishes 2.
+	latestTS atomic.Uint64
+
+	// snapMu guards liveSnaps, the refcounts of pinned snapshot
+	// timestamps that hold the vacuum horizon back.
+	snapMu    sync.Mutex
+	liveSnaps map[uint64]int
+
+	stats     Stats
+	planEpoch atomic.Uint64
 	// autoAnalyzeFrac triggers a histogram rebuild once incremental drift
 	// exceeds this fraction of an occurrence; <= 0 disables it.
 	autoAnalyzeFrac float64
@@ -31,15 +56,22 @@ type Database struct {
 
 // NewDatabase returns an empty database with an empty schema.
 func NewDatabase() *Database {
-	return &Database{
+	db := &Database{
 		schema:          catalog.NewSchema(),
 		containers:      make(map[string]*Container),
 		links:           make(map[string]*LinkStore),
 		indexes:         make(map[string]*Index),
 		hists:           make(map[string]*attrHist),
+		liveSnaps:       make(map[uint64]int),
 		autoAnalyzeFrac: DefaultAutoAnalyzeFraction,
 	}
+	db.latestTS.Store(1)
+	return db
 }
+
+// LatestTS returns the published commit timestamp — the version the
+// latest view reads. A Snapshot pins one of these values.
+func (db *Database) LatestTS() uint64 { return db.latestTS.Load() }
 
 // Schema exposes the catalog. Callers must treat it as read-only; all
 // schema mutation goes through DefineAtomType / DefineLinkType so the
@@ -54,6 +86,8 @@ func (db *Database) Schema() *catalog.Schema {
 func (db *Database) Stats() *Stats { return &db.stats }
 
 // DefineAtomType declares an atom type and creates its (empty) container.
+// Schema definition is not versioned: the type exists for every snapshot,
+// old snapshots simply see an empty occurrence.
 func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.AtomType, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -61,7 +95,9 @@ func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.Atom
 	if err != nil {
 		return nil, err
 	}
-	db.containers[name] = NewContainer(name, at.Num, desc)
+	c := NewContainer(name, at.Num, desc)
+	c.bindClock(&db.latestTS)
+	db.containers[name] = c
 	db.bumpPlanEpoch()
 	return at, nil
 }
@@ -74,7 +110,9 @@ func (db *Database) DefineLinkType(name string, desc model.LinkDesc) (*catalog.L
 	if err != nil {
 		return nil, err
 	}
-	db.links[name] = NewLinkStore(name, desc)
+	ls := NewLinkStore(name, desc)
+	ls.bindClock(&db.latestTS)
+	db.links[name] = ls
 	db.bumpPlanEpoch()
 	return lt, nil
 }
@@ -86,7 +124,9 @@ func (db *Database) containerByName(name string) (*Container, bool) {
 }
 
 // Container exposes the container of an atom type for read-mostly callers
-// such as the algebra layers. The container is shared, not a copy.
+// such as the algebra layers. The container is shared, not a copy; its
+// timestamp-less methods serve the latest published commit, the *At
+// variants a pinned snapshot.
 func (db *Database) Container(name string) (*Container, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -101,24 +141,33 @@ func (db *Database) LinkStore(name string) (*LinkStore, bool) {
 	return ls, ok
 }
 
-// InsertAtom validates and stores a new atom of the named type, returning
-// its identifier.
+// InsertAtom validates and stores a new atom of the named type as one
+// auto-commit, returning its identifier.
 func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
+	ixs := db.indexesOf(typeName)
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
-	id, err := c.Insert(vals)
+	id, err := c.allocID()
 	if err != nil {
 		return 0, err
 	}
-	db.stats.AtomsInserted.Add(1)
-	a, _ := c.Get(id)
-	for _, ix := range db.indexesOf(typeName) {
-		ix.Add(a)
+	a, err := c.validate(id, vals)
+	if err != nil {
+		return 0, err
 	}
+	ts := db.latestTS.Load() + 1
+	c.applyPut(a, ts)
+	for _, ix := range ixs {
+		ix.applyAdd(a, ts)
+	}
+	db.latestTS.Store(ts)
+	db.stats.AtomsInserted.Add(1)
 	db.histInsert(typeName, a)
 	db.maybeAutoAnalyze(typeName)
 	return id, nil
@@ -127,34 +176,50 @@ func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.Atom
 // AdoptAtom stores an atom under its existing identifier — used by
 // propagation (Definition 9) and snapshot loading.
 func (db *Database) AdoptAtom(typeName string, a model.Atom) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
+	ixs := db.indexesOf(typeName)
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
-	if err := c.Adopt(a); err != nil {
+	if !a.ID.Valid() {
+		return fmt.Errorf("storage: cannot adopt atom with invalid id into %q", typeName)
+	}
+	stored, err := c.validate(a.ID, a.Vals)
+	if err != nil {
 		return err
 	}
-	db.stats.AtomsInserted.Add(1)
-	stored, _ := c.Get(a.ID)
-	for _, ix := range db.indexesOf(typeName) {
-		ix.Add(stored)
+	ts := db.latestTS.Load() + 1
+	if _, err := c.applyAdopt(stored, ts); err != nil {
+		return err
 	}
+	for _, ix := range ixs {
+		ix.applyAdd(stored, ts)
+	}
+	db.latestTS.Store(ts)
+	db.stats.AtomsInserted.Add(1)
 	db.histInsert(typeName, stored)
 	db.maybeAutoAnalyze(typeName)
 	return nil
 }
 
-// GetAtom fetches one atom of the named type.
+// GetAtom fetches one atom of the named type at the latest commit.
 func (db *Database) GetAtom(typeName string, id model.AtomID) (model.Atom, bool) {
+	return db.GetAtomAt(typeName, id, db.latestTS.Load())
+}
+
+// GetAtomAt fetches one atom as of the given commit timestamp.
+func (db *Database) GetAtomAt(typeName string, id model.AtomID, ts uint64) (model.Atom, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
 	if !ok {
 		return model.Atom{}, false
 	}
-	a, ok := c.Get(id)
+	a, ok := c.GetAt(id, ts)
 	if ok {
 		db.stats.AtomsFetched.Add(1)
 	}
@@ -164,8 +229,8 @@ func (db *Database) GetAtom(typeName string, id model.AtomID) (model.Atom, bool)
 // HasAtom reports whether the named type's occurrence contains id.
 func (db *Database) HasAtom(typeName string, id model.AtomID) bool {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
 	return ok && c.Has(id)
 }
 
@@ -173,29 +238,38 @@ func (db *Database) HasAtom(typeName string, id model.AtomID) bool {
 // type whose number the identifier embeds. It returns the atom and the
 // type name.
 func (db *Database) ResolveAtom(id model.AtomID) (model.Atom, string, bool) {
+	return db.ResolveAtomAt(id, db.latestTS.Load())
+}
+
+// ResolveAtomAt resolves the atom as of the given commit timestamp.
+func (db *Database) ResolveAtomAt(id model.AtomID, ts uint64) (model.Atom, string, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	at, ok := db.schema.AtomTypeByNum(id.TypeNum())
 	if !ok {
+		db.mu.RUnlock()
 		return model.Atom{}, "", false
 	}
 	c, ok := db.containerByName(at.Name)
+	db.mu.RUnlock()
 	if !ok {
 		return model.Atom{}, "", false
 	}
-	a, ok := c.Get(id)
+	a, ok := c.GetAt(id, ts)
 	if ok {
 		db.stats.AtomsFetched.Add(1)
 	}
 	return a, at.Name, ok
 }
 
-// UpdateAtom replaces the attribute values of an existing atom, keeping
-// secondary indexes in step.
+// UpdateAtom replaces the attribute values of an existing atom as one
+// auto-commit, keeping secondary indexes in step.
 func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
+	ixs := db.indexesOf(typeName)
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
@@ -203,14 +277,17 @@ func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Va
 	if !ok {
 		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
 	}
-	if err := c.Update(id, vals); err != nil {
+	updated, err := c.validate(id, vals)
+	if err != nil {
 		return err
 	}
-	updated, _ := c.Get(id)
-	for _, ix := range db.indexesOf(typeName) {
-		ix.remove(old)
-		ix.Add(updated)
+	ts := db.latestTS.Load() + 1
+	c.applyPut(updated, ts)
+	for _, ix := range ixs {
+		ix.applyRemove(old, ts)
+		ix.applyAdd(updated, ts)
 	}
+	db.latestTS.Store(ts)
 	db.histDelete(typeName, old)
 	db.histInsert(typeName, updated)
 	db.maybeAutoAnalyze(typeName)
@@ -219,11 +296,23 @@ func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Va
 
 // DeleteAtom removes an atom from the named type's occurrence and drops
 // every link incident to it in link types mentioning that type, so no
-// dangling links remain. It returns the number of links dropped.
+// dangling links remain — all as one atomic commit. It returns the number
+// of links dropped.
 func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
+	ixs := db.indexesOf(typeName)
+	var stores []*LinkStore
+	if ok {
+		for _, lt := range db.schema.LinkTypesOf(typeName) {
+			if ls, present := db.links[lt.Name]; present {
+				stores = append(stores, ls)
+			}
+		}
+	}
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
@@ -231,91 +320,128 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("storage: atom %v not in %q", id, typeName)
 	}
-	for _, ix := range db.indexesOf(typeName) {
-		ix.remove(a)
-	}
-	db.histDelete(typeName, a)
+	ts := db.latestTS.Load() + 1
 	dropped := 0
-	for _, lt := range db.schema.LinkTypesOf(typeName) {
-		if ls, ok := db.links[lt.Name]; ok {
-			if n := ls.DropAtom(id); n > 0 {
-				dropped += n
-				db.maybeLinkEpochBump(ls)
-			}
+	var bumped []*LinkStore
+	for _, ls := range stores {
+		if n, _ := ls.applyDropAtom(id, ts); n > 0 {
+			dropped += n
+			bumped = append(bumped, ls)
 		}
 	}
-	c.Delete(id)
+	if _, err := c.applyDelete(id, ts); err != nil {
+		// Unreachable after the existence check above (commitMu excludes
+		// concurrent writers), but keep the chain consistent regardless.
+		return 0, err
+	}
+	for _, ix := range ixs {
+		ix.applyRemove(a, ts)
+	}
+	db.latestTS.Store(ts)
 	db.stats.AtomsDeleted.Add(1)
 	db.stats.LinksDropped.Add(int64(dropped))
+	db.histDelete(typeName, a)
+	for _, ls := range bumped {
+		db.maybeLinkEpochBump(ls)
+	}
 	db.maybeAutoAnalyze(typeName)
 	return dropped, nil
 }
 
 // Connect inserts a link of the named type between atom a (side A) and
-// atom b (side B). Both endpoints must exist in their side's occurrence;
-// cardinality restrictions are enforced.
+// atom b (side B) as one auto-commit. Both endpoints must exist in their
+// side's occurrence; cardinality restrictions are enforced.
 func (db *Database) Connect(linkName string, a, b model.AtomID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	ls, ok := db.links[linkName]
+	var ca, cb *Container
+	var okA, okB bool
+	if ok {
+		ca, okA = db.containerByName(ls.desc.SideA)
+		cb, okB = db.containerByName(ls.desc.SideB)
+	}
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	ca, ok := db.containerByName(ls.desc.SideA)
-	if !ok || !ca.Has(a) {
+	if !okA || !ca.Has(a) {
 		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
 	}
-	cb, ok := db.containerByName(ls.desc.SideB)
-	if !ok || !cb.Has(b) {
+	if !okB || !cb.Has(b) {
 		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, b, ls.desc.SideB)
 	}
-	if err := ls.Connect(a, b); err != nil {
+	ts := db.latestTS.Load() + 1
+	undo, err := ls.applyConnect(a, b, ts)
+	if err != nil {
 		return err
 	}
+	if undo == nil {
+		return nil // idempotent: the link already existed, nothing to publish
+	}
+	db.latestTS.Store(ts)
 	db.stats.LinksConnected.Add(1)
 	db.maybeLinkEpochBump(ls)
 	return nil
 }
 
-// Disconnect removes a link; it reports whether the link existed.
+// Disconnect removes a link as one auto-commit; it reports whether the
+// link existed.
 func (db *Database) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
 	ls, ok := db.links[linkName]
+	db.mu.RUnlock()
 	if !ok {
 		return false, fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	removed := ls.Disconnect(a, b)
+	ts := db.latestTS.Load() + 1
+	removed, _ := ls.applyDisconnect(a, b, ts)
 	if removed {
+		db.latestTS.Store(ts)
 		db.stats.LinksDropped.Add(1)
 		db.maybeLinkEpochBump(ls)
 	}
 	return removed, nil
 }
 
-// Partners returns the atoms linked to id through the named link type,
-// traversing from side A when fromSideA is true, from side B otherwise —
-// the symmetric navigation underlying molecule derivation. The returned
-// slice is shared; callers must not mutate it.
+// Partners returns the atoms linked to id through the named link type at
+// the latest commit, traversing from side A when fromSideA is true, from
+// side B otherwise — the symmetric navigation underlying molecule
+// derivation. The returned slice is an immutable version; callers must
+// not mutate it.
 func (db *Database) Partners(linkName string, id model.AtomID, fromSideA bool) ([]model.AtomID, error) {
+	return db.PartnersAt(linkName, id, fromSideA, db.latestTS.Load())
+}
+
+// PartnersAt returns the linked atoms as of the given commit timestamp.
+func (db *Database) PartnersAt(linkName string, id model.AtomID, fromSideA bool, ts uint64) ([]model.AtomID, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	ls, ok := db.links[linkName]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown link type %q", linkName)
 	}
 	var out []model.AtomID
 	if fromSideA {
-		out = ls.PartnersFromA(id)
+		out = ls.PartnersFromAAt(id, ts)
 	} else {
-		out = ls.PartnersFromB(id)
+		out = ls.PartnersFromBAt(id, ts)
 	}
 	db.stats.LinksTraversed.Add(int64(len(out)) + 1)
 	return out, nil
 }
 
-// ScanAtoms iterates the named type's occurrence in insertion order.
+// ScanAtoms iterates the named type's occurrence in insertion order at
+// the latest commit.
 func (db *Database) ScanAtoms(typeName string, fn func(model.Atom) bool) error {
+	return db.ScanAtomsAt(typeName, db.latestTS.Load(), fn)
+}
+
+// ScanAtomsAt iterates the occurrence as of the given commit timestamp.
+func (db *Database) ScanAtomsAt(typeName string, ts uint64, fn func(model.Atom) bool) error {
 	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
 	db.mu.RUnlock()
@@ -323,7 +449,7 @@ func (db *Database) ScanAtoms(typeName string, fn func(model.Atom) bool) error {
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
 	n := int64(0)
-	c.Scan(func(a model.Atom) bool {
+	c.ScanAt(ts, func(a model.Atom) bool {
 		n++
 		return fn(a)
 	})
@@ -334,8 +460,8 @@ func (db *Database) ScanAtoms(typeName string, fn func(model.Atom) bool) error {
 // CountAtoms returns the occurrence size of the named atom type.
 func (db *Database) CountAtoms(typeName string) (int, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
@@ -345,8 +471,8 @@ func (db *Database) CountAtoms(typeName string) (int, error) {
 // CountLinks returns the occurrence size of the named link type.
 func (db *Database) CountLinks(linkName string) (int, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	ls, ok := db.links[linkName]
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown link type %q", linkName)
 	}
@@ -377,11 +503,13 @@ func (db *Database) TotalLinks() int {
 
 // CheckIntegrity verifies the invariants the model guarantees: every link
 // endpoint exists in its side's occurrence, the two adjacency directions
-// mirror each other, and cardinality restrictions hold. It returns the
-// first violation found, or nil.
+// mirror each other, and cardinality restrictions hold — all evaluated at
+// the latest published commit. It returns the first violation found, or
+// nil.
 func (db *Database) CheckIntegrity() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	ts := db.latestTS.Load()
 	for _, lt := range db.schema.LinkTypes() {
 		ls := db.links[lt.Name]
 		if ls == nil {
@@ -396,31 +524,35 @@ func (db *Database) CheckIntegrity() error {
 			return fmt.Errorf("storage: link type %q: side %q has no container", lt.Name, lt.Desc.SideB)
 		}
 		var err error
-		ls.Scan(func(l model.Link) bool {
-			if !ca.Has(l.A) {
+		degA := make(map[model.AtomID]int)
+		degB := make(map[model.AtomID]int)
+		ls.ScanAt(ts, func(l model.Link) bool {
+			if !ca.HasAt(l.A, ts) {
 				err = fmt.Errorf("storage: dangling link %v in %q: %v not in %q", l, lt.Name, l.A, lt.Desc.SideA)
 				return false
 			}
-			if !cb.Has(l.B) {
+			if !cb.HasAt(l.B, ts) {
 				err = fmt.Errorf("storage: dangling link %v in %q: %v not in %q", l, lt.Name, l.B, lt.Desc.SideB)
 				return false
 			}
-			if !containsID(ls.PartnersFromB(l.B), l.A) {
+			if !containsID(ls.PartnersFromBAt(l.B, ts), l.A) {
 				err = fmt.Errorf("storage: asymmetric link %v in %q", l, lt.Name)
 				return false
 			}
+			degA[l.A]++
+			degB[l.B]++
 			return true
 		})
 		if err != nil {
 			return err
 		}
-		for a, partners := range ls.fromA {
-			if !lt.Desc.CardA.Allows(len(partners)) && len(partners) > 0 {
+		for a, n := range degA {
+			if !lt.Desc.CardA.Allows(n) && n > 0 {
 				return fmt.Errorf("storage: %q: atom %v violates cardinality %s", lt.Name, a, lt.Desc.CardA)
 			}
 		}
-		for b, partners := range ls.fromB {
-			if !lt.Desc.CardB.Allows(len(partners)) && len(partners) > 0 {
+		for b, n := range degB {
+			if !lt.Desc.CardB.Allows(n) && n > 0 {
 				return fmt.Errorf("storage: %q: atom %v violates cardinality %s", lt.Name, b, lt.Desc.CardB)
 			}
 		}

@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mad/internal/model"
 )
@@ -10,60 +12,176 @@ import (
 // Index is a secondary hash index over one attribute of one atom type,
 // mapping attribute value to the identifiers of atoms carrying it. The
 // query optimizer uses it for equality restrictions on molecule roots.
+// Postings are version chains like every other occurrence structure, so
+// a snapshot reader's index lookup agrees exactly with the membership it
+// observes by scanning.
 type Index struct {
 	typeName string
 	attr     string
 	pos      int
-	entries  map[model.Key][]model.AtomID
+	clock    *atomic.Uint64
+
+	latch   sync.RWMutex
+	entries map[model.Key]*verList
+	keys    int // distinct keys with a non-empty newest posting
 }
 
 // NewIndex creates an empty index over the attribute at position pos.
 func NewIndex(typeName, attr string, pos int) *Index {
+	clock := new(atomic.Uint64)
+	clock.Store(1)
 	return &Index{
 		typeName: typeName,
 		attr:     attr,
 		pos:      pos,
-		entries:  make(map[model.Key][]model.AtomID),
+		clock:    clock,
+		entries:  make(map[model.Key]*verList),
 	}
 }
+
+// bindClock attaches the index to the database's published commit clock.
+func (ix *Index) bindClock(clock *atomic.Uint64) { ix.clock = clock }
 
 // Attr returns the indexed attribute name.
 func (ix *Index) Attr() string { return ix.attr }
 
-// Add registers an atom under its attribute value.
-func (ix *Index) Add(a model.Atom) {
+// applyAdd registers an atom under its attribute value at commit
+// timestamp ts, returning an undo that pops the pushed posting version.
+func (ix *Index) applyAdd(a model.Atom, ts uint64) (undo func()) {
 	k := a.Get(ix.pos).Key()
-	ix.entries[k] = append(ix.entries[k], a.ID)
-}
-
-// remove unregisters an atom.
-func (ix *Index) remove(a model.Atom) {
-	k := a.Get(ix.pos).Key()
-	ix.entries[k] = removeID(ix.entries[k], a.ID)
-	if len(ix.entries[k]) == 0 {
-		delete(ix.entries, k)
+	ix.latch.Lock()
+	defer ix.latch.Unlock()
+	old := ix.entries[k]
+	items := headPosting(old)
+	ix.entries[k] = &verList{items: append(append([]model.AtomID(nil), items...), a.ID), ts: ts, prev: old}
+	wasEmpty := len(items) == 0
+	if wasEmpty {
+		ix.keys++
+	}
+	return func() {
+		ix.latch.Lock()
+		defer ix.latch.Unlock()
+		if old == nil {
+			delete(ix.entries, k)
+		} else {
+			ix.entries[k] = old
+		}
+		if wasEmpty {
+			ix.keys--
+		}
 	}
 }
 
-// Lookup returns the identifiers of atoms whose attribute equals v, sorted
-// ascending for determinism.
+// applyRemove unregisters an atom at ts.
+func (ix *Index) applyRemove(a model.Atom, ts uint64) (undo func()) {
+	k := a.Get(ix.pos).Key()
+	ix.latch.Lock()
+	defer ix.latch.Unlock()
+	old := ix.entries[k]
+	items := removeIDCopy(headPosting(old), a.ID)
+	ix.entries[k] = &verList{items: items, ts: ts, prev: old}
+	nowEmpty := len(items) == 0 && len(headPosting(old)) > 0
+	if nowEmpty {
+		ix.keys--
+	}
+	return func() {
+		ix.latch.Lock()
+		defer ix.latch.Unlock()
+		if old == nil {
+			delete(ix.entries, k)
+		} else {
+			ix.entries[k] = old
+		}
+		if nowEmpty {
+			ix.keys++
+		}
+	}
+}
+
+// headPosting returns the newest posting list of a chain, nil for nil.
+func headPosting(v *verList) []model.AtomID {
+	if v == nil {
+		return nil
+	}
+	return v.items
+}
+
+// Lookup returns the identifiers of atoms whose attribute equals v at the
+// latest commit, sorted ascending for determinism.
 func (ix *Index) Lookup(v model.Value) []model.AtomID {
-	ids := ix.entries[v.Key()]
+	return ix.LookupAt(v, ix.clock.Load())
+}
+
+// LookupAt returns the identifiers visible at ts, sorted ascending.
+func (ix *Index) LookupAt(v model.Value, ts uint64) []model.AtomID {
+	ix.latch.RLock()
+	ids := visibleList(ix.entries[v.Key()], ts)
+	ix.latch.RUnlock()
 	out := make([]model.AtomID, len(ids))
 	copy(out, ids)
 	return model.SortAtomIDs(out)
 }
 
-// Len returns the number of distinct keys in the index.
-func (ix *Index) Len() int { return len(ix.entries) }
+// Len returns the number of distinct keys with at least one atom at the
+// newest versions.
+func (ix *Index) Len() int {
+	ix.latch.RLock()
+	defer ix.latch.RUnlock()
+	return ix.keys
+}
+
+// versionCount reports the total number of posting versions.
+func (ix *Index) versionCount() int {
+	ix.latch.RLock()
+	defer ix.latch.RUnlock()
+	n := 0
+	for _, head := range ix.entries {
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+	}
+	return n
+}
+
+// vacuum truncates posting chains below the horizon, dropping keys whose
+// anchored posting is empty with no newer versions. It returns the number
+// of versions reclaimed.
+func (ix *Index) vacuum(horizon uint64) int {
+	ix.latch.Lock()
+	defer ix.latch.Unlock()
+	reclaimed := 0
+	for k, head := range ix.entries {
+		var anchor *verList
+		for v := head; v != nil; v = v.prev {
+			if v.ts <= horizon {
+				anchor = v
+				break
+			}
+		}
+		if anchor == nil {
+			continue
+		}
+		for v := anchor.prev; v != nil; v = v.prev {
+			reclaimed++
+		}
+		anchor.prev = nil
+		if anchor == head && len(anchor.items) == 0 {
+			delete(ix.entries, k)
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
 
 // indexKey names an index within the database.
 func indexKey(typeName, attr string) string { return typeName + "." + attr }
 
-// CreateIndex builds a secondary index over typeName.attr, back-filling it
-// from the current occurrence. It errs on unknown types or attributes and
-// on duplicate index creation.
+// CreateIndex builds a secondary index over typeName.attr, back-filling
+// it from the current occurrence as one commit. It errs on unknown types
+// or attributes and on duplicate index creation.
 func (db *Database) CreateIndex(typeName, attr string) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	c, ok := db.containerByName(typeName)
@@ -79,11 +197,14 @@ func (db *Database) CreateIndex(typeName, attr string) error {
 		return fmt.Errorf("storage: index on %s already exists", key)
 	}
 	ix := NewIndex(typeName, attr, pos)
-	c.Scan(func(a model.Atom) bool {
-		ix.Add(a)
+	ix.bindClock(&db.latestTS)
+	ts := db.latestTS.Load() + 1
+	c.ScanAt(db.latestTS.Load(), func(a model.Atom) bool {
+		ix.applyAdd(a, ts)
 		return true
 	})
 	db.indexes[key] = ix
+	db.latestTS.Store(ts)
 	db.bumpPlanEpoch()
 	return nil
 }
@@ -101,17 +222,22 @@ func (db *Database) DropIndex(typeName, attr string) bool {
 	return true
 }
 
-// IndexLookup consults the index over typeName.attr, returning ok=false
-// when no such index exists.
+// IndexLookup consults the index over typeName.attr at the latest commit,
+// returning ok=false when no such index exists.
 func (db *Database) IndexLookup(typeName, attr string, v model.Value) ([]model.AtomID, bool) {
+	return db.IndexLookupAt(typeName, attr, v, db.latestTS.Load())
+}
+
+// IndexLookupAt consults the index at the given commit timestamp.
+func (db *Database) IndexLookupAt(typeName, attr string, v model.Value, ts uint64) ([]model.AtomID, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	ix, ok := db.indexes[indexKey(typeName, attr)]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
 	db.stats.IndexLookups.Add(1)
-	return ix.Lookup(v), true
+	return ix.LookupAt(v, ts), true
 }
 
 // HasIndex reports whether an index over typeName.attr exists.
@@ -127,8 +253,8 @@ func (db *Database) HasIndex(typeName, attr string) bool {
 // size by to estimate equality selectivity. ok=false without an index.
 func (db *Database) IndexCardinality(typeName, attr string) (int, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	ix, ok := db.indexes[indexKey(typeName, attr)]
+	db.mu.RUnlock()
 	if !ok {
 		return 0, false
 	}
@@ -147,12 +273,12 @@ func (db *Database) Indexes() []string {
 	return out
 }
 
-// indexesOf returns the indexes covering the named atom type.
+// indexesOf returns the indexes covering the named atom type; callers
+// hold db.mu.
 func (db *Database) indexesOf(typeName string) []*Index {
 	var out []*Index
-	for k, ix := range db.indexes {
+	for _, ix := range db.indexes {
 		if ix.typeName == typeName {
-			_ = k
 			out = append(out, ix)
 		}
 	}

@@ -2,44 +2,80 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mad/internal/model"
 )
+
+// verList is one version of an atom's partner list: an immutable slice
+// installed at commit timestamp ts. Mutation never edits a list in place
+// — connect and disconnect push a copy-on-write head — so a reader that
+// resolved a chain may keep using the slice without holding any lock.
+// Only prev is ever written after linking, by vacuum under the write
+// latch.
+type verList struct {
+	items []model.AtomID
+	ts    uint64
+	prev  *verList
+}
+
+// visibleList resolves a partner-list chain against a read timestamp.
+func visibleList(v *verList, ts uint64) []model.AtomID {
+	for ; v != nil; v = v.prev {
+		if v.ts <= ts {
+			return v.items
+		}
+	}
+	return nil
+}
 
 // LinkStore holds the occurrence of one link type as a pair of adjacency
 // maps, one per declared side, so that both traversal directions are O(1)
 // per step. The two maps always mirror each other: links are symmetric
 // ("the direct representation and the consideration of bidirectional, i.e.
 // symmetric links establish the basis of the model's flexibility",
-// Section 2).
+// Section 2). Each adjacency entry is a version chain of copy-on-write
+// partner lists, so snapshot readers traverse the lists a past commit
+// installed while writers push new heads.
 //
 // For reflexive link types the sides remain distinct roles — the paper's
 // bill-of-material example evaluates either the super-component or the
 // sub-component view by traversing the same link type in one direction or
 // the other.
 type LinkStore struct {
-	name string
-	desc model.LinkDesc
+	name  string
+	desc  model.LinkDesc
+	clock *atomic.Uint64
 
-	fromA map[model.AtomID][]model.AtomID // side-A atom → side-B partners
-	fromB map[model.AtomID][]model.AtomID // side-B atom → side-A partners
-	count int
+	latch sync.RWMutex
+	fromA map[model.AtomID]*verList // side-A atom → side-B partners
+	fromB map[model.AtomID]*verList // side-B atom → side-A partners
+	live  int                       // links present at the newest version heads
 	// epochBase is the occurrence size at the last plan-epoch bump this
-	// store caused; the database compares count against it to decide when
+	// store caused; the database compares live against it to decide when
 	// link churn has drifted far enough to invalidate cached plans (plans
 	// cost traversals from the store's fan statistics).
 	epochBase int
 }
 
-// NewLinkStore creates an empty occurrence for the given link type.
+// NewLinkStore creates an empty occurrence for the given link type. A
+// standalone store owns a private clock; the database rebinds it to the
+// shared commit clock on registration.
 func NewLinkStore(name string, desc model.LinkDesc) *LinkStore {
+	clock := new(atomic.Uint64)
+	clock.Store(1)
 	return &LinkStore{
 		name:  name,
 		desc:  desc,
-		fromA: make(map[model.AtomID][]model.AtomID),
-		fromB: make(map[model.AtomID][]model.AtomID),
+		clock: clock,
+		fromA: make(map[model.AtomID]*verList),
+		fromB: make(map[model.AtomID]*verList),
 	}
 }
+
+// bindClock attaches the store to the database's published commit clock.
+func (ls *LinkStore) bindClock(clock *atomic.Uint64) { ls.clock = clock }
 
 // Name returns the link type's name.
 func (ls *LinkStore) Name() string { return ls.name }
@@ -47,25 +83,54 @@ func (ls *LinkStore) Name() string { return ls.name }
 // Desc returns the link type's description.
 func (ls *LinkStore) Desc() model.LinkDesc { return ls.desc }
 
-// Len returns the number of links in the occurrence.
-func (ls *LinkStore) Len() int { return ls.count }
+// Len returns the number of links in the occurrence at the newest
+// versions. Use LenAt for an exact count under a pinned snapshot.
+func (ls *LinkStore) Len() int {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	return ls.live
+}
 
-// Has reports whether the link <a, b> (a on side A) is present. For
-// reflexive link types the unsorted-pair reading applies: <a, b> and
-// <b, a> denote the same link.
+// LenAt counts the links visible at the given commit timestamp.
+func (ls *LinkStore) LenAt(ts uint64) int {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	n := 0
+	for _, head := range ls.fromA {
+		n += len(visibleList(head, ts))
+	}
+	return n
+}
+
+// Has reports whether the link <a, b> (a on side A) is present at the
+// latest commit. For reflexive link types the unsorted-pair reading
+// applies: <a, b> and <b, a> denote the same link.
 func (ls *LinkStore) Has(a, b model.AtomID) bool {
-	if containsID(ls.fromA[a], b) {
+	return ls.HasAt(a, b, ls.clock.Load())
+}
+
+// HasAt reports whether the link is visible at ts.
+func (ls *LinkStore) HasAt(a, b model.AtomID, ts uint64) bool {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	return ls.hasLocked(a, b, ts)
+}
+
+func (ls *LinkStore) hasLocked(a, b model.AtomID, ts uint64) bool {
+	if containsID(visibleList(ls.fromA[a], ts), b) {
 		return true
 	}
-	if ls.desc.Reflexive() && containsID(ls.fromA[b], a) {
+	if ls.desc.Reflexive() && containsID(visibleList(ls.fromA[b], ts), a) {
 		return true
 	}
 	return false
 }
 
-// hasExact reports presence of the directed representation only.
-func (ls *LinkStore) hasExact(a, b model.AtomID) bool {
-	return containsID(ls.fromA[a], b)
+// hasExactAt reports presence of the directed representation only.
+func (ls *LinkStore) hasExactAt(a, b model.AtomID, ts uint64) bool {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	return containsID(visibleList(ls.fromA[a], ts), b)
 }
 
 func containsID(ids []model.AtomID, id model.AtomID) bool {
@@ -77,79 +142,193 @@ func containsID(ids []model.AtomID, id model.AtomID) bool {
 	return false
 }
 
-// Connect inserts the link <a, b> with a on side A and b on side B. It is
-// idempotent: inserting an existing link (including the mirrored form of a
-// reflexive link) is a no-op. Cardinality restrictions are enforced here.
-func (ls *LinkStore) Connect(a, b model.AtomID) error {
-	if ls.Has(a, b) {
-		return nil
+// push installs a new list version for id in the given direction map at
+// ts and returns an undo that pops it.
+func (ls *LinkStore) push(m map[model.AtomID]*verList, id model.AtomID, items []model.AtomID, ts uint64) func() {
+	old := m[id]
+	m[id] = &verList{items: items, ts: ts, prev: old}
+	return func() {
+		if old == nil {
+			delete(m, id)
+		} else {
+			m[id] = old
+		}
 	}
-	if max := ls.desc.CardA.Max; max > 0 && len(ls.fromA[a])+1 > max {
-		return fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
-			ls.name, a, ls.desc.CardA, ls.desc.SideA)
+}
+
+// headItems returns the newest partner list for id, including versions a
+// mid-flight commit has installed but not yet published. Commit apply
+// paths read this; callers hold the latch.
+func headItems(m map[model.AtomID]*verList, id model.AtomID) []model.AtomID {
+	if head := m[id]; head != nil {
+		return head.items
 	}
-	if max := ls.desc.CardB.Max; max > 0 && len(ls.fromB[b])+1 > max {
-		return fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
-			ls.name, b, ls.desc.CardB, ls.desc.SideB)
-	}
-	ls.fromA[a] = append(ls.fromA[a], b)
-	ls.fromB[b] = append(ls.fromB[b], a)
-	ls.count++
 	return nil
 }
 
-// Disconnect removes the link <a, b>. It returns false when absent. For
-// reflexive link types it removes whichever orientation is stored.
-func (ls *LinkStore) Disconnect(a, b model.AtomID) bool {
-	if ls.hasExact(a, b) {
-		ls.fromA[a] = removeID(ls.fromA[a], b)
-		ls.fromB[b] = removeID(ls.fromB[b], a)
-		ls.count--
-		return true
+// applyConnect installs the link <a, b> at commit timestamp ts. It is
+// idempotent: inserting an existing link (including the mirrored form of
+// a reflexive link) is a no-op with a nil undo. Cardinality restrictions
+// are enforced here. Callers hold the database's commit mutex.
+func (ls *LinkStore) applyConnect(a, b model.AtomID, ts uint64) (undo func(), err error) {
+	ls.latch.Lock()
+	defer ls.latch.Unlock()
+	headTS := ts // heads pushed by this commit are newest; resolve against ts
+	if ls.hasLocked(a, b, headTS) {
+		return nil, nil
 	}
-	if ls.desc.Reflexive() && ls.hasExact(b, a) {
-		ls.fromA[b] = removeID(ls.fromA[b], a)
-		ls.fromB[a] = removeID(ls.fromB[a], b)
-		ls.count--
-		return true
+	la := headItems(ls.fromA, a)
+	lb := headItems(ls.fromB, b)
+	if max := ls.desc.CardA.Max; max > 0 && len(la)+1 > max {
+		return nil, fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
+			ls.name, a, ls.desc.CardA, ls.desc.SideA)
 	}
-	return false
+	if max := ls.desc.CardB.Max; max > 0 && len(lb)+1 > max {
+		return nil, fmt.Errorf("storage: link type %q: atom %v exceeds cardinality %s on side %s",
+			ls.name, b, ls.desc.CardB, ls.desc.SideB)
+	}
+	undoA := ls.push(ls.fromA, a, append(append([]model.AtomID(nil), la...), b), ts)
+	undoB := ls.push(ls.fromB, b, append(append([]model.AtomID(nil), lb...), a), ts)
+	ls.live++
+	return func() {
+		ls.latch.Lock()
+		defer ls.latch.Unlock()
+		undoB()
+		undoA()
+		ls.live--
+	}, nil
 }
 
-func removeID(ids []model.AtomID, id model.AtomID) []model.AtomID {
-	for i, x := range ids {
-		if x == id {
-			return append(ids[:i], ids[i+1:]...)
+// applyDisconnect removes the link <a, b> at ts, handling the mirrored
+// orientation of reflexive links. removed=false (with nil undo) when the
+// link is absent.
+func (ls *LinkStore) applyDisconnect(a, b model.AtomID, ts uint64) (removed bool, undo func()) {
+	ls.latch.Lock()
+	defer ls.latch.Unlock()
+	if containsID(headItems(ls.fromA, a), b) {
+		// stored as <a, b>
+	} else if ls.desc.Reflexive() && containsID(headItems(ls.fromA, b), a) {
+		a, b = b, a // stored mirrored
+	} else {
+		return false, nil
+	}
+	undoA := ls.push(ls.fromA, a, removeIDCopy(headItems(ls.fromA, a), b), ts)
+	undoB := ls.push(ls.fromB, b, removeIDCopy(headItems(ls.fromB, b), a), ts)
+	ls.live--
+	return true, func() {
+		ls.latch.Lock()
+		defer ls.latch.Unlock()
+		undoB()
+		undoA()
+		ls.live++
+	}
+}
+
+// removeIDCopy returns a copy of ids without the first occurrence of id.
+func removeIDCopy(ids []model.AtomID, id model.AtomID) []model.AtomID {
+	out := make([]model.AtomID, 0, len(ids))
+	skipped := false
+	for _, x := range ids {
+		if !skipped && x == id {
+			skipped = true
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// applyDropAtom removes every link incident to the atom on either side at
+// ts and returns how many links were removed plus one undo covering all
+// of them. The database uses this to guarantee there are "no dangling
+// references (i.e. links)" after atom deletion.
+func (ls *LinkStore) applyDropAtom(id model.AtomID, ts uint64) (removed int, undo func()) {
+	// Read the chain heads, not the published view: earlier operations of
+	// the same commit may have installed partners at the candidate ts.
+	ls.latch.RLock()
+	partnersA := append([]model.AtomID(nil), headItems(ls.fromA, id)...)
+	partnersB := append([]model.AtomID(nil), headItems(ls.fromB, id)...)
+	ls.latch.RUnlock()
+	var undos []func()
+	for _, b := range partnersA {
+		if ok, u := ls.applyDisconnect(id, b, ts); ok {
+			removed++
+			undos = append(undos, u)
 		}
 	}
-	return ids
+	for _, a := range partnersB {
+		if ok, u := ls.applyDisconnect(a, id, ts); ok {
+			removed++
+			undos = append(undos, u)
+		}
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	return removed, func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+	}
 }
 
-// PartnersFromA returns side-B partners of a side-A atom, in insertion
-// order. For reflexive link types this is the "forward" view (e.g.
-// sub-components). The returned slice is shared; callers must not mutate.
-func (ls *LinkStore) PartnersFromA(a model.AtomID) []model.AtomID { return ls.fromA[a] }
+// PartnersFromA returns side-B partners of a side-A atom at the latest
+// commit, in insertion order. For reflexive link types this is the
+// "forward" view (e.g. sub-components). The returned slice is an
+// immutable version; callers must not mutate it.
+func (ls *LinkStore) PartnersFromA(a model.AtomID) []model.AtomID {
+	return ls.PartnersFromAAt(a, ls.clock.Load())
+}
+
+// PartnersFromAAt returns the side-B partners visible at ts.
+func (ls *LinkStore) PartnersFromAAt(a model.AtomID, ts uint64) []model.AtomID {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	return visibleList(ls.fromA[a], ts)
+}
 
 // PartnersFromB returns side-A partners of a side-B atom — the symmetric
-// view. The returned slice is shared; callers must not mutate it.
-func (ls *LinkStore) PartnersFromB(b model.AtomID) []model.AtomID { return ls.fromB[b] }
+// view. The returned slice is an immutable version; callers must not
+// mutate it.
+func (ls *LinkStore) PartnersFromB(b model.AtomID) []model.AtomID {
+	return ls.PartnersFromBAt(b, ls.clock.Load())
+}
 
-// Degree returns the number of partners of an atom on the given side.
+// PartnersFromBAt returns the side-A partners visible at ts.
+func (ls *LinkStore) PartnersFromBAt(b model.AtomID, ts uint64) []model.AtomID {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	return visibleList(ls.fromB[b], ts)
+}
+
+// Degree returns the number of partners of an atom on the given side at
+// the latest commit.
 func (ls *LinkStore) Degree(id model.AtomID, sideA bool) int {
 	if sideA {
-		return len(ls.fromA[id])
+		return len(ls.PartnersFromA(id))
 	}
-	return len(ls.fromB[id])
+	return len(ls.PartnersFromB(id))
 }
 
 // SideAtoms returns the number of distinct atoms with at least one
-// partner on the given side — the denominator of the per-step fan-out
-// statistic the planner uses to cost traversals in either direction.
+// partner on the given side at the latest commit — the denominator of the
+// per-step fan-out statistic the planner uses to cost traversals in
+// either direction.
 func (ls *LinkStore) SideAtoms(sideA bool) int {
-	if sideA {
-		return len(ls.fromA)
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	ts := ls.clock.Load()
+	m := ls.fromA
+	if !sideA {
+		m = ls.fromB
 	}
-	return len(ls.fromB)
+	n := 0
+	for _, head := range m {
+		if len(visibleList(head, ts)) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // AvgFan returns the average number of partners an atom on the given side
@@ -163,57 +342,101 @@ func (ls *LinkStore) AvgFan(fromSideA bool) float64 {
 	if n == 0 {
 		return 0
 	}
-	return float64(ls.count) / float64(n)
+	return float64(ls.Len()) / float64(n)
 }
 
-// DropAtom removes every link incident to the atom on either side and
-// returns how many links were removed. The database uses this to guarantee
-// there are "no dangling references (i.e. links)" after atom deletion.
-func (ls *LinkStore) DropAtom(id model.AtomID) int {
-	removed := 0
-	if partners := ls.fromA[id]; len(partners) > 0 {
-		for _, b := range append([]model.AtomID(nil), partners...) {
-			if ls.Disconnect(id, b) {
-				removed++
-			}
-		}
-	}
-	if partners := ls.fromB[id]; len(partners) > 0 {
-		for _, a := range append([]model.AtomID(nil), partners...) {
-			if ls.Disconnect(a, id) {
-				removed++
-			}
-		}
-	}
-	delete(ls.fromA, id)
-	delete(ls.fromB, id)
-	return removed
-}
-
-// Scan calls fn for every stored link, side-A endpoint first, in a
-// deterministic order (side-A atoms ascending, partners in insertion
-// order). fn returning false stops the scan.
+// Scan calls fn for every link at the latest commit, side-A endpoint
+// first, in a deterministic order (side-A atoms ascending, partners in
+// insertion order). fn returning false stops the scan.
 func (ls *LinkStore) Scan(fn func(model.Link) bool) {
-	ids := make([]model.AtomID, 0, len(ls.fromA))
-	for a := range ls.fromA {
-		ids = append(ids, a)
-	}
-	model.SortAtomIDs(ids)
-	for _, a := range ids {
-		for _, b := range ls.fromA[a] {
-			if !fn(model.Link{A: a, B: b}) {
-				return
-			}
+	ls.ScanAt(ls.clock.Load(), fn)
+}
+
+// ScanAt iterates the links visible at ts in the deterministic scan
+// order. The visible set is captured under the read latch and fn runs
+// outside it, so fn may freely re-enter the storage layer.
+func (ls *LinkStore) ScanAt(ts uint64, fn func(model.Link) bool) {
+	for _, l := range ls.LinksAt(ts) {
+		if !fn(l) {
+			return
 		}
 	}
 }
 
-// Links returns all links in the deterministic scan order.
+// Links returns all links at the latest commit in deterministic order.
 func (ls *LinkStore) Links() []model.Link {
-	out := make([]model.Link, 0, ls.count)
-	ls.Scan(func(l model.Link) bool {
-		out = append(out, l)
-		return true
-	})
+	return ls.LinksAt(ls.clock.Load())
+}
+
+// LinksAt returns the links visible at ts in deterministic order.
+func (ls *LinkStore) LinksAt(ts uint64) []model.Link {
+	ls.latch.RLock()
+	ids := make([]model.AtomID, 0, len(ls.fromA))
+	lists := make(map[model.AtomID][]model.AtomID, len(ls.fromA))
+	for a, head := range ls.fromA {
+		if items := visibleList(head, ts); len(items) > 0 {
+			ids = append(ids, a)
+			lists[a] = items
+		}
+	}
+	ls.latch.RUnlock()
+	model.SortAtomIDs(ids)
+	out := make([]model.Link, 0, len(ids))
+	for _, a := range ids {
+		for _, b := range lists[a] {
+			out = append(out, model.Link{A: a, B: b})
+		}
+	}
 	return out
+}
+
+// versionCount reports the total number of version nodes across both
+// adjacency directions — the vacuum leak-check metric.
+func (ls *LinkStore) versionCount() int {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	n := 0
+	for _, head := range ls.fromA {
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+	}
+	for _, head := range ls.fromB {
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+	}
+	return n
+}
+
+// vacuum truncates every partner-list chain below the horizon and drops
+// entries whose anchored list is empty with no newer versions. It returns
+// the number of version nodes reclaimed.
+func (ls *LinkStore) vacuum(horizon uint64) int {
+	ls.latch.Lock()
+	defer ls.latch.Unlock()
+	reclaimed := 0
+	for _, m := range []map[model.AtomID]*verList{ls.fromA, ls.fromB} {
+		for id, head := range m {
+			var anchor *verList
+			for v := head; v != nil; v = v.prev {
+				if v.ts <= horizon {
+					anchor = v
+					break
+				}
+			}
+			if anchor == nil {
+				continue
+			}
+			for v := anchor.prev; v != nil; v = v.prev {
+				reclaimed++
+			}
+			anchor.prev = nil
+			if anchor == head && len(anchor.items) == 0 {
+				delete(m, id)
+				reclaimed++
+			}
+		}
+	}
+	return reclaimed
 }

@@ -209,7 +209,7 @@ func TestReflexiveLinkType(t *testing.T) {
 	if len(sup) != 1 || sup[0] != x {
 		t.Fatalf("super view = %v", sup)
 	}
-	if removed := ls.Disconnect(y, x); !removed {
+	if removed, err := db.Disconnect("composition", y, x); err != nil || !removed {
 		t.Fatal("mirrored disconnect must work")
 	}
 	if n, _ := db.CountLinks("composition"); n != 0 {
@@ -384,10 +384,9 @@ func TestContainerSeqAfterAdopt(t *testing.T) {
 	if _, err := db.DefineAtomType("t", model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})); err != nil {
 		t.Fatal(err)
 	}
-	c, _ := db.Container("t")
 	at, _ := db.Schema().AtomType("t")
 	pre := model.NewAtom(model.MakeAtomID(at.Num, 10), model.Int(1))
-	if err := c.Adopt(pre); err != nil {
+	if err := db.AdoptAtom("t", pre); err != nil {
 		t.Fatal(err)
 	}
 	id, err := db.InsertAtom("t", model.Int(2))

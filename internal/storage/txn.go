@@ -6,23 +6,134 @@ import (
 	"mad/internal/model"
 )
 
-// Txn groups mutations so they can be rolled back as a unit — the
-// transactional side of the "powerful manipulation facilities" the paper
-// demands for complex-object processing. The implementation is an undo
-// log: every mutation records its inverse, and Rollback applies the
-// inverses in reverse order. A Txn is not safe for concurrent use; the
-// underlying database methods remain individually thread-safe.
+// Txn groups mutations so they install atomically — the transactional
+// side of the "powerful manipulation facilities" the paper demands for
+// complex-object processing. Since the MVCC refactor a Txn buffers its
+// writes privately: nothing is visible to any reader (including the
+// owning goroutine's own queries) until Commit installs every buffered
+// operation under the database's commit mutex and publishes one commit
+// timestamp for all of them. An owner that errors mid-batch can simply
+// abandon or Rollback the Txn — zero versions were ever visible — and a
+// Commit that fails re-validation pops every version it pushed before
+// publishing, so failure is all-or-nothing too.
+//
+// Reads used for buffer-time validation resolve against the snapshot
+// pinned at Begin plus this transaction's own buffered writes (its
+// overlay). Queries run elsewhere do NOT see the overlay: MAD offers
+// snapshot-isolated readers, not read-your-own-writes cursors.
+//
+// A Txn is not safe for concurrent use; the database it belongs to
+// remains fully concurrent.
 type Txn struct {
 	db   *Database
-	undo []func() error
-	done bool
+	snap *Snapshot
+	done bool // finished by Commit or Rollback (or a failed Commit)
+
+	// ops apply the buffered mutations at the commit timestamp; each
+	// returns an undo that pops exactly what it pushed.
+	ops []func(ts uint64) (undo func(), err error)
+	// post runs after a successful publish: statistics and histogram
+	// maintenance (advisory state, outside the versioned store).
+	post []func()
+
+	// Overlay: this transaction's private view of its own writes, merged
+	// over the begin snapshot for buffer-time validation.
+	atoms   map[string]map[model.AtomID]ovAtom
+	linkOps map[string][]linkDelta
+	// touched types / stores for the one-shot epoch maintenance at commit.
+	touchedTypes map[string]bool
+	touchedLinks map[string]*LinkStore
 }
 
-// Begin starts a transaction.
-func (db *Database) Begin() *Txn { return &Txn{db: db} }
+// ovAtom is the overlay state of one atom: its buffered value, or a
+// tombstone when deleted is set.
+type ovAtom struct {
+	atom    model.Atom
+	deleted bool
+}
 
-// record queues an inverse operation.
-func (t *Txn) record(inverse func() error) { t.undo = append(t.undo, inverse) }
+// linkDelta is one buffered link mutation in op order. drop marks a
+// cascade ("every link incident to a removed"); otherwise the pair <a, b>
+// was added or removed.
+type linkDelta struct {
+	a, b  model.AtomID
+	added bool
+	drop  bool
+}
+
+// Begin starts a buffered-write transaction pinned to the latest
+// published commit. The pin holds the vacuum horizon until the
+// transaction finishes.
+func (db *Database) Begin() *Txn {
+	return &Txn{
+		db:           db,
+		snap:         db.Snapshot(),
+		atoms:        make(map[string]map[model.AtomID]ovAtom),
+		linkOps:      make(map[string][]linkDelta),
+		touchedTypes: make(map[string]bool),
+		touchedLinks: make(map[string]*LinkStore),
+	}
+}
+
+// SnapshotTS returns the commit timestamp of the transaction's begin
+// snapshot — the version its validation reads resolve against.
+func (t *Txn) SnapshotTS() uint64 { return t.snap.TS() }
+
+// Snapshot exposes the transaction's begin snapshot so queries issued
+// inside the transaction can read the same consistent view it validates
+// against (buffered writes are NOT visible through it — the transaction
+// model is read-committed-snapshot, not read-your-writes). The snapshot
+// stays owned by the transaction: it closes at Commit/Rollback, so
+// callers must not Close it and must not use it past the transaction.
+func (t *Txn) Snapshot() *Snapshot { return t.snap }
+
+// ScanEff scans the transaction's effective view of an atom type: the
+// begin snapshot with this transaction's buffered writes merged over it
+// (updates replace the snapshot value, tombstones hide it, inserts are
+// appended after the snapshot's atoms). This is the view the MQL layer
+// matches DML predicates against inside a transaction — a statement can
+// UPDATE or CONNECT an atom the same transaction just inserted. It is
+// NOT the view SELECT queries read (those stay on the begin snapshot;
+// see Snapshot).
+func (t *Txn) ScanEff(typeName string, fn func(model.Atom) bool) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	ov := t.atoms[typeName]
+	stopped := false
+	err := t.snap.ScanAtoms(typeName, func(a model.Atom) bool {
+		if o, ok := ov[a.ID]; ok {
+			if o.deleted {
+				return true
+			}
+			if !fn(o.atom) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		if !fn(a) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	for id, o := range ov {
+		if o.deleted {
+			continue
+		}
+		if _, inSnap := t.snap.GetAtom(typeName, id); inSnap {
+			continue // already delivered as a replacement above
+		}
+		if !fn(o.atom) {
+			return nil
+		}
+	}
+	return nil
+}
 
 // active guards against use after Commit/Rollback.
 func (t *Txn) active() error {
@@ -32,163 +143,371 @@ func (t *Txn) active() error {
 	return nil
 }
 
-// InsertAtom inserts an atom; rollback deletes it again.
+// lookupEff resolves an atom through the overlay, falling back to the
+// begin snapshot.
+func (t *Txn) lookupEff(typeName string, id model.AtomID) (model.Atom, bool) {
+	if m := t.atoms[typeName]; m != nil {
+		if ov, ok := m[id]; ok {
+			return ov.atom, !ov.deleted
+		}
+	}
+	// Atoms dropped by a buffered cascade-less delete of another type
+	// cannot alias here (identifiers are type-scoped), so the snapshot is
+	// authoritative for everything the overlay doesn't mention.
+	return t.snap.GetAtom(typeName, id)
+}
+
+// setOverlay records the overlay state of one atom.
+func (t *Txn) setOverlay(typeName string, id model.AtomID, ov ovAtom) {
+	m := t.atoms[typeName]
+	if m == nil {
+		m = make(map[model.AtomID]ovAtom)
+		t.atoms[typeName] = m
+	}
+	m[id] = ov
+}
+
+// effHas reports whether the link <a, b> exists in the transaction's
+// effective view: the begin snapshot with the buffered deltas replayed in
+// op order.
+func (t *Txn) effHas(linkName string, ls *LinkStore, a, b model.AtomID) bool {
+	present := ls.HasAt(a, b, t.snap.TS())
+	refl := ls.desc.Reflexive()
+	for _, d := range t.linkOps[linkName] {
+		switch {
+		case d.drop && (d.a == a || d.a == b):
+			present = false
+		case !d.drop && (d.a == a && d.b == b || refl && d.a == b && d.b == a):
+			present = d.added
+		}
+	}
+	return present
+}
+
+// InsertAtom buffers the insertion of a new atom, validating its values
+// and reserving its identifier immediately (an aborted transaction burns
+// the reservation, which is harmless).
 func (t *Txn) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, error) {
 	if err := t.active(); err != nil {
 		return 0, err
 	}
-	id, err := t.db.InsertAtom(typeName, vals...)
+	db := t.db
+	db.mu.RLock()
+	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	id, err := c.allocID()
 	if err != nil {
 		return 0, err
 	}
-	t.record(func() error {
-		_, err := t.db.DeleteAtom(typeName, id)
-		return err
+	a, err := c.validate(id, vals)
+	if err != nil {
+		return 0, err
+	}
+	t.setOverlay(typeName, id, ovAtom{atom: a})
+	t.touchedTypes[typeName] = true
+	t.ops = append(t.ops, func(ts uint64) (func(), error) {
+		undos := []func(){c.applyPut(a, ts)}
+		db.mu.RLock()
+		ixs := db.indexesOf(typeName)
+		db.mu.RUnlock()
+		for _, ix := range ixs {
+			undos = append(undos, ix.applyAdd(a, ts))
+		}
+		return joinUndos(undos), nil
+	})
+	t.post = append(t.post, func() {
+		db.stats.AtomsInserted.Add(1)
+		db.histInsert(typeName, a)
 	})
 	return id, nil
 }
 
-// droppedLink remembers one link removed by a cascading delete.
-type droppedLink struct {
-	linkName string
-	a, b     model.AtomID
+// UpdateAtom buffers the replacement of an atom's values. The atom must
+// exist in the transaction's effective view; Commit re-validates that it
+// still exists in the committed state.
+func (t *Txn) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	db := t.db
+	db.mu.RLock()
+	c, ok := db.containerByName(typeName)
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("storage: unknown atom type %q", typeName)
+	}
+	old, ok := t.lookupEff(typeName, id)
+	if !ok {
+		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
+	}
+	updated, err := c.validate(id, vals)
+	if err != nil {
+		return err
+	}
+	t.setOverlay(typeName, id, ovAtom{atom: updated})
+	t.touchedTypes[typeName] = true
+	t.ops = append(t.ops, func(ts uint64) (func(), error) {
+		prev, ok := c.GetAt(id, ts)
+		if !ok {
+			return nil, fmt.Errorf("storage: atom %v not in %q", id, typeName)
+		}
+		undos := []func(){c.applyPut(updated, ts)}
+		db.mu.RLock()
+		ixs := db.indexesOf(typeName)
+		db.mu.RUnlock()
+		for _, ix := range ixs {
+			undos = append(undos, ix.applyRemove(prev, ts))
+			undos = append(undos, ix.applyAdd(updated, ts))
+		}
+		return joinUndos(undos), nil
+	})
+	prevVals := old.Clone()
+	t.post = append(t.post, func() {
+		db.histDelete(typeName, prevVals)
+		db.histInsert(typeName, updated)
+	})
+	return nil
 }
 
-// DeleteAtom deletes an atom with cascade; rollback re-adopts the atom and
-// reconnects every dropped link.
+// DeleteAtom buffers the removal of an atom together with the cascade
+// that drops every link incident to it — the cascade itself is computed
+// at commit time against the committed state, so links connected by
+// concurrent commits are dropped too (no dangling references, ever).
 func (t *Txn) DeleteAtom(typeName string, id model.AtomID) error {
 	if err := t.active(); err != nil {
 		return err
 	}
 	db := t.db
-	db.mu.Lock()
+	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
+	var stores []*LinkStore
+	var storeNames []string
+	if ok {
+		for _, lt := range db.schema.LinkTypesOf(typeName) {
+			if ls, present := db.links[lt.Name]; present {
+				stores = append(stores, ls)
+				storeNames = append(storeNames, lt.Name)
+			}
+		}
+	}
+	db.mu.RUnlock()
 	if !ok {
-		db.mu.Unlock()
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
-	atom, ok := c.Get(id)
+	old, ok := t.lookupEff(typeName, id)
 	if !ok {
-		db.mu.Unlock()
 		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
 	}
-	// Capture the links the cascade will drop.
-	var dropped []droppedLink
-	for _, lt := range db.schema.LinkTypesOf(typeName) {
-		ls, ok := db.links[lt.Name]
-		if !ok {
-			continue
-		}
-		for _, b := range ls.PartnersFromA(id) {
-			dropped = append(dropped, droppedLink{lt.Name, id, b})
-		}
-		for _, a := range ls.PartnersFromB(id) {
-			if lt.Desc.Reflexive() && ls.hasExact(id, a) {
-				continue // already captured from side A
-			}
-			dropped = append(dropped, droppedLink{lt.Name, a, id})
-		}
+	t.setOverlay(typeName, id, ovAtom{deleted: true})
+	for i, name := range storeNames {
+		t.linkOps[name] = append(t.linkOps[name], linkDelta{a: id, drop: true})
+		t.touchedLinks[name] = stores[i]
 	}
-	db.mu.Unlock()
-
-	if _, err := db.DeleteAtom(typeName, id); err != nil {
-		return err
-	}
-	t.record(func() error {
-		if err := db.AdoptAtom(typeName, atom); err != nil {
-			return err
-		}
-		for _, dl := range dropped {
-			if err := db.Connect(dl.linkName, dl.a, dl.b); err != nil {
-				return err
+	t.touchedTypes[typeName] = true
+	t.ops = append(t.ops, func(ts uint64) (func(), error) {
+		// Capture the value being deleted before pushing the tombstone:
+		// an earlier operation of this very transaction may have updated
+		// the atom at the candidate timestamp, and the index postings to
+		// remove are the ones that value carries.
+		prev, prevOK := c.GetAt(id, ts)
+		var undos []func()
+		dropped := 0
+		for _, ls := range stores {
+			if n, u := ls.applyDropAtom(id, ts); n > 0 {
+				dropped += n
+				undos = append(undos, u)
 			}
 		}
-		return nil
+		undoDel, err := c.applyDelete(id, ts)
+		if err != nil {
+			for i := len(undos) - 1; i >= 0; i-- {
+				undos[i]()
+			}
+			return nil, err
+		}
+		undos = append(undos, undoDel)
+		db.mu.RLock()
+		ixs := db.indexesOf(typeName)
+		db.mu.RUnlock()
+		if prevOK {
+			for _, ix := range ixs {
+				undos = append(undos, ix.applyRemove(prev, ts))
+			}
+		}
+		t.post = append(t.post, func() {
+			db.stats.LinksDropped.Add(int64(dropped))
+		})
+		return joinUndos(undos), nil
+	})
+	prevVals := old.Clone()
+	t.post = append(t.post, func() {
+		db.stats.AtomsDeleted.Add(1)
+		db.histDelete(typeName, prevVals)
 	})
 	return nil
 }
 
-// UpdateAtom updates an atom; rollback restores the previous values.
-func (t *Txn) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
-	if err := t.active(); err != nil {
-		return err
-	}
-	old, ok := t.db.GetAtom(typeName, id)
-	if !ok {
-		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
-	}
-	if err := t.db.UpdateAtom(typeName, id, vals); err != nil {
-		return err
-	}
-	prev := old.Clone()
-	t.record(func() error {
-		return t.db.UpdateAtom(typeName, id, prev.Vals)
-	})
-	return nil
-}
-
-// Connect inserts a link; rollback removes it — unless the link already
-// existed (idempotent connect), in which case rollback leaves it alone.
+// Connect buffers the insertion of a link. Endpoint existence is checked
+// against the transaction's effective view here and against the committed
+// state at Commit; cardinality restrictions are enforced at Commit.
+// Connecting a link that already exists in the effective view is a no-op,
+// matching the idempotent auto-commit Connect.
 func (t *Txn) Connect(linkName string, a, b model.AtomID) error {
 	if err := t.active(); err != nil {
 		return err
 	}
-	ls, ok := t.db.LinkStore(linkName)
+	db := t.db
+	db.mu.RLock()
+	ls, ok := db.links[linkName]
+	var ca, cb *Container
+	var okA, okB bool
+	if ok {
+		ca, okA = db.containerByName(ls.desc.SideA)
+		cb, okB = db.containerByName(ls.desc.SideB)
+	}
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	existed := ls.Has(a, b)
-	if err := t.db.Connect(linkName, a, b); err != nil {
-		return err
+	if !okA || !t.hasEff(ls.desc.SideA, a) {
+		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
 	}
-	if !existed {
-		t.record(func() error {
-			_, err := t.db.Disconnect(linkName, a, b)
-			return err
-		})
+	if !okB || !t.hasEff(ls.desc.SideB, b) {
+		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, b, ls.desc.SideB)
 	}
+	if t.effHas(linkName, ls, a, b) {
+		return nil // idempotent connect: already present, nothing to buffer
+	}
+	t.linkOps[linkName] = append(t.linkOps[linkName], linkDelta{a: a, b: b, added: true})
+	t.touchedLinks[linkName] = ls
+	t.ops = append(t.ops, func(ts uint64) (func(), error) {
+		if !ca.HasAt(a, ts) {
+			return nil, fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
+		}
+		if !cb.HasAt(b, ts) {
+			return nil, fmt.Errorf("storage: link %q: atom %v not in %q", linkName, b, ls.desc.SideB)
+		}
+		undo, err := ls.applyConnect(a, b, ts)
+		if err != nil {
+			return nil, err
+		}
+		return undo, nil // nil undo when a concurrent commit already connected it
+	})
+	t.post = append(t.post, func() {
+		db.stats.LinksConnected.Add(1)
+	})
 	return nil
 }
 
-// Disconnect removes a link; rollback reinserts it when it was present.
+// hasEff reports whether an atom exists in the effective view.
+func (t *Txn) hasEff(typeName string, id model.AtomID) bool {
+	_, ok := t.lookupEff(typeName, id)
+	return ok
+}
+
+// Disconnect buffers the removal of a link; removed reports whether the
+// link exists in the transaction's effective view.
 func (t *Txn) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
 	if err := t.active(); err != nil {
 		return false, err
 	}
-	removed, err := t.db.Disconnect(linkName, a, b)
-	if err != nil {
-		return false, err
+	db := t.db
+	db.mu.RLock()
+	ls, ok := db.links[linkName]
+	db.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	if removed {
-		t.record(func() error {
-			return t.db.Connect(linkName, a, b)
-		})
+	if !t.effHas(linkName, ls, a, b) {
+		return false, nil
 	}
-	return removed, nil
+	t.linkOps[linkName] = append(t.linkOps[linkName], linkDelta{a: a, b: b})
+	t.touchedLinks[linkName] = ls
+	t.ops = append(t.ops, func(ts uint64) (func(), error) {
+		_, undo := ls.applyDisconnect(a, b, ts)
+		return undo, nil // nil undo when a concurrent commit already removed it
+	})
+	t.post = append(t.post, func() {
+		db.stats.LinksDropped.Add(1)
+	})
+	return true, nil
 }
 
-// Commit finalizes the transaction; the mutations stay.
-func (t *Txn) Commit() {
-	t.done = true
-	t.undo = nil
-}
-
-// Rollback undoes every mutation in reverse order. It returns the first
-// inverse-application error (which indicates external interference with
-// the touched atoms, e.g. a concurrent delete).
-func (t *Txn) Rollback() error {
-	if t.done {
-		return fmt.Errorf("storage: transaction already finished")
+// joinUndos folds a list of undos into one that runs them in reverse.
+func joinUndos(undos []func()) func() {
+	if len(undos) == 1 {
+		return undos[0]
 	}
-	t.done = true
-	for i := len(t.undo) - 1; i >= 0; i-- {
-		if err := t.undo[i](); err != nil {
-			return fmt.Errorf("storage: rollback step %d failed: %w", i, err)
+	return func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
 		}
 	}
-	t.undo = nil
+}
+
+// Commit installs every buffered operation at one fresh commit timestamp
+// and publishes it atomically: concurrent snapshot readers observe either
+// none of this transaction's writes or all of them. When an operation
+// fails re-validation against the committed state (an endpoint deleted by
+// a concurrent commit, say), every version already pushed is popped
+// before publication — zero versions become visible — and the error is
+// returned. The transaction is finished afterwards either way; Rollback
+// after Commit is a hard error.
+func (t *Txn) Commit() error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	t.done = true
+	defer t.snap.Close()
+	if len(t.ops) == 0 {
+		return nil // nothing buffered, nothing to publish
+	}
+	db := t.db
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	ts := db.latestTS.Load() + 1
+	var undos []func()
+	for i, op := range t.ops {
+		undo, err := op(ts)
+		if err != nil {
+			for j := len(undos) - 1; j >= 0; j-- {
+				undos[j]()
+			}
+			return fmt.Errorf("storage: commit failed at operation %d: %w", i, err)
+		}
+		if undo != nil {
+			undos = append(undos, undo)
+		}
+	}
+	db.latestTS.Store(ts)
+	for _, fn := range t.post {
+		fn()
+	}
+	for _, ls := range t.touchedLinks {
+		db.maybeLinkEpochBump(ls)
+	}
+	for typeName := range t.touchedTypes {
+		db.maybeAutoAnalyze(typeName)
+	}
+	t.ops, t.post = nil, nil
 	return nil
 }
 
-// Mutations reports how many mutations the transaction has recorded.
-func (t *Txn) Mutations() int { return len(t.undo) }
+// Rollback discards the buffered operations. Nothing was ever visible, so
+// there is nothing to undo. It is a hard error after Commit (successful
+// or not) or a previous Rollback.
+func (t *Txn) Rollback() error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	t.done = true
+	t.snap.Close()
+	t.ops, t.post = nil, nil
+	return nil
+}
+
+// Mutations reports how many mutations the transaction has buffered.
+func (t *Txn) Mutations() int { return len(t.ops) }

@@ -30,9 +30,10 @@ func txnDB(t testing.TB) *storage.Database {
 
 // snapshot produces a canonical fingerprint of the database's *logical*
 // state: per atom type the sorted set of (id, values), per link type the
-// sorted set of links. Rollback restores logical state, not physical
-// insertion order, so comparison must be order-insensitive. (The codec
-// round-trip below additionally confirms the state is serializable.)
+// sorted set of links. Buffered transactions never leak partial state, so
+// the fingerprint before Begin and after Rollback must match exactly.
+// (The codec round-trip below additionally confirms the state is
+// serializable.)
 func snapshot(t testing.TB, db *storage.Database) []byte {
 	t.Helper()
 	var probe bytes.Buffer
@@ -75,7 +76,13 @@ func TestTxnCommitKeepsMutations(t *testing.T) {
 	if txn.Mutations() != 3 {
 		t.Fatalf("mutations = %d", txn.Mutations())
 	}
-	txn.Commit()
+	// Buffered writes are invisible until Commit publishes them.
+	if db.TotalAtoms() != 0 || db.TotalLinks() != 0 {
+		t.Fatal("buffered writes leaked before commit")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if db.TotalAtoms() != 2 || db.TotalLinks() != 1 {
 		t.Fatal("commit lost mutations")
 	}
@@ -123,7 +130,7 @@ func TestTxnRollbackRestoresExactState(t *testing.T) {
 	}
 }
 
-func TestTxnDeleteCascadeRestoresLinks(t *testing.T) {
+func TestTxnDeleteCascadeBuffersUntilCommit(t *testing.T) {
 	db := txnDB(t)
 	hub, _ := db.InsertAtom("n", model.Int(0))
 	var spokes []model.AtomID
@@ -134,8 +141,8 @@ func TestTxnDeleteCascadeRestoresLinks(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// One incoming link too (hub on side B).
-	if err := db.Connect("e", spokes[0], hub); err != nil {
+	// A spoke-to-spoke link that must survive the cascade.
+	if err := db.Connect("e", spokes[0], spokes[1]); err != nil {
 		t.Fatal(err)
 	}
 	before := snapshot(t, db)
@@ -143,14 +150,33 @@ func TestTxnDeleteCascadeRestoresLinks(t *testing.T) {
 	if err := txn.DeleteAtom("n", hub); err != nil {
 		t.Fatal(err)
 	}
-	if db.TotalLinks() != 0 {
-		t.Fatal("cascade incomplete")
+	// The cascade is buffered: every link is still visible.
+	if db.TotalLinks() != 6 {
+		t.Fatalf("buffered cascade leaked: %d links visible", db.TotalLinks())
 	}
 	if err := txn.Rollback(); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(before, snapshot(t, db)) {
-		t.Fatal("cascaded links not restored")
+		t.Fatal("rollback changed state")
+	}
+	// Committing the same delete drops the atom and every incident link
+	// atomically.
+	txn = db.Begin()
+	if err := txn.DeleteAtom("n", hub); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalLinks() != 1 {
+		t.Fatalf("cascade wrong: %d links left, want the spoke-to-spoke one", db.TotalLinks())
+	}
+	if db.TotalAtoms() != 5 {
+		t.Fatalf("atoms = %d", db.TotalAtoms())
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -177,12 +203,137 @@ func TestTxnIdempotentConnectRollback(t *testing.T) {
 func TestTxnUseAfterFinish(t *testing.T) {
 	db := txnDB(t)
 	txn := db.Begin()
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := txn.InsertAtom("n", model.Int(1)); err == nil {
 		t.Fatal("insert after commit must fail")
 	}
 	if err := txn.Connect("e", 1, 2); err == nil {
 		t.Fatal("connect after commit must fail")
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("rollback after commit must fail")
+	}
+	txn = db.Begin()
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("double rollback must fail")
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit after rollback must fail")
+	}
+}
+
+// TestTxnAbandonedMidBatchLeavesNothing models an owner goroutine that
+// errors partway through a batch and simply abandons the transaction:
+// zero versions may ever become visible, even without a Rollback call.
+func TestTxnAbandonedMidBatchLeavesNothing(t *testing.T) {
+	db := txnDB(t)
+	keep, _ := db.InsertAtom("n", model.Int(7))
+	before := snapshot(t, db)
+	versions := db.VersionCount()
+
+	txn := db.Begin()
+	if _, err := txn.InsertAtom("n", model.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.UpdateAtom("n", keep, []model.Value{model.Int(8)}); err != nil {
+		t.Fatal(err)
+	}
+	// The batch errors here: wrong arity must be rejected at buffer time…
+	if err := txn.UpdateAtom("n", keep, []model.Value{model.Int(1), model.Int(2)}); err == nil {
+		t.Fatal("invalid update must fail at buffer time")
+	}
+	// …and the owner walks away without Commit or Rollback.
+	txn = nil
+
+	if !bytes.Equal(before, snapshot(t, db)) {
+		t.Fatal("abandoned transaction leaked state")
+	}
+	if got := db.VersionCount(); got != versions {
+		t.Fatalf("abandoned transaction leaked versions: %d -> %d", versions, got)
+	}
+}
+
+// TestTxnCommitConflictInstallsNothing drives a commit-time failure: the
+// transaction connects to an atom a concurrent auto-commit deletes after
+// Begin. The commit must fail as a unit, leaving zero versions visible.
+func TestTxnCommitConflictInstallsNothing(t *testing.T) {
+	db := txnDB(t)
+	a, _ := db.InsertAtom("n", model.Int(1))
+	victim, _ := db.InsertAtom("n", model.Int(2))
+
+	txn := db.Begin()
+	if _, err := txn.InsertAtom("n", model.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Connect("e", a, victim); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent writer removes the endpoint between Begin and Commit.
+	if _, err := db.DeleteAtom("n", victim); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, db)
+	versions := db.VersionCount()
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit with a deleted endpoint must fail")
+	}
+	if !bytes.Equal(before, snapshot(t, db)) {
+		t.Fatal("failed commit leaked state")
+	}
+	if got := db.VersionCount(); got != versions {
+		t.Fatalf("failed commit leaked versions: %d -> %d", versions, got)
+	}
+	if err := txn.Rollback(); err == nil {
+		t.Fatal("rollback after a failed commit must still be a hard error")
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnSnapshotIsolationFromWriter pins a snapshot, commits a
+// transaction, and checks the snapshot still serves the old state while
+// the latest view serves the new one.
+func TestTxnSnapshotIsolationFromWriter(t *testing.T) {
+	db := txnDB(t)
+	a, _ := db.InsertAtom("n", model.Int(1))
+	snap := db.Snapshot()
+	defer snap.Close()
+
+	txn := db.Begin()
+	if err := txn.UpdateAtom("n", a, []model.Value{model.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := txn.InsertAtom("n", model.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Connect("e", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, _ := snap.GetAtom("n", a); got.Get(0).String() != "1" {
+		t.Fatalf("snapshot sees updated value %v", got.Get(0))
+	}
+	if snap.HasAtom("n", b) {
+		t.Fatal("snapshot sees an atom committed after it was taken")
+	}
+	if n, _ := snap.CountLinks("e"); n != 0 {
+		t.Fatal("snapshot sees links committed after it was taken")
+	}
+	if got, _ := db.GetAtom("n", a); got.Get(0).String() != "2" {
+		t.Fatalf("latest view missed the update: %v", got.Get(0))
+	}
+	if !db.HasAtom("n", b) || db.TotalLinks() != 1 {
+		t.Fatal("latest view missed the commit")
 	}
 }
 
@@ -253,6 +404,10 @@ func TestTxnRollbackPropertyRandomOps(t *testing.T) {
 				inTxn = append(inTxn[:i], inTxn[i+1:]...)
 			}
 		}
+		// Buffered writes stay invisible throughout.
+		if !bytes.Equal(before, snapshot(t, db)) {
+			return false
+		}
 		if err := txn.Rollback(); err != nil {
 			return false
 		}
@@ -260,6 +415,69 @@ func TestTxnRollbackPropertyRandomOps(t *testing.T) {
 			return false
 		}
 		return bytes.Equal(before, snapshot(t, db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnCommitPropertyRandomOps is the committing twin: random buffered
+// batches must install atomically and leave an integral database.
+func TestTxnCommitPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := txnDB(t)
+		var live []model.AtomID
+		for i := 0; i < 8; i++ {
+			id, err := db.InsertAtom("n", model.Int(int64(i)))
+			if err != nil {
+				return false
+			}
+			live = append(live, id)
+		}
+		txn := db.Begin()
+		inTxn := append([]model.AtomID(nil), live...)
+		for op := 0; op < 30; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4:
+				id, err := txn.InsertAtom("n", model.Int(int64(100+op)))
+				if err != nil {
+					return false
+				}
+				inTxn = append(inTxn, id)
+			case r < 7 && len(inTxn) >= 2:
+				a := inTxn[rng.Intn(len(inTxn))]
+				b := inTxn[rng.Intn(len(inTxn))]
+				if a == b {
+					continue
+				}
+				if err := txn.Connect("e", a, b); err != nil {
+					return false
+				}
+			case r < 8 && len(inTxn) > 0:
+				id := inTxn[rng.Intn(len(inTxn))]
+				if err := txn.UpdateAtom("n", id, []model.Value{model.Int(int64(rng.Intn(1000)))}); err != nil {
+					return false
+				}
+			default:
+				if len(inTxn) == 0 {
+					continue
+				}
+				i := rng.Intn(len(inTxn))
+				if err := txn.DeleteAtom("n", inTxn[i]); err != nil {
+					return false
+				}
+				inTxn = append(inTxn[:i], inTxn[i+1:]...)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			return false
+		}
+		if db.CheckIntegrity() != nil {
+			return false
+		}
+		// Committed membership matches the overlay's bookkeeping.
+		return db.TotalAtoms() == len(inTxn)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

@@ -96,6 +96,54 @@ type (
 	RecursiveType = recursive.Type
 )
 
+// Concurrency types.
+//
+// # Migration: locked reads → snapshots and transactions
+//
+// Since the MVCC redesign the storage layer keeps a short per-key chain
+// of versions stamped with a monotonic commit timestamp instead of
+// guarding one mutable copy with a global reader/writer lock. Three
+// consequences for callers:
+//
+//   - Reads never block behind writes. Database.Snapshot() pins an
+//     immutable, transaction-consistent view of the latest commit; every
+//     read method on the snapshot answers from that view no matter what
+//     writers commit afterwards. Close it when done — a live snapshot
+//     holds the vacuum horizon back.
+//   - Plan.Stream pins its own snapshot at cursor open and releases it
+//     at exhaustion or Close, so a long streaming SELECT observes exactly
+//     one commit timestamp end to end (no torn molecules). Plan.StreamAt
+//     runs a cursor against a caller-owned snapshot instead — that is how
+//     SELECTs inside an MQL transaction read the begin snapshot.
+//   - Database.Begin() opens a buffered-write Txn: its mutations stay
+//     private (validated, but invisible — even to the transaction's own
+//     reads) until Commit installs them atomically under the next commit
+//     timestamp. Rollback discards them. MQL exposes the same protocol as
+//     BEGIN [TRANSACTION] / COMMIT / ROLLBACK per session.
+//
+// Direct mutators (Database.InsertAtom, Connect, ...) behave exactly as
+// before — each is now simply a single-statement transaction. Old
+// versions are reclaimed by Database.Vacuum (or a StartVacuum background
+// loop) once no live snapshot can reach them.
+type (
+	// Txn is a buffered-write transaction over the database: writes
+	// validate eagerly against its begin snapshot but install atomically
+	// at Commit (see Database.Begin).
+	Txn = storage.Txn
+	// Snapshot is an immutable, transaction-consistent read view pinned
+	// at one commit timestamp (see Database.Snapshot); Close releases it.
+	Snapshot = storage.Snapshot
+	// VacuumStats reports one vacuum pass (versions reclaimed, horizon).
+	VacuumStats = storage.VacuumStats
+)
+
+// Begin opens a buffered-write transaction (Database.Begin shorthand).
+func Begin(db *Database) *Txn { return db.Begin() }
+
+// TakeSnapshot pins an immutable consistent read view of the latest
+// commit (Database.Snapshot shorthand); Close it when done.
+func TakeSnapshot(db *Database) *Snapshot { return db.Snapshot() }
+
 // Language and engine types.
 //
 // # Migration: Exec → QueryContext

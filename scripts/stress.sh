@@ -1,0 +1,30 @@
+#!/bin/sh
+# stress.sh — hammers the MVCC mixed read/write path: the headline
+# snapshot-isolation stress tests (concurrent transaction writers vs
+# streaming Plan.Stream readers with background vacuum, the storage
+# property tests, and the wire-level server transaction workload) run
+# repeatedly under the race detector. Gating: any torn molecule,
+# version-tear, vacuum-reclaimed-live-version or data race fails.
+#
+# Usage: scripts/stress.sh
+#   COUNT    repetitions per test binary (default 5)
+#   TIMEOUT  go test timeout (default 10m)
+set -eu
+cd "$(dirname "$0")/.."
+
+count="${COUNT:-5}"
+timeout="${TIMEOUT:-10m}"
+
+echo "== storage: transaction + snapshot/vacuum property tests (race, -count=$count)"
+go test -race -count="$count" -timeout "$timeout" \
+	-run 'TestTxn|TestVacuum|TestSnapshot' ./internal/storage/
+
+echo "== plan: writers vs streaming readers stress (race, -count=$count)"
+go test -race -count="$count" -timeout "$timeout" \
+	-run 'TestMVCCStress' ./internal/plan/
+
+echo "== server: concurrent transactions over the wire (race, -count=$count)"
+go test -race -count="$count" -timeout "$timeout" \
+	-run 'TestServerConcurrentTxn|TestServerTxn|TestServerDropped' ./internal/server/
+
+echo "stress.sh: all MVCC stress suites passed"
