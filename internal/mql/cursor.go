@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"mad/internal/core"
+	"mad/internal/model"
 	"mad/internal/plan"
 	"mad/internal/storage"
 )
@@ -221,10 +222,19 @@ func (c *Cursor) SnapshotTS() uint64 {
 // Result drains the cursor and materializes the remaining molecules
 // into a classic Result — the collect-all bridge Exec is built on. For
 // non-streaming statements it returns the immediate result.
+//
+// Attribute values are resolved molecule by molecule DURING the drain,
+// while the stream's snapshot is still pinned: exhausting the stream
+// releases its pin, and a commit-plus-vacuum between drain and a later
+// Render could otherwise reclaim the versions at the cursor's timestamp
+// and silently degrade rendered atoms to bare ids.
 func (c *Cursor) Result() (*Result, error) {
 	if c.stream == nil {
 		return c.res, nil
 	}
+	ts := c.SnapshotTS()
+	atoms := make(map[model.AtomID]model.Atom)
+	containers := make(map[string]*storage.Container)
 	set := core.MoleculeSet{}
 	for {
 		m, err := c.Next()
@@ -234,9 +244,27 @@ func (c *Cursor) Result() (*Result, error) {
 		if m == nil {
 			break
 		}
+		for _, typeName := range m.Desc().Types() {
+			cont, ok := containers[typeName]
+			if !ok {
+				cont, _ = c.db.Container(typeName)
+				containers[typeName] = cont
+			}
+			if cont == nil {
+				continue
+			}
+			for _, id := range m.AtomsOf(typeName) {
+				if _, done := atoms[id]; done {
+					continue
+				}
+				if a, ok := cont.GetAt(id, ts); ok {
+					atoms[id] = a
+				}
+			}
+		}
 		set = append(set, m)
 	}
-	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs, TS: c.SnapshotTS()}, nil
+	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs, TS: ts, atoms: atoms}, nil
 }
 
 // Close cancels an in-flight SELECT, waits for its workers to wind down

@@ -106,6 +106,11 @@ type Result struct {
 	// structure even if writers committed since. Zero renders the latest
 	// view (eager statements).
 	TS uint64
+	// atoms holds the attribute values of Set's atoms, resolved at TS
+	// while the cursor's snapshot was still pinned. Render prefers it over
+	// re-reading the database, so rendering stays correct even after
+	// vacuum reclaims the versions at TS.
+	atoms map[model.AtomID]model.Atom
 }
 
 // Exec parses and executes a single statement, materializing the whole
@@ -684,10 +689,11 @@ func (s *Session) matchAtoms(typeName string, pred expr.Expr) ([]model.Atom, err
 	// begin snapshot plus this transaction's own buffered writes — so a
 	// statement can target atoms the transaction just inserted (SELECTs
 	// stay on the begin snapshot; see ExecuteStream).
+	var scanErr error
 	scan := c.Scan
 	if s.txn != nil {
 		txn := s.txn
-		scan = func(fn func(model.Atom) bool) { txn.ScanEff(typeName, fn) }
+		scan = func(fn func(model.Atom) bool) { scanErr = txn.ScanEff(typeName, fn) }
 	}
 	scan(func(a model.Atom) bool {
 		keep, err := expr.EvalPredicate(pred, expr.AtomBinding{TypeName: typeName, Desc: c.Desc(), Atom: a})
@@ -700,6 +706,9 @@ func (s *Session) matchAtoms(typeName string, pred expr.Expr) ([]model.Atom, err
 		}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 	return out, evalErr
 }
 

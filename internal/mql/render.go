@@ -38,7 +38,7 @@ func (r *Result) Render(db *storage.Database) string {
 		fmt.Fprintf(&b, "%d molecule(s) of %s\n", len(r.Set), r.Desc)
 		for i, m := range r.Set {
 			fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i+1, m.Size(), m.NumLinks())
-			b.WriteString(formatMolecule(db, r.TS, m, r.Attrs))
+			b.WriteString(formatMoleculeCached(db, r.TS, m, r.Attrs, r.atoms))
 		}
 		return b.String()
 	}
@@ -68,13 +68,20 @@ func RenderMoleculeAt(db *storage.Database, ts uint64, i int, m *core.Molecule, 
 // formatMolecule renders one molecule as an indented tree honouring the
 // projection's attribute narrowing, reading values at ts (zero = latest).
 func formatMolecule(db *storage.Database, ts uint64, m *core.Molecule, attrs map[string][]string) string {
+	return formatMoleculeCached(db, ts, m, attrs, nil)
+}
+
+// formatMoleculeCached is formatMolecule preferring atom values from
+// cache (values resolved while the result's snapshot was still pinned)
+// over re-reading the database at ts.
+func formatMoleculeCached(db *storage.Database, ts uint64, m *core.Molecule, attrs map[string][]string, cache map[model.AtomID]model.Atom) string {
 	var b strings.Builder
 	d := m.Desc()
 	printed := make(map[model.AtomID]bool)
 	var rec func(typeName string, id model.AtomID, depth int)
 	rec = func(typeName string, id model.AtomID, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
-		label := renderAtom(db, ts, typeName, id, attrs[typeName])
+		label := renderAtom(db, ts, typeName, id, attrs[typeName], cache)
 		if printed[id] {
 			fmt.Fprintf(&b, "^%s: %s (shared)\n", typeName, label)
 			return
@@ -94,17 +101,21 @@ func formatMolecule(db *storage.Database, ts uint64, m *core.Molecule, attrs map
 	return b.String()
 }
 
-// renderAtom renders one atom with (possibly narrowed) attributes.
-func renderAtom(db *storage.Database, ts uint64, typeName string, id model.AtomID, attrs []string) string {
+// renderAtom renders one atom with (possibly narrowed) attributes,
+// preferring values from cache (resolved while the result's snapshot was
+// pinned) over a database read at ts.
+func renderAtom(db *storage.Database, ts uint64, typeName string, id model.AtomID, attrs []string, cache map[model.AtomID]model.Atom) string {
 	c, ok := db.Container(typeName)
 	if !ok {
 		return id.String()
 	}
-	var a model.Atom
-	if ts != 0 {
-		a, ok = c.GetAt(id, ts)
-	} else {
-		a, ok = c.Get(id)
+	a, ok := cache[id]
+	if !ok {
+		if ts != 0 {
+			a, ok = c.GetAt(id, ts)
+		} else {
+			a, ok = c.Get(id)
+		}
 	}
 	if !ok {
 		return id.String()

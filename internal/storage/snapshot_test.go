@@ -2,6 +2,8 @@ package storage_test
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -233,6 +235,95 @@ func TestVacuumDropsTombstonedSlots(t *testing.T) {
 	}
 	if db.TotalAtoms() != 0 || db.TotalLinks() != 0 {
 		t.Fatal("logical state wrong after vacuum")
+	}
+}
+
+// TestVacuumHorizonCappedAtLatest pins the horizon arithmetic: with a
+// snapshot live the horizon is its (oldest) timestamp even after later
+// commits move latestTS past it; with no pins it is the latest commit.
+func TestVacuumHorizonCappedAtLatest(t *testing.T) {
+	db := txnDB(t)
+	db.InsertAtom("n", model.Int(1))
+	snap := db.Snapshot()
+	if h := db.VacuumHorizon(); h != snap.TS() {
+		t.Fatalf("horizon = %d, want pinned ts %d", h, snap.TS())
+	}
+	db.InsertAtom("n", model.Int(2))
+	if h := db.VacuumHorizon(); h != snap.TS() {
+		t.Fatalf("horizon moved past a live snapshot: %d > pin %d", h, snap.TS())
+	}
+	snap.Close()
+	if h := db.VacuumHorizon(); h != db.LatestTS() {
+		t.Fatalf("horizon = %d with no pins, want latest %d", h, db.LatestTS())
+	}
+}
+
+// TestVacuumHorizonRaceSnapshotOpen is the TOCTOU regression test for
+// VacuumHorizon: it hammers Snapshot-open against committing writers and
+// a continuous vacuum loop. Because the horizon loads latestTS before
+// consulting the pin registry (and returns the minimum), a snapshot
+// pinned in the window between the two loads can never have its versions
+// reclaimed — every fresh snapshot must answer with one stable count for
+// its whole lifetime.
+func TestVacuumHorizonRaceSnapshotOpen(t *testing.T) {
+	db := txnDB(t)
+	a, _ := db.InsertAtom("n", model.Int(0))
+	b, _ := db.InsertAtom("n", model.Int(0))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: each commit moves both atoms to the same value
+		defer wg.Done()
+		for k := int64(1); ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			txn := db.Begin()
+			if err := txn.UpdateAtom("n", a, []model.Value{model.Int(k)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := txn.UpdateAtom("n", b, []model.Value{model.Int(k)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := txn.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // vacuum with no ticker delay, maximizing the window
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Vacuum()
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 3000; i++ {
+		snap := db.Snapshot()
+		av, aok := snap.GetAtom("n", a)
+		bv, bok := snap.GetAtom("n", b)
+		ts := snap.TS()
+		snap.Close()
+		if !aok || !bok {
+			t.Fatalf("snapshot at ts %d lost an atom (vacuum reclaimed a pinned version): a=%v b=%v", ts, aok, bok)
+		}
+		if av.Get(0).String() != bv.Get(0).String() {
+			t.Fatalf("torn snapshot at ts %d: a=%v b=%v", ts, av.Get(0), bv.Get(0))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
 	}
 }
 

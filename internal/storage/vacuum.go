@@ -16,11 +16,20 @@ type VacuumStats struct {
 // snapshot can look: the oldest pinned snapshot, or the latest published
 // commit when nothing is pinned. Versions strictly older than the newest
 // version at or below the horizon are unreachable and safe to reclaim.
+//
+// latestTS is loaded BEFORE the snapshot registry is consulted and the
+// minimum of the two is returned: a snapshot pinned after the registry
+// check necessarily pins a timestamp >= that latest, so a horizon capped
+// at it can never reclaim versions a concurrently-opened snapshot needs.
+// (The other order races: a reader pins ts=S and a writer commits S+1
+// between the two loads, and a horizon of S+1 severs versions the live
+// snapshot at S still reads.)
 func (db *Database) VacuumHorizon() uint64 {
-	if ts, ok := db.oldestLiveSnapshot(); ok {
+	latest := db.latestTS.Load()
+	if ts, ok := db.oldestLiveSnapshot(); ok && ts < latest {
 		return ts
 	}
-	return db.latestTS.Load()
+	return latest
 }
 
 // Vacuum reclaims version-chain nodes no live snapshot can reach: for
