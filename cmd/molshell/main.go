@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	molshell                    # empty database
+//	molshell                    # empty in-memory database
 //	molshell -geo               # preload the Fig. 1 geographic sample
 //	molshell -db path.mad       # load a snapshot (saved on \save)
+//	molshell -data dir          # durable database: WAL + checkpoints
 //	echo "SELECT ...;" | molshell -geo
+//
+// With -data every committed statement is fsynced through the write-ahead
+// log before it acknowledges, and the CHECKPOINT statement snapshots the
+// database (including planner statistics and feedback) so the next start
+// replays less log and plans warm.
 //
 // Statements end with ';'. Shell commands: \h help, \q quit,
 // \save [path] snapshot, \stats counters, \trace toggles operation traces.
@@ -18,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"mad"
 	"mad/internal/codec"
 	"mad/internal/geo"
 	"mad/internal/mql"
@@ -26,16 +33,18 @@ import (
 
 func main() {
 	var (
-		geoFlag = flag.Bool("geo", false, "preload the Fig. 1 geographic sample database")
-		dbFlag  = flag.String("db", "", "load a database snapshot from this path")
+		geoFlag  = flag.Bool("geo", false, "preload the Fig. 1 geographic sample database")
+		dbFlag   = flag.String("db", "", "load a database snapshot from this path")
+		dataFlag = flag.String("data", "", "open a durable database in this directory (WAL + checkpoints)")
 	)
 	flag.Parse()
 
-	db, err := openDatabase(*geoFlag, *dbFlag)
+	db, err := openDatabase(*geoFlag, *dbFlag, *dataFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "molshell: %v\n", err)
 		os.Exit(1)
 	}
+	defer closeDatabase(db)
 	sess := mql.NewSession(db)
 
 	interactive := isTerminalLike()
@@ -77,8 +86,23 @@ func main() {
 	}
 }
 
-func openDatabase(loadGeo bool, path string) (*storage.Database, error) {
+func openDatabase(loadGeo bool, path, dataDir string) (*storage.Database, error) {
 	switch {
+	case dataDir != "":
+		if path != "" {
+			return nil, fmt.Errorf("-data and -db are mutually exclusive")
+		}
+		db, err := mad.Open(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		if loadGeo && db.TotalAtoms() == 0 {
+			if err := seedGeo(db); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		return db, nil
 	case path != "":
 		return codec.Load(path)
 	case loadGeo:
@@ -89,6 +113,70 @@ func openDatabase(loadGeo bool, path string) (*storage.Database, error) {
 		return s.DB, nil
 	default:
 		return storage.NewDatabase(), nil
+	}
+}
+
+// seedGeo loads the geographic sample into a fresh durable database by
+// replaying its build script, so the data goes through the WAL.
+func seedGeo(db *storage.Database) error {
+	s, err := geo.BuildSample()
+	if err != nil {
+		return err
+	}
+	var out strings.Builder
+	if err := storage.EncodeSnapshot(s.DB, &out); err != nil {
+		return err
+	}
+	src, err := storage.DecodeSnapshot(strings.NewReader(out.String()))
+	if err != nil {
+		return err
+	}
+	return copyInto(db, src)
+}
+
+// copyInto replays src's schema and occurrences into db as ordinary
+// commits.
+func copyInto(db, src *storage.Database) error {
+	for _, at := range src.Schema().AtomTypes() {
+		if _, err := db.DefineAtomType(at.Name, at.Desc); err != nil {
+			return err
+		}
+	}
+	for _, lt := range src.Schema().LinkTypes() {
+		if _, err := db.DefineLinkType(lt.Name, lt.Desc); err != nil {
+			return err
+		}
+	}
+	for _, at := range src.Schema().AtomTypes() {
+		var ierr error
+		src.ScanAtoms(at.Name, func(a mad.Atom) bool {
+			ierr = db.AdoptAtom(at.Name, a)
+			return ierr == nil
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	for _, lt := range src.Schema().LinkTypes() {
+		ls, ok := src.LinkStore(lt.Name)
+		if !ok {
+			continue
+		}
+		var cerr error
+		ls.Scan(func(l mad.Link) bool {
+			cerr = db.Connect(lt.Name, l.A, l.B)
+			return cerr == nil
+		})
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+func closeDatabase(db *storage.Database) {
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "molshell: close: %v\n", err)
 	}
 }
 
@@ -115,7 +203,8 @@ func shellCommand(cmd string, db *storage.Database, defaultPath string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
-		return true
+		closeDatabase(db)
+		os.Exit(0)
 	case "\\h", "\\help":
 		fmt.Println(`statements end with ';'. Examples:
   SELECT ALL FROM mt_state(state-area-edge-point);
@@ -125,6 +214,7 @@ func shellCommand(cmd string, db *storage.Database, defaultPath string) bool {
   CREATE ATOM TYPE t (a STRING NOT NULL, b INT); INSERT INTO t VALUES ('x', 1);
   SHOW SCHEMA;  SHOW MOLECULE TYPES;  SHOW HISTOGRAMS;
   ANALYZE;  ANALYZE state;          -- build planner histograms
+  CHECKPOINT;                        -- durable snapshot (-data mode)
   EXPLAIN SELECT ...;  EXPLAIN (ESTIMATE) SELECT ...;
 shell: \q quit, \save [path] snapshot, \stats counters`)
 	case "\\stats":

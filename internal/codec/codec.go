@@ -4,320 +4,34 @@
 // occurrence. The format is self-contained and versioned; Decode
 // reconstructs a database whose atoms keep their identifiers, which keeps
 // propagated (identity-sharing) result types intact.
+//
+// Since the durability PR the format itself (MADSNAP1) lives in
+// internal/storage, where Checkpoint embeds it inside checkpoint files;
+// this package remains the stable save/load API for whole-database
+// snapshots.
 package codec
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
 	"io"
-	"math"
 	"os"
 
-	"mad/internal/model"
 	"mad/internal/storage"
 )
 
-// magic identifies snapshot files; the trailing digit is the version.
-const magic = "MADSNAP1"
-
-// maxStrLen bounds decoded strings to keep corrupt files from allocating
-// unbounded memory.
-const maxStrLen = 1 << 24
-
-type writer struct {
-	w   *bufio.Writer
-	err error
-}
-
-func (w *writer) u8(v uint8) {
-	if w.err == nil {
-		w.err = w.w.WriteByte(v)
-	}
-}
-
-func (w *writer) uvarint(v uint64) {
-	if w.err != nil {
-		return
-	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, w.err = w.w.Write(buf[:n])
-}
-
-func (w *writer) u64(v uint64) {
-	if w.err != nil {
-		return
-	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	_, w.err = w.w.Write(buf[:])
-}
-
-func (w *writer) str(s string) {
-	w.uvarint(uint64(len(s)))
-	if w.err == nil {
-		_, w.err = w.w.WriteString(s)
-	}
-}
-
-func (w *writer) boolean(b bool) {
-	if b {
-		w.u8(1)
-	} else {
-		w.u8(0)
-	}
-}
-
-type reader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (r *reader) u8() uint8 {
-	if r.err != nil {
-		return 0
-	}
-	b, err := r.r.ReadByte()
-	r.err = err
-	return b
-}
-
-func (r *reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(r.r)
-	r.err = err
-	return v
-}
-
-func (r *reader) u64() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	var buf [8]byte
-	_, err := io.ReadFull(r.r, buf[:])
-	r.err = err
-	return binary.LittleEndian.Uint64(buf[:])
-}
-
-func (r *reader) str() string {
-	n := r.uvarint()
-	if r.err != nil {
-		return ""
-	}
-	if n > maxStrLen {
-		r.err = fmt.Errorf("codec: string length %d exceeds limit", n)
-		return ""
-	}
-	buf := make([]byte, n)
-	_, err := io.ReadFull(r.r, buf)
-	r.err = err
-	return string(buf)
-}
-
-func (r *reader) boolean() bool { return r.u8() != 0 }
-
-// encodeValue writes one attribute value.
-func encodeValue(w *writer, v model.Value) {
-	w.u8(uint8(v.Kind()))
-	switch v.Kind() {
-	case model.KNull:
-	case model.KBool:
-		b, _ := v.AsBool()
-		w.boolean(b)
-	case model.KInt:
-		i, _ := v.AsInt()
-		w.u64(uint64(i))
-	case model.KFloat:
-		f, _ := v.AsFloat()
-		w.u64(math.Float64bits(f))
-	case model.KString:
-		s, _ := v.AsString()
-		w.str(s)
-	case model.KID:
-		id, _ := v.AsID()
-		w.u64(uint64(id))
-	}
-}
-
-// decodeValue reads one attribute value.
-func decodeValue(r *reader) (model.Value, error) {
-	kind := model.Kind(r.u8())
-	switch kind {
-	case model.KNull:
-		return model.Null(), r.err
-	case model.KBool:
-		return model.Bool(r.boolean()), r.err
-	case model.KInt:
-		return model.Int(int64(r.u64())), r.err
-	case model.KFloat:
-		return model.Float(math.Float64frombits(r.u64())), r.err
-	case model.KString:
-		return model.Str(r.str()), r.err
-	case model.KID:
-		return model.ID(model.AtomID(r.u64())), r.err
-	}
-	return model.Null(), fmt.Errorf("codec: unknown value kind %d", kind)
-}
-
-// Encode writes a snapshot of the database.
+// Encode writes a snapshot of the database, as of its latest published
+// commit, to out.
 func Encode(db *storage.Database, out io.Writer) error {
-	w := &writer{w: bufio.NewWriter(out)}
-	if _, err := w.w.WriteString(magic); err != nil {
-		return err
-	}
-	schema := db.Schema()
-	atomTypes := schema.AtomTypes()
-	w.uvarint(uint64(len(atomTypes)))
-	for _, at := range atomTypes {
-		w.str(at.Name)
-		w.uvarint(uint64(at.Desc.Len()))
-		for _, ad := range at.Desc.Attrs() {
-			w.str(ad.Name)
-			w.u8(uint8(ad.Kind))
-			w.boolean(ad.NotNull)
-		}
-	}
-	linkTypes := schema.LinkTypes()
-	w.uvarint(uint64(len(linkTypes)))
-	for _, lt := range linkTypes {
-		w.str(lt.Name)
-		w.str(lt.Desc.SideA)
-		w.str(lt.Desc.SideB)
-		w.uvarint(uint64(lt.Desc.CardA.Min))
-		w.uvarint(uint64(lt.Desc.CardA.Max))
-		w.uvarint(uint64(lt.Desc.CardB.Min))
-		w.uvarint(uint64(lt.Desc.CardB.Max))
-	}
-	for _, at := range atomTypes {
-		c, ok := db.Container(at.Name)
-		if !ok {
-			return fmt.Errorf("codec: no container for %q", at.Name)
-		}
-		w.uvarint(uint64(c.Len()))
-		c.Scan(func(a model.Atom) bool {
-			w.u64(uint64(a.ID))
-			for _, v := range a.Vals {
-				encodeValue(w, v)
-			}
-			return w.err == nil
-		})
-	}
-	for _, lt := range linkTypes {
-		ls, ok := db.LinkStore(lt.Name)
-		if !ok {
-			return fmt.Errorf("codec: no store for %q", lt.Name)
-		}
-		w.uvarint(uint64(ls.Len()))
-		ls.Scan(func(l model.Link) bool {
-			w.u64(uint64(l.A))
-			w.u64(uint64(l.B))
-			return w.err == nil
-		})
-	}
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
+	return storage.EncodeSnapshot(db, out)
 }
 
-// Decode reconstructs a database from a snapshot.
+// Decode reconstructs a database from a snapshot produced by Encode.
 func Decode(in io.Reader) (*storage.Database, error) {
-	r := &reader{r: bufio.NewReader(in)}
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r.r, head); err != nil {
-		return nil, fmt.Errorf("codec: reading header: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("codec: bad magic %q (not a MAD snapshot?)", head)
-	}
-	db := storage.NewDatabase()
-
-	numAtomTypes := r.uvarint()
-	type atomTypeInfo struct {
-		name string
-		desc *model.Desc
-	}
-	atomTypes := make([]atomTypeInfo, 0, numAtomTypes)
-	for i := uint64(0); i < numAtomTypes && r.err == nil; i++ {
-		name := r.str()
-		numAttrs := r.uvarint()
-		attrs := make([]model.AttrDesc, 0, numAttrs)
-		for j := uint64(0); j < numAttrs && r.err == nil; j++ {
-			attrs = append(attrs, model.AttrDesc{
-				Name:    r.str(),
-				Kind:    model.Kind(r.u8()),
-				NotNull: r.boolean(),
-			})
-		}
-		if r.err != nil {
-			return nil, r.err
-		}
-		desc, err := model.NewDesc(attrs...)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := db.DefineAtomType(name, desc); err != nil {
-			return nil, err
-		}
-		atomTypes = append(atomTypes, atomTypeInfo{name: name, desc: desc})
-	}
-
-	numLinkTypes := r.uvarint()
-	linkNames := make([]string, 0, numLinkTypes)
-	for i := uint64(0); i < numLinkTypes && r.err == nil; i++ {
-		name := r.str()
-		desc := model.LinkDesc{SideA: r.str(), SideB: r.str()}
-		desc.CardA = model.Cardinality{Min: int(r.uvarint()), Max: int(r.uvarint())}
-		desc.CardB = model.Cardinality{Min: int(r.uvarint()), Max: int(r.uvarint())}
-		if r.err != nil {
-			return nil, r.err
-		}
-		if _, err := db.DefineLinkType(name, desc); err != nil {
-			return nil, err
-		}
-		linkNames = append(linkNames, name)
-	}
-
-	for _, at := range atomTypes {
-		n := r.uvarint()
-		for i := uint64(0); i < n && r.err == nil; i++ {
-			id := model.AtomID(r.u64())
-			vals := make([]model.Value, at.desc.Len())
-			for j := range vals {
-				v, err := decodeValue(r)
-				if err != nil {
-					return nil, err
-				}
-				vals[j] = v
-			}
-			if err := db.AdoptAtom(at.name, model.NewAtom(id, vals...)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, name := range linkNames {
-		n := r.uvarint()
-		for i := uint64(0); i < n && r.err == nil; i++ {
-			a := model.AtomID(r.u64())
-			b := model.AtomID(r.u64())
-			if r.err != nil {
-				break
-			}
-			if err := db.Connect(name, a, b); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	return db, nil
+	return storage.DecodeSnapshot(in)
 }
 
-// Save writes a snapshot to a file (atomically via a temp file + rename).
+// Save writes a snapshot to path atomically: the bytes land in a
+// temporary file that is fsynced and renamed over the target, so a crash
+// mid-save never leaves a truncated snapshot behind.
 func Save(db *storage.Database, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -329,14 +43,23 @@ func Save(db *storage.Database, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
-// Load reads a snapshot from a file.
+// Load reads a snapshot from path.
 func Load(path string) (*storage.Database, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -227,6 +227,13 @@ type AnalyzeStmt struct {
 
 func (*AnalyzeStmt) stmt() {}
 
+// CheckpointStmt is CHECKPOINT — it writes a consistent snapshot of the
+// database (data, indexes, histograms, feedback) and truncates the
+// write-ahead log below it. It errs on an in-memory database.
+type CheckpointStmt struct{}
+
+func (*CheckpointStmt) stmt() {}
+
 // BeginStmt is BEGIN [TRANSACTION] — it opens a buffered-write
 // transaction on the session, pinned to a snapshot of the latest commit:
 // subsequent DML buffers into it and SELECTs read the begin snapshot

@@ -184,6 +184,8 @@ func (s *Session) Execute(st Stmt) (*Result, error) {
 		return s.execExplain(st)
 	case *AnalyzeStmt:
 		return s.execAnalyze(st)
+	case *CheckpointStmt:
+		return s.execCheckpoint()
 	case *SetStmt:
 		return s.execSet(st)
 	case *BeginStmt:
@@ -277,6 +279,22 @@ func (s *Session) execAnalyze(st *AnalyzeStmt) (*Result, error) {
 	}
 	return &Result{Kind: RMessage, Message: fmt.Sprintf(
 		"analyzed %d attribute histogram(s); cached plans invalidated", built)}, nil
+}
+
+// execCheckpoint writes a durable snapshot and truncates the log below
+// it. Inside a transaction it is rejected: the checkpoint captures
+// committed state, and a session mid-transaction asking for one is
+// almost certainly confused about what would be saved.
+func (s *Session) execCheckpoint() (*Result, error) {
+	if s.txn != nil {
+		return nil, fmt.Errorf("mql: CHECKPOINT inside a transaction (COMMIT or ROLLBACK first)")
+	}
+	cs, err := s.db.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: RMessage, Message: fmt.Sprintf(
+		"checkpoint at commit %d; %d log segment(s) truncated", cs.TS, cs.SegmentsRemoved)}, nil
 }
 
 // BuildDesc translates a parsed structure into a validated molecule-type

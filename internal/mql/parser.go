@@ -177,6 +177,9 @@ func (p *Parser) Statement() (Stmt, error) {
 		p.pos++
 		p.accept(TKeyword, "TRANSACTION")
 		return &RollbackStmt{}, nil
+	case "CHECKPOINT":
+		p.pos++
+		return &CheckpointStmt{}, nil
 	}
 	return nil, fmt.Errorf("mql: unknown statement %s at offset %d", t, t.Pos)
 }

@@ -75,6 +75,7 @@ var keywords = map[string]bool{
 	"ANALYZE": true, "ESTIMATE": true, "HISTOGRAMS": true,
 	"FEEDBACK": true, "LIMIT": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"CHECKPOINT": true,
 }
 
 // Lexer turns MQL source into tokens.

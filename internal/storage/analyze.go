@@ -155,8 +155,10 @@ func (db *Database) maybeAutoAnalyze(typeName string) {
 // the planner costs traversals (derivation work, interior-index climbs)
 // from the store's fan statistics, so link churn goes stale the same way
 // value drift does for histograms. Sharing the auto-analyze fraction
-// keeps one staleness policy; frac <= 0 disables this too. Callers hold
-// commitMu, which is what makes epochBase safe to read-modify-write.
+// keeps one staleness policy; frac <= 0 disables this too. The epochBase
+// read-modify-write runs under db.mu: since the WAL refactor, commit
+// bookkeeping runs outside commitMu, so concurrent committers can reach
+// here at once.
 func (db *Database) maybeLinkEpochBump(ls *LinkStore) {
 	db.mu.RLock()
 	frac := db.autoAnalyzeFrac
@@ -165,6 +167,8 @@ func (db *Database) maybeLinkEpochBump(ls *LinkStore) {
 		return
 	}
 	count := ls.Len()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	drift := count - ls.epochBase
 	if drift < 0 {
 		drift = -drift

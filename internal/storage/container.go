@@ -197,6 +197,18 @@ func (c *Container) applyAdopt(a model.Atom, ts uint64) (undo func(), err error)
 	return c.applyPut(a, ts), nil
 }
 
+// syncSeq keeps the native sequence ahead of an externally supplied
+// identifier — the snapshot-load and WAL-replay paths install atoms with
+// identifiers issued by a previous process life, and fresh allocations
+// must not collide with them.
+func (c *Container) syncSeq(id model.AtomID) {
+	c.latch.Lock()
+	if id.TypeNum() == c.num && id.Seq() > c.seq {
+		c.seq = id.Seq()
+	}
+	c.latch.Unlock()
+}
+
 // applyDelete installs a tombstone at ts. It errs when the atom has no
 // live newest version.
 func (c *Container) applyDelete(id model.AtomID, ts uint64) (undo func(), err error) {

@@ -41,6 +41,25 @@ type Database struct {
 	// legacy (timestamp-less) read method serves. It starts at 1 so 0 can
 	// mean "unpinned" elsewhere; the first commit publishes 2.
 	latestTS atomic.Uint64
+	// lastAlloc is the allocation clock: the newest timestamp any commit
+	// has applied versions at, published or not. With a WAL attached it
+	// runs ahead of latestTS while commits await their fsync; without one
+	// the two advance in lockstep. Guarded by commitMu.
+	lastAlloc uint64
+
+	// wal and dir are set by Open for a durable database; both zero for a
+	// purely in-memory one. wal is written once before the database is
+	// shared, then read-only.
+	wal *WAL
+	dir string
+
+	// ckptMu serializes checkpoints; ckptHooks run after each successful
+	// one (feedback persistence hangs off this). ckptTestHook, when set,
+	// runs while the checkpoint holds its snapshot pin — the
+	// vacuum-interaction tests inject through it.
+	ckptMu       sync.Mutex
+	ckptHooks    []func() error
+	ckptTestHook func()
 
 	// snapMu guards liveSnaps, the refcounts of pinned snapshot
 	// timestamps that hold the vacuum horizon back.
@@ -66,12 +85,71 @@ func NewDatabase() *Database {
 		autoAnalyzeFrac: DefaultAutoAnalyzeFraction,
 	}
 	db.latestTS.Store(1)
+	db.lastAlloc = 1
 	return db
 }
 
 // LatestTS returns the published commit timestamp — the version the
 // latest view reads. A Snapshot pins one of these values.
 func (db *Database) LatestTS() uint64 { return db.latestTS.Load() }
+
+// OnCheckpoint registers fn to run after every successful Checkpoint,
+// while the checkpoint lock is still held. The mad facade hooks feedback
+// persistence here so planner observations land beside the snapshot.
+func (db *Database) OnCheckpoint(fn func() error) {
+	db.ckptMu.Lock()
+	db.ckptHooks = append(db.ckptHooks, fn)
+	db.ckptMu.Unlock()
+}
+
+// walGate returns the log's sticky failure, if any, so commit paths
+// refuse to apply once durability is gone. Callers hold commitMu.
+func (db *Database) walGate() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.healthy()
+}
+
+// publishUpTo advances the published clock to ts unless it already
+// passed it — the WAL flusher's publication step after a batch's fsync.
+func (db *Database) publishUpTo(ts uint64) {
+	for {
+		cur := db.latestTS.Load()
+		if cur >= ts || db.latestTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// sealCommit finishes one commit whose versions are applied at ts: it
+// advances the allocation clock and either publishes immediately (no
+// WAL) or hands the framed record to the flusher and blocks until the
+// fsync acknowledgement. In every path it RELEASES commitMu — callers
+// must not unlock it themselves, and post-commit bookkeeping (stats,
+// histograms, epoch bumps) runs outside the critical section. On error
+// the applied versions stay permanently invisible: the published clock
+// never reaches them, and the gate rejects all further commits.
+func (db *Database) sealCommit(ts uint64, ops []walOp) error {
+	db.lastAlloc = ts
+	if db.wal == nil {
+		db.latestTS.Store(ts)
+		db.commitMu.Unlock()
+		return nil
+	}
+	rec, err := encodeWALRecord(ts, ops)
+	if err != nil {
+		db.wal.fail(err)
+		db.commitMu.Unlock()
+		return err
+	}
+	done, err := db.wal.enqueue(ts, rec)
+	db.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return <-done
+}
 
 // Schema exposes the catalog. Callers must treat it as read-only; all
 // schema mutation goes through DefineAtomType / DefineLinkType so the
@@ -87,8 +165,34 @@ func (db *Database) Stats() *Stats { return &db.stats }
 
 // DefineAtomType declares an atom type and creates its (empty) container.
 // Schema definition is not versioned: the type exists for every snapshot,
-// old snapshots simply see an empty occurrence.
+// old snapshots simply see an empty occurrence. With a WAL attached the
+// declaration is logged (and fsynced) like any commit.
 func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.AtomType, error) {
+	db.commitMu.Lock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return nil, err
+	}
+	at, err := db.defineAtomType(name, desc)
+	if err != nil {
+		db.commitMu.Unlock()
+		return nil, err
+	}
+	if db.wal == nil {
+		db.commitMu.Unlock()
+		return at, nil
+	}
+	ts := db.lastAlloc + 1
+	op := walOp{kind: walOpAtomType, name: name, attrs: desc.Attrs()}
+	if err := db.sealCommit(ts, []walOp{op}); err != nil {
+		return nil, err
+	}
+	return at, nil
+}
+
+// defineAtomType is the registry half of DefineAtomType — shared with
+// snapshot loading and WAL replay, which must not re-log.
+func (db *Database) defineAtomType(name string, desc *model.Desc) (*catalog.AtomType, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	at, err := db.schema.AddAtomType(name, desc)
@@ -104,6 +208,30 @@ func (db *Database) DefineAtomType(name string, desc *model.Desc) (*catalog.Atom
 
 // DefineLinkType declares a link type and creates its (empty) store.
 func (db *Database) DefineLinkType(name string, desc model.LinkDesc) (*catalog.LinkType, error) {
+	db.commitMu.Lock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return nil, err
+	}
+	lt, err := db.defineLinkType(name, desc)
+	if err != nil {
+		db.commitMu.Unlock()
+		return nil, err
+	}
+	if db.wal == nil {
+		db.commitMu.Unlock()
+		return lt, nil
+	}
+	ts := db.lastAlloc + 1
+	op := walOp{kind: walOpLinkType, name: name, link: desc}
+	if err := db.sealCommit(ts, []walOp{op}); err != nil {
+		return nil, err
+	}
+	return lt, nil
+}
+
+// defineLinkType is the registry half of DefineLinkType.
+func (db *Database) defineLinkType(name string, desc model.LinkDesc) (*catalog.LinkType, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	lt, err := db.schema.AddLinkType(name, desc)
@@ -145,28 +273,36 @@ func (db *Database) LinkStore(name string) (*LinkStore, bool) {
 // auto-commit, returning its identifier.
 func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, error) {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return 0, err
+	}
 	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
 	ixs := db.indexesOf(typeName)
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
 	id, err := c.allocID()
 	if err != nil {
+		db.commitMu.Unlock()
 		return 0, err
 	}
 	a, err := c.validate(id, vals)
 	if err != nil {
+		db.commitMu.Unlock()
 		return 0, err
 	}
-	ts := db.latestTS.Load() + 1
+	ts := db.lastAlloc + 1
 	c.applyPut(a, ts)
 	for _, ix := range ixs {
 		ix.applyAdd(a, ts)
 	}
-	db.latestTS.Store(ts)
+	if err := db.sealCommit(ts, []walOp{{kind: walOpPut, name: typeName, atom: a}}); err != nil {
+		return 0, err
+	}
 	db.stats.AtomsInserted.Add(1)
 	db.histInsert(typeName, a)
 	db.maybeAutoAnalyze(typeName)
@@ -177,29 +313,38 @@ func (db *Database) InsertAtom(typeName string, vals ...model.Value) (model.Atom
 // propagation (Definition 9) and snapshot loading.
 func (db *Database) AdoptAtom(typeName string, a model.Atom) error {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
 	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
 	ixs := db.indexesOf(typeName)
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
 	if !a.ID.Valid() {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: cannot adopt atom with invalid id into %q", typeName)
 	}
 	stored, err := c.validate(a.ID, a.Vals)
 	if err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
-	ts := db.latestTS.Load() + 1
+	ts := db.lastAlloc + 1
 	if _, err := c.applyAdopt(stored, ts); err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
 	for _, ix := range ixs {
 		ix.applyAdd(stored, ts)
 	}
-	db.latestTS.Store(ts)
+	if err := db.sealCommit(ts, []walOp{{kind: walOpPut, name: typeName, atom: stored}}); err != nil {
+		return err
+	}
 	db.stats.AtomsInserted.Add(1)
 	db.histInsert(typeName, stored)
 	db.maybeAutoAnalyze(typeName)
@@ -265,29 +410,41 @@ func (db *Database) ResolveAtomAt(id model.AtomID, ts uint64) (model.Atom, strin
 // auto-commit, keeping secondary indexes in step.
 func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) error {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
 	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
 	ixs := db.indexesOf(typeName)
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
-	old, ok := c.Get(id)
+	// Validation reads resolve at the candidate timestamp, not the
+	// published clock: with a WAL attached, earlier commits may be applied
+	// but still awaiting their fsync, and this commit is ordered after
+	// them.
+	ts := db.lastAlloc + 1
+	old, ok := c.GetAt(id, ts)
 	if !ok {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: atom %v not in %q", id, typeName)
 	}
 	updated, err := c.validate(id, vals)
 	if err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
-	ts := db.latestTS.Load() + 1
 	c.applyPut(updated, ts)
 	for _, ix := range ixs {
 		ix.applyRemove(old, ts)
 		ix.applyAdd(updated, ts)
 	}
-	db.latestTS.Store(ts)
+	if err := db.sealCommit(ts, []walOp{{kind: walOpPut, name: typeName, atom: updated}}); err != nil {
+		return err
+	}
 	db.histDelete(typeName, old)
 	db.histInsert(typeName, updated)
 	db.maybeAutoAnalyze(typeName)
@@ -300,7 +457,10 @@ func (db *Database) UpdateAtom(typeName string, id model.AtomID, vals []model.Va
 // of links dropped.
 func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return 0, err
+	}
 	db.mu.RLock()
 	c, ok := db.containerByName(typeName)
 	ixs := db.indexesOf(typeName)
@@ -314,13 +474,15 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	}
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return 0, fmt.Errorf("storage: unknown atom type %q", typeName)
 	}
-	a, ok := c.Get(id)
+	ts := db.lastAlloc + 1
+	a, ok := c.GetAt(id, ts)
 	if !ok {
+		db.commitMu.Unlock()
 		return 0, fmt.Errorf("storage: atom %v not in %q", id, typeName)
 	}
-	ts := db.latestTS.Load() + 1
 	dropped := 0
 	var bumped []*LinkStore
 	for _, ls := range stores {
@@ -332,12 +494,17 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 	if _, err := c.applyDelete(id, ts); err != nil {
 		// Unreachable after the existence check above (commitMu excludes
 		// concurrent writers), but keep the chain consistent regardless.
+		db.commitMu.Unlock()
 		return 0, err
 	}
 	for _, ix := range ixs {
 		ix.applyRemove(a, ts)
 	}
-	db.latestTS.Store(ts)
+	// The log carries only the delete; replay recomputes the link cascade
+	// through the same applyDropAtom path, so it cannot diverge.
+	if err := db.sealCommit(ts, []walOp{{kind: walOpDelete, name: typeName, id: id}}); err != nil {
+		return 0, err
+	}
 	db.stats.AtomsDeleted.Add(1)
 	db.stats.LinksDropped.Add(int64(dropped))
 	db.histDelete(typeName, a)
@@ -353,7 +520,10 @@ func (db *Database) DeleteAtom(typeName string, id model.AtomID) (int, error) {
 // side's occurrence; cardinality restrictions are enforced.
 func (db *Database) Connect(linkName string, a, b model.AtomID) error {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
 	db.mu.RLock()
 	ls, ok := db.links[linkName]
 	var ca, cb *Container
@@ -364,23 +534,30 @@ func (db *Database) Connect(linkName string, a, b model.AtomID) error {
 	}
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	if !okA || !ca.Has(a) {
+	ts := db.lastAlloc + 1
+	if !okA || !ca.HasAt(a, ts) {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
 	}
-	if !okB || !cb.Has(b) {
+	if !okB || !cb.HasAt(b, ts) {
+		db.commitMu.Unlock()
 		return fmt.Errorf("storage: link %q: atom %v not in %q", linkName, b, ls.desc.SideB)
 	}
-	ts := db.latestTS.Load() + 1
 	undo, err := ls.applyConnect(a, b, ts)
 	if err != nil {
+		db.commitMu.Unlock()
 		return err
 	}
 	if undo == nil {
+		db.commitMu.Unlock()
 		return nil // idempotent: the link already existed, nothing to publish
 	}
-	db.latestTS.Store(ts)
+	if err := db.sealCommit(ts, []walOp{{kind: walOpConnect, name: linkName, a: a, b: b}}); err != nil {
+		return err
+	}
 	db.stats.LinksConnected.Add(1)
 	db.maybeLinkEpochBump(ls)
 	return nil
@@ -390,21 +567,29 @@ func (db *Database) Connect(linkName string, a, b model.AtomID) error {
 // link existed.
 func (db *Database) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return false, err
+	}
 	db.mu.RLock()
 	ls, ok := db.links[linkName]
 	db.mu.RUnlock()
 	if !ok {
+		db.commitMu.Unlock()
 		return false, fmt.Errorf("storage: unknown link type %q", linkName)
 	}
-	ts := db.latestTS.Load() + 1
+	ts := db.lastAlloc + 1
 	removed, _ := ls.applyDisconnect(a, b, ts)
-	if removed {
-		db.latestTS.Store(ts)
-		db.stats.LinksDropped.Add(1)
-		db.maybeLinkEpochBump(ls)
+	if !removed {
+		db.commitMu.Unlock()
+		return false, nil
 	}
-	return removed, nil
+	if err := db.sealCommit(ts, []walOp{{kind: walOpDisconnect, name: linkName, a: a, b: b}}); err != nil {
+		return false, err
+	}
+	db.stats.LinksDropped.Add(1)
+	db.maybeLinkEpochBump(ls)
+	return true, nil
 }
 
 // Partners returns the atoms linked to id through the named link type at

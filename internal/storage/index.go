@@ -181,7 +181,22 @@ func indexKey(typeName, attr string) string { return typeName + "." + attr }
 // or attributes and on duplicate index creation.
 func (db *Database) CreateIndex(typeName, attr string) error {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	ts := db.lastAlloc + 1
+	if err := db.createIndexAt(typeName, attr, ts); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	return db.sealCommit(ts, []walOp{{kind: walOpCreateIndex, name: typeName, attr: attr}})
+}
+
+// createIndexAt is the registry-and-backfill half of CreateIndex, shared
+// with WAL replay: the backfill scans the occurrence as of ts (every
+// earlier commit is applied by then) and installs postings at ts.
+func (db *Database) createIndexAt(typeName, attr string, ts uint64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	c, ok := db.containerByName(typeName)
@@ -198,19 +213,36 @@ func (db *Database) CreateIndex(typeName, attr string) error {
 	}
 	ix := NewIndex(typeName, attr, pos)
 	ix.bindClock(&db.latestTS)
-	ts := db.latestTS.Load() + 1
-	c.ScanAt(db.latestTS.Load(), func(a model.Atom) bool {
+	c.ScanAt(ts, func(a model.Atom) bool {
 		ix.applyAdd(a, ts)
 		return true
 	})
 	db.indexes[key] = ix
-	db.latestTS.Store(ts)
 	db.bumpPlanEpoch()
 	return nil
 }
 
 // DropIndex removes the index over typeName.attr.
 func (db *Database) DropIndex(typeName, attr string) bool {
+	db.commitMu.Lock()
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return false
+	}
+	if !db.dropIndex(typeName, attr) {
+		db.commitMu.Unlock()
+		return false
+	}
+	if db.wal == nil {
+		db.commitMu.Unlock()
+		return true
+	}
+	ts := db.lastAlloc + 1
+	return db.sealCommit(ts, []walOp{{kind: walOpDropIndex, name: typeName, attr: attr}}) == nil
+}
+
+// dropIndex is the registry half of DropIndex, shared with WAL replay.
+func (db *Database) dropIndex(typeName, attr string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := indexKey(typeName, attr)

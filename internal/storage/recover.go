@@ -1,0 +1,551 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mad/internal/model"
+	"mad/internal/storage/stats"
+)
+
+// This file implements the durable half of the storage layer: Open
+// attaches a write-ahead log to a directory, Recover rebuilds a database
+// from the newest checkpoint plus the log tail, and Checkpoint writes a
+// consistent snapshot pinned at a live read view and truncates the log
+// below it. The checkpoint file ("MADCKPT1") embeds the MADSNAP1
+// snapshot between a header (the checkpoint timestamp) and two trailer
+// sections: the index definitions and the per-attribute histogram states
+// — so a recovered server starts with warm planner statistics.
+
+const (
+	ckptMagic   = "MADCKPT1"
+	ckptFile    = "checkpoint.mad"
+	ckptTmpFile = "checkpoint.tmp"
+)
+
+// ErrNotDurable is returned by durability operations on a database that
+// was constructed in memory (NewDatabase) instead of Open.
+var ErrNotDurable = errors.New("storage: database has no write-ahead log (use Open)")
+
+// Open recovers the database persisted in dir (creating an empty one on
+// first use) and attaches a write-ahead log: every subsequent commit is
+// fsynced — through the group-commit flusher — before it publishes. A
+// torn record tail left by a crash is truncated away; everything before
+// it replays.
+func Open(dir string) (*Database, error) {
+	return openWith(dir, osOpenWAL, false)
+}
+
+// openWith is Open with the log's file implementation and sync policy
+// injectable — the crash-injection harness and the group-commit
+// benchmark enter here.
+func openWith(dir string, openFn walOpenFunc, perCommitSync bool) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A crash mid-checkpoint leaves checkpoint.tmp; the rename never
+	// happened, so the previous checkpoint (if any) is still authoritative.
+	os.Remove(filepath.Join(dir, ckptTmpFile))
+	db, torn, err := recoverDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if torn != nil {
+		// Drop the torn frame and everything after it, including any later
+		// segments (none should exist — a torn tail only forms in the last
+		// segment — but a corrupt directory must not resurrect records that
+		// recovery refused to replay).
+		for _, p := range torn.laterSegs {
+			if err := os.Remove(p); err != nil {
+				return nil, err
+			}
+		}
+		if err := os.Truncate(torn.path, torn.off); err != nil {
+			return nil, err
+		}
+		syncDir(dir)
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	w, err := newWAL(dir, next, db.publishUpTo, openFn, perCommitSync)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	db.dir = dir
+	return db, nil
+}
+
+// Recover rebuilds a database from dir without attaching a log: newest
+// checkpoint first, then the log tail in order, stopping at the first
+// torn or checksum-failed record. The result is exactly the state an
+// Open would serve; crash tests compare it against an in-memory twin.
+func Recover(dir string) (*Database, error) {
+	db, _, err := recoverDir(dir)
+	return db, err
+}
+
+// Dir returns the directory backing this database, empty for an
+// in-memory one.
+func (db *Database) Dir() string { return db.dir }
+
+// Close flushes and closes the write-ahead log. Commits issued after
+// Close fail; readers keep working. Close on an in-memory database is a
+// no-op.
+func (db *Database) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}
+
+// WALCounters reports (records appended, fsyncs issued) since Open —
+// zero for an in-memory database. Group commit shows up as syncs growing
+// far slower than appends under concurrent committers.
+func (db *Database) WALCounters() (appends, syncs int64) {
+	if db.wal == nil {
+		return 0, 0
+	}
+	return db.wal.Counters()
+}
+
+// tornInfo describes where replay stopped: the segment holding the first
+// torn frame, the byte offset of that frame, and any segments after it.
+type tornInfo struct {
+	path      string
+	off       int64
+	laterSegs []string
+}
+
+// recoverDir loads the newest checkpoint (if any) and replays the log
+// tail on top.
+func recoverDir(dir string) (*Database, *tornInfo, error) {
+	var db *Database
+	ckptTS := uint64(1)
+	f, err := os.Open(filepath.Join(dir, ckptFile))
+	switch {
+	case err == nil:
+		db, ckptTS, err = decodeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: reading checkpoint: %w", err)
+		}
+	case os.IsNotExist(err):
+		db = NewDatabase()
+	default:
+		return nil, nil, err
+	}
+	torn, err := replaySegments(db, dir, ckptTS)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, torn, nil
+}
+
+// replaySegments replays every log record above ckptTS in segment order,
+// advancing the clocks per record so a committed record is fully visible
+// before the next applies. Replay ends at the first torn frame; an apply
+// error (a record that contradicts the recovered state) is a hard error.
+func replaySegments(db *Database, dir string, ckptTS uint64) (*tornInfo, error) {
+	segs, err := listWALSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		path := filepath.Join(dir, walSegName(seg))
+		off, torn, err := readWALSegment(path, func(ts uint64, ops []walOp) error {
+			if ts <= ckptTS {
+				return nil // already inside the checkpoint
+			}
+			if err := db.applyWALRecord(ts, ops); err != nil {
+				return err
+			}
+			db.latestTS.Store(ts)
+			db.lastAlloc = ts
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			t := &tornInfo{path: path, off: off}
+			for _, s := range segs[i+1:] {
+				t.laterSegs = append(t.laterSegs, filepath.Join(dir, walSegName(s)))
+			}
+			return t, nil
+		}
+	}
+	return nil, nil
+}
+
+// applyWALRecord redoes one commit's write set at its original
+// timestamp, through the same apply paths live commits use.
+func (db *Database) applyWALRecord(ts uint64, ops []walOp) error {
+	for i := range ops {
+		if err := db.applyWALOp(ts, &ops[i]); err != nil {
+			return fmt.Errorf("storage: wal replay at ts %d: %w", ts, err)
+		}
+	}
+	return nil
+}
+
+func (db *Database) applyWALOp(ts uint64, op *walOp) error {
+	switch op.kind {
+	case walOpPut:
+		db.mu.RLock()
+		c, ok := db.containerByName(op.name)
+		ixs := db.indexesOf(op.name)
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("unknown atom type %q", op.name)
+		}
+		stored, err := c.validate(op.atom.ID, op.atom.Vals)
+		if err != nil {
+			return err
+		}
+		old, hadOld := c.GetAt(stored.ID, ts)
+		c.syncSeq(stored.ID)
+		c.applyPut(stored, ts)
+		for _, ix := range ixs {
+			if hadOld {
+				ix.applyRemove(old, ts)
+			}
+			ix.applyAdd(stored, ts)
+		}
+		if hadOld {
+			db.histDelete(op.name, old)
+		} else {
+			db.stats.AtomsInserted.Add(1)
+		}
+		db.histInsert(op.name, stored)
+	case walOpDelete:
+		db.mu.RLock()
+		c, ok := db.containerByName(op.name)
+		ixs := db.indexesOf(op.name)
+		var stores []*LinkStore
+		if ok {
+			for _, lt := range db.schema.LinkTypesOf(op.name) {
+				if ls, present := db.links[lt.Name]; present {
+					stores = append(stores, ls)
+				}
+			}
+		}
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("unknown atom type %q", op.name)
+		}
+		a, ok := c.GetAt(op.id, ts)
+		if !ok {
+			return fmt.Errorf("atom %v not in %q", op.id, op.name)
+		}
+		// The record carries only the delete; the link cascade recomputes
+		// here exactly as it did at commit time, since replay reproduces
+		// the same pre-state.
+		dropped := 0
+		for _, ls := range stores {
+			if n, _ := ls.applyDropAtom(op.id, ts); n > 0 {
+				dropped += n
+			}
+		}
+		if _, err := c.applyDelete(op.id, ts); err != nil {
+			return err
+		}
+		for _, ix := range ixs {
+			ix.applyRemove(a, ts)
+		}
+		db.stats.AtomsDeleted.Add(1)
+		db.stats.LinksDropped.Add(int64(dropped))
+		db.histDelete(op.name, a)
+	case walOpConnect:
+		db.mu.RLock()
+		ls, ok := db.links[op.name]
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("unknown link type %q", op.name)
+		}
+		if _, err := ls.applyConnect(op.a, op.b, ts); err != nil {
+			return err
+		}
+		db.stats.LinksConnected.Add(1)
+	case walOpDisconnect:
+		db.mu.RLock()
+		ls, ok := db.links[op.name]
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("unknown link type %q", op.name)
+		}
+		if removed, _ := ls.applyDisconnect(op.a, op.b, ts); removed {
+			db.stats.LinksDropped.Add(1)
+		}
+	case walOpAtomType:
+		desc, err := model.NewDesc(op.attrs...)
+		if err != nil {
+			return err
+		}
+		_, err = db.defineAtomType(op.name, desc)
+		return err
+	case walOpLinkType:
+		_, err := db.defineLinkType(op.name, op.link)
+		return err
+	case walOpCreateIndex:
+		return db.createIndexAt(op.name, op.attr, ts)
+	case walOpDropIndex:
+		db.dropIndex(op.name, op.attr)
+	default:
+		return fmt.Errorf("unknown wal op kind %d", op.kind)
+	}
+	return nil
+}
+
+// CheckpointStats summarizes one checkpoint.
+type CheckpointStats struct {
+	// TS is the commit timestamp the checkpoint captured — every commit
+	// at or below it is inside the snapshot.
+	TS uint64
+	// SegmentsRemoved counts log segments truncated away.
+	SegmentsRemoved int
+}
+
+// Checkpoint writes a consistent snapshot of the database — pinned at a
+// live read view so vacuum cannot reclaim the versions it reads — plus
+// the index definitions and histogram states, then truncates the log
+// below it. The snapshot is taken at the newest allocated commit: the
+// log rotates through the flusher queue first, so every covered record
+// is durable (and in a closed segment) before the old segments go away.
+// Concurrent commits proceed throughout; they land in the new segment.
+func (db *Database) Checkpoint() (CheckpointStats, error) {
+	var cs CheckpointStats
+	if db.wal == nil {
+		return cs, ErrNotDurable
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	// Pin and capture under the commit mutex: the timestamp, the schema's
+	// type lists, the index definitions and the histogram states must all
+	// describe the same commit prefix, or replaying the tail would
+	// double-apply DDL or drift the statistics.
+	db.commitMu.Lock()
+	ts := db.lastAlloc
+	pin := db.snapshotAt(ts)
+	schema := db.schema
+	atomTypes := schema.AtomTypes()
+	linkTypes := schema.LinkTypes()
+	db.mu.RLock()
+	type ixDef struct{ typeName, attr string }
+	ixDefs := make([]ixDef, 0, len(db.indexes))
+	for _, ix := range db.indexes {
+		ixDefs = append(ixDefs, ixDef{ix.typeName, ix.attr})
+	}
+	type histDef struct {
+		typeName, attr string
+		pos            int
+		st             stats.State
+	}
+	histDefs := make([]histDef, 0, len(db.hists))
+	for _, ah := range db.hists {
+		histDefs = append(histDefs, histDef{ah.typeName, ah.attr, ah.pos, ah.h.State()})
+	}
+	db.mu.RUnlock()
+	rotated, err := db.wal.enqueueRotate()
+	db.commitMu.Unlock()
+	if err != nil {
+		pin.Close()
+		return cs, err
+	}
+	defer pin.Close()
+	// The rotation ack means every record ≤ ts is fsynced into a closed
+	// segment: once the checkpoint file lands, those segments are
+	// redundant.
+	if err := <-rotated; err != nil {
+		return cs, err
+	}
+	if db.ckptTestHook != nil {
+		db.ckptTestHook()
+	}
+
+	tmp := filepath.Join(db.dir, ckptTmpFile)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return cs, err
+	}
+	w := newSnapWriter(f)
+	if w.err == nil {
+		_, w.err = w.w.WriteString(ckptMagic)
+	}
+	w.u64(ts)
+	encodeSnapshotSections(w, db, ts, atomTypes, linkTypes)
+	w.uvarint(uint64(len(ixDefs)))
+	for _, d := range ixDefs {
+		w.str(d.typeName)
+		w.str(d.attr)
+	}
+	w.uvarint(uint64(len(histDefs)))
+	for _, d := range histDefs {
+		w.str(d.typeName)
+		w.str(d.attr)
+		w.uvarint(uint64(d.pos))
+		encodeHistState(w, d.st)
+	}
+	if err := w.flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return cs, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return cs, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return cs, err
+	}
+	// The rename is the commit point of the checkpoint: a crash on either
+	// side leaves a consistent directory (old checkpoint + longer replay,
+	// or new checkpoint + shorter replay).
+	if err := os.Rename(tmp, filepath.Join(db.dir, ckptFile)); err != nil {
+		os.Remove(tmp)
+		return cs, err
+	}
+	syncDir(db.dir)
+	cs.TS = ts
+
+	// Every record ≤ ts lives in a segment below the current one (the
+	// rotation barrier ordered it so); drop them.
+	segs, err := listWALSegments(db.dir)
+	if err != nil {
+		return cs, err
+	}
+	cur := db.wal.Segment()
+	for _, seg := range segs {
+		if seg >= cur {
+			continue
+		}
+		if err := os.Remove(filepath.Join(db.dir, walSegName(seg))); err != nil {
+			return cs, err
+		}
+		cs.SegmentsRemoved++
+	}
+	syncDir(db.dir)
+
+	for _, fn := range db.ckptHooks {
+		if err := fn(); err != nil {
+			return cs, fmt.Errorf("storage: checkpoint hook: %w", err)
+		}
+	}
+	return cs, nil
+}
+
+// encodeHistState writes one histogram's exported state.
+func encodeHistState(w *snapWriter, st stats.State) {
+	encodeValue(w, st.Lower)
+	w.uvarint(uint64(len(st.Buckets)))
+	for _, b := range st.Buckets {
+		encodeValue(w, b.Upper)
+		w.u64(uint64(b.Count))
+		w.u64(uint64(b.Distinct))
+	}
+	w.u64(uint64(st.Total))
+	w.u64(uint64(st.Nulls))
+	w.u64(uint64(st.Drift))
+}
+
+// decodeHistState reads one histogram state.
+func decodeHistState(r *snapReader) (stats.State, error) {
+	var st stats.State
+	lower, err := decodeValue(r)
+	if err != nil {
+		return st, err
+	}
+	st.Lower = lower
+	n := r.uvarint()
+	if r.err != nil {
+		return st, r.err
+	}
+	if n > maxSnapStr {
+		return st, fmt.Errorf("storage: histogram bucket count %d exceeds limit", n)
+	}
+	st.Buckets = make([]stats.Bucket, 0, n)
+	for i := uint64(0); i < n; i++ {
+		upper, err := decodeValue(r)
+		if err != nil {
+			return st, err
+		}
+		st.Buckets = append(st.Buckets, stats.Bucket{
+			Upper:    upper,
+			Count:    int64(r.u64()),
+			Distinct: int64(r.u64()),
+		})
+	}
+	st.Total = int64(r.u64())
+	st.Nulls = int64(r.u64())
+	st.Drift = int64(r.u64())
+	return st, r.err
+}
+
+// decodeCheckpoint reconstructs a database from a MADCKPT1 file: the
+// embedded snapshot installs at the checkpoint timestamp, indexes are
+// rebuilt by backfill (cheaper and safer than serializing postings) and
+// histograms restore their exact states.
+func decodeCheckpoint(in io.Reader) (*Database, uint64, error) {
+	r := newSnapReader(in)
+	head := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return nil, 0, fmt.Errorf("reading header: %w", err)
+	}
+	if string(head) != ckptMagic {
+		return nil, 0, fmt.Errorf("bad magic %q (not a MAD checkpoint?)", head)
+	}
+	ts := r.u64()
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	db := NewDatabase()
+	if err := decodeSnapshotInto(r, db, ts); err != nil {
+		return nil, 0, err
+	}
+	db.latestTS.Store(ts)
+	db.lastAlloc = ts
+
+	nIx := r.uvarint()
+	for i := uint64(0); i < nIx && r.err == nil; i++ {
+		typeName := r.str()
+		attr := r.str()
+		if r.err != nil {
+			break
+		}
+		if err := db.createIndexAt(typeName, attr, ts); err != nil {
+			return nil, 0, err
+		}
+	}
+	nHist := r.uvarint()
+	for i := uint64(0); i < nHist && r.err == nil; i++ {
+		typeName := r.str()
+		attr := r.str()
+		pos := int(r.uvarint())
+		st, err := decodeHistState(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		db.hists[indexKey(typeName, attr)] = &attrHist{
+			typeName: typeName,
+			attr:     attr,
+			pos:      pos,
+			h:        stats.FromState(st),
+		}
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	return db, ts, nil
+}

@@ -332,6 +332,44 @@ func fraction(lo, v, hi model.Value) float64 {
 	return f
 }
 
+// State is the exported image of a histogram — everything needed to
+// reconstruct it in another process. Checkpointing serializes the state
+// beside the data snapshot so a restarted server plans from the same
+// statistics it crashed with instead of a cold (histogram-less) regime.
+type State struct {
+	Lower   model.Value
+	Buckets []Bucket
+	Total   int64
+	Nulls   int64
+	Drift   int64
+}
+
+// State captures the histogram's current contents. The bucket slice is a
+// copy; mutating it does not affect the live histogram.
+func (h *Histogram) State() State {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return State{
+		Lower:   h.lower,
+		Buckets: append([]Bucket(nil), h.buckets...),
+		Total:   h.total,
+		Nulls:   h.nulls,
+		Drift:   h.drift,
+	}
+}
+
+// FromState reconstructs a histogram from a captured State — the recovery
+// half of State.
+func FromState(s State) *Histogram {
+	return &Histogram{
+		lower:   s.Lower,
+		buckets: append([]Bucket(nil), s.Buckets...),
+		total:   s.Total,
+		nulls:   s.Nulls,
+		drift:   s.Drift,
+	}
+}
+
 // String renders the histogram compactly for SHOW/ANALYZE output:
 // bucket count, accounted values, nulls and drift.
 func (h *Histogram) String() string {

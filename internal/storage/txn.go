@@ -32,6 +32,10 @@ type Txn struct {
 	// ops apply the buffered mutations at the commit timestamp; each
 	// returns an undo that pops exactly what it pushed.
 	ops []func(ts uint64) (undo func(), err error)
+	// wops is the logical write set the WAL records at Commit, parallel to
+	// ops: puts carry the stored atom, deletes just the identifier (the
+	// link cascade is recomputed at replay through the same apply path).
+	wops []walOp
 	// post runs after a successful publish: statistics and histogram
 	// maintenance (advisory state, outside the versioned store).
 	post []func()
@@ -208,6 +212,7 @@ func (t *Txn) InsertAtom(typeName string, vals ...model.Value) (model.AtomID, er
 	}
 	t.setOverlay(typeName, id, ovAtom{atom: a})
 	t.touchedTypes[typeName] = true
+	t.wops = append(t.wops, walOp{kind: walOpPut, name: typeName, atom: a})
 	t.ops = append(t.ops, func(ts uint64) (func(), error) {
 		undos := []func(){c.applyPut(a, ts)}
 		db.mu.RLock()
@@ -249,6 +254,7 @@ func (t *Txn) UpdateAtom(typeName string, id model.AtomID, vals []model.Value) e
 	}
 	t.setOverlay(typeName, id, ovAtom{atom: updated})
 	t.touchedTypes[typeName] = true
+	t.wops = append(t.wops, walOp{kind: walOpPut, name: typeName, atom: updated})
 	t.ops = append(t.ops, func(ts uint64) (func(), error) {
 		prev, ok := c.GetAt(id, ts)
 		if !ok {
@@ -307,6 +313,7 @@ func (t *Txn) DeleteAtom(typeName string, id model.AtomID) error {
 		t.touchedLinks[name] = stores[i]
 	}
 	t.touchedTypes[typeName] = true
+	t.wops = append(t.wops, walOp{kind: walOpDelete, name: typeName, id: id})
 	t.ops = append(t.ops, func(ts uint64) (func(), error) {
 		// Capture the value being deleted before pushing the tombstone:
 		// an earlier operation of this very transaction may have updated
@@ -383,6 +390,7 @@ func (t *Txn) Connect(linkName string, a, b model.AtomID) error {
 	}
 	t.linkOps[linkName] = append(t.linkOps[linkName], linkDelta{a: a, b: b, added: true})
 	t.touchedLinks[linkName] = ls
+	t.wops = append(t.wops, walOp{kind: walOpConnect, name: linkName, a: a, b: b})
 	t.ops = append(t.ops, func(ts uint64) (func(), error) {
 		if !ca.HasAt(a, ts) {
 			return nil, fmt.Errorf("storage: link %q: atom %v not in %q", linkName, a, ls.desc.SideA)
@@ -426,6 +434,7 @@ func (t *Txn) Disconnect(linkName string, a, b model.AtomID) (bool, error) {
 	}
 	t.linkOps[linkName] = append(t.linkOps[linkName], linkDelta{a: a, b: b})
 	t.touchedLinks[linkName] = ls
+	t.wops = append(t.wops, walOp{kind: walOpDisconnect, name: linkName, a: a, b: b})
 	t.ops = append(t.ops, func(ts uint64) (func(), error) {
 		_, undo := ls.applyDisconnect(a, b, ts)
 		return undo, nil // nil undo when a concurrent commit already removed it
@@ -467,8 +476,11 @@ func (t *Txn) Commit() error {
 	}
 	db := t.db
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
-	ts := db.latestTS.Load() + 1
+	if err := db.walGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	ts := db.lastAlloc + 1
 	var undos []func()
 	for i, op := range t.ops {
 		undo, err := op(ts)
@@ -476,13 +488,19 @@ func (t *Txn) Commit() error {
 			for j := len(undos) - 1; j >= 0; j-- {
 				undos[j]()
 			}
+			db.commitMu.Unlock()
 			return fmt.Errorf("storage: commit failed at operation %d: %w", i, err)
 		}
 		if undo != nil {
 			undos = append(undos, undo)
 		}
 	}
-	db.latestTS.Store(ts)
+	// sealCommit releases commitMu; with a WAL attached it returns only
+	// after this transaction's record is fsynced and published, so a nil
+	// return IS the durability acknowledgement.
+	if err := db.sealCommit(ts, t.wops); err != nil {
+		return err
+	}
 	for _, fn := range t.post {
 		fn()
 	}
@@ -492,7 +510,7 @@ func (t *Txn) Commit() error {
 	for typeName := range t.touchedTypes {
 		db.maybeAutoAnalyze(typeName)
 	}
-	t.ops, t.post = nil, nil
+	t.ops, t.wops, t.post = nil, nil, nil
 	return nil
 }
 
@@ -505,7 +523,7 @@ func (t *Txn) Rollback() error {
 	}
 	t.done = true
 	t.snap.Close()
-	t.ops, t.post = nil, nil
+	t.ops, t.wops, t.post = nil, nil, nil
 	return nil
 }
 

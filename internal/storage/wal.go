@@ -1,0 +1,559 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mad/internal/model"
+)
+
+// The write-ahead log makes commits durable before they become visible:
+// every commit appends one length-prefixed, CRC-checksummed record of its
+// logical write set (atom puts, tombstones, link deltas, DDL) stamped
+// with the commit timestamp, and latestTS publishes only after an fsync
+// covers the record. Group commit is the throughput lever: committers
+// enqueue their framed record and block, a single flusher goroutine
+// drains the queue, writes the whole batch, issues ONE fsync, publishes
+// the batch's highest timestamp and acks every waiter — N concurrent
+// writers cost ~1 fsync instead of N.
+//
+// The log is segmented (wal-<n>.log). Checkpoint rotates to a fresh
+// segment through the same queue (a barrier request), so every record at
+// or below the checkpoint timestamp lives in closed segments that can be
+// deleted once the checkpoint file is durable.
+
+// walFile is the byte sink one log segment writes through. *os.File
+// satisfies it; the crash-injection harness substitutes an implementation
+// that fails, short-writes or "crashes" at the Nth write or fsync.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// walOpenFunc opens (creating, append-only) one segment file.
+type walOpenFunc func(path string) (walFile, error)
+
+// osOpenWAL is the production walOpenFunc.
+func osOpenWAL(path string) (walFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// errWALClosed rejects commits after Database.Close.
+var errWALClosed = errors.New("storage: wal closed")
+
+// walOp kinds — the logical redo operations a record carries. Replay
+// applies them through the same apply paths commits use, so cascades
+// (link drops on atom deletion) are recomputed rather than logged.
+const (
+	walOpPut uint8 = iota + 1
+	walOpDelete
+	walOpConnect
+	walOpDisconnect
+	walOpAtomType
+	walOpLinkType
+	walOpCreateIndex
+	walOpDropIndex
+)
+
+// walOp is one logical operation of a commit's write set.
+type walOp struct {
+	kind  uint8
+	name  string // atom-type, link-type or index target name
+	atom  model.Atom
+	id    model.AtomID
+	a, b  model.AtomID
+	attrs []model.AttrDesc
+	link  model.LinkDesc
+	attr  string
+}
+
+// walRecHeader is the frame prefix: u32 payload length + u32 CRC32(payload).
+const walRecHeader = 8
+
+// maxWALRecord bounds a decoded record so a corrupt length prefix cannot
+// allocate unbounded memory.
+const maxWALRecord = 1 << 30
+
+// encodeWALRecord frames one commit's write set: header plus a payload of
+// commit timestamp, op count and ops.
+func encodeWALRecord(ts uint64, ops []walOp) ([]byte, error) {
+	var payload bytes.Buffer
+	w := newSnapWriter(&payload)
+	w.u64(ts)
+	w.uvarint(uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		w.u8(op.kind)
+		w.str(op.name)
+		switch op.kind {
+		case walOpPut:
+			w.u64(uint64(op.atom.ID))
+			w.uvarint(uint64(len(op.atom.Vals)))
+			for _, v := range op.atom.Vals {
+				encodeValue(w, v)
+			}
+		case walOpDelete:
+			w.u64(uint64(op.id))
+		case walOpConnect, walOpDisconnect:
+			w.u64(uint64(op.a))
+			w.u64(uint64(op.b))
+		case walOpAtomType:
+			w.uvarint(uint64(len(op.attrs)))
+			for _, ad := range op.attrs {
+				w.str(ad.Name)
+				w.u8(uint8(ad.Kind))
+				w.boolean(ad.NotNull)
+			}
+		case walOpLinkType:
+			w.str(op.link.SideA)
+			w.str(op.link.SideB)
+			w.uvarint(uint64(op.link.CardA.Min))
+			w.uvarint(uint64(op.link.CardA.Max))
+			w.uvarint(uint64(op.link.CardB.Min))
+			w.uvarint(uint64(op.link.CardB.Max))
+		case walOpCreateIndex, walOpDropIndex:
+			w.str(op.attr)
+		default:
+			return nil, fmt.Errorf("storage: unknown wal op kind %d", op.kind)
+		}
+	}
+	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	body := payload.Bytes()
+	rec := make([]byte, walRecHeader+len(body))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	copy(rec[walRecHeader:], body)
+	return rec, nil
+}
+
+// decodeWALPayload parses a checksum-verified record payload.
+func decodeWALPayload(body []byte) (ts uint64, ops []walOp, err error) {
+	r := newSnapReader(bytes.NewReader(body))
+	ts = r.u64()
+	n := r.uvarint()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	for i := uint64(0); i < n; i++ {
+		var op walOp
+		op.kind = r.u8()
+		op.name = r.str()
+		switch op.kind {
+		case walOpPut:
+			id := model.AtomID(r.u64())
+			nv := r.uvarint()
+			if r.err != nil {
+				return 0, nil, r.err
+			}
+			vals := make([]model.Value, 0, nv)
+			for j := uint64(0); j < nv; j++ {
+				v, err := decodeValue(r)
+				if err != nil {
+					return 0, nil, err
+				}
+				vals = append(vals, v)
+			}
+			op.atom = model.NewAtom(id, vals...)
+		case walOpDelete:
+			op.id = model.AtomID(r.u64())
+		case walOpConnect, walOpDisconnect:
+			op.a = model.AtomID(r.u64())
+			op.b = model.AtomID(r.u64())
+		case walOpAtomType:
+			na := r.uvarint()
+			if r.err != nil {
+				return 0, nil, r.err
+			}
+			for j := uint64(0); j < na; j++ {
+				op.attrs = append(op.attrs, model.AttrDesc{
+					Name:    r.str(),
+					Kind:    model.Kind(r.u8()),
+					NotNull: r.boolean(),
+				})
+			}
+		case walOpLinkType:
+			op.link = model.LinkDesc{SideA: r.str(), SideB: r.str()}
+			op.link.CardA = model.Cardinality{Min: int(r.uvarint()), Max: int(r.uvarint())}
+			op.link.CardB = model.Cardinality{Min: int(r.uvarint()), Max: int(r.uvarint())}
+		case walOpCreateIndex, walOpDropIndex:
+			op.attr = r.str()
+		default:
+			return 0, nil, fmt.Errorf("storage: unknown wal op kind %d", op.kind)
+		}
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		ops = append(ops, op)
+	}
+	return ts, ops, r.err
+}
+
+// walSegName names segment files so lexicographic order is replay order.
+func walSegName(seg uint64) string {
+	return fmt.Sprintf("wal-%016d.log", seg)
+}
+
+// parseWALSegName extracts the segment number, ok=false for other files.
+func parseWALSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listWALSegments returns the directory's segment numbers ascending.
+func listWALSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if seg, ok := parseWALSegName(e.Name()); ok {
+			segs = append(segs, seg)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// readWALSegment streams one segment's records through fn, stopping at
+// the first torn frame: a truncated header, truncated payload or CRC
+// mismatch. tornAt is the byte offset of that frame (== the segment size
+// for a clean read) — recovery truncates there before appending again.
+// fn errors abort the read (a real error, not a torn tail).
+func readWALSegment(path string, fn func(ts uint64, ops []walOp) error) (tornAt int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var head [walRecHeader]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			if err == io.EOF {
+				return off, false, nil // clean end
+			}
+			return off, true, nil // torn header
+		}
+		size := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if size > maxWALRecord {
+			return off, true, nil
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, true, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return off, true, nil // checksum failure
+		}
+		ts, ops, err := decodeWALPayload(body)
+		if err != nil {
+			return off, true, nil // frame intact but payload garbage
+		}
+		if err := fn(ts, ops); err != nil {
+			return off, false, err
+		}
+		off += walRecHeader + int64(size)
+	}
+}
+
+// walReq is one queued flusher request: a framed commit record, or a
+// rotation barrier (rec nil) that closes the current segment.
+type walReq struct {
+	ts     uint64
+	rec    []byte
+	rotate bool
+	done   chan error
+}
+
+// WAL is the database's write-ahead log: an append-only segmented log
+// with a single flusher goroutine providing group commit.
+type WAL struct {
+	dir     string
+	open    walOpenFunc
+	publish func(ts uint64)
+	// perCommitSync degrades group commit to one fsync per record — the
+	// "naive" baseline the P14 benchmark contrasts against.
+	perCommitSync bool
+
+	mu     sync.Mutex
+	queue  []*walReq
+	failed error
+	signal chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	f   walFile
+	seg atomic.Uint64
+
+	// Observability counters: records appended, fsyncs issued. The
+	// group-commit tests assert syncs ≪ appends under concurrency.
+	appends atomic.Int64
+	syncs   atomic.Int64
+}
+
+// newWAL opens a fresh segment numbered seg and starts the flusher.
+func newWAL(dir string, seg uint64, publish func(uint64), open walOpenFunc, perCommitSync bool) (*WAL, error) {
+	w := &WAL{
+		dir:           dir,
+		open:          open,
+		publish:       publish,
+		perCommitSync: perCommitSync,
+		signal:        make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+	}
+	f, err := open(filepath.Join(dir, walSegName(seg)))
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	w.seg.Store(seg)
+	syncDir(dir)
+	w.wg.Add(1)
+	go w.flusher()
+	return w, nil
+}
+
+// healthy returns the sticky failure, if any. Commit paths check it
+// before applying so a broken log stops accepting writes immediately.
+func (w *WAL) healthy() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// enqueue hands one framed record to the flusher and returns the channel
+// its fsync acknowledgement arrives on.
+func (w *WAL) enqueue(ts uint64, rec []byte) (chan error, error) {
+	req := &walReq{ts: ts, rec: rec, done: make(chan error, 1)}
+	w.mu.Lock()
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.queue = append(w.queue, req)
+	w.mu.Unlock()
+	select {
+	case w.signal <- struct{}{}:
+	default:
+	}
+	return req.done, nil
+}
+
+// enqueueRotate queues a rotation barrier: the flusher syncs everything
+// before it, closes the segment and opens the next. The returned channel
+// acks when every record enqueued before the barrier is durable.
+func (w *WAL) enqueueRotate() (chan error, error) {
+	req := &walReq{rotate: true, done: make(chan error, 1)}
+	w.mu.Lock()
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.queue = append(w.queue, req)
+	w.mu.Unlock()
+	select {
+	case w.signal <- struct{}{}:
+	default:
+	}
+	return req.done, nil
+}
+
+// fail records the first error permanently; all subsequent commits are
+// rejected. Applied-but-unpublished versions stay invisible forever (the
+// clock never reaches them), which is exactly the recovery contract: an
+// unacknowledged commit may not be observed.
+func (w *WAL) fail(err error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.mu.Unlock()
+}
+
+// flusher is the single goroutine with access to the segment file.
+func (w *WAL) flusher() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			w.drain()
+			return
+		case <-w.signal:
+			w.drain()
+		}
+	}
+}
+
+// drain flushes queued requests until the queue is empty.
+func (w *WAL) drain() {
+	for {
+		w.mu.Lock()
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		w.flushBatch(batch)
+	}
+}
+
+// flushBatch writes a run of records, issues one fsync covering them,
+// publishes the highest timestamp and acks — then handles any rotation
+// barriers interleaved in the batch.
+func (w *WAL) flushBatch(batch []*walReq) {
+	i := 0
+	for i < len(batch) {
+		j := i
+		for j < len(batch) && !batch[j].rotate {
+			j++
+		}
+		if j > i {
+			if err := w.writeRun(batch[i:j]); err != nil {
+				w.fail(err)
+				for _, req := range batch[i:] {
+					req.done <- err
+				}
+				return
+			}
+		}
+		if j < len(batch) {
+			if err := w.rotateSegment(); err != nil {
+				w.fail(err)
+				for _, req := range batch[j:] {
+					req.done <- err
+				}
+				return
+			}
+			batch[j].done <- nil
+			j++
+		}
+		i = j
+	}
+}
+
+// writeRun appends records back to back, syncs, publishes and acks. In
+// perCommitSync mode every record gets its own fsync — the naive
+// baseline group commit is measured against.
+func (w *WAL) writeRun(run []*walReq) error {
+	if w.perCommitSync {
+		for _, req := range run {
+			if _, err := w.f.Write(req.rec); err != nil {
+				return err
+			}
+			w.appends.Add(1)
+			if err := w.f.Sync(); err != nil {
+				return err
+			}
+			w.syncs.Add(1)
+			w.publish(req.ts)
+			req.done <- nil
+		}
+		return nil
+	}
+	for _, req := range run {
+		if _, err := w.f.Write(req.rec); err != nil {
+			return err
+		}
+		w.appends.Add(1)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs.Add(1)
+	w.publish(run[len(run)-1].ts)
+	for _, req := range run {
+		req.done <- nil
+	}
+	return nil
+}
+
+// rotateSegment closes the current segment and opens the next. Records
+// written before the barrier were already synced by writeRun.
+func (w *WAL) rotateSegment() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs.Add(1)
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	next := w.seg.Load() + 1
+	f, err := w.open(filepath.Join(w.dir, walSegName(next)))
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.seg.Store(next)
+	syncDir(w.dir)
+	return nil
+}
+
+// Segment returns the current segment number.
+func (w *WAL) Segment() uint64 { return w.seg.Load() }
+
+// Counters reports appended records and fsyncs issued — the group-commit
+// observability pair (syncs ≪ appends under concurrent committers).
+func (w *WAL) Counters() (appends, syncs int64) {
+	return w.appends.Load(), w.syncs.Load()
+}
+
+// Close rejects further commits, flushes the queue and closes the
+// segment file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	already := w.failed != nil
+	if w.failed == nil {
+		w.failed = errWALClosed
+	}
+	w.mu.Unlock()
+	close(w.stop)
+	w.wg.Wait()
+	if already {
+		return nil // file state unknown after a failure; leave it
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.syncs.Add(1)
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so a freshly created or renamed entry
+// survives a crash. Best effort: some filesystems reject directory
+// fsync, and the data-file fsyncs still bound the loss window.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -373,5 +373,33 @@ func Save(db *Database, path string) error { return codec.Save(db, path) }
 // Load reads a binary snapshot from a file.
 func Load(path string) (*Database, error) { return codec.Load(path) }
 
+// Open opens (or creates) a durable database in dir: the newest
+// checkpoint is loaded, the write-ahead log tail replayed, persisted
+// planner feedback installed, and a group-commit WAL attached so every
+// subsequent commit is fsynced before it acknowledges. Checkpoints taken
+// on the returned database persist the feedback store beside the data
+// so a restarted server plans warm from its first query. Call Close when
+// done.
+func Open(dir string) (*Database, error) {
+	db, err := storage.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.LoadFeedback(db, dir); err != nil {
+		db.Close()
+		return nil, err
+	}
+	db.OnCheckpoint(func() error { return plan.SaveFeedback(db, dir) })
+	return db, nil
+}
+
+// Recover rebuilds the database persisted in dir without attaching a
+// write-ahead log — the read-only inspection half of Open.
+func Recover(dir string) (*Database, error) { return storage.Recover(dir) }
+
+// Checkpoint writes a consistent snapshot of a durable database and
+// truncates its log below it. CheckpointStats reports what was captured.
+func Checkpoint(db *Database) (storage.CheckpointStats, error) { return db.Checkpoint() }
+
 // Parse parses one MQL statement without executing it.
 func Parse(src string) (mql.Stmt, error) { return mql.Parse(src) }

@@ -3,6 +3,7 @@ package mad_test
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -390,5 +391,118 @@ func TestFacadeStreamingQuery(t *testing.T) {
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// durableLibrary seeds a durable database with enough rows that ANALYZE
+// builds meaningful histograms.
+func durableLibrary(t *testing.T, dir string) (*mad.Database, *mad.Session) {
+	t.Helper()
+	db, err := mad.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := mad.NewSession(db)
+	var sb strings.Builder
+	sb.WriteString(`
+CREATE ATOM TYPE author (name STRING NOT NULL);
+CREATE ATOM TYPE paper (title STRING NOT NULL, year INT);
+CREATE LINK TYPE wrote BETWEEN author AND paper;
+`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "INSERT INTO author VALUES ('a%d');\n", i)
+		fmt.Fprintf(&sb, "INSERT INTO paper VALUES ('p%d', %d);\n", i, 1980+i%10)
+		fmt.Fprintf(&sb, "CONNECT author WHERE name = 'a%d' TO paper WHERE title = 'p%d' VIA wrote;\n", i, i)
+	}
+	if _, err := sess.ExecScript(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db, sess
+}
+
+// TestDurableOpenRoundTrip is the basic durability contract through the
+// facade: committed data survives Close and reopens without a checkpoint.
+func TestDurableOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, sess := durableLibrary(t, dir)
+	res, err := sess.Exec(`SELECT ALL FROM author-[wrote]-paper;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Set)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := mad.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res2, err := mad.NewSession(db2).Exec(`SELECT ALL FROM author-[wrote]-paper;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Set) != want {
+		t.Fatalf("recovered %d molecules, want %d", len(res2.Set), want)
+	}
+}
+
+// TestCheckpointRequiresDurable pins down the in-memory behaviour: the
+// CHECKPOINT statement must refuse a database with no directory.
+func TestCheckpointRequiresDurable(t *testing.T) {
+	_, sess := buildLibrary(t)
+	if _, err := sess.Exec(`CHECKPOINT;`); err == nil {
+		t.Fatal("CHECKPOINT on an in-memory database must fail")
+	}
+}
+
+// TestWarmRestartPlansWarm is the planner-state half of recovery: after
+// ANALYZE, a feedback-recording query and CHECKPOINT, a restarted server
+// must EXPLAIN with [histogram] and [observed] provenance on its FIRST
+// query — no re-ANALYZE, no warm-up executions.
+func TestWarmRestartPlansWarm(t *testing.T) {
+	dir := t.TempDir()
+	db, sess := durableLibrary(t, dir)
+
+	q := `SELECT ALL FROM author-[wrote]-paper WHERE year = 1985 AND COUNT(paper) >= COUNT(author);`
+	script := []string{
+		`ANALYZE;`,
+		`EXPLAIN ` + q, // executes: records derive/climb observations
+		`EXPLAIN ` + q,
+		`CHECKPOINT;`,
+	}
+	for _, stmt := range script {
+		if _, err := sess.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	// Sanity: the warm session itself shows both provenances.
+	res, err := sess.Exec(`EXPLAIN (ESTIMATE) ` + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"[histogram]", "[observed]"} {
+		if !strings.Contains(res.Message, tag) {
+			t.Fatalf("pre-restart EXPLAIN lacks %s:\n%s", tag, res.Message)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := mad.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res2, err := mad.NewSession(db2).Exec(`EXPLAIN (ESTIMATE) ` + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"[histogram]", "[observed]"} {
+		if !strings.Contains(res2.Message, tag) {
+			t.Fatalf("first post-restart EXPLAIN lacks %s provenance:\n%s", tag, res2.Message)
+		}
 	}
 }

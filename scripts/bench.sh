@@ -29,12 +29,14 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1; iters = $2
-	ns = ""; bytes = ""; allocs = ""; peak = ""
+	ns = ""; bytes = ""; allocs = ""; peak = ""; cps = ""; apf = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "B/op") bytes = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
 		if ($(i + 1) == "peak-B/op") peak = $i
+		if ($(i + 1) == "commits/s") cps = $i
+		if ($(i + 1) == "appends/fsync") apf = $i
 	}
 	if (ns == "") next
 	if (n++) printf ","
@@ -42,6 +44,8 @@ BEGIN {
 	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 	if (peak != "") printf ", \"peak_bytes_per_op\": %s", peak
+	if (cps != "") printf ", \"commits_per_s\": %s", cps
+	if (apf != "") printf ", \"appends_per_fsync\": %s", apf
 	printf "}"
 }
 END { printf "\n  ]\n}\n" }

@@ -1,10 +1,13 @@
 #!/bin/sh
-# stress.sh — hammers the MVCC mixed read/write path: the headline
-# snapshot-isolation stress tests (concurrent transaction writers vs
-# streaming Plan.Stream readers with background vacuum, the storage
-# property tests, and the wire-level server transaction workload) run
-# repeatedly under the race detector. Gating: any torn molecule,
-# version-tear, vacuum-reclaimed-live-version or data race fails.
+# stress.sh — hammers the MVCC mixed read/write path and the durability
+# path: the headline snapshot-isolation stress tests (concurrent
+# transaction writers vs streaming Plan.Stream readers with background
+# vacuum, the storage property tests, and the wire-level server
+# transaction workload) plus the WAL kill-and-recover suite (a fault is
+# injected at every write and fsync of the log, then the directory is
+# recovered and compared against an in-memory twin) run repeatedly under
+# the race detector. Gating: any torn molecule, version-tear,
+# vacuum-reclaimed-live-version, non-prefix recovery or data race fails.
 #
 # Usage: scripts/stress.sh
 #   COUNT    repetitions per test binary (default 5)
@@ -18,6 +21,10 @@ timeout="${TIMEOUT:-10m}"
 echo "== storage: transaction + snapshot/vacuum property tests (race, -count=$count)"
 go test -race -count="$count" -timeout "$timeout" \
 	-run 'TestTxn|TestVacuum|TestSnapshot' ./internal/storage/
+
+echo "== storage: WAL kill-and-recover crash injection (race, -count=$count)"
+go test -race -count="$count" -timeout "$timeout" \
+	-run 'TestCrashInjection|TestTornTail|TestRecoveryRoundTrip|TestGroupCommit|TestCheckpoint|TestMidCheckpoint' ./internal/storage/
 
 echo "== plan: writers vs streaming readers stress (race, -count=$count)"
 go test -race -count="$count" -timeout "$timeout" \
