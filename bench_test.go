@@ -468,8 +468,9 @@ func liveHeap() int64 {
 // read) against materializing it (Plan.Execute holds the whole set):
 // the streamed run's peak stays bounded by the executor's in-flight
 // batches while the materialized peak grows with the result. The
-// "peak-B/op" metric lands in BENCH_P11.json via scripts/bench.sh, so
-// the trajectory tracks the memory cap alongside ns/op.
+// "peak-B/op" metric lands in the bench-trajectory artifact via
+// scripts/bench.sh, so the trajectory tracks the memory cap alongside
+// ns/op.
 func BenchmarkP12StreamingMemory(b *testing.B) {
 	db, mt, err := experiments.BuildAssembly(4096)
 	if err != nil {
@@ -531,6 +532,81 @@ func BenchmarkP12StreamingMemory(b *testing.B) {
 		}
 		b.ReportMetric(float64(peak), "peak-B/op")
 	})
+}
+
+// BenchmarkP15TopKEarlyStop measures the early-terminating ordered
+// access path: ORDER BY root attribute LIMIT K with K ≪ N through the
+// bounded-heap plan (the heap bound is pushed into the access path, so
+// roots that cannot make the top K are cut before their molecule is
+// derived) against the sort-everything path that materializes all N.
+// Logical work is reported as "atom-fetches/op" next to ns/op — at K=8
+// over 4096 assemblies the top-K run must fetch at least 5× fewer atoms,
+// and the benchmark fails if it does not.
+func BenchmarkP15TopKEarlyStop(b *testing.B) {
+	const (
+		assemblies = 4096
+		k          = 8
+	)
+	db, mt, err := experiments.BuildAssembly(assemblies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Release(db)
+	order := plan.OrderBy{Attr: "code", Desc: true}
+	// exec runs one ordered query and returns the molecule count.
+	exec := func(limit int) (int, error) {
+		p, err := plan.CompileOrdered(db, mt.Desc(), nil, &order)
+		if err != nil {
+			return 0, err
+		}
+		p.Limit = limit
+		st, err := p.Stream(context.Background())
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			m, err := st.Next()
+			if err != nil {
+				st.Close()
+				return 0, err
+			}
+			if m == nil {
+				break
+			}
+			n++
+		}
+		return n, st.Close()
+	}
+	run := func(b *testing.B, limit, want int) {
+		before := db.Stats().Snapshot()
+		for i := 0; i < b.N; i++ {
+			n, err := exec(limit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != want {
+				b.Fatalf("drained %d molecules, want %d", n, want)
+			}
+		}
+		diff := db.Stats().Snapshot().Sub(before)
+		b.ReportMetric(float64(diff.AtomsFetched)/float64(b.N), "atom-fetches/op")
+	}
+	// The ≥5× acceptance gate, checked on logical work alone so it holds
+	// at smoke benchtime (1x) as well as trend-quality runs.
+	fetches := func(limit int) int64 {
+		before := db.Stats().Snapshot()
+		if _, err := exec(limit); err != nil {
+			b.Fatal(err)
+		}
+		return db.Stats().Snapshot().Sub(before).AtomsFetched
+	}
+	full, topk := fetches(0), fetches(k)
+	if topk*5 > full {
+		b.Fatalf("top-K fetched %d atoms vs %d for the full sort — want ≥5× fewer", topk, full)
+	}
+	b.Run("sort_all", func(b *testing.B) { run(b, 0, assemblies) })
+	b.Run(fmt.Sprintf("topk_limit=%d", k), func(b *testing.B) { run(b, k, k) })
 }
 
 // BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size

@@ -34,6 +34,27 @@ type Deriver struct {
 	// consistent with exactly one commit, no matter how many writers
 	// commit while it streams.
 	ts uint64
+
+	// view, when non-nil, redirects every read through an AtomView — an
+	// alternative consistent read surface such as a transaction's
+	// effective view (begin snapshot plus its own buffered writes). It
+	// takes precedence over ts.
+	view AtomView
+}
+
+// AtomView is an alternative read surface for derivation: a consistent
+// effective view — e.g. a transaction's begin snapshot with its own
+// buffered writes merged over it (storage.Txn) — that the deriver lays
+// the structure template over instead of the committed store.
+type AtomView interface {
+	// EffIDs enumerates the type's effective occurrence in a
+	// deterministic order.
+	EffIDs(typeName string) []model.AtomID
+	// EffAtom resolves one atom through the view.
+	EffAtom(typeName string, id model.AtomID) (model.Atom, bool)
+	// EffPartners returns the partners of id along the named link type,
+	// from side A when fromSideA is set (the side-B view otherwise).
+	EffPartners(linkName string, id model.AtomID, fromSideA bool) []model.AtomID
 }
 
 // NewDeriver prepares a derivation plan for the description: it resolves
@@ -86,10 +107,27 @@ func (dv *Deriver) AtTS(ts uint64) *Deriver {
 // latest view).
 func (dv *Deriver) TS() uint64 { return dv.ts }
 
+// AtView returns a copy of the deriver reading every root occurrence
+// and link traversal through the view instead of the committed store —
+// the read-your-writes derivation path: laying the template over a
+// transaction's effective view derives molecules that include the
+// transaction's own uncommitted inserts, updates and connects. The view
+// must stay valid (the transaction unfinished) for the lifetime of the
+// returned deriver.
+func (dv *Deriver) AtView(v AtomView) *Deriver {
+	cp := *dv
+	cp.view = v
+	return &cp
+}
+
 // rootHas, rootLen, rootIDs and rootScan dispatch the root-occurrence
-// reads on the pin: the latest head view when unpinned, the snapshot
-// view at dv.ts otherwise.
+// reads on the pin: the effective view when one is attached, the latest
+// head view when unpinned, the snapshot view at dv.ts otherwise.
 func (dv *Deriver) rootHas(id model.AtomID) bool {
+	if dv.view != nil {
+		_, ok := dv.view.EffAtom(dv.desc.Root(), id)
+		return ok
+	}
 	if dv.ts != 0 {
 		return dv.roots.HasAt(id, dv.ts)
 	}
@@ -97,6 +135,9 @@ func (dv *Deriver) rootHas(id model.AtomID) bool {
 }
 
 func (dv *Deriver) rootLen() int {
+	if dv.view != nil {
+		return len(dv.view.EffIDs(dv.desc.Root()))
+	}
 	if dv.ts != 0 {
 		return dv.roots.LenAt(dv.ts)
 	}
@@ -104,6 +145,9 @@ func (dv *Deriver) rootLen() int {
 }
 
 func (dv *Deriver) rootIDs() []model.AtomID {
+	if dv.view != nil {
+		return dv.view.EffIDs(dv.desc.Root())
+	}
 	if dv.ts != 0 {
 		return dv.roots.IDsAt(dv.ts)
 	}
@@ -111,6 +155,16 @@ func (dv *Deriver) rootIDs() []model.AtomID {
 }
 
 func (dv *Deriver) rootScan(fn func(model.Atom) bool) {
+	if dv.view != nil {
+		// Derivation only consumes the identifier; synthesizing a bare
+		// atom per id keeps the view interface narrow.
+		for _, id := range dv.view.EffIDs(dv.desc.Root()) {
+			if !fn(model.Atom{ID: id}) {
+				return
+			}
+		}
+		return
+	}
 	if dv.ts != 0 {
 		dv.roots.ScanAt(dv.ts, fn)
 		return
@@ -126,6 +180,8 @@ func (dv *Deriver) rootScan(fn func(model.Atom) bool) {
 func (dv *Deriver) partners(ei int, a model.AtomID, sc *deriveScratch) []model.AtomID {
 	var out []model.AtomID
 	switch {
+	case dv.view != nil:
+		out = dv.view.EffPartners(dv.stores[ei].Name(), a, dv.fromA[ei])
 	case dv.ts != 0 && dv.fromA[ei]:
 		out = dv.stores[ei].PartnersFromAAt(a, dv.ts)
 	case dv.ts != 0:

@@ -87,6 +87,13 @@ type Binding struct {
 	// a concurrent UPDATE can never make a residual predicate judge a
 	// molecule against values from a different commit than its structure.
 	TS uint64
+
+	// Lookup, when non-nil, overrides component-atom reads entirely:
+	// attribute fetches resolve through it instead of the container (and
+	// TS is ignored). The read-your-writes query path sets it to a
+	// transaction's EffAtom so predicates judge molecules against the
+	// same effective view their structure was derived from.
+	Lookup func(typeName string, id model.AtomID) (model.Atom, bool)
 }
 
 // ResolveUnqualified finds the unique component type of the structure
@@ -143,9 +150,12 @@ func (b Binding) Resolve(typeName, attr string) ([]model.Value, error) {
 	for _, id := range ids {
 		var a model.Atom
 		var ok bool
-		if b.TS != 0 {
+		switch {
+		case b.Lookup != nil:
+			a, ok = b.Lookup(typeName, id)
+		case b.TS != 0:
 			a, ok = c.GetAt(id, b.TS)
-		} else {
+		default:
 			a, ok = c.Get(id)
 		}
 		if !ok {

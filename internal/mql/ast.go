@@ -90,12 +90,44 @@ type RecursiveClause struct {
 	Depth int  // 0 = unbounded
 }
 
-// SelectStmt is SELECT <list|ALL> FROM <from> [WHERE <pred>] [LIMIT n].
+// OrderClause is ORDER BY [type.]attr [ASC|DESC]. The attribute must
+// belong to the structure's root type: molecules order by their root
+// atom's value, ties broken by root atom ID ascending. An empty Type
+// defaults to the root.
+type OrderClause struct {
+	Type string
+	Attr string
+	Desc bool
+}
+
+// GroupClause is GROUP BY [type.]attr, valid only with SELECT COUNT:
+// the stream's molecules fold into one count per distinct root-attribute
+// value without ever materializing the result set.
+type GroupClause struct {
+	Type string
+	Attr string
+}
+
+// SelectStmt is
+//
+//	SELECT <list|ALL|COUNT> FROM <from> [WHERE <pred>]
+//	    [GROUP BY attr] [ORDER BY attr [ASC|DESC]] [LIMIT n].
 type SelectStmt struct {
 	All   bool
 	Items []ProjItem
+	// Count marks SELECT COUNT — the statement returns how many
+	// molecules qualify (per group when GroupBy is set) instead of the
+	// molecules themselves.
+	Count bool
 	From  FromClause
 	Where expr.Expr
+	// GroupBy folds SELECT COUNT into per-group counts.
+	GroupBy *GroupClause
+	// OrderBy delivers molecules sorted by a root attribute; the planner
+	// rides an ordered index when one covers the attribute and otherwise
+	// reorders the stream (bounded top-K heap under LIMIT, terminal sort
+	// without).
+	OrderBy *OrderClause
 	// Limit caps the molecules delivered (0 = no limit); execution
 	// cancels the in-flight derivation once the cap is reached.
 	Limit int

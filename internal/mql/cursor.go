@@ -2,6 +2,7 @@ package mql
 
 import (
 	"context"
+	"fmt"
 	"iter"
 
 	"mad/internal/core"
@@ -104,6 +105,9 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 		return nil, err
 	}
 	if rt != nil {
+		if sel.Count {
+			return nil, fmt.Errorf("mql: SELECT COUNT over a recursive structure is not supported")
+		}
 		// Recursive derivation runs eagerly (no plan, no worker pool),
 		// but a per-query limit still caps the result.
 		if o.limitSet {
@@ -118,6 +122,28 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 		return &Cursor{db: s.db, res: r}, nil
 	}
 	desc := mt.Desc()
+	if s.txn != nil && s.txn.Dirty() {
+		// Read-your-writes: once the open transaction holds buffered
+		// writes, the SELECT (plain, ordered, counted or grouped) derives
+		// eagerly over its effective view so the session sees its own
+		// uncommitted inserts, updates and connects. A clean transaction
+		// stays on the streaming begin-snapshot path below.
+		r, err := s.execSelectEff(ctx, sel, desc, o)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{db: s.db, res: r}, nil
+	}
+	if sel.Count {
+		// COUNT aggregates eagerly — a count (grouped or not) has no
+		// molecules to stream; the fold itself still consumes the plan's
+		// stream batch by batch without materializing the result set.
+		r, err := s.execCount(ctx, sel, desc, o)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{db: s.db, res: r}, nil
+	}
 	p, err := s.planSelect(sel, desc, o)
 	if err != nil {
 		return nil, err
@@ -128,10 +154,10 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	// Inside a BEGIN transaction the cursor reads the begin snapshot —
-	// the caller's transaction keeps the snapshot open; outside one, the
-	// stream pins (and later releases) its own snapshot of the latest
-	// commit.
+	// Inside a clean BEGIN transaction (no buffered writes yet) the
+	// cursor streams from the begin snapshot — the caller's transaction
+	// keeps the snapshot open; outside one, the stream pins (and later
+	// releases) its own snapshot of the latest commit.
 	var stream *plan.Stream
 	if s.txn != nil {
 		stream, err = p.StreamAt(ctx, s.txn.Snapshot())

@@ -31,9 +31,11 @@ type Session struct {
 	noCache bool
 
 	// txn is the open BEGIN transaction, nil in auto-commit mode. While
-	// set, DML buffers into it and SELECTs read its begin snapshot
-	// (read-committed-snapshot: the session does NOT see its own
-	// uncommitted writes).
+	// set, DML buffers into it and SELECTs are read-your-writes: a clean
+	// transaction streams from its begin snapshot, and one holding
+	// buffered writes derives eagerly over its effective view, so the
+	// session queries its own uncommitted inserts, updates and connects
+	// (still invisible to every other session until COMMIT).
 	txn *storage.Txn
 }
 
@@ -82,7 +84,15 @@ const (
 	RInserted
 	RAffected
 	RPlan
+	RCount
 )
+
+// GroupCount is one GROUP BY bucket: a distinct root-attribute value and
+// how many qualifying molecules carry it.
+type GroupCount struct {
+	Value model.Value
+	Count int
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -99,6 +109,12 @@ type Result struct {
 	RecType *recursive.Type
 	// Inserted lists identifiers created by INSERT.
 	Inserted []model.AtomID
+	// Count carries a SELECT COUNT result; GroupAttr and Groups carry the
+	// per-bucket counts of SELECT COUNT ... GROUP BY (GroupAttr empty =
+	// ungrouped count).
+	Count     int
+	GroupAttr string
+	Groups    []GroupCount
 	// Affected counts atoms/links touched by UPDATE/DELETE/(DIS)CONNECT.
 	Affected int
 	// TS is the commit timestamp a streamed SELECT was pinned to; Render
@@ -397,14 +413,22 @@ func (s *Session) planSelect(st *SelectStmt, desc *core.Desc, o queryOpts) (*pla
 			return nil, err
 		}
 	}
+	var order *plan.OrderBy
+	if st.OrderBy != nil {
+		if st.OrderBy.Type != "" && st.OrderBy.Type != desc.Root() {
+			return nil, fmt.Errorf("mql: ORDER BY %s.%s: molecules order by their root type %q",
+				st.OrderBy.Type, st.OrderBy.Attr, desc.Root())
+		}
+		order = &plan.OrderBy{Attr: st.OrderBy.Attr, Desc: st.OrderBy.Desc}
+	}
 	var (
 		p   *plan.Plan
 		err error
 	)
 	if s.noCache || o.noCache {
-		p, err = plan.Compile(s.db, desc, st.Where)
+		p, err = plan.CompileOrdered(s.db, desc, st.Where, order)
 	} else {
-		p, _, err = plan.CacheFor(s.db).Compile(desc, st.Where)
+		p, _, err = plan.CacheFor(s.db).CompileOrdered(desc, st.Where, order)
 	}
 	if err != nil {
 		return nil, err
@@ -435,6 +459,260 @@ func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 	}
 	defer cur.Close()
 	return cur.Result()
+}
+
+// execCount runs SELECT COUNT [GROUP BY attr]. The ungrouped form takes
+// the plan's counting path: when no pushdown or residual applies, the
+// count is the filtered root-batch size and no molecule is derived at
+// all; otherwise the stream is counted, with LIMIT cancelling the
+// derivation mid-flight once the cap is reached. The grouped form folds
+// the stream's molecules into per-value buckets as they arrive — the
+// result set is never materialized — and LIMIT caps the buckets
+// reported, not the molecules counted.
+func (s *Session) execCount(ctx context.Context, st *SelectStmt, desc *core.Desc, o queryOpts) (*Result, error) {
+	p, err := s.planSelect(st, desc, o)
+	if err != nil {
+		return nil, err
+	}
+	var snap *storage.Snapshot
+	if s.txn != nil {
+		snap = s.txn.Snapshot()
+	}
+	if st.GroupBy == nil {
+		n, err := p.ExecuteCountAt(ctx, snap)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: RCount, Count: n}, nil
+	}
+	g := st.GroupBy
+	if g.Type != "" && g.Type != desc.Root() {
+		return nil, fmt.Errorf("mql: GROUP BY %s.%s: molecules group by their root type %q",
+			g.Type, g.Attr, desc.Root())
+	}
+	c, ok := s.db.Container(desc.Root())
+	if !ok {
+		return nil, fmt.Errorf("mql: root type %q has no container", desc.Root())
+	}
+	pos, ok := c.Desc().Lookup(g.Attr)
+	if !ok {
+		return nil, fmt.Errorf("mql: root type %q has no attribute %q", desc.Root(), g.Attr)
+	}
+	limit := p.Limit
+	p.Limit = 0 // LIMIT caps groups, not the molecules folded into them
+	var stream *plan.Stream
+	if snap != nil {
+		stream, err = p.StreamAt(ctx, snap)
+	} else {
+		stream, err = p.Stream(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer stream.Close()
+	ts := stream.SnapshotTS()
+	counts := make(map[model.Key]*GroupCount)
+	for {
+		m, err := stream.Next()
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			break
+		}
+		a, ok := c.GetAt(m.Root(), ts)
+		if !ok {
+			continue
+		}
+		v := a.Get(pos)
+		k := v.Key()
+		gc := counts[k]
+		if gc == nil {
+			gc = &GroupCount{Value: v}
+			counts[k] = gc
+		}
+		gc.Count++
+	}
+	groups := make([]GroupCount, 0, len(counts))
+	for _, gc := range counts {
+		groups = append(groups, *gc)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].Value.Compare(groups[j].Value) < 0
+	})
+	if limit > 0 && len(groups) > limit {
+		groups = groups[:limit]
+	}
+	return &Result{Kind: RCount, GroupAttr: g.Attr, Groups: groups}, nil
+}
+
+// execSelectEff runs a SELECT (including COUNT and ORDER BY forms) over
+// the transaction's effective view — the read-your-writes path taken
+// when the session's open transaction holds buffered writes. The
+// planner's access paths index only committed state, so the derivation
+// runs template-over-view eagerly: every root of the effective
+// occurrence derives through the transaction's overlay, the WHERE
+// predicate evaluates against the same view, and ordering, grouping and
+// LIMIT apply to the finished set. Rendered attribute values come from
+// the overlay too, so an uncommitted UPDATE shows its new values.
+func (s *Session) execSelectEff(ctx context.Context, st *SelectStmt, desc *core.Desc, o queryOpts) (*Result, error) {
+	if st.Where != nil {
+		if err := expr.Check(st.Where, core.Scope{DB: s.db, Desc: desc}); err != nil {
+			return nil, err
+		}
+	}
+	// Validate ORDER BY / GROUP BY / projection before deriving anything,
+	// matching the planned path's error surface.
+	rootC, ok := s.db.Container(desc.Root())
+	if !ok {
+		return nil, fmt.Errorf("mql: root type %q has no container", desc.Root())
+	}
+	orderPos := -1
+	if st.OrderBy != nil {
+		if st.OrderBy.Type != "" && st.OrderBy.Type != desc.Root() {
+			return nil, fmt.Errorf("mql: ORDER BY %s.%s: molecules order by their root type %q",
+				st.OrderBy.Type, st.OrderBy.Attr, desc.Root())
+		}
+		if orderPos, ok = rootC.Desc().Lookup(st.OrderBy.Attr); !ok {
+			return nil, fmt.Errorf("plan: root type %q has no attribute %q to order by", desc.Root(), st.OrderBy.Attr)
+		}
+	}
+	groupPos := -1
+	if st.GroupBy != nil {
+		g := st.GroupBy
+		if g.Type != "" && g.Type != desc.Root() {
+			return nil, fmt.Errorf("mql: GROUP BY %s.%s: molecules group by their root type %q",
+				g.Type, g.Attr, desc.Root())
+		}
+		if groupPos, ok = rootC.Desc().Lookup(g.Attr); !ok {
+			return nil, fmt.Errorf("mql: root type %q has no attribute %q", desc.Root(), g.Attr)
+		}
+	}
+	var sub *core.Desc
+	var attrs map[string][]string
+	if !st.Count {
+		var err error
+		if sub, attrs, err = s.projectionSpec(st, desc); err != nil {
+			return nil, err
+		}
+	}
+	limit := st.Limit
+	if o.limitSet {
+		limit = o.limit
+	}
+
+	dv, err := core.NewDeriver(s.db, desc)
+	if err != nil {
+		return nil, err
+	}
+	dv = dv.AtView(s.txn)
+	var set core.MoleculeSet
+	var walkErr error
+	dv.Walk(func(m *core.Molecule) bool {
+		if ctx != nil && ctx.Err() != nil {
+			walkErr = ctx.Err()
+			return false
+		}
+		if st.Where != nil {
+			keep, err := expr.EvalPredicate(st.Where, core.Binding{DB: s.db, M: m, Lookup: s.txn.EffAtom})
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		set = append(set, m)
+		// An unordered, ungrouped SELECT can stop at the cap; ordered and
+		// counted forms must see the full qualifying set first.
+		return st.OrderBy != nil || st.Count || limit <= 0 || len(set) < limit
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	if st.Count {
+		if groupPos < 0 {
+			n := len(set)
+			if limit > 0 && n > limit {
+				n = limit
+			}
+			return &Result{Kind: RCount, Count: n}, nil
+		}
+		counts := make(map[model.Key]*GroupCount)
+		for _, m := range set {
+			a, ok := s.txn.EffAtom(desc.Root(), m.Root())
+			if !ok {
+				continue
+			}
+			v := a.Get(groupPos)
+			k := v.Key()
+			gc := counts[k]
+			if gc == nil {
+				gc = &GroupCount{Value: v}
+				counts[k] = gc
+			}
+			gc.Count++
+		}
+		groups := make([]GroupCount, 0, len(counts))
+		for _, gc := range counts {
+			groups = append(groups, *gc)
+		}
+		sort.Slice(groups, func(i, j int) bool {
+			return groups[i].Value.Compare(groups[j].Value) < 0
+		})
+		if limit > 0 && len(groups) > limit {
+			groups = groups[:limit]
+		}
+		return &Result{Kind: RCount, GroupAttr: st.GroupBy.Attr, Groups: groups}, nil
+	}
+
+	if st.OrderBy != nil {
+		down := st.OrderBy.Desc
+		rootType := desc.Root()
+		key := func(m *core.Molecule) model.Value {
+			a, _ := s.txn.EffAtom(rootType, m.Root())
+			return a.Get(orderPos)
+		}
+		sort.SliceStable(set, func(i, j int) bool {
+			c := key(set[i]).Compare(key(set[j]))
+			if c != 0 {
+				if down {
+					return c > 0
+				}
+				return c < 0
+			}
+			return set[i].Root() < set[j].Root() // ties break by root id, both directions
+		})
+	}
+	if limit > 0 && len(set) > limit {
+		set = set[:limit]
+	}
+
+	outDesc := desc
+	if sub != nil {
+		outDesc = sub
+		for i, m := range set {
+			set[i] = m.PruneTo(sub)
+		}
+	}
+	// Resolve rendered values through the overlay while the transaction is
+	// still open — they must show the uncommitted writes.
+	atoms := make(map[model.AtomID]model.Atom)
+	for _, m := range set {
+		for _, typeName := range m.Desc().Types() {
+			for _, id := range m.AtomsOf(typeName) {
+				if _, done := atoms[id]; done {
+					continue
+				}
+				if a, ok := s.txn.EffAtom(typeName, id); ok {
+					atoms[id] = a
+				}
+			}
+		}
+	}
+	return &Result{Kind: RMolecules, Set: set, Desc: outDesc, Attrs: attrs, TS: s.txn.SnapshotTS(), atoms: atoms}, nil
 }
 
 // projectionSpec validates the SELECT list against the structure and
@@ -907,12 +1185,26 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 	// the `considered:` line — unless the statement asked for the
 	// compile-only ESTIMATE form.
 	if !st.EstimateOnly {
-		if _, err := p.Execute(); err != nil {
+		if sel.Count {
+			if _, err := p.ExecuteCountAt(context.Background(), nil); err != nil {
+				return nil, err
+			}
+		} else if _, err := p.Execute(); err != nil {
 			return nil, err
 		}
 	}
 	b.WriteString(p.Render())
-	if !sel.All {
+	if sel.Count {
+		switch {
+		case sel.GroupBy != nil:
+			fmt.Fprintf(&b, "aggregate: COUNT GROUP BY %s (stream-folded, result never materialized)\n", sel.GroupBy.Attr)
+		case p.CanCountFast():
+			b.WriteString("aggregate: COUNT (root-batch fast path, no derivation)\n")
+		default:
+			b.WriteString("aggregate: COUNT (stream-counted)\n")
+		}
+	}
+	if !sel.All && !sel.Count {
 		var items []string
 		for _, it := range sel.Items {
 			if it.Attrs == nil {

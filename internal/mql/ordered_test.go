@@ -1,0 +1,229 @@
+package mql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/model"
+	"mad/internal/mql"
+	"mad/internal/storage"
+)
+
+func TestParseOrderCountGroup(t *testing.T) {
+	st, err := mql.Parse("SELECT ALL FROM state-area ORDER BY state.hectare DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*mql.SelectStmt)
+	if sel.OrderBy == nil || sel.OrderBy.Type != "state" || sel.OrderBy.Attr != "hectare" || !sel.OrderBy.Desc {
+		t.Fatalf("ORDER BY = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 3 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+
+	st, err = mql.Parse("SELECT COUNT FROM state-area WHERE state.hectare > 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := st.(*mql.SelectStmt); !sel.Count || sel.Where == nil {
+		t.Fatalf("COUNT = %+v", sel)
+	}
+
+	st, err = mql.Parse("SELECT COUNT FROM part GROUP BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = st.(*mql.SelectStmt)
+	if sel.GroupBy == nil || sel.GroupBy.Attr != "cat" || sel.GroupBy.Type != "" {
+		t.Fatalf("GROUP BY = %+v", sel.GroupBy)
+	}
+
+	// ASC is the default and accepted explicitly.
+	st, err = mql.Parse("SELECT ALL FROM state ORDER BY hectare ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := st.(*mql.SelectStmt); sel.OrderBy.Desc || sel.OrderBy.Attr != "hectare" {
+		t.Fatalf("ORDER BY = %+v", sel.OrderBy)
+	}
+
+	for _, bad := range []string{
+		"SELECT ALL FROM part GROUP BY cat",           // GROUP BY needs COUNT
+		"SELECT COUNT FROM part ORDER BY cat",         // ORDER BY with COUNT
+		"SELECT ALL FROM part ORDER BY",               // missing attribute
+		"SELECT COUNT FROM part GROUP BY cat LIMIT 0", // LIMIT ≥ 1
+	} {
+		if _, err := mql.Parse(bad); err == nil {
+			t.Fatalf("%q must not parse", bad)
+		}
+	}
+}
+
+// rootOrder drains the statement and returns the value of the given root
+// attribute per delivered molecule, in delivery order.
+func rootOrder(t *testing.T, s *mql.Session, src, rootType, attr string) []model.Value {
+	t.Helper()
+	r, err := s.Exec(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	c, ok := s.DB().Container(rootType)
+	if !ok {
+		t.Fatalf("no container %q", rootType)
+	}
+	pos, ok := c.Desc().Lookup(attr)
+	if !ok {
+		t.Fatalf("no attribute %q", attr)
+	}
+	out := make([]model.Value, 0, len(r.Set))
+	for _, m := range r.Set {
+		a, ok := c.Get(m.Root())
+		if !ok {
+			t.Fatalf("root %d vanished", m.Root())
+		}
+		out = append(out, a.Get(pos))
+	}
+	return out
+}
+
+func TestSelectOrderBy(t *testing.T) {
+	s, _ := session(t)
+	got := rootOrder(t, s, "SELECT ALL FROM state-area ORDER BY hectare DESC LIMIT 3", "state", "abbrev")
+	want := []string{"BA", "MG", "MS"} // 1000, 900, 357
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if v, _ := got[i].AsString(); v != w {
+			t.Fatalf("position %d: %s, want %s", i, got[i], w)
+		}
+	}
+
+	// Ascending over the full set: first state alphabetically is Bahia.
+	names := rootOrder(t, s, "SELECT ALL FROM state-area ORDER BY name", "state", "name")
+	if len(names) != 10 {
+		t.Fatalf("delivered %d states, want 10", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1].Compare(names[i]) > 0 {
+			t.Fatalf("names not ascending: %s before %s", names[i-1], names[i])
+		}
+	}
+}
+
+func TestExplainOrderPaths(t *testing.T) {
+	s, _ := session(t)
+	// No index, LIMIT present → the bounded heap.
+	r, err := s.Exec("EXPLAIN SELECT ALL FROM state-area ORDER BY hectare LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "[top-k heap]") {
+		t.Fatalf("expected top-k heap path:\n%s", r.Message)
+	}
+	// Index on the ORDER BY attribute → the ordered index ride, no sort.
+	if _, err := s.Exec("CREATE INDEX ON state(hectare)"); err != nil {
+		t.Fatal(err)
+	}
+	r, err = s.Exec("EXPLAIN SELECT ALL FROM state-area ORDER BY hectare DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "[index-order]") || !strings.Contains(r.Message, "ordered index walk") {
+		t.Fatalf("expected index-order ride:\n%s", r.Message)
+	}
+}
+
+func TestSelectCount(t *testing.T) {
+	s, _ := session(t)
+	r, err := s.Exec("SELECT COUNT FROM state-area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != mql.RCount || r.Count != 10 {
+		t.Fatalf("count = %+v", r)
+	}
+	r, err = s.Exec("SELECT COUNT FROM state-area WHERE state.hectare > 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 2 { // MG (900) and BA (1000)
+		t.Fatalf("filtered count = %d, want 2", r.Count)
+	}
+	if got := r.Render(s.DB()); !strings.Contains(got, "count: 2") {
+		t.Fatalf("rendered: %q", got)
+	}
+	// The fast path must agree with a LIMIT-capped count.
+	r, err = s.Exec("SELECT COUNT FROM state-area LIMIT 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 4 {
+		t.Fatalf("capped count = %d, want 4", r.Count)
+	}
+	// EXPLAIN annotates the aggregate.
+	r, err = s.Exec("EXPLAIN SELECT COUNT FROM state-area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "aggregate: COUNT") {
+		t.Fatalf("explain: %s", r.Message)
+	}
+}
+
+func TestSelectCountGroupBy(t *testing.T) {
+	db := storage.NewDatabase()
+	s := mql.NewSession(db)
+	if _, err := s.ExecScript(`
+		CREATE ATOM TYPE part (cat STRING NOT NULL, n INT);
+		INSERT INTO part VALUES ('a', 1), ('a', 2), ('b', 3), ('c', 4), ('a', 5), ('b', 6);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Exec("SELECT COUNT FROM part GROUP BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != mql.RCount || r.GroupAttr != "cat" {
+		t.Fatalf("result = %+v", r)
+	}
+	want := []struct {
+		val string
+		n   int
+	}{{"a", 3}, {"b", 2}, {"c", 1}}
+	if len(r.Groups) != len(want) {
+		t.Fatalf("groups = %+v", r.Groups)
+	}
+	for i, w := range want {
+		v, _ := r.Groups[i].Value.AsString()
+		if v != w.val || r.Groups[i].Count != w.n {
+			t.Fatalf("group %d = %s:%d, want %s:%d", i, v, r.Groups[i].Count, w.val, w.n)
+		}
+	}
+	// WHERE folds before grouping; LIMIT caps the groups reported, not
+	// the molecules counted.
+	r, err = s.Exec("SELECT COUNT FROM part WHERE n > 1 GROUP BY cat LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) != 2 || r.Groups[0].Count != 2 || r.Groups[1].Count != 2 {
+		t.Fatalf("filtered groups = %+v", r.Groups)
+	}
+	if got := r.Render(db); !strings.Contains(got, `cat = "a": 2`) {
+		t.Fatalf("rendered: %q", got)
+	}
+}
+
+func TestOrderByValidation(t *testing.T) {
+	s, _ := session(t)
+	if _, err := s.Exec("SELECT ALL FROM state-area ORDER BY area.tag"); err == nil {
+		t.Fatal("ORDER BY a non-root type must fail")
+	}
+	if _, err := s.Exec("SELECT ALL FROM state-area ORDER BY nope"); err == nil {
+		t.Fatal("ORDER BY an unknown attribute must fail")
+	}
+	if _, err := s.Exec("SELECT COUNT FROM state-area GROUP BY area.tag"); err == nil {
+		t.Fatal("GROUP BY a non-root type must fail")
+	}
+}

@@ -217,13 +217,16 @@ func (p *Parser) setStmt() (Stmt, error) {
 	return &SetStmt{Name: name, Value: v}, nil
 }
 
-// selectStmt parses SELECT <ALL|list> FROM <from> [WHERE pred] [LIMIT n].
+// selectStmt parses SELECT <ALL|COUNT|list> FROM <from> [WHERE pred]
+// [GROUP BY attr] [ORDER BY attr [ASC|DESC]] [LIMIT n].
 func (p *Parser) selectStmt() (Stmt, error) {
 	if err := p.expect(TKeyword, "SELECT"); err != nil {
 		return nil, err
 	}
 	s := &SelectStmt{}
-	if p.accept(TKeyword, "ALL") {
+	if p.accept(TKeyword, "COUNT") {
+		s.Count = true
+	} else if p.accept(TKeyword, "ALL") {
 		s.All = true
 	} else {
 		for {
@@ -252,6 +255,37 @@ func (p *Parser) selectStmt() (Stmt, error) {
 		}
 		s.Where = pred
 	}
+	if p.accept(TKeyword, "GROUP") {
+		if err := p.expect(TKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		if !s.Count {
+			return nil, fmt.Errorf("mql: GROUP BY requires SELECT COUNT")
+		}
+		typ, attr, err := p.attrRef()
+		if err != nil {
+			return nil, err
+		}
+		s.GroupBy = &GroupClause{Type: typ, Attr: attr}
+	}
+	if p.accept(TKeyword, "ORDER") {
+		if err := p.expect(TKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		if s.Count {
+			return nil, fmt.Errorf("mql: ORDER BY does not combine with SELECT COUNT")
+		}
+		typ, attr, err := p.attrRef()
+		if err != nil {
+			return nil, err
+		}
+		s.OrderBy = &OrderClause{Type: typ, Attr: attr}
+		if p.accept(TKeyword, "DESC") {
+			s.OrderBy.Desc = true
+		} else {
+			p.accept(TKeyword, "ASC")
+		}
+	}
 	if p.accept(TKeyword, "LIMIT") {
 		n, err := p.intLit()
 		if err != nil {
@@ -263,6 +297,23 @@ func (p *Parser) selectStmt() (Stmt, error) {
 		s.Limit = int(n)
 	}
 	return s, nil
+}
+
+// attrRef parses [type '.'] attr — the optionally type-qualified root
+// attribute of GROUP BY and ORDER BY.
+func (p *Parser) attrRef() (typ, attr string, err error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", "", err
+	}
+	if p.accept(TSymbol, ".") {
+		attr, err := p.ident()
+		if err != nil {
+			return "", "", err
+		}
+		return name, attr, nil
+	}
+	return "", name, nil
 }
 
 // projItem parses one SELECT-list entry. Hyphens do not appear here; type

@@ -24,6 +24,16 @@ func (r *Result) Render(db *storage.Database) string {
 		return fmt.Sprintf("inserted %d atom(s): %s\n", len(r.Inserted), strings.Join(ids, ", "))
 	case RAffected:
 		return fmt.Sprintf("%d affected\n", r.Affected)
+	case RCount:
+		if r.GroupAttr == "" {
+			return fmt.Sprintf("count: %d\n", r.Count)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d group(s) by %s\n", len(r.Groups), r.GroupAttr)
+		for _, g := range r.Groups {
+			fmt.Fprintf(&b, "%s = %s: %d\n", r.GroupAttr, g.Value, g.Count)
+		}
+		return b.String()
 	case RRecursive:
 		var b strings.Builder
 		fmt.Fprintf(&b, "%d recursive molecule(s)\n", len(r.RecSet))

@@ -74,6 +74,7 @@ var keywords = map[string]bool{
 	"UNION": true, "DIFFERENCE": true, "INTERSECT": true, "OF": true,
 	"ANALYZE": true, "ESTIMATE": true, "HISTOGRAMS": true,
 	"FEEDBACK": true, "LIMIT": true,
+	"ORDER": true, "BY": true, "GROUP": true, "ASC": true, "DESC": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 	"CHECKPOINT": true,
 }

@@ -1,0 +1,123 @@
+package mql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mad/internal/mql"
+)
+
+// execR is a transcript step: run one statement and return its rendered
+// output.
+func execR(t *testing.T, s *mql.Session, src string) string {
+	t.Helper()
+	r, err := s.Exec(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return r.Render(s.DB())
+}
+
+// TestTxnReadYourWrites runs the read-your-writes transcript: inside a
+// BEGIN transaction, SELECT (plain, filtered, ordered, counted and
+// molecule-structured) sees the session's own uncommitted writes while
+// every other session keeps reading the committed state.
+func TestTxnReadYourWrites(t *testing.T) {
+	_, sess, other := txnSession(t)
+
+	// BEGIN; INSERT — the very next SELECT of the same session sees the
+	// buffered atom, values rendered from the overlay.
+	if _, err := sess.Exec("BEGIN;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("INSERT INTO parts VALUES ('ring', 0.1);"); err != nil {
+		t.Fatal(err)
+	}
+	out := execR(t, sess, "SELECT ALL FROM parts;")
+	if !strings.Contains(out, "3 molecule(s)") || !strings.Contains(out, `name="ring"`) {
+		t.Fatalf("in-txn SELECT must see the buffered insert:\n%s", out)
+	}
+	// The other session still reads committed state only.
+	if out := execR(t, other, "SELECT ALL FROM parts;"); strings.Contains(out, "ring") {
+		t.Fatalf("other session sees uncommitted insert:\n%s", out)
+	}
+
+	// WHERE evaluates against the effective view too.
+	out = execR(t, sess, "SELECT ALL FROM parts WHERE parts.weight < 1.0;")
+	if !strings.Contains(out, "1 molecule(s)") || !strings.Contains(out, "ring") {
+		t.Fatalf("in-txn WHERE over buffered values:\n%s", out)
+	}
+
+	// An uncommitted UPDATE renders its new value.
+	if _, err := sess.Exec("UPDATE parts SET weight = 300.0 WHERE name = 'ring';"); err != nil {
+		t.Fatal(err)
+	}
+	out = execR(t, sess, "SELECT ALL FROM parts ORDER BY weight DESC LIMIT 1;")
+	if !strings.Contains(out, "ring") || !strings.Contains(out, "weight=300") {
+		t.Fatalf("ORDER BY over the effective view must rank the updated atom first:\n%s", out)
+	}
+
+	// COUNT folds the effective occurrence.
+	if out := execR(t, sess, "SELECT COUNT FROM parts;"); !strings.Contains(out, "count: 3") {
+		t.Fatalf("in-txn COUNT:\n%s", out)
+	}
+	if out := execR(t, sess, "SELECT COUNT FROM parts GROUP BY name;"); !strings.Contains(out, "3 group(s)") {
+		t.Fatalf("in-txn GROUP BY:\n%s", out)
+	}
+
+	// A buffered CONNECT extends the derived molecule: acme supplies
+	// engine (committed) and now ring (uncommitted).
+	if _, err := sess.Exec("CONNECT supplier WHERE name = 'acme' TO parts WHERE name = 'ring' VIA supplies;"); err != nil {
+		t.Fatal(err)
+	}
+	out = execR(t, sess, "SELECT ALL FROM supplier-parts;")
+	if !strings.Contains(out, "engine") || !strings.Contains(out, "ring") {
+		t.Fatalf("in-txn molecule derivation must traverse buffered links:\n%s", out)
+	}
+	if out := execR(t, other, "SELECT ALL FROM supplier-parts;"); strings.Contains(out, "ring") {
+		t.Fatalf("other session derives through uncommitted link:\n%s", out)
+	}
+
+	// A buffered DELETE hides the atom and cascades its links out of the
+	// derivation.
+	if _, err := sess.Exec("DELETE FROM parts WHERE name = 'engine';"); err != nil {
+		t.Fatal(err)
+	}
+	out = execR(t, sess, "SELECT ALL FROM supplier-parts;")
+	if strings.Contains(out, "engine") || !strings.Contains(out, "ring") {
+		t.Fatalf("in-txn derivation after buffered delete:\n%s", out)
+	}
+	if out := execR(t, sess, "SELECT COUNT FROM parts;"); !strings.Contains(out, "count: 2") {
+		t.Fatalf("in-txn COUNT after buffered delete:\n%s", out)
+	}
+
+	// ROLLBACK discards it all: the session reads committed state again.
+	if _, err := sess.Exec("ROLLBACK;"); err != nil {
+		t.Fatal(err)
+	}
+	out = execR(t, sess, "SELECT ALL FROM parts;")
+	if !strings.Contains(out, "2 molecule(s)") || strings.Contains(out, "ring") || !strings.Contains(out, "engine") {
+		t.Fatalf("post-rollback SELECT:\n%s", out)
+	}
+}
+
+// TestTxnReadYourWritesCommit is the commit half of the transcript: the
+// effective view the transaction queried matches what COMMIT publishes.
+func TestTxnReadYourWritesCommit(t *testing.T) {
+	_, sess, other := txnSession(t)
+	if _, err := sess.ExecScript(`
+BEGIN;
+INSERT INTO parts VALUES ('ring', 0.1);
+UPDATE parts SET weight = 9.0 WHERE name = 'piston';
+`); err != nil {
+		t.Fatal(err)
+	}
+	before := execR(t, sess, "SELECT ALL FROM parts ORDER BY weight DESC;")
+	if _, err := sess.Exec("COMMIT;"); err != nil {
+		t.Fatal(err)
+	}
+	after := execR(t, other, "SELECT ALL FROM parts ORDER BY weight DESC;")
+	if before != after {
+		t.Fatalf("pre-commit effective view diverges from published state:\npre:\n%s\npost:\n%s", before, after)
+	}
+}

@@ -54,17 +54,17 @@ CONNECT supplier WHERE name = 'acme' TO parts WHERE name = 'piston' VIA supplies
 	if _, err := sess.ExecScript(script); err != nil {
 		t.Fatal(err)
 	}
-	// Buffered writes are invisible everywhere until COMMIT — to other
-	// sessions, to the raw database, and (read-committed-snapshot, not
-	// read-your-writes) to the writing session's own SELECTs.
+	// Buffered writes are invisible to everyone else until COMMIT — to
+	// other sessions and to the raw database — but the writing session's
+	// own SELECTs are read-your-writes: they see the buffered inserts.
 	if n := countParts(t, other); n != 2 {
 		t.Fatalf("other session sees %d parts before commit", n)
 	}
 	if n, _ := db.CountAtoms("parts"); n != 2 {
 		t.Fatalf("db sees %d parts before commit", n)
 	}
-	if n := countParts(t, sess); n != 2 {
-		t.Fatalf("txn session sees %d parts before commit (buffered writes must stay invisible)", n)
+	if n := countParts(t, sess); n != 4 {
+		t.Fatalf("txn session sees %d parts before commit (read-your-writes must show its own inserts)", n)
 	}
 	r, err := sess.Exec("COMMIT;")
 	if err != nil {

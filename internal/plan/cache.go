@@ -84,15 +84,28 @@ func Release(db *storage.Database) {
 // planner only inspects predicate structure. The predicate encoding is
 // hand-rolled because it runs on every statement: expr.String's
 // fmt-based rendering would cost more than the compile it saves.
-func cacheKey(desc *core.Desc, pred expr.Expr) string {
-	if pred == nil {
+func cacheKey(desc *core.Desc, pred expr.Expr, order *OrderBy) string {
+	if pred == nil && order == nil {
 		return desc.String()
 	}
 	var b strings.Builder
 	b.Grow(len(desc.String()) + 64)
 	b.WriteString(desc.String())
-	b.WriteByte(0)
-	appendExprKey(&b, pred)
+	if pred != nil {
+		b.WriteByte(0)
+		appendExprKey(&b, pred)
+	}
+	if order != nil {
+		// \x04 cannot open a predicate encoding, so ordered and
+		// unordered keys over the same predicate never collide.
+		b.WriteByte(4)
+		if order.Desc {
+			b.WriteByte('v')
+		} else {
+			b.WriteByte('^')
+		}
+		b.WriteString(order.Attr)
+	}
 	return b.String()
 }
 
@@ -168,7 +181,14 @@ func appendExprKey(b *strings.Builder, e expr.Expr) {
 // reports whether recompilation was skipped. The returned plan is always
 // a private clone with fresh actuals — callers Execute it freely.
 func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, err error) {
-	key := cacheKey(desc, pred)
+	return c.CompileOrdered(desc, pred, nil)
+}
+
+// CompileOrdered is Compile with an ORDER BY on a root attribute; the
+// order is part of the cache identity, so ordered and unordered plans
+// over the same predicate are memoized independently.
+func (c *Cache) CompileOrdered(desc *core.Desc, pred expr.Expr, order *OrderBy) (p *Plan, cached bool, err error) {
+	key := cacheKey(desc, pred, order)
 	epoch := c.db.PlanEpoch()
 
 	c.mu.Lock()
@@ -189,7 +209,7 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 	// Compile outside the cache lock: compilation reads the database and
 	// may be slow; worst case two sessions race and both store equivalent
 	// plans.
-	fresh, err := compileKeyed(c.db, desc, pred, key)
+	fresh, err := compileKeyed(c.db, desc, pred, order, key)
 	if err != nil {
 		return nil, false, err
 	}
@@ -238,6 +258,10 @@ func (p *Plan) clone() *Plan {
 	q := *p
 	q.Pushdowns = append([]Pushdown(nil), p.Pushdowns...)
 	q.Residuals = append([]ResidualConjunct(nil), p.Residuals...)
+	if p.Order != nil {
+		o := *p.Order
+		q.Order = &o
+	}
 	q.resetActuals()
 	return &q
 }

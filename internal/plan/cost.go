@@ -313,6 +313,18 @@ func climbEstimate(db *storage.Database, desc *core.Desc, entryType string, entr
 	return r, climbCost, path
 }
 
+// orderCost scores the comparison work of heap- or sort-ordering e
+// molecules — the surcharge unsorted access paths pay in an ordered
+// plan's contest. The e·log₂e shape covers both mechanisms (a bounded
+// heap does less, but the bound is unknown at compile time); the 0.25
+// weight keeps one comparison well below one atom fetch.
+func orderCost(e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	return 0.25 * e * math.Log2(e+1)
+}
+
 // residualRank orders residual conjuncts for short-circuit evaluation:
 // the classic (selectivity − 1)/cost criterion, most negative first, puts
 // cheap, highly selective conjuncts ahead so expected work per molecule

@@ -50,6 +50,9 @@ type Feedback struct {
 	deriv map[string]*ratioObs
 	// climb: desc key + entry type → observed links climbed per entry.
 	climb map[string]*ratioObs
+	// topk: desc key → observed fraction of roots surviving the top-K
+	// heap's bound prune (reaching derivation) on bounded ordered runs.
+	topk map[string]*ratioObs
 
 	records, resets uint64
 }
@@ -122,6 +125,7 @@ func newFeedback(db *storage.Database) *Feedback {
 		residuals: make(map[string]map[string]*passObs),
 		deriv:     make(map[string]*ratioObs),
 		climb:     make(map[string]*ratioObs),
+		topk:      make(map[string]*ratioObs),
 	}
 }
 
@@ -132,13 +136,14 @@ func (fb *Feedback) syncEpochLocked() {
 	if epoch == fb.epoch {
 		return
 	}
-	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 {
+	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 || len(fb.topk) > 0 {
 		fb.resets++
 	}
 	fb.epoch = epoch
 	fb.residuals = make(map[string]map[string]*passObs)
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
+	fb.topk = make(map[string]*ratioObs)
 }
 
 // Reset unconditionally discards every observation — test and experiment
@@ -149,6 +154,7 @@ func (fb *Feedback) Reset() {
 	fb.residuals = make(map[string]map[string]*passObs)
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
+	fb.topk = make(map[string]*ratioObs)
 	fb.epoch = fb.db.PlanEpoch()
 }
 
@@ -249,12 +255,13 @@ func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 	// root derived in full. A pushdown hook that cut molecules makes
 	// the measured atoms/root predicate-specific (a selective prune
 	// would teach the contest that derivation is near-free), so such
-	// executions do not contribute.
+	// executions do not contribute; the top-K bound prune biases the
+	// figure the same way, so bounded ordered runs are excluded too.
 	cut := 0
 	for i := range p.Pushdowns {
 		cut += p.Pushdowns[i].Cut
 	}
-	if p.Access.ActRoots > 0 && work.AtomsFetched > 0 && cut == 0 {
+	if p.Access.ActRoots > 0 && work.AtomsFetched > 0 && cut == 0 && p.OrderCut == 0 {
 		dk := p.desc.String()
 		o := fb.deriv[dk]
 		if o == nil {
@@ -272,6 +279,21 @@ func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 			fb.climb[ck] = o
 		}
 		o.sum += float64(p.Access.ActClimb) / float64(p.Access.ActEntries)
+		o.n++
+	}
+	// Bound-prune survival: what fraction of the root batch a bounded
+	// ordered run actually derived. Keyed by structure — the fraction
+	// mostly reflects K against the batch size and the key distribution,
+	// and it is what lets the contest prefer the heap path (cheap when
+	// survival is tiny) over an index ride on later compiles.
+	if p.OrderPath == OrderTopK && p.Access.ActRoots > 0 {
+		dk := p.desc.String()
+		o := fb.topk[dk]
+		if o == nil {
+			o = &ratioObs{}
+			fb.topk[dk] = o
+		}
+		o.sum += float64(p.Access.ActRoots-p.OrderCut) / float64(p.Access.ActRoots)
 		o.n++
 	}
 }
@@ -360,6 +382,23 @@ func (fb *Feedback) climbObserved(descKey, entryType string) (float64, bool) {
 	return o.avg(), true
 }
 
+// topkObserved returns the observed fraction of roots surviving the
+// top-K bound prune for the structure, ok=false before any bounded
+// ordered execution recorded one.
+func (fb *Feedback) topkObserved(descKey string) (float64, bool) {
+	if fb == nil {
+		return 0, false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	o := fb.topk[descKey]
+	if o == nil || o.n == 0 {
+		return 0, false
+	}
+	return o.avg(), true
+}
+
 // Render lists the store's observations — the SHOW FEEDBACK output.
 func (fb *Feedback) Render() string {
 	fb.mu.Lock()
@@ -377,6 +416,11 @@ func (fb *Feedback) Render() string {
 		parts := strings.SplitN(ck, "\x00", 2)
 		fmt.Fprintf(&b, "climb %s entry %s: ≈%.1f links/entry over %d run(s) [observed]\n",
 			parts[0], parts[1], o.avg(), o.n)
+	}
+	for _, tk := range sortedKeys(fb.topk) {
+		o := fb.topk[tk]
+		fmt.Fprintf(&b, "top-k %s: ≈%.2f of roots survive the bound over %d run(s) [observed]\n",
+			tk, o.avg(), o.n)
 	}
 	return b.String()
 }

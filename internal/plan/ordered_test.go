@@ -1,0 +1,298 @@
+package plan_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// orderedReference sorts a materialized result the way an ordered plan
+// must deliver it: stable sort by the root attribute (ASC/DESC), ties by
+// root atom ID ascending, then the LIMIT cut. This is the specification
+// all three delivery paths — index ride, bounded heap, terminal sort —
+// are checked against element-wise.
+func orderedReference(t *testing.T, db *storage.Database, rootType string, full core.MoleculeSet, order plan.OrderBy, limit int) core.MoleculeSet {
+	t.Helper()
+	c, ok := db.Container(rootType)
+	if !ok {
+		t.Fatalf("no container %q", rootType)
+	}
+	pos, ok := c.Desc().Lookup(order.Attr)
+	if !ok {
+		t.Fatalf("no attribute %q on %q", order.Attr, rootType)
+	}
+	ts := db.LatestTS()
+	key := func(id model.AtomID) model.Value {
+		a, ok := c.GetAt(id, ts)
+		if !ok {
+			t.Fatalf("root %d vanished", id)
+		}
+		return a.Get(pos)
+	}
+	ref := append(core.MoleculeSet(nil), full...)
+	sort.SliceStable(ref, func(i, j int) bool {
+		cmp := key(ref[i].Root()).Compare(key(ref[j].Root()))
+		if order.Desc {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp < 0
+		}
+		return ref[i].Root() < ref[j].Root()
+	})
+	if limit > 0 && len(ref) > limit {
+		ref = ref[:limit]
+	}
+	return ref
+}
+
+// TestOrderedStreamParityRandom is the ordering property: over random
+// structures, predicates, index regimes (the ordered-index ride vs the
+// heap/sort paths), directions, limits and worker counts, an ordered
+// stream delivers exactly the sort-after-materialize reference —
+// element-wise, not just as a set.
+func TestOrderedStreamParityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(2)
+		db, types, edges, err := layeredDB(rng, depth, 4+rng.Intn(6))
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		// Half the runs index the ORDER BY attribute, so both the
+		// index-order ride and the heap/sort paths are exercised.
+		indexed := rng.Intn(2) == 0
+		if indexed {
+			if err := db.CreateIndex(types[0], "v"); err != nil {
+				t.Logf("index: %v", err)
+				return false
+			}
+		}
+		mt, err := core.Define(db, "ordered_random", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		defer plan.Release(db)
+
+		var pred expr.Expr
+		if rng.Intn(3) > 0 {
+			pred = randomPredicate(rng, types)
+			if err := expr.Check(pred, core.Scope{DB: db, Desc: mt.Desc()}); err != nil {
+				t.Logf("check: %v", err)
+				return false
+			}
+		}
+		full, err := mustCompile(t, db, mt, pred, nil, 1, 0).Execute()
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+
+		attrs := []string{"v", "w"}
+		order := plan.OrderBy{Attr: attrs[rng.Intn(len(attrs))], Desc: rng.Intn(2) == 0}
+		limits := []int{0, 1 + rng.Intn(len(full)+2)}
+		for _, limit := range limits {
+			ref := orderedReference(t, db, types[0], full, order, limit)
+			for _, workers := range []int{1, 2, 4} {
+				p := mustCompile(t, db, mt, pred, &order, workers, limit)
+				st, err := p.Stream(context.Background())
+				if err != nil {
+					t.Logf("stream: %v", err)
+					return false
+				}
+				got := collectStream(t, st, -1)
+				if len(got) != len(ref) {
+					t.Logf("seed %d order %+v limit %d workers %d path %q: got %d molecules, want %d",
+						seed, order, limit, workers, p.OrderPath, len(got), len(ref))
+					return false
+				}
+				for i := range got {
+					if !got[i].Equal(ref[i]) {
+						t.Logf("seed %d order %+v limit %d workers %d path %q: molecule %d differs",
+							seed, order, limit, workers, p.OrderPath, i)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCompile(t *testing.T, db *storage.Database, mt *core.MoleculeType, pred expr.Expr, order *plan.OrderBy, workers, limit int) *plan.Plan {
+	t.Helper()
+	p, err := plan.CompileOrdered(db, mt.Desc(), pred, order)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p.Workers, p.Limit = workers, limit
+	return p
+}
+
+// TestOrderedIndexRideNoSort: ORDER BY an indexed root attribute must
+// ride the ordered index — the plan reports the index-order path (no
+// heap, no sort) and delivers in key order straight off the access path.
+func TestOrderedIndexRideNoSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db, types, edges, err := layeredDB(rng, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(types[0], "v"); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "ordered_ride", types, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Release(db)
+
+	for _, desc := range []bool{false, true} {
+		order := plan.OrderBy{Attr: "v", Desc: desc}
+		p := mustCompile(t, db, mt, nil, &order, 2, 0)
+		if p.Access.Kind != plan.OrderedScan {
+			t.Fatalf("desc=%v: access kind %v, want OrderedScan\n%s", desc, p.Access.Kind, p.Render())
+		}
+		full, err := mustCompile(t, db, mt, nil, nil, 1, 0).Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := orderedReference(t, db, types[0], full, order, 0)
+		st, err := p.Stream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectStream(t, st, -1)
+		if p.OrderPath != plan.OrderIndex {
+			t.Fatalf("desc=%v: order path %q, want %q", desc, p.OrderPath, plan.OrderIndex)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("desc=%v: %d molecules, want %d", desc, len(got), len(ref))
+		}
+		for i := range got {
+			if !got[i].Equal(ref[i]) {
+				t.Fatalf("desc=%v: molecule %d differs from reference order", desc, i)
+			}
+		}
+	}
+}
+
+// TestOrderedTopKBoundCut: with a LIMIT far below the root count and no
+// usable index, the bounded-heap path must prune roots before derivation
+// and report the cut in the plan actuals.
+func TestOrderedTopKBoundCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db, types, edges, err := layeredDB(rng, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "ordered_topk", types, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Release(db)
+
+	order := plan.OrderBy{Attr: "w", Desc: false}
+	p := mustCompile(t, db, mt, nil, &order, 1, 4)
+	st, err := p.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStream(t, st, -1)
+	if p.OrderPath != plan.OrderTopK {
+		t.Fatalf("order path %q, want %q\n%s", p.OrderPath, plan.OrderTopK, p.Render())
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d molecules, want 4", len(got))
+	}
+	// 512 roots, K=4: the heap bound must have cut the overwhelming
+	// majority of roots before derivation (expected survivors ≈
+	// K·(1+ln(N/K)) ≈ 23 for sequential workers).
+	if p.OrderCut < 256 {
+		t.Fatalf("bound cut only %d of 512 roots\n%s", p.OrderCut, p.Render())
+	}
+	if p.Derived+p.OrderCut != 512 {
+		t.Fatalf("derived %d + cut %d ≠ 512 roots", p.Derived, p.OrderCut)
+	}
+	ref := orderedReference(t, db, types[0], mustMaterialize(t, db, mt), order, 4)
+	for i := range got {
+		if !got[i].Equal(ref[i]) {
+			t.Fatalf("molecule %d differs from reference order", i)
+		}
+	}
+}
+
+func mustMaterialize(t *testing.T, db *storage.Database, mt *core.MoleculeType) core.MoleculeSet {
+	t.Helper()
+	full, err := mustCompile(t, db, mt, nil, nil, 1, 0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+// TestOrderedStreamCancel: cancelling an ordered stream mid-run (both
+// the held-back heap path and the index ride) releases every goroutine
+// and drops the stream's snapshot pin — no leaks on the paths that defer
+// delivery to the end of the run.
+func TestOrderedStreamCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db, types, edges, err := layeredDB(rng, 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "ordered_cancel", types, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Release(db)
+
+	before := runtime.NumGoroutine()
+	pins := db.LiveSnapshots()
+	order := plan.OrderBy{Attr: "w", Desc: true}
+	for i := 0; i < 4; i++ {
+		p := mustCompile(t, db, mt, nil, &order, 4, 8)
+		ctx, cancel := context.WithCancel(context.Background())
+		st, err := p.Stream(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancel() // before, during or after the first delivery — all must unwind
+		for {
+			m, err := st.Next()
+			if err != nil || m == nil {
+				break
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close after cancel: %v", err)
+		}
+	}
+	if got := db.LiveSnapshots(); got != pins {
+		t.Fatalf("snapshot pins: %d before, %d after cancelled ordered streams", pins, got)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

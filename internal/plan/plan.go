@@ -94,7 +94,40 @@ const (
 	// prune hook, which restores exactness — recovery over-approximates
 	// at multi-parent types.
 	InteriorIndex
+	// OrderedScan walks a secondary index on the ORDER BY attribute in
+	// key order, producing the whole root batch already sorted — the
+	// access path that makes an ordered stream sort-free.
+	OrderedScan
 )
+
+// Ordered-delivery mechanisms, as EXPLAIN provenance labels: how a plan
+// with an ORDER BY turns the root-batch stream into a key-ordered one.
+const (
+	// OrderIndex: the access path already produces roots in key order
+	// (an OrderedScan, or an index equality on the ORDER BY attribute
+	// itself — one key, ties broken by atom ID). Zero sorting work.
+	OrderIndex = "index-order"
+	// OrderTopK: a bounded heap keeps the best LIMIT molecules while the
+	// stream drains, and the heap's current bound is pushed into the
+	// access path as a root prune — roots that cannot beat it are cut
+	// before derivation.
+	OrderTopK = "top-k heap"
+	// OrderSort: no index and no LIMIT — the full result is collected
+	// and sorted before delivery.
+	OrderSort = "sort"
+)
+
+// OrderBy asks a plan to deliver molecules ordered by a root attribute.
+// Ties (equal keys) are broken by root atom ID ascending regardless of
+// direction, so every delivery mechanism — index ride, bounded heap,
+// terminal sort — produces the identical sequence.
+type OrderBy struct {
+	Attr string
+	Desc bool
+	// Pos is the attribute's position in the root container's
+	// descriptor, resolved at compile time.
+	Pos int
+}
 
 // Access is the access-path node of a plan: how the root batch entering
 // derivation is produced.
@@ -151,6 +184,12 @@ type Calibration struct {
 	// atom, filled only when the chosen access path is an interior entry.
 	ClimbPerEntry float64
 	ClimbSrc      string
+	// TopKSurvival is the fraction of roots expected to survive the
+	// top-K heap's bound prune and reach derivation, filled only for
+	// ordered plans: 1 until the feedback store has recorded a bounded
+	// run of this structure, the observed fraction after.
+	TopKSurvival float64
+	TopKSrc      string
 }
 
 // Alternative is one access path the planner considered, with its total
@@ -245,13 +284,50 @@ type Plan struct {
 	// Execute returns): 0 means unlimited. When the cap is reached the
 	// in-flight derivation is cancelled, so a LIMIT query never derives
 	// far past its answer. A truncated run's actuals cover only the work
-	// actually done and are not recorded into the feedback store.
+	// actually done and are not recorded into the feedback store. On an
+	// ordered plan without an index ride, Limit instead selects the
+	// top-K heap: the whole root batch is examined (under the heap-bound
+	// prune), and exactly the K best molecules are delivered.
 	Limit int
+	// Order, when non-nil, makes the stream deliver molecules sorted by
+	// the root attribute; OrderPath records the mechanism the run used
+	// (OrderIndex, OrderTopK or OrderSort) and OrderCut counts the roots
+	// the top-K heap bound cut before derivation.
+	Order     *OrderBy
+	OrderPath string
+	OrderCut  int
 
 	// Execution actuals (valid after Execute).
 	Derived  int // molecules fully derived (survived every pushdown)
 	Out      int // molecules after the residual filter
 	Executed bool
+}
+
+// presorted reports whether the access path already yields roots in the
+// requested order: an OrderedScan by construction, or an index equality
+// on the ORDER BY attribute itself (every root shares the one key, so
+// the ID-ascending posting is the tie-broken order for both directions).
+func (p *Plan) presorted() bool {
+	if p.Order == nil {
+		return false
+	}
+	return p.Access.Kind == OrderedScan ||
+		(p.Access.Kind == IndexScan && p.Access.Attr == p.Order.Attr)
+}
+
+// orderPath predicts the ordered-delivery mechanism the next run will
+// use under the plan's current Limit — what OrderPath will record.
+func (p *Plan) orderPath() string {
+	switch {
+	case p.Order == nil:
+		return ""
+	case p.presorted():
+		return OrderIndex
+	case p.Limit > 0:
+		return OrderTopK
+	default:
+		return OrderSort
+	}
 }
 
 // Desc returns the structure the plan derives.
@@ -276,13 +352,22 @@ type rootConjInfo struct {
 // restriction). pred must already be statically valid for the structure
 // (expr.Check against core.Scope).
 func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, error) {
-	return compileKeyed(db, desc, pred, cacheKey(desc, pred))
+	return compileKeyed(db, desc, pred, nil, cacheKey(desc, pred, nil))
+}
+
+// CompileOrdered is Compile with an ORDER BY on a root attribute: the
+// access-path contest additionally weighs an ordered index ride against
+// heap-ordered delivery, and the resulting plan's streams deliver in key
+// order. order must name an attribute of the root type; a nil order
+// degrades to Compile.
+func CompileOrdered(db *storage.Database, desc *core.Desc, pred expr.Expr, order *OrderBy) (*Plan, error) {
+	return compileKeyed(db, desc, pred, order, cacheKey(desc, pred, order))
 }
 
 // compileKeyed is Compile with the cache key already computed — the plan
 // cache passes the key it looked up with, so a miss does not encode the
 // predicate tree a second time.
-func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, key string) (*Plan, error) {
+func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *OrderBy, key string) (*Plan, error) {
 	p := &Plan{
 		db:    db,
 		desc:  desc,
@@ -293,6 +378,17 @@ func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, key str
 			Root:      desc.Root(),
 			EstSource: SrcContainer,
 		},
+	}
+	if order != nil {
+		c, ok := db.Container(desc.Root())
+		if !ok {
+			return nil, fmt.Errorf("plan: root type %q has no container", desc.Root())
+		}
+		pos, ok := c.Desc().Lookup(order.Attr)
+		if !ok {
+			return nil, fmt.Errorf("plan: root type %q has no attribute %q to order by", desc.Root(), order.Attr)
+		}
+		p.Order = &OrderBy{Attr: order.Attr, Desc: order.Desc, Pos: pos}
 	}
 	n, err := db.CountAtoms(desc.Root())
 	if err != nil {
@@ -412,10 +508,15 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 		Cost:  float64(n) + float64(fullEntering)*derivCost,
 	}}
 	type candidate struct {
-		alt   int // index into alts
-		apply func()
+		alt      int // index into alts
+		entering int // roots expected to enter derivation
+		// presorted marks candidates whose root batch already carries
+		// the requested order, exempting them from the ordering
+		// surcharge below.
+		presorted bool
+		apply     func()
 	}
-	cands := []candidate{{alt: 0, apply: func() {
+	cands := []candidate{{alt: 0, entering: fullEntering, apply: func() {
 		p.Access.Kind = FullScan
 		p.Access.EstRoots = n
 		p.Access.EstSource = SrcContainer
@@ -437,14 +538,15 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			Label: fmt.Sprintf("index %s.%s", desc.Root(), rc.attr),
 			Cost:  float64(rc.est) + float64(entering)*derivCost,
 		})
-		cands = append(cands, candidate{alt: len(alts) - 1, apply: func() {
-			rc := rootConjs[bestRoot]
-			p.Access.Kind = IndexScan
-			p.Access.Attr, p.Access.Value = rc.attr, rc.val
-			p.Access.EstRoots = rc.est
-			p.Access.EstSource = rc.estSrc
-			p.installRootFilter(rootConjs, bestRoot, rc.est)
-		}})
+		cands = append(cands, candidate{alt: len(alts) - 1, entering: entering,
+			presorted: p.Order != nil && rc.attr == p.Order.Attr, apply: func() {
+				rc := rootConjs[bestRoot]
+				p.Access.Kind = IndexScan
+				p.Access.Attr, p.Access.Value = rc.attr, rc.val
+				p.Access.EstRoots = rc.est
+				p.Access.EstSource = rc.estSrc
+				p.installRootFilter(rootConjs, bestRoot, rc.est)
+			}})
 	}
 
 	// Interior-index entries: one candidate per pushdown conjunct that is
@@ -476,7 +578,7 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			Label: fmt.Sprintf("interior-index %s.%s", pd.Type, attr),
 			Cost:  float64(entries) + climbCost + float64(recovered) + float64(entering)*derivCost,
 		})
-		cands = append(cands, candidate{alt: len(alts) - 1, apply: func() {
+		cands = append(cands, candidate{alt: len(alts) - 1, entering: entering, apply: func() {
 			pd := &p.Pushdowns[pi]
 			p.Access.Kind = InteriorIndex
 			p.Access.Attr, p.Access.Value = attr, val
@@ -490,6 +592,45 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc = climbPerEntry, climbSrc
 			p.installRootFilter(rootConjs, -1, recovered)
 		}})
+	}
+
+	// Ordered scan: when the ORDER BY attribute carries a root index,
+	// walking it in key order produces the batch pre-sorted — the same
+	// production cost as a full scan, none of the ordering work.
+	if p.Order != nil && p.db.HasIndex(desc.Root(), p.Order.Attr) {
+		alts = append(alts, Alternative{
+			Label: fmt.Sprintf("ordered index %s.%s", desc.Root(), p.Order.Attr),
+			Cost:  float64(n) + float64(fullEntering)*derivCost,
+		})
+		cands = append(cands, candidate{alt: len(alts) - 1, entering: fullEntering,
+			presorted: true, apply: func() {
+				p.Access.Kind = OrderedScan
+				p.Access.Attr = p.Order.Attr
+				p.Access.EstRoots = n
+				p.Access.EstSource = SrcContainer
+				p.installRootFilter(rootConjs, -1, n)
+			}})
+	}
+
+	// Ordering surcharge: alternatives whose batch arrives unsorted pay
+	// the heap/sort comparison work over the molecules entering
+	// derivation — and, once the feedback store has observed how small a
+	// fraction of roots survives the top-K bound prune, their derivation
+	// term shrinks to that fraction, so a calibrated heap path can beat
+	// the index ride it lost to on fiat weights.
+	if p.Order != nil {
+		survival, src := 1.0, ""
+		if obs, ok := fb.topkObserved(desc.String()); ok {
+			survival, src = obs, SrcObserved
+		}
+		p.Calibration.TopKSurvival, p.Calibration.TopKSrc = survival, src
+		for _, c := range cands {
+			if c.presorted {
+				continue
+			}
+			e := float64(c.entering)
+			alts[c.alt].Cost += orderCost(e) - e*derivCost*(1-survival)
+		}
 	}
 
 	// Pick the cheapest; earlier candidates win ties (scan before root
@@ -796,6 +937,20 @@ func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
 		roots, climbed, err := dv.RecoverRootsCounted(p.Access.EntryPos, entries)
 		p.Access.ActClimb = int(climbed)
 		return roots, err
+	case OrderedScan:
+		ts := dv.TS()
+		if ts == 0 {
+			ts = p.db.LatestTS()
+		}
+		var roots []model.AtomID
+		ok := p.db.IndexOrderedAt(p.Access.Root, p.Access.Attr, ts, p.Order.Desc, func(_ model.Value, ids []model.AtomID) bool {
+			roots = append(roots, ids...)
+			return true
+		})
+		if !ok {
+			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
+		}
+		return roots, nil
 	default:
 		return dv.RootIDs(), nil
 	}
@@ -850,6 +1005,7 @@ func (p *Plan) rankResiduals() {
 func (p *Plan) resetActuals() {
 	p.Access.ActRoots, p.Access.ActEntries, p.Access.ActClimb = 0, 0, 0
 	p.Derived, p.Out = 0, 0
+	p.OrderPath, p.OrderCut = "", 0
 	p.Executed = false
 	for i := range p.Pushdowns {
 		p.Pushdowns[i].Cut = 0
@@ -990,6 +1146,66 @@ func (p *Plan) ExecuteContext(ctx context.Context) (core.MoleculeSet, error) {
 	}
 }
 
+// CanCountFast reports whether the plan can answer a COUNT without
+// deriving a single molecule: with no interior pushdowns and no residual
+// chain, every root entering derivation yields exactly one qualifying
+// molecule (a root always derives), so the count is the filtered
+// root-batch length itself.
+func (p *Plan) CanCountFast() bool {
+	return len(p.Pushdowns) == 0 && len(p.Residuals) == 0
+}
+
+// ExecuteCountAt counts the plan's qualifying molecules through snap (nil
+// pins the latest commit for the call). When CanCountFast holds, only the
+// access path and the pre-derivation root filter run — zero derivations,
+// zero molecules materialized. Otherwise the counting rides the stream,
+// where a LIMIT still cancels derivation mid-run the moment the bound is
+// reached (the errStreamLimit path).
+func (p *Plan) ExecuteCountAt(ctx context.Context, snap *storage.Snapshot) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !p.CanCountFast() {
+		st, err := p.StreamAt(ctx, snap)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			m, err := st.Next()
+			if err != nil {
+				st.Close()
+				return 0, err
+			}
+			if m == nil {
+				return n, nil
+			}
+			n++
+		}
+	}
+	dv, err := core.NewDeriver(p.db, p.desc)
+	if err != nil {
+		return 0, err
+	}
+	if snap == nil {
+		snap = p.db.Snapshot()
+		defer snap.Close()
+	}
+	dv = dv.AtSnapshot(snap)
+	p.resetActuals()
+	roots, err := p.prepareRoots(ctx, dv, &evalErrBox{})
+	if err != nil {
+		return 0, err
+	}
+	n := len(roots)
+	if p.Limit > 0 && n > p.Limit {
+		n = p.Limit
+	}
+	p.Out = n
+	p.Executed = true
+	return n, nil
+}
+
 // ExecuteBarrier is the pre-fusion execution pipeline — parallel pruned
 // derivation, then a barrier, then the residual chain on a single
 // goroutine — retained as the reference implementation: the parity
@@ -1110,12 +1326,34 @@ func (p *Plan) Render() string {
 		fmt.Fprintf(&b, "           recover roots upward %s (est %s roots [%s]%s)\n",
 			strings.Join(p.Access.UpPath, " ⇡ "),
 			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+	case OrderedScan:
+		fmt.Fprintf(&b, "access:    ordered index walk of %s.%s (est %s roots [%s]%s)\n",
+			p.Access.Root, p.Access.Attr,
+			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	default:
 		fmt.Fprintf(&b, "access:    full scan of %s (est %s roots [%s]%s)\n",
 			p.Access.Root, approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
 	}
 	if p.Access.Filter != nil {
 		fmt.Fprintf(&b, "           root filter %s before derivation\n", p.Access.Filter)
+	}
+	if p.Order != nil {
+		dir := "asc"
+		if p.Order.Desc {
+			dir = "desc"
+		}
+		path := p.OrderPath
+		if path == "" {
+			path = p.orderPath()
+		}
+		line := fmt.Sprintf("order:     by %s.%s %s [%s]", p.desc.Root(), p.Order.Attr, dir, path)
+		if path == OrderTopK {
+			line += fmt.Sprintf(" (K=%d)", p.Limit)
+			if p.Executed {
+				line += fmt.Sprintf(" — bound cut %d of %d roots before derivation", p.OrderCut, p.Access.ActRoots)
+			}
+		}
+		b.WriteString(line + "\n")
 	}
 	if len(p.Alternatives) > 1 {
 		parts := make([]string, 0, len(p.Alternatives))
@@ -1130,10 +1368,13 @@ func (p *Plan) Render() string {
 	}
 	// The contest-constant provenance is only worth a line once the
 	// feedback loop has replaced a fiat weight with a recorded actual.
-	if p.Calibration.DerivSrc == SrcObserved || p.Calibration.ClimbSrc == SrcObserved {
+	if p.Calibration.DerivSrc == SrcObserved || p.Calibration.ClimbSrc == SrcObserved || p.Calibration.TopKSrc == SrcObserved {
 		line := fmt.Sprintf("costs:     derive ≈%.1f atoms/root [%s]", p.Calibration.DerivPerRoot, p.Calibration.DerivSrc)
 		if p.Access.Kind == InteriorIndex && p.Calibration.ClimbSrc != "" {
 			line += fmt.Sprintf("; climb ≈%.1f links/entry [%s]", p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc)
+		}
+		if p.Calibration.TopKSrc == SrcObserved {
+			line += fmt.Sprintf("; top-k survival ≈%.2f [%s]", p.Calibration.TopKSurvival, p.Calibration.TopKSrc)
 		}
 		b.WriteString(line + "\n")
 	}

@@ -1,9 +1,12 @@
 package plan
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"iter"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"mad/internal/core"
@@ -148,11 +151,72 @@ func (st *Stream) release() {
 // and merges them after the executor has joined its workers, so the
 // hot path performs no atomic operation per molecule.
 type workerState struct {
-	cuts    []int64
-	evals   []int64
-	passed  []int64
-	nanos   []int64
-	derived int64
+	cuts     []int64
+	evals    []int64
+	passed   []int64
+	nanos    []int64
+	derived  int64
+	orderCut int64
+}
+
+// orderedEntry pairs a qualifying molecule with its ORDER BY key, the
+// unit the heap and sort delivery paths work over.
+type orderedEntry struct {
+	key model.Value
+	m   *core.Molecule
+}
+
+// orderBound is the published top-K heap bound: the key and root of the
+// worst molecule currently in the heap. Workers load it lock-free at
+// root position; a stale (older, weaker) bound only under-prunes, never
+// cuts a qualifying root.
+type orderBound struct {
+	key model.Value
+	id  model.AtomID
+}
+
+// orderCmp compares two (key, root) pairs under the plan's order: the
+// key comparison honours ASC/DESC, ties always break by root atom ID
+// ascending — the contract that makes the index ride, the bounded heap
+// and the terminal sort element-wise identical.
+func (p *Plan) orderCmp(ka model.Value, ia model.AtomID, kb model.Value, ib model.AtomID) int {
+	c := ka.Compare(kb)
+	if p.Order.Desc {
+		c = -c
+	}
+	if c != 0 {
+		return c
+	}
+	switch {
+	case ia < ib:
+		return -1
+	case ia > ib:
+		return 1
+	}
+	return 0
+}
+
+// topkHeap is the bounded worst-at-top heap of the OrderTopK delivery
+// path: Pop removes the entry that sorts last, so holding the heap at
+// Limit entries keeps exactly the best K seen so far.
+type topkHeap struct {
+	p     *Plan
+	items []orderedEntry
+}
+
+func (h *topkHeap) Len() int { return len(h.items) }
+func (h *topkHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	return h.p.orderCmp(a.key, a.m.Root(), b.key, b.m.Root()) > 0
+}
+func (h *topkHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkHeap) Push(x any)    { h.items = append(h.items, x.(orderedEntry)) }
+func (h *topkHeap) Pop() any {
+	n := len(h.items) - 1
+	e := h.items[n]
+	h.items[n] = orderedEntry{}
+	h.items = h.items[:n]
+	return e
 }
 
 // run is the stream's producer: it prepares the root batch, drives the
@@ -168,6 +232,37 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		st.errc <- err
 		return
 	}
+
+	// Ordered delivery: an access path that already yields roots in key
+	// order (OrderIndex) needs nothing extra — the executor's root-batch
+	// order IS the requested order. Otherwise a bounded heap (OrderTopK,
+	// Limit set) or a terminal sort (OrderSort) reorders the qualifying
+	// molecules before they reach the consumer, and the heap additionally
+	// publishes its bound so workers cut hopeless roots pre-derivation.
+	p.OrderPath = p.orderPath()
+	topK := p.OrderPath == OrderTopK
+	sortAll := p.OrderPath == OrderSort
+	var keyOf func(model.AtomID) (model.Value, bool)
+	if topK || sortAll {
+		c, ok := p.db.Container(p.Access.Root)
+		if !ok {
+			st.errc <- errors.New("plan: root container vanished between compile and execute")
+			return
+		}
+		ts := st.snap.TS()
+		keyOf = func(id model.AtomID) (model.Value, bool) {
+			a, ok := c.GetAt(id, ts)
+			if !ok {
+				var zero model.Value
+				return zero, false
+			}
+			// Account the key read like every other predicate fetch, so
+			// the early-termination win stays visible in the same ledger.
+			p.db.Stats().AtomsFetched.Add(1)
+			return a.Get(p.Order.Pos), true
+		}
+	}
+	var bound atomic.Pointer[orderBound]
 
 	rootPos, _ := p.desc.Pos(p.Access.Root)
 	// Timing each residual evaluation costs two clock reads per conjunct
@@ -187,6 +282,28 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		checks := []core.PruneCheck{{Pos: rootPos, Qualifies: func([]model.AtomID) bool {
 			return !eb.failed.Load()
 		}}}
+		if topK {
+			// The bound prune: once the heap is full, a root whose key
+			// cannot beat the heap's worst entry is cut before its
+			// molecule is derived. The bound only tightens over a run, so
+			// a stale load under-prunes — harmless — and never over-prunes.
+			checks = append(checks, core.PruneCheck{Pos: rootPos, Qualifies: func(atoms []model.AtomID) bool {
+				b := bound.Load()
+				if b == nil {
+					return true
+				}
+				root := atoms[0]
+				k, ok := keyOf(root)
+				if !ok {
+					return true
+				}
+				if p.orderCmp(k, root, b.key, b.id) > 0 {
+					ws.orderCut++
+					return false
+				}
+				return true
+			}})
+		}
 		for i := range p.Pushdowns {
 			i, pred := i, preds[i]
 			checks = append(checks, core.PruneCheck{Pos: p.Pushdowns[i].Pos, Qualifies: func(atoms []model.AtomID) bool {
@@ -236,32 +353,75 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 	// traffic.
 	sizer := core.NewBatchSizer(0, 0, 0)
 	delivered := 0
-	emit := func(ms core.MoleculeSet) error {
-		limited := false
-		if p.Limit > 0 {
-			if rest := p.Limit - delivered; len(ms) >= rest {
-				ms, limited = ms[:rest], true
-			}
-		}
-		if len(ms) > 0 {
-			select {
-			case st.batches <- ms:
-				sizer.Observe(false)
-				delivered += len(ms)
-			default:
-				sizer.Observe(true)
-				select {
-				case st.batches <- ms:
-					delivered += len(ms)
-				case <-ctx.Done():
-					return ctx.Err()
+	var emit func(core.MoleculeSet) error
+	var kh *topkHeap
+	var held []orderedEntry
+	switch {
+	case topK:
+		// Qualifying molecules feed the bounded heap instead of the
+		// hand-off channel; the K survivors are delivered after the
+		// executor completes. Limit slicing is the heap's job here, so
+		// the run never returns errStreamLimit — the whole root batch is
+		// examined under the bound prune.
+		kh = &topkHeap{p: p}
+		emit = func(ms core.MoleculeSet) error {
+			for _, m := range ms {
+				k, ok := keyOf(m.Root())
+				if !ok {
+					continue
+				}
+				heap.Push(kh, orderedEntry{key: k, m: m})
+				if kh.Len() > p.Limit {
+					heap.Pop(kh)
+				}
+				if kh.Len() == p.Limit {
+					w := kh.items[0]
+					bound.Store(&orderBound{key: w.key, id: w.m.Root()})
 				}
 			}
+			return nil
 		}
-		if limited {
-			return errStreamLimit
+	case sortAll:
+		// No bound to exploit without a Limit: collect everything and
+		// sort once at the end.
+		emit = func(ms core.MoleculeSet) error {
+			for _, m := range ms {
+				k, ok := keyOf(m.Root())
+				if !ok {
+					continue
+				}
+				held = append(held, orderedEntry{key: k, m: m})
+			}
+			return nil
 		}
-		return nil
+	default:
+		emit = func(ms core.MoleculeSet) error {
+			limited := false
+			if p.Limit > 0 {
+				if rest := p.Limit - delivered; len(ms) >= rest {
+					ms, limited = ms[:rest], true
+				}
+			}
+			if len(ms) > 0 {
+				select {
+				case st.batches <- ms:
+					sizer.Observe(false)
+					delivered += len(ms)
+				default:
+					sizer.Observe(true)
+					select {
+					case st.batches <- ms:
+						delivered += len(ms)
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+			}
+			if limited {
+				return errStreamLimit
+			}
+			return nil
+		}
 	}
 
 	work, err := dv.DeriveRootsFusedStreamSized(ctx, roots, p.Workers, sizer, newWorker, emit)
@@ -278,6 +438,7 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 	// actuals still describe the work actually done.
 	for _, ws := range states {
 		p.Derived += int(ws.derived)
+		p.OrderCut += int(ws.orderCut)
 		for i := range p.Pushdowns {
 			p.Pushdowns[i].Cut += int(ws.cuts[i])
 		}
@@ -291,6 +452,47 @@ func (st *Stream) run(ctx context.Context, dv *core.Deriver, eb *evalErrBox, pre
 		st.errc <- err
 		return
 	}
+
+	// The heap and sort paths held their results back; order and deliver
+	// them now. The executor has joined its workers, so this runs alone.
+	if topK || sortAll {
+		var final []orderedEntry
+		if topK {
+			// Popping the worst-at-top heap yields worst-first; fill the
+			// slice back to front for best-first delivery.
+			final = make([]orderedEntry, kh.Len())
+			for i := len(final) - 1; i >= 0; i-- {
+				final[i] = heap.Pop(kh).(orderedEntry)
+			}
+		} else {
+			sort.SliceStable(held, func(i, j int) bool {
+				return p.orderCmp(held[i].key, held[i].m.Root(), held[j].key, held[j].m.Root()) < 0
+			})
+			final = held
+			if p.Limit > 0 && len(final) > p.Limit {
+				final = final[:p.Limit]
+			}
+		}
+		for len(final) > 0 {
+			n := core.DefaultStreamBatch
+			if n > len(final) {
+				n = len(final)
+			}
+			batch := make(core.MoleculeSet, n)
+			for i := range batch {
+				batch[i] = final[i].m
+			}
+			final = final[n:]
+			select {
+			case st.batches <- batch:
+				delivered += n
+			case <-ctx.Done():
+				st.errc <- ctx.Err()
+				return
+			}
+		}
+	}
+
 	p.Out = delivered
 	p.Executed = true
 	if complete {

@@ -382,3 +382,49 @@ func TestServerClientDisconnectCancels(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServerOrderedAndCountQueries drives the new ordered/aggregated
+// surface over the wire: an ORDER BY SELECT streams its molecules in key
+// order through the usual CHUNK frames, and SELECT COUNT (grouped or
+// not) arrives as an eagerly rendered result.
+func TestServerOrderedAndCountQueries(t *testing.T) {
+	s, err := geo.BuildSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, s.DB)
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	out, err := c.Exec("SELECT state FROM state-area ORDER BY hectare DESC LIMIT 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest two states first: Bahia (1000) before Minas Gerais (900).
+	ba, mg := strings.Index(out, "Bahia"), strings.Index(out, "Minas Gerais")
+	if ba < 0 || mg < 0 || ba > mg {
+		t.Fatalf("ordered delivery wrong (Bahia at %d, Minas Gerais at %d):\n%s", ba, mg, out)
+	}
+	if strings.Count(out, "-- molecule") != 2 {
+		t.Fatalf("want 2 molecules:\n%s", out)
+	}
+
+	out, err = c.Exec("SELECT COUNT FROM state-area WHERE state.hectare > 500;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "count: 2") {
+		t.Fatalf("count out: %s", out)
+	}
+
+	out, err = c.Exec("SELECT COUNT FROM state-area GROUP BY abbrev LIMIT 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 group(s) by abbrev") {
+		t.Fatalf("group out: %s", out)
+	}
+}

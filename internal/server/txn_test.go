@@ -53,14 +53,14 @@ func TestServerTxnIsolationAcrossConnections(t *testing.T) {
 	if !strings.Contains(out, "2 molecule(s)") {
 		t.Fatalf("reader sees buffered writes before commit:\n%s", out)
 	}
-	// The writer's own SELECT reads its begin snapshot too
-	// (read-committed-snapshot, not read-your-writes).
+	// The writer's own SELECT reads the effective view: begin snapshot
+	// plus its buffered writes (read-your-writes).
 	out, err = writer.Exec("SELECT ALL FROM parts;")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "2 molecule(s)") {
-		t.Fatalf("writer sees own buffered writes mid-txn:\n%s", out)
+	if !strings.Contains(out, "4 molecule(s)") || !strings.Contains(out, "ring") {
+		t.Fatalf("writer misses own buffered writes mid-txn:\n%s", out)
 	}
 	if out, err = writer.Exec("COMMIT;"); err != nil || !strings.Contains(out, "committed 2 mutation(s)") {
 		t.Fatalf("COMMIT: %v %q", err, out)

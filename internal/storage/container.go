@@ -323,6 +323,25 @@ func (c *Container) versionCount() int {
 	return n
 }
 
+// chainStats reports the occurrence's version-chain pressure: number of
+// chains, total version nodes and the longest chain.
+func (c *Container) chainStats() (chains, nodes, maxLen int) {
+	c.latch.RLock()
+	defer c.latch.RUnlock()
+	for _, head := range c.index {
+		n := 0
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+		chains++
+		nodes += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	return chains, nodes, maxLen
+}
+
 // vacuum truncates every chain below the horizon: the newest version at
 // or below horizon becomes the chain's tail, and identifiers whose entire
 // visible history at the horizon is a tombstone are removed outright. It

@@ -60,6 +60,9 @@ type Database struct {
 	ckptMu       sync.Mutex
 	ckptHooks    []func() error
 	ckptTestHook func()
+	// autoCkpts counts checkpoints completed by the auto-checkpoint
+	// trigger (SetAutoCheckpoint), for observability and tests.
+	autoCkpts atomic.Int64
 
 	// snapMu guards liveSnaps, the refcounts of pinned snapshot
 	// timestamps that hold the vacuum horizon back.

@@ -24,6 +24,23 @@ type Index struct {
 	latch   sync.RWMutex
 	entries map[model.Key]*verList
 	keys    int // distinct keys with a non-empty newest posting
+
+	// vals recovers the attribute value behind each entry key (Key is a
+	// one-way encoding), and order caches the entry keys sorted by that
+	// value — the ordered view ScanOrderedAt walks. order is rebuilt
+	// lazily: mutations only invalidate it when the key *set* changes
+	// (first posting for a value, vacuum dropping a dead key), so steady
+	// UPDATE/DELETE traffic on existing keys never pays a re-sort.
+	vals       map[model.Key]model.Value
+	order      []orderedKey
+	orderDirty bool
+}
+
+// orderedKey is one entry of the ordered view: the decoded attribute
+// value and the map key it indexes.
+type orderedKey struct {
+	v model.Value
+	k model.Key
 }
 
 // NewIndex creates an empty index over the attribute at position pos.
@@ -36,6 +53,7 @@ func NewIndex(typeName, attr string, pos int) *Index {
 		pos:      pos,
 		clock:    clock,
 		entries:  make(map[model.Key]*verList),
+		vals:     make(map[model.Key]model.Value),
 	}
 }
 
@@ -48,12 +66,17 @@ func (ix *Index) Attr() string { return ix.attr }
 // applyAdd registers an atom under its attribute value at commit
 // timestamp ts, returning an undo that pops the pushed posting version.
 func (ix *Index) applyAdd(a model.Atom, ts uint64) (undo func()) {
-	k := a.Get(ix.pos).Key()
+	v := a.Get(ix.pos)
+	k := v.Key()
 	ix.latch.Lock()
 	defer ix.latch.Unlock()
 	old := ix.entries[k]
 	items := headPosting(old)
 	ix.entries[k] = &verList{items: append(append([]model.AtomID(nil), items...), a.ID), ts: ts, prev: old}
+	if old == nil {
+		ix.vals[k] = v
+		ix.orderDirty = true
+	}
 	wasEmpty := len(items) == 0
 	if wasEmpty {
 		ix.keys++
@@ -63,6 +86,8 @@ func (ix *Index) applyAdd(a model.Atom, ts uint64) (undo func()) {
 		defer ix.latch.Unlock()
 		if old == nil {
 			delete(ix.entries, k)
+			delete(ix.vals, k)
+			ix.orderDirty = true
 		} else {
 			ix.entries[k] = old
 		}
@@ -74,12 +99,17 @@ func (ix *Index) applyAdd(a model.Atom, ts uint64) (undo func()) {
 
 // applyRemove unregisters an atom at ts.
 func (ix *Index) applyRemove(a model.Atom, ts uint64) (undo func()) {
-	k := a.Get(ix.pos).Key()
+	v := a.Get(ix.pos)
+	k := v.Key()
 	ix.latch.Lock()
 	defer ix.latch.Unlock()
 	old := ix.entries[k]
 	items := removeIDCopy(headPosting(old), a.ID)
 	ix.entries[k] = &verList{items: items, ts: ts, prev: old}
+	if old == nil {
+		ix.vals[k] = v
+		ix.orderDirty = true
+	}
 	nowEmpty := len(items) == 0 && len(headPosting(old)) > 0
 	if nowEmpty {
 		ix.keys--
@@ -89,6 +119,8 @@ func (ix *Index) applyRemove(a model.Atom, ts uint64) (undo func()) {
 		defer ix.latch.Unlock()
 		if old == nil {
 			delete(ix.entries, k)
+			delete(ix.vals, k)
+			ix.orderDirty = true
 		} else {
 			ix.entries[k] = old
 		}
@@ -143,6 +175,25 @@ func (ix *Index) versionCount() int {
 	return n
 }
 
+// chainStats reports the index's version-chain pressure: posting chains,
+// total versions and the longest chain.
+func (ix *Index) chainStats() (chains, nodes, maxLen int) {
+	ix.latch.RLock()
+	defer ix.latch.RUnlock()
+	for _, head := range ix.entries {
+		n := 0
+		for v := head; v != nil; v = v.prev {
+			n++
+		}
+		chains++
+		nodes += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	return chains, nodes, maxLen
+}
+
 // vacuum truncates posting chains below the horizon, dropping keys whose
 // anchored posting is empty with no newer versions. It returns the number
 // of versions reclaimed.
@@ -167,10 +218,92 @@ func (ix *Index) vacuum(horizon uint64) int {
 		anchor.prev = nil
 		if anchor == head && len(anchor.items) == 0 {
 			delete(ix.entries, k)
+			delete(ix.vals, k)
+			ix.orderDirty = true
 			reclaimed++
 		}
 	}
 	return reclaimed
+}
+
+// keyLess is a total order over entry keys, used only as a determinism
+// tiebreak between distinct keys whose values compare equal (1 vs 1.0).
+func keyLess(a, b model.Key) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	if a.F != b.F {
+		return a.F < b.F
+	}
+	return a.S < b.S
+}
+
+// rebuildOrderLocked refreshes the value-sorted entry-key cache. Values
+// that compare equal across kinds (1 and 1.0) fall back to the entry-key
+// order so the walk is deterministic. Callers hold the write latch.
+func (ix *Index) rebuildOrderLocked() {
+	if !ix.orderDirty {
+		return
+	}
+	ix.order = ix.order[:0]
+	for k, v := range ix.vals {
+		ix.order = append(ix.order, orderedKey{v: v, k: k})
+	}
+	sort.Slice(ix.order, func(i, j int) bool {
+		if c := ix.order[i].v.Compare(ix.order[j].v); c != 0 {
+			return c < 0
+		}
+		return keyLess(ix.order[i].k, ix.order[j].k)
+	})
+	ix.orderDirty = false
+}
+
+// ScanOrderedAt walks the index in attribute-value order (descending
+// when desc is set) as of commit timestamp ts, invoking fn with each
+// value and the identifiers of the atoms carrying it — sorted ascending,
+// so equal-key runs have a deterministic ID order regardless of scan
+// direction. fn returning false stops the walk. Empty postings (keys
+// whose atoms are all newer than ts, or deleted by ts) are skipped, which
+// is what makes the walk MVCC-correct: a key committed after ts resolves
+// to an empty visible posting, and vacuum can only drop keys whose
+// posting is empty at every reachable timestamp.
+func (ix *Index) ScanOrderedAt(ts uint64, desc bool, fn func(model.Value, []model.AtomID) bool) {
+	// The order cache is copied under the latch and walked without it:
+	// keys added mid-walk committed above ts, keys removed mid-walk
+	// resolve to empty postings — either way the walk's view at ts is
+	// unaffected.
+	ix.latch.Lock()
+	ix.rebuildOrderLocked()
+	order := make([]orderedKey, len(ix.order))
+	copy(order, ix.order)
+	ix.latch.Unlock()
+	step := func(ok orderedKey) bool {
+		ix.latch.RLock()
+		ids := visibleList(ix.entries[ok.k], ts)
+		ix.latch.RUnlock()
+		if len(ids) == 0 {
+			return true
+		}
+		out := make([]model.AtomID, len(ids))
+		copy(out, ids)
+		return fn(ok.v, model.SortAtomIDs(out))
+	}
+	if desc {
+		for i := len(order) - 1; i >= 0; i-- {
+			if !step(order[i]) {
+				return
+			}
+		}
+		return
+	}
+	for _, ok := range order {
+		if !step(ok) {
+			return
+		}
+	}
 }
 
 // indexKey names an index within the database.
@@ -270,6 +403,22 @@ func (db *Database) IndexLookupAt(typeName, attr string, v model.Value, ts uint6
 	}
 	db.stats.IndexLookups.Add(1)
 	return ix.LookupAt(v, ts), true
+}
+
+// IndexOrderedAt walks the index over typeName.attr in attribute-value
+// order at the given commit timestamp (see Index.ScanOrderedAt), giving
+// the query planner its sort-free ORDER BY access path. ok=false when no
+// such index exists.
+func (db *Database) IndexOrderedAt(typeName, attr string, ts uint64, desc bool, fn func(model.Value, []model.AtomID) bool) bool {
+	db.mu.RLock()
+	ix, ok := db.indexes[indexKey(typeName, attr)]
+	db.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	db.stats.IndexLookups.Add(1)
+	ix.ScanOrderedAt(ts, desc, fn)
+	return true
 }
 
 // HasIndex reports whether an index over typeName.attr exists.

@@ -409,6 +409,27 @@ func (ls *LinkStore) versionCount() int {
 	return n
 }
 
+// chainStats reports the store's version-chain pressure across both
+// adjacency directions: chains, total nodes and the longest chain.
+func (ls *LinkStore) chainStats() (chains, nodes, maxLen int) {
+	ls.latch.RLock()
+	defer ls.latch.RUnlock()
+	for _, m := range []map[model.AtomID]*verList{ls.fromA, ls.fromB} {
+		for _, head := range m {
+			n := 0
+			for v := head; v != nil; v = v.prev {
+				n++
+			}
+			chains++
+			nodes += n
+			if n > maxLen {
+				maxLen = n
+			}
+		}
+	}
+	return chains, nodes, maxLen
+}
+
 // vacuum truncates every partner-list chain below the horizon and drops
 // entries whose anchored list is empty with no newer versions. It returns
 // the number of version nodes reclaimed.

@@ -118,6 +118,40 @@ func (db *Database) WALCounters() (appends, syncs int64) {
 	return db.wal.Counters()
 }
 
+// SetAutoCheckpoint arms background checkpointing: when the live
+// write-ahead log (record bytes appended since the last rotation)
+// exceeds limit bytes, the flusher triggers Database.Checkpoint in the
+// background, so a long-running server stops growing the log
+// unboundedly. Each threshold crossing fires exactly one checkpoint —
+// the trigger re-arms only after the checkpoint completes and its
+// rotation has reset the live counter. A non-positive limit disables
+// the trigger.
+func (db *Database) SetAutoCheckpoint(limit int64) error {
+	if db.wal == nil {
+		return ErrNotDurable
+	}
+	db.wal.setAutoCheckpoint(limit, func() {
+		if _, err := db.Checkpoint(); err == nil {
+			db.autoCkpts.Add(1)
+		}
+	})
+	return nil
+}
+
+// AutoCheckpoints reports how many background checkpoints the
+// SetAutoCheckpoint trigger has completed.
+func (db *Database) AutoCheckpoints() int64 { return db.autoCkpts.Load() }
+
+// LiveWALBytes reports the record bytes appended to the log since its
+// last rotation — the region a checkpoint has not yet covered. Zero for
+// an in-memory database.
+func (db *Database) LiveWALBytes() int64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.liveBytes.Load()
+}
+
 // tornInfo describes where replay stopped: the segment holding the first
 // torn frame, the byte offset of that frame, and any segments after it.
 type tornInfo struct {

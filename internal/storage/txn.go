@@ -19,8 +19,11 @@ import (
 //
 // Reads used for buffer-time validation resolve against the snapshot
 // pinned at Begin plus this transaction's own buffered writes (its
-// overlay). Queries run elsewhere do NOT see the overlay: MAD offers
-// snapshot-isolated readers, not read-your-own-writes cursors.
+// overlay) — the transaction's *effective view*, exposed through
+// ScanEff, EffAtom, EffIDs and EffPartners so the owning session can
+// also query its own uncommitted writes (read-your-writes). Readers
+// elsewhere never see the overlay: to every other session the
+// transaction is invisible until Commit.
 //
 // A Txn is not safe for concurrent use; the database it belongs to
 // remains fully concurrent.
@@ -85,10 +88,11 @@ func (t *Txn) SnapshotTS() uint64 { return t.snap.TS() }
 
 // Snapshot exposes the transaction's begin snapshot so queries issued
 // inside the transaction can read the same consistent view it validates
-// against (buffered writes are NOT visible through it — the transaction
-// model is read-committed-snapshot, not read-your-writes). The snapshot
-// stays owned by the transaction: it closes at Commit/Rollback, so
-// callers must not Close it and must not use it past the transaction.
+// against. Buffered writes are NOT visible through the snapshot itself —
+// readers that want the transaction's own writes merged in use the
+// effective view (EffAtom/EffIDs/EffPartners/ScanEff) instead. The
+// snapshot stays owned by the transaction: it closes at Commit/Rollback,
+// so callers must not Close it and must not use it past the transaction.
 func (t *Txn) Snapshot() *Snapshot { return t.snap }
 
 // ScanEff scans the transaction's effective view of an atom type: the
@@ -96,9 +100,10 @@ func (t *Txn) Snapshot() *Snapshot { return t.snap }
 // (updates replace the snapshot value, tombstones hide it, inserts are
 // appended after the snapshot's atoms). This is the view the MQL layer
 // matches DML predicates against inside a transaction — a statement can
-// UPDATE or CONNECT an atom the same transaction just inserted. It is
-// NOT the view SELECT queries read (those stay on the begin snapshot;
-// see Snapshot).
+// UPDATE or CONNECT an atom the same transaction just inserted — and,
+// together with EffAtom/EffIDs/EffPartners, the view in-transaction
+// SELECT queries derive from once the transaction holds buffered
+// writes.
 func (t *Txn) ScanEff(typeName string, fn func(model.Atom) bool) error {
 	if err := t.active(); err != nil {
 		return err
@@ -529,3 +534,135 @@ func (t *Txn) Rollback() error {
 
 // Mutations reports how many mutations the transaction has buffered.
 func (t *Txn) Mutations() int { return len(t.ops) }
+
+// Dirty reports whether the transaction holds buffered writes — the
+// signal the query layer uses to decide between the plain begin-snapshot
+// read path and the effective-view (read-your-writes) path.
+func (t *Txn) Dirty() bool { return len(t.ops) > 0 }
+
+// EffAtom resolves one atom through the transaction's effective view:
+// the overlay value when buffered (false for a tombstone), the begin
+// snapshot otherwise. It returns false on a finished transaction.
+func (t *Txn) EffAtom(typeName string, id model.AtomID) (model.Atom, bool) {
+	if t.done {
+		return model.Atom{}, false
+	}
+	return t.lookupEff(typeName, id)
+}
+
+// EffIDs returns the identifiers of a type's effective occurrence:
+// snapshot atoms minus buffered tombstones, followed by this
+// transaction's own inserts in identifier order. The enumeration is
+// deterministic, matching ScanEff's delivery order.
+func (t *Txn) EffIDs(typeName string) []model.AtomID {
+	if t.done {
+		return nil
+	}
+	ov := t.atoms[typeName]
+	var out []model.AtomID
+	_ = t.snap.ScanAtoms(typeName, func(a model.Atom) bool {
+		if o, ok := ov[a.ID]; ok && o.deleted {
+			return true
+		}
+		out = append(out, a.ID)
+		return true
+	})
+	var extra []model.AtomID
+	for id, o := range ov {
+		if o.deleted {
+			continue
+		}
+		if _, inSnap := t.snap.GetAtom(typeName, id); inSnap {
+			continue // an update, already enumerated above
+		}
+		extra = append(extra, id)
+	}
+	model.SortAtomIDs(extra)
+	return append(out, extra...)
+}
+
+// EffPartners returns the partners of an atom along the named link type
+// in the transaction's effective view — the begin snapshot's adjacency
+// with the buffered link deltas replayed in op order. fromSideA selects
+// the traversal direction (side-B partners of a side-A atom, or the
+// symmetric view), mirroring PartnersFromAAt/PartnersFromBAt.
+func (t *Txn) EffPartners(linkName string, id model.AtomID, fromSideA bool) []model.AtomID {
+	if t.done {
+		return nil
+	}
+	db := t.db
+	db.mu.RLock()
+	ls, ok := db.links[linkName]
+	db.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	var base []model.AtomID
+	if fromSideA {
+		base = ls.PartnersFromAAt(id, t.snap.TS())
+	} else {
+		base = ls.PartnersFromBAt(id, t.snap.TS())
+	}
+	deltas := t.linkOps[linkName]
+	if len(deltas) == 0 {
+		return base
+	}
+	// The base slice is an immutable version list; replay on a copy.
+	out := append([]model.AtomID(nil), base...)
+	remove := func(p model.AtomID) {
+		for i, q := range out {
+			if q == p {
+				out = append(out[:i], out[i+1:]...)
+				return
+			}
+		}
+	}
+	add := func(p model.AtomID) {
+		for _, q := range out {
+			if q == p {
+				return
+			}
+		}
+		out = append(out, p)
+	}
+	refl := ls.desc.Reflexive()
+	for _, d := range deltas {
+		switch {
+		case d.drop:
+			// Cascade of a buffered delete: every link incident to d.a goes.
+			if d.a == id {
+				out = out[:0]
+			} else {
+				remove(d.a)
+			}
+		case d.added:
+			// Connect buffers the pair as given; applyConnect stores that
+			// same orientation, so no reflexive mirroring here.
+			if fromSideA && d.a == id {
+				add(d.b)
+			}
+			if !fromSideA && d.b == id {
+				add(d.a)
+			}
+		default:
+			// Disconnect: for a reflexive link the stored pair may carry
+			// either orientation, so drop whichever endpoint matches.
+			if fromSideA {
+				if d.a == id {
+					remove(d.b)
+				}
+				if refl && d.b == id {
+					remove(d.a)
+				}
+			} else {
+				if d.b == id {
+					remove(d.a)
+				}
+				if refl && d.a == id {
+					remove(d.b)
+				}
+			}
+		}
+	}
+	return out
+}

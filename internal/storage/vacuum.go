@@ -6,10 +6,22 @@ import (
 )
 
 // VacuumStats reports one vacuum pass: how many version nodes were
-// reclaimed and the horizon the pass ran at.
+// reclaimed, the horizon the pass ran at, and the version-chain pressure
+// REMAINING after the pass — chains a pinned snapshot or write-heavy
+// load kept long. The background vacuum uses the residual pressure to
+// tighten its cadence.
 type VacuumStats struct {
 	Reclaimed int
 	Horizon   uint64
+
+	// Chains counts the version chains across every occurrence and
+	// index after the pass; MeanChain and MaxChain are their mean and
+	// maximum length. A mean near 1 means versions collapse as fast as
+	// writers stack them; a climbing mean or max signals the horizon is
+	// stuck (an old pin) or the cadence is too slow for the write rate.
+	Chains    int
+	MeanChain float64
+	MaxChain  int
 }
 
 // VacuumHorizon returns the commit timestamp below which no live
@@ -64,6 +76,26 @@ func (db *Database) Vacuum() VacuumStats {
 	for _, ix := range indexes {
 		st.Reclaimed += ix.vacuum(horizon)
 	}
+	nodes := 0
+	fold := func(chains, n, maxLen int) {
+		st.Chains += chains
+		nodes += n
+		if maxLen > st.MaxChain {
+			st.MaxChain = maxLen
+		}
+	}
+	for _, c := range containers {
+		fold(c.chainStats())
+	}
+	for _, ls := range stores {
+		fold(ls.chainStats())
+	}
+	for _, ix := range indexes {
+		fold(ix.chainStats())
+	}
+	if st.Chains > 0 {
+		st.MeanChain = float64(nodes) / float64(st.Chains)
+	}
 	return st
 }
 
@@ -98,10 +130,41 @@ func (db *Database) VersionCount() int {
 	return n
 }
 
+// Chain-pressure thresholds for the adaptive vacuum cadence: a residual
+// mean chain length or max chain past these marks halves the interval;
+// past double the marks it quarters.
+const (
+	chainPressureMean = 2.0
+	chainPressureMax  = 16
+)
+
+// nextVacuumInterval picks the delay before the next background pass
+// from the residual chain pressure the last one left behind: base under
+// light pressure, base/2 once chains stay long, base/4 under heavy
+// write load — floored at a millisecond so pathological pressure cannot
+// spin the goroutine.
+func nextVacuumInterval(base time.Duration, st VacuumStats) time.Duration {
+	next := base
+	switch {
+	case st.MeanChain >= 2*chainPressureMean || st.MaxChain >= 2*chainPressureMax:
+		next = base / 4
+	case st.MeanChain >= chainPressureMean || st.MaxChain >= chainPressureMax:
+		next = base / 2
+	}
+	if next < time.Millisecond {
+		next = time.Millisecond
+	}
+	return next
+}
+
 // StartVacuum launches a background goroutine that vacuums at the given
-// interval, reclaiming versions older than the oldest live snapshot. The
-// returned stop function halts it and waits for the in-flight pass (stop
-// is idempotent).
+// base interval, reclaiming versions older than the oldest live
+// snapshot. The cadence is adaptive: when a pass leaves high residual
+// chain pressure behind (write-heavy load stacking versions faster than
+// the base cadence collapses them), the next pass runs at base/2 or
+// base/4 — and relaxes back to base once the pressure drains. The
+// returned stop function halts it and waits for the in-flight pass
+// (stop is idempotent).
 func (db *Database) StartVacuum(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Second
@@ -111,14 +174,15 @@ func (db *Database) StartVacuum(interval time.Duration) (stop func()) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		t := time.NewTicker(interval)
+		t := time.NewTimer(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-done:
 				return
 			case <-t.C:
-				db.Vacuum()
+				st := db.Vacuum()
+				t.Reset(nextVacuumInterval(interval, st))
 			}
 		}
 	}()

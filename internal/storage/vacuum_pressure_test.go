@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"mad/internal/model"
+)
+
+// TestVacuumChainPressureStats pins a snapshot, stacks updates on one
+// atom and asserts Vacuum reports the residual chain pressure: the
+// pinned pass sees the long chain, the unpinned one collapses it.
+func TestVacuumChainPressureStats(t *testing.T) {
+	db := NewDatabase()
+	d := model.MustDesc(model.AttrDesc{Name: "n", Kind: model.KInt})
+	if _, err := db.DefineAtomType("t", d); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]model.AtomID, 4)
+	for i := range ids {
+		id, err := db.InsertAtom("t", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// A pinned snapshot holds the horizon; 20 updates stack a 21-node
+	// chain on ids[0] that vacuum must keep — and report.
+	pin := db.Snapshot()
+	for i := 0; i < 20; i++ {
+		if err := db.UpdateAtom("t", ids[0], []model.Value{model.Int(int64(100 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Vacuum()
+	if st.Reclaimed != 0 {
+		t.Fatalf("pinned vacuum reclaimed %d", st.Reclaimed)
+	}
+	if st.Chains != 4 || st.MaxChain != 21 {
+		t.Fatalf("pressure under pin = %+v, want 4 chains, max 21", st)
+	}
+	if want := 24.0 / 4; st.MeanChain != want {
+		t.Fatalf("mean chain = %v, want %v", st.MeanChain, want)
+	}
+
+	// Unpinned, the chain collapses and the pressure drains to 1.
+	pin.Close()
+	st = db.Vacuum()
+	if st.Reclaimed != 20 {
+		t.Fatalf("unpinned vacuum reclaimed %d, want 20", st.Reclaimed)
+	}
+	if st.Chains != 4 || st.MaxChain != 1 || st.MeanChain != 1.0 {
+		t.Fatalf("pressure after collapse = %+v, want 4×1", st)
+	}
+}
+
+// TestNextVacuumInterval checks the adaptive-cadence policy: base under
+// light pressure, halved past the pressure marks, quartered past double
+// the marks, floored at a millisecond.
+func TestNextVacuumInterval(t *testing.T) {
+	base := time.Second
+	cases := []struct {
+		name string
+		st   VacuumStats
+		want time.Duration
+	}{
+		{"idle", VacuumStats{}, base},
+		{"light", VacuumStats{MeanChain: 1.2, MaxChain: 3}, base},
+		{"mean-pressure", VacuumStats{MeanChain: chainPressureMean, MaxChain: 2}, base / 2},
+		{"max-pressure", VacuumStats{MeanChain: 1.0, MaxChain: chainPressureMax}, base / 2},
+		{"heavy-mean", VacuumStats{MeanChain: 2 * chainPressureMean}, base / 4},
+		{"heavy-max", VacuumStats{MaxChain: 2 * chainPressureMax}, base / 4},
+	}
+	for _, c := range cases {
+		if got := nextVacuumInterval(base, c.st); got != c.want {
+			t.Errorf("%s: interval = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The floor keeps a pathological pressure from spinning.
+	if got := nextVacuumInterval(2*time.Millisecond, VacuumStats{MeanChain: 100}); got != time.Millisecond {
+		t.Errorf("floor: %v", got)
+	}
+}

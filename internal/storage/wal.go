@@ -313,6 +313,16 @@ type WAL struct {
 	// group-commit tests assert syncs ≪ appends under concurrency.
 	appends atomic.Int64
 	syncs   atomic.Int64
+
+	// Auto-checkpoint: liveBytes counts record bytes appended since the
+	// last rotation (the live, not-yet-checkpointed log). When ckptLimit
+	// is positive and liveBytes crosses it, onCkpt fires exactly once —
+	// ckptArmed latches until the checkpoint completes, so a long
+	// checkpoint under continued write load cannot stack a second one.
+	liveBytes atomic.Int64
+	ckptLimit atomic.Int64
+	ckptArmed atomic.Bool
+	onCkpt    func() // guarded by mu
 }
 
 // newWAL opens a fresh segment numbered seg and starts the flusher.
@@ -468,6 +478,7 @@ func (w *WAL) writeRun(run []*walReq) error {
 				return err
 			}
 			w.appends.Add(1)
+			w.liveBytes.Add(int64(len(req.rec)))
 			if err := w.f.Sync(); err != nil {
 				return err
 			}
@@ -475,6 +486,7 @@ func (w *WAL) writeRun(run []*walReq) error {
 			w.publish(req.ts)
 			req.done <- nil
 		}
+		w.maybeAutoCheckpoint()
 		return nil
 	}
 	for _, req := range run {
@@ -482,6 +494,7 @@ func (w *WAL) writeRun(run []*walReq) error {
 			return err
 		}
 		w.appends.Add(1)
+		w.liveBytes.Add(int64(len(req.rec)))
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
@@ -491,7 +504,46 @@ func (w *WAL) writeRun(run []*walReq) error {
 	for _, req := range run {
 		req.done <- nil
 	}
+	w.maybeAutoCheckpoint()
 	return nil
+}
+
+// setAutoCheckpoint installs the auto-checkpoint trigger: fire is called
+// (off the flusher goroutine) when the live log crosses limit bytes; a
+// non-positive limit disables the trigger.
+func (w *WAL) setAutoCheckpoint(limit int64, fire func()) {
+	w.mu.Lock()
+	w.onCkpt = fire
+	w.mu.Unlock()
+	w.ckptLimit.Store(limit)
+}
+
+// maybeAutoCheckpoint fires the auto-checkpoint once per threshold
+// crossing. It runs on the flusher goroutine after a write run, so the
+// checkpoint itself must run elsewhere: Checkpoint enqueues a rotation
+// barrier and waits for this very flusher to ack it — calling it inline
+// would deadlock.
+func (w *WAL) maybeAutoCheckpoint() {
+	lim := w.ckptLimit.Load()
+	if lim <= 0 || w.liveBytes.Load() < lim {
+		return
+	}
+	if !w.ckptArmed.CompareAndSwap(false, true) {
+		return // a checkpoint for this crossing is already in flight
+	}
+	w.mu.Lock()
+	fire := w.onCkpt
+	w.mu.Unlock()
+	if fire == nil {
+		w.ckptArmed.Store(false)
+		return
+	}
+	go func() {
+		fire()
+		// Re-arm only after the checkpoint finished: its rotation reset
+		// liveBytes, so the next crossing is a genuinely new one.
+		w.ckptArmed.Store(false)
+	}()
 }
 
 // rotateSegment closes the current segment and opens the next. Records
@@ -511,6 +563,9 @@ func (w *WAL) rotateSegment() error {
 	}
 	w.f = f
 	w.seg.Store(next)
+	// Rotation starts a fresh live region: everything before the barrier
+	// is in closed segments a checkpoint is about to cover.
+	w.liveBytes.Store(0)
 	syncDir(w.dir)
 	return nil
 }

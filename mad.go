@@ -163,7 +163,12 @@ func TakeSnapshot(db *Database) *Snapshot { return db.Snapshot() }
 //
 // The same options are available inside MQL itself: `SET WORKERS n;`
 // and `SET NOCACHE TRUE;` install session defaults, and a SELECT may
-// carry a trailing `LIMIT n`. Plan-level callers migrate from
+// carry a trailing `LIMIT n`. A SELECT may also order its stream
+// (`ORDER BY attr [ASC|DESC]` on a root attribute — served off an
+// ordered index ride when one covers the attribute, a bounded top-K
+// heap under LIMIT, a terminal sort otherwise) or aggregate instead of
+// materialize (`SELECT COUNT ... [GROUP BY attr]`, folded batch by
+// batch off the stream). Plan-level callers migrate from
 // Plan.Execute to Plan.Stream(ctx) the same way; Execute remains as the
 // collect-all form.
 type (

@@ -1,8 +1,10 @@
 #!/bin/sh
 # bench.sh — perf-trajectory tooling: runs every repository benchmark with
-# -benchmem and emits a machine-readable BENCH_P11.json (one record per
-# benchmark: ns/op, B/op, allocs/op) so CI can archive the trajectory per
-# commit. Non-gating: numbers are for trend lines, not pass/fail.
+# -benchmem and emits a machine-readable JSON file (one record per
+# benchmark: ns/op, B/op, allocs/op plus any custom metrics the benchmark
+# reports — peak-B/op, commits/s, appends/fsync, atom-fetches/op) so CI
+# can archive the trajectory per commit. Non-gating: numbers are for
+# trend lines, not pass/fail.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME  go test -benchtime value (default 1x: smoke-level noise,
@@ -11,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_P11.json}"
+out="${1:-BENCH.json}"
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH:-.}"
 
@@ -29,7 +31,7 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1; iters = $2
-	ns = ""; bytes = ""; allocs = ""; peak = ""; cps = ""; apf = ""
+	ns = ""; bytes = ""; allocs = ""; peak = ""; cps = ""; apf = ""; af = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "B/op") bytes = $i
@@ -37,6 +39,7 @@ BEGIN {
 		if ($(i + 1) == "peak-B/op") peak = $i
 		if ($(i + 1) == "commits/s") cps = $i
 		if ($(i + 1) == "appends/fsync") apf = $i
+		if ($(i + 1) == "atom-fetches/op") af = $i
 	}
 	if (ns == "") next
 	if (n++) printf ","
@@ -46,6 +49,7 @@ BEGIN {
 	if (peak != "") printf ", \"peak_bytes_per_op\": %s", peak
 	if (cps != "") printf ", \"commits_per_s\": %s", cps
 	if (apf != "") printf ", \"appends_per_fsync\": %s", apf
+	if (af != "") printf ", \"atom_fetches_per_op\": %s", af
 	printf "}"
 }
 END { printf "\n  ]\n}\n" }
