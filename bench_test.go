@@ -609,6 +609,77 @@ func BenchmarkP15TopKEarlyStop(b *testing.B) {
 	b.Run(fmt.Sprintf("topk_limit=%d", k), func(b *testing.B) { run(b, k, k) })
 }
 
+// BenchmarkP16IndexIntersection measures the multi-entry access path: two
+// indexed equality conjuncts on different interior atom types, executed
+// through the best single interior-index entry (all of that entry's
+// candidates are derived; the other conjunct rejects molecules via its
+// pushdown hook) versus the sorted-merge index intersection (both entries
+// climb to candidate roots, the sets intersect, and only the survivors
+// are derived). Logical work is reported as "atom-fetches/op" — over 4096
+// jobs on a 64×64 site/grade grid the intersection must fetch at least 3×
+// fewer atoms than the best single entry, and the benchmark fails if it
+// does not.
+func BenchmarkP16IndexIntersection(b *testing.B) {
+	const jobs = 4096
+	db, mt, err := experiments.BuildJobShop(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Release(db)
+	pred := experiments.JobShopPred(7, 3)
+	// exec compiles with or without the intersection candidate and
+	// returns the molecule count.
+	exec := func(intersect bool) (int, error) {
+		var p *plan.Plan
+		var err error
+		if intersect {
+			p, err = plan.Compile(db, mt.Desc(), pred)
+		} else {
+			p, err = plan.CompileSingleEntry(db, mt.Desc(), pred)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if intersect && p.Access.Kind != plan.IndexIntersect {
+			return 0, fmt.Errorf("contest picked %v, want index intersection", p.Access.Kind)
+		}
+		set, err := p.Execute()
+		if err != nil {
+			return 0, err
+		}
+		return len(set), nil
+	}
+	run := func(b *testing.B, intersect bool) {
+		before := db.Stats().Snapshot()
+		for i := 0; i < b.N; i++ {
+			n, err := exec(intersect)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 1 {
+				b.Fatalf("delivered %d molecules, want 1", n)
+			}
+		}
+		diff := db.Stats().Snapshot().Sub(before)
+		b.ReportMetric(float64(diff.AtomsFetched)/float64(b.N), "atom-fetches/op")
+	}
+	// The ≥3× acceptance gate, checked on logical work alone so it holds
+	// at smoke benchtime (1x) as well as trend-quality runs.
+	fetches := func(intersect bool) int64 {
+		before := db.Stats().Snapshot()
+		if _, err := exec(intersect); err != nil {
+			b.Fatal(err)
+		}
+		return db.Stats().Snapshot().Sub(before).AtomsFetched
+	}
+	single, intersected := fetches(false), fetches(true)
+	if intersected*3 > single {
+		b.Fatalf("intersection fetched %d atoms vs %d for the best single entry — want ≥3× fewer", intersected, single)
+	}
+	b.Run("single_entry", func(b *testing.B) { run(b, false) })
+	b.Run("intersect", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size
 // database.
 func BenchmarkCodecRoundTrip(b *testing.B) {

@@ -47,6 +47,7 @@ func All() []Experiment {
 		{ID: "P10", Title: "symmetric access paths: interior-index entry vs root scan", Run: RunP10},
 		{ID: "P11", Title: "fused derive+residual pipeline, feedback-calibrated costs", Run: RunP11},
 		{ID: "P12", Title: "streaming execution: first-molecule latency, LIMIT work caps", Run: RunP12},
+		{ID: "P16", Title: "composable access paths: index intersection vs single entry", Run: RunP16},
 	}
 }
 

@@ -240,6 +240,27 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// PrepareStmt is PREPARE name AS SELECT ... — it parses and shape-keys a
+// parameterized SELECT whose WHERE clause may contain '?' placeholders.
+// Later EXECUTEs bind literals to the placeholders and plan through the
+// shape-keyed cache entry, so repeated point queries stop recompiling on
+// literal text.
+type PrepareStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*PrepareStmt) stmt() {}
+
+// ExecuteStmt is EXECUTE name [(lit, ...)] — it runs a PREPARE'd
+// statement with the given literals bound to its placeholders in order.
+type ExecuteStmt struct {
+	Name string
+	Args []model.Value
+}
+
+func (*ExecuteStmt) stmt() {}
+
 // SetStmt is SET <option> [=] <literal> — per-session execution options
 // threaded into subsequent query plans: SET WORKERS n bounds the worker
 // pool (0 = all cores), SET NOCACHE TRUE bypasses the plan cache.

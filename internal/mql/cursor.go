@@ -20,6 +20,9 @@ type queryOpts struct {
 	limit      int
 	limitSet   bool
 	noCache    bool
+	// shapeKey, when set, plans through the shape-keyed plan-cache entry
+	// of a PREPARE'd statement instead of the literal cache key.
+	shapeKey string
 }
 
 // QueryOption tunes one QueryContext call. Options override the

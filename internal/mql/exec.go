@@ -24,6 +24,8 @@ type Session struct {
 	db    *storage.Database
 	named map[string]*core.MoleculeType
 	rec   map[string]*recursive.Type
+	// prepared holds the session's PREPARE'd statements by name.
+	prepared map[string]*preparedStmt
 
 	// workers is the SET WORKERS session default threaded into every
 	// plan (0 = GOMAXPROCS); noCache bypasses the plan cache when set.
@@ -42,9 +44,10 @@ type Session struct {
 // NewSession opens a session over the database.
 func NewSession(db *storage.Database) *Session {
 	return &Session{
-		db:    db,
-		named: make(map[string]*core.MoleculeType),
-		rec:   make(map[string]*recursive.Type),
+		db:       db,
+		named:    make(map[string]*core.MoleculeType),
+		rec:      make(map[string]*recursive.Type),
+		prepared: make(map[string]*preparedStmt),
 	}
 }
 
@@ -204,6 +207,10 @@ func (s *Session) Execute(st Stmt) (*Result, error) {
 		return s.execCheckpoint()
 	case *SetStmt:
 		return s.execSet(st)
+	case *PrepareStmt:
+		return s.execPrepare(st)
+	case *ExecuteStmt:
+		return s.execExecute(st)
 	case *BeginStmt:
 		return s.execBegin()
 	case *CommitStmt:
@@ -425,9 +432,15 @@ func (s *Session) planSelect(st *SelectStmt, desc *core.Desc, o queryOpts) (*pla
 		p   *plan.Plan
 		err error
 	)
-	if s.noCache || o.noCache {
+	switch {
+	case s.noCache || o.noCache:
 		p, err = plan.CompileOrdered(s.db, desc, st.Where, order)
-	} else {
+	case o.shapeKey != "":
+		// EXECUTE of a PREPARE'd statement: plan through the shape-keyed
+		// entry, so every binding of the same statement shares (and
+		// rebinds) one cached compilation.
+		p, _, err = plan.CacheFor(s.db).CompileShaped(desc, st.Where, order, o.shapeKey)
+	default:
 		p, _, err = plan.CacheFor(s.db).CompileOrdered(desc, st.Where, order)
 	}
 	if err != nil {
@@ -1150,6 +1163,8 @@ func (s *Session) execShow(st *ShowStmt) (*Result, error) {
 		b.WriteByte('\n')
 	case "FEEDBACK":
 		b.WriteString(plan.FeedbackFor(s.db).Render())
+	case "CACHE":
+		b.WriteString(plan.CacheFor(s.db).Render())
 	}
 	return &Result{Kind: RMessage, Message: b.String()}, nil
 }

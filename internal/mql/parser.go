@@ -13,7 +13,16 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// params counts the '?' placeholders seen so far; each lexes into a
+	// positional parameter sentinel bound at EXECUTE time.
+	params int
 }
+
+// paramType is the sentinel attribute "type" a '?' placeholder parses
+// into: the NUL byte cannot occur in an identifier, so the sentinel never
+// collides with a real atom type, and the placeholder's ordinal travels
+// in the attribute name.
+const paramType = "\x00param"
 
 // NewParser parses the given source into a parser ready to emit
 // statements.
@@ -165,6 +174,10 @@ func (p *Parser) Statement() (Stmt, error) {
 		return p.analyzeStmt()
 	case "SET":
 		return p.setStmt()
+	case "PREPARE":
+		return p.prepareStmt()
+	case "EXECUTE":
+		return p.executeStmt()
 	case "BEGIN":
 		p.pos++
 		p.accept(TKeyword, "TRANSACTION")
@@ -215,6 +228,56 @@ func (p *Parser) setStmt() (Stmt, error) {
 		return nil, err
 	}
 	return &SetStmt{Name: name, Value: v}, nil
+}
+
+// prepareStmt parses PREPARE name AS SELECT ... — the SELECT's WHERE
+// clause may contain '?' placeholders, bound positionally by EXECUTE.
+func (p *Parser) prepareStmt() (Stmt, error) {
+	if err := p.expect(TKeyword, "PREPARE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &PrepareStmt{Name: name, Select: sel.(*SelectStmt)}, nil
+}
+
+// executeStmt parses EXECUTE name [( lit, ... )].
+func (p *Parser) executeStmt() (Stmt, error) {
+	if err := p.expect(TKeyword, "EXECUTE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExecuteStmt{Name: name}
+	if p.accept(TSymbol, "(") {
+		if !p.peekIs(TSymbol, ")") {
+			for {
+				v, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				st.Args = append(st.Args, v)
+				if !p.accept(TSymbol, ",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(TSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 // selectStmt parses SELECT <ALL|COUNT|list> FROM <from> [WHERE pred]
@@ -891,7 +954,7 @@ func (p *Parser) showStmt() (Stmt, error) {
 	}
 	p.pos++
 	switch t.Text {
-	case "SCHEMA", "TYPES", "INDEXES", "STATS", "HISTOGRAMS", "FEEDBACK":
+	case "SCHEMA", "TYPES", "INDEXES", "STATS", "HISTOGRAMS", "FEEDBACK", "CACHE":
 		return &ShowStmt{What: t.Text}, nil
 	case "MOLECULE", "MOLECULES":
 		p.accept(TKeyword, "TYPES")
@@ -1073,6 +1136,11 @@ func (p *Parser) primaryExpr() (expr.Expr, error) {
 			return nil, err
 		}
 		return expr.CountOf{Type: typ}, nil
+	case t.Kind == TSymbol && t.Text == "?":
+		p.pos++
+		idx := p.params
+		p.params++
+		return expr.Attr{Type: paramType, Name: strconv.Itoa(idx)}, nil
 	case t.Kind == TSymbol && t.Text == "(":
 		p.pos++
 		e, err := p.orExpr()

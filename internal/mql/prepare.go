@@ -1,0 +1,162 @@
+package mql
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+)
+
+// preparedStmt is one PREPARE'd statement: the parsed SELECT with its
+// placeholder sentinels still in place, the resolved structure, and the
+// shape key every EXECUTE plans through. The shape key is computed over
+// the placeholder-canonicalized predicate, so all bindings of the same
+// statement share one plan-cache entry.
+type preparedStmt struct {
+	sel      *SelectStmt
+	desc     *core.Desc
+	shapeKey string
+	nparams  int
+}
+
+// execPrepare resolves and shape-keys a PREPARE name AS SELECT. The
+// structure resolves now (errors surface at PREPARE time); the predicate
+// is only checked at EXECUTE, once the placeholders hold real literals.
+func (s *Session) execPrepare(st *PrepareStmt) (*Result, error) {
+	if _, dup := s.prepared[st.Name]; dup {
+		return nil, fmt.Errorf("mql: statement %q already prepared", st.Name)
+	}
+	sel := st.Select
+	mt, rt, err := s.resolveFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if rt != nil {
+		return nil, fmt.Errorf("mql: PREPARE does not support recursive structures")
+	}
+	desc := mt.Desc()
+	var order *plan.OrderBy
+	if sel.OrderBy != nil {
+		if sel.OrderBy.Type != "" && sel.OrderBy.Type != desc.Root() {
+			return nil, fmt.Errorf("mql: ORDER BY %s.%s: molecules order by their root type %q",
+				sel.OrderBy.Type, sel.OrderBy.Attr, desc.Root())
+		}
+		order = &plan.OrderBy{Attr: sel.OrderBy.Attr, Desc: sel.OrderBy.Desc}
+	}
+	ps := &preparedStmt{
+		sel:      sel,
+		desc:     desc,
+		shapeKey: plan.ShapeKey(desc, sel.Where, order),
+		nparams:  countParams(sel.Where),
+	}
+	s.prepared[st.Name] = ps
+	return &Result{Kind: RMessage, Message: fmt.Sprintf(
+		"statement %q prepared (%d parameter(s))", st.Name, ps.nparams)}, nil
+}
+
+// execExecute binds the EXECUTE literals into the prepared statement's
+// placeholders and runs the SELECT through the shape-keyed plan cache:
+// a repeat execution with different literals hits the cached compilation
+// and rebinds it instead of recompiling.
+func (s *Session) execExecute(st *ExecuteStmt) (*Result, error) {
+	ps, ok := s.prepared[st.Name]
+	if !ok {
+		return nil, fmt.Errorf("mql: no prepared statement %q", st.Name)
+	}
+	if len(st.Args) != ps.nparams {
+		return nil, fmt.Errorf("mql: statement %q takes %d parameter(s), got %d",
+			st.Name, ps.nparams, len(st.Args))
+	}
+	bound := *ps.sel
+	if ps.sel.Where != nil {
+		bound.Where = bindParams(ps.sel.Where, st.Args)
+	}
+	ctx := context.Background()
+	o := queryOpts{shapeKey: ps.shapeKey}
+	desc := ps.desc
+	if s.txn != nil && s.txn.Dirty() {
+		// Read-your-writes: same eager effective-view path as a plain
+		// SELECT inside a dirty transaction.
+		return s.execSelectEff(ctx, &bound, desc, o)
+	}
+	if bound.Count {
+		return s.execCount(ctx, &bound, desc, o)
+	}
+	p, err := s.planSelect(&bound, desc, o)
+	if err != nil {
+		return nil, err
+	}
+	sub, attrs, err := s.projectionSpec(&bound, desc)
+	if err != nil {
+		return nil, err
+	}
+	var stream *plan.Stream
+	if s.txn != nil {
+		stream, err = p.StreamAt(ctx, s.txn.Snapshot())
+	} else {
+		stream, err = p.Stream(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cur := &Cursor{db: s.db, stream: stream, desc: desc, sub: sub, attrs: attrs}
+	if sub != nil {
+		cur.desc = sub
+	}
+	defer cur.Close()
+	return cur.Result()
+}
+
+// countParams returns how many distinct placeholder ordinals pred binds
+// (placeholders number densely from 0 in syntactic order, so the count is
+// one past the highest ordinal).
+func countParams(pred expr.Expr) int {
+	n := 0
+	for _, a := range expr.References(pred) {
+		if a.Type != paramType {
+			continue
+		}
+		if i, err := strconv.Atoi(a.Name); err == nil && i+1 > n {
+			n = i + 1
+		}
+	}
+	return n
+}
+
+// bindParams replaces every placeholder sentinel in the tree with the
+// literal bound at its ordinal, leaving everything else untouched.
+func bindParams(e expr.Expr, args []model.Value) expr.Expr {
+	switch n := e.(type) {
+	case expr.Attr:
+		if n.Type == paramType {
+			if i, err := strconv.Atoi(n.Name); err == nil && i >= 0 && i < len(args) {
+				return expr.Lit(args[i])
+			}
+		}
+		return n
+	case expr.Cmp:
+		return expr.Cmp{Op: n.Op, L: bindParams(n.L, args), R: bindParams(n.R, args)}
+	case expr.And:
+		return expr.And{L: bindParams(n.L, args), R: bindParams(n.R, args)}
+	case expr.Or:
+		return expr.Or{L: bindParams(n.L, args), R: bindParams(n.R, args)}
+	case expr.Not:
+		return expr.Not{E: bindParams(n.E, args)}
+	case expr.Arith:
+		return expr.Arith{Op: n.Op, L: bindParams(n.L, args), R: bindParams(n.R, args)}
+	case expr.All:
+		return expr.All{Attr: n.Attr, Op: n.Op, R: bindParams(n.R, args)}
+	case expr.Func:
+		out := expr.Func{Name: n.Name, Args: make([]expr.Expr, len(n.Args))}
+		for i, a := range n.Args {
+			out.Args[i] = bindParams(a, args)
+		}
+		return out
+	default:
+		return e
+	}
+}

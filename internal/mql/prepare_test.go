@@ -1,0 +1,164 @@
+package mql_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mad/internal/mql"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// prepSession builds a session over a small indexed part-supplier
+// database: 12 "part" roots (pn = i, bin = i%3, indexed) each linked to
+// one "box" (slot = i).
+func prepSession(t *testing.T) (*mql.Session, *storage.Database) {
+	t.Helper()
+	db := storage.NewDatabase()
+	sess := mql.NewSession(db)
+	var sb strings.Builder
+	sb.WriteString(`
+CREATE ATOM TYPE part (pn INT NOT NULL, bin INT);
+CREATE ATOM TYPE box (slot INT);
+CREATE LINK TYPE pb BETWEEN part AND box;
+CREATE INDEX ON part(bin);
+`)
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sb, "INSERT INTO part VALUES (%d, %d);\n", i, i%3)
+		fmt.Fprintf(&sb, "INSERT INTO box VALUES (%d);\n", i)
+		fmt.Fprintf(&sb, "CONNECT part WHERE pn = %d TO box WHERE slot = %d VIA pb;\n", i, i)
+	}
+	if _, err := sess.ExecScript(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return sess, db
+}
+
+// TestPrepareExecute is the parameterized-statement contract: EXECUTE
+// binds literals into the prepared shape, repeated EXECUTEs of the same
+// statement hit one shape-keyed cache entry (rebinding, not
+// recompiling), and each binding returns exactly the molecules its
+// literals select.
+func TestPrepareExecute(t *testing.T) {
+	sess, db := prepSession(t)
+	defer plan.Release(db)
+
+	res, err := sess.Exec(`PREPARE by_bin AS SELECT ALL FROM part-[pb]-box WHERE part.bin = ?;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, `"by_bin" prepared (1 parameter(s))`) {
+		t.Fatalf("PREPARE message = %q", res.Message)
+	}
+
+	r0, err := sess.Exec(`EXECUTE by_bin (0);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0.Set) != 4 {
+		t.Fatalf("EXECUTE by_bin (0) delivered %d molecules, want 4", len(r0.Set))
+	}
+	hits0, _, compiles0 := plan.CacheFor(db).Counters()
+
+	// A different literal through the same shape: correct result, cache
+	// hit, no new compile.
+	r1, err := sess.Exec(`EXECUTE by_bin (1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Set) != 4 {
+		t.Fatalf("EXECUTE by_bin (1) delivered %d molecules, want 4", len(r1.Set))
+	}
+	hits1, _, compiles1 := plan.CacheFor(db).Counters()
+	if hits1 != hits0+1 {
+		t.Fatalf("second EXECUTE: hits %d → %d, want a shape-cache hit", hits0, hits1)
+	}
+	if compiles1 != compiles0 {
+		t.Fatalf("second EXECUTE recompiled (%d → %d compiles); want rebind", compiles0, compiles1)
+	}
+
+	// The two bindings must select disjoint parts (bin 0 vs bin 1).
+	keys := map[string]bool{}
+	for _, m := range r0.Set {
+		keys[m.Key()] = true
+	}
+	for _, m := range r1.Set {
+		if keys[m.Key()] {
+			t.Fatal("EXECUTE (0) and EXECUTE (1) overlap; rebinding leaked a literal")
+		}
+	}
+
+	// Out-of-range bin: empty, not an error.
+	r9, err := sess.Exec(`EXECUTE by_bin (9);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9.Set) != 0 {
+		t.Fatalf("EXECUTE by_bin (9) delivered %d molecules, want 0", len(r9.Set))
+	}
+}
+
+// TestPrepareExecuteErrors pins the error surface: duplicate PREPARE,
+// unknown statement, and arity mismatch all fail cleanly.
+func TestPrepareExecuteErrors(t *testing.T) {
+	sess, db := prepSession(t)
+	defer plan.Release(db)
+	if _, err := sess.Exec(`PREPARE q AS SELECT ALL FROM part-[pb]-box WHERE part.bin = ?;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`PREPARE q AS SELECT ALL FROM part-[pb]-box;`); err == nil {
+		t.Fatal("duplicate PREPARE must fail")
+	}
+	if _, err := sess.Exec(`EXECUTE nosuch (1);`); err == nil {
+		t.Fatal("EXECUTE of an unknown statement must fail")
+	}
+	if _, err := sess.Exec(`EXECUTE q;`); err == nil {
+		t.Fatal("EXECUTE with missing parameters must fail")
+	}
+	if _, err := sess.Exec(`EXECUTE q (1, 2);`); err == nil {
+		t.Fatal("EXECUTE with excess parameters must fail")
+	}
+}
+
+// TestPrepareCount covers the aggregate path: a prepared SELECT COUNT
+// folds per binding without materializing molecules.
+func TestPrepareCount(t *testing.T) {
+	sess, db := prepSession(t)
+	defer plan.Release(db)
+	if _, err := sess.Exec(`PREPARE n AS SELECT COUNT FROM part-[pb]-box WHERE part.bin = ?;`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exec(`EXECUTE n (2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Fatalf("EXECUTE n (2) counted %d, want 4", res.Count)
+	}
+}
+
+// TestShowCache exercises the SHOW CACHE statement: aggregate traffic,
+// per-entry lines, and the [shape] tag on PREPARE'd entries.
+func TestShowCache(t *testing.T) {
+	sess, db := prepSession(t)
+	defer plan.Release(db)
+	if _, err := sess.Exec(`SELECT ALL FROM part-[pb]-box WHERE part.pn = 3;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`PREPARE q AS SELECT ALL FROM part-[pb]-box WHERE part.bin = ?;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`EXECUTE q (1);`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exec(`SHOW CACHE;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan cache:", "hit(s)", "part WHERE", "[shape]"} {
+		if !strings.Contains(res.Message, want) {
+			t.Fatalf("SHOW CACHE lacks %q:\n%s", want, res.Message)
+		}
+	}
+}

@@ -2,9 +2,12 @@ package plan
 
 import (
 	"container/list"
+	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mad/internal/core"
 	"mad/internal/expr"
@@ -31,12 +34,31 @@ type Cache struct {
 	lru     *list.List // cacheEntry values, most recently used at front
 
 	hits, misses, compiles uint64
+	// recompiles counts drift-triggered targeted recompiles: fetches that
+	// found their entry marked stale by the feedback store and reran the
+	// contest without an epoch-wide flush.
+	recompiles uint64
 }
 
 type cacheEntry struct {
 	key   string
 	epoch uint64
 	plan  *Plan
+	// label is the human-readable identity SHOW CACHE lists the entry
+	// under; shaped marks entries keyed on a PREPARE'd statement shape
+	// (placeholder-canonicalized predicate) rather than literal text.
+	label  string
+	shaped bool
+	// stale marks an entry the feedback store asked to recompile: its
+	// executed actuals drifted from the compile-time estimates beyond the
+	// drift factor. A stale entry is a miss — the next fetch recompiles in
+	// place (provenance [recompiled]) without touching the plan epoch.
+	stale bool
+	// hits and recompiles are the per-entry counters SHOW CACHE exposes;
+	// createdAt dates the entry's first compilation for the age column.
+	hits       uint64
+	recompiles uint64
+	createdAt  time.Time
 }
 
 // caches is the per-database cache registry behind CacheFor.
@@ -64,6 +86,30 @@ func CacheFor(db *storage.Database) *Cache {
 		FeedbackFor(db)
 	}
 	return c
+}
+
+// cacheLookup returns the database's plan cache without creating one —
+// the feedback store's drift path uses it, and a database that never
+// planned through a cache has no entries to mark stale.
+func cacheLookup(db *storage.Database) *Cache {
+	cachesMu.Lock()
+	defer cachesMu.Unlock()
+	return caches[db]
+}
+
+// markStale flags the cache entry compiled under key for a targeted
+// recompile: the entry stays in place (its counters and LRU position
+// survive) but the next fetch treats it as a miss and reruns the contest.
+// Reports whether an entry was found.
+func (c *Cache) markStale(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	el.Value.(*cacheEntry).stale = true
+	return true
 }
 
 // Release drops the database's cache and execution-feedback store from
@@ -188,20 +234,57 @@ func (c *Cache) Compile(desc *core.Desc, pred expr.Expr) (p *Plan, cached bool, 
 // order is part of the cache identity, so ordered and unordered plans
 // over the same predicate are memoized independently.
 func (c *Cache) CompileOrdered(desc *core.Desc, pred expr.Expr, order *OrderBy) (p *Plan, cached bool, err error) {
-	key := cacheKey(desc, pred, order)
+	return c.compileAt(desc, pred, order, cacheKey(desc, pred, order), false)
+}
+
+// ShapeKey returns the cache identity of a statement shape: the canonical
+// structure+predicate+order encoding with the placeholder sentinels still
+// in place, so every EXECUTE of a PREPARE'd statement maps to the same
+// entry regardless of the literals bound.
+func ShapeKey(desc *core.Desc, pred expr.Expr, order *OrderBy) string {
+	return cacheKey(desc, pred, order)
+}
+
+// CompileShaped compiles pred (a fully bound predicate — placeholders
+// already substituted) under a statement-shape key instead of the literal
+// key: a hit clones the cached compilation and rebinds its literals by
+// conjunct ordinal, so repeated point queries through PREPARE/EXECUTE
+// stop recompiling on literal text. A shape whose rebinding metadata does
+// not line up (the entry predates this shape's conjunct layout) falls
+// back to a fresh compile, stored under the same shape key.
+func (c *Cache) CompileShaped(desc *core.Desc, pred expr.Expr, order *OrderBy, shapeKey string) (p *Plan, cached bool, err error) {
+	return c.compileAt(desc, pred, order, shapeKey, true)
+}
+
+// compileAt is the shared hit/miss machinery behind CompileOrdered and
+// CompileShaped: key is the cache identity, shaped selects literal
+// rebinding on a hit. A stale entry (drift-marked by the feedback store)
+// counts as a miss, recompiles in place, and stamps the fresh plan
+// Recompiled — the [recompiled] EXPLAIN provenance.
+func (c *Cache) compileAt(desc *core.Desc, pred expr.Expr, order *OrderBy, key string, shaped bool) (p *Plan, cached bool, err error) {
 	epoch := c.db.PlanEpoch()
 
+	wasStale := false
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry).epoch == epoch {
-		c.hits++
-		c.lru.MoveToFront(el) // LRU: a hit renews the entry
-		p := el.Value.(*cacheEntry).plan.clone()
-		c.mu.Unlock()
-		// The cached compilation may predate executions that recorded
-		// observed pass rates; re-rank the clone so a compile-only
-		// EXPLAIN shows the chain Execute will actually run.
-		p.applyFeedback(feedbackLookup(c.db))
-		return p, true, nil
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.epoch == epoch && !e.stale {
+			q := e.plan.clone()
+			if !shaped || q.rebind(pred) {
+				e.hits++
+				c.hits++
+				c.lru.MoveToFront(el) // LRU: a hit renews the entry
+				c.mu.Unlock()
+				// The cached compilation may predate executions that
+				// recorded observed pass rates; re-rank the clone so a
+				// compile-only EXPLAIN shows the chain Execute will
+				// actually run.
+				q.applyFeedback(feedbackLookup(c.db))
+				return q, true, nil
+			}
+			// Rebinding metadata mismatch: recompile below.
+		}
+		wasStale = e.epoch == epoch && e.stale
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -209,16 +292,24 @@ func (c *Cache) CompileOrdered(desc *core.Desc, pred expr.Expr, order *OrderBy) 
 	// Compile outside the cache lock: compilation reads the database and
 	// may be slow; worst case two sessions race and both store equivalent
 	// plans.
-	fresh, err := compileKeyed(c.db, desc, pred, order, key)
+	fresh, err := compileKeyed(c.db, desc, pred, order, key, false)
 	if err != nil {
 		return nil, false, err
 	}
+	// A drift-triggered recompile carries the [recompiled] provenance for
+	// the life of the entry — clones inherit it, so EXPLAIN shows why the
+	// access path changed without re-executing.
+	fresh.Recompiled = wasStale
 
 	c.mu.Lock()
 	c.compiles++
 	if el, exists := c.entries[key]; exists {
 		e := el.Value.(*cacheEntry)
-		e.epoch, e.plan = epoch, fresh
+		if e.stale && e.epoch == epoch {
+			e.recompiles++
+			c.recompiles++
+		}
+		e.epoch, e.plan, e.stale = epoch, fresh, false
 		c.lru.MoveToFront(el)
 	} else {
 		if c.lru.Len() >= cacheLimit {
@@ -227,11 +318,123 @@ func (c *Cache) CompileOrdered(desc *core.Desc, pred expr.Expr, order *OrderBy) 
 			delete(c.entries, back.Value.(*cacheEntry).key)
 			c.lru.Remove(back)
 		}
-		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, plan: fresh})
+		c.entries[key] = c.lru.PushFront(&cacheEntry{
+			key: key, epoch: epoch, plan: fresh,
+			label: entryLabel(desc, pred, order), shaped: shaped,
+			createdAt: time.Now(),
+		})
 	}
 	p = fresh.clone()
 	c.mu.Unlock()
 	return p, false, nil
+}
+
+// entryLabel renders the human-readable identity SHOW CACHE lists a
+// cache entry under. Shaped entries show the literals of the compile that
+// populated them — later EXECUTEs rebind without touching the label.
+func entryLabel(desc *core.Desc, pred expr.Expr, order *OrderBy) string {
+	var b strings.Builder
+	b.WriteString(desc.Root())
+	if pred != nil {
+		fmt.Fprintf(&b, " WHERE %s", pred)
+	}
+	if order != nil {
+		dir := "ASC"
+		if order.Desc {
+			dir = "DESC"
+		}
+		fmt.Fprintf(&b, " ORDER BY %s %s", order.Attr, dir)
+	}
+	return b.String()
+}
+
+// rebind retargets a shape-cached plan clone at a freshly bound
+// predicate: every pushdown, residual and root-filter conjunct, the
+// access equality value (root or interior or per-intersection-entry) and
+// the access range bounds are replayed from the new predicate's conjuncts
+// by the ordinals the compile recorded. The shape key guarantees the
+// conjunct layout matches; rebind reports false (caller recompiles) if
+// the metadata nevertheless fails to line up.
+func (p *Plan) rebind(newPred expr.Expr) bool {
+	conjs := splitConjuncts(newPred)
+	at := func(ord int) (expr.Expr, bool) {
+		if ord < 0 || ord >= len(conjs) {
+			return nil, false
+		}
+		return conjs[ord], true
+	}
+	for i := range p.Pushdowns {
+		c, ok := at(p.Pushdowns[i].ord)
+		if !ok {
+			return false
+		}
+		p.Pushdowns[i].Conjunct = c
+	}
+	if len(p.Residuals) > 0 {
+		ords := make([]int, 0, len(p.Residuals))
+		for i := range p.Residuals {
+			c, ok := at(p.Residuals[i].ord)
+			if !ok {
+				return false
+			}
+			p.Residuals[i].Conjunct = c
+			p.Residuals[i].key = conjKey(c)
+			ords = append(ords, p.Residuals[i].ord)
+		}
+		// Residuals are cost-ordered; rebuild the source-order conjunction.
+		sort.Ints(ords)
+		p.Residual = nil
+		for _, o := range ords {
+			p.Residual = combine(p.Residual, conjs[o])
+		}
+	}
+	p.Access.Filter = nil
+	for _, o := range p.filterOrds {
+		c, ok := at(o)
+		if !ok {
+			return false
+		}
+		p.Access.Filter = combine(p.Access.Filter, c)
+	}
+	if p.accessValueOrd >= 0 {
+		c, ok := at(p.accessValueOrd)
+		if !ok {
+			return false
+		}
+		_, _, v, ok := attrConstCmp(c)
+		if !ok {
+			return false
+		}
+		p.Access.Value = v
+	}
+	for i := range p.Access.Entries {
+		c, ok := at(p.Access.Entries[i].ord)
+		if !ok {
+			return false
+		}
+		_, _, v, ok := attrConstCmp(c)
+		if !ok {
+			return false
+		}
+		p.Access.Entries[i].Value = v
+	}
+	if p.Access.Ranged {
+		spec := rangeSpec{typeName: p.Access.Root, attr: p.Access.Attr}
+		for _, o := range p.rangeOrds {
+			c, ok := at(o)
+			if !ok {
+				return false
+			}
+			_, op, v, ok := attrConstCmp(c)
+			if !ok || !isRangeOp(op) {
+				return false
+			}
+			spec.addBound(op, v)
+		}
+		spec.fillAccess(&p.Access)
+	}
+	p.pred = newPred
+	return true
 }
 
 // Counters reports cache traffic: lookups served from cache, lookups
@@ -241,6 +444,52 @@ func (c *Cache) Counters() (hits, misses, compiles uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.compiles
+}
+
+// Recompiles reports how many drift-triggered targeted recompiles the
+// cache has performed — fetches that found their entry stale-marked by
+// the feedback store and reran the contest in place.
+func (c *Cache) Recompiles() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recompiles
+}
+
+// Render prints the cache's aggregate traffic and every entry with its
+// per-entry counters, most recently used first — the SHOW CACHE output.
+func (c *Cache) Render() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan cache: %d entr%s — %d hit(s), %d miss(es), %d compile(s), %d targeted recompile(s)\n",
+		len(c.entries), plural(len(c.entries), "y", "ies"), c.hits, c.misses, c.compiles, c.recompiles)
+	now := time.Now()
+	i := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		i++
+		line := fmt.Sprintf("%3d. %s — hits %d, age %s, recompiles %d",
+			i, e.label, e.hits, now.Sub(e.createdAt).Round(time.Second), e.recompiles)
+		if e.shaped {
+			line += " [shape]"
+		}
+		if e.stale {
+			line += " [stale]"
+		}
+		if e.plan.Recompiled {
+			line += " [recompiled]"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // Len returns the number of cached plans.
@@ -258,6 +507,7 @@ func (p *Plan) clone() *Plan {
 	q := *p
 	q.Pushdowns = append([]Pushdown(nil), p.Pushdowns...)
 	q.Residuals = append([]ResidualConjunct(nil), p.Residuals...)
+	q.Access.Entries = append([]AccessEntry(nil), p.Access.Entries...)
 	if p.Order != nil {
 		o := *p.Order
 		q.Order = &o

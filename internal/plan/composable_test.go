@@ -1,0 +1,608 @@
+package plan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mad/internal/core"
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// jobShopDB builds the deterministic intersection fixture: 64 "job"
+// roots, each linked to one "machine" (site = i%8, indexed), one "tool"
+// (grade = (i/8)%8, indexed) and 16 "step" atoms. A conjunction of
+// machine.site = a AND tool.grade = b selects exactly one job, but each
+// single entry alone recovers 8 candidate roots — the configuration
+// where intersecting before derivation beats any single entry.
+func jobShopDB(t testing.TB) (*storage.Database, *core.MoleculeType) {
+	t.Helper()
+	db := storage.NewDatabase()
+	for _, d := range []struct {
+		name  string
+		attrs []model.AttrDesc
+	}{
+		{"job", []model.AttrDesc{{Name: "id", Kind: model.KInt}}},
+		{"machine", []model.AttrDesc{{Name: "site", Kind: model.KInt}}},
+		{"tool", []model.AttrDesc{{Name: "grade", Kind: model.KInt}}},
+		{"step", []model.AttrDesc{{Name: "seq", Kind: model.KInt}}},
+	} {
+		if _, err := db.DefineAtomType(d.name, model.MustDesc(d.attrs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []struct{ name, a, b string }{
+		{"jm", "job", "machine"}, {"jt", "job", "tool"}, {"js", "job", "step"},
+	} {
+		if _, err := db.DefineLinkType(l.name, model.LinkDesc{SideA: l.a, SideB: l.b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		j, err := db.InsertAtom("job", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := db.InsertAtom("machine", model.Int(int64(i%8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := db.InsertAtom("tool", model.Int(int64((i/8)%8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Connect("jm", j, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Connect("jt", j, tl); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 16; k++ {
+			s, err := db.InsertAtom("step", model.Int(int64(k)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Connect("js", j, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, idx := range [][2]string{{"machine", "site"}, {"tool", "grade"}} {
+		if err := db.CreateIndex(idx[0], idx[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mt, err := core.Define(db, "shop",
+		[]string{"job", "machine", "tool", "step"},
+		[]core.DirectedLink{
+			{Link: "jm", From: "job", To: "machine"},
+			{Link: "jt", From: "job", To: "tool"},
+			{Link: "js", From: "job", To: "step"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mt
+}
+
+func eqConj(typeName, attr string, v int64) expr.Expr {
+	return expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: typeName, Name: attr}, R: expr.Lit(model.Int(v))}
+}
+
+// TestIndexIntersectionChosen pins the deterministic contest outcome:
+// with two selective indexed equalities on different interior types and
+// an expensive derivation, the planner must pick the multi-entry
+// intersection, the intersection must surface in EXPLAIN with per-entry
+// counts, and the result must match both the single-entry compile and
+// naive Σ.
+func TestIndexIntersectionChosen(t *testing.T) {
+	db, mt := jobShopDB(t)
+	pred := expr.And{L: eqConj("machine", "site", 3), R: eqConj("tool", "grade", 5)}
+
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access.Kind != plan.IndexIntersect {
+		t.Fatalf("contest chose %v, want IndexIntersect:\n%s", p.Access.Kind, p.Render())
+	}
+	if len(p.Access.Entries) != 2 {
+		t.Fatalf("intersection has %d entries, want 2", len(p.Access.Entries))
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job 43 is the only root with site 3 AND grade 5 (43%8 == 3, 43/8 == 5).
+	if len(got) != 1 {
+		t.Fatalf("intersection delivered %d molecules, want 1", len(got))
+	}
+	if p.Access.ActSurvivors != 1 {
+		t.Fatalf("ActSurvivors = %d, want 1 intersection survivor", p.Access.ActSurvivors)
+	}
+	for i, e := range p.Access.Entries {
+		if e.ActEntries != 8 || e.ActRoots != 8 {
+			t.Fatalf("entry %d actuals = %d entries / %d roots, want 8/8", i, e.ActEntries, e.ActRoots)
+		}
+	}
+
+	r := p.Render()
+	for _, want := range []string{"[intersect]", "sorted-merge intersection", "1 surviving root(s)"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("EXPLAIN lacks %q:\n%s", want, r)
+		}
+	}
+
+	// The single-entry baseline must agree on the result while doing more
+	// per-path work (it derives every candidate of its one entry).
+	sp, err := plan.CompileSingleEntry(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Access.Kind == plan.IndexIntersect {
+		t.Fatal("CompileSingleEntry must exclude the intersection candidate")
+	}
+	sgot, err := sp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(got, sgot) {
+		t.Fatalf("intersected %d vs single-entry %d molecules", len(got), len(sgot))
+	}
+	if want := naiveRestrict(t, mt, pred); !sameSets(got, want) {
+		t.Fatalf("intersected %d vs naive %d molecules", len(got), len(want))
+	}
+}
+
+// starDB builds a random star schema r → b0, b1, …: every branch type's
+// v attribute is indexed, each root connects to a few random atoms per
+// branch, so indexed equalities on two branches make the intersection
+// candidate eligible.
+func starDB(rng *rand.Rand, branches, atomsPerType, domain int) (*storage.Database, []string, []core.DirectedLink, error) {
+	db := storage.NewDatabase()
+	types := make([]string, branches+1)
+	types[0] = "r"
+	if _, err := db.DefineAtomType("r", model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})); err != nil {
+		return nil, nil, nil, err
+	}
+	var edges []core.DirectedLink
+	for i := 1; i <= branches; i++ {
+		types[i] = fmt.Sprintf("b%d", i-1)
+		if _, err := db.DefineAtomType(types[i], model.MustDesc(model.AttrDesc{Name: "v", Kind: model.KInt})); err != nil {
+			return nil, nil, nil, err
+		}
+		link := fmt.Sprintf("rb%d", i-1)
+		if _, err := db.DefineLinkType(link, model.LinkDesc{SideA: "r", SideB: types[i]}); err != nil {
+			return nil, nil, nil, err
+		}
+		edges = append(edges, core.DirectedLink{Link: link, From: "r", To: types[i]})
+		if err := db.CreateIndex(types[i], "v"); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	ids := make([][]model.AtomID, branches+1)
+	for i, tn := range types {
+		for j := 0; j < atomsPerType; j++ {
+			id, err := db.InsertAtom(tn, model.Int(int64(rng.Intn(domain))))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ids[i] = append(ids[i], id)
+		}
+	}
+	for i := 1; i <= branches; i++ {
+		link := fmt.Sprintf("rb%d", i-1)
+		for _, r := range ids[0] {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				b := ids[i][rng.Intn(len(ids[i]))]
+				if err := db.Connect(link, r, b); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return db, types, edges, nil
+}
+
+// TestIntersectionParityRandom is the tentpole's property test: over
+// random star schemas, selectivities and entry counts, the intersecting
+// compile, the single-entry compile and naive Σ agree exactly — every
+// entry conjunct stays a pushdown hook, so recovery over-approximation
+// can never leak a false positive through the intersection.
+func TestIntersectionParityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		branches := 2 + rng.Intn(2)
+		domain := 2 + rng.Intn(5)
+		db, types, edges, err := starDB(rng, branches, 6+rng.Intn(10), domain)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		mt, err := core.Define(db, "star", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		// Indexed equalities on at least two distinct branch types, plus an
+		// occasional root conjunct so the root filter composes with the
+		// intersection.
+		pred := expr.Expr(expr.And{
+			L: eqConj(types[1], "v", int64(rng.Intn(domain))),
+			R: eqConj(types[2], "v", int64(rng.Intn(domain))),
+		})
+		if branches > 2 && rng.Intn(2) == 0 {
+			pred = expr.And{L: pred, R: eqConj(types[3], "v", int64(rng.Intn(domain)))}
+		}
+		if rng.Intn(2) == 0 {
+			pred = expr.And{L: pred, R: expr.Cmp{
+				Op: expr.GE, L: expr.Attr{Type: "r", Name: "v"}, R: expr.Lit(model.Int(int64(rng.Intn(domain)))),
+			}}
+		}
+
+		want := naiveRestrict(t, mt, pred)
+		p, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		got, err := p.Execute()
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if !sameSets(got, want) {
+			t.Logf("seed %d: plan %d vs naive %d (pred %s)\n%s", seed, len(got), len(want), pred, p.Render())
+			return false
+		}
+		sp, err := plan.CompileSingleEntry(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("single-entry compile: %v", err)
+			return false
+		}
+		sgot, err := sp.Execute()
+		if err != nil {
+			t.Logf("single-entry execute: %v", err)
+			return false
+		}
+		if !sameSets(sgot, want) {
+			t.Logf("seed %d: single-entry %d vs naive %d (pred %s)", seed, len(sgot), len(want), pred)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeEntryParity exercises the range entry paths: a histogram-
+// estimated root range must become a key-bounded index range walk whose
+// result matches naive Σ, and an interior range entry must stay exact
+// through its pushdown hook.
+func TestRangeEntryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db, types, edges, err := starDB(rng, 2, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("r", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "star", types, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Root BETWEEN-shaped pair: both bounds merge into one walk.
+	pred := expr.Expr(expr.And{
+		L: expr.Cmp{Op: expr.GE, L: expr.Attr{Type: "r", Name: "v"}, R: expr.Lit(model.Int(3))},
+		R: expr.Cmp{Op: expr.LT, L: expr.Attr{Type: "r", Name: "v"}, R: expr.Lit(model.Int(6))},
+	})
+	p, err := plan.Compile(db, mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access.Kind != plan.IndexScan || !p.Access.Ranged {
+		t.Fatalf("root range should compile to an index range walk, got:\n%s", p.Render())
+	}
+	if !p.Access.HasLo || !p.Access.HasHi || !p.Access.LoInc || p.Access.HiInc {
+		t.Fatalf("merged bounds wrong: %+v", p.Access)
+	}
+	got, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveRestrict(t, mt, pred); !sameSets(got, want) {
+		t.Fatalf("root range walk: plan %d vs naive %d", len(got), len(want))
+	}
+	if !strings.Contains(p.Render(), "index range walk") {
+		t.Fatalf("EXPLAIN lacks the range walk line:\n%s", p.Render())
+	}
+
+	// Interior range: exactness must come from the pushdown hook even
+	// though the walk's climb over-approximates.
+	ipred := expr.Cmp{Op: expr.GE, L: expr.Attr{Type: types[1], Name: "v"}, R: expr.Lit(model.Int(15))}
+	ip, err := plan.Compile(db, mt.Desc(), ipred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	igot, err := ip.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveRestrict(t, mt, ipred); !sameSets(igot, want) {
+		t.Fatalf("interior range: plan %d vs naive %d\n%s", len(igot), len(want), ip.Render())
+	}
+}
+
+// TestRangeWalkParityRandom drives random one- and two-sided ranges on
+// an indexed root attribute against naive Σ — with histograms half the
+// time, so both the histogram-bucket and default range estimates feed
+// the contest.
+func TestRangeWalkParityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db, types, edges, err := starDB(rng, 2, 10+rng.Intn(30), 12)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		if err := db.CreateIndex("r", "v"); err != nil {
+			t.Logf("index: %v", err)
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			if _, err := db.Analyze(); err != nil {
+				t.Logf("analyze: %v", err)
+				return false
+			}
+		}
+		mt, err := core.Define(db, "star", types, edges)
+		if err != nil {
+			t.Logf("define: %v", err)
+			return false
+		}
+		ops := []expr.CmpOp{expr.LT, expr.LE, expr.GT, expr.GE}
+		pred := expr.Expr(expr.Cmp{
+			Op: ops[rng.Intn(len(ops))],
+			L:  expr.Attr{Type: "r", Name: "v"},
+			R:  expr.Lit(model.Int(int64(rng.Intn(12)))),
+		})
+		if rng.Intn(2) == 0 {
+			pred = expr.And{L: pred, R: expr.Cmp{
+				Op: ops[rng.Intn(len(ops))],
+				L:  expr.Attr{Type: "r", Name: "v"},
+				R:  expr.Lit(model.Int(int64(rng.Intn(12)))),
+			}}
+		}
+		want := naiveRestrict(t, mt, pred)
+		p, err := plan.Compile(db, mt.Desc(), pred)
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		got, err := p.Execute()
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if !sameSets(got, want) {
+			t.Logf("seed %d: plan %d vs naive %d (pred %s)\n%s", seed, len(got), len(want), pred, p.Render())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driftDB builds the deterministic drift fixture: 16 "grp" roots; 128
+// "item" atoms tagged 'hot', each linked to every group; 4096 items with
+// unique tags, one group each. The index on item.tag has ~4097 distinct
+// keys over 4224 atoms, so the uniform estimate for tag = 'hot' is ~2
+// entries — off by 64× from the actual 128, far beyond the drift factor.
+func driftDB(t testing.TB) (*storage.Database, *core.MoleculeType) {
+	t.Helper()
+	db := storage.NewDatabase()
+	if _, err := db.DefineAtomType("grp", model.MustDesc(model.AttrDesc{Name: "name", Kind: model.KString})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineAtomType("item", model.MustDesc(model.AttrDesc{Name: "tag", Kind: model.KString})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("gi", model.LinkDesc{SideA: "grp", SideB: "item"}); err != nil {
+		t.Fatal(err)
+	}
+	var grps []model.AtomID
+	for i := 0; i < 16; i++ {
+		id, err := db.InsertAtom("grp", model.Str(fmt.Sprintf("g%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grps = append(grps, id)
+	}
+	for i := 0; i < 128; i++ {
+		id, err := db.InsertAtom("item", model.Str("hot"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range grps {
+			if err := db.Connect("gi", g, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		id, err := db.InsertAtom("item", model.Str(fmt.Sprintf("u%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Connect("gi", grps[i%16], id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateIndex("item", "tag"); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := core.Define(db, "drift", []string{"grp", "item"},
+		[]core.DirectedLink{{Link: "gi", From: "grp", To: "item"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mt
+}
+
+// TestDriftRecompileFlipsAccessPath is the adaptive-recompile contract:
+// a cached plan whose execution observes cardinalities drifting beyond
+// the factor is recompiled — just that entry, at an unchanged plan epoch
+// — and the recalibrated contest flips the access path, with the
+// [recompiled] provenance visible in EXPLAIN and the recompile counted.
+func TestDriftRecompileFlipsAccessPath(t *testing.T) {
+	db, mt := driftDB(t)
+	cache := plan.CacheFor(db)
+	defer plan.Release(db)
+	pred := expr.Cmp{Op: expr.EQ, L: expr.Attr{Type: "item", Name: "tag"}, R: expr.Lit(model.Str("hot"))}
+	epoch0 := db.PlanEpoch()
+
+	p1, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first compile must miss")
+	}
+	if p1.Access.Kind != plan.InteriorIndex {
+		t.Fatalf("cold contest chose %v, want InteriorIndex (uniform estimate ~2 entries):\n%s",
+			p1.Access.Kind, p1.Render())
+	}
+	if p1.Recompiled {
+		t.Fatal("fresh compile must not carry [recompiled]")
+	}
+
+	got, err := p1.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("executed %d molecules, want 16", len(got))
+	}
+	if p1.Access.ActEntries != 128 {
+		t.Fatalf("ActEntries = %d, want 128 hot items", p1.Access.ActEntries)
+	}
+	if fb := plan.FeedbackFor(db); fb.Drifts() == 0 {
+		t.Fatal("execution 64× off the estimate must record a drift")
+	}
+
+	// The drifted entry recompiles in place on the next fetch: observed
+	// entry and root counts replace the uniform guess and the contest
+	// flips to the full scan — at the SAME plan epoch, with no flush.
+	p2, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("stale entry must be treated as a miss")
+	}
+	if p2.Access.Kind != plan.FullScan {
+		t.Fatalf("recalibrated contest chose %v, want FullScan:\n%s", p2.Access.Kind, p2.Render())
+	}
+	if !p2.Recompiled {
+		t.Fatal("drift-triggered recompile must stamp Recompiled")
+	}
+	if !strings.Contains(p2.Render(), "[recompiled]") {
+		t.Fatalf("EXPLAIN lacks [recompiled] provenance:\n%s", p2.Render())
+	}
+	if db.PlanEpoch() != epoch0 {
+		t.Fatalf("plan epoch moved %d → %d; targeted recompile must not bump it", epoch0, db.PlanEpoch())
+	}
+	if n := cache.Recompiles(); n != 1 {
+		t.Fatalf("cache counted %d targeted recompiles, want 1", n)
+	}
+	if !strings.Contains(plan.FeedbackFor(db).Render(), "[recompiled]") {
+		t.Fatalf("SHOW FEEDBACK lacks the drift line:\n%s", plan.FeedbackFor(db).Render())
+	}
+
+	// Parity: the flipped plan returns the same molecules.
+	got2, err := p2.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(got, got2) {
+		t.Fatalf("recompiled plan delivered %d molecules, want %d", len(got2), len(got))
+	}
+
+	// The entry is fresh again: the next fetch is a plain hit that keeps
+	// the provenance.
+	p3, cached, err := cache.Compile(mt.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("recompiled entry must serve hits again")
+	}
+	if !p3.Recompiled {
+		t.Fatal("hits on a recompiled entry must inherit the provenance")
+	}
+}
+
+// TestWarmCacheRoundTrip drives the plan-shape persistence directly: the
+// shapes of cached compilations round-trip through plancache.json and
+// precompile into a fresh cache, so the first fetch after WarmCache is
+// a hit.
+func TestWarmCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, mt := jobShopDB(t)
+	cache := plan.CacheFor(db)
+	defer plan.Release(db)
+	pred := expr.And{L: eqConj("machine", "site", 3), R: eqConj("tool", "grade", 5)}
+	if _, _, err := cache.Compile(mt.Desc(), pred); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.CompileOrdered(mt.Desc(), nil, &plan.OrderBy{Attr: "id"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.SaveCacheShapes(db, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second database with the same schema and data warms from the file.
+	db2, mt2 := jobShopDB(t)
+	defer plan.Release(db2)
+	warmed, err := plan.WarmCache(db2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 2 {
+		t.Fatalf("warmed %d plans, want 2", warmed)
+	}
+	if n := plan.CacheFor(db2).Len(); n != 2 {
+		t.Fatalf("warm cache holds %d entries, want 2", n)
+	}
+	p, cached, err := plan.CacheFor(db2).Compile(mt2.Desc(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("first fetch after WarmCache must hit")
+	}
+	if p.Access.Kind != plan.IndexIntersect {
+		t.Fatalf("warmed plan chose %v, want IndexIntersect", p.Access.Kind)
+	}
+
+	// Missing file: cold start, no error.
+	db3, _ := jobShopDB(t)
+	defer plan.Release(db3)
+	if warmed, err := plan.WarmCache(db3, t.TempDir()); err != nil || warmed != 0 {
+		t.Fatalf("missing file: warmed %d, err %v; want 0, nil", warmed, err)
+	}
+}

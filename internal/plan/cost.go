@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"fmt"
 	"math"
 	"strings"
 
@@ -98,6 +99,129 @@ func flipCmp(op expr.CmpOp) expr.CmpOp {
 		return expr.LE
 	}
 	return op
+}
+
+// isRangeOp reports whether op is one of the four range comparisons a
+// key-bounded ordered index walk can serve.
+func isRangeOp(op expr.CmpOp) bool {
+	return op == expr.LT || op == expr.LE || op == expr.GT || op == expr.GE
+}
+
+// rangeSpec is one merged range restriction over an indexed attribute:
+// the interval a group of range conjuncts on the same (type, attribute)
+// pins down — a BETWEEN-shaped AND pair arrives as two conjuncts and
+// merges into a two-sided spec — plus the conjunct ordinals and
+// source-list indexes it absorbs.
+type rangeSpec struct {
+	typeName, attr string
+	hasLo, hasHi   bool
+	lo, hi         model.Value
+	loInc, hiInc   bool
+	ords           []int // conjunct ordinals folded into the bounds
+	idxs           []int // indexes into rootConjs / Pushdowns
+}
+
+// addBound tightens the spec with one more "attr op v" conjunct; the
+// tighter of two bounds on the same side wins (equal bounds prefer the
+// exclusive one, matching AND semantics).
+func (s *rangeSpec) addBound(op expr.CmpOp, v model.Value) {
+	switch op {
+	case expr.GT, expr.GE:
+		inc := op == expr.GE
+		if !s.hasLo {
+			s.hasLo, s.lo, s.loInc = true, v, inc
+			return
+		}
+		c := v.Compare(s.lo)
+		if c > 0 || (c == 0 && s.loInc && !inc) {
+			s.lo, s.loInc = v, inc
+		}
+	case expr.LT, expr.LE:
+		inc := op == expr.LE
+		if !s.hasHi {
+			s.hasHi, s.hi, s.hiInc = true, v, inc
+			return
+		}
+		c := v.Compare(s.hi)
+		if c < 0 || (c == 0 && s.hiInc && !inc) {
+			s.hi, s.hiInc = v, inc
+		}
+	}
+}
+
+// fillAccess copies the spec's bounds into an access node.
+func (s *rangeSpec) fillAccess(a *Access) {
+	a.Ranged = true
+	a.HasLo, a.Lo, a.LoInc = s.hasLo, s.lo, s.loInc
+	a.HasHi, a.Hi, a.HiInc = s.hasHi, s.hi, s.hiInc
+}
+
+// String renders the interval for EXPLAIN and contest labels.
+func (s *rangeSpec) String() string {
+	switch {
+	case s.hasLo && s.hasHi:
+		l, r := "(", ")"
+		if s.loInc {
+			l = "["
+		}
+		if s.hiInc {
+			r = "]"
+		}
+		return fmt.Sprintf("∈ %s%s, %s%s", l, s.lo, s.hi, r)
+	case s.hasLo:
+		if s.loInc {
+			return fmt.Sprintf("≥ %s", s.lo)
+		}
+		return fmt.Sprintf("> %s", s.lo)
+	case s.hasHi:
+		if s.hiInc {
+			return fmt.Sprintf("≤ %s", s.hi)
+		}
+		return fmt.Sprintf("< %s", s.hi)
+	}
+	return ""
+}
+
+// rangeString renders a ranged access's interval (see rangeSpec.String).
+func (a *Access) rangeString() string {
+	s := rangeSpec{
+		hasLo: a.HasLo, lo: a.Lo, loInc: a.LoInc,
+		hasHi: a.HasHi, hi: a.Hi, hiInc: a.HiInc,
+	}
+	return s.String()
+}
+
+// estimateRangeCount estimates how many atoms of typeName fall inside
+// the merged range: two-sided histogram-bucket interpolation when
+// ANALYZE has built one, the System-R range default per bound otherwise.
+func estimateRangeCount(db *storage.Database, typeName string, spec *rangeSpec, n int) (int, string) {
+	if h, ok := db.Histogram(typeName, spec.attr); ok && h.Total() > 0 {
+		var est int64
+		switch {
+		case spec.hasLo && spec.hasHi:
+			est = h.EstimateLess(spec.hi, spec.hiInc) - h.EstimateLess(spec.lo, !spec.loInc)
+		case spec.hasLo:
+			est = h.Total() - h.EstimateLess(spec.lo, !spec.loInc)
+		case spec.hasHi:
+			est = h.EstimateLess(spec.hi, spec.hiInc)
+		}
+		e := int(est)
+		if e > n {
+			e = n
+		}
+		if e < 1 {
+			e = 1
+		}
+		return e, SrcHistogram
+	}
+	sel := 1.0
+	if spec.hasLo {
+		sel *= defSelRange
+	}
+	if spec.hasHi {
+		sel *= defSelRange
+	}
+	return scaleEst(n, sel), SrcDefault
 }
 
 // attrType resolves the atom type an attribute reference binds to within

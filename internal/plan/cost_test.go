@@ -104,9 +104,10 @@ func TestHistogramFixesAccessPath(t *testing.T) {
 	}
 }
 
-// TestHistogramRangeEstimate checks EstRoots for a filtered full scan:
-// with a histogram the range estimate tracks the skew instead of assuming
-// the full container.
+// TestHistogramRangeEstimate checks EstRoots for a selective range
+// predicate: with a histogram the range estimate tracks the skew instead
+// of assuming the full container, and the selective estimate lets the
+// key-bounded index range walk win the contest over the full scan.
 func TestHistogramRangeEstimate(t *testing.T) {
 	db, mt := skewedDB(t, 500)
 	if _, err := db.Analyze("part"); err != nil {
@@ -118,8 +119,8 @@ func TestHistogramRangeEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Access.Kind != plan.FullScan {
-		t.Fatalf("range predicate must scan, got %+v", p.Access)
+	if p.Access.Kind != plan.IndexScan || !p.Access.Ranged {
+		t.Fatalf("selective range predicate should pick the index range walk, got %+v", p.Access)
 	}
 	if p.Access.EstSource != plan.SrcHistogram {
 		t.Fatalf("EstSource = %q, want histogram", p.Access.EstSource)

@@ -53,8 +53,46 @@ type Feedback struct {
 	// topk: desc key → observed fraction of roots surviving the top-K
 	// heap's bound prune (reaching derivation) on bounded ordered runs.
 	topk map[string]*ratioObs
+	// access: plan key → what the executed plan's chosen access path
+	// actually returned (entry atoms, candidate roots). Keyed per cache
+	// entry — the literals are part of the key, so the observation is an
+	// exact replay of the same access, not an estimate. A recompile of
+	// that entry overrides the matching candidate's cardinalities with
+	// these figures, which is what lets the contest flip.
+	access map[string]*accessObs
+	// driftFactor is the estimate-vs-actual divergence ratio beyond
+	// which an execution marks its cache entry stale for a targeted
+	// recompile (defaultDriftFactor until SetDriftFactor overrides).
+	driftFactor float64
 
-	records, resets uint64
+	records, resets, drifts uint64
+}
+
+// defaultDriftFactor: a plan whose observed cardinalities diverge from
+// the compile-time estimate by more than this ratio (either direction)
+// triggers a targeted recompile of just its cache entry.
+const defaultDriftFactor = 4.0
+
+// accessObs records what one cache entry's chosen access path actually
+// did: its kind and entry identity (to match the candidate on
+// recompile), and the averaged entry-atom and candidate-root counts.
+type accessObs struct {
+	kind      AccessKind
+	ranged    bool
+	entryType string
+	attr      string
+	entries   ratioObs
+	roots     ratioObs
+}
+
+// accessSnapshot is the lock-free copy accessObserved hands the contest.
+type accessSnapshot struct {
+	kind      AccessKind
+	ranged    bool
+	entryType string
+	attr      string
+	entries   float64
+	roots     float64
 }
 
 // feedbackLimit bounds the number of plans with residual observations,
@@ -120,13 +158,40 @@ func feedbackLookup(db *storage.Database) *Feedback {
 
 func newFeedback(db *storage.Database) *Feedback {
 	return &Feedback{
-		db:        db,
-		epoch:     db.PlanEpoch(),
-		residuals: make(map[string]map[string]*passObs),
-		deriv:     make(map[string]*ratioObs),
-		climb:     make(map[string]*ratioObs),
-		topk:      make(map[string]*ratioObs),
+		db:          db,
+		epoch:       db.PlanEpoch(),
+		residuals:   make(map[string]map[string]*passObs),
+		deriv:       make(map[string]*ratioObs),
+		climb:       make(map[string]*ratioObs),
+		topk:        make(map[string]*ratioObs),
+		access:      make(map[string]*accessObs),
+		driftFactor: defaultDriftFactor,
 	}
+}
+
+// SetDriftFactor overrides the estimate-vs-actual divergence ratio that
+// triggers a targeted recompile; f <= 1 restores the default.
+func (fb *Feedback) SetDriftFactor(f float64) {
+	if fb == nil {
+		return
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if f <= 1 {
+		f = defaultDriftFactor
+	}
+	fb.driftFactor = f
+}
+
+// Drifts reports how many executions detected feedback drift beyond the
+// factor and requested a targeted recompile of their cache entry.
+func (fb *Feedback) Drifts() uint64 {
+	if fb == nil {
+		return 0
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.drifts
 }
 
 // syncEpochLocked drops every observation recorded under an older plan
@@ -136,7 +201,7 @@ func (fb *Feedback) syncEpochLocked() {
 	if epoch == fb.epoch {
 		return
 	}
-	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 || len(fb.topk) > 0 {
+	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 || len(fb.topk) > 0 || len(fb.access) > 0 {
 		fb.resets++
 	}
 	fb.epoch = epoch
@@ -144,6 +209,7 @@ func (fb *Feedback) syncEpochLocked() {
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
 	fb.topk = make(map[string]*ratioObs)
+	fb.access = make(map[string]*accessObs)
 }
 
 // Reset unconditionally discards every observation — test and experiment
@@ -155,6 +221,7 @@ func (fb *Feedback) Reset() {
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
 	fb.topk = make(map[string]*ratioObs)
+	fb.access = make(map[string]*accessObs)
 	fb.epoch = fb.db.PlanEpoch()
 }
 
@@ -184,19 +251,40 @@ func conjKey(c expr.Expr) string {
 
 // record folds an executed plan's actuals into the store: residual pass
 // rates under the plan's key, derivation work under the structure's key,
-// climb work under the structure + entry type. Called by Execute after a
-// successful run; executions of plans compiled under an older epoch are
-// discarded rather than recorded — their pass rates and work figures
-// belong to the statistics regime ANALYZE/DDL just replaced.
+// climb work under the structure + entry type, and the chosen access
+// path's observed cardinalities under the plan's key. Called by Execute
+// after a successful run; executions of plans compiled under an older
+// epoch are discarded rather than recorded — their pass rates and work
+// figures belong to the statistics regime ANALYZE/DDL just replaced.
+//
+// When the observed cardinalities diverge from the compile-time
+// estimates beyond the drift factor, just this plan's cache entry is
+// marked stale — the next fetch recompiles it against the recorded
+// observations and the contest can flip the access path, with no
+// epoch-wide cache flush and no feedback reset.
 func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 	if fb == nil {
 		return
 	}
+	if fb.recordLocked(p, work) {
+		// The drift-triggered staleness mark runs outside fb.mu: the
+		// cache registry and entry locks nest the other way on the
+		// compile path.
+		if c := cacheLookup(fb.db); c != nil {
+			c.markStale(p.key)
+		}
+	}
+}
+
+// recordLocked does record's bookkeeping under fb.mu and reports whether
+// the execution drifted far enough from its estimates to request a
+// targeted recompile of its cache entry.
+func (fb *Feedback) recordLocked(p *Plan, work storage.WorkTally) (drifted bool) {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	fb.syncEpochLocked()
 	if p.epoch != fb.epoch {
-		return
+		return false
 	}
 	fb.records++
 	if len(p.Residuals) > 0 && p.Derived > 0 {
@@ -296,6 +384,56 @@ func (fb *Feedback) record(p *Plan, work storage.WorkTally) {
 		o.sum += float64(p.Access.ActRoots-p.OrderCut) / float64(p.Access.ActRoots)
 		o.n++
 	}
+	// Access-path observation + drift detection, for the paths whose
+	// cardinalities are genuinely estimated (a full or ordered scan's
+	// batch size is the container itself — nothing to calibrate).
+	switch p.Access.Kind {
+	case IndexScan, InteriorIndex, IndexIntersect:
+	default:
+		return false
+	}
+	if p.key == "" {
+		return false
+	}
+	o := fb.access[p.key]
+	if o == nil {
+		if len(fb.access) >= feedbackLimit {
+			for k := range fb.access {
+				delete(fb.access, k)
+				break
+			}
+		}
+		o = &accessObs{}
+		fb.access[p.key] = o
+	}
+	o.kind = p.Access.Kind
+	o.ranged = p.Access.Ranged
+	o.entryType = p.Access.EntryType
+	o.attr = p.Access.Attr
+	o.entries.sum += float64(p.Access.ActEntries)
+	o.entries.n++
+	o.roots.sum += float64(p.Access.ActSurvivors)
+	o.roots.n++
+	// Drift: estimate vs actual beyond the factor in either direction,
+	// on the entry-atom count and the post-filter root count.
+	ratio := func(est, act int) float64 {
+		e, a := float64(max(est, 1)), float64(max(act, 1))
+		if e > a {
+			return e / a
+		}
+		return a / e
+	}
+	drift := ratio(p.Access.EstRoots, p.Access.ActRoots)
+	if p.Access.EstEntries > 0 {
+		if r := ratio(p.Access.EstEntries, p.Access.ActEntries); r > drift {
+			drift = r
+		}
+	}
+	if drift > fb.driftFactor {
+		fb.drifts++
+		return true
+	}
+	return false
 }
 
 // observeResiduals overwrites the estimated selectivity of every
@@ -347,6 +485,31 @@ func (fb *Feedback) observeResiduals(p *Plan) bool {
 		}
 	}
 	return changed
+}
+
+// accessObserved returns what executions of this exact cache entry
+// observed about the chosen access path, ok=false before any execution
+// recorded one. The contest overrides the matching candidate's
+// cardinalities with the snapshot on recompile.
+func (fb *Feedback) accessObserved(planKey string) (accessSnapshot, bool) {
+	if fb == nil || planKey == "" {
+		return accessSnapshot{}, false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	o := fb.access[planKey]
+	if o == nil || o.roots.n == 0 {
+		return accessSnapshot{}, false
+	}
+	return accessSnapshot{
+		kind:      o.kind,
+		ranged:    o.ranged,
+		entryType: o.entryType,
+		attr:      o.attr,
+		entries:   o.entries.avg(),
+		roots:     o.roots.avg(),
+	}, true
 }
 
 // derivCostObserved returns the observed atoms-per-root derivation cost
@@ -407,6 +570,10 @@ func (fb *Feedback) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "feedback epoch %d: %d plan(s) observed, %d execution(s) recorded, %d reset(s)\n",
 		fb.epoch, len(fb.residuals), fb.records, fb.resets)
+	if fb.drifts > 0 {
+		fmt.Fprintf(&b, "drift: %d targeted recompile(s) requested (factor %.1f) [recompiled]\n",
+			fb.drifts, fb.driftFactor)
+	}
 	for _, dk := range sortedKeys(fb.deriv) {
 		o := fb.deriv[dk]
 		fmt.Fprintf(&b, "derive %s: ≈%.1f atoms/root over %d run(s) [observed]\n", dk, o.avg(), o.n)

@@ -98,6 +98,14 @@ const (
 	// key order, producing the whole root batch already sorted — the
 	// access path that makes an ordered stream sort-free.
 	OrderedScan
+	// IndexIntersect composes several interior entries: two or more
+	// selective indexed conjuncts on *different* atom types each run
+	// their own entry lookup and upward climb, and the candidate-root
+	// sets are intersected (sorted merge on root IDs) before a single
+	// molecule is derived — a molecule-level index AND. Every entry
+	// conjunct additionally stays on as a pushdown prune hook, which
+	// restores exactness exactly as for a single interior entry.
+	IndexIntersect
 )
 
 // Ordered-delivery mechanisms, as EXPLAIN provenance labels: how a plan
@@ -170,6 +178,54 @@ type Access struct {
 	// InteriorIndex access actually performed — the actual the feedback
 	// store calibrates future climb weights from.
 	ActClimb int
+
+	// Ranged marks an IndexScan or InteriorIndex whose index access is a
+	// key-bounded walk of the ordered index over a range conjunction
+	// (<, <=, >, >=, BETWEEN-shaped AND pairs) instead of an equality
+	// lookup. Lo/Hi carry the merged bounds; HasLo/HasHi mark one-sided
+	// ranges and LoInc/HiInc the bound inclusivity.
+	Ranged       bool
+	HasLo, HasHi bool
+	Lo, Hi       model.Value
+	LoInc, HiInc bool
+
+	// Entries carries the per-entry detail of an IndexIntersect access:
+	// each entry's lookup, climb and recovery figures, estimate and
+	// actual. The aggregate ActEntries/ActClimb fields above sum over
+	// the entries.
+	Entries []AccessEntry
+	// ActSurvivors counts the candidate roots the access path produced
+	// before the root filter ran: the sorted-merge intersection
+	// survivors of an IndexIntersect, the recovered roots of an
+	// InteriorIndex, the posting/walk size of an IndexScan — the figure
+	// the feedback store calibrates future contests with.
+	ActSurvivors int
+}
+
+// AccessEntry is one entry point of an IndexIntersect access: an indexed
+// equality on one interior type, with its own climb to candidate roots.
+type AccessEntry struct {
+	Type  string
+	Pos   int
+	Attr  string
+	Value model.Value
+	// UpPath lists the atom types this entry's upward climb passes
+	// through, entry first, root last.
+	UpPath []string
+	// EstEntries/ActEntries: atoms the entry lookup returns; EstRoots/
+	// ActRoots: candidate roots the climb recovers; ActClimb: link
+	// traversals performed. When the intersection short-circuits on an
+	// empty running set, later entries are never probed and keep zero
+	// actuals.
+	EstEntries  int
+	EntrySource string
+	ActEntries  int
+	EstRoots    int
+	ActRoots    int
+	ActClimb    int
+	// ord is the entry conjunct's ordinal in the split predicate, for
+	// rebinding a shape-cached plan to fresh literals.
+	ord int
 }
 
 // Calibration records the contest constants a compile weighed the
@@ -214,6 +270,9 @@ type Pushdown struct {
 	Source string
 	// Cut counts the molecules this node disqualified mid-derivation.
 	Cut int
+	// ord is the conjunct's ordinal in the split predicate, for
+	// rebinding a shape-cached plan to fresh literals.
+	ord int
 }
 
 // ResidualConjunct is one molecule-level conjunct of the residual filter,
@@ -248,6 +307,9 @@ type ResidualConjunct struct {
 	Evals  int
 	Passed int
 	Nanos  int64
+	// ord is the conjunct's ordinal in the split predicate, for
+	// rebinding a shape-cached plan to fresh literals.
+	ord int
 }
 
 // Plan is a compiled query plan: access path → derivation with pushdown →
@@ -263,6 +325,20 @@ type Plan struct {
 	// store discards observations from plans compiled under an older
 	// statistics regime.
 	epoch uint64
+	// pred is the whole compiled predicate — kept so the plan-cache
+	// image can persist the shape and so shape-cached plans can rebind.
+	pred expr.Expr
+	// Rebinding metadata: which conjunct ordinals of the split predicate
+	// fed the root filter, the access equality value, and the access
+	// range bounds. A shape-keyed cache hit with fresh literals replays
+	// these against the new predicate's conjuncts instead of recompiling.
+	filterOrds     []int
+	accessValueOrd int
+	rangeOrds      []int
+	// noIntersect excludes the multi-entry intersection candidate from
+	// the access-path contest (the single-entry baseline the P16
+	// benchmark and the parity tests measure the intersection against).
+	noIntersect bool
 
 	Access Access
 	// Calibration is the contest-constant provenance of this compile.
@@ -296,6 +372,14 @@ type Plan struct {
 	Order     *OrderBy
 	OrderPath string
 	OrderCut  int
+
+	// Recompiled marks a plan produced by a drift-triggered targeted
+	// recompile: the feedback store observed this cache entry's actuals
+	// diverging from its compile-time estimates beyond the drift factor,
+	// marked just that entry stale, and the next fetch reran the contest
+	// on calibrated numbers — without bumping the plan epoch. EXPLAIN
+	// renders it as [recompiled].
+	Recompiled bool
 
 	// Execution actuals (valid after Execute).
 	Derived  int // molecules fully derived (survived every pushdown)
@@ -339,6 +423,8 @@ type rootConjInfo struct {
 	conj expr.Expr
 	sel  float64
 	src  string
+	// ord is the conjunct's ordinal in the split predicate.
+	ord int
 	// Equality-index candidacy (indexable reports whether the conjunct
 	// is root.attr = const with an index on attr).
 	indexable bool
@@ -346,13 +432,28 @@ type rootConjInfo struct {
 	val       model.Value
 	est       int
 	estSrc    string
+	// Range-index candidacy: the conjunct is root.attr <op> const for a
+	// range operator with an index on attr; range conjuncts on the same
+	// attribute merge into one key-bounded ordered walk.
+	rangeable bool
+	rattr     string
+	rop       expr.CmpOp
+	rval      model.Value
 }
 
 // Compile builds the plan for deriving desc under pred (nil = no
 // restriction). pred must already be statically valid for the structure
 // (expr.Check against core.Scope).
 func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, error) {
-	return compileKeyed(db, desc, pred, nil, cacheKey(desc, pred, nil))
+	return compileKeyed(db, desc, pred, nil, cacheKey(desc, pred, nil), false)
+}
+
+// CompileSingleEntry is Compile with the multi-entry index-intersection
+// candidate excluded from the access-path contest — the best
+// single-entry baseline the P16 benchmark and the intersection parity
+// tests measure the composed path against.
+func CompileSingleEntry(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, error) {
+	return compileKeyed(db, desc, pred, nil, cacheKey(desc, pred, nil), true)
 }
 
 // CompileOrdered is Compile with an ORDER BY on a root attribute: the
@@ -361,18 +462,21 @@ func Compile(db *storage.Database, desc *core.Desc, pred expr.Expr) (*Plan, erro
 // order. order must name an attribute of the root type; a nil order
 // degrades to Compile.
 func CompileOrdered(db *storage.Database, desc *core.Desc, pred expr.Expr, order *OrderBy) (*Plan, error) {
-	return compileKeyed(db, desc, pred, order, cacheKey(desc, pred, order))
+	return compileKeyed(db, desc, pred, order, cacheKey(desc, pred, order), false)
 }
 
 // compileKeyed is Compile with the cache key already computed — the plan
 // cache passes the key it looked up with, so a miss does not encode the
 // predicate tree a second time.
-func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *OrderBy, key string) (*Plan, error) {
+func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *OrderBy, key string, noIntersect bool) (*Plan, error) {
 	p := &Plan{
-		db:    db,
-		desc:  desc,
-		key:   key,
-		epoch: db.PlanEpoch(),
+		db:             db,
+		desc:           desc,
+		key:            key,
+		epoch:          db.PlanEpoch(),
+		pred:           pred,
+		accessValueOrd: -1,
+		noIntersect:    noIntersect,
 		Access: Access{
 			Kind:      FullScan,
 			Root:      desc.Root(),
@@ -397,28 +501,30 @@ func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *
 	p.Access.EstRoots = n
 
 	var rootConjs []rootConjInfo
-	for _, c := range splitConjuncts(pred) {
+	for ord, c := range splitConjuncts(pred) {
 		t, single := conjunctType(db, desc, c)
 		switch {
 		case single && t == desc.Root():
-			info := rootConjInfo{conj: c}
+			info := rootConjInfo{conj: c, ord: ord}
 			info.sel, info.src = conjSelectivity(db, desc, c)
 			if attr, val, ok := indexableEq(c, db, t); ok {
 				info.indexable, info.attr, info.val = true, attr, val
 				info.est, info.estSrc = estimateEqCount(db, t, attr, val, n)
+			} else if a, op, v, ok := attrConstCmp(c); ok && isRangeOp(op) && db.HasIndex(t, a.Name) {
+				info.rangeable, info.rattr, info.rop, info.rval = true, a.Name, op, v
 			}
 			rootConjs = append(rootConjs, info)
 		case single && pushableShape(c):
 			pos, _ := desc.Pos(t)
 			sel, src := conjSelectivity(db, desc, c)
 			p.Pushdowns = append(p.Pushdowns, Pushdown{
-				Type: t, Pos: pos, Conjunct: c, Sel: sel, Source: src,
+				Type: t, Pos: pos, Conjunct: c, Sel: sel, Source: src, ord: ord,
 			})
 		default:
 			p.Residual = combine(p.Residual, c)
 			sel, src := conjSelectivity(db, desc, c)
 			p.Residuals = append(p.Residuals, ResidualConjunct{
-				Conjunct: c, key: conjKey(c), Sel: sel, Source: src, Cost: conjCost(c),
+				Conjunct: c, key: conjKey(c), Sel: sel, Source: src, Cost: conjCost(c), ord: ord,
 			})
 		}
 	}
@@ -462,8 +568,10 @@ func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *
 }
 
 // chooseAccess enumerates the access-path alternatives — root full scan,
-// the best root-index equality, and an interior-index entry per indexed
-// pushdown equality — costs each as
+// the best root-index equality, key-bounded range walks on indexed range
+// conjuncts (root and interior), an interior-index entry per indexed
+// pushdown equality, and a multi-entry index intersection when indexed
+// equalities land on two or more different interior types — costs each as
 //
 //	(atoms fetched + links climbed to produce the root batch)
 //	+ roots entering derivation × expected per-molecule derivation work
@@ -472,7 +580,10 @@ func compileKeyed(db *storage.Database, desc *core.Desc, pred expr.Expr, order *
 // EXPLAIN. The contest constants come from the model's fan statistics
 // until the feedback store has recorded executions of this structure —
 // then the observed per-root derivation work and per-entry climb work
-// replace the fiat weights (Calibration records the provenance).
+// replace the fiat weights (Calibration records the provenance), and an
+// access observation recorded for this exact cache entry overrides the
+// matching candidate's cardinalities — the calibration a drift-triggered
+// recompile flips the contest with.
 func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 	desc := p.desc
 	derivCost := derivCostPerRoot(p.db, desc)
@@ -481,18 +592,19 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 		derivCost = obs
 		p.Calibration.DerivPerRoot, p.Calibration.DerivSrc = obs, SrcObserved
 	}
+	aobs, aobsOK := fb.accessObserved(p.key)
 
-	// Selectivity of the whole root filter, and with one conjunct (the
-	// chosen root index) taken out.
+	// Selectivity of the whole root filter, and with the conjuncts the
+	// access path absorbs taken out.
 	allSel, allSrc := 1.0, ""
 	for _, rc := range rootConjs {
 		allSel *= rc.sel
 		allSrc = combineSource(allSrc, rc.src)
 	}
-	selWithout := func(skip int) (float64, string) {
+	selWithout := func(skip map[int]bool) (float64, string) {
 		sel, src := 1.0, ""
 		for i, rc := range rootConjs {
-			if i == skip {
+			if skip[i] {
 				continue
 			}
 			sel *= rc.sel
@@ -520,7 +632,7 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 		p.Access.Kind = FullScan
 		p.Access.EstRoots = n
 		p.Access.EstSource = SrcContainer
-		p.installRootFilter(rootConjs, -1, n)
+		p.installRootFilter(rootConjs, nil, n)
 	}}}
 
 	// Best root-index equality.
@@ -532,20 +644,73 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 	}
 	if bestRoot >= 0 {
 		rc := rootConjs[bestRoot]
-		restSel, _ := selWithout(bestRoot)
-		entering := scaleEst(rc.est, restSel)
+		est, estSrc := rc.est, rc.estSrc
+		if aobsOK && aobs.kind == IndexScan && !aobs.ranged && aobs.attr == rc.attr {
+			est, estSrc = obsCount(aobs.entries), SrcObserved
+		}
+		restSel, _ := selWithout(map[int]bool{bestRoot: true})
+		entering := scaleEst(est, restSel)
 		alts = append(alts, Alternative{
 			Label: fmt.Sprintf("index %s.%s", desc.Root(), rc.attr),
-			Cost:  float64(rc.est) + float64(entering)*derivCost,
+			Cost:  float64(est) + float64(entering)*derivCost,
 		})
 		cands = append(cands, candidate{alt: len(alts) - 1, entering: entering,
 			presorted: p.Order != nil && rc.attr == p.Order.Attr, apply: func() {
 				rc := rootConjs[bestRoot]
 				p.Access.Kind = IndexScan
 				p.Access.Attr, p.Access.Value = rc.attr, rc.val
-				p.Access.EstRoots = rc.est
-				p.Access.EstSource = rc.estSrc
-				p.installRootFilter(rootConjs, bestRoot, rc.est)
+				p.Access.EstRoots = est
+				p.Access.EstSource = estSrc
+				p.accessValueOrd = rc.ord
+				p.installRootFilter(rootConjs, map[int]bool{bestRoot: true}, est)
+			}})
+	}
+
+	// Root range entries: range conjuncts on an indexed root attribute
+	// merge per attribute into one key-bounded walk of the ordered index
+	// view. The walk is exact, so the covered conjuncts leave the root
+	// filter; a walk on the ORDER BY attribute doubles as an index-order
+	// ride.
+	rootRanges, rootRangeAttrs := map[string]*rangeSpec{}, []string(nil)
+	for i, rc := range rootConjs {
+		if !rc.rangeable {
+			continue
+		}
+		s := rootRanges[rc.rattr]
+		if s == nil {
+			s = &rangeSpec{typeName: desc.Root(), attr: rc.rattr}
+			rootRanges[rc.rattr] = s
+			rootRangeAttrs = append(rootRangeAttrs, rc.rattr)
+		}
+		s.addBound(rc.rop, rc.rval)
+		s.ords = append(s.ords, rc.ord)
+		s.idxs = append(s.idxs, i)
+	}
+	for _, attr := range rootRangeAttrs {
+		attr, spec := attr, rootRanges[attr]
+		est, estSrc := estimateRangeCount(p.db, desc.Root(), spec, n)
+		if aobsOK && aobs.kind == IndexScan && aobs.ranged && aobs.attr == attr {
+			est, estSrc = obsCount(aobs.entries), SrcObserved
+		}
+		skip := map[int]bool{}
+		for _, i := range spec.idxs {
+			skip[i] = true
+		}
+		restSel, _ := selWithout(skip)
+		entering := scaleEst(est, restSel)
+		alts = append(alts, Alternative{
+			Label: fmt.Sprintf("index range %s.%s %s", desc.Root(), attr, spec),
+			Cost:  float64(est) + float64(entering)*derivCost,
+		})
+		cands = append(cands, candidate{alt: len(alts) - 1, entering: entering,
+			presorted: p.Order != nil && attr == p.Order.Attr, apply: func() {
+				p.Access.Kind = IndexScan
+				p.Access.Attr = attr
+				spec.fillAccess(&p.Access)
+				p.Access.EstRoots = est
+				p.Access.EstSource = estSrc
+				p.rangeOrds = spec.ords
+				p.installRootFilter(rootConjs, skip, est)
 			}})
 	}
 
@@ -562,6 +727,9 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			continue
 		}
 		entries, entriesSrc := estimateEqCount(p.db, pd.Type, attr, val, nT)
+		if aobsOK && aobs.kind == InteriorIndex && !aobs.ranged && aobs.entryType == pd.Type && aobs.attr == attr {
+			entries, entriesSrc = obsCount(aobs.entries), SrcObserved
+		}
 		recovered, climbCost, upPath := climbEstimate(p.db, desc, pd.Type, entries)
 		climbPerEntry, climbSrc := 0.0, SrcLinkFan
 		if entries > 0 {
@@ -572,6 +740,9 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			// the fan-statistic climb weight.
 			climbPerEntry, climbSrc = obs, SrcObserved
 			climbCost = obs * float64(entries)
+		}
+		if aobsOK && aobs.kind == InteriorIndex && !aobs.ranged && aobs.entryType == pd.Type && aobs.attr == attr && aobs.roots > 0 {
+			recovered = obsCount(aobs.roots)
 		}
 		entering := scaleEst(recovered, allSel)
 		alts = append(alts, Alternative{
@@ -590,8 +761,155 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 			p.Access.EstRoots = recovered
 			p.Access.EstSource = combineSource(SrcLinkFan, entriesSrc)
 			p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc = climbPerEntry, climbSrc
-			p.installRootFilter(rootConjs, -1, recovered)
+			p.accessValueOrd = pd.ord
+			p.installRootFilter(rootConjs, nil, recovered)
 		}})
+	}
+
+	// Interior range entries: range conjuncts pushed down at an indexed
+	// interior attribute merge into a key-bounded walk of that index,
+	// then climb upward exactly like an equality entry. The covered
+	// conjuncts stay on as pushdown hooks — recovery over-approximates,
+	// so exactness comes from the hooks, not the walk.
+	intRanges, intRangeKeys := map[string]*rangeSpec{}, []string(nil)
+	for pi := range p.Pushdowns {
+		pd := &p.Pushdowns[pi]
+		a, op, v, ok := attrConstCmp(pd.Conjunct)
+		if !ok || !isRangeOp(op) || !p.db.HasIndex(pd.Type, a.Name) {
+			continue
+		}
+		k := pd.Type + "\x00" + a.Name
+		s := intRanges[k]
+		if s == nil {
+			s = &rangeSpec{typeName: pd.Type, attr: a.Name}
+			intRanges[k] = s
+			intRangeKeys = append(intRangeKeys, k)
+		}
+		s.addBound(op, v)
+		s.ords = append(s.ords, pd.ord)
+		s.idxs = append(s.idxs, pi)
+	}
+	for _, k := range intRangeKeys {
+		spec := intRanges[k]
+		nT, err := p.db.CountAtoms(spec.typeName)
+		if err != nil {
+			continue
+		}
+		entries, entriesSrc := estimateRangeCount(p.db, spec.typeName, spec, nT)
+		if aobsOK && aobs.kind == InteriorIndex && aobs.ranged && aobs.entryType == spec.typeName && aobs.attr == spec.attr {
+			entries, entriesSrc = obsCount(aobs.entries), SrcObserved
+		}
+		recovered, climbCost, upPath := climbEstimate(p.db, desc, spec.typeName, entries)
+		climbPerEntry, climbSrc := 0.0, SrcLinkFan
+		if entries > 0 {
+			climbPerEntry = climbCost / float64(entries)
+		}
+		if obs, ok := fb.climbObserved(desc.String(), spec.typeName); ok {
+			climbPerEntry, climbSrc = obs, SrcObserved
+			climbCost = obs * float64(entries)
+		}
+		if aobsOK && aobs.kind == InteriorIndex && aobs.ranged && aobs.entryType == spec.typeName && aobs.attr == spec.attr && aobs.roots > 0 {
+			recovered = obsCount(aobs.roots)
+		}
+		entering := scaleEst(recovered, allSel)
+		pos, _ := desc.Pos(spec.typeName)
+		alts = append(alts, Alternative{
+			Label: fmt.Sprintf("interior-range %s.%s %s", spec.typeName, spec.attr, spec),
+			Cost:  float64(entries) + climbCost + float64(recovered) + float64(entering)*derivCost,
+		})
+		cands = append(cands, candidate{alt: len(alts) - 1, entering: entering, apply: func() {
+			p.Access.Kind = InteriorIndex
+			p.Access.Attr = spec.attr
+			spec.fillAccess(&p.Access)
+			p.Access.EntryType = spec.typeName
+			p.Access.EntryPos = pos
+			p.Access.UpPath = upPath
+			p.Access.EstEntries = entries
+			p.Access.EntrySource = entriesSrc
+			p.Access.EstRoots = recovered
+			p.Access.EstSource = combineSource(SrcLinkFan, entriesSrc)
+			p.Calibration.ClimbPerEntry, p.Calibration.ClimbSrc = climbPerEntry, climbSrc
+			p.rangeOrds = spec.ords
+			p.installRootFilter(rootConjs, nil, recovered)
+		}})
+	}
+
+	// Index intersection: the best indexed equality entry per distinct
+	// interior type; when two or more types qualify, every entry climbs
+	// to candidate roots and the sorted sets intersect before a single
+	// molecule is derived. Cost is Σ(access + climb + merge) over the
+	// entries plus derivation of the expected survivors (independence
+	// assumption: survivors ≈ n × Π(recoveredᵢ/n)).
+	if !p.noIntersect && n > 0 {
+		type interEntry struct {
+			pi      int
+			attr    string
+			val     model.Value
+			entries int
+			src     string
+		}
+		bestByType, typeOrder := map[string]interEntry{}, []string(nil)
+		for pi := range p.Pushdowns {
+			pd := &p.Pushdowns[pi]
+			attr, val, ok := indexableEq(pd.Conjunct, p.db, pd.Type)
+			if !ok {
+				continue
+			}
+			nT, err := p.db.CountAtoms(pd.Type)
+			if err != nil {
+				continue
+			}
+			entries, src := estimateEqCount(p.db, pd.Type, attr, val, nT)
+			prev, seen := bestByType[pd.Type]
+			if !seen {
+				typeOrder = append(typeOrder, pd.Type)
+			}
+			if !seen || entries < prev.entries {
+				bestByType[pd.Type] = interEntry{pi: pi, attr: attr, val: val, entries: entries, src: src}
+			}
+		}
+		if len(typeOrder) >= 2 {
+			ents := make([]AccessEntry, 0, len(typeOrder))
+			labels := make([]string, 0, len(typeOrder))
+			access, frac := 0.0, 1.0
+			sumEntries := 0
+			estSrc := SrcLinkFan
+			for _, t := range typeOrder {
+				ie := bestByType[t]
+				pd := &p.Pushdowns[ie.pi]
+				recovered, climbCost, upPath := climbEstimate(p.db, desc, t, ie.entries)
+				if obs, ok := fb.climbObserved(desc.String(), t); ok {
+					climbCost = obs * float64(ie.entries)
+				}
+				ents = append(ents, AccessEntry{
+					Type: t, Pos: pd.Pos, Attr: ie.attr, Value: ie.val,
+					UpPath: upPath, EstEntries: ie.entries, EntrySource: ie.src,
+					EstRoots: recovered, ord: pd.ord,
+				})
+				labels = append(labels, fmt.Sprintf("%s.%s", t, ie.attr))
+				access += float64(ie.entries) + climbCost + float64(recovered)
+				frac *= float64(recovered) / float64(n)
+				sumEntries += ie.entries
+				estSrc = combineSource(estSrc, ie.src)
+			}
+			survivors := scaleEst(n, frac)
+			if aobsOK && aobs.kind == IndexIntersect && aobs.roots > 0 {
+				survivors, estSrc = obsCount(aobs.roots), SrcObserved
+			}
+			entering := scaleEst(survivors, allSel)
+			alts = append(alts, Alternative{
+				Label: fmt.Sprintf("intersect[%s]", strings.Join(labels, " ∧ ")),
+				Cost:  access + float64(entering)*derivCost,
+			})
+			cands = append(cands, candidate{alt: len(alts) - 1, entering: entering, apply: func() {
+				p.Access.Kind = IndexIntersect
+				p.Access.Entries = ents
+				p.Access.EstEntries = sumEntries
+				p.Access.EstRoots = survivors
+				p.Access.EstSource = estSrc
+				p.installRootFilter(rootConjs, nil, survivors)
+			}})
+		}
 	}
 
 	// Ordered scan: when the ORDER BY attribute carries a root index,
@@ -608,7 +926,7 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 				p.Access.Attr = p.Order.Attr
 				p.Access.EstRoots = n
 				p.Access.EstSource = SrcContainer
-				p.installRootFilter(rootConjs, -1, n)
+				p.installRootFilter(rootConjs, nil, n)
 			}})
 	}
 
@@ -647,17 +965,19 @@ func (p *Plan) chooseAccess(n int, rootConjs []rootConjInfo, fb *Feedback) {
 	cands[best].apply()
 }
 
-// installRootFilter conjoins every root conjunct except the one at skip
-// into the pre-derivation root filter and scales EstRoots (currently
-// `produced` roots) by the filter's selectivity.
-func (p *Plan) installRootFilter(rootConjs []rootConjInfo, skip, produced int) {
+// installRootFilter conjoins every root conjunct except the skipped ones
+// (those the access path absorbs exactly — an index equality or a
+// key-bounded range walk) into the pre-derivation root filter and scales
+// EstRoots (currently `produced` roots) by the filter's selectivity.
+func (p *Plan) installRootFilter(rootConjs []rootConjInfo, skip map[int]bool, produced int) {
 	filterSel := 1.0
 	filterSrc := ""
 	for i, rc := range rootConjs {
-		if i == skip {
+		if skip[i] {
 			continue
 		}
 		p.Access.Filter = combine(p.Access.Filter, rc.conj)
+		p.filterOrds = append(p.filterOrds, rc.ord)
 		filterSel *= rc.sel
 		filterSrc = combineSource(filterSrc, rc.src)
 	}
@@ -923,20 +1243,73 @@ func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
 	}
 	switch p.Access.Kind {
 	case IndexScan:
+		if p.Access.Ranged {
+			roots, err := p.rangeWalk(dv, p.Access.Root, p.presorted())
+			if err == nil {
+				p.Access.ActEntries = len(roots)
+				p.Access.ActSurvivors = len(roots)
+			}
+			return roots, err
+		}
 		roots, ok := lookup(p.Access.Root, p.Access.Attr, p.Access.Value)
 		if !ok {
 			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.Root, p.Access.Attr)
 		}
+		p.Access.ActEntries = len(roots)
+		p.Access.ActSurvivors = len(roots)
 		return roots, nil
 	case InteriorIndex:
-		entries, ok := lookup(p.Access.EntryType, p.Access.Attr, p.Access.Value)
-		if !ok {
-			return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.EntryType, p.Access.Attr)
+		var entries []model.AtomID
+		if p.Access.Ranged {
+			var err error
+			entries, err = p.rangeWalk(dv, p.Access.EntryType, false)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var ok bool
+			entries, ok = lookup(p.Access.EntryType, p.Access.Attr, p.Access.Value)
+			if !ok {
+				return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", p.Access.EntryType, p.Access.Attr)
+			}
 		}
 		p.Access.ActEntries = len(entries)
 		roots, climbed, err := dv.RecoverRootsCounted(p.Access.EntryPos, entries)
 		p.Access.ActClimb = int(climbed)
+		p.Access.ActSurvivors = len(roots)
 		return roots, err
+	case IndexIntersect:
+		// Every entry runs its own lookup and upward climb; the sorted
+		// candidate-root sets (RecoverRoots returns ascending IDs)
+		// intersect progressively, short-circuiting the remaining
+		// entries the moment the running intersection empties.
+		var inter []model.AtomID
+		for i := range p.Access.Entries {
+			en := &p.Access.Entries[i]
+			entries, ok := lookup(en.Type, en.Attr, en.Value)
+			if !ok {
+				return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", en.Type, en.Attr)
+			}
+			en.ActEntries = len(entries)
+			p.Access.ActEntries += len(entries)
+			roots, climbed, err := dv.RecoverRootsCounted(en.Pos, entries)
+			if err != nil {
+				return nil, err
+			}
+			en.ActClimb = int(climbed)
+			p.Access.ActClimb += int(climbed)
+			en.ActRoots = len(roots)
+			if i == 0 {
+				inter = roots
+			} else {
+				inter = intersectSorted(inter, roots)
+			}
+			if len(inter) == 0 {
+				break
+			}
+		}
+		p.Access.ActSurvivors = len(inter)
+		return inter, nil
 	case OrderedScan:
 		ts := dv.TS()
 		if ts == 0 {
@@ -954,6 +1327,81 @@ func (p *Plan) rootBatch(dv *core.Deriver) ([]model.AtomID, error) {
 	default:
 		return dv.RootIDs(), nil
 	}
+}
+
+// rangeWalk produces the atoms of typeName whose indexed attribute falls
+// inside the access range, by a key-bounded walk of the ordered index
+// view: keys below the low bound are skipped, the walk stops past the
+// high bound, null keys never qualify (a null compares to nothing under
+// predicate evaluation). keyOrder keeps the walk's key order — the
+// ORDER BY ride — and walks descending when the order asks for it;
+// otherwise the batch is re-sorted by atom ID so every access path
+// yields the same deterministic root order.
+func (p *Plan) rangeWalk(dv *core.Deriver, typeName string, keyOrder bool) ([]model.AtomID, error) {
+	ts := dv.TS()
+	if ts == 0 {
+		ts = p.db.LatestTS()
+	}
+	descending := keyOrder && p.Order != nil && p.Order.Desc
+	a := &p.Access
+	var out []model.AtomID
+	ok := p.db.IndexOrderedAt(typeName, a.Attr, ts, descending, func(v model.Value, ids []model.AtomID) bool {
+		if v.IsNull() {
+			return true
+		}
+		if a.HasLo {
+			if c := v.Compare(a.Lo); c < 0 || (c == 0 && !a.LoInc) {
+				// Below the low bound: ascending walks skip forward,
+				// descending walks are done.
+				return !descending
+			}
+		}
+		if a.HasHi {
+			if c := v.Compare(a.Hi); c > 0 || (c == 0 && !a.HiInc) {
+				return descending
+			}
+		}
+		out = append(out, ids...)
+		return true
+	})
+	if !ok {
+		return nil, fmt.Errorf("plan: index on %s.%s vanished between compile and execute", typeName, a.Attr)
+	}
+	if !keyOrder {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out, nil
+}
+
+// intersectSorted merges two ascending, deduplicated root-ID slices into
+// their intersection.
+func intersectSorted(a, b []model.AtomID) []model.AtomID {
+	out := make([]model.AtomID, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// obsCount rounds an observed average cardinality to the integer the
+// contest compares estimates with, floored at 1 (an observation exists,
+// so the cardinality was not structurally zero).
+func obsCount(avg float64) int {
+	n := int(avg + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // applyFeedback re-ranks the residual chain around the feedback store's
@@ -1004,6 +1452,11 @@ func (p *Plan) rankResiduals() {
 // resetActuals zeroes every execution actual before a run.
 func (p *Plan) resetActuals() {
 	p.Access.ActRoots, p.Access.ActEntries, p.Access.ActClimb = 0, 0, 0
+	p.Access.ActSurvivors = 0
+	for i := range p.Access.Entries {
+		e := &p.Access.Entries[i]
+		e.ActEntries, e.ActRoots, e.ActClimb = 0, 0, 0
+	}
 	p.Derived, p.Out = 0, 0
 	p.OrderPath, p.OrderCut = "", 0
 	p.Executed = false
@@ -1316,16 +1769,40 @@ func (p *Plan) Render() string {
 	fmt.Fprintf(&b, "root:      %s\n", p.desc.Root())
 	switch p.Access.Kind {
 	case IndexScan:
-		fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots [%s]%s)\n",
-			p.Access.Root, p.Access.Attr, p.Access.Value,
-			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+		if p.Access.Ranged {
+			fmt.Fprintf(&b, "access:    index range walk %s.%s %s (est %s roots [%s]%s)\n",
+				p.Access.Root, p.Access.Attr, p.Access.rangeString(),
+				approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+		} else {
+			fmt.Fprintf(&b, "access:    index lookup %s.%s = %s (est %s roots [%s]%s)\n",
+				p.Access.Root, p.Access.Attr, p.Access.Value,
+				approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+		}
 	case InteriorIndex:
-		fmt.Fprintf(&b, "access:    [interior-index] entry at %s.%s = %s (est %s atoms [%s]%s)\n",
-			p.Access.EntryType, p.Access.Attr, p.Access.Value,
-			approx(p.Access.EstEntries), p.Access.EntrySource, p.actual(p.Access.ActEntries))
+		if p.Access.Ranged {
+			fmt.Fprintf(&b, "access:    [interior-index] range entry at %s.%s %s (est %s atoms [%s]%s)\n",
+				p.Access.EntryType, p.Access.Attr, p.Access.rangeString(),
+				approx(p.Access.EstEntries), p.Access.EntrySource, p.actual(p.Access.ActEntries))
+		} else {
+			fmt.Fprintf(&b, "access:    [interior-index] entry at %s.%s = %s (est %s atoms [%s]%s)\n",
+				p.Access.EntryType, p.Access.Attr, p.Access.Value,
+				approx(p.Access.EstEntries), p.Access.EntrySource, p.actual(p.Access.ActEntries))
+		}
 		fmt.Fprintf(&b, "           recover roots upward %s (est %s roots [%s]%s)\n",
 			strings.Join(p.Access.UpPath, " ⇡ "),
 			approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+	case IndexIntersect:
+		fmt.Fprintf(&b, "access:    [intersect] %d-entry index intersection (est %s roots [%s]%s)\n",
+			len(p.Access.Entries), approx(p.Access.EstRoots), p.Access.EstSource, p.actual(p.Access.ActRoots))
+		for _, en := range p.Access.Entries {
+			fmt.Fprintf(&b, "           entry %s.%s = %s (est %s atoms [%s]%s) ⇡ %s (est %s roots%s)\n",
+				en.Type, en.Attr, en.Value,
+				approx(en.EstEntries), en.EntrySource, p.actual(en.ActEntries),
+				strings.Join(en.UpPath, " ⇡ "), approx(en.EstRoots), p.actual(en.ActRoots))
+		}
+		if p.Executed {
+			fmt.Fprintf(&b, "           sorted-merge intersection → %d surviving root(s)\n", p.Access.ActSurvivors)
+		}
 	case OrderedScan:
 		fmt.Fprintf(&b, "access:    ordered index walk of %s.%s (est %s roots [%s]%s)\n",
 			p.Access.Root, p.Access.Attr,
@@ -1336,6 +1813,9 @@ func (p *Plan) Render() string {
 	}
 	if p.Access.Filter != nil {
 		fmt.Fprintf(&b, "           root filter %s before derivation\n", p.Access.Filter)
+	}
+	if p.Recompiled {
+		b.WriteString("provenance: [recompiled] — feedback drift marked this cache entry stale; the contest reran on calibrated numbers\n")
 	}
 	if p.Order != nil {
 		dir := "asc"

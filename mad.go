@@ -380,11 +380,12 @@ func Load(path string) (*Database, error) { return codec.Load(path) }
 
 // Open opens (or creates) a durable database in dir: the newest
 // checkpoint is loaded, the write-ahead log tail replayed, persisted
-// planner feedback installed, and a group-commit WAL attached so every
-// subsequent commit is fsynced before it acknowledges. Checkpoints taken
-// on the returned database persist the feedback store beside the data
-// so a restarted server plans warm from its first query. Call Close when
-// done.
+// planner feedback installed, the persisted plan shapes precompiled into
+// a warm plan cache, and a group-commit WAL attached so every subsequent
+// commit is fsynced before it acknowledges. Checkpoints taken on the
+// returned database persist the feedback store and the plan-cache shapes
+// beside the data, so a restarted server answers its first queries off
+// warm, feedback-calibrated plans. Call Close when done.
 func Open(dir string) (*Database, error) {
 	db, err := storage.Open(dir)
 	if err != nil {
@@ -394,7 +395,16 @@ func Open(dir string) (*Database, error) {
 		db.Close()
 		return nil, err
 	}
-	db.OnCheckpoint(func() error { return plan.SaveFeedback(db, dir) })
+	if _, err := plan.WarmCache(db, dir); err != nil {
+		db.Close()
+		return nil, err
+	}
+	db.OnCheckpoint(func() error {
+		if err := plan.SaveFeedback(db, dir); err != nil {
+			return err
+		}
+		return plan.SaveCacheShapes(db, dir)
+	})
 	return db, nil
 }
 

@@ -506,3 +506,44 @@ func TestWarmRestartPlansWarm(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmRestartPlanCacheWarm is the plan-cache half of warm restart:
+// CHECKPOINT persists the cached plan shapes beside the feedback, and a
+// reopened database precompiles them during Open — so the FIRST query of
+// the restarted server is a plan-cache hit, not a cold compile.
+func TestWarmRestartPlanCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	db, sess := durableLibrary(t, dir)
+	q := `SELECT ALL FROM author-[wrote]-paper WHERE year = 1985;`
+	for _, stmt := range []string{q, q, `CHECKPOINT;`} {
+		if _, err := sess.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := mad.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// Warm before any statement runs.
+	if n := mad.PlanCacheFor(db2).Len(); n == 0 {
+		t.Fatal("plan cache is cold after reopen; Open must precompile the persisted shapes")
+	}
+	hits0, _, compiles0 := mad.PlanCacheFor(db2).Counters()
+	res, err := mad.NewSession(db2).Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) == 0 {
+		t.Fatal("warmed query returned nothing")
+	}
+	hits1, _, compiles1 := mad.PlanCacheFor(db2).Counters()
+	if hits1 != hits0+1 || compiles1 != compiles0 {
+		t.Fatalf("first post-restart query: hits %d → %d, compiles %d → %d; want one hit, zero compiles",
+			hits0, hits1, compiles0, compiles1)
+	}
+}
