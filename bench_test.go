@@ -680,6 +680,124 @@ func BenchmarkP16IndexIntersection(b *testing.B) {
 	b.Run("intersect", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkP17BOMExplosion measures the recursion subsystem on a deep
+// reconvergent assembly graph (P17, `madbench -exp P17`): a depth-bounded
+// part explosion of one assembly through the indexed fixpoint entry
+// against the eager derive-everything-then-filter baseline, plus
+// time-to-first-molecule of the streamed full explosion. Both acceptance
+// gates run before the sub-benchmarks so a regression fails even at
+// smoke benchtime: the indexed entry must fetch ≥5× fewer atoms than the
+// eager closure, and the first streamed molecule must arrive before 50%
+// of full-materialization wall time.
+func BenchmarkP17BOMExplosion(b *testing.B) {
+	db, err := experiments.BuildBOM(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Release(db)
+	const depth = 4
+	pred := experiments.BOMPred(3)
+
+	eager := func() int64 {
+		rt, err := recursive.Define(db, "", "parts", "composition", false, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := db.Stats().Snapshot()
+		if _, err := rt.Derive(); err != nil {
+			b.Fatal(err)
+		}
+		return db.Stats().Snapshot().Sub(before).AtomsFetched
+	}
+	planned := func() int64 {
+		fp, err := plan.CompileFixpoint(db, "parts", "composition", false, depth, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fp.EntryKind != plan.FixIndexEq {
+			b.Fatalf("entry contest picked %v, want indexed entry", fp.EntryKind)
+		}
+		before := db.Stats().Snapshot()
+		ms, err := fp.Execute(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != 1 {
+			b.Fatalf("explosion delivered %d molecules, want 1", len(ms))
+		}
+		return db.Stats().Snapshot().Sub(before).AtomsFetched
+	}
+	// Gate 1: logical work, stable at any benchtime.
+	eagerFetches, plannedFetches := eager(), planned()
+	if plannedFetches*5 > eagerFetches {
+		b.Fatalf("indexed fixpoint fetched %d atoms vs %d eager — want ≥5× fewer", plannedFetches, eagerFetches)
+	}
+	// Gate 2: streaming latency — first closure of the full explosion
+	// must land before half the full materialization.
+	full, err := plan.CompileFixpoint(db, "parts", "composition", false, depth, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := full.Stream(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := st.Next(); err != nil {
+		b.Fatal(err)
+	}
+	firstAt := time.Since(start)
+	for {
+		m, err := st.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+	}
+	totalAt := time.Since(start)
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if firstAt*2 >= totalAt {
+		b.Fatalf("first streamed molecule after %v of %v total — want < 50%%", firstAt, totalAt)
+	}
+
+	b.Run("eager_full_closure", func(b *testing.B) {
+		var fetches int64
+		for i := 0; i < b.N; i++ {
+			fetches += eager()
+		}
+		b.ReportMetric(float64(fetches)/float64(b.N), "atom-fetches/op")
+	})
+	b.Run("indexed_fixpoint", func(b *testing.B) {
+		var fetches int64
+		for i := 0; i < b.N; i++ {
+			fetches += planned()
+		}
+		b.ReportMetric(float64(fetches)/float64(b.N), "atom-fetches/op")
+	})
+	b.Run("first_molecule", func(b *testing.B) {
+		var wait time.Duration
+		for i := 0; i < b.N; i++ {
+			st, err := full.Stream(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			if _, err := st.Next(); err != nil {
+				b.Fatal(err)
+			}
+			wait += time.Since(start)
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(wait.Nanoseconds())/float64(b.N), "ns-to-first-molecule")
+	})
+}
+
 // BenchmarkCodecRoundTrip measures snapshot encode/decode of a mid-size
 // database.
 func BenchmarkCodecRoundTrip(b *testing.B) {

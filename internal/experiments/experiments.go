@@ -48,6 +48,7 @@ func All() []Experiment {
 		{ID: "P11", Title: "fused derive+residual pipeline, feedback-calibrated costs", Run: RunP11},
 		{ID: "P12", Title: "streaming execution: first-molecule latency, LIMIT work caps", Run: RunP12},
 		{ID: "P16", Title: "composable access paths: index intersection vs single entry", Run: RunP16},
+		{ID: "P17", Title: "BOM part explosion: indexed fixpoint entry vs eager full closure", Run: RunP17},
 	}
 }
 

@@ -59,7 +59,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := experiments.Lookup("ZZ"); ok {
 		t.Fatal("ZZ must not exist")
 	}
-	if len(experiments.All()) != 20 {
-		t.Fatalf("experiment count = %d, want 20", len(experiments.All()))
+	if len(experiments.All()) != 21 {
+		t.Fatalf("experiment count = %d, want 21", len(experiments.All()))
 	}
 }

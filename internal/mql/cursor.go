@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sort"
 
 	"mad/internal/core"
 	"mad/internal/model"
 	"mad/internal/plan"
+	"mad/internal/recursive"
 	"mad/internal/storage"
 )
 
@@ -65,6 +67,11 @@ func WithNoCache() QueryOption {
 type Cursor struct {
 	db     *storage.Database
 	stream *plan.Stream
+	// rec is the streaming fixpoint of a recursive SELECT (stream and rec
+	// are mutually exclusive); recType carries the recursion shape for
+	// rendering.
+	rec     *plan.FixpointStream
+	recType *recursive.Type
 	// desc is the delivered structure (the projected sub-description
 	// when the SELECT list narrows); sub is non-nil when each molecule
 	// must be pruned to it before delivery.
@@ -108,21 +115,7 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 		return nil, err
 	}
 	if rt != nil {
-		if sel.Count {
-			return nil, fmt.Errorf("mql: SELECT COUNT over a recursive structure is not supported")
-		}
-		// Recursive derivation runs eagerly (no plan, no worker pool),
-		// but a per-query limit still caps the result.
-		if o.limitSet {
-			capped := *sel
-			capped.Limit = o.limit
-			sel = &capped
-		}
-		r, err := s.execRecursiveSelect(sel, rt)
-		if err != nil {
-			return nil, err
-		}
-		return &Cursor{db: s.db, res: r}, nil
+		return s.recursiveCursor(ctx, sel, rt, o)
 	}
 	desc := mt.Desc()
 	if s.txn != nil && s.txn.Dirty() {
@@ -177,9 +170,167 @@ func (s *Session) ExecuteStream(ctx context.Context, st Stmt, opts ...QueryOptio
 	return c, nil
 }
 
+// recursiveCursor compiles a recursive SELECT into a planned streaming
+// fixpoint (plan.CompileFixpoint): the entry contest seeds the closure
+// from an indexed root equality when one wins, the remaining WHERE
+// conjuncts prune seed roots before expansion, and completed molecules
+// stream out at a snapshot pinned for the whole closure. COUNT (and
+// GROUP BY over the root attribute) folds off the stream's batches like
+// the plain-select path; anything non-streaming returns an immediate
+// Result cursor.
+func (s *Session) recursiveCursor(ctx context.Context, sel *SelectStmt, rt *recursive.Type, o queryOpts) (*Cursor, error) {
+	if !sel.All && !sel.Count {
+		return nil, fmt.Errorf("mql: recursive SELECT supports ALL only")
+	}
+	// Sessions always feed execution observations back into the cost
+	// model (the non-recursive path opts in through plan.CacheFor).
+	plan.FeedbackFor(s.db)
+	p, err := plan.CompileFixpoint(s.db, rt.AtomType, rt.Link, rt.Up, rt.Depth, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	p.Workers = s.workers
+	if o.workersSet {
+		p.Workers = o.workers
+	}
+	p.Limit = sel.Limit
+	if o.limitSet {
+		p.Limit = o.limit
+	}
+	if sel.Count {
+		r, err := s.recursiveCount(ctx, sel, rt, p)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{db: s.db, res: r}, nil
+	}
+	// Inside a transaction the closure reads the begin snapshot (the
+	// caller's to close); outside one, the stream pins its own.
+	var st *plan.FixpointStream
+	if s.txn != nil {
+		st, err = p.StreamAt(ctx, s.txn.Snapshot())
+	} else {
+		st, err = p.Stream(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{db: s.db, rec: st, recType: rt}, nil
+}
+
+// recursiveCount folds SELECT COUNT [GROUP BY attr] over the streaming
+// fixpoint: molecules are counted (or bucketed by their root's attribute
+// value, read at the stream's snapshot) batch by batch and never
+// materialized. For the grouped form LIMIT caps the buckets reported,
+// not the molecules folded into them.
+func (s *Session) recursiveCount(ctx context.Context, sel *SelectStmt, rt *recursive.Type, p *plan.FixpointPlan) (*Result, error) {
+	var groupPos int
+	var rootC *storage.Container
+	if sel.GroupBy != nil {
+		g := sel.GroupBy
+		if g.Type != "" && g.Type != rt.AtomType {
+			return nil, fmt.Errorf("mql: GROUP BY %s.%s: recursive molecules group by their root type %q",
+				g.Type, g.Attr, rt.AtomType)
+		}
+		var ok bool
+		rootC, ok = s.db.Container(rt.AtomType)
+		if !ok {
+			return nil, fmt.Errorf("mql: atom type %q has no container", rt.AtomType)
+		}
+		if groupPos, ok = rootC.Desc().Lookup(g.Attr); !ok {
+			return nil, fmt.Errorf("mql: root type %q has no attribute %q", rt.AtomType, g.Attr)
+		}
+	}
+	limit := p.Limit
+	if sel.GroupBy != nil {
+		p.Limit = 0 // LIMIT caps groups, not the molecules folded into them
+	}
+	var st *plan.FixpointStream
+	var err error
+	if s.txn != nil {
+		st, err = p.StreamAt(ctx, s.txn.Snapshot())
+	} else {
+		st, err = p.Stream(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	ts := st.SnapshotTS()
+	n := 0
+	counts := make(map[model.Key]*GroupCount)
+	for {
+		m, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			break
+		}
+		if sel.GroupBy == nil {
+			n++
+			continue
+		}
+		a, ok := rootC.GetAt(m.Root, ts)
+		if !ok {
+			continue
+		}
+		v := a.Get(groupPos)
+		k := v.Key()
+		gc := counts[k]
+		if gc == nil {
+			gc = &GroupCount{Value: v}
+			counts[k] = gc
+		}
+		gc.Count++
+	}
+	if sel.GroupBy == nil {
+		return &Result{Kind: RCount, Count: n}, nil
+	}
+	groups := make([]GroupCount, 0, len(counts))
+	for _, gc := range counts {
+		groups = append(groups, *gc)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].Value.Compare(groups[j].Value) < 0
+	})
+	if limit > 0 && len(groups) > limit {
+		groups = groups[:limit]
+	}
+	return &Result{Kind: RCount, GroupAttr: sel.GroupBy.Attr, Groups: groups}, nil
+}
+
 // Streaming reports whether the cursor delivers molecules incrementally
-// (a planned SELECT) or carries an immediate Result.
-func (c *Cursor) Streaming() bool { return c.stream != nil }
+// (a planned SELECT, recursive or not) or carries an immediate Result.
+func (c *Cursor) Streaming() bool { return c.stream != nil || c.rec != nil }
+
+// RecStreaming reports whether the cursor streams recursive molecules
+// (consume them with NextRec; Next always reports exhaustion).
+func (c *Cursor) RecStreaming() bool { return c.rec != nil }
+
+// RecAtomType returns the component atom type of a recursive cursor's
+// molecules ("" otherwise) — what RenderRecMoleculeAt renders them as.
+func (c *Cursor) RecAtomType() string {
+	if c.recType == nil {
+		return ""
+	}
+	return c.recType.AtomType
+}
+
+// NextRec returns the next molecule of a streaming recursive SELECT. A
+// nil molecule with a nil error means exhaustion (immediately so for
+// non-recursive cursors); errors are terminal.
+func (c *Cursor) NextRec() (*recursive.Molecule, error) {
+	if c.rec == nil {
+		return nil, nil
+	}
+	m, err := c.rec.Next()
+	if m == nil || err != nil {
+		return nil, err
+	}
+	c.n++
+	return m, nil
+}
 
 // Desc returns the description of the delivered molecules (after
 // projection); nil for non-streaming statements.
@@ -228,10 +379,13 @@ func (c *Cursor) Seq() iter.Seq[*core.Molecule] {
 // Err returns the cursor's terminal error, nil while molecules are
 // still flowing and after clean exhaustion.
 func (c *Cursor) Err() error {
-	if c.stream == nil {
-		return nil
+	switch {
+	case c.stream != nil:
+		return c.stream.Err()
+	case c.rec != nil:
+		return c.rec.Err()
 	}
-	return c.stream.Err()
+	return nil
 }
 
 // Delivered counts the molecules handed out so far.
@@ -242,10 +396,13 @@ func (c *Cursor) Delivered() int { return c.n }
 // RenderMoleculeAt at this timestamp keeps attribute values consistent
 // with the structure the cursor derived.
 func (c *Cursor) SnapshotTS() uint64 {
-	if c.stream == nil {
-		return 0
+	switch {
+	case c.stream != nil:
+		return c.stream.SnapshotTS()
+	case c.rec != nil:
+		return c.rec.SnapshotTS()
 	}
-	return c.stream.SnapshotTS()
+	return 0
 }
 
 // Result drains the cursor and materializes the remaining molecules
@@ -258,6 +415,9 @@ func (c *Cursor) SnapshotTS() uint64 {
 // Render could otherwise reclaim the versions at the cursor's timestamp
 // and silently degrade rendered atoms to bare ids.
 func (c *Cursor) Result() (*Result, error) {
+	if c.rec != nil {
+		return c.recResult()
+	}
 	if c.stream == nil {
 		return c.res, nil
 	}
@@ -296,12 +456,46 @@ func (c *Cursor) Result() (*Result, error) {
 	return &Result{Kind: RMolecules, Set: set, Desc: c.desc, Attrs: c.attrs, TS: ts, atoms: atoms}, nil
 }
 
+// recResult drains a recursive cursor, resolving each molecule's atom
+// values while the fixpoint's snapshot is still pinned — the same
+// drain-then-render hazard the molecule path guards against.
+func (c *Cursor) recResult() (*Result, error) {
+	ts := c.SnapshotTS()
+	cont, _ := c.db.Container(c.recType.AtomType)
+	atoms := make(map[model.AtomID]model.Atom)
+	var set []*recursive.Molecule
+	for {
+		m, err := c.NextRec()
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			break
+		}
+		if cont != nil {
+			for _, id := range m.Atoms() {
+				if _, done := atoms[id]; done {
+					continue
+				}
+				if a, ok := cont.GetAt(id, ts); ok {
+					atoms[id] = a
+				}
+			}
+		}
+		set = append(set, m)
+	}
+	return &Result{Kind: RRecursive, RecSet: set, RecType: c.recType, TS: ts, atoms: atoms}, nil
+}
+
 // Close cancels an in-flight SELECT, waits for its workers to wind down
 // and releases the cursor; it is idempotent and a no-op for
 // non-streaming statements.
 func (c *Cursor) Close() error {
-	if c.stream == nil {
-		return nil
+	switch {
+	case c.stream != nil:
+		return c.stream.Close()
+	case c.rec != nil:
+		return c.rec.Close()
 	}
-	return c.stream.Close()
+	return nil
 }

@@ -790,46 +790,6 @@ func (s *Session) projectionSpec(st *SelectStmt, desc *core.Desc) (*core.Desc, m
 	return sub, attrs, nil
 }
 
-// execRecursiveSelect evaluates SELECT over a recursive structure.
-func (s *Session) execRecursiveSelect(st *SelectStmt, rt *recursive.Type) (*Result, error) {
-	if !st.All {
-		return nil, fmt.Errorf("mql: recursive SELECT supports ALL only")
-	}
-	set, err := rt.Derive()
-	if err != nil {
-		return nil, err
-	}
-	if st.Where != nil {
-		c, ok := s.db.Container(rt.AtomType)
-		if !ok {
-			return nil, fmt.Errorf("mql: atom type %q has no container", rt.AtomType)
-		}
-		var kept []*recursive.Molecule
-		for _, m := range set {
-			a, ok := c.Get(m.Root)
-			if !ok {
-				continue
-			}
-			keep, err := expr.EvalPredicate(st.Where, expr.AtomBinding{
-				TypeName: rt.AtomType, Desc: c.Desc(), Atom: a,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if keep {
-				kept = append(kept, m)
-			}
-		}
-		set = kept
-	}
-	// Recursive derivation has no streaming executor to cancel, so LIMIT
-	// caps the (deterministically ordered) result after the filter.
-	if st.Limit > 0 && len(set) > st.Limit {
-		set = set[:st.Limit]
-	}
-	return &Result{Kind: RRecursive, RecSet: set, RecType: rt}, nil
-}
-
 // execDefine runs the algebra mode: α, then Σ with propagation, then Π
 // with propagation, and registers the resulting molecule type.
 func (s *Session) execDefine(st *DefineStmt) (*Result, error) {
@@ -1177,16 +1137,30 @@ func (s *Session) execExplain(st *ExplainStmt) (*Result, error) {
 	}
 	var b strings.Builder
 	if rt != nil {
-		fmt.Fprintf(&b, "recursive derivation over %s via %s", rt.AtomType, rt.Link)
-		if rt.Up {
-			b.WriteString(" (super-component view)")
-		} else {
-			b.WriteString(" (sub-component view)")
+		plan.FeedbackFor(s.db)
+		fp, err := plan.CompileFixpoint(s.db, rt.AtomType, rt.Link, rt.Up, rt.Depth, sel.Where)
+		if err != nil {
+			return nil, err
 		}
-		if rt.Depth > 0 {
-			fmt.Fprintf(&b, " depth ≤ %d", rt.Depth)
+		fp.Workers = s.workers
+		fp.Limit = sel.Limit
+		// Run the fixpoint (query mode never enlarges the database) so the
+		// rendering carries the [fixpoint] rounds/frontier/visited actuals
+		// next to the estimates, unless the statement asked for the
+		// compile-only ESTIMATE form.
+		if !st.EstimateOnly {
+			if _, err := fp.Execute(context.Background()); err != nil {
+				return nil, err
+			}
 		}
-		b.WriteByte('\n')
+		b.WriteString(fp.Render())
+		if sel.Count {
+			if sel.GroupBy != nil {
+				fmt.Fprintf(&b, "aggregate: COUNT GROUP BY %s (folded off fixpoint batches, result never materialized)\n", sel.GroupBy.Attr)
+			} else {
+				b.WriteString("aggregate: COUNT (folded off fixpoint batches)\n")
+			}
+		}
 		return &Result{Kind: RPlan, Message: b.String()}, nil
 	}
 	desc := mt.Desc()

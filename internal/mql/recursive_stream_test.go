@@ -1,0 +1,275 @@
+package mql_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mad/internal/model"
+	"mad/internal/mql"
+	"mad/internal/plan"
+	"mad/internal/storage"
+)
+
+// partsDB builds the canonical BOM fixture directly against storage so
+// tests hold the atom ids: car → engine → piston → ring over the
+// reflexive composition link, with a category attribute for grouping.
+func partsDB(t testing.TB) (*storage.Database, []model.AtomID) {
+	t.Helper()
+	db := storage.NewDatabase()
+	desc := model.MustDesc(
+		model.AttrDesc{Name: "name", Kind: model.KString},
+		model.AttrDesc{Name: "cat", Kind: model.KString},
+	)
+	if _, err := db.DefineAtomType("parts", desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "parts", SideB: "parts"}); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct{ name, cat string }{
+		{"car", "assembly"}, {"engine", "assembly"}, {"piston", "piece"}, {"ring", "piece"},
+	}
+	ids := make([]model.AtomID, len(rows))
+	for i, r := range rows {
+		id, err := db.InsertAtom("parts", model.Str(r.name), model.Str(r.cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Connect("composition", ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, ids
+}
+
+// TestRecursiveSnapshotUniformUnderWriter (satellite 1): a recursive
+// cursor pins one snapshot for the whole closure. A writer committing
+// mid-closure — renaming an atom and growing the assembly — must be
+// invisible: every molecule and every rendered value is version-uniform
+// at the cursor's SnapshotTS.
+func TestRecursiveSnapshotUniformUnderWriter(t *testing.T) {
+	db, ids := partsDB(t)
+	defer plan.Release(db)
+	sess := mql.NewSession(db)
+	cur, err := sess.QueryContext(context.Background(), "SELECT ALL FROM RECURSIVE parts VIA composition;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if !cur.RecStreaming() || !cur.Streaming() {
+		t.Fatal("recursive SELECT must stream")
+	}
+	ts := cur.SnapshotTS()
+	if ts == 0 {
+		t.Fatal("recursive cursor must pin a snapshot")
+	}
+	first, err := cur.NextRec()
+	if err != nil || first == nil {
+		t.Fatalf("first molecule: %v, %v", first, err)
+	}
+
+	// Writer commits while the closure is still streaming: ring becomes
+	// a washer and gains a sub-component.
+	if err := db.UpdateAtom("parts", ids[3], []model.Value{model.Str("washer"), model.Str("piece")}); err != nil {
+		t.Fatal(err)
+	}
+	bolt, err := db.InsertAtom("parts", model.Str("bolt"), model.Str("piece"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Connect("composition", ids[3], bolt); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[model.AtomID]int{first.Root: first.Size()}
+	rendered := mql.RenderRecMoleculeAt(db, ts, 1, first, cur.RecAtomType())
+	for i := 2; ; i++ {
+		m, err := cur.NextRec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		if m.Contains(bolt) {
+			t.Fatalf("closure of %v saw the mid-stream commit", m.Root)
+		}
+		got[m.Root] = m.Size()
+		rendered += mql.RenderRecMoleculeAt(db, ts, i, m, cur.RecAtomType())
+	}
+	// Pre-commit shape: car 4, engine 3, piston 2, ring 1 — the bolt
+	// never joins, and ring still renders under its old name.
+	want := map[model.AtomID]int{ids[0]: 4, ids[1]: 3, ids[2]: 2, ids[3]: 1}
+	for id, n := range want {
+		if got[id] != n {
+			t.Fatalf("closure sizes not version-uniform: %v", got)
+		}
+	}
+	if !strings.Contains(rendered, "ring") || strings.Contains(rendered, "washer") || strings.Contains(rendered, "bolt") {
+		t.Fatalf("rendering not uniform at SnapshotTS %d:\n%s", ts, rendered)
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+}
+
+// TestRecursiveCount (satellite 2): SELECT COUNT folds over the
+// streaming fixpoint instead of erroring — plain, filtered, and grouped
+// by a root attribute.
+func TestRecursiveCount(t *testing.T) {
+	db, _ := partsDB(t)
+	defer plan.Release(db)
+	sess := mql.NewSession(db)
+
+	res, err := sess.Exec("SELECT COUNT FROM RECURSIVE parts VIA composition;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != mql.RCount || res.Count != 4 {
+		t.Fatalf("count = %+v", res)
+	}
+
+	res, err = sess.Exec("SELECT COUNT FROM RECURSIVE parts VIA composition WHERE cat = 'assembly';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Fatalf("filtered count = %d, want 2", res.Count)
+	}
+
+	res, err = sess.Exec("SELECT COUNT FROM RECURSIVE parts VIA composition GROUP BY cat;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 || res.GroupAttr != "cat" {
+		t.Fatalf("groups = %+v", res)
+	}
+	for _, g := range res.Groups {
+		if g.Count != 2 {
+			t.Fatalf("group %s = %d closures, want 2", g.Value, g.Count)
+		}
+	}
+	out := res.Render(db)
+	if !strings.Contains(out, "2 group(s) by cat") {
+		t.Fatalf("render: %s", out)
+	}
+
+	// LIMIT caps groups, not the underlying closures.
+	res, err = sess.Exec("SELECT COUNT FROM RECURSIVE parts VIA composition GROUP BY name LIMIT 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("limited groups = %d, want 2", len(res.Groups))
+	}
+}
+
+// TestRecursiveLimitReleasesWorkers (satellite 3): LIMIT on a recursive
+// SELECT cancels the in-flight expansion instead of deriving the full
+// set and truncating, and tearing the cursor down leaks no goroutines.
+func TestRecursiveLimitReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db := storage.NewDatabase()
+	desc := model.MustDesc(model.AttrDesc{Name: "pn", Kind: model.KInt})
+	if _, err := db.DefineAtomType("parts", desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "parts", SideB: "parts"}); err != nil {
+		t.Fatal(err)
+	}
+	const roots, depth = 256, 8
+	ids := make([]model.AtomID, roots*depth)
+	for i := range ids {
+		id, err := db.InsertAtom("parts", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for r := 0; r < roots; r++ {
+		for d := 0; d < depth-1; d++ {
+			if err := db.Connect("composition", ids[r*depth+d], ids[r*depth+d+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer plan.Release(db)
+	sess := mql.NewSession(db)
+
+	stats := db.Stats()
+	stats.Reset()
+	cur, err := sess.QueryContext(context.Background(),
+		"SELECT ALL FROM RECURSIVE parts VIA composition LIMIT 2;", mql.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		m, err := cur.NextRec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("LIMIT 2 delivered %d molecules", n)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The cap must cancel expansion: nowhere near the full 2048-atom
+	// closure set may have been derived.
+	if fetched := stats.Snapshot().AtomsFetched; fetched > roots*depth/2 {
+		t.Fatalf("LIMIT derived eagerly: %d atoms fetched", fetched)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecursiveExplainFixpoint: EXPLAIN on a recursive SELECT renders
+// the costed fixpoint plan — entry access, closure estimate, semi-naive
+// derivation line, and post-run actuals.
+func TestRecursiveExplainFixpoint(t *testing.T) {
+	db, _ := partsDB(t)
+	defer plan.Release(db)
+	sess := mql.NewSession(db)
+	res, err := sess.Exec("EXPLAIN SELECT ALL FROM RECURSIVE parts VIA composition WHERE name = 'car' LIMIT 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"recursive: parts ⟲ composition",
+		"[fixpoint]",
+		"closure:",
+		"semi-naive delta fixpoint",
+		"actuals:   [fixpoint] rounds",
+	} {
+		if !strings.Contains(res.Message, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, res.Message)
+		}
+	}
+
+	res, err = sess.Exec("EXPLAIN SELECT COUNT FROM RECURSIVE parts VIA composition GROUP BY cat;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "aggregate: COUNT GROUP BY cat") {
+		t.Fatalf("COUNT EXPLAIN:\n%s", res.Message)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mad/internal/core"
 	"mad/internal/model"
+	"mad/internal/recursive"
 	"mad/internal/storage"
 )
 
@@ -38,9 +39,7 @@ func (r *Result) Render(db *storage.Database) string {
 		var b strings.Builder
 		fmt.Fprintf(&b, "%d recursive molecule(s)\n", len(r.RecSet))
 		for i, m := range r.RecSet {
-			fmt.Fprintf(&b, "-- molecule %d (root %s, %d atoms, depth %d)\n",
-				i+1, m.Root, m.Size(), m.Depth())
-			b.WriteString(m.Format(db, r.RecType.AtomType))
+			b.WriteString(formatRecMoleculeCached(db, r.TS, i+1, m, r.RecType.AtomType, r.atoms))
 		}
 		return b.String()
 	case RMolecules:
@@ -72,6 +71,45 @@ func RenderMoleculeAt(db *storage.Database, ts uint64, i int, m *core.Molecule, 
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- molecule %d (%d atoms, %d links)\n", i, m.Size(), m.NumLinks())
 	b.WriteString(formatMolecule(db, ts, m, attrs))
+	return b.String()
+}
+
+// RenderRecMoleculeAt formats one streamed recursive molecule exactly as
+// Result.Render formats the i-th molecule (1-based) of a materialized
+// recursive set, with attribute values resolved at commit timestamp ts —
+// the CHUNK-frame building block for recursive cursors, mirroring
+// RenderMoleculeAt.
+func RenderRecMoleculeAt(db *storage.Database, ts uint64, i int, m *recursive.Molecule, atomType string) string {
+	return formatRecMoleculeCached(db, ts, i, m, atomType, nil)
+}
+
+// formatRecMoleculeCached renders one recursive molecule header plus its
+// level-by-level body, preferring atom values from cache (resolved while
+// the result's snapshot was still pinned) over re-reading at ts.
+func formatRecMoleculeCached(db *storage.Database, ts uint64, i int, m *recursive.Molecule, atomType string, cache map[model.AtomID]model.Atom) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- molecule %d (root %s, %d atoms, depth %d)\n",
+		i, m.Root, m.Size(), m.Depth())
+	c, hasC := db.Container(atomType)
+	for depth, level := range m.Levels {
+		fmt.Fprintf(&b, "level %d:", depth)
+		for _, id := range level {
+			a, ok := cache[id]
+			if !ok && hasC {
+				if ts != 0 {
+					a, ok = c.GetAt(id, ts)
+				} else {
+					a, ok = c.Get(id)
+				}
+			}
+			if !ok {
+				fmt.Fprintf(&b, " %s", id)
+				continue
+			}
+			fmt.Fprintf(&b, " %s", a.Get(0))
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 

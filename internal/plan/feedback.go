@@ -53,6 +53,10 @@ type Feedback struct {
 	// topk: desc key → observed fraction of roots surviving the top-K
 	// heap's bound prune (reaching derivation) on bounded ordered runs.
 	topk map[string]*ratioObs
+	// fixpoint: recursion-shape key (atom type, link, direction, depth) →
+	// observed closure atoms per seed root — calibrating the AvgFan^depth
+	// estimate the fixpoint entry contest is costed with.
+	fixpoint map[string]*ratioObs
 	// access: plan key → what the executed plan's chosen access path
 	// actually returned (entry atoms, candidate roots). Keyed per cache
 	// entry — the literals are part of the key, so the observation is an
@@ -164,6 +168,7 @@ func newFeedback(db *storage.Database) *Feedback {
 		deriv:       make(map[string]*ratioObs),
 		climb:       make(map[string]*ratioObs),
 		topk:        make(map[string]*ratioObs),
+		fixpoint:    make(map[string]*ratioObs),
 		access:      make(map[string]*accessObs),
 		driftFactor: defaultDriftFactor,
 	}
@@ -201,7 +206,7 @@ func (fb *Feedback) syncEpochLocked() {
 	if epoch == fb.epoch {
 		return
 	}
-	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 || len(fb.topk) > 0 || len(fb.access) > 0 {
+	if len(fb.residuals) > 0 || len(fb.deriv) > 0 || len(fb.climb) > 0 || len(fb.topk) > 0 || len(fb.fixpoint) > 0 || len(fb.access) > 0 {
 		fb.resets++
 	}
 	fb.epoch = epoch
@@ -209,6 +214,7 @@ func (fb *Feedback) syncEpochLocked() {
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
 	fb.topk = make(map[string]*ratioObs)
+	fb.fixpoint = make(map[string]*ratioObs)
 	fb.access = make(map[string]*accessObs)
 }
 
@@ -221,6 +227,7 @@ func (fb *Feedback) Reset() {
 	fb.deriv = make(map[string]*ratioObs)
 	fb.climb = make(map[string]*ratioObs)
 	fb.topk = make(map[string]*ratioObs)
+	fb.fixpoint = make(map[string]*ratioObs)
 	fb.access = make(map[string]*accessObs)
 	fb.epoch = fb.db.PlanEpoch()
 }
@@ -436,6 +443,52 @@ func (fb *Feedback) recordLocked(p *Plan, work storage.WorkTally) (drifted bool)
 	return false
 }
 
+// recordFixpoint folds one complete fixpoint execution's observed
+// closure size (atoms per seed root) into the store under the recursion
+// shape's key. Truncated or cancelled runs must not record — they saw a
+// biased prefix of the closure.
+func (fb *Feedback) recordFixpoint(p *FixpointPlan, key string, atomsPerRoot float64) {
+	if fb == nil {
+		return
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	if p.epoch != fb.epoch {
+		return
+	}
+	fb.records++
+	o := fb.fixpoint[key]
+	if o == nil {
+		if len(fb.fixpoint) >= feedbackLimit {
+			for k := range fb.fixpoint {
+				delete(fb.fixpoint, k)
+				break
+			}
+		}
+		o = &ratioObs{}
+		fb.fixpoint[key] = o
+	}
+	o.sum += atomsPerRoot
+	o.n++
+}
+
+// fixpointObserved returns the observed closure atoms per seed root for
+// the recursion shape, ok=false before any complete run recorded one.
+func (fb *Feedback) fixpointObserved(key string) (float64, bool) {
+	if fb == nil {
+		return 0, false
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.syncEpochLocked()
+	o := fb.fixpoint[key]
+	if o == nil || o.n == 0 {
+		return 0, false
+	}
+	return o.avg(), true
+}
+
 // observeResiduals overwrites the estimated selectivity of every
 // residual conjunct that has recorded observations with its observed
 // molecule-level pass rate (provenance SrcObserved), fills in the
@@ -588,6 +641,12 @@ func (fb *Feedback) Render() string {
 		o := fb.topk[tk]
 		fmt.Fprintf(&b, "top-k %s: ≈%.2f of roots survive the bound over %d run(s) [observed]\n",
 			tk, o.avg(), o.n)
+	}
+	for _, fk := range sortedKeys(fb.fixpoint) {
+		o := fb.fixpoint[fk]
+		parts := strings.Split(fk, "\x00")
+		fmt.Fprintf(&b, "fixpoint %s ⟲ %s (%s, depth %s): ≈%.1f atoms/root over %d run(s) [observed]\n",
+			parts[0], parts[1], parts[2], parts[3], o.avg(), o.n)
 	}
 	return b.String()
 }

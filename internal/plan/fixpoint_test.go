@@ -1,0 +1,322 @@
+package plan_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mad/internal/expr"
+	"mad/internal/model"
+	"mad/internal/plan"
+	"mad/internal/recursive"
+	"mad/internal/storage"
+)
+
+// fixGraph builds a parts/composition graph: n "part" atoms (pn = 0..n-1)
+// and the given directed edges over the reflexive link type. Duplicate
+// edges are deduplicated; self-loops and cycles are allowed.
+func fixGraph(t testing.TB, n int, edges [][2]int) (*storage.Database, []model.AtomID) {
+	t.Helper()
+	db := storage.NewDatabase()
+	if _, err := db.DefineAtomType("part", model.MustDesc(model.AttrDesc{Name: "pn", Kind: model.KInt})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "part", SideB: "part"}); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]model.AtomID, n)
+	for i := 0; i < n; i++ {
+		id, err := db.InsertAtom("part", model.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	seen := make(map[[2]int]bool)
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		if err := db.Connect("composition", ids[e[0]], ids[e[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, ids
+}
+
+// TestFixpointParityRandom: the planned streaming fixpoint is
+// element-wise identical to the seed package's naive eager derivation —
+// same molecule order, same per-molecule Levels and Links, same closure
+// membership — across random DAGs and cyclic graphs, both traversal
+// directions, depth bounds 0–4 and worker counts 1–8, with and without
+// a root predicate.
+func TestFixpointParityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		var edges [][2]int
+		for i := 0; i < r.Intn(3*n+1); i++ {
+			edges = append(edges, [2]int{r.Intn(n), r.Intn(n)})
+		}
+		db, _ := fixGraph(t, n, edges)
+		defer plan.Release(db)
+		up := r.Intn(2) == 1
+		depth := r.Intn(5)
+		workers := 1 + r.Intn(8)
+
+		var pred expr.Expr
+		if r.Intn(2) == 1 {
+			// Root predicate: pn >= k keeps a suffix of the roots.
+			pred = expr.Cmp{Op: expr.GE,
+				L: expr.Attr{Type: "part", Name: "pn"},
+				R: expr.Lit(model.Int(int64(r.Intn(n))))}
+		}
+
+		rt, err := recursive.Define(db, "", "part", "composition", up, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := rt.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != nil {
+			c, _ := db.Container("part")
+			var kept []*recursive.Molecule
+			for _, m := range naive {
+				a, ok := c.Get(m.Root)
+				if !ok {
+					continue
+				}
+				keep, err := expr.EvalPredicate(pred, expr.AtomBinding{TypeName: "part", Desc: c.Desc(), Atom: a})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if keep {
+					kept = append(kept, m)
+				}
+			}
+			naive = kept
+		}
+
+		p, err := plan.CompileFixpoint(db, "part", "composition", up, depth, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Workers = workers
+		got, err := p.Execute(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(naive) {
+			t.Logf("seed %d: |planned| = %d, |naive| = %d", seed, len(got), len(naive))
+			return false
+		}
+		for i := range got {
+			if got[i].Root != naive[i].Root {
+				t.Logf("seed %d: molecule %d root %v != %v", seed, i, got[i].Root, naive[i].Root)
+				return false
+			}
+			if !reflect.DeepEqual(got[i].Levels, naive[i].Levels) {
+				t.Logf("seed %d: molecule %d levels %v != %v", seed, i, got[i].Levels, naive[i].Levels)
+				return false
+			}
+			if !reflect.DeepEqual(got[i].Links, naive[i].Links) {
+				t.Logf("seed %d: molecule %d links differ", seed, i)
+				return false
+			}
+			for _, id := range naive[i].Atoms() {
+				if !got[i].Contains(id) {
+					t.Logf("seed %d: molecule %d missing %v", seed, i, id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixChainForest builds `roots` disjoint chains of `depth` parts each —
+// a deep assembly forest with one closure per chain head.
+func fixChainForest(t testing.TB, roots, depth int) (*storage.Database, []model.AtomID) {
+	t.Helper()
+	n := roots * depth
+	var edges [][2]int
+	for r := 0; r < roots; r++ {
+		for d := 0; d < depth-1; d++ {
+			edges = append(edges, [2]int{r*depth + d, r*depth + d + 1})
+		}
+	}
+	return fixGraph(t, n, edges)
+}
+
+// TestFixpointIndexedEntry: with an index on the root attribute and an
+// equality conjunct, the entry contest seeds the closure from the index
+// instead of scanning every root, the EXPLAIN rendering carries the
+// [fixpoint] contest and actuals, and a complete run records the
+// observed closure size into feedback for the next compile.
+func TestFixpointIndexedEntry(t *testing.T) {
+	db, _ := fixChainForest(t, 64, 8)
+	defer plan.Release(db)
+	if err := db.CreateIndex("part", "pn"); err != nil {
+		t.Fatal(err)
+	}
+	plan.FeedbackFor(db) // opt into the feedback loop
+	pred := expr.Cmp{Op: expr.EQ,
+		L: expr.Attr{Type: "part", Name: "pn"},
+		R: expr.Lit(model.Int(16))} // a chain head
+	p, err := plan.CompileFixpoint(db, "part", "composition", false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EntryKind != plan.FixIndexEq {
+		t.Fatalf("entry kind = %v, want FixIndexEq (alternatives: %+v)", p.EntryKind, p.Alternatives)
+	}
+	if len(p.Alternatives) != 2 {
+		t.Fatalf("alternatives = %+v", p.Alternatives)
+	}
+	db.Stats().Reset()
+	ms, err := p.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Size() != 8 {
+		t.Fatalf("indexed entry derived %d molecule(s)", len(ms))
+	}
+	work := db.Stats().Snapshot()
+	if work.AtomsFetched > 16 {
+		t.Fatalf("indexed entry fetched %d atoms; the contest did not prune the scan", work.AtomsFetched)
+	}
+	out := p.Render()
+	for _, want := range []string{"[fixpoint] index entry part.pn = 16", "considered:", "actuals:   [fixpoint] rounds 8", "closure:", "[link-fan]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if p.Rounds != 8 || p.VisitedAtoms != 8 {
+		t.Fatalf("actuals rounds=%d visited=%d", p.Rounds, p.VisitedAtoms)
+	}
+
+	// A complete unlimited run calibrates the closure estimate: SHOW
+	// FEEDBACK lists it and the next compile carries [observed].
+	full, err := plan.CompileFixpoint(db, "part", "composition", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fbOut := plan.FeedbackFor(db).Render(); !strings.Contains(fbOut, "fixpoint part ⟲ composition") {
+		t.Fatalf("feedback missing fixpoint observation:\n%s", fbOut)
+	}
+	again, err := plan.CompileFixpoint(db, "part", "composition", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(again.Render(), "[observed]") {
+		t.Fatalf("recompile not calibrated:\n%s", again.Render())
+	}
+}
+
+// TestFixpointLimitStopsWorkers: LIMIT cancels the in-flight expansion
+// rounds at the cap — the stream ends cleanly after exactly Limit
+// molecules and every producer/worker goroutine winds down (satellite 3's
+// goroutine-leak check; run under -race).
+func TestFixpointLimitStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db, _ := fixChainForest(t, 512, 6)
+	defer plan.Release(db)
+	p, err := plan.CompileFixpoint(db, "part", "composition", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	p.Limit = 3
+	st, err := p.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		m, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("limited stream delivered %d, want 3", n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abandoning a live stream mid-flight must not leak either.
+	p2, err := plan.CompileFixpoint(db, "part", "composition", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Workers = 4
+	st2, err := p2.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := st2.Next(); err != nil || m == nil {
+		t.Fatalf("first molecule: %v, %v", m, err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFixpointSnapshotPinned: the whole closure reads the snapshot pinned
+// at stream open — links committed while the stream drains do not appear
+// in any molecule, however late its closure runs.
+func TestFixpointSnapshotPinned(t *testing.T) {
+	db, ids := fixGraph(t, 3, [][2]int{{0, 1}})
+	defer plan.Release(db)
+	p, err := plan.CompileFixpoint(db, "part", "composition", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Commit a new composition edge after the snapshot is pinned.
+	if err := db.Connect("composition", ids[1], ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Next()
+	if err != nil || m == nil {
+		t.Fatalf("first molecule: %v, %v", m, err)
+	}
+	if m.Root != ids[0] || m.Size() != 2 {
+		t.Fatalf("closure of %v saw the post-snapshot edge: size %d, want 2", m.Root, m.Size())
+	}
+	if m.Contains(ids[2]) {
+		t.Fatal("molecule contains an atom linked after the snapshot was pinned")
+	}
+}

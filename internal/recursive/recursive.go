@@ -104,13 +104,31 @@ func (m *Molecule) Contains(id model.AtomID) bool {
 	return false
 }
 
-// Format renders the molecule level by level with attribute values.
+// Format renders the molecule level by level with attribute values from
+// the latest view.
 func (m *Molecule) Format(db *storage.Database, atomType string) string {
+	return m.FormatAt(db, atomType, 0)
+}
+
+// FormatAt renders the molecule level by level with attribute values read
+// at commit timestamp ts (zero = latest view) — the renderer for
+// snapshot-pinned cursors, whose values must match the structure the
+// closure traversed however many writers committed since.
+func (m *Molecule) FormatAt(db *storage.Database, atomType string, ts uint64) string {
 	var b strings.Builder
+	c, hasC := db.Container(atomType)
 	for depth, level := range m.Levels {
 		fmt.Fprintf(&b, "level %d:", depth)
 		for _, id := range level {
-			a, ok := db.GetAtom(atomType, id)
+			var a model.Atom
+			ok := hasC
+			if ok {
+				if ts != 0 {
+					a, ok = c.GetAt(id, ts)
+				} else {
+					a, ok = c.Get(id)
+				}
+			}
 			if !ok {
 				fmt.Fprintf(&b, " %s", id)
 				continue

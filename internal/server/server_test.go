@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mad/internal/geo"
+	"mad/internal/model"
 	"mad/internal/server"
 	"mad/internal/storage"
 )
@@ -426,5 +427,99 @@ func TestServerOrderedAndCountQueries(t *testing.T) {
 	}
 	if !strings.Contains(out, "3 group(s) by abbrev") {
 		t.Fatalf("group out: %s", out)
+	}
+}
+
+// TestServerRecursiveStreaming: a recursive SELECT streams its closures
+// over the wire as CHUNK frames as each one finishes — the reassembled
+// payload carries every molecule level by level plus the trailing
+// summary — and SELECT COUNT over a recursion arrives eagerly rendered.
+func TestServerRecursiveStreaming(t *testing.T) {
+	db := storage.NewDatabase()
+	if _, err := db.DefineAtomType("parts", model.MustDesc(model.AttrDesc{Name: "name", Kind: model.KString})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineLinkType("composition", model.LinkDesc{SideA: "parts", SideB: "parts"}); err != nil {
+		t.Fatal(err)
+	}
+	const roots, depth = 16, 4
+	ids := make([]model.AtomID, roots*depth)
+	for i := range ids {
+		id, err := db.InsertAtom("parts", model.Str(fmt.Sprintf("p%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for r := 0; r < roots; r++ {
+		for d := 0; d < depth-1; d++ {
+			if err := db.Connect("composition", ids[r*depth+d], ids[r*depth+d+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	srv, addr := startServer(t, db)
+	srv.SetChunkSize(128)
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	req := "SELECT ALL FROM RECURSIVE parts VIA composition;"
+	if _, err := fmt.Fprintf(raw, "REQ %d\n%s", len(req), req); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(raw)
+	chunks := 0
+	var out strings.Builder
+	for {
+		header, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		verb, sizeStr, _ := strings.Cut(strings.TrimSuffix(header, "\n"), " ")
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			t.Fatalf("bad frame header %q", header)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			t.Fatal(err)
+		}
+		out.Write(payload)
+		if verb == "CHUNK" {
+			chunks++
+			continue
+		}
+		if verb != "OK" {
+			t.Fatalf("unexpected verb %q with payload %q", verb, payload)
+		}
+		break
+	}
+	if chunks < 2 {
+		t.Fatalf("recursive result must stream in several chunks, got %d", chunks)
+	}
+	got := out.String()
+	if strings.Count(got, "-- molecule") != roots*depth {
+		t.Fatalf("want %d closures, payload:\n%.400s", roots*depth, got)
+	}
+	for _, want := range []string{`level 0: "p000"`, `level 3: "p003"`, fmt.Sprintf("%d recursive molecule(s)\n", roots*depth)} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("reassembled payload missing %q:\n%.400s", want, got)
+		}
+	}
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cnt, err := c.Exec("SELECT COUNT FROM RECURSIVE parts VIA composition;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cnt, fmt.Sprintf("count: %d", roots*depth)) {
+		t.Fatalf("recursive count over the wire: %s", cnt)
 	}
 }

@@ -209,6 +209,18 @@ type (
 	// climb work — and feeds them back into later compiles and
 	// executions (EXPLAIN provenance [observed]).
 	PlanFeedback = plan.Feedback
+	// FixpointPlan is a compiled recursive derivation: a semi-naive delta
+	// fixpoint whose entry point (full scan vs indexed root equality) is
+	// contested on the link-fan closure estimate, with WHERE conjuncts
+	// pruning seed roots before expansion (see CompileFixpoint).
+	FixpointPlan = plan.FixpointPlan
+	// FixpointStream is a fixpoint plan's incremental cursor: each
+	// molecule streams out the moment its own closure finishes, at a
+	// snapshot pinned for the whole run.
+	FixpointStream = plan.FixpointStream
+	// RecursiveMolecule is one recursive molecule: the root, the atoms
+	// grouped by the level the closure first reached them, the links.
+	RecursiveMolecule = recursive.Molecule
 	// Histogram is a per-attribute equi-depth histogram — the statistics
 	// ANALYZE builds and the planner estimates selectivities from.
 	Histogram = stats.Histogram
@@ -289,6 +301,18 @@ func Restrict(mt *MoleculeType, pred Expr, resultName string, tr *OpTrace) (*Mol
 // a database that never opted in is not pinned by any registry.
 func CompilePlan(db *Database, desc *MoleculeDesc, pred Expr) (*Plan, error) {
 	return plan.Compile(db, desc, pred)
+}
+
+// CompileFixpoint plans a recursive derivation over atomType closed under
+// one direction of the reflexive link type, optionally depth-bounded and
+// restricted by pred (nil = all roots): the entry contest weighs a full
+// scan against each indexed root equality using histogram selectivities
+// and the AvgFan^depth closure estimate, non-entry conjuncts prune seed
+// roots before a single link is traversed, and Stream delivers each
+// molecule as its closure finishes, at one pinned snapshot. Render it
+// for the [fixpoint] EXPLAIN form.
+func CompileFixpoint(db *Database, atomType, link string, up bool, depth int, pred Expr) (*FixpointPlan, error) {
+	return plan.CompileFixpoint(db, atomType, link, up, depth, pred)
 }
 
 // PlanCacheFor returns the plan cache shared by every session over db.

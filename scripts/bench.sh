@@ -2,9 +2,11 @@
 # bench.sh — perf-trajectory tooling: runs every repository benchmark with
 # -benchmem and emits a machine-readable JSON file (one record per
 # benchmark: ns/op, B/op, allocs/op plus any custom metrics the benchmark
-# reports — peak-B/op, commits/s, appends/fsync, atom-fetches/op) so CI
-# can archive the trajectory per commit. Non-gating: numbers are for
-# trend lines, not pass/fail.
+# reports — peak-B/op, commits/s, appends/fsync, atom-fetches/op,
+# ns-to-first-molecule) so CI can archive the trajectory per commit.
+# Non-gating: numbers are for trend lines, not pass/fail (the P16/P17
+# work-ratio gates live inside the benchmarks themselves and fail the
+# run outright).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME  go test -benchtime value (default 1x: smoke-level noise,
@@ -31,7 +33,7 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1; iters = $2
-	ns = ""; bytes = ""; allocs = ""; peak = ""; cps = ""; apf = ""; af = ""
+	ns = ""; bytes = ""; allocs = ""; peak = ""; cps = ""; apf = ""; af = ""; fm = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "B/op") bytes = $i
@@ -40,6 +42,7 @@ BEGIN {
 		if ($(i + 1) == "commits/s") cps = $i
 		if ($(i + 1) == "appends/fsync") apf = $i
 		if ($(i + 1) == "atom-fetches/op") af = $i
+		if ($(i + 1) == "ns-to-first-molecule") fm = $i
 	}
 	if (ns == "") next
 	if (n++) printf ","
@@ -50,6 +53,7 @@ BEGIN {
 	if (cps != "") printf ", \"commits_per_s\": %s", cps
 	if (apf != "") printf ", \"appends_per_fsync\": %s", apf
 	if (af != "") printf ", \"atom_fetches_per_op\": %s", af
+	if (fm != "") printf ", \"ns_to_first_molecule\": %s", fm
 	printf "}"
 }
 END { printf "\n  ]\n}\n" }
